@@ -1,0 +1,72 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (or an
+ablation called out in DESIGN.md), prints the resulting rows and writes them
+to ``benchmarks/results/`` so the numbers can be compared against the paper
+(see EXPERIMENTS.md).
+
+Scale is controlled with the ``ZSMILES_BENCH_SCALE`` environment variable:
+``smoke`` (tiny, seconds), ``benchmark`` (default) or ``paper`` (50 000-SMILES
+corpora; slow in pure Python).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.codec import ZSmilesCodec
+from repro.experiments import ExperimentScale, mixed_corpus
+from repro.metrics.reporting import ResultTable
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _selected_scale() -> ExperimentScale:
+    name = os.environ.get("ZSMILES_BENCH_SCALE", "benchmark").lower()
+    presets = {
+        "smoke": ExperimentScale.smoke,
+        "benchmark": ExperimentScale.benchmark,
+        "paper": ExperimentScale.paper,
+    }
+    if name not in presets:
+        raise ValueError(f"ZSMILES_BENCH_SCALE must be one of {sorted(presets)}, got {name!r}")
+    return presets[name]()
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    """Experiment scale shared by every benchmark in the session."""
+    return _selected_scale()
+
+
+@pytest.fixture(scope="session")
+def corpus(scale) -> list[str]:
+    """The MIXED corpus used by Table I, Figure 4, Figure 5 and the ablations."""
+    return mixed_corpus(scale)
+
+
+@pytest.fixture(scope="session")
+def shared_codec(corpus, scale) -> ZSmilesCodec:
+    """A codec trained once with the paper's recommended configuration."""
+    return ZSmilesCodec.train(corpus[: scale.training_size], preprocessing=True, lmax=8)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def report(results_dir):
+    """Callable that prints a ResultTable and persists it under benchmarks/results/."""
+
+    def _report(name: str, table: ResultTable) -> None:
+        text = table.to_text()
+        print("\n" + text)
+        (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return _report

@@ -1,0 +1,39 @@
+"""Benchmark: regenerate Figure 5 (C++ vs CUDA execution time across Lmax).
+
+Paper findings: both implementations are essentially flat in Lmax because the
+kernels are memory-bound; the CUDA version is ≈7× faster in compression
+(Figure 5a) and ≈2× faster in decompression (Figure 5b).  The CUDA backend is
+replaced by the simulated device model described in DESIGN.md; the kernel work
+counts come from real executions of the block kernels.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure5 import LMAX_VALUES, run_figure5
+from repro.metrics.figures import figure5_chart
+
+
+def test_figure5_normalized_execution_times(benchmark, scale, corpus, report, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_figure5(scale=scale, corpus=corpus, lmax_values=LMAX_VALUES),
+        rounds=1,
+        iterations=1,
+    )
+    for suffix, table in zip(("a_compression", "b_decompression"), result.to_tables()):
+        report(f"figure5{suffix}", table)
+    for operation in ("compression", "decompression"):
+        series = {
+            name: [value for _, value in points]
+            for name, points in result.normalized_series(operation).items()
+        }
+        chart = figure5_chart(operation, LMAX_VALUES, series).render()
+        print("\n" + chart)
+        (results_dir / f"figure5_{operation}_chart.txt").write_text(chart + "\n", encoding="utf-8")
+
+    speedups = result.speedups()
+    # Paper: compression ~7x, decompression ~2x; both flat in Lmax.
+    assert 4.0 < speedups["compression"] < 11.0
+    assert 1.3 < speedups["decompression"] < 3.5
+    assert speedups["compression"] > speedups["decompression"]
+    assert result.flat_in_lmax("compression")
+    assert result.flat_in_lmax("decompression")

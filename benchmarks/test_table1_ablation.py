@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Table I (dictionary optimization ablation).
+
+Paper values (MIXED dataset, 50 000-SMILES training sample):
+
+    preprocessing=yes, printable        0.32
+    preprocessing=no,  printable        0.35
+    preprocessing=yes, SMILES alphabet  0.29   <- best, the paper's headline
+    preprocessing=no,  SMILES alphabet  0.32
+    preprocessing=yes, none             0.33
+    preprocessing=no,  none             0.35
+
+The benchmark reports the same six rows on the synthetic MIXED corpus and
+asserts the two qualitative findings: preprocessing always helps and the
+SMILES-alphabet pre-population is the best configuration.
+"""
+
+from __future__ import annotations
+
+from repro.dictionary.prepopulation import PrePopulation
+from repro.experiments.table1 import run_table1
+
+
+def test_table1_dictionary_optimizations(benchmark, scale, corpus, report):
+    result = benchmark.pedantic(
+        lambda: run_table1(scale=scale, corpus=corpus), rounds=1, iterations=1
+    )
+    report("table1_ablation", result.to_table())
+
+    assert result.preprocessing_always_helps()
+    (best_preprocessing, best_policy), best_ratio = result.best()
+    assert best_preprocessing is True
+    assert best_policy is PrePopulation.SMILES_ALPHABET
+    assert 0.25 < best_ratio < 0.5

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Table II (cross-dictionary compression ratios).
+
+Paper matrix (training set on the rows used here, test sets on the columns):
+diagonal 0.29–0.33, GDB-17-trained dictionary 0.55–0.60 off-diagonal (worst
+transfer), MIXED-trained dictionary best overall average (0.32) — which is why
+the paper adopts the MIXED dictionary as the single shared dictionary.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table2 import DATASET_ORDER, run_table2
+
+
+def test_table2_cross_dictionary_matrix(benchmark, scale, report):
+    result = benchmark.pedantic(lambda: run_table2(scale=scale), rounds=1, iterations=1)
+    report("table2_cross_dictionary", result.to_table())
+
+    # Shape 1: for each test set, the matching (or MIXED) dictionary is among the best.
+    assert result.diagonal_is_best_per_test()
+
+    # Shape 2: the GDB-17 dictionary transfers worst.
+    averages = {t: result.row_average(t, exclude_self=True) for t in DATASET_ORDER}
+    assert max(averages, key=averages.get) == "GDB-17"
+
+    # Shape 3: the MIXED dictionary is the best shared dictionary overall.
+    assert result.best_training_set() == "MIXED"
+
+    # All ratios stay in a sane compression regime.
+    assert all(0.2 < ratio < 0.75 for ratio in result.ratios.values())

@@ -1,0 +1,84 @@
+"""Micro-benchmarks: per-record and corpus-level throughput of the codec.
+
+These do not correspond to a specific paper table; they quantify the cost of
+the Python implementation (the paper's C++/CUDA numbers are wall-clock on real
+hardware) and guard against performance regressions in the hot paths:
+per-line compression, per-line decompression, dictionary training and
+random-access reads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.codec import ZSmilesCodec
+from repro.core.random_access import LineIndex, RandomAccessReader
+from repro.core.streaming import compress_file, write_lines
+from repro.dictionary.generator import train_dictionary
+from repro.preprocess.ring_renumber import renumber_rings
+
+
+@pytest.fixture(scope="module")
+def sample_lines(corpus):
+    return corpus[:500]
+
+
+def test_compress_single_record(benchmark, shared_codec):
+    smiles = "CC(C)Cc1ccc(cc1)C(C)C(=O)OC2CCC(CC2)N3CCOCC3"
+    compressed = benchmark(shared_codec.compress, smiles)
+    assert shared_codec.decompress(compressed) == shared_codec.preprocess(smiles)
+
+
+def test_decompress_single_record(benchmark, shared_codec):
+    smiles = "CC(C)Cc1ccc(cc1)C(C)C(=O)OC2CCC(CC2)N3CCOCC3"
+    compressed = shared_codec.compress(smiles)
+    restored = benchmark(shared_codec.decompress, compressed)
+    assert restored == shared_codec.preprocess(smiles)
+
+
+def test_compress_corpus_batch(benchmark, shared_codec, sample_lines):
+    compressed = benchmark.pedantic(
+        shared_codec.compress_many, args=(sample_lines,), rounds=1, iterations=1
+    )
+    assert len(compressed) == len(sample_lines)
+
+
+def test_ring_renumbering_throughput(benchmark):
+    smiles = "C1=CC=C(C=C1)C(=O)CC(=O)C2=CC=C(C=C2)C3=CC=CC=C3"
+    out = benchmark(renumber_rings, smiles)
+    assert out.count("0") >= 2
+
+
+def test_dictionary_training(benchmark, corpus, scale):
+    sample = corpus[: min(500, scale.training_size)]
+    table = benchmark.pedantic(
+        lambda: train_dictionary(sample, lmax=8), rounds=1, iterations=1
+    )
+    assert len(table.trained_entries) > 0
+
+
+def test_random_access_fetch(benchmark, shared_codec, sample_lines, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("bench_ra")
+    smi = directory / "lib.smi"
+    zsmi = directory / "lib.zsmi"
+    write_lines(smi, sample_lines)
+    compress_file(shared_codec, smi, zsmi)
+    index = LineIndex.build(zsmi)
+    reader = RandomAccessReader(zsmi, index=index, codec=shared_codec)
+    reader.open()
+    try:
+        value = benchmark(reader.line, len(sample_lines) // 2)
+        assert value == shared_codec.preprocess(sample_lines[len(sample_lines) // 2])
+    finally:
+        reader.close()
+
+
+def test_parallel_codec_batch(benchmark, shared_codec, sample_lines):
+    """Process-pool backend on a batch (falls back to serial under the threshold)."""
+    from repro.parallel.executor import ParallelCodec
+
+    parallel = ParallelCodec(shared_codec, workers=2, chunk_size=128, serial_threshold=0)
+    compressed = benchmark.pedantic(
+        parallel.compress_many, args=(sample_lines,), rounds=1, iterations=1
+    )
+    assert len(compressed) == len(sample_lines)

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Ablation study: how much does each ZSMILES optimization buy? (paper Table I)
+
+The two domain-specific optimizations of the paper are ring-identifier
+renumbering (Section IV-A) and dictionary pre-population (Section IV-B).  This
+example trains a dictionary for every combination on the same MIXED sample and
+reports the resulting compression ratios, together with the paper's own
+numbers for reference.
+
+Run with:  python examples/ablation_study.py
+"""
+
+from __future__ import annotations
+
+from repro.datasets import mixed
+from repro.experiments import ExperimentScale, run_table1
+from repro.preprocess.ring_renumber import renumber_rings
+
+
+def show_preprocessing_effect() -> None:
+    example = "C1=CC=C(C=C1)C(=O)CC(=O)C2=CC=CC=C2"  # dibenzoylmethane (Section IV-A)
+    print("ring-identifier renumbering example:")
+    print(f"  before: {example}")
+    print(f"  after:  {renumber_rings(example)}")
+    print("  both benzene rings now share the substring 'C0=CC=C', so a single")
+    print("  dictionary entry covers both.\n")
+
+
+def main() -> None:
+    show_preprocessing_effect()
+
+    scale = ExperimentScale(training_size=1_500, evaluation_size=1_500, seed=3)
+    corpus = mixed.generate(max(scale.training_size, scale.evaluation_size), seed=scale.seed)
+    result = run_table1(scale=scale, corpus=corpus)
+
+    print(result.to_table().to_text())
+    (preprocessing, policy), ratio = result.best()
+    print(f"\nbest configuration: preprocessing={'yes' if preprocessing else 'no'}, "
+          f"pre-population={policy.value} -> ratio {ratio:.3f}")
+    print("the paper reaches the same configuration (preprocessing + SMILES alphabet).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Quickstart: train a shared dictionary, compress a library, get it back.
+
+This walks through the core ZSMILES workflow of the paper (Figure 3):
+
+1. generate a small MIXED SMILES library (stand-in for a screening input),
+2. train the shared dictionary with the paper's recommended configuration
+   (ring-identifier preprocessing + SMILES-alphabet pre-population),
+3. compress / decompress individual records and a whole ``.smi`` file,
+4. persist the dictionary so other tools (and other machines) can reuse it.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import ZSmilesCodec
+from repro.core.streaming import compress_file, decompress_file, write_lines
+from repro.datasets import mixed
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="zsmiles_quickstart_"))
+    print(f"working directory: {workdir}\n")
+
+    # ------------------------------------------------------------------ #
+    # 1. A library to compress (synthetic MIXED corpus, see DESIGN.md).
+    # ------------------------------------------------------------------ #
+    library = mixed.generate(2_000, seed=7)
+    print(f"generated {len(library)} SMILES; example record: {library[0]}")
+
+    # ------------------------------------------------------------------ #
+    # 2. Train the shared dictionary (Table I's best configuration).
+    # ------------------------------------------------------------------ #
+    codec = ZSmilesCodec.train(library, preprocessing=True, lmax=8)
+    report = codec.training_report
+    assert report is not None
+    print(report.summary())
+
+    # ------------------------------------------------------------------ #
+    # 3a. Single-record compression.
+    # ------------------------------------------------------------------ #
+    vanillin = "COc1cc(C=O)ccc1O"  # the paper's Figure 1 example
+    compressed = codec.compress(vanillin)
+    print(f"\nvanillin:            {vanillin}")
+    print(f"compressed ({len(compressed)} chars): {compressed!r}")
+    print(f"decompressed:        {codec.decompress(compressed)}")
+    print(f"record ratio:        {len(compressed) / len(vanillin):.2f}")
+
+    # ------------------------------------------------------------------ #
+    # 3b. Whole-file compression with preserved line separability.
+    # ------------------------------------------------------------------ #
+    smi_path = workdir / "library.smi"
+    write_lines(smi_path, library)
+    stats = compress_file(codec, smi_path)
+    print(
+        f"\ncompressed file:     {stats.output_path.name} "
+        f"({stats.input_bytes} -> {stats.output_bytes} bytes, ratio {stats.ratio:.3f})"
+    )
+    restored = decompress_file(codec, stats.output_path, workdir / "restored.smi")
+    print(f"decompressed file:   {restored.output_path.name} ({restored.lines} records)")
+
+    # ------------------------------------------------------------------ #
+    # 4. Persist the dictionary for reuse.
+    # ------------------------------------------------------------------ #
+    dct_path = workdir / "shared.dct"
+    codec.save_dictionary(dct_path)
+    reloaded = ZSmilesCodec.from_dictionary(dct_path)
+    assert reloaded.decompress(compressed) == codec.preprocess(vanillin)
+    print(f"\ndictionary saved to {dct_path} and reloaded successfully")
+
+    corpus_ratio = codec.compression_ratio(library)
+    print(f"corpus compression ratio: {corpus_ratio:.3f} (paper reports up to 0.29)")
+
+
+if __name__ == "__main__":
+    main()

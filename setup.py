@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+Kept so the package installs in environments whose setuptools predates native
+``bdist_wheel`` support for PEP 517 editable installs (e.g. offline HPC nodes):
+``pip install -e . --no-build-isolation --no-use-pep517`` falls back to the
+legacy develop install through this file.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

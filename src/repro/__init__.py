@@ -1,0 +1,44 @@
+"""ZSMILES reproduction: efficient random-access SMILES storage for virtual screening.
+
+The public API is organised in subpackages (``repro.smiles``, ``repro.core``,
+``repro.dictionary``, ``repro.datasets``, ``repro.baselines``,
+``repro.parallel``, ``repro.screening``, ``repro.experiments``); the names a
+typical user needs — the codec, the dictionary types, the preprocessing
+helpers and the random-access reader — are re-exported here.
+"""
+
+from ._version import __version__
+from .core.codec import CodecStats, ZSmilesCodec
+from .core.compressor import Compressor, ParseStrategy
+from .core.decompressor import Decompressor
+from .core.random_access import LineIndex, RandomAccessReader
+from .core.streaming import compress_file, decompress_file
+from .dictionary.codec_table import CodecTable
+from .dictionary.generator import DictionaryConfig, train_dictionary
+from .dictionary.prepopulation import PrePopulation
+from .dictionary.serialization import load as load_dictionary
+from .dictionary.serialization import save as save_dictionary
+from .preprocess.pipeline import PreprocessingPipeline, make_pipeline
+from .preprocess.ring_renumber import renumber_rings
+
+__all__ = [
+    "__version__",
+    "CodecStats",
+    "ZSmilesCodec",
+    "Compressor",
+    "ParseStrategy",
+    "Decompressor",
+    "LineIndex",
+    "RandomAccessReader",
+    "compress_file",
+    "decompress_file",
+    "CodecTable",
+    "DictionaryConfig",
+    "train_dictionary",
+    "PrePopulation",
+    "load_dictionary",
+    "save_dictionary",
+    "PreprocessingPipeline",
+    "make_pipeline",
+    "renumber_rings",
+]

@@ -1,0 +1,25 @@
+"""Baseline compressors compared against ZSMILES (Section III / Figure 4)."""
+
+from .bzip2_codec import Bzip2FileCodec, Bzip2LineCodec, bzip2_over_lines
+from .fsst import FsstCodec, FsstSymbolTable, build_symbol_table
+from .interface import BaselineCodec, CodecProperties
+from .shoco import ShocoCodec, ShocoModel
+from .transform import TransformBzip2Codec, forward_transform, inverse_transform
+from .zsmiles_adapter import ZSmilesBaseline
+
+__all__ = [
+    "Bzip2FileCodec",
+    "Bzip2LineCodec",
+    "bzip2_over_lines",
+    "FsstCodec",
+    "FsstSymbolTable",
+    "build_symbol_table",
+    "BaselineCodec",
+    "CodecProperties",
+    "ShocoCodec",
+    "ShocoModel",
+    "TransformBzip2Codec",
+    "forward_transform",
+    "inverse_transform",
+    "ZSmilesBaseline",
+]

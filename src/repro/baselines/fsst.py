@@ -1,0 +1,196 @@
+"""FSST reimplementation (Boncz, Neumann, Leis — VLDB 2020; reference [13]).
+
+FSST (Fast Static Symbol Table) compresses short strings with a table of at
+most 255 symbols of 1–8 bytes each; every input byte sequence is greedily
+replaced by the longest matching symbol (one output code byte), and bytes not
+covered by the table are emitted as an escape code followed by the raw byte.
+Because each record is encoded independently against a static table, FSST
+preserves random access — which is why the paper treats it as the closest
+state-of-the-art competitor — but the table is *input-dependent* (built from a
+sample of the file being compressed) and the output is binary.
+
+This is a from-scratch reimplementation of the construction described in the
+FSST paper, simplified in two ways that do not change its qualitative
+behaviour: the symbol table is built over a configurable number of refinement
+iterations using symbol/pair gain counting (as in the original), and encoding
+uses a dictionary keyed by prefix length rather than the AVX-optimized match
+kernel.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .interface import BaselineCodec, CodecProperties
+
+#: Code reserved for the escape marker (raw byte follows).
+ESCAPE_CODE = 255
+#: Maximum number of table symbols (code 255 is the escape).
+MAX_SYMBOLS = 255
+#: Maximum symbol length in bytes, as in the FSST paper.
+MAX_SYMBOL_LENGTH = 8
+
+
+class FsstSymbolTable:
+    """A static symbol table: list of byte-string symbols, one code each."""
+
+    def __init__(self, symbols: Sequence[bytes]):
+        if len(symbols) > MAX_SYMBOLS:
+            raise ValueError(f"at most {MAX_SYMBOLS} symbols allowed, got {len(symbols)}")
+        self.symbols: List[bytes] = list(symbols)
+        self._code_of: Dict[bytes, int] = {sym: i for i, sym in enumerate(self.symbols)}
+        self._by_first_byte: Dict[int, List[Tuple[bytes, int]]] = {}
+        for sym, code in self._code_of.items():
+            bucket = self._by_first_byte.setdefault(sym[0], [])
+            bucket.append((sym, code))
+        for bucket in self._by_first_byte.values():
+            bucket.sort(key=lambda item: -len(item[0]))  # longest first
+
+    def __len__(self) -> int:
+        return len(self.symbols)
+
+    def longest_match(self, data: bytes, pos: int) -> Optional[Tuple[bytes, int]]:
+        """Longest symbol matching ``data[pos:]``, or ``None``."""
+        bucket = self._by_first_byte.get(data[pos])
+        if not bucket:
+            return None
+        window = data[pos : pos + MAX_SYMBOL_LENGTH]
+        for sym, code in bucket:
+            if window.startswith(sym):
+                return sym, code
+        return None
+
+    def symbol_for_code(self, code: int) -> bytes:
+        """Symbol bytes for a code (raises ``IndexError`` for unknown codes)."""
+        return self.symbols[code]
+
+
+def _greedy_pass(
+    sample: Sequence[bytes], table: Optional[FsstSymbolTable]
+) -> Tuple[Counter, Counter]:
+    """One counting pass: frequencies of matched units and of adjacent-unit pairs."""
+    single: Counter = Counter()
+    pairs: Counter = Counter()
+    for line in sample:
+        pos = 0
+        prev: Optional[bytes] = None
+        n = len(line)
+        while pos < n:
+            unit: bytes
+            if table is not None:
+                match = table.longest_match(line, pos)
+                unit = match[0] if match is not None else line[pos : pos + 1]
+            else:
+                unit = line[pos : pos + 1]
+            single[unit] += 1
+            if prev is not None and len(prev) + len(unit) <= MAX_SYMBOL_LENGTH:
+                pairs[prev + unit] += 1
+            prev = unit
+            pos += len(unit)
+    return single, pairs
+
+
+def build_symbol_table(
+    corpus: Sequence[str],
+    iterations: int = 5,
+    sample_bytes: int = 16_384,
+    max_symbols: int = MAX_SYMBOLS,
+) -> FsstSymbolTable:
+    """Construct an FSST symbol table from a sample of *corpus*.
+
+    The construction follows the iterative scheme of the FSST paper: encode a
+    sample with the current table, count the gain (frequency × length) of
+    every used symbol and of every concatenation of adjacent symbols, and keep
+    the ``max_symbols`` highest-gain candidates for the next round.  As in the
+    original (and as the paper notes — "a static symbol table defined from a
+    small chunk of data from the input file"), the table is built from a
+    bounded sample (default 16 KiB) rather than the whole input.
+    """
+    sample: List[bytes] = []
+    used = 0
+    for line in corpus:
+        if used >= sample_bytes:
+            break
+        encoded = line.encode("latin-1")
+        sample.append(encoded)
+        used += len(encoded) + 1
+    table: Optional[FsstSymbolTable] = None
+    for _ in range(max(1, iterations)):
+        single, pairs = _greedy_pass(sample, table)
+        gains: Counter = Counter()
+        for sym, count in single.items():
+            gains[sym] += count * len(sym)
+        for sym, count in pairs.items():
+            gains[sym] += count * len(sym)
+        best = [sym for sym, _ in gains.most_common(max_symbols)]
+        table = FsstSymbolTable(best)
+    assert table is not None
+    return table
+
+
+class FsstCodec(BaselineCodec):
+    """Record-oriented FSST compressor."""
+
+    properties = CodecProperties(
+        name="FSST",
+        readable_output=False,
+        random_access=True,
+        shared_dictionary=False,  # symbol table is built per input dataset
+    )
+
+    #: FSST codes span the full byte range (newline included), so separable
+    #: storage needs a per-record length prefix instead of a newline.
+    record_overhead = 2
+
+    def __init__(self, iterations: int = 5, sample_bytes: int = 16_384):
+        self.iterations = iterations
+        self.sample_bytes = sample_bytes
+        self.table: Optional[FsstSymbolTable] = None
+
+    def fit(self, corpus: Sequence[str]) -> "FsstCodec":
+        """Build the input-dependent symbol table from a sample of *corpus*."""
+        self.table = build_symbol_table(
+            corpus, iterations=self.iterations, sample_bytes=self.sample_bytes
+        )
+        return self
+
+    def _require_table(self) -> FsstSymbolTable:
+        if self.table is None:
+            raise RuntimeError("FsstCodec.fit must be called before compressing")
+        return self.table
+
+    def compress_record(self, record: str) -> bytes:
+        table = self._require_table()
+        data = record.encode("latin-1")
+        out = bytearray()
+        pos = 0
+        n = len(data)
+        while pos < n:
+            match = table.longest_match(data, pos)
+            if match is None:
+                out.append(ESCAPE_CODE)
+                out.append(data[pos])
+                pos += 1
+            else:
+                sym, code = match
+                out.append(code)
+                pos += len(sym)
+        return bytes(out)
+
+    def decompress_record(self, payload: bytes) -> str:
+        table = self._require_table()
+        out = bytearray()
+        i = 0
+        n = len(payload)
+        while i < n:
+            code = payload[i]
+            if code == ESCAPE_CODE:
+                if i + 1 >= n:
+                    raise ValueError("dangling FSST escape code")
+                out.append(payload[i + 1])
+                i += 2
+            else:
+                out.extend(table.symbol_for_code(code))
+                i += 1
+        return out.decode("latin-1")

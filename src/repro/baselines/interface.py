@@ -1,0 +1,103 @@
+"""Common interface for the baseline compressors compared in Figure 4.
+
+Every baseline (and ZSMILES itself, through an adapter) implements
+:class:`BaselineCodec`: train on a corpus, compress/decompress single records,
+and report whether it preserves the two properties the paper's use case needs —
+readable output and per-record random access.  The Figure 4 experiment driver
+only talks to this interface.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class CodecProperties:
+    """Qualitative properties of a codec, as discussed in Section III.
+
+    Attributes
+    ----------
+    name:
+        Display name used in reports and figures.
+    readable_output:
+        ``True`` when compressed records contain only printable text.
+    random_access:
+        ``True`` when each record can be decompressed independently (one
+        record per line / per envelope, no shared stream state).
+    shared_dictionary:
+        ``True`` when one dictionary serves any input dataset (rather than an
+        input-dependent symbol table).
+    """
+
+    name: str
+    readable_output: bool
+    random_access: bool
+    shared_dictionary: bool
+
+
+class BaselineCodec(abc.ABC):
+    """Abstract record-oriented compressor used by the tool-comparison benches."""
+
+    #: Qualitative properties; subclasses override.
+    properties: CodecProperties = CodecProperties(
+        name="abstract", readable_output=False, random_access=False, shared_dictionary=False
+    )
+
+    #: Per-record framing bytes needed to keep records separable on disk.
+    #: Newline-safe codecs (readable output, or binary that can never emit the
+    #: newline byte) need 1; codecs whose output may contain any byte value
+    #: need a length prefix (2 bytes covers screening-sized records).
+    record_overhead: int = 1
+
+    @abc.abstractmethod
+    def fit(self, corpus: Sequence[str]) -> "BaselineCodec":
+        """Train / configure the codec on *corpus* and return ``self``.
+
+        Codecs that need no training (bzip2) simply return ``self``.
+        """
+
+    @abc.abstractmethod
+    def compress_record(self, record: str) -> bytes:
+        """Compress one record to bytes."""
+
+    @abc.abstractmethod
+    def decompress_record(self, payload: bytes) -> str:
+        """Recover one record from its compressed bytes."""
+
+    # ------------------------------------------------------------------ #
+    # Corpus-level helpers shared by every implementation
+    # ------------------------------------------------------------------ #
+    def compress_corpus(self, corpus: Sequence[str]) -> List[bytes]:
+        """Compress every record of *corpus* independently."""
+        return [self.compress_record(record) for record in corpus]
+
+    def compressed_size(
+        self, corpus: Sequence[str], per_record_overhead: Optional[int] = None
+    ) -> int:
+        """Total compressed bytes for *corpus*, including per-record framing.
+
+        *per_record_overhead* accounts for the record separator (newline) or
+        length prefix needed to keep records separable; it defaults to the
+        codec's :attr:`record_overhead`.
+        """
+        overhead = self.record_overhead if per_record_overhead is None else per_record_overhead
+        return sum(len(payload) + overhead for payload in self.compress_corpus(corpus))
+
+    def compression_ratio(
+        self, corpus: Sequence[str], per_record_overhead: Optional[int] = None
+    ) -> float:
+        """Compressed size over original size for per-record compression."""
+        original = sum(len(record) + 1 for record in corpus)
+        if original == 0:
+            return 1.0
+        return self.compressed_size(corpus, per_record_overhead) / original
+
+    def roundtrip_ok(self, corpus: Sequence[str]) -> bool:
+        """Verify that every record decompresses to its original text."""
+        return all(
+            self.decompress_record(self.compress_record(record)) == record
+            for record in corpus
+        )

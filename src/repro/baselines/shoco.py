@@ -1,0 +1,134 @@
+"""SHOCO-like short-string entropy packer (Section III / Figure 4).
+
+SHOCO compresses short ASCII strings by exploiting character and successor
+frequencies: when the current character is among the most frequent ones and
+the next character is among the most frequent *successors* of that character,
+the pair is packed into a single byte; otherwise characters pass through
+verbatim.  The output is binary (packed bytes use the high bit), there is no
+per-record dictionary, and the frequency tables can be trained on a domain
+corpus — exactly the profile the paper describes for SHOCO: decent ratios on
+short strings, but neither readable output nor a SMILES-aware model.
+
+This is a from-scratch reimplementation of that scheme (two-character packs
+with trainable tables), not a byte-exact port of the original C library.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, List, Optional, Sequence
+
+from .interface import BaselineCodec, CodecProperties
+
+#: Number of lead characters that can start a pack (3 bits).
+LEAD_TABLE_SIZE = 8
+#: Number of successor characters per lead (4 bits).
+SUCCESSOR_TABLE_SIZE = 16
+#: High bit marks a packed byte; plain ASCII passes through with the bit clear.
+PACK_MARKER = 0x80
+
+
+class ShocoModel:
+    """Trained frequency model: lead characters and per-lead successor tables."""
+
+    def __init__(self, leads: Sequence[str], successors: Dict[str, List[str]]):
+        if len(leads) > LEAD_TABLE_SIZE:
+            raise ValueError(f"at most {LEAD_TABLE_SIZE} lead characters allowed")
+        self.leads: List[str] = list(leads)
+        self.successors: Dict[str, List[str]] = {
+            lead: list(succ[:SUCCESSOR_TABLE_SIZE]) for lead, succ in successors.items()
+        }
+        self._lead_index = {ch: i for i, ch in enumerate(self.leads)}
+        self._successor_index = {
+            lead: {ch: i for i, ch in enumerate(succ)}
+            for lead, succ in self.successors.items()
+        }
+
+    @classmethod
+    def train(cls, corpus: Sequence[str]) -> "ShocoModel":
+        """Build the model from character / successor frequencies of *corpus*."""
+        char_counts: Counter = Counter()
+        successor_counts: Dict[str, Counter] = defaultdict(Counter)
+        for line in corpus:
+            for a, b in zip(line, line[1:]):
+                char_counts[a] += 1
+                successor_counts[a][b] += 1
+            if line:
+                char_counts[line[-1]] += 1
+        leads = [ch for ch, _ in char_counts.most_common(LEAD_TABLE_SIZE) if ord(ch) < 0x80]
+        successors = {
+            lead: [ch for ch, _ in successor_counts[lead].most_common(SUCCESSOR_TABLE_SIZE)
+                   if ord(ch) < 0x80]
+            for lead in leads
+        }
+        return cls(leads, successors)
+
+    def pack_indices(self, a: str, b: str) -> Optional[int]:
+        """Packed byte for the character pair ``a, b``, or ``None`` if not packable."""
+        lead_idx = self._lead_index.get(a)
+        if lead_idx is None:
+            return None
+        succ_idx = self._successor_index.get(a, {}).get(b)
+        if succ_idx is None:
+            return None
+        return PACK_MARKER | (lead_idx << 4) | succ_idx
+
+    def unpack(self, byte: int) -> str:
+        """Character pair encoded by a packed byte."""
+        lead_idx = (byte >> 4) & 0x07
+        succ_idx = byte & 0x0F
+        lead = self.leads[lead_idx]
+        return lead + self.successors[lead][succ_idx]
+
+
+class ShocoCodec(BaselineCodec):
+    """Record-oriented SHOCO-style compressor with a trainable model."""
+
+    properties = CodecProperties(
+        name="SHOCO",
+        readable_output=False,
+        random_access=True,
+        shared_dictionary=True,  # the trained tables are shared across inputs
+    )
+
+    def __init__(self) -> None:
+        self.model: Optional[ShocoModel] = None
+
+    def fit(self, corpus: Sequence[str]) -> "ShocoCodec":
+        """Train the character / successor tables on *corpus*."""
+        self.model = ShocoModel.train(corpus)
+        return self
+
+    def _require_model(self) -> ShocoModel:
+        if self.model is None:
+            raise RuntimeError("ShocoCodec.fit must be called before compressing")
+        return self.model
+
+    def compress_record(self, record: str) -> bytes:
+        model = self._require_model()
+        out = bytearray()
+        i = 0
+        n = len(record)
+        while i < n:
+            if i + 1 < n:
+                packed = model.pack_indices(record[i], record[i + 1])
+                if packed is not None:
+                    out.append(packed)
+                    i += 2
+                    continue
+            ch = ord(record[i])
+            if ch >= 0x80:
+                raise ValueError("SHOCO handles ASCII input only")
+            out.append(ch)
+            i += 1
+        return bytes(out)
+
+    def decompress_record(self, payload: bytes) -> str:
+        model = self._require_model()
+        out: List[str] = []
+        for byte in payload:
+            if byte & PACK_MARKER:
+                out.append(model.unpack(byte))
+            else:
+                out.append(chr(byte))
+        return "".join(out)

@@ -1,0 +1,105 @@
+"""Reversible SMILES transform + file-wide compression baseline.
+
+Scanlon & Ridley ("A Fully Reversible Data Transform Technique Enhancing Data
+Compression of SMILES Data", reference [15] of the paper, discussed in the
+related-work section as the Gupta et al. preprocessing approach) improve the
+compressibility of SMILES files by applying a reversible character-level
+transform — multi-character tokens that the SMILES grammar treats atomically
+(``Cl``, ``Br``, common bracket atoms, frequent punctuation runs) are replaced
+by single unused ASCII characters — before running a general-purpose,
+file-wide binary compressor.
+
+The paper dismisses this family for its use case because file-wide compression
+destroys random access; it is reproduced here so the comparison can be made
+quantitatively.
+"""
+
+from __future__ import annotations
+
+import bz2
+from typing import Dict, List, Sequence
+
+from .interface import BaselineCodec, CodecProperties
+
+#: Fixed, order-sensitive transform table (longest tokens first).  Replacement
+#: characters are printable ASCII that never occur in SMILES.
+TRANSFORM_TABLE: Dict[str, str] = {
+    "C(=O)N": "!",
+    "C(=O)O": '"',
+    "c1ccccc1": "&",
+    "C(F)(F)F": "'",
+    "S(=O)(=O)": ",",
+    "[nH]": ";",
+    "[N+]": "<",
+    "[O-]": ">",
+    "(=O)": "?",
+    "Cl": "^",
+    "Br": "`",
+    "@@": "{",
+    "=O": "|",
+}
+
+#: Inverse mapping used by :func:`inverse_transform`.
+INVERSE_TABLE: Dict[str, str] = {v: k for k, v in TRANSFORM_TABLE.items()}
+
+
+def forward_transform(smiles: str) -> str:
+    """Apply the reversible token substitution to one SMILES string."""
+    out = smiles
+    for token, replacement in TRANSFORM_TABLE.items():
+        out = out.replace(token, replacement)
+    return out
+
+
+def inverse_transform(text: str) -> str:
+    """Invert :func:`forward_transform` exactly."""
+    out = text
+    # Apply inverses in reverse insertion order so nested replacements undo
+    # cleanly (e.g. '=O' must be restored after '(=O)').
+    for replacement in reversed(list(TRANSFORM_TABLE.values())):
+        out = out.replace(replacement, INVERSE_TABLE[replacement])
+    return out
+
+
+class TransformBzip2Codec(BaselineCodec):
+    """Reversible transform followed by file-wide bzip2 (no random access)."""
+
+    properties = CodecProperties(
+        name="Transform + Bzip2 (file)",
+        readable_output=False,
+        random_access=False,
+        shared_dictionary=True,
+    )
+
+    def __init__(self, compresslevel: int = 9):
+        self.compresslevel = compresslevel
+
+    def fit(self, corpus: Sequence[str]) -> "TransformBzip2Codec":
+        """The transform table is fixed; nothing to train."""
+        return self
+
+    def compress_record(self, record: str) -> bytes:
+        return bz2.compress(forward_transform(record).encode("latin-1"), self.compresslevel)
+
+    def decompress_record(self, payload: bytes) -> str:
+        return inverse_transform(bz2.decompress(payload).decode("latin-1"))
+
+    # ------------------------------------------------------------------ #
+    def compress_corpus_blob(self, corpus: Sequence[str]) -> bytes:
+        """Transform every record, join, and compress as one bzip2 stream."""
+        blob = "\n".join(forward_transform(s) for s in corpus).encode("latin-1") + b"\n"
+        return bz2.compress(blob, self.compresslevel)
+
+    def decompress_corpus_blob(self, payload: bytes) -> List[str]:
+        """Recover the original records from a corpus blob."""
+        text = bz2.decompress(payload).decode("latin-1")
+        return [inverse_transform(line) for line in text.splitlines()]
+
+    def compressed_size(self, corpus: Sequence[str], per_record_overhead: int = 0) -> int:
+        return len(self.compress_corpus_blob(corpus))
+
+    def compression_ratio(self, corpus: Sequence[str], per_record_overhead: int = 0) -> float:
+        original = sum(len(record) + 1 for record in corpus)
+        if original == 0:
+            return 1.0
+        return self.compressed_size(corpus) / original

@@ -1,0 +1,238 @@
+"""``zsmiles`` command-line interface.
+
+Mirrors the paper's ZSMILES executable plus the extra plumbing a library user
+needs:
+
+* ``zsmiles train``       — train a dictionary from a ``.smi`` file and save it as ``.dct``.
+* ``zsmiles compress``    — compress a ``.smi`` file to ``.zsmi`` with a trained dictionary.
+* ``zsmiles decompress``  — decompress a ``.zsmi`` file back to ``.smi``.
+* ``zsmiles index``       — build the random-access line index of a data file.
+* ``zsmiles get``         — fetch single records by line number through the index.
+* ``zsmiles stats``       — report the compression ratio a dictionary achieves on a file.
+* ``zsmiles generate``    — emit one of the synthetic datasets (for demos / tests).
+* ``zsmiles experiment``  — regenerate one of the paper's tables / figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .core.codec import ZSmilesCodec
+from .core.random_access import LineIndex, RandomAccessReader
+from .core.streaming import compress_file, decompress_file
+from .datasets import exscalate, gdb17, mediate, mixed
+from .datasets.io import read_smiles, write_smi
+from .dictionary.prepopulation import PrePopulation
+from .experiments import (
+    ExperimentScale,
+    run_figure4,
+    run_figure5,
+    run_summary,
+    run_table1,
+    run_table2,
+)
+
+_DATASET_GENERATORS = {
+    "gdb17": gdb17.generate,
+    "mediate": mediate.generate,
+    "exscalate": exscalate.generate,
+    "mixed": mixed.generate,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``zsmiles`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="zsmiles",
+        description="ZSMILES: dictionary-based, random-access SMILES compression.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="train a dictionary from a .smi file")
+    train.add_argument("input", type=Path, help="training .smi file")
+    train.add_argument("-o", "--output", type=Path, required=True, help="output .dct path")
+    train.add_argument("--lmin", type=int, default=2)
+    train.add_argument("--lmax", type=int, default=8)
+    train.add_argument("--max-entries", type=int, default=None)
+    train.add_argument(
+        "--prepopulation", default="smiles", choices=["smiles", "printable", "none"]
+    )
+    train.add_argument("--no-preprocessing", action="store_true",
+                       help="disable ring-identifier renumbering")
+
+    compress = sub.add_parser("compress", help="compress a .smi file to .zsmi")
+    compress.add_argument("input", type=Path)
+    compress.add_argument("-d", "--dictionary", type=Path, required=True)
+    compress.add_argument("-o", "--output", type=Path, default=None)
+    compress.add_argument("--no-preprocessing", action="store_true")
+
+    decompress = sub.add_parser("decompress", help="decompress a .zsmi file to .smi")
+    decompress.add_argument("input", type=Path)
+    decompress.add_argument("-d", "--dictionary", type=Path, required=True)
+    decompress.add_argument("-o", "--output", type=Path, default=None)
+
+    index = sub.add_parser("index", help="build a random-access line index")
+    index.add_argument("input", type=Path)
+    index.add_argument("-o", "--output", type=Path, default=None)
+
+    get = sub.add_parser("get", help="fetch records by line number (0-based)")
+    get.add_argument("input", type=Path)
+    get.add_argument("lines", type=int, nargs="+")
+    get.add_argument("-d", "--dictionary", type=Path, default=None,
+                     help="decompress records with this dictionary")
+    get.add_argument("--index", type=Path, default=None, help="pre-built .zsx index")
+
+    stats = sub.add_parser("stats", help="compression ratio of a dictionary on a file")
+    stats.add_argument("input", type=Path)
+    stats.add_argument("-d", "--dictionary", type=Path, required=True)
+    stats.add_argument("--no-preprocessing", action="store_true")
+
+    generate = sub.add_parser("generate", help="generate a synthetic dataset")
+    generate.add_argument("dataset", choices=sorted(_DATASET_GENERATORS))
+    generate.add_argument("count", type=int)
+    generate.add_argument("-o", "--output", type=Path, required=True)
+    generate.add_argument("--seed", type=int, default=0)
+
+    experiment = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    experiment.add_argument(
+        "name", choices=["table1", "table2", "figure4", "figure5", "summary"]
+    )
+    experiment.add_argument("--scale", choices=["smoke", "benchmark", "paper"],
+                            default="benchmark")
+
+    return parser
+
+
+def _load_codec(dictionary: Path, preprocessing: bool = True) -> ZSmilesCodec:
+    return ZSmilesCodec.from_dictionary(dictionary, preprocessing=preprocessing)
+
+
+def _scale_from_name(name: str) -> ExperimentScale:
+    return {
+        "smoke": ExperimentScale.smoke,
+        "benchmark": ExperimentScale.benchmark,
+        "paper": ExperimentScale.paper,
+    }[name]()
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    corpus = read_smiles(args.input)
+    codec = ZSmilesCodec.train(
+        corpus,
+        preprocessing=not args.no_preprocessing,
+        prepopulation=PrePopulation.from_name(args.prepopulation),
+        lmin=args.lmin,
+        lmax=args.lmax,
+        max_entries=args.max_entries,
+    )
+    codec.save_dictionary(args.output)
+    report = codec.training_report
+    if report is not None:
+        print(report.summary())
+    print(f"dictionary written to {args.output}")
+    return 0
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    codec = _load_codec(args.dictionary, preprocessing=not args.no_preprocessing)
+    stats = compress_file(codec, args.input, args.output)
+    print(
+        f"compressed {stats.lines} records: {stats.input_bytes} -> {stats.output_bytes} bytes "
+        f"(ratio {stats.ratio:.3f}) -> {stats.output_path}"
+    )
+    return 0
+
+
+def _cmd_decompress(args: argparse.Namespace) -> int:
+    codec = _load_codec(args.dictionary)
+    stats = decompress_file(codec, args.input, args.output)
+    print(
+        f"decompressed {stats.lines} records: {stats.input_bytes} -> {stats.output_bytes} bytes "
+        f"-> {stats.output_path}"
+    )
+    return 0
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    index = LineIndex.build(args.input)
+    output = args.output or LineIndex.default_path(args.input)
+    index.save(output)
+    print(f"indexed {index.line_count} records -> {output}")
+    return 0
+
+
+def _cmd_get(args: argparse.Namespace) -> int:
+    codec = _load_codec(args.dictionary) if args.dictionary else None
+    index = LineIndex.load(args.index) if args.index else None
+    reader = RandomAccessReader(args.input, index=index, codec=codec)
+    with reader:
+        for line_no in args.lines:
+            print(reader.line(line_no))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    codec = _load_codec(args.dictionary, preprocessing=not args.no_preprocessing)
+    corpus = read_smiles(args.input)
+    stats = codec.evaluate(corpus)
+    print(f"records:            {stats.lines}")
+    print(f"original bytes:     {stats.original_bytes}")
+    print(f"compressed bytes:   {stats.compressed_bytes}")
+    print(f"compression ratio:  {stats.ratio:.3f}")
+    print(f"escape fraction:    {stats.escape_fraction:.4f}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    generator = _DATASET_GENERATORS[args.dataset]
+    smiles = generator(args.count, seed=args.seed) if args.dataset != "mixed" else generator(
+        args.count, seed=args.seed
+    )
+    write_smi(args.output, smiles)
+    print(f"wrote {len(smiles)} {args.dataset} records to {args.output}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    scale = _scale_from_name(args.scale)
+    if args.name == "table1":
+        print(run_table1(scale=scale).to_table().to_text())
+    elif args.name == "table2":
+        print(run_table2(scale=scale).to_table().to_text())
+    elif args.name == "figure4":
+        print(run_figure4(scale=scale).to_table().to_text())
+    elif args.name == "figure5":
+        for table in run_figure5(scale=scale).to_tables():
+            print(table.to_text())
+            print()
+    else:
+        summary = run_summary(scale=scale)
+        print(summary.claims.to_table().to_text())
+    return 0
+
+
+_HANDLERS = {
+    "train": _cmd_train,
+    "compress": _cmd_compress,
+    "decompress": _cmd_decompress,
+    "index": _cmd_index,
+    "get": _cmd_get,
+    "stats": _cmd_stats,
+    "generate": _cmd_generate,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by the ``zsmiles`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    handler = _HANDLERS[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""Per-line SMILES decompressor (Section IV-D2).
+
+Decompression is a straight lookup: every symbol of the compressed record is
+replaced by its dictionary expansion; a space (the escape marker) copies the
+following character verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence
+
+from ..dictionary.codec_table import CodecTable
+from ..errors import DecompressionError
+from .escape import iter_compressed_units
+
+
+class Decompressor:
+    """Decompresses records produced by :class:`~repro.core.compressor.Compressor`."""
+
+    def __init__(self, table: CodecTable):
+        self.table = table
+
+    def decompress_line(self, compressed: str) -> str:
+        """Decode one compressed record back to its SMILES text.
+
+        Raises
+        ------
+        DecompressionError
+            If a symbol is not present in the dictionary or an escape marker
+            dangles at the end of the record.
+        """
+        if "\n" in compressed or "\r" in compressed:
+            raise DecompressionError("compressed record must not contain line terminators")
+        out: List[str] = []
+        for unit, is_escape in iter_compressed_units(compressed):
+            if is_escape:
+                out.append(unit)
+                continue
+            pattern = self.table.pattern_for(unit)
+            if pattern is None:
+                raise DecompressionError(
+                    f"symbol {unit!r} (U+{ord(unit):04X}) is not in the dictionary"
+                )
+            out.append(pattern)
+        return "".join(out)
+
+    def decompress_lines(self, lines: Iterable[str]) -> Iterator[str]:
+        """Lazily decompress an iterable of compressed records."""
+        for line in lines:
+            yield self.decompress_line(line)
+
+    def decompress_all(self, lines: Sequence[str]) -> List[str]:
+        """Eagerly decompress a sequence of compressed records."""
+        return [self.decompress_line(line) for line in lines]

@@ -1,0 +1,61 @@
+"""Escape encoding for characters missing from the dictionary (Section IV-D).
+
+A character that cannot be produced by any dictionary entry is written as the
+escape marker (a space — a character that never occurs inside a SMILES
+string) followed by the literal character.  The decompressor treats a space as
+"copy the next character verbatim".
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from ..errors import DecompressionError
+from ..smiles.alphabet import ESCAPE_CHAR
+
+
+def escape_char(ch: str) -> str:
+    """Return the escaped two-character encoding of a single character."""
+    if len(ch) != 1:
+        raise ValueError(f"escape_char expects a single character, got {ch!r}")
+    if ch in ("\n", "\r"):
+        raise ValueError("line terminators cannot be escaped inside a record")
+    return ESCAPE_CHAR + ch
+
+
+def iter_compressed_units(compressed: str) -> Iterator[Tuple[str, bool]]:
+    """Split a compressed line into ``(unit, is_escape)`` pairs.
+
+    A unit is either a single dictionary symbol (``is_escape=False``) or the
+    literal character that followed an escape marker (``is_escape=True``).
+
+    Raises
+    ------
+    DecompressionError
+        If the line ends with a dangling escape marker.
+    """
+    i = 0
+    n = len(compressed)
+    while i < n:
+        ch = compressed[i]
+        if ch == ESCAPE_CHAR:
+            if i + 1 >= n:
+                raise DecompressionError("dangling escape marker at end of record")
+            yield compressed[i + 1], True
+            i += 2
+        else:
+            yield ch, False
+            i += 1
+
+
+def escaped_length(text: str, coverable: set) -> int:
+    """Output length if every character outside *coverable* must be escaped.
+
+    Diagnostic helper used to reason about worst-case expansion: with the
+    SMILES-alphabet pre-population, ``coverable`` contains every SMILES
+    character, so the worst case equals the input length (ratio 1.0).
+    """
+    total = 0
+    for ch in text:
+        total += 1 if ch in coverable else 2
+    return total

@@ -1,0 +1,132 @@
+"""Optimal per-line compression as a shortest-path problem (Section IV-D1).
+
+The paper models one SMILES string as a graph whose nodes are character
+positions; an edge ``(i, j)`` exists when the substring ``text[i:j]`` is a
+dictionary pattern (cost 1 — one output symbol) and the fallback edge
+``(i, i+1)`` always exists (cost 2 — escape marker plus the literal
+character).  Because every edge points forward the graph is a DAG, so the
+Dijkstra search used by the paper reduces to a single backward dynamic
+programming sweep; the result (the cheapest symbol sequence) is identical.
+
+This module computes the optimal parse; the compressor turns the parse into
+output text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..dictionary.trie import Trie
+
+#: Cost of emitting one dictionary symbol.
+MATCH_COST = 1
+#: Cost of escaping one literal character (escape marker + the character).
+ESCAPE_COST = 2
+
+
+@dataclass(frozen=True)
+class ParseStep:
+    """One edge of the chosen shortest path.
+
+    Attributes
+    ----------
+    start:
+        Input position the step begins at.
+    length:
+        Number of input characters consumed.
+    symbol:
+        The dictionary symbol to emit, or ``None`` for an escaped literal.
+    pattern:
+        The matched pattern text (equals the consumed substring); for escapes
+        this is the single literal character.
+    cost:
+        Output characters this step contributes (1 for matches, 2 for escapes).
+    """
+
+    start: int
+    length: int
+    symbol: Optional[str]
+    pattern: str
+    cost: int
+
+
+def optimal_parse(text: str, trie: Trie) -> List[ParseStep]:
+    """Compute the minimum-output-length parse of *text* against *trie*.
+
+    Returns the list of steps from the beginning to the end of *text*.  The
+    empty string parses to an empty list.
+    """
+    n = len(text)
+    if n == 0:
+        return []
+    # cost[i] = minimal output length for text[i:], choice[i] = best step at i.
+    INF = float("inf")
+    cost: List[float] = [INF] * (n + 1)
+    choice: List[Optional[ParseStep]] = [None] * (n + 1)
+    cost[n] = 0.0
+    for i in range(n - 1, -1, -1):
+        # Escape edge always available.
+        best_cost = ESCAPE_COST + cost[i + 1]
+        best_step = ParseStep(
+            start=i, length=1, symbol=None, pattern=text[i], cost=ESCAPE_COST
+        )
+        for length, pattern, payload in trie.matches_at(text, i):
+            candidate = MATCH_COST + cost[i + length]
+            if candidate < best_cost:
+                best_cost = candidate
+                best_step = ParseStep(
+                    start=i,
+                    length=length,
+                    symbol=payload,
+                    pattern=pattern,
+                    cost=MATCH_COST,
+                )
+        cost[i] = best_cost
+        choice[i] = best_step
+    # Reconstruct forward.
+    steps: List[ParseStep] = []
+    pos = 0
+    while pos < n:
+        step = choice[pos]
+        assert step is not None
+        steps.append(step)
+        pos += step.length
+    return steps
+
+
+def greedy_parse(text: str, trie: Trie) -> List[ParseStep]:
+    """Longest-match greedy parse (ablation baseline for the optimal DP).
+
+    At each position the longest dictionary pattern is taken; if none matches
+    the character is escaped.  Never better than :func:`optimal_parse`, and the
+    gap between the two quantifies the value of the paper's shortest-path
+    formulation.
+    """
+    steps: List[ParseStep] = []
+    pos = 0
+    n = len(text)
+    while pos < n:
+        match = trie.longest_match_at(text, pos)
+        if match is None:
+            steps.append(
+                ParseStep(start=pos, length=1, symbol=None, pattern=text[pos], cost=ESCAPE_COST)
+            )
+            pos += 1
+        else:
+            length, pattern, payload = match
+            steps.append(
+                ParseStep(start=pos, length=length, symbol=payload, pattern=pattern, cost=MATCH_COST)
+            )
+            pos += length
+    return steps
+
+
+def parse_cost(steps: Sequence[ParseStep]) -> int:
+    """Total number of output characters the parse will produce."""
+    return sum(step.cost for step in steps)
+
+
+def parse_consumes(steps: Sequence[ParseStep]) -> int:
+    """Total number of input characters the parse consumes (must equal ``len(text)``)."""
+    return sum(step.length for step in steps)

@@ -1,0 +1,424 @@
+"""Molecular fragment library for the synthetic dataset generators.
+
+The compression experiments need corpora whose *textual* statistics resemble
+real screening libraries: recurring ring systems, functional groups and linker
+motifs are what give a dictionary compressor its 0.3-ish ratios.  Purely
+random graphs have almost no substring redundancy, so the generators assemble
+molecules from a library of common chemical fragments instead.
+
+Each fragment is a function that mutates a :class:`MolecularGraph` in place,
+optionally bonding its first new atom to an attachment atom, and returns the
+indices of the atoms it added.  Fragments keep track of plausible valence so
+the emitted SMILES passes the library's own validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..smiles.graph import Atom, BondOrder, DEFAULT_VALENCE, MolecularGraph
+
+#: Signature of a fragment builder: (graph, attachment atom or None) -> new atom indices.
+FragmentBuilder = Callable[[MolecularGraph, Optional[int]], List[int]]
+
+
+def free_valence(graph: MolecularGraph, idx: int) -> int:
+    """Remaining bonding capacity of atom *idx* under its default maximum valence."""
+    atom = graph.atoms[idx]
+    maxima = DEFAULT_VALENCE.get(atom.element, (4,))
+    # Aromatic ring membership consumes roughly three single-bond equivalents;
+    # the +1 slack mirrors the validator.
+    slack = 1 if atom.aromatic else 0
+    return max(maxima) + slack - graph.bonded_valence(idx) - max(0, -atom.charge)
+
+
+def _attach(graph: MolecularGraph, attachment: Optional[int], new_idx: int,
+            order: BondOrder = BondOrder.SINGLE) -> None:
+    if attachment is not None:
+        graph.add_bond(attachment, new_idx, order)
+
+
+# --------------------------------------------------------------------------- #
+# Ring fragments
+# --------------------------------------------------------------------------- #
+
+def _ring(
+    graph: MolecularGraph,
+    attachment: Optional[int],
+    elements: Sequence[str],
+    aromatic: bool,
+    bond_orders: Optional[Sequence[BondOrder]] = None,
+) -> List[int]:
+    """Add a ring of the given *elements*; bond the first ring atom to *attachment*."""
+    indices = [
+        graph.add_atom(Atom(element=el, aromatic=aromatic)) for el in elements
+    ]
+    n = len(indices)
+    for i in range(n):
+        a, b = indices[i], indices[(i + 1) % n]
+        if aromatic:
+            order = BondOrder.AROMATIC
+        elif bond_orders is not None:
+            order = bond_orders[i % len(bond_orders)]
+        else:
+            order = BondOrder.SINGLE
+        graph.add_bond(a, b, order)
+    _attach(graph, attachment, indices[0])
+    return indices
+
+
+def benzene(graph: MolecularGraph, attachment: Optional[int] = None) -> List[int]:
+    """Aromatic six-membered carbon ring (``c1ccccc1``)."""
+    return _ring(graph, attachment, ["C"] * 6, aromatic=True)
+
+
+def kekulized_benzene(graph: MolecularGraph, attachment: Optional[int] = None) -> List[int]:
+    """Kekulé benzene (``C1=CC=CC=C1``) — the style of the paper's examples."""
+    orders = [BondOrder.DOUBLE, BondOrder.SINGLE] * 3
+    return _ring(graph, attachment, ["C"] * 6, aromatic=False, bond_orders=orders)
+
+
+def pyridine(graph: MolecularGraph, attachment: Optional[int] = None) -> List[int]:
+    """Aromatic ring with one nitrogen (``c1ccncc1``)."""
+    return _ring(graph, attachment, ["C", "C", "C", "N", "C", "C"], aromatic=True)
+
+
+def pyrimidine(graph: MolecularGraph, attachment: Optional[int] = None) -> List[int]:
+    """Aromatic ring with two nitrogens (``c1cncnc1``)."""
+    return _ring(graph, attachment, ["C", "C", "N", "C", "N", "C"], aromatic=True)
+
+
+def furan(graph: MolecularGraph, attachment: Optional[int] = None) -> List[int]:
+    """Five-membered aromatic ring with oxygen (``c1ccoc1``)."""
+    return _ring(graph, attachment, ["C", "C", "C", "O", "C"], aromatic=True)
+
+
+def thiophene(graph: MolecularGraph, attachment: Optional[int] = None) -> List[int]:
+    """Five-membered aromatic ring with sulfur (``c1ccsc1``)."""
+    return _ring(graph, attachment, ["C", "C", "C", "S", "C"], aromatic=True)
+
+
+def pyrrole(graph: MolecularGraph, attachment: Optional[int] = None) -> List[int]:
+    """Five-membered aromatic ring with NH (written ``[nH]``)."""
+    indices = [
+        graph.add_atom(Atom(element="C", aromatic=True)),
+        graph.add_atom(Atom(element="C", aromatic=True)),
+        graph.add_atom(Atom(element="C", aromatic=True)),
+        graph.add_atom(Atom(element="N", aromatic=True, explicit_h=1, bracket=True)),
+        graph.add_atom(Atom(element="C", aromatic=True)),
+    ]
+    for i in range(5):
+        graph.add_bond(indices[i], indices[(i + 1) % 5], BondOrder.AROMATIC)
+    _attach(graph, attachment, indices[0])
+    return indices
+
+
+def cyclohexane(graph: MolecularGraph, attachment: Optional[int] = None) -> List[int]:
+    """Saturated six-membered carbon ring (``C1CCCCC1``)."""
+    return _ring(graph, attachment, ["C"] * 6, aromatic=False)
+
+
+def cyclopentane(graph: MolecularGraph, attachment: Optional[int] = None) -> List[int]:
+    """Saturated five-membered carbon ring (``C1CCCC1``)."""
+    return _ring(graph, attachment, ["C"] * 5, aromatic=False)
+
+
+def cyclopropane(graph: MolecularGraph, attachment: Optional[int] = None) -> List[int]:
+    """Three-membered carbon ring (``C1CC1``) — common in GDB-style enumerations."""
+    return _ring(graph, attachment, ["C"] * 3, aromatic=False)
+
+
+def piperidine(graph: MolecularGraph, attachment: Optional[int] = None) -> List[int]:
+    """Saturated six-membered ring with one nitrogen (``C1CCNCC1``)."""
+    return _ring(graph, attachment, ["C", "C", "C", "N", "C", "C"], aromatic=False)
+
+
+def piperazine(graph: MolecularGraph, attachment: Optional[int] = None) -> List[int]:
+    """Saturated six-membered ring with two nitrogens (``C1CNCCN1``)."""
+    return _ring(graph, attachment, ["C", "C", "N", "C", "C", "N"], aromatic=False)
+
+
+def morpholine(graph: MolecularGraph, attachment: Optional[int] = None) -> List[int]:
+    """Saturated six-membered ring with N and O (``C1COCCN1``)."""
+    return _ring(graph, attachment, ["C", "C", "O", "C", "C", "N"], aromatic=False)
+
+
+def oxetane(graph: MolecularGraph, attachment: Optional[int] = None) -> List[int]:
+    """Four-membered ring with oxygen (``C1COC1``)."""
+    return _ring(graph, attachment, ["C", "C", "O", "C"], aromatic=False)
+
+
+# --------------------------------------------------------------------------- #
+# Chain / functional-group fragments
+# --------------------------------------------------------------------------- #
+
+def methyl(graph: MolecularGraph, attachment: Optional[int] = None) -> List[int]:
+    """Single carbon (``C``)."""
+    idx = graph.add_atom(Atom(element="C"))
+    _attach(graph, attachment, idx)
+    return [idx]
+
+
+def ethyl(graph: MolecularGraph, attachment: Optional[int] = None) -> List[int]:
+    """Two-carbon chain (``CC``)."""
+    a = graph.add_atom(Atom(element="C"))
+    b = graph.add_atom(Atom(element="C"))
+    graph.add_bond(a, b)
+    _attach(graph, attachment, a)
+    return [a, b]
+
+
+def propyl_chain(graph: MolecularGraph, attachment: Optional[int] = None) -> List[int]:
+    """Three-carbon chain (``CCC``)."""
+    indices = [graph.add_atom(Atom(element="C")) for _ in range(3)]
+    graph.add_bond(indices[0], indices[1])
+    graph.add_bond(indices[1], indices[2])
+    _attach(graph, attachment, indices[0])
+    return indices
+
+
+def isopropyl(graph: MolecularGraph, attachment: Optional[int] = None) -> List[int]:
+    """Branched three-carbon group (``C(C)C``)."""
+    center = graph.add_atom(Atom(element="C"))
+    m1 = graph.add_atom(Atom(element="C"))
+    m2 = graph.add_atom(Atom(element="C"))
+    graph.add_bond(center, m1)
+    graph.add_bond(center, m2)
+    _attach(graph, attachment, center)
+    return [center, m1, m2]
+
+
+def hydroxyl(graph: MolecularGraph, attachment: Optional[int] = None) -> List[int]:
+    """Hydroxyl oxygen (``O``)."""
+    idx = graph.add_atom(Atom(element="O"))
+    _attach(graph, attachment, idx)
+    return [idx]
+
+
+def methoxy(graph: MolecularGraph, attachment: Optional[int] = None) -> List[int]:
+    """Methoxy group (``OC``)."""
+    o = graph.add_atom(Atom(element="O"))
+    c = graph.add_atom(Atom(element="C"))
+    graph.add_bond(o, c)
+    _attach(graph, attachment, o)
+    return [o, c]
+
+
+def amine(graph: MolecularGraph, attachment: Optional[int] = None) -> List[int]:
+    """Primary amine nitrogen (``N``)."""
+    idx = graph.add_atom(Atom(element="N"))
+    _attach(graph, attachment, idx)
+    return [idx]
+
+
+def halogen(
+    graph: MolecularGraph, attachment: Optional[int] = None, element: str = "F"
+) -> List[int]:
+    """Halogen substituent (defaults to fluorine)."""
+    idx = graph.add_atom(Atom(element=element))
+    _attach(graph, attachment, idx)
+    return [idx]
+
+
+def fluoro(graph: MolecularGraph, attachment: Optional[int] = None) -> List[int]:
+    """Fluorine substituent."""
+    return halogen(graph, attachment, "F")
+
+
+def chloro(graph: MolecularGraph, attachment: Optional[int] = None) -> List[int]:
+    """Chlorine substituent."""
+    return halogen(graph, attachment, "Cl")
+
+
+def bromo(graph: MolecularGraph, attachment: Optional[int] = None) -> List[int]:
+    """Bromine substituent."""
+    return halogen(graph, attachment, "Br")
+
+
+def carbonyl(graph: MolecularGraph, attachment: Optional[int] = None) -> List[int]:
+    """Carbonyl group ``C(=O)`` attached through the carbon."""
+    c = graph.add_atom(Atom(element="C"))
+    o = graph.add_atom(Atom(element="O"))
+    graph.add_bond(c, o, BondOrder.DOUBLE)
+    _attach(graph, attachment, c)
+    return [c, o]
+
+
+def carboxylic_acid(graph: MolecularGraph, attachment: Optional[int] = None) -> List[int]:
+    """Carboxylic acid ``C(=O)O``."""
+    c = graph.add_atom(Atom(element="C"))
+    o1 = graph.add_atom(Atom(element="O"))
+    o2 = graph.add_atom(Atom(element="O"))
+    graph.add_bond(c, o1, BondOrder.DOUBLE)
+    graph.add_bond(c, o2, BondOrder.SINGLE)
+    _attach(graph, attachment, c)
+    return [c, o1, o2]
+
+
+def ester(graph: MolecularGraph, attachment: Optional[int] = None) -> List[int]:
+    """Methyl ester ``C(=O)OC``."""
+    c = graph.add_atom(Atom(element="C"))
+    o1 = graph.add_atom(Atom(element="O"))
+    o2 = graph.add_atom(Atom(element="O"))
+    me = graph.add_atom(Atom(element="C"))
+    graph.add_bond(c, o1, BondOrder.DOUBLE)
+    graph.add_bond(c, o2, BondOrder.SINGLE)
+    graph.add_bond(o2, me, BondOrder.SINGLE)
+    _attach(graph, attachment, c)
+    return [c, o1, o2, me]
+
+
+def amide(graph: MolecularGraph, attachment: Optional[int] = None) -> List[int]:
+    """Amide group ``C(=O)N``."""
+    c = graph.add_atom(Atom(element="C"))
+    o = graph.add_atom(Atom(element="O"))
+    n = graph.add_atom(Atom(element="N"))
+    graph.add_bond(c, o, BondOrder.DOUBLE)
+    graph.add_bond(c, n, BondOrder.SINGLE)
+    _attach(graph, attachment, c)
+    return [c, o, n]
+
+
+def sulfonamide(graph: MolecularGraph, attachment: Optional[int] = None) -> List[int]:
+    """Sulfonamide group ``S(=O)(=O)N``."""
+    s = graph.add_atom(Atom(element="S"))
+    o1 = graph.add_atom(Atom(element="O"))
+    o2 = graph.add_atom(Atom(element="O"))
+    n = graph.add_atom(Atom(element="N"))
+    graph.add_bond(s, o1, BondOrder.DOUBLE)
+    graph.add_bond(s, o2, BondOrder.DOUBLE)
+    graph.add_bond(s, n, BondOrder.SINGLE)
+    _attach(graph, attachment, s)
+    return [s, o1, o2, n]
+
+
+def nitro(graph: MolecularGraph, attachment: Optional[int] = None) -> List[int]:
+    """Nitro group written in its charge-separated form ``[N+](=O)[O-]``."""
+    n = graph.add_atom(Atom(element="N", charge=1, bracket=True))
+    o1 = graph.add_atom(Atom(element="O"))
+    o2 = graph.add_atom(Atom(element="O", charge=-1, bracket=True))
+    graph.add_bond(n, o1, BondOrder.DOUBLE)
+    graph.add_bond(n, o2, BondOrder.SINGLE)
+    _attach(graph, attachment, n)
+    return [n, o1, o2]
+
+
+def trifluoromethyl(graph: MolecularGraph, attachment: Optional[int] = None) -> List[int]:
+    """CF3 group ``C(F)(F)F``."""
+    c = graph.add_atom(Atom(element="C"))
+    fs = [graph.add_atom(Atom(element="F")) for _ in range(3)]
+    for f in fs:
+        graph.add_bond(c, f)
+    _attach(graph, attachment, c)
+    return [c, *fs]
+
+
+def nitrile(graph: MolecularGraph, attachment: Optional[int] = None) -> List[int]:
+    """Nitrile group ``C#N``."""
+    c = graph.add_atom(Atom(element="C"))
+    n = graph.add_atom(Atom(element="N"))
+    graph.add_bond(c, n, BondOrder.TRIPLE)
+    _attach(graph, attachment, c)
+    return [c, n]
+
+
+def alkene_linker(graph: MolecularGraph, attachment: Optional[int] = None) -> List[int]:
+    """Two-carbon double-bond linker ``C=C``."""
+    a = graph.add_atom(Atom(element="C"))
+    b = graph.add_atom(Atom(element="C"))
+    graph.add_bond(a, b, BondOrder.DOUBLE)
+    _attach(graph, attachment, a)
+    return [a, b]
+
+
+def ether_linker(graph: MolecularGraph, attachment: Optional[int] = None) -> List[int]:
+    """Ether oxygen followed by a carbon ``OC`` (same shape as methoxy but named as linker)."""
+    return methoxy(graph, attachment)
+
+
+def chiral_carbon(graph: MolecularGraph, attachment: Optional[int] = None) -> List[int]:
+    """A tetrahedral stereocentre written as ``[C@H]`` or ``[C@@H]`` with a methyl arm."""
+    c = graph.add_atom(Atom(element="C", chirality="@", explicit_h=1, bracket=True))
+    m = graph.add_atom(Atom(element="C"))
+    graph.add_bond(c, m)
+    _attach(graph, attachment, c)
+    return [c, m]
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class FragmentSpec:
+    """A named fragment with its builder, size and category."""
+
+    name: str
+    builder: FragmentBuilder
+    heavy_atoms: int
+    category: str  # "ring", "chain", "decoration"
+
+
+#: Every fragment the generators can draw from, keyed by name.
+FRAGMENT_LIBRARY: Dict[str, FragmentSpec] = {
+    spec.name: spec
+    for spec in [
+        FragmentSpec("benzene", benzene, 6, "ring"),
+        FragmentSpec("kekulized_benzene", kekulized_benzene, 6, "ring"),
+        FragmentSpec("pyridine", pyridine, 6, "ring"),
+        FragmentSpec("pyrimidine", pyrimidine, 6, "ring"),
+        FragmentSpec("furan", furan, 5, "ring"),
+        FragmentSpec("thiophene", thiophene, 5, "ring"),
+        FragmentSpec("pyrrole", pyrrole, 5, "ring"),
+        FragmentSpec("cyclohexane", cyclohexane, 6, "ring"),
+        FragmentSpec("cyclopentane", cyclopentane, 5, "ring"),
+        FragmentSpec("cyclopropane", cyclopropane, 3, "ring"),
+        FragmentSpec("piperidine", piperidine, 6, "ring"),
+        FragmentSpec("piperazine", piperazine, 6, "ring"),
+        FragmentSpec("morpholine", morpholine, 6, "ring"),
+        FragmentSpec("oxetane", oxetane, 4, "ring"),
+        FragmentSpec("methyl", methyl, 1, "chain"),
+        FragmentSpec("ethyl", ethyl, 2, "chain"),
+        FragmentSpec("propyl_chain", propyl_chain, 3, "chain"),
+        FragmentSpec("isopropyl", isopropyl, 3, "chain"),
+        FragmentSpec("alkene_linker", alkene_linker, 2, "chain"),
+        FragmentSpec("ether_linker", ether_linker, 2, "chain"),
+        FragmentSpec("chiral_carbon", chiral_carbon, 2, "chain"),
+        FragmentSpec("hydroxyl", hydroxyl, 1, "decoration"),
+        FragmentSpec("methoxy", methoxy, 2, "decoration"),
+        FragmentSpec("amine", amine, 1, "decoration"),
+        FragmentSpec("fluoro", fluoro, 1, "decoration"),
+        FragmentSpec("chloro", chloro, 1, "decoration"),
+        FragmentSpec("bromo", bromo, 1, "decoration"),
+        FragmentSpec("carbonyl", carbonyl, 2, "decoration"),
+        FragmentSpec("carboxylic_acid", carboxylic_acid, 3, "decoration"),
+        FragmentSpec("ester", ester, 4, "decoration"),
+        FragmentSpec("amide", amide, 3, "decoration"),
+        FragmentSpec("sulfonamide", sulfonamide, 4, "decoration"),
+        FragmentSpec("nitro", nitro, 3, "decoration"),
+        FragmentSpec("trifluoromethyl", trifluoromethyl, 4, "decoration"),
+        FragmentSpec("nitrile", nitrile, 2, "decoration"),
+    ]
+}
+
+
+def fragment_names(category: Optional[str] = None) -> List[str]:
+    """Names of all fragments, optionally filtered by category."""
+    return [
+        name
+        for name, spec in FRAGMENT_LIBRARY.items()
+        if category is None or spec.category == category
+    ]
+
+
+def get_fragment(name: str) -> FragmentSpec:
+    """Look up a fragment by name.
+
+    Raises
+    ------
+    KeyError
+        If no fragment with that name exists.
+    """
+    return FRAGMENT_LIBRARY[name]

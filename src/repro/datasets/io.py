@@ -1,0 +1,134 @@
+""".smi file input/output.
+
+A ``.smi`` file stores one molecule per line: the SMILES string, optionally
+followed by whitespace and a molecule name / identifier.  Screening output
+files additionally carry a score column.  These helpers read and write both
+flavours while preserving the one-record-per-line contract that the ZSMILES
+random-access guarantee depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..errors import DatasetError
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class SmiRecord:
+    """One parsed ``.smi`` line.
+
+    Attributes
+    ----------
+    smiles:
+        The SMILES column (always present).
+    name:
+        The optional molecule identifier column.
+    score:
+        The optional numeric score column (screening outputs).
+    """
+
+    smiles: str
+    name: Optional[str] = None
+    score: Optional[float] = None
+
+    def to_line(self) -> str:
+        """Render the record back to a ``.smi`` line."""
+        parts: List[str] = [self.smiles]
+        if self.name is not None:
+            parts.append(self.name)
+        if self.score is not None:
+            parts.append(f"{self.score:.4f}")
+        return "\t".join(parts)
+
+
+def parse_smi_line(line: str) -> SmiRecord:
+    """Parse one ``.smi`` line into a :class:`SmiRecord`.
+
+    The last column is treated as a score when it parses as a float and at
+    least three columns are present; a second column is otherwise the name.
+    """
+    stripped = line.strip()
+    if not stripped:
+        raise DatasetError("empty .smi line")
+    parts = stripped.split()
+    smiles = parts[0]
+    name: Optional[str] = None
+    score: Optional[float] = None
+    if len(parts) >= 3:
+        try:
+            score = float(parts[-1])
+            name = " ".join(parts[1:-1])
+        except ValueError:
+            name = " ".join(parts[1:])
+    elif len(parts) == 2:
+        try:
+            score = float(parts[1])
+        except ValueError:
+            name = parts[1]
+    return SmiRecord(smiles=smiles, name=name, score=score)
+
+
+def read_smi(path: PathLike, smiles_only: bool = False) -> List[SmiRecord]:
+    """Read a ``.smi`` file eagerly.
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    smiles_only:
+        When ``True``, name/score columns are dropped (slightly faster and
+        what the compression experiments need).
+    """
+    return list(iter_smi(path, smiles_only=smiles_only))
+
+
+def iter_smi(path: PathLike, smiles_only: bool = False) -> Iterator[SmiRecord]:
+    """Lazily iterate over the records of a ``.smi`` file (blank lines skipped)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for raw in handle:
+            line = raw.rstrip("\r\n")
+            if not line.strip():
+                continue
+            if smiles_only:
+                yield SmiRecord(smiles=line.split()[0])
+            else:
+                yield parse_smi_line(line)
+
+
+def read_smiles(path: PathLike) -> List[str]:
+    """Read only the SMILES column of a ``.smi`` file."""
+    return [record.smiles for record in iter_smi(path, smiles_only=True)]
+
+
+def write_smi(path: PathLike, records: Iterable[Union[str, SmiRecord, Tuple[str, float]]]) -> int:
+    """Write records to a ``.smi`` file; returns the number of lines written.
+
+    Accepts plain SMILES strings, :class:`SmiRecord` objects or
+    ``(smiles, score)`` tuples.
+    """
+    count = 0
+    with open(path, "w", encoding="utf-8", newline="\n") as handle:
+        for item in records:
+            if isinstance(item, SmiRecord):
+                line = item.to_line()
+            elif isinstance(item, tuple):
+                smiles, score = item
+                line = SmiRecord(smiles=smiles, score=float(score)).to_line()
+            else:
+                line = item
+            if "\n" in line or "\r" in line:
+                raise DatasetError("a .smi record must not contain line terminators")
+            handle.write(line)
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def file_size_bytes(path: PathLike) -> int:
+    """Size of *path* in bytes (convenience for compression-ratio bookkeeping)."""
+    return Path(path).stat().st_size

@@ -1,0 +1,66 @@
+"""MIXED synthetic dataset.
+
+The paper builds its MIXED training set by taking the first million ligands of
+each of GDB-17, MEDIATE and EXSCALATE (Section V-A) and uses it both to train
+the shared dictionary and as the evaluation corpus for Table I, Figure 4 and
+Figure 5.  This module mirrors that construction by interleaving equal shares
+of the three synthetic generators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from . import exscalate, gdb17, mediate
+
+#: Names of the constituent datasets, in the paper's order.
+COMPONENTS = ("GDB-17", "MEDIATE", "EXSCALATE")
+
+
+def generate(count: int, seed: int = 0) -> List[str]:
+    """Generate a MIXED corpus of *count* SMILES (equal thirds, interleaved).
+
+    Interleaving (rather than concatenating) keeps any prefix of the corpus
+    representative of all three sources, the same property the paper relies on
+    when it samples 50 000 random SMILES from MIXED for Table I.
+    """
+    per_source = count // 3
+    remainder = count - 3 * per_source
+    parts = [
+        gdb17.generate(per_source + (1 if remainder > 0 else 0), seed=gdb17.DEFAULT_SEED + seed),
+        mediate.generate(per_source + (1 if remainder > 1 else 0), seed=mediate.DEFAULT_SEED + seed),
+        exscalate.generate(per_source, seed=exscalate.DEFAULT_SEED + seed),
+    ]
+    mixed: List[str] = []
+    longest = max(len(p) for p in parts) if parts else 0
+    for i in range(longest):
+        for part in parts:
+            if i < len(part):
+                mixed.append(part[i])
+    return mixed[:count]
+
+
+def generate_components(count_per_source: int, seed: int = 0) -> Dict[str, List[str]]:
+    """Generate each component dataset separately (used by Table II).
+
+    Returns a mapping from dataset name to its corpus, plus the ``"MIXED"``
+    interleaving of the three.
+    """
+    components = {
+        "GDB-17": gdb17.generate(count_per_source, seed=gdb17.DEFAULT_SEED + seed),
+        "MEDIATE": mediate.generate(count_per_source, seed=mediate.DEFAULT_SEED + seed),
+        "EXSCALATE": exscalate.generate(count_per_source, seed=exscalate.DEFAULT_SEED + seed),
+    }
+    components["MIXED"] = interleave(list(components.values()))[: count_per_source]
+    return components
+
+
+def interleave(parts: Sequence[Sequence[str]]) -> List[str]:
+    """Round-robin interleave several corpora into one list."""
+    mixed: List[str] = []
+    longest = max((len(p) for p in parts), default=0)
+    for i in range(longest):
+        for part in parts:
+            if i < len(part):
+                mixed.append(part[i])
+    return mixed

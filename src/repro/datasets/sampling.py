@@ -1,0 +1,70 @@
+"""Sampling utilities for SMILES corpora.
+
+The paper's Table I trains dictionaries on "a sample of random 50000 SMILES
+from the mixed dataset"; domain experts likewise sample subsets of multi-TB
+libraries.  These helpers provide seeded random samples, reservoir sampling
+over streams of unknown length, and train/test splits.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+from ..errors import DatasetError
+
+T = TypeVar("T")
+
+
+def random_sample(items: Sequence[T], count: int, seed: int = 0) -> List[T]:
+    """Sample *count* items without replacement (all items when count >= len)."""
+    if count < 0:
+        raise DatasetError("sample count must be non-negative")
+    if count >= len(items):
+        return list(items)
+    rng = np.random.default_rng(seed)
+    indices = rng.choice(len(items), size=count, replace=False)
+    return [items[int(i)] for i in indices]
+
+
+def reservoir_sample(stream: Iterable[T], count: int, seed: int = 0) -> List[T]:
+    """Uniform sample of *count* items from a stream of unknown length.
+
+    Classic Algorithm R; suitable for sampling training SMILES out of files
+    too large to hold in memory.
+    """
+    if count < 0:
+        raise DatasetError("sample count must be non-negative")
+    rng = np.random.default_rng(seed)
+    reservoir: List[T] = []
+    for index, item in enumerate(stream):
+        if index < count:
+            reservoir.append(item)
+        else:
+            j = int(rng.integers(0, index + 1))
+            if j < count:
+                reservoir[j] = item
+    return reservoir
+
+
+def train_test_split(
+    items: Sequence[T], train_fraction: float = 0.5, seed: int = 0
+) -> Tuple[List[T], List[T]]:
+    """Shuffle and split *items* into (train, test) partitions."""
+    if not 0.0 <= train_fraction <= 1.0:
+        raise DatasetError("train_fraction must be within [0, 1]")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(items))
+    cut = int(round(train_fraction * len(items)))
+    train = [items[int(i)] for i in order[:cut]]
+    test = [items[int(i)] for i in order[cut:]]
+    return train, test
+
+
+def chunked(items: Sequence[T], chunk_size: int) -> Iterator[List[T]]:
+    """Yield consecutive chunks of *chunk_size* items (last chunk may be short)."""
+    if chunk_size <= 0:
+        raise DatasetError("chunk_size must be positive")
+    for start in range(0, len(items), chunk_size):
+        yield list(items[start : start + chunk_size])

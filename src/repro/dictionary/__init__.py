@@ -1,0 +1,38 @@
+"""Dictionary construction (Sections IV-B and IV-C of the paper)."""
+
+from .analysis import DictionaryAnalysis, EntryUsage, analyse_dictionary, compare_dictionaries
+from .codec_table import CodecTable, DictionaryEntry
+from .generator import DictionaryConfig, DictionaryGenerator, TrainingReport, train_dictionary
+from .prepopulation import PrePopulation, available_symbols, capacity, seed_entries, seeded_characters
+from .ranking import RankTable, RankedPattern, count_substrings, pattern_overlap, rank_value
+from .serialization import dumps, load, loads, save
+from .trie import Trie, TrieNode
+
+__all__ = [
+    "DictionaryAnalysis",
+    "EntryUsage",
+    "analyse_dictionary",
+    "compare_dictionaries",
+    "CodecTable",
+    "DictionaryEntry",
+    "DictionaryConfig",
+    "DictionaryGenerator",
+    "TrainingReport",
+    "train_dictionary",
+    "PrePopulation",
+    "available_symbols",
+    "capacity",
+    "seed_entries",
+    "seeded_characters",
+    "RankTable",
+    "RankedPattern",
+    "count_substrings",
+    "pattern_overlap",
+    "rank_value",
+    "dumps",
+    "load",
+    "loads",
+    "save",
+    "Trie",
+    "TrieNode",
+]

@@ -1,0 +1,174 @@
+"""Dictionary quality analysis.
+
+The paper evaluates dictionaries only through the end-to-end compression
+ratio; when tuning a shared dictionary in practice it is just as useful to
+know *why* a dictionary performs the way it does: how much of the corpus its
+entries cover, which entries actually get used by the optimal parse, and how
+much each entry contributes to the savings.  This module computes those
+diagnostics; the CLI's ``stats`` command and the ablation notebooks build on
+it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.shortest_path import optimal_parse
+from .codec_table import CodecTable
+
+
+@dataclass
+class EntryUsage:
+    """Usage statistics of one dictionary entry over an analysed corpus.
+
+    Attributes
+    ----------
+    pattern:
+        The entry's expansion text.
+    symbol:
+        The entry's output symbol.
+    uses:
+        How many times the optimal parse emitted this entry.
+    characters_covered:
+        Total input characters those uses consumed.
+    characters_saved:
+        Input characters minus output characters attributable to the entry
+        (``uses × (len(pattern) − 1)``).
+    seeded:
+        Whether the entry comes from pre-population.
+    """
+
+    pattern: str
+    symbol: str
+    uses: int = 0
+    characters_covered: int = 0
+    characters_saved: int = 0
+    seeded: bool = False
+
+
+@dataclass
+class DictionaryAnalysis:
+    """Corpus-level dictionary diagnostics produced by :func:`analyse_dictionary`.
+
+    Attributes
+    ----------
+    total_input_chars:
+        Characters of the analysed corpus (records only, no terminators).
+    total_output_chars:
+        Characters of the optimal-parse output.
+    escape_units:
+        Number of escaped literals the parse needed.
+    coverage:
+        Fraction of input characters consumed by dictionary matches (seeded or
+        trained) rather than escapes.
+    trained_coverage:
+        Fraction of input characters consumed by *trained* (multi-character)
+        entries — the part of the compression the training actually bought.
+    usage:
+        Per-entry statistics, sorted by characters saved (descending).
+    unused_trained_entries:
+        Trained patterns that the parse never used on this corpus; candidates
+        for retraining with a different corpus or a larger ``Lmax``.
+    """
+
+    total_input_chars: int = 0
+    total_output_chars: int = 0
+    escape_units: int = 0
+    coverage: float = 0.0
+    trained_coverage: float = 0.0
+    usage: List[EntryUsage] = field(default_factory=list)
+    unused_trained_entries: List[str] = field(default_factory=list)
+
+    @property
+    def ratio(self) -> float:
+        """Output characters over input characters (no line terminators)."""
+        if self.total_input_chars == 0:
+            return 1.0
+        return self.total_output_chars / self.total_input_chars
+
+    def top_entries(self, count: int = 10) -> List[EntryUsage]:
+        """The *count* entries contributing the most savings."""
+        return self.usage[:count]
+
+
+def analyse_dictionary(
+    table: CodecTable,
+    corpus: Sequence[str],
+    limit: Optional[int] = None,
+) -> DictionaryAnalysis:
+    """Run the optimal parse over *corpus* and collect per-entry usage statistics.
+
+    Parameters
+    ----------
+    table:
+        The dictionary to analyse.
+    corpus:
+        Records to parse (already preprocessed if the codec would preprocess).
+    limit:
+        Analyse only the first *limit* records (``None`` = all).
+    """
+    records = list(corpus if limit is None else corpus[:limit])
+    uses: Counter = Counter()
+    covered: Counter = Counter()
+    analysis = DictionaryAnalysis()
+
+    for record in records:
+        steps = optimal_parse(record, table.trie)
+        analysis.total_input_chars += len(record)
+        for step in steps:
+            analysis.total_output_chars += step.cost
+            if step.symbol is None:
+                analysis.escape_units += 1
+            else:
+                uses[step.pattern] += 1
+                covered[step.pattern] += step.length
+
+    entry_usage: List[EntryUsage] = []
+    matched_chars = 0
+    trained_chars = 0
+    for entry in table.entries:
+        used = uses.get(entry.pattern, 0)
+        chars = covered.get(entry.pattern, 0)
+        matched_chars += chars
+        if not entry.seeded:
+            trained_chars += chars
+        entry_usage.append(
+            EntryUsage(
+                pattern=entry.pattern,
+                symbol=entry.symbol,
+                uses=used,
+                characters_covered=chars,
+                characters_saved=used * (len(entry.pattern) - 1),
+                seeded=entry.seeded,
+            )
+        )
+    entry_usage.sort(key=lambda u: (-u.characters_saved, -u.uses, u.pattern))
+
+    analysis.usage = entry_usage
+    if analysis.total_input_chars:
+        analysis.coverage = matched_chars / analysis.total_input_chars
+        analysis.trained_coverage = trained_chars / analysis.total_input_chars
+    analysis.unused_trained_entries = [
+        u.pattern for u in entry_usage if not u.seeded and u.uses == 0
+    ]
+    return analysis
+
+
+def compare_dictionaries(
+    tables: Dict[str, CodecTable],
+    corpus: Sequence[str],
+    limit: Optional[int] = None,
+) -> List[Tuple[str, float, float]]:
+    """Compare several dictionaries on one corpus.
+
+    Returns ``(name, ratio, trained_coverage)`` triples sorted by ratio —
+    a compact way to see the Table II trade-off at the diagnostics level.
+    """
+    results: List[Tuple[str, float, float]] = []
+    for name, table in tables.items():
+        analysis = analyse_dictionary(table, corpus, limit=limit)
+        results.append((name, analysis.ratio, analysis.trained_coverage))
+    results.sort(key=lambda item: item[1])
+    return results

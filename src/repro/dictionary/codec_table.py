@@ -1,0 +1,225 @@
+"""The compression dictionary ``D``: symbol ↔ pattern codec table.
+
+A :class:`CodecTable` is the immutable artefact produced by dictionary
+training (Figure 2 of the paper) and consumed by both the compressor and the
+decompressor (Figure 3).  It maps single-character *symbols* to multi- or
+single-character *patterns*:
+
+* pre-populated entries map a character to itself (Section IV-B),
+* trained entries map an unused code point to a recurrent SMILES substring
+  (Section IV-C).
+
+The table also exposes the trie used for pattern matching and the metadata
+needed to make ``.dct`` files self-describing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import DictionaryError, SymbolSpaceExhaustedError
+from ..smiles.alphabet import ESCAPE_CHAR
+from .prepopulation import PrePopulation, available_symbols, seed_entries
+from .trie import Trie
+
+
+@dataclass(frozen=True)
+class DictionaryEntry:
+    """One (symbol, pattern) association.
+
+    Attributes
+    ----------
+    symbol:
+        The single character written to the compressed stream.
+    pattern:
+        The substring it expands to.
+    seeded:
+        ``True`` for pre-populated identity entries, ``False`` for trained ones.
+    rank:
+        The rank value the pattern had when it was selected by Algorithm 1
+        (``0.0`` for seeded entries); kept for diagnostics and reports.
+    """
+
+    symbol: str
+    pattern: str
+    seeded: bool = False
+    rank: float = 0.0
+
+
+class CodecTable:
+    """Bidirectional symbol ↔ pattern mapping with the matching trie."""
+
+    def __init__(
+        self,
+        entries: Iterable[DictionaryEntry],
+        prepopulation: PrePopulation = PrePopulation.SMILES_ALPHABET,
+        metadata: Optional[Mapping[str, str]] = None,
+    ):
+        self._entries: List[DictionaryEntry] = list(entries)
+        self._prepopulation = prepopulation
+        self._metadata: Dict[str, str] = dict(metadata or {})
+        self._by_symbol: Dict[str, DictionaryEntry] = {}
+        self._by_pattern: Dict[str, DictionaryEntry] = {}
+        for entry in self._entries:
+            self._validate_entry(entry)
+            self._by_symbol[entry.symbol] = entry
+            self._by_pattern[entry.pattern] = entry
+        self._trie = Trie((e.pattern, e.symbol) for e in self._entries)
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    def _validate_entry(self, entry: DictionaryEntry) -> None:
+        if len(entry.symbol) != 1:
+            raise DictionaryError(f"symbol must be one character, got {entry.symbol!r}")
+        if entry.symbol == ESCAPE_CHAR:
+            raise DictionaryError("the escape character cannot be a dictionary symbol")
+        if entry.symbol in ("\n", "\r"):
+            raise DictionaryError("line terminators cannot be dictionary symbols")
+        if not entry.pattern:
+            raise DictionaryError("empty pattern")
+        if ESCAPE_CHAR in entry.pattern or "\n" in entry.pattern or "\r" in entry.pattern:
+            raise DictionaryError(
+                f"pattern {entry.pattern!r} contains a reserved character"
+            )
+        if entry.symbol in self._by_symbol:
+            raise DictionaryError(f"duplicate symbol {entry.symbol!r}")
+        if entry.pattern in self._by_pattern:
+            raise DictionaryError(f"duplicate pattern {entry.pattern!r}")
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_patterns(
+        cls,
+        patterns: Sequence[str],
+        prepopulation: PrePopulation = PrePopulation.SMILES_ALPHABET,
+        ranks: Optional[Sequence[float]] = None,
+        metadata: Optional[Mapping[str, str]] = None,
+    ) -> "CodecTable":
+        """Build a table from trained *patterns* plus the pre-population seed.
+
+        Symbols are assigned to patterns in order: the pool returned by
+        :func:`repro.dictionary.prepopulation.available_symbols` is consumed
+        front to back, so earlier (higher-rank) patterns get the "nicer"
+        printable code points.
+
+        Raises
+        ------
+        SymbolSpaceExhaustedError
+            If more patterns are supplied than symbols exist under the policy.
+        """
+        seeds = seed_entries(prepopulation)
+        entries: List[DictionaryEntry] = [
+            DictionaryEntry(symbol=ch, pattern=ch, seeded=True) for ch in seeds
+        ]
+        pool = available_symbols(prepopulation)
+        trained = [p for p in patterns if p not in seeds]
+        if len(trained) > len(pool):
+            raise SymbolSpaceExhaustedError(
+                f"{len(trained)} patterns requested but only {len(pool)} symbols "
+                f"are available under policy {prepopulation.value!r}"
+            )
+        rank_list = list(ranks) if ranks is not None else [0.0] * len(trained)
+        if len(rank_list) < len(trained):
+            rank_list.extend([0.0] * (len(trained) - len(rank_list)))
+        for symbol, pattern, rank in zip(pool, trained, rank_list):
+            entries.append(
+                DictionaryEntry(symbol=symbol, pattern=pattern, seeded=False, rank=rank)
+            )
+        return cls(entries, prepopulation=prepopulation, metadata=metadata)
+
+    @classmethod
+    def seeded_only(cls, prepopulation: PrePopulation) -> "CodecTable":
+        """A table containing only the pre-population identity entries."""
+        return cls.from_patterns([], prepopulation=prepopulation)
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def pattern_for(self, symbol: str) -> Optional[str]:
+        """Expansion of *symbol*, or ``None`` if the symbol is not in the table."""
+        entry = self._by_symbol.get(symbol)
+        return entry.pattern if entry else None
+
+    def symbol_for(self, pattern: str) -> Optional[str]:
+        """Symbol encoding *pattern*, or ``None`` if the pattern is not in the table."""
+        entry = self._by_pattern.get(pattern)
+        return entry.symbol if entry else None
+
+    def __contains__(self, pattern: str) -> bool:
+        return pattern in self._by_pattern
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[DictionaryEntry]:
+        return iter(self._entries)
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+    @property
+    def entries(self) -> List[DictionaryEntry]:
+        """All entries (seeded first, then trained in selection order)."""
+        return list(self._entries)
+
+    @property
+    def trained_entries(self) -> List[DictionaryEntry]:
+        """Only the entries produced by Algorithm 1."""
+        return [e for e in self._entries if not e.seeded]
+
+    @property
+    def seeded_entries(self) -> List[DictionaryEntry]:
+        """Only the pre-population identity entries."""
+        return [e for e in self._entries if e.seeded]
+
+    @property
+    def prepopulation(self) -> PrePopulation:
+        """The pre-population policy this table was built with."""
+        return self._prepopulation
+
+    @property
+    def metadata(self) -> Dict[str, str]:
+        """Free-form provenance metadata (training dataset, parameters...)."""
+        return dict(self._metadata)
+
+    @property
+    def trie(self) -> Trie:
+        """Trie over every pattern; payloads are the symbols."""
+        return self._trie
+
+    @property
+    def max_pattern_length(self) -> int:
+        """Length of the longest pattern (the effective ``Lmax``)."""
+        return self._trie.max_length
+
+    def symbols(self) -> List[str]:
+        """All symbols in entry order."""
+        return [e.symbol for e in self._entries]
+
+    def patterns(self) -> List[str]:
+        """All patterns in entry order."""
+        return [e.pattern for e in self._entries]
+
+    def stats(self) -> Dict[str, float]:
+        """Summary statistics used by experiment reports."""
+        trained = self.trained_entries
+        return {
+            "total_entries": float(len(self._entries)),
+            "seeded_entries": float(len(self.seeded_entries)),
+            "trained_entries": float(len(trained)),
+            "max_pattern_length": float(self.max_pattern_length),
+            "mean_trained_length": (
+                sum(len(e.pattern) for e in trained) / len(trained) if trained else 0.0
+            ),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CodecTable(entries={len(self._entries)}, "
+            f"trained={len(self.trained_entries)}, "
+            f"prepopulation={self._prepopulation.value})"
+        )

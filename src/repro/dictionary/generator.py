@@ -1,0 +1,190 @@
+"""Dictionary generation — Algorithm 1 of the paper (Section IV-C).
+
+The generator consumes a (optionally preprocessed) training corpus of SMILES
+strings and produces a :class:`~repro.dictionary.codec_table.CodecTable`:
+
+1. count the occurrences of every substring of length ``[Lmin, Lmax]``
+   (Lines 3–7),
+2. seed the dictionary according to the pre-population policy (Section IV-B),
+3. greedily select the ``T`` highest-rank substrings, discounting each
+   candidate by its overlap with the patterns already selected (Lines 8–15).
+
+``T`` defaults to the full symbol capacity of the chosen pre-population
+policy, matching the paper's "dictionary size" parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..errors import DictionaryError
+from .codec_table import CodecTable
+from .prepopulation import PrePopulation, capacity
+from .ranking import RankTable, corpus_statistics, count_substrings
+from .trie import Trie
+
+
+@dataclass
+class DictionaryConfig:
+    """Parameters of Algorithm 1.
+
+    Attributes
+    ----------
+    lmin:
+        Minimum candidate substring length (paper: 2).
+    lmax:
+        Maximum candidate substring length (paper: swept over 5 / 8 / 15 in
+        Figure 5; default 8).
+    max_entries:
+        Dictionary size ``T``.  ``None`` means "as many as the symbol space of
+        the pre-population policy allows".
+    prepopulation:
+        Seeding policy (Section IV-B).
+    min_occurrences:
+        Candidates occurring fewer times are never considered.
+    candidate_limit:
+        Upper bound on the number of candidates kept after counting (highest
+        initial rank first).  Bounds memory on very large corpora without
+        changing the result in practice, since low-initial-rank candidates
+        cannot win later (ranks only decrease).
+    rank_mode:
+        ``"savings"`` (default) ranks candidates by marginal compression gain;
+        ``"coverage"`` is the paper's literal Equation 1.  See
+        :func:`repro.dictionary.ranking.rank_value`.
+    """
+
+    lmin: int = 2
+    lmax: int = 8
+    max_entries: Optional[int] = None
+    prepopulation: PrePopulation = PrePopulation.SMILES_ALPHABET
+    min_occurrences: int = 2
+    candidate_limit: Optional[int] = 200_000
+    rank_mode: str = "savings"
+
+    def __post_init__(self) -> None:
+        if self.lmin < 1:
+            raise DictionaryError(f"lmin must be >= 1, got {self.lmin}")
+        if self.lmax < self.lmin:
+            raise DictionaryError(f"lmax ({self.lmax}) must be >= lmin ({self.lmin})")
+        if self.max_entries is not None and self.max_entries < 0:
+            raise DictionaryError("max_entries must be non-negative")
+        if self.rank_mode not in ("savings", "coverage"):
+            raise DictionaryError(
+                f"rank_mode must be 'savings' or 'coverage', got {self.rank_mode!r}"
+            )
+
+    def effective_size(self) -> int:
+        """The dictionary size ``T`` actually used."""
+        cap = capacity(self.prepopulation)
+        return cap if self.max_entries is None else min(self.max_entries, cap)
+
+
+@dataclass
+class TrainingReport:
+    """Diagnostics collected while training a dictionary."""
+
+    config: DictionaryConfig
+    corpus_stats: Dict[str, float] = field(default_factory=dict)
+    candidates: int = 0
+    selected: int = 0
+    selected_patterns: List[str] = field(default_factory=list)
+    selected_ranks: List[float] = field(default_factory=list)
+
+    def summary(self) -> str:
+        """One-line human readable summary."""
+        return (
+            f"trained {self.selected} patterns from {self.candidates} candidates "
+            f"over {int(self.corpus_stats.get('lines', 0))} SMILES "
+            f"(Lmin={self.config.lmin}, Lmax={self.config.lmax}, "
+            f"prepopulation={self.config.prepopulation.value})"
+        )
+
+
+class DictionaryGenerator:
+    """Trains a :class:`CodecTable` from a corpus using Algorithm 1."""
+
+    def __init__(self, config: Optional[DictionaryConfig] = None):
+        self.config = config or DictionaryConfig()
+        self.report: Optional[TrainingReport] = None
+
+    def train(self, corpus: Sequence[str]) -> CodecTable:
+        """Run Algorithm 1 on *corpus* and return the resulting codec table.
+
+        The corpus is expected to already be preprocessed (Figure 2: the
+        optional preprocessing happens before dictionary generation); the
+        higher-level :class:`repro.core.codec.ZSmilesCodec` handles that.
+        """
+        config = self.config
+        corpus = list(corpus)
+        report = TrainingReport(config=config, corpus_stats=corpus_statistics(corpus))
+
+        counts = count_substrings(
+            corpus,
+            lmin=config.lmin,
+            lmax=config.lmax,
+            min_occurrences=config.min_occurrences,
+        )
+        report.candidates = len(counts)
+
+        table_size = config.effective_size()
+        rank_table = RankTable(
+            dict(counts),
+            candidate_limit=config.candidate_limit,
+            mode=config.rank_mode,
+        )
+        selected_trie = Trie()
+        selected: List[str] = []
+        ranks: List[float] = []
+
+        while len(selected) < table_size:
+            best = rank_table.pop_best(selected_trie)
+            if best is None:
+                break
+            selected.append(best.pattern)
+            ranks.append(best.rank)
+            selected_trie.insert(best.pattern, best.pattern)
+
+        report.selected = len(selected)
+        report.selected_patterns = list(selected)
+        report.selected_ranks = list(ranks)
+        self.report = report
+
+        metadata = {
+            "lmin": str(config.lmin),
+            "lmax": str(config.lmax),
+            "prepopulation": config.prepopulation.value,
+            "rank_mode": config.rank_mode,
+            "trained_entries": str(len(selected)),
+            "training_lines": str(int(report.corpus_stats.get("lines", 0))),
+        }
+        return CodecTable.from_patterns(
+            selected,
+            prepopulation=config.prepopulation,
+            ranks=ranks,
+            metadata=metadata,
+        )
+
+
+def train_dictionary(
+    corpus: Iterable[str],
+    lmin: int = 2,
+    lmax: int = 8,
+    max_entries: Optional[int] = None,
+    prepopulation: PrePopulation = PrePopulation.SMILES_ALPHABET,
+    min_occurrences: int = 2,
+    rank_mode: str = "savings",
+) -> CodecTable:
+    """Convenience wrapper around :class:`DictionaryGenerator`.
+
+    Parameters mirror :class:`DictionaryConfig`; see its documentation.
+    """
+    config = DictionaryConfig(
+        lmin=lmin,
+        lmax=lmax,
+        max_entries=max_entries,
+        prepopulation=prepopulation,
+        min_occurrences=min_occurrences,
+        rank_mode=rank_mode,
+    )
+    return DictionaryGenerator(config).train(list(corpus))

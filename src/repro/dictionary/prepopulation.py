@@ -1,0 +1,91 @@
+"""Dictionary pre-population policies (Section IV-B of the paper).
+
+Pre-population seeds the dictionary with single-character entries that map a
+character to itself, guaranteeing that those characters never need the
+two-character escape sequence.  The paper evaluates three policies in Table I:
+
+* ``NONE`` — no seeding; any character outside the trained patterns is escaped.
+* ``SMILES_ALPHABET`` — seed every character of the SMILES alphabet (the
+  paper's best-performing and recommended policy).
+* ``PRINTABLE`` — seed every printable ASCII character; safest, but it leaves
+  only the extended-ASCII range available for multi-character patterns.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, Tuple
+
+from ..smiles.alphabet import ESCAPE_CHAR, PRINTABLE_ASCII, SMILES_ALPHABET, symbol_code_points
+
+
+class PrePopulation(enum.Enum):
+    """Which character set is seeded into the dictionary before training."""
+
+    NONE = "none"
+    SMILES_ALPHABET = "smiles"
+    PRINTABLE = "printable"
+
+    @classmethod
+    def from_name(cls, name: str) -> "PrePopulation":
+        """Parse a user-facing name (CLI / experiment configs) into a policy."""
+        normalized = name.strip().lower().replace("-", "_").replace(" ", "_")
+        aliases = {
+            "none": cls.NONE,
+            "no": cls.NONE,
+            "off": cls.NONE,
+            "smiles": cls.SMILES_ALPHABET,
+            "smiles_alphabet": cls.SMILES_ALPHABET,
+            "alphabet": cls.SMILES_ALPHABET,
+            "printable": cls.PRINTABLE,
+            "printable_ascii": cls.PRINTABLE,
+            "ascii": cls.PRINTABLE,
+        }
+        if normalized not in aliases:
+            raise ValueError(f"unknown pre-population policy {name!r}")
+        return aliases[normalized]
+
+
+def seeded_characters(policy: PrePopulation) -> FrozenSet[str]:
+    """Characters that map to themselves under *policy*.
+
+    The escape character (space) and line terminators are never seeded: space
+    is reserved as the escape marker and newlines delimit SMILES records.
+    """
+    if policy is PrePopulation.NONE:
+        chars: FrozenSet[str] = frozenset()
+    elif policy is PrePopulation.SMILES_ALPHABET:
+        chars = SMILES_ALPHABET
+    elif policy is PrePopulation.PRINTABLE:
+        chars = PRINTABLE_ASCII
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError(f"unhandled policy {policy!r}")
+    return frozenset(chars) - {ESCAPE_CHAR, "\n", "\r"}
+
+
+def seed_entries(policy: PrePopulation) -> Dict[str, str]:
+    """Identity (symbol → pattern) entries for the seeded characters."""
+    return {ch: ch for ch in sorted(seeded_characters(policy))}
+
+
+def available_symbols(policy: PrePopulation) -> Tuple[str, ...]:
+    """Code points available for *multi-character* pattern symbols under *policy*.
+
+    Symbols are always drawn from characters that cannot appear in a SMILES
+    string (non-SMILES printable ASCII first, then the extended range), so a
+    compressed record is never ambiguous.  The policies therefore differ in
+    two ways: how many of those code points remain free for trained patterns
+    (``PRINTABLE`` reserves the printable ones for identity entries) and
+    whether uncovered input characters can fall back to an identity entry
+    instead of the two-character escape (``NONE`` cannot — that is why the
+    paper finds it inferior).
+    """
+    reserved = seeded_characters(policy)
+    if policy is PrePopulation.NONE:
+        return symbol_code_points(frozenset())
+    return symbol_code_points(frozenset(reserved))
+
+
+def capacity(policy: PrePopulation) -> int:
+    """Maximum number of trained (multi-character) dictionary entries."""
+    return len(available_symbols(policy))

@@ -1,0 +1,165 @@
+"""``.dct`` dictionary file format.
+
+The paper soft-codes the dictionary into the ZSMILES executable; for a library
+we need the dictionary to be a portable artefact that can be trained once on a
+shared corpus and distributed alongside the compressed databases (the paper's
+"single fixed dictionary" requirement).  The format is a small, line-oriented,
+UTF-8 text file:
+
+* header lines start with ``#`` and carry ``key = value`` metadata,
+* each entry line is ``<symbol>\\t<pattern>\\t<seeded>\\t<rank>``,
+* symbols and patterns are escaped with ``\\t``, ``\\n``, ``\\\\`` and
+  ``\\xNN`` sequences so the file itself stays printable.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Dict, List, TextIO, Tuple, Union
+
+from ..errors import DictionaryFormatError
+from .codec_table import CodecTable, DictionaryEntry
+from .prepopulation import PrePopulation
+
+FORMAT_VERSION = "1"
+MAGIC = "# ZSMILES dictionary"
+
+
+def _escape(text: str) -> str:
+    """Escape a symbol or pattern for storage in the ``.dct`` text format.
+
+    ``#`` is escaped as well so an entry whose symbol is ``#`` cannot be
+    mistaken for a comment line when the file is read back.
+    """
+    out: List[str] = []
+    for ch in text:
+        if ch == "\\":
+            out.append("\\\\")
+        elif ch == "\t":
+            out.append("\\t")
+        elif ch == "\n":
+            out.append("\\n")
+        elif ch == "\r":
+            out.append("\\r")
+        elif ch == "#":
+            out.append("\\x23")
+        elif ord(ch) < 0x20:
+            out.append(f"\\x{ord(ch):02x}")
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+def _unescape(text: str) -> str:
+    """Inverse of :func:`_escape`."""
+    out: List[str] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch != "\\":
+            out.append(ch)
+            i += 1
+            continue
+        if i + 1 >= n:
+            raise DictionaryFormatError(f"dangling escape in {text!r}")
+        nxt = text[i + 1]
+        if nxt == "\\":
+            out.append("\\")
+            i += 2
+        elif nxt == "t":
+            out.append("\t")
+            i += 2
+        elif nxt == "n":
+            out.append("\n")
+            i += 2
+        elif nxt == "r":
+            out.append("\r")
+            i += 2
+        elif nxt == "x":
+            if i + 3 >= n:
+                raise DictionaryFormatError(f"truncated \\x escape in {text!r}")
+            out.append(chr(int(text[i + 2 : i + 4], 16)))
+            i += 4
+        else:
+            raise DictionaryFormatError(f"unknown escape \\{nxt} in {text!r}")
+    return "".join(out)
+
+
+def dumps(table: CodecTable) -> str:
+    """Serialize *table* to the ``.dct`` text format."""
+    buffer = io.StringIO()
+    buffer.write(f"{MAGIC} v{FORMAT_VERSION}\n")
+    buffer.write(f"# prepopulation = {table.prepopulation.value}\n")
+    for key, value in sorted(table.metadata.items()):
+        buffer.write(f"# {key} = {value}\n")
+    for entry in table.entries:
+        buffer.write(
+            f"{_escape(entry.symbol)}\t{_escape(entry.pattern)}\t"
+            f"{1 if entry.seeded else 0}\t{entry.rank:.6g}\n"
+        )
+    return buffer.getvalue()
+
+
+def _parse_header(lines: List[str]) -> Tuple[Dict[str, str], int]:
+    """Parse leading comment lines; return (metadata, index of first entry line)."""
+    if not lines or not lines[0].startswith(MAGIC):
+        raise DictionaryFormatError("missing ZSMILES dictionary magic header")
+    metadata: Dict[str, str] = {}
+    index = 1
+    while index < len(lines) and lines[index].startswith("#"):
+        body = lines[index][1:].strip()
+        if "=" in body:
+            key, _, value = body.partition("=")
+            metadata[key.strip()] = value.strip()
+        index += 1
+    return metadata, index
+
+
+def loads(text: str) -> CodecTable:
+    """Parse the ``.dct`` text format back into a :class:`CodecTable`."""
+    lines = text.splitlines()
+    metadata, start = _parse_header(lines)
+    prepopulation = PrePopulation.from_name(metadata.pop("prepopulation", "smiles"))
+    entries: List[DictionaryEntry] = []
+    for lineno, line in enumerate(lines[start:], start=start + 1):
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split("\t")
+        if len(fields) != 4:
+            raise DictionaryFormatError(
+                f"line {lineno}: expected 4 tab-separated fields, got {len(fields)}"
+            )
+        symbol_text, pattern_text, seeded_text, rank_text = fields
+        try:
+            rank = float(rank_text)
+        except ValueError as exc:
+            raise DictionaryFormatError(f"line {lineno}: bad rank {rank_text!r}") from exc
+        entries.append(
+            DictionaryEntry(
+                symbol=_unescape(symbol_text),
+                pattern=_unescape(pattern_text),
+                seeded=seeded_text == "1",
+                rank=rank,
+            )
+        )
+    return CodecTable(entries, prepopulation=prepopulation, metadata=metadata)
+
+
+def save(table: CodecTable, path: Union[str, Path, TextIO]) -> None:
+    """Write *table* to *path* (a filesystem path or an open text file)."""
+    text = dumps(table)
+    if hasattr(path, "write"):
+        path.write(text)  # type: ignore[union-attr]
+        return
+    Path(path).write_text(text, encoding="utf-8")
+
+
+def load(path: Union[str, Path, TextIO]) -> CodecTable:
+    """Read a dictionary from *path* (a filesystem path or an open text file)."""
+    if hasattr(path, "read"):
+        text = path.read()  # type: ignore[union-attr]
+    else:
+        text = Path(path).read_text(encoding="utf-8")
+    return loads(text)

@@ -1,0 +1,162 @@
+"""Character trie used for dictionary pattern matching.
+
+The compression algorithm (Section IV-D1) matches every dictionary pattern
+against every starting position of the input SMILES.  A trie makes that an
+O(total match length) walk per position instead of one scan per pattern
+(Fredkin 1960, reference [17] of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+class TrieNode:
+    """One node of the trie.
+
+    Attributes
+    ----------
+    children:
+        Mapping from next character to the child node.
+    pattern:
+        The complete pattern terminating at this node, or ``None``.
+    payload:
+        Arbitrary value attached to the terminating pattern (the codec stores
+        the dictionary symbol here).
+    """
+
+    __slots__ = ("children", "pattern", "payload")
+
+    def __init__(self) -> None:
+        self.children: Dict[str, "TrieNode"] = {}
+        self.pattern: Optional[str] = None
+        self.payload: Optional[str] = None
+
+
+class Trie:
+    """Prefix tree over strings with optional payloads."""
+
+    def __init__(self, items: Optional[Iterable[Tuple[str, Optional[str]]]] = None):
+        self._root = TrieNode()
+        self._size = 0
+        self._max_length = 0
+        if items is not None:
+            for pattern, payload in items:
+                self.insert(pattern, payload)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def insert(self, pattern: str, payload: Optional[str] = None) -> None:
+        """Insert *pattern* with an optional *payload*.
+
+        Re-inserting an existing pattern overwrites its payload but does not
+        change the reported size.
+        """
+        if not pattern:
+            raise ValueError("cannot insert the empty pattern")
+        node = self._root
+        for ch in pattern:
+            node = node.children.setdefault(ch, TrieNode())
+        if node.pattern is None:
+            self._size += 1
+        node.pattern = pattern
+        node.payload = payload
+        self._max_length = max(self._max_length, len(pattern))
+
+    @classmethod
+    def from_patterns(cls, patterns: Iterable[str]) -> "Trie":
+        """Build a trie whose payloads equal the patterns themselves."""
+        return cls((p, p) for p in patterns)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def max_length(self) -> int:
+        """Length of the longest inserted pattern (0 when empty)."""
+        return self._max_length
+
+    def __contains__(self, pattern: str) -> bool:
+        node = self._find(pattern)
+        return node is not None and node.pattern is not None
+
+    def payload(self, pattern: str) -> Optional[str]:
+        """Return the payload stored with *pattern*, or ``None`` when absent."""
+        node = self._find(pattern)
+        return node.payload if node is not None and node.pattern is not None else None
+
+    def _find(self, pattern: str) -> Optional[TrieNode]:
+        node = self._root
+        for ch in pattern:
+            node = node.children.get(ch)
+            if node is None:
+                return None
+        return node
+
+    # ------------------------------------------------------------------ #
+    # Matching
+    # ------------------------------------------------------------------ #
+    def matches_at(self, text: str, start: int) -> List[Tuple[int, str, Optional[str]]]:
+        """All dictionary patterns matching ``text[start:]`` at its beginning.
+
+        Returns
+        -------
+        list of (length, pattern, payload)
+            One entry per matching pattern, ordered by increasing length.
+        """
+        out: List[Tuple[int, str, Optional[str]]] = []
+        node = self._root
+        pos = start
+        n = len(text)
+        while pos < n:
+            node = node.children.get(text[pos])
+            if node is None:
+                break
+            pos += 1
+            if node.pattern is not None:
+                out.append((pos - start, node.pattern, node.payload))
+        return out
+
+    def longest_match_at(self, text: str, start: int) -> Optional[Tuple[int, str, Optional[str]]]:
+        """The longest pattern matching at *start*, or ``None``.
+
+        Used by the greedy-matching ablation and by the overlap computation of
+        the ranking step.
+        """
+        matches = self.matches_at(text, start)
+        return matches[-1] if matches else None
+
+    def iter_patterns(self) -> Iterator[Tuple[str, Optional[str]]]:
+        """Yield every ``(pattern, payload)`` pair in lexicographic order."""
+        stack: List[Tuple[TrieNode, str]] = [(self._root, "")]
+        collected: List[Tuple[str, Optional[str]]] = []
+        while stack:
+            node, prefix = stack.pop()
+            if node.pattern is not None:
+                collected.append((node.pattern, node.payload))
+            for ch, child in node.children.items():
+                stack.append((child, prefix + ch))
+        collected.sort(key=lambda item: item[0])
+        yield from collected
+
+    def coverage(self, text: str) -> int:
+        """Number of characters of *text* covered by greedy longest matching.
+
+        This is the "coverage" measure of Section IV-C used to rank candidate
+        dictionaries.
+        """
+        covered = 0
+        pos = 0
+        n = len(text)
+        while pos < n:
+            match = self.longest_match_at(text, pos)
+            if match is None:
+                pos += 1
+            else:
+                covered += match[0]
+                pos += match[0]
+        return covered

@@ -1,0 +1,91 @@
+"""Exception hierarchy shared across the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch a single base class at API boundaries.  Sub-hierarchies mirror the
+package layout: SMILES parsing, dictionary construction, codec operation and
+dataset generation each get their own branch.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` package."""
+
+
+class SmilesError(ReproError):
+    """Base class for SMILES tokenization / parsing / validation errors."""
+
+
+class TokenizationError(SmilesError):
+    """Raised when a SMILES string cannot be split into tokens.
+
+    Attributes
+    ----------
+    smiles:
+        The offending input string.
+    position:
+        Zero-based character offset where tokenization failed.
+    """
+
+    def __init__(self, message: str, smiles: str = "", position: int = -1):
+        super().__init__(message)
+        self.smiles = smiles
+        self.position = position
+
+
+class ParseError(SmilesError):
+    """Raised when a token stream cannot be assembled into a molecular graph."""
+
+    def __init__(self, message: str, smiles: str = "", position: int = -1):
+        super().__init__(message)
+        self.smiles = smiles
+        self.position = position
+
+
+class ValidationError(SmilesError):
+    """Raised when a structurally parsable SMILES violates a semantic rule."""
+
+
+class RingNumberingError(SmilesError):
+    """Raised when ring-bond identifiers cannot be paired or renumbered."""
+
+
+class DictionaryError(ReproError):
+    """Base class for dictionary construction and serialization errors."""
+
+
+class SymbolSpaceExhaustedError(DictionaryError):
+    """Raised when more dictionary entries are requested than code points exist."""
+
+
+class DictionaryFormatError(DictionaryError):
+    """Raised when a ``.dct`` file cannot be parsed."""
+
+
+class CodecError(ReproError):
+    """Base class for compression / decompression failures."""
+
+
+class CompressionError(CodecError):
+    """Raised when an input line cannot be compressed."""
+
+
+class DecompressionError(CodecError):
+    """Raised when a compressed line cannot be decoded with the dictionary."""
+
+
+class RandomAccessError(CodecError):
+    """Raised for out-of-range or malformed random-access requests."""
+
+
+class DatasetError(ReproError):
+    """Raised by the synthetic dataset generators and ``.smi`` I/O helpers."""
+
+
+class ScreeningError(ReproError):
+    """Raised by the virtual-screening pipeline substrate."""
+
+
+class ParallelExecutionError(ReproError):
+    """Raised when a parallel backend fails to complete a batch."""

@@ -1,0 +1,25 @@
+"""Experiment drivers, one per table / figure of the paper's evaluation."""
+
+from .common import ExperimentScale, component_corpora, mixed_corpus
+from .figure4 import Figure4Result, run_figure4
+from .figure5 import Figure5Result, run_figure5
+from .summary import HeadlineClaims, SummaryResult, run_summary
+from .table1 import Table1Result, run_table1
+from .table2 import Table2Result, run_table2
+
+__all__ = [
+    "ExperimentScale",
+    "component_corpora",
+    "mixed_corpus",
+    "Figure4Result",
+    "run_figure4",
+    "Figure5Result",
+    "run_figure5",
+    "HeadlineClaims",
+    "SummaryResult",
+    "run_summary",
+    "Table1Result",
+    "run_table1",
+    "Table2Result",
+    "run_table2",
+]

@@ -1,0 +1,96 @@
+"""Figure 5 — normalized execution time of the C++ and CUDA implementations.
+
+The paper measures whole-application execution time of compression (5a) and
+decompression (5b) on the MIXED dataset for ``Lmax`` ∈ {5, 8, 15}, normalized
+to the serial C++ implementation at the largest ``Lmax``.  Expected shape:
+both backends are nearly flat in ``Lmax`` (the kernels are memory-bound), the
+CUDA backend is ≈7× faster in compression and ≈2× faster in decompression.
+
+This reproduction replaces the real hardware with the simulated devices of
+:mod:`repro.parallel` (see DESIGN.md for the substitution rationale); the
+kernel work counts are measured from real executions of the compression /
+decompression kernels, and the device profiles convert them to time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..metrics.reporting import ResultTable
+from ..parallel.gpu_model import CPU_PROFILE, GPU_PROFILE
+from ..parallel.performance_model import PerformanceSweep, run_performance_sweep
+from .common import ExperimentScale, evaluation_sample, mixed_corpus, training_sample
+
+#: Lmax values swept by the paper.
+LMAX_VALUES: Tuple[int, ...] = (5, 8, 15)
+
+#: Paper-reported speedups of the CUDA version over the serial C++ version.
+PAPER_SPEEDUPS: Dict[str, float] = {"compression": 7.0, "decompression": 2.0}
+
+
+@dataclass
+class Figure5Result:
+    """Normalized time series and headline speedups of the simulated sweep."""
+
+    sweep: PerformanceSweep
+    scale: ExperimentScale
+
+    def speedups(self) -> Dict[str, float]:
+        """CUDA-over-C++ speedup for compression and decompression."""
+        return {
+            op: self.sweep.speedup(op) for op in ("compression", "decompression")
+        }
+
+    def normalized_series(self, operation: str) -> Dict[str, List[Tuple[int, float]]]:
+        """``device name → [(lmax, normalized time), ...]`` for one operation."""
+        out: Dict[str, List[Tuple[int, float]]] = {}
+        for profile in (CPU_PROFILE, GPU_PROFILE):
+            out[profile.name] = [
+                (p.lmax, p.normalized) for p in self.sweep.series(profile.name, operation)
+            ]
+        return out
+
+    def flat_in_lmax(self, operation: str, tolerance: float = 0.25) -> bool:
+        """True when each backend's normalized time varies less than *tolerance* across Lmax."""
+        for series in self.normalized_series(operation).values():
+            values = [v for _, v in series]
+            if not values:
+                return False
+            if max(values) - min(values) > tolerance:
+                return False
+        return True
+
+    def to_tables(self) -> List[ResultTable]:
+        """One table per sub-figure (5a compression, 5b decompression)."""
+        tables: List[ResultTable] = []
+        for label, operation in (("Figure 5a — compression", "compression"),
+                                 ("Figure 5b — decompression", "decompression")):
+            table = ResultTable(
+                title=f"{label}: normalized execution time vs Lmax",
+                columns=["Backend", *[f"Lmax={v}" for v in LMAX_VALUES]],
+            )
+            for device, series in self.normalized_series(operation).items():
+                by_lmax = dict(series)
+                table.add_row(device, *[by_lmax.get(v, float("nan")) for v in LMAX_VALUES])
+            speedup = self.sweep.speedup(operation)
+            table.add_note(
+                f"CUDA speedup at Lmax={max(LMAX_VALUES)}: {speedup:.2f}x "
+                f"(paper: {PAPER_SPEEDUPS[operation]:.0f}x)."
+            )
+            tables.append(table)
+        return tables
+
+
+def run_figure5(
+    scale: Optional[ExperimentScale] = None,
+    lmax_values: Sequence[int] = LMAX_VALUES,
+    corpus: Optional[Sequence[str]] = None,
+) -> Figure5Result:
+    """Run the simulated Figure 5 sweep."""
+    scale = scale or ExperimentScale.benchmark()
+    corpus = list(corpus) if corpus is not None else mixed_corpus(scale)
+    train = training_sample(corpus, scale)
+    evaluate = evaluation_sample(corpus, scale)
+    sweep = run_performance_sweep(train, evaluate, lmax_values=lmax_values)
+    return Figure5Result(sweep=sweep, scale=scale)

@@ -1,0 +1,72 @@
+"""Headline-claim summary across all reproduced experiments.
+
+The paper's abstract makes three quantitative claims:
+
+* ZSMILES compresses up to a 0.29 ratio (Table I, best configuration),
+* it compresses ×1.13 better than the comparable state of the art (FSST) in a
+  like-for-like setting (Figure 4),
+* the CUDA implementation is ≈7× faster in compression and ≈2× in
+  decompression than the serial one (Figure 5).
+
+This module runs the relevant experiments at one scale and collects the
+measured counterparts of each claim, which EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..metrics.reporting import ResultTable
+from .common import ExperimentScale, mixed_corpus
+from .figure4 import Figure4Result, run_figure4
+from .figure5 import Figure5Result, run_figure5
+from .table1 import Table1Result, run_table1
+
+
+@dataclass
+class HeadlineClaims:
+    """Measured values for the abstract's quantitative claims."""
+
+    best_ratio: float
+    zsmiles_vs_fsst: float
+    compression_speedup: float
+    decompression_speedup: float
+
+    def to_table(self) -> ResultTable:
+        table = ResultTable(
+            title="Headline claims — paper vs measured",
+            columns=["Claim", "Paper", "Measured"],
+        )
+        table.add_row("Best compression ratio (Table I)", 0.29, self.best_ratio)
+        table.add_row("ZSMILES vs FSST factor (Figure 4)", 1.13, self.zsmiles_vs_fsst)
+        table.add_row("CUDA compression speedup (Figure 5a)", 7.0, self.compression_speedup)
+        table.add_row("CUDA decompression speedup (Figure 5b)", 2.0, self.decompression_speedup)
+        return table
+
+
+@dataclass
+class SummaryResult:
+    """Everything the summary run produced, for reuse by callers."""
+
+    table1: Table1Result
+    figure4: Figure4Result
+    figure5: Figure5Result
+    claims: HeadlineClaims
+
+
+def run_summary(scale: Optional[ExperimentScale] = None) -> SummaryResult:
+    """Run Table I, Figure 4 and Figure 5 and derive the headline claims."""
+    scale = scale or ExperimentScale.benchmark()
+    corpus = mixed_corpus(scale)
+    table1 = run_table1(scale=scale, corpus=corpus)
+    figure4 = run_figure4(scale=scale, corpus=corpus)
+    figure5 = run_figure5(scale=scale, corpus=corpus)
+    _, best_ratio = table1.best()
+    claims = HeadlineClaims(
+        best_ratio=best_ratio,
+        zsmiles_vs_fsst=figure4.zsmiles_vs_fsst_factor(),
+        compression_speedup=figure5.speedups()["compression"],
+        decompression_speedup=figure5.speedups()["decompression"],
+    )
+    return SummaryResult(table1=table1, figure4=figure4, figure5=figure5, claims=claims)

@@ -1,0 +1,124 @@
+"""Table I — compression ratios under the dictionary optimizations.
+
+The paper's Table I crosses the two proposed optimizations:
+
+* pre-processing (ring-identifier reuse) on / off,
+* dictionary pre-population with printable ASCII / the SMILES alphabet / none,
+
+training each dictionary on a random sample of the MIXED dataset and
+measuring the compression ratio on the same dataset.  Expected shape: every
+pre-processed row beats its unprocessed counterpart, and the SMILES-alphabet
+pre-population gives the best ratio overall (0.29 in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.codec import ZSmilesCodec
+from ..dictionary.prepopulation import PrePopulation
+from ..metrics.reporting import ResultTable
+from .common import ExperimentScale, evaluation_sample, mixed_corpus, training_sample
+
+#: Paper-reported compression ratios, keyed by (preprocessing, prepopulation).
+PAPER_TABLE1: Dict[Tuple[bool, PrePopulation], float] = {
+    (True, PrePopulation.PRINTABLE): 0.32,
+    (False, PrePopulation.PRINTABLE): 0.35,
+    (True, PrePopulation.SMILES_ALPHABET): 0.29,
+    (False, PrePopulation.SMILES_ALPHABET): 0.32,
+    (True, PrePopulation.NONE): 0.33,
+    (False, PrePopulation.NONE): 0.35,
+}
+
+#: Row order used by the paper's table.
+ROW_ORDER: List[Tuple[bool, PrePopulation]] = [
+    (True, PrePopulation.PRINTABLE),
+    (False, PrePopulation.PRINTABLE),
+    (True, PrePopulation.SMILES_ALPHABET),
+    (False, PrePopulation.SMILES_ALPHABET),
+    (True, PrePopulation.NONE),
+    (False, PrePopulation.NONE),
+]
+
+
+@dataclass
+class Table1Result:
+    """Measured ratios for every optimization combination."""
+
+    ratios: Dict[Tuple[bool, PrePopulation], float]
+    scale: ExperimentScale
+
+    def best(self) -> Tuple[Tuple[bool, PrePopulation], float]:
+        """The best (lowest-ratio) configuration."""
+        key = min(self.ratios, key=self.ratios.get)
+        return key, self.ratios[key]
+
+    def preprocessing_always_helps(self) -> bool:
+        """True when, for every pre-population policy, preprocessing lowers the ratio."""
+        for policy in PrePopulation:
+            with_prep = self.ratios.get((True, policy))
+            without = self.ratios.get((False, policy))
+            if with_prep is None or without is None:
+                continue
+            if with_prep > without:
+                return False
+        return True
+
+    def to_table(self) -> ResultTable:
+        """Render in the paper's row order, with the paper's numbers alongside."""
+        table = ResultTable(
+            title="Table I — ZSMILES compression ratios with different dictionaries",
+            columns=["Pre-processing", "Pre-population", "Compression Ratio", "Paper"],
+        )
+        names = {
+            PrePopulation.PRINTABLE: "Printable",
+            PrePopulation.SMILES_ALPHABET: "SMILES alphabet",
+            PrePopulation.NONE: "None",
+        }
+        for key in ROW_ORDER:
+            preprocessing, policy = key
+            table.add_row(
+                "Yes" if preprocessing else "No",
+                names[policy],
+                self.ratios[key],
+                PAPER_TABLE1[key],
+            )
+        table.add_note(
+            "Measured on the synthetic MIXED corpus "
+            f"(train={self.scale.training_size}, eval={self.scale.evaluation_size})."
+        )
+        return table
+
+
+def run_table1(
+    scale: Optional[ExperimentScale] = None,
+    lmax: int = 8,
+    corpus: Optional[Sequence[str]] = None,
+) -> Table1Result:
+    """Run the Table I ablation and return the measured ratios.
+
+    Parameters
+    ----------
+    scale:
+        Corpus sizes; defaults to :meth:`ExperimentScale.benchmark`.
+    lmax:
+        Maximum pattern length used for every dictionary.
+    corpus:
+        Pre-generated MIXED corpus (generated from *scale* when omitted).
+    """
+    scale = scale or ExperimentScale.benchmark()
+    corpus = list(corpus) if corpus is not None else mixed_corpus(scale)
+    train = training_sample(corpus, scale)
+    evaluate = evaluation_sample(corpus, scale)
+
+    ratios: Dict[Tuple[bool, PrePopulation], float] = {}
+    for preprocessing, policy in ROW_ORDER:
+        codec = ZSmilesCodec.train(
+            train,
+            preprocessing=preprocessing,
+            prepopulation=policy,
+            lmax=lmax,
+        )
+        ratios[(preprocessing, policy)] = codec.compression_ratio(evaluate)
+    return Table1Result(ratios=ratios, scale=scale)

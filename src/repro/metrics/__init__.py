@@ -1,0 +1,18 @@
+"""Measurement and reporting helpers shared by experiments and benchmarks."""
+
+from .figures import BarChart, LineSeries, figure4_chart, figure5_chart
+from .reporting import ResultTable, comparison_factor, percent_change
+from .timing import Timer, throughput_mb_per_s, time_callable
+
+__all__ = [
+    "BarChart",
+    "LineSeries",
+    "figure4_chart",
+    "figure5_chart",
+    "ResultTable",
+    "comparison_factor",
+    "percent_change",
+    "Timer",
+    "throughput_mb_per_s",
+    "time_callable",
+]

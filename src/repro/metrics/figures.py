@@ -1,0 +1,114 @@
+"""Plain-text figure rendering (bar charts and line series).
+
+The paper's Figure 4 is a bar chart and Figure 5 a pair of line plots; this
+reproduction has no plotting dependency, so the benchmark harness renders the
+same data as unicode-free ASCII charts that survive log files and CI output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass
+class BarChart:
+    """Horizontal ASCII bar chart (used for the Figure 4 comparison).
+
+    Attributes
+    ----------
+    title:
+        Chart caption.
+    values:
+        ``(label, value)`` pairs, rendered in insertion order.
+    width:
+        Maximum bar width in characters.
+    """
+
+    title: str
+    values: List[Tuple[str, float]] = field(default_factory=list)
+    width: int = 50
+
+    def add(self, label: str, value: float) -> None:
+        """Append one bar."""
+        if value < 0:
+            raise ValueError("bar values must be non-negative")
+        self.values.append((label, value))
+
+    def render(self) -> str:
+        """Render the chart as fixed-width text."""
+        if not self.values:
+            return f"{self.title}\n(no data)"
+        label_width = max(len(label) for label, _ in self.values)
+        maximum = max(value for _, value in self.values) or 1.0
+        lines = [self.title]
+        for label, value in self.values:
+            bar = "#" * max(1, int(round(value / maximum * self.width)))
+            lines.append(f"{label.ljust(label_width)} | {bar} {value:.3f}")
+        return "\n".join(lines)
+
+
+@dataclass
+class LineSeries:
+    """ASCII multi-series line/column rendering (used for the Figure 5 sweeps).
+
+    The x axis is a small set of discrete parameter values (e.g. ``Lmax``), so
+    the rendering is a column per x value with one row per series plus a
+    sparkline-style bar for each cell.
+    """
+
+    title: str
+    x_label: str
+    x_values: Sequence[float]
+    series: Dict[str, List[float]] = field(default_factory=dict)
+    width: int = 30
+
+    def add_series(self, name: str, values: Sequence[float]) -> None:
+        """Add one named series; must have one value per x value."""
+        if len(values) != len(self.x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for {len(self.x_values)} x points"
+            )
+        self.series[name] = list(values)
+
+    def render(self) -> str:
+        """Render all series as labelled rows of proportional bars."""
+        if not self.series:
+            return f"{self.title}\n(no data)"
+        lines = [self.title]
+        maximum = max(max(values) for values in self.series.values()) or 1.0
+        name_width = max(len(name) for name in self.series)
+        for name, values in self.series.items():
+            lines.append(name)
+            for x, value in zip(self.x_values, values):
+                bar = "#" * max(1, int(round(value / maximum * self.width)))
+                lines.append(
+                    f"  {self.x_label}={x!s:<6} | {bar} {value:.3f}"
+                )
+        _ = name_width  # alignment handled per-row; keep computed width for future use
+        return "\n".join(lines)
+
+
+def figure4_chart(ratios: Dict[str, float], order: Sequence[str]) -> BarChart:
+    """Build the Figure 4 bar chart from a tool → ratio mapping."""
+    chart = BarChart(title="Figure 4 — compression ratio by tool (lower is better)")
+    for name in order:
+        if name in ratios:
+            chart.add(name, ratios[name])
+    return chart
+
+
+def figure5_chart(
+    operation: str,
+    x_values: Sequence[int],
+    series: Dict[str, List[float]],
+) -> LineSeries:
+    """Build one Figure 5 sub-chart from normalized-time series."""
+    chart = LineSeries(
+        title=f"Figure 5 — normalized {operation} time vs Lmax (lower is better)",
+        x_label="Lmax",
+        x_values=list(x_values),
+    )
+    for name, values in series.items():
+        chart.add_series(name, values)
+    return chart

@@ -1,0 +1,112 @@
+"""Result-table formatting for the experiment drivers.
+
+Every experiment produces a :class:`ResultTable` so the benchmark harness can
+print the same rows the paper reports (Table I, Table II, Figure 4's bars,
+Figure 5's series) in a uniform plain-text / markdown form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+@dataclass
+class ResultTable:
+    """A small column-oriented result table with text rendering.
+
+    Attributes
+    ----------
+    title:
+        Table caption (e.g. ``"Table I — dictionary optimizations"``).
+    columns:
+        Column headers.
+    rows:
+        Row values; each row must have one cell per column.
+    notes:
+        Free-form footnotes appended after the table.
+    """
+
+    title: str
+    columns: List[str]
+    rows: List[List[Cell]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: Cell) -> None:
+        """Append a row (must match the number of columns)."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}: {cells!r}"
+            )
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        """Append a footnote."""
+        self.notes.append(note)
+
+    # ------------------------------------------------------------------ #
+    def _formatted_cells(self) -> List[List[str]]:
+        formatted: List[List[str]] = []
+        for row in self.rows:
+            formatted.append(
+                [f"{cell:.3f}" if isinstance(cell, float) else str(cell) for cell in row]
+            )
+        return formatted
+
+    def to_text(self) -> str:
+        """Fixed-width plain-text rendering (used by the benchmark harness)."""
+        cells = self._formatted_cells()
+        widths = [len(col) for col in self.columns]
+        for row in cells:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title]
+        header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(self.columns))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in cells:
+            lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        for note in self.notes:
+            lines.append(f"  * {note}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured markdown rendering (used by EXPERIMENTS.md)."""
+        cells = self._formatted_cells()
+        lines = [f"**{self.title}**", ""]
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in cells:
+            lines.append("| " + " | ".join(row) + " |")
+        for note in self.notes:
+            lines.append(f"\n_{note}_")
+        return "\n".join(lines)
+
+    def column(self, name: str) -> List[Cell]:
+        """All values of the column *name*."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def as_dicts(self) -> List[Dict[str, Cell]]:
+        """Rows as dictionaries keyed by column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+
+def comparison_factor(baseline: float, candidate: float) -> float:
+    """How many times better (smaller) *candidate* is than *baseline*.
+
+    This is the paper's "×1.13 more than state of the art" style figure:
+    ``baseline_ratio / candidate_ratio``.
+    """
+    if candidate <= 0:
+        return float("inf")
+    return baseline / candidate
+
+
+def percent_change(reference: float, value: float) -> float:
+    """Signed percentage change of *value* relative to *reference*."""
+    if reference == 0:
+        return 0.0
+    return (value - reference) / reference * 100.0

@@ -1,0 +1,76 @@
+"""Wall-clock timing helpers used by the experiment drivers and benchmarks."""
+
+from __future__ import annotations
+
+import statistics
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional
+
+
+@dataclass
+class Timer:
+    """Accumulates named wall-clock measurements.
+
+    Example
+    -------
+    >>> timer = Timer()
+    >>> with timer.measure("compress"):
+    ...     _ = sum(range(1000))
+    >>> timer.total("compress") >= 0.0
+    True
+    """
+
+    samples: Dict[str, List[float]] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        """Context manager adding one sample to *name*."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.samples.setdefault(name, []).append(time.perf_counter() - start)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record an externally measured duration."""
+        self.samples.setdefault(name, []).append(seconds)
+
+    def total(self, name: str) -> float:
+        """Sum of all samples for *name* (0.0 when absent)."""
+        return sum(self.samples.get(name, []))
+
+    def mean(self, name: str) -> float:
+        """Mean sample for *name* (0.0 when absent)."""
+        values = self.samples.get(name, [])
+        return statistics.fmean(values) if values else 0.0
+
+    def count(self, name: str) -> int:
+        """Number of samples recorded for *name*."""
+        return len(self.samples.get(name, []))
+
+    def names(self) -> List[str]:
+        """All measurement names, in insertion order."""
+        return list(self.samples)
+
+
+def time_callable(fn: Callable[[], object], repeats: int = 1) -> float:
+    """Best-of-*repeats* wall-clock time of calling *fn* with no arguments."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    best: Optional[float] = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    assert best is not None
+    return best
+
+
+def throughput_mb_per_s(byte_count: int, seconds: float) -> float:
+    """Throughput in MB/s (0.0 when the duration is zero)."""
+    if seconds <= 0:
+        return 0.0
+    return byte_count / seconds / 1e6

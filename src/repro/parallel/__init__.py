@@ -1,0 +1,30 @@
+"""Parallel backends: real process-pool execution and the simulated CUDA device."""
+
+from .executor import ParallelCodec, ParallelStats, default_worker_count
+from .gpu_model import (
+    CPU_PROFILE,
+    GPU_PROFILE,
+    WARP_SIZE,
+    DeviceProfile,
+    KernelCounters,
+    SimulatedDevice,
+)
+from .kernels import compression_kernel, decompression_kernel
+from .performance_model import PerformancePoint, PerformanceSweep, run_performance_sweep
+
+__all__ = [
+    "ParallelCodec",
+    "ParallelStats",
+    "default_worker_count",
+    "CPU_PROFILE",
+    "GPU_PROFILE",
+    "WARP_SIZE",
+    "DeviceProfile",
+    "KernelCounters",
+    "SimulatedDevice",
+    "compression_kernel",
+    "decompression_kernel",
+    "PerformancePoint",
+    "PerformanceSweep",
+    "run_performance_sweep",
+]

@@ -1,0 +1,159 @@
+"""Simulated GPU execution model (substitute for the paper's CUDA backend).
+
+No GPU is available in this reproduction environment, so the CUDA
+implementation of Section IV-E is replaced by a cycle-and-byte accounting
+model: the kernels in :mod:`repro.parallel.kernels` perform the *real*
+compression / decompression work while counting the instructions and memory
+transactions each simulated warp issues, and a :class:`DeviceProfile` converts
+those counts — plus the storage traffic that the paper identifies as the true
+bottleneck — into execution-time estimates.
+
+Two calibrated profiles are shipped, matching the paper's test machine
+(Section V-A): a single core of an AMD EPYC 7282 for the serial C++ version
+and an NVIDIA A100 for the CUDA version.  The absolute constants are coarse
+(public spec sheets), but the *structure* of the model — identical storage
+traffic on both devices, vastly different compute throughput — is what makes
+the reproduction show the paper's qualitative result: compression speeds up
+≈7×, decompression only ≈2×, and both curves are nearly flat in ``Lmax``
+because the kernels are memory-bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+#: Number of threads in a CUDA warp; the paper sizes each block to one warp.
+WARP_SIZE = 32
+
+
+@dataclass
+class KernelCounters:
+    """Work accounting produced by one simulated kernel execution.
+
+    Attributes
+    ----------
+    instructions:
+        Scalar instructions executed (per-thread work summed over threads).
+    memory_bytes:
+        Bytes moved through the device memory hierarchy (input characters
+        read, dictionary/trie probes, output characters written).
+    storage_read_bytes / storage_write_bytes:
+        Bytes exchanged with storage (the ``.smi`` / ``.zsmi`` files); this
+        traffic is identical for every backend and is what bounds the
+        achievable speedup.
+    blocks:
+        Number of thread blocks launched (one per SMILES record).
+    """
+
+    instructions: int = 0
+    memory_bytes: int = 0
+    storage_read_bytes: int = 0
+    storage_write_bytes: int = 0
+    blocks: int = 0
+
+    def merge(self, other: "KernelCounters") -> "KernelCounters":
+        """Accumulate *other* into this counter set and return ``self``."""
+        self.instructions += other.instructions
+        self.memory_bytes += other.memory_bytes
+        self.storage_read_bytes += other.storage_read_bytes
+        self.storage_write_bytes += other.storage_write_bytes
+        self.blocks += other.blocks
+        return self
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view used by reports."""
+        return {
+            "instructions": self.instructions,
+            "memory_bytes": self.memory_bytes,
+            "storage_read_bytes": self.storage_read_bytes,
+            "storage_write_bytes": self.storage_write_bytes,
+            "blocks": self.blocks,
+        }
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Analytic device description used to turn counters into seconds.
+
+    Attributes
+    ----------
+    name:
+        Human-readable device name.
+    compute_throughput:
+        Sustained scalar instructions per second the device can retire on this
+        kind of branchy, byte-oriented kernel.
+    memory_bandwidth:
+        Sustained bytes per second of the device memory system.
+    storage_bandwidth:
+        Bytes per second to/from the storage holding the SMILES files.  The
+        same storage serves both devices (the paper's point about the kernels
+        being memory-bound).
+    launch_overhead:
+        Fixed per-launch cost in seconds (kernel launch / thread-pool wake-up).
+    """
+
+    name: str
+    compute_throughput: float
+    memory_bandwidth: float
+    storage_bandwidth: float
+    launch_overhead: float = 0.0
+
+    def execution_time(self, counters: KernelCounters) -> float:
+        """Estimated wall-clock seconds for a kernel with the given counters.
+
+        Compute and in-device memory traffic overlap (the slower of the two
+        governs), while storage traffic is serial with respect to the kernel —
+        exactly the structure the paper describes when it attributes the
+        limited speedup to read/write operations on storage.
+        """
+        compute_time = counters.instructions / self.compute_throughput
+        memory_time = counters.memory_bytes / self.memory_bandwidth
+        storage_time = (
+            counters.storage_read_bytes + counters.storage_write_bytes
+        ) / self.storage_bandwidth
+        return max(compute_time, memory_time) + storage_time + self.launch_overhead
+
+
+#: Serial C++ implementation on one core of the paper's AMD EPYC 7282 host.
+CPU_PROFILE = DeviceProfile(
+    name="C++ (EPYC 7282, 1 core)",
+    compute_throughput=1.0e9,      # sustained useful ops/s on branchy string code
+    memory_bandwidth=12e9,         # single-core streaming bandwidth
+    storage_bandwidth=2.5e8,       # effective per-process share of the parallel filesystem
+    launch_overhead=0.0,
+)
+
+#: CUDA implementation on one of the paper's NVIDIA A100 cards.
+GPU_PROFILE = DeviceProfile(
+    name="CUDA (NVIDIA A100)",
+    compute_throughput=2.0e11,     # thousands of concurrent warps hide latency
+    memory_bandwidth=1.2e12,       # HBM2e sustained
+    storage_bandwidth=2.5e8,       # the same storage path feeds the GPU
+    launch_overhead=2.0e-5,
+)
+
+
+class SimulatedDevice:
+    """Accumulates kernel counters and reports execution-time estimates."""
+
+    def __init__(self, profile: DeviceProfile):
+        self.profile = profile
+        self.counters = KernelCounters()
+        self.launches = 0
+
+    def record(self, counters: KernelCounters) -> None:
+        """Add the counters of one kernel launch."""
+        self.counters.merge(counters)
+        self.launches += 1
+
+    def elapsed_seconds(self) -> float:
+        """Estimated execution time of everything recorded so far."""
+        base = self.profile.execution_time(self.counters)
+        # launch_overhead is charged once per launch; execution_time adds one.
+        return base + self.profile.launch_overhead * max(0, self.launches - 1)
+
+    def reset(self) -> None:
+        """Clear all recorded work."""
+        self.counters = KernelCounters()
+        self.launches = 0

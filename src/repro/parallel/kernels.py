@@ -1,0 +1,159 @@
+"""Simulated CUDA kernels for ZSMILES compression and decompression.
+
+These functions mirror the kernel decomposition of Section IV-E:
+
+* **compression** — one thread block (sized to a single 32-thread warp) per
+  SMILES record; each thread takes input positions in a strided fashion and
+  probes the dictionary trie for matches starting at its positions, building
+  the match graph; the block then runs the backward shortest-path sweep and
+  emits the compressed record.
+* **decompression** — one block per record; each thread looks up the expansion
+  length of the symbols at its positions, the block computes a prefix sum of
+  write offsets (the "share how many characters they must write" step of the
+  paper) and then writes its expansions.
+
+The kernels do the *real* work (their outputs are byte-identical to the serial
+codec, which is asserted in tests) while counting instructions and memory
+traffic into :class:`~repro.parallel.gpu_model.KernelCounters`; the counters
+drive the execution-time estimates of the simulated devices.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.escape import iter_compressed_units
+from ..core.shortest_path import ESCAPE_COST, MATCH_COST
+from ..dictionary.codec_table import CodecTable
+from ..errors import DecompressionError
+from ..smiles.alphabet import ESCAPE_CHAR
+from .gpu_model import WARP_SIZE, KernelCounters
+
+#: Approximate cost (scalar instructions) of one trie-node traversal step
+#: (hash of the child map, pointer chase, bounds checks).
+_TRIE_STEP_COST = 10
+#: Cost of one dynamic-programming relaxation.
+_RELAX_COST = 4
+#: Cost of one output character emission during compression.
+_EMIT_COST = 2
+#: Cost of writing one expanded character during decompression (shared-offset
+#: bookkeeping plus the copy itself).
+_WRITE_COST = 3
+#: Cost of one dictionary lookup during decompression (table fetch + copy setup).
+_LOOKUP_COST = 16
+#: Bytes touched per trie-node traversal (node fetch).
+_TRIE_STEP_BYTES = 8
+#: Bytes per dictionary lookup (symbol -> expansion pointer + length).
+_LOOKUP_BYTES = 12
+
+
+def compression_kernel(
+    record: str, table: CodecTable, counters: Optional[KernelCounters] = None
+) -> Tuple[str, KernelCounters]:
+    """Compress one record the way a warp-sized CUDA block would.
+
+    Returns the compressed record (identical to the serial compressor's
+    output) and the accumulated work counters.
+    """
+    counters = counters if counters is not None else KernelCounters()
+    n = len(record)
+    counters.blocks += 1
+    counters.storage_read_bytes += n + 1
+
+    trie = table.trie
+    # Phase 1 — every thread probes the trie at its strided positions.  The
+    # probe work is identical to what the serial code does; only the
+    # accounting reflects that 32 threads share it.
+    matches_at: List[List[Tuple[int, str]]] = [[] for _ in range(n)]
+    for start in range(n):
+        # Thread (start % WARP_SIZE) handles this position.
+        found = trie.matches_at(record, start)
+        probe_depth = 0
+        node_walk = 0
+        for length, _pattern, payload in found:
+            probe_depth = max(probe_depth, length)
+            if payload is not None:
+                matches_at[start].append((length, payload))
+        # The walk visits one node per character until the deepest match (at
+        # least one step even on an immediate mismatch).
+        node_walk = max(1, probe_depth)
+        counters.instructions += node_walk * _TRIE_STEP_COST
+        counters.memory_bytes += node_walk * _TRIE_STEP_BYTES + 1
+
+    # Phase 2 — backward shortest-path sweep over the match graph (done once
+    # per block; in the CUDA version this is the warp-cooperative Dijkstra).
+    INF = float("inf")
+    cost: List[float] = [INF] * (n + 1)
+    cost[n] = 0.0
+    best: List[Optional[Tuple[int, Optional[str]]]] = [None] * n
+    for i in range(n - 1, -1, -1):
+        cost[i] = ESCAPE_COST + cost[i + 1]
+        best[i] = (1, None)
+        counters.instructions += _RELAX_COST
+        for length, symbol in matches_at[i]:
+            counters.instructions += _RELAX_COST
+            counters.memory_bytes += 4
+            candidate = MATCH_COST + cost[i + length]
+            if candidate < cost[i]:
+                cost[i] = candidate
+                best[i] = (length, symbol)
+
+    # Phase 3 — emit the compressed record.
+    out: List[str] = []
+    pos = 0
+    while pos < n:
+        step = best[pos]
+        assert step is not None
+        length, symbol = step
+        if symbol is None:
+            out.append(ESCAPE_CHAR + record[pos])
+            counters.instructions += 2 * _EMIT_COST
+        else:
+            out.append(symbol)
+            counters.instructions += _EMIT_COST
+        pos += length
+    compressed = "".join(out)
+    counters.memory_bytes += len(compressed)
+    counters.storage_write_bytes += len(compressed) + 1
+    return compressed, counters
+
+
+def decompression_kernel(
+    compressed: str, table: CodecTable, counters: Optional[KernelCounters] = None
+) -> Tuple[str, KernelCounters]:
+    """Decompress one record the way a warp-sized CUDA block would.
+
+    Each thread resolves the expansion lengths of its strided symbol
+    positions, the block prefix-sums the write offsets, and every thread then
+    copies its expansions to the output buffer.
+    """
+    counters = counters if counters is not None else KernelCounters()
+    counters.blocks += 1
+    counters.storage_read_bytes += len(compressed) + 1
+
+    # Phase 1 — per-symbol lookup of expansion lengths.
+    units: List[str] = []
+    for unit, is_escape in iter_compressed_units(compressed):
+        if is_escape:
+            units.append(unit)
+            counters.instructions += _LOOKUP_COST
+            counters.memory_bytes += 2
+        else:
+            pattern = table.pattern_for(unit)
+            if pattern is None:
+                raise DecompressionError(
+                    f"symbol {unit!r} (U+{ord(unit):04X}) is not in the dictionary"
+                )
+            units.append(pattern)
+            counters.instructions += _LOOKUP_COST
+            counters.memory_bytes += _LOOKUP_BYTES
+
+    # Phase 2 — warp prefix sum over the expansion lengths (log2(32) rounds).
+    counters.instructions += 5 * max(1, (len(units) + WARP_SIZE - 1) // WARP_SIZE)
+
+    # Phase 3 — each thread writes its expansions.
+    output = "".join(units)
+    counters.instructions += len(output) * _WRITE_COST
+    counters.memory_bytes += len(output)
+    counters.storage_write_bytes += len(output) + 1
+    return output, counters

@@ -1,0 +1,128 @@
+"""Figure 5 performance model: serial C++ versus CUDA across ``Lmax``.
+
+The driver in this module runs the simulated kernels over a corpus for a set
+of ``Lmax`` values and both device profiles, producing exactly the series
+plotted in Figure 5a (compression) and Figure 5b (decompression): execution
+times normalized to the serial implementation at the largest ``Lmax``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.codec import ZSmilesCodec
+from ..dictionary.prepopulation import PrePopulation
+from .gpu_model import CPU_PROFILE, GPU_PROFILE, DeviceProfile, KernelCounters, SimulatedDevice
+from .kernels import compression_kernel, decompression_kernel
+
+
+@dataclass
+class PerformancePoint:
+    """One (device, Lmax, operation) measurement of the simulated run."""
+
+    device: str
+    lmax: int
+    operation: str  # "compression" | "decompression"
+    seconds: float
+    normalized: float = 0.0
+    counters: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class PerformanceSweep:
+    """All measurements of a Figure 5 style sweep, plus headline speedups."""
+
+    points: List[PerformancePoint]
+
+    def series(self, device: str, operation: str) -> List[PerformancePoint]:
+        """Points for one curve, ordered by Lmax."""
+        return sorted(
+            (p for p in self.points if p.device == device and p.operation == operation),
+            key=lambda p: p.lmax,
+        )
+
+    def speedup(self, operation: str, lmax: Optional[int] = None) -> float:
+        """CPU time over GPU time for *operation* (at the largest Lmax by default)."""
+        cpu = self.series(CPU_PROFILE.name, operation)
+        gpu = self.series(GPU_PROFILE.name, operation)
+        if not cpu or not gpu:
+            raise ValueError(f"no measurements for operation {operation!r}")
+        if lmax is None:
+            lmax = cpu[-1].lmax
+        cpu_point = next(p for p in cpu if p.lmax == lmax)
+        gpu_point = next(p for p in gpu if p.lmax == lmax)
+        return cpu_point.seconds / gpu_point.seconds
+
+
+def _simulate(
+    corpus: Sequence[str],
+    codec: ZSmilesCodec,
+    profile: DeviceProfile,
+    operation: str,
+) -> PerformancePoint:
+    device = SimulatedDevice(profile)
+    counters = KernelCounters()
+    if operation == "compression":
+        prepared = [codec.preprocess(s) for s in corpus]
+        for record in prepared:
+            _, counters = compression_kernel(record, codec.table, counters)
+    elif operation == "decompression":
+        compressed = [codec.compress(s) for s in corpus]
+        for record in compressed:
+            _, counters = decompression_kernel(record, codec.table, counters)
+    else:
+        raise ValueError(f"unknown operation {operation!r}")
+    device.record(counters)
+    return PerformancePoint(
+        device=profile.name,
+        lmax=int(codec.table.metadata.get("lmax", codec.table.max_pattern_length)),
+        operation=operation,
+        seconds=device.elapsed_seconds(),
+        counters=counters.as_dict(),
+    )
+
+
+def run_performance_sweep(
+    training_corpus: Sequence[str],
+    evaluation_corpus: Sequence[str],
+    lmax_values: Sequence[int] = (5, 8, 15),
+    prepopulation: PrePopulation = PrePopulation.SMILES_ALPHABET,
+    profiles: Sequence[DeviceProfile] = (CPU_PROFILE, GPU_PROFILE),
+) -> PerformanceSweep:
+    """Reproduce the Figure 5 sweep.
+
+    A codec is trained per ``Lmax`` value (dictionaries differ, as in the
+    paper), then compression and decompression of the evaluation corpus are
+    simulated on every device profile.  Times are normalized to the serial
+    profile at the largest ``Lmax``, separately for compression and
+    decompression, matching the figure's axes.
+    """
+    points: List[PerformancePoint] = []
+    for lmax in lmax_values:
+        codec = ZSmilesCodec.train(
+            training_corpus,
+            preprocessing=True,
+            prepopulation=prepopulation,
+            lmax=lmax,
+        )
+        for profile in profiles:
+            for operation in ("compression", "decompression"):
+                point = _simulate(evaluation_corpus, codec, profile, operation)
+                point.lmax = lmax
+                points.append(point)
+
+    sweep = PerformanceSweep(points=points)
+    reference_lmax = max(lmax_values)
+    for operation in ("compression", "decompression"):
+        reference = next(
+            p
+            for p in sweep.points
+            if p.device == profiles[0].name
+            and p.operation == operation
+            and p.lmax == reference_lmax
+        )
+        for point in sweep.points:
+            if point.operation == operation:
+                point.normalized = point.seconds / reference.seconds
+    return sweep

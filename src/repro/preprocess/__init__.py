@@ -1,0 +1,25 @@
+"""SMILES preprocessing (Section IV-A of the paper)."""
+
+from .pipeline import (
+    PreprocessingPipeline,
+    drop_title_column,
+    make_pipeline,
+    strip_whitespace,
+)
+from .ring_renumber import (
+    RingRenumberPolicy,
+    assign_ring_ids,
+    renumber_rings,
+    renumber_tokens,
+)
+
+__all__ = [
+    "PreprocessingPipeline",
+    "drop_title_column",
+    "make_pipeline",
+    "strip_whitespace",
+    "RingRenumberPolicy",
+    "assign_ring_ids",
+    "renumber_rings",
+    "renumber_tokens",
+]

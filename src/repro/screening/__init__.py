@@ -1,0 +1,18 @@
+"""Virtual screening substrate: the paper's motivating use case (Section I)."""
+
+from .docking import DEFAULT_POCKETS, PocketModel, dock_library, dock_score, top_hits
+from .pipeline import CampaignResult, ScreeningCampaign
+from .storage import StorageFootprint, format_bytes, measure_footprint
+
+__all__ = [
+    "DEFAULT_POCKETS",
+    "PocketModel",
+    "dock_library",
+    "dock_score",
+    "top_hits",
+    "CampaignResult",
+    "ScreeningCampaign",
+    "StorageFootprint",
+    "format_bytes",
+    "measure_footprint",
+]

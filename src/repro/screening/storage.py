@@ -1,0 +1,102 @@
+"""Storage-footprint accounting for screening campaigns.
+
+Section I of the paper motivates ZSMILES with the cold-storage cost of
+extreme-scale campaigns (≈72 TB for the Marconi100 run).  This module turns
+per-file byte counts into campaign-level projections: how much space the
+input library and the score-decorated output occupy raw, ZSMILES-compressed
+and with an additional bzip2 cold-storage pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..core.codec import ZSmilesCodec
+from ..baselines.bzip2_codec import bzip2_over_lines
+
+
+@dataclass(frozen=True)
+class StorageFootprint:
+    """Byte counts of one dataset under the storage options considered.
+
+    Attributes
+    ----------
+    raw_bytes:
+        Plain ``.smi`` storage (one record per line).
+    zsmiles_bytes:
+        ZSMILES-compressed ``.zsmi`` storage (still line separable).
+    zsmiles_bzip2_bytes:
+        ``.zsmi`` further compressed with file-wide bzip2 for cold storage.
+    records:
+        Number of records measured.
+    """
+
+    raw_bytes: int
+    zsmiles_bytes: int
+    zsmiles_bzip2_bytes: int
+    records: int
+
+    @property
+    def zsmiles_ratio(self) -> float:
+        """ZSMILES bytes over raw bytes."""
+        return self.zsmiles_bytes / self.raw_bytes if self.raw_bytes else 1.0
+
+    @property
+    def cold_storage_ratio(self) -> float:
+        """ZSMILES + bzip2 bytes over raw bytes."""
+        return self.zsmiles_bzip2_bytes / self.raw_bytes if self.raw_bytes else 1.0
+
+    def scaled(self, target_records: int) -> Dict[str, float]:
+        """Linear projection of the byte counts to *target_records* records.
+
+        Used to extrapolate the measured sample to campaign scale (e.g. the
+        paper's 72 TB example), assuming record statistics stay uniform.
+        """
+        if self.records == 0:
+            return {"raw_bytes": 0.0, "zsmiles_bytes": 0.0, "zsmiles_bzip2_bytes": 0.0}
+        factor = target_records / self.records
+        return {
+            "raw_bytes": self.raw_bytes * factor,
+            "zsmiles_bytes": self.zsmiles_bytes * factor,
+            "zsmiles_bzip2_bytes": self.zsmiles_bzip2_bytes * factor,
+        }
+
+
+def measure_footprint(
+    corpus: Sequence[str], codec: ZSmilesCodec, compressed: Optional[Sequence[str]] = None
+) -> StorageFootprint:
+    """Measure the storage footprint of *corpus* under the three options.
+
+    Parameters
+    ----------
+    corpus:
+        Plain SMILES records.
+    codec:
+        Trained codec used for the ZSMILES option.
+    compressed:
+        Pre-computed compressed records (optional, to avoid compressing twice
+        when the caller already has them).
+    """
+    compressed_records = (
+        list(compressed) if compressed is not None else [codec.compress(s) for s in corpus]
+    )
+    raw_bytes = sum(len(s) + 1 for s in corpus)
+    zsmiles_bytes = sum(len(s) + 1 for s in compressed_records)
+    bzip2_stage = bzip2_over_lines(compressed_records) if compressed_records else 1.0
+    return StorageFootprint(
+        raw_bytes=raw_bytes,
+        zsmiles_bytes=zsmiles_bytes,
+        zsmiles_bzip2_bytes=int(round(zsmiles_bytes * bzip2_stage)),
+        records=len(corpus),
+    )
+
+
+def format_bytes(count: float) -> str:
+    """Human-readable byte count (binary prefixes), used by reports and the CLI."""
+    value = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB", "PiB"):
+        if abs(value) < 1024.0 or unit == "PiB":
+            return f"{value:.2f} {unit}"
+        value /= 1024.0
+    return f"{value:.2f} PiB"

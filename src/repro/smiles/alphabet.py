@@ -1,0 +1,166 @@
+"""SMILES alphabet definitions.
+
+This module centralizes every character class the SMILES grammar uses
+(Weininger 1988, OpenSMILES specification subset).  The rest of the package —
+the tokenizer, the dictionary pre-population policies and the codec symbol
+allocator — all consult these tables so there is exactly one place that
+defines "the SMILES alphabet" referenced throughout the paper (Section IV-B).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Tuple
+
+# --------------------------------------------------------------------------- #
+# Element symbols
+# --------------------------------------------------------------------------- #
+
+#: Organic-subset elements that may be written outside brackets.
+ORGANIC_SUBSET: Tuple[str, ...] = (
+    "B", "C", "N", "O", "P", "S", "F", "Cl", "Br", "I",
+)
+
+#: Aromatic organic-subset atoms (lower case, outside brackets).
+AROMATIC_ORGANIC: Tuple[str, ...] = ("b", "c", "n", "o", "p", "s")
+
+#: Aromatic symbols only valid inside brackets.
+AROMATIC_BRACKET_ONLY: Tuple[str, ...] = ("se", "as", "te", "si")
+
+#: Every element symbol accepted inside a bracket atom.  This is the full
+#: periodic table as of IUPAC 2016; two-character symbols must be matched
+#: before one-character ones when tokenizing.
+ALL_ELEMENTS: Tuple[str, ...] = (
+    "H", "He", "Li", "Be", "B", "C", "N", "O", "F", "Ne",
+    "Na", "Mg", "Al", "Si", "P", "S", "Cl", "Ar", "K", "Ca",
+    "Sc", "Ti", "V", "Cr", "Mn", "Fe", "Co", "Ni", "Cu", "Zn",
+    "Ga", "Ge", "As", "Se", "Br", "Kr", "Rb", "Sr", "Y", "Zr",
+    "Nb", "Mo", "Tc", "Ru", "Rh", "Pd", "Ag", "Cd", "In", "Sn",
+    "Sb", "Te", "I", "Xe", "Cs", "Ba", "La", "Ce", "Pr", "Nd",
+    "Pm", "Sm", "Eu", "Gd", "Tb", "Dy", "Ho", "Er", "Tm", "Yb",
+    "Lu", "Hf", "Ta", "W", "Re", "Os", "Ir", "Pt", "Au", "Hg",
+    "Tl", "Pb", "Bi", "Po", "At", "Rn", "Fr", "Ra", "Ac", "Th",
+    "Pa", "U", "Np", "Pu", "Am", "Cm", "Bk", "Cf", "Es", "Fm",
+    "Md", "No", "Lr", "Rf", "Db", "Sg", "Bh", "Hs", "Mt", "Ds",
+    "Rg", "Cn", "Nh", "Fl", "Mc", "Lv", "Ts", "Og",
+)
+
+#: Wildcard atom.
+WILDCARD = "*"
+
+# --------------------------------------------------------------------------- #
+# Structural characters
+# --------------------------------------------------------------------------- #
+
+#: Bond symbols.  ``/`` and ``\\`` encode cis/trans configuration, ``-`` single,
+#: ``=`` double, ``#`` triple, ``$`` quadruple, ``:`` aromatic, ``~`` any.
+BOND_SYMBOLS: Tuple[str, ...] = ("-", "=", "#", "$", ":", "/", "\\", "~")
+
+#: Branch delimiters.
+BRANCH_OPEN = "("
+BRANCH_CLOSE = ")"
+
+#: Bracket-atom delimiters.
+BRACKET_OPEN = "["
+BRACKET_CLOSE = "]"
+
+#: Ring-bond two-digit escape.
+RING_PERCENT = "%"
+
+#: Disconnected-structure separator.
+DOT = "."
+
+#: Chirality marker used inside brackets.
+CHIRALITY = "@"
+
+#: Charge markers inside brackets.
+CHARGE_PLUS = "+"
+CHARGE_MINUS = "-"
+
+#: Digits used for ring bonds, charges and isotopes.
+DIGITS: Tuple[str, ...] = tuple("0123456789")
+
+# --------------------------------------------------------------------------- #
+# Aggregate alphabets
+# --------------------------------------------------------------------------- #
+
+
+def _build_smiles_alphabet() -> FrozenSet[str]:
+    """Collect every single character that may appear in a valid SMILES string."""
+    chars: set[str] = set()
+    for sym in ORGANIC_SUBSET + AROMATIC_ORGANIC + ALL_ELEMENTS:
+        chars.update(sym)
+    chars.update(AROMATIC_BRACKET_ONLY[0])  # 's', 'e' already covered by elements
+    for sym in AROMATIC_BRACKET_ONLY:
+        chars.update(sym)
+    chars.update(BOND_SYMBOLS)
+    chars.update(DIGITS)
+    chars.update(
+        {
+            BRANCH_OPEN,
+            BRANCH_CLOSE,
+            BRACKET_OPEN,
+            BRACKET_CLOSE,
+            RING_PERCENT,
+            DOT,
+            CHIRALITY,
+            CHARGE_PLUS,
+            CHARGE_MINUS,
+            WILDCARD,
+            "H",  # explicit hydrogen count inside brackets
+        }
+    )
+    return frozenset(chars)
+
+
+#: Every single character that can legally appear in a SMILES string.  This is
+#: the set the paper calls "the SMILES alphabet" when pre-populating the
+#: dictionary (Section IV-B).
+SMILES_ALPHABET: FrozenSet[str] = _build_smiles_alphabet()
+
+#: All printable ASCII characters (0x20–0x7E) — the paper's "printable"
+#: pre-population policy.
+PRINTABLE_ASCII: FrozenSet[str] = frozenset(chr(c) for c in range(0x20, 0x7F))
+
+#: Printable characters that are *not* part of the SMILES alphabet.  These are
+#: the first code points handed out to multi-character dictionary entries so
+#: the compressed output remains readable ASCII as long as possible.
+NON_SMILES_PRINTABLE: FrozenSet[str] = PRINTABLE_ASCII - SMILES_ALPHABET - {" "}
+
+#: Latin-1 code points 0x80–0xFF used once the non-SMILES printable characters
+#: are exhausted — the paper's "extended ASCII characters".  U+0085 (NEL) is
+#: excluded because ``str.splitlines`` treats it as a line boundary, which
+#: would break the one-record-per-line contract.
+EXTENDED_ASCII: Tuple[str, ...] = tuple(
+    chr(c) for c in range(0x80, 0x100) if c != 0x85
+)
+
+#: The escape marker used by the codec (Section IV-D): a space followed by the
+#: literal character.  Space never appears inside a SMILES string, which is why
+#: it is safe to reserve.
+ESCAPE_CHAR = " "
+
+
+def is_smiles_char(ch: str) -> bool:
+    """Return ``True`` if *ch* is a single character of the SMILES alphabet."""
+    return ch in SMILES_ALPHABET
+
+
+def symbol_code_points(reserved: FrozenSet[str] = frozenset()) -> Tuple[str, ...]:
+    """Return the ordered pool of code points available for dictionary symbols.
+
+    Parameters
+    ----------
+    reserved:
+        Characters that must not be used as symbols (typically the characters a
+        pre-population policy maps to themselves).
+
+    Returns
+    -------
+    tuple of str
+        Non-SMILES printable ASCII first (keeps output readable), then the
+        Latin-1 extended range, excluding anything in *reserved*, the escape
+        character and the newline family.
+    """
+    forbidden = set(reserved) | {ESCAPE_CHAR, "\n", "\r", "\t"}
+    ordered = sorted(NON_SMILES_PRINTABLE) + list(EXTENDED_ASCII)
+    return tuple(ch for ch in ordered if ch not in forbidden)

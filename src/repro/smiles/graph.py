@@ -1,0 +1,303 @@
+"""Molecular graph data structures.
+
+The parser converts a SMILES string into a :class:`MolecularGraph`; the writer
+converts a graph back into a SMILES string; the synthetic dataset generators
+build graphs directly and then serialize them.  The representation is a plain
+adjacency structure — no chemistry engine is required for the compression
+experiments, but enough semantics (element, aromaticity, charge, isotope,
+chirality, bond order) are retained for validation and for generating
+realistic, diverse SMILES text.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import ValidationError
+
+
+class BondOrder(enum.Enum):
+    """Bond types distinguished by the SMILES grammar."""
+
+    SINGLE = "-"
+    DOUBLE = "="
+    TRIPLE = "#"
+    QUADRUPLE = "$"
+    AROMATIC = ":"
+    UP = "/"
+    DOWN = "\\"
+    ANY = "~"
+
+    @property
+    def symbol(self) -> str:
+        """The SMILES character for this bond order."""
+        return self.value
+
+    @property
+    def valence_units(self) -> int:
+        """Number of valence units this bond consumes on each endpoint."""
+        return {
+            BondOrder.SINGLE: 1,
+            BondOrder.DOUBLE: 2,
+            BondOrder.TRIPLE: 3,
+            BondOrder.QUADRUPLE: 4,
+            BondOrder.AROMATIC: 1,
+            BondOrder.UP: 1,
+            BondOrder.DOWN: 1,
+            BondOrder.ANY: 1,
+        }[self]
+
+
+#: Default valences for the organic subset (used by the rough valence check
+#: and by the generators to keep molecules chemically plausible).
+DEFAULT_VALENCE: Dict[str, Tuple[int, ...]] = {
+    "B": (3,),
+    "C": (4,),
+    "N": (3, 5),
+    "O": (2,),
+    "P": (3, 5),
+    "S": (2, 4, 6),
+    "F": (1,),
+    "Cl": (1,),
+    "Br": (1,),
+    "I": (1,),
+    "*": (8,),
+    "H": (1,),
+}
+
+
+@dataclass
+class Atom:
+    """One heavy atom (or wildcard) in a molecular graph.
+
+    Attributes
+    ----------
+    element:
+        Element symbol with canonical capitalization (``"C"``, ``"Cl"``...).
+    aromatic:
+        ``True`` if the atom is written lower-case in SMILES.
+    charge:
+        Formal charge.
+    isotope:
+        Isotope number, or ``None`` for the natural mixture.
+    explicit_h:
+        Explicit hydrogen count from a bracket atom, or ``None`` if implicit.
+    chirality:
+        ``"@"`` / ``"@@"`` / extended chirality tag, or ``None``.
+    atom_class:
+        SMILES atom-class annotation (``[CH4:1]``), or ``None``.
+    bracket:
+        Force bracket notation even when the organic-subset shorthand would be
+        legal (set automatically when any bracket-only field is present).
+    """
+
+    element: str
+    aromatic: bool = False
+    charge: int = 0
+    isotope: Optional[int] = None
+    explicit_h: Optional[int] = None
+    chirality: Optional[str] = None
+    atom_class: Optional[int] = None
+    bracket: bool = False
+
+    def needs_bracket(self) -> bool:
+        """Return ``True`` if this atom must be written as a bracket atom."""
+        if self.bracket:
+            return True
+        if self.element not in DEFAULT_VALENCE or self.element in ("*", "H"):
+            if self.element == "*":
+                pass  # wildcard can be written bare
+            else:
+                return True
+        return (
+            self.charge != 0
+            or self.isotope is not None
+            or self.explicit_h is not None
+            or self.chirality is not None
+            or self.atom_class is not None
+        )
+
+    def smiles_symbol(self) -> str:
+        """Element symbol with aromatic lower-casing applied."""
+        return self.element.lower() if self.aromatic else self.element
+
+
+@dataclass(frozen=True)
+class Bond:
+    """An undirected bond between two atom indices."""
+
+    a: int
+    b: int
+    order: BondOrder = BondOrder.SINGLE
+
+    def other(self, idx: int) -> int:
+        """Return the endpoint that is not *idx*."""
+        if idx == self.a:
+            return self.b
+        if idx == self.b:
+            return self.a
+        raise ValueError(f"atom {idx} is not an endpoint of {self}")
+
+    def key(self) -> Tuple[int, int]:
+        """Canonical (min, max) endpoint tuple."""
+        return (self.a, self.b) if self.a <= self.b else (self.b, self.a)
+
+
+class MolecularGraph:
+    """Undirected multigraph of atoms and bonds.
+
+    The graph may contain several connected components (SMILES ``.``
+    disconnections).  Atom indices are dense integers assigned in insertion
+    order.
+    """
+
+    def __init__(self) -> None:
+        self._atoms: List[Atom] = []
+        self._bonds: List[Bond] = []
+        self._adjacency: Dict[int, List[int]] = {}
+        self._bond_index: Dict[Tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_atom(self, atom: Atom) -> int:
+        """Append *atom* and return its index."""
+        idx = len(self._atoms)
+        self._atoms.append(atom)
+        self._adjacency[idx] = []
+        return idx
+
+    def add_bond(self, a: int, b: int, order: BondOrder = BondOrder.SINGLE) -> Bond:
+        """Create a bond between atom indices *a* and *b*.
+
+        Raises
+        ------
+        ValidationError
+            If either endpoint does not exist, the endpoints are equal, or the
+            bond already exists.
+        """
+        if a == b:
+            raise ValidationError(f"self-bond on atom {a}")
+        for idx in (a, b):
+            if not 0 <= idx < len(self._atoms):
+                raise ValidationError(f"bond references missing atom {idx}")
+        key = (a, b) if a <= b else (b, a)
+        if key in self._bond_index:
+            raise ValidationError(f"duplicate bond between {a} and {b}")
+        bond = Bond(a, b, order)
+        self._bond_index[key] = len(self._bonds)
+        self._bonds.append(bond)
+        self._adjacency[a].append(b)
+        self._adjacency[b].append(a)
+        return bond
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def atoms(self) -> List[Atom]:
+        """List of atoms in insertion order."""
+        return self._atoms
+
+    @property
+    def bonds(self) -> List[Bond]:
+        """List of bonds in insertion order."""
+        return self._bonds
+
+    def atom_count(self) -> int:
+        """Number of atoms."""
+        return len(self._atoms)
+
+    def bond_count(self) -> int:
+        """Number of bonds."""
+        return len(self._bonds)
+
+    def neighbors(self, idx: int) -> List[int]:
+        """Atom indices bonded to *idx*."""
+        return list(self._adjacency[idx])
+
+    def degree(self, idx: int) -> int:
+        """Number of bonds incident on *idx*."""
+        return len(self._adjacency[idx])
+
+    def get_bond(self, a: int, b: int) -> Optional[Bond]:
+        """Return the bond between *a* and *b*, or ``None``."""
+        key = (a, b) if a <= b else (b, a)
+        pos = self._bond_index.get(key)
+        return None if pos is None else self._bonds[pos]
+
+    def bonded_valence(self, idx: int) -> int:
+        """Sum of valence units of bonds incident on atom *idx*."""
+        total = 0
+        for nbr in self._adjacency[idx]:
+            bond = self.get_bond(idx, nbr)
+            assert bond is not None
+            total += bond.order.valence_units
+        return total
+
+    def connected_components(self) -> List[List[int]]:
+        """Return atom-index lists, one per connected component, in discovery order."""
+        seen: set[int] = set()
+        components: List[List[int]] = []
+        for start in range(len(self._atoms)):
+            if start in seen:
+                continue
+            stack = [start]
+            comp: List[int] = []
+            seen.add(start)
+            while stack:
+                node = stack.pop()
+                comp.append(node)
+                for nbr in self._adjacency[node]:
+                    if nbr not in seen:
+                        seen.add(nbr)
+                        stack.append(nbr)
+            components.append(sorted(comp))
+        return components
+
+    def ring_bond_count(self) -> int:
+        """Number of independent cycles (cyclomatic number) in the graph."""
+        return len(self._bonds) - len(self._atoms) + len(self.connected_components())
+
+    def iter_ring_memberships(self) -> Iterator[Tuple[int, int]]:
+        """Yield ``(a, b)`` endpoint pairs for bonds that lie on at least one cycle.
+
+        A bond is a ring bond iff removing it keeps its endpoints connected.
+        This is only used by validation and dataset statistics, so an O(B·(V+E))
+        implementation is acceptable.
+        """
+        for bond in self._bonds:
+            if self._still_connected_without(bond):
+                yield bond.a, bond.b
+
+    def _still_connected_without(self, bond: Bond) -> bool:
+        target = bond.b
+        stack = [bond.a]
+        seen = {bond.a}
+        while stack:
+            node = stack.pop()
+            if node == target:
+                return True
+            for nbr in self._adjacency[node]:
+                if node == bond.a and nbr == bond.b:
+                    continue
+                if node == bond.b and nbr == bond.a:
+                    continue
+                if nbr not in seen:
+                    seen.add(nbr)
+                    stack.append(nbr)
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Dunder helpers
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MolecularGraph(atoms={len(self._atoms)}, bonds={len(self._bonds)}, "
+            f"rings={self.ring_bond_count()})"
+        )

@@ -1,0 +1,272 @@
+"""SMILES parser: token stream → :class:`~repro.smiles.graph.MolecularGraph`.
+
+The parser implements the structural rules of the SMILES grammar that matter
+for this reproduction: branch nesting, ring-bond pairing (including bond
+symbols attached to either the opening or closing digit), dot disconnections
+and bracket-atom attributes.  Aromatic perception, kekulization and full
+valence models are out of scope — the compression experiments only require
+structural round-tripping, which is property-tested against the writer.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ParseError
+from .graph import Atom, BondOrder, MolecularGraph
+from .tokenizer import Token, TokenType, tokenize
+
+_BRACKET_RE = re.compile(
+    r"""
+    \[
+    (?P<isotope>\d+)?
+    (?P<symbol>\*|[A-Z][a-z]?|[a-z][a-z]?)
+    (?P<chiral>@{1,2}(?:TH[12]|AL[12]|SP[1-3]|TB\d{1,2}|OH\d{1,2})?)?
+    (?P<hcount>H\d*)?
+    (?P<charge>\+\d+|-\d+|\+{1,3}|-{1,3})?
+    (?::(?P<cls>\d+))?
+    \]
+    """,
+    re.VERBOSE,
+)
+
+_BOND_BY_SYMBOL: Dict[str, BondOrder] = {order.value: order for order in BondOrder}
+
+
+def parse_bracket_atom(text: str) -> Atom:
+    """Parse the text of a bracket atom token (``[13C@H2+:5]`` style) into an :class:`Atom`.
+
+    Raises
+    ------
+    ParseError
+        If the text is not a well-formed bracket atom.
+    """
+    match = _BRACKET_RE.fullmatch(text)
+    if match is None:
+        raise ParseError(f"malformed bracket atom {text!r}")
+    symbol = match.group("symbol")
+    aromatic = symbol[0].islower() and symbol != "*"
+    element = symbol if symbol == "*" else symbol.capitalize()
+
+    isotope = int(match.group("isotope")) if match.group("isotope") else None
+
+    hcount: Optional[int] = None
+    hgroup = match.group("hcount")
+    if hgroup is not None:
+        hcount = int(hgroup[1:]) if len(hgroup) > 1 else 1
+
+    charge = 0
+    cgroup = match.group("charge")
+    if cgroup:
+        if cgroup in ("+", "++", "+++"):
+            charge = len(cgroup)
+        elif cgroup in ("-", "--", "---"):
+            charge = -len(cgroup)
+        else:
+            charge = int(cgroup)
+
+    atom_class = int(match.group("cls")) if match.group("cls") else None
+
+    return Atom(
+        element=element,
+        aromatic=aromatic,
+        charge=charge,
+        isotope=isotope,
+        explicit_h=hcount,
+        chirality=match.group("chiral"),
+        atom_class=atom_class,
+        bracket=True,
+    )
+
+
+@dataclass
+class _RingOpening:
+    """Bookkeeping for a ring-bond digit seen once but not yet closed."""
+
+    atom: int
+    bond: Optional[BondOrder]
+    position: int
+
+
+class SmilesParser:
+    """Stateful single-pass SMILES parser.
+
+    A fresh parser instance should be used per string (use the module-level
+    :func:`parse` helper); the class exists mainly so that the intermediate
+    state is inspectable in tests.
+    """
+
+    def __init__(self, smiles: str):
+        self.smiles = smiles
+        self.graph = MolecularGraph()
+        self._prev_atom: Optional[int] = None
+        self._pending_bond: Optional[BondOrder] = None
+        self._branch_stack: List[Tuple[Optional[int], Optional[BondOrder]]] = []
+        self._open_rings: Dict[int, _RingOpening] = {}
+        self._new_component = True
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> MolecularGraph:
+        """Parse the SMILES string supplied at construction time."""
+        tokens = tokenize(self.smiles)
+        for tok in tokens:
+            self._consume(tok)
+        if self._branch_stack:
+            raise ParseError(
+                "unclosed branch parenthesis", smiles=self.smiles, position=len(self.smiles)
+            )
+        if self._open_rings:
+            ring_ids = sorted(self._open_rings)
+            raise ParseError(
+                f"unclosed ring bond id(s) {ring_ids}",
+                smiles=self.smiles,
+                position=len(self.smiles),
+            )
+        if self._pending_bond is not None:
+            raise ParseError(
+                "dangling bond symbol at end of input",
+                smiles=self.smiles,
+                position=len(self.smiles),
+            )
+        return self.graph
+
+    # ------------------------------------------------------------------ #
+    def _consume(self, tok: Token) -> None:
+        if tok.type in (TokenType.ATOM, TokenType.BRACKET_ATOM):
+            self._handle_atom(tok)
+        elif tok.type == TokenType.BOND:
+            if self._pending_bond is not None:
+                raise ParseError(
+                    "two consecutive bond symbols", smiles=self.smiles, position=tok.position
+                )
+            self._pending_bond = _BOND_BY_SYMBOL[tok.text]
+        elif tok.type == TokenType.BRANCH_OPEN:
+            if self._prev_atom is None:
+                raise ParseError(
+                    "branch opened before any atom", smiles=self.smiles, position=tok.position
+                )
+            self._branch_stack.append((self._prev_atom, self._pending_bond))
+            self._pending_bond = None
+        elif tok.type == TokenType.BRANCH_CLOSE:
+            if not self._branch_stack:
+                raise ParseError(
+                    "unmatched ')'", smiles=self.smiles, position=tok.position
+                )
+            if self._pending_bond is not None:
+                raise ParseError(
+                    "dangling bond symbol before ')'",
+                    smiles=self.smiles,
+                    position=tok.position,
+                )
+            self._prev_atom, self._pending_bond = self._branch_stack.pop()
+            self._pending_bond = None
+        elif tok.type == TokenType.RING_BOND:
+            self._handle_ring(tok)
+        elif tok.type == TokenType.DOT:
+            if self._pending_bond is not None:
+                raise ParseError(
+                    "bond symbol before '.'", smiles=self.smiles, position=tok.position
+                )
+            self._prev_atom = None
+            self._new_component = True
+        else:  # pragma: no cover - exhaustive enum
+            raise ParseError(f"unhandled token {tok!r}", smiles=self.smiles)
+
+    # ------------------------------------------------------------------ #
+    def _handle_atom(self, tok: Token) -> None:
+        if tok.type == TokenType.BRACKET_ATOM:
+            atom = parse_bracket_atom(tok.text)
+        else:
+            text = tok.text
+            if text == "*":
+                atom = Atom(element="*")
+            elif text.islower():
+                atom = Atom(element=text.capitalize(), aromatic=True)
+            else:
+                atom = Atom(element=text)
+        idx = self.graph.add_atom(atom)
+        if self._prev_atom is not None:
+            order = self._pending_bond
+            if order is None:
+                prev = self.graph.atoms[self._prev_atom]
+                order = (
+                    BondOrder.AROMATIC
+                    if prev.aromatic and atom.aromatic
+                    else BondOrder.SINGLE
+                )
+            self.graph.add_bond(self._prev_atom, idx, order)
+        self._pending_bond = None
+        self._prev_atom = idx
+        self._new_component = False
+
+    def _handle_ring(self, tok: Token) -> None:
+        if self._prev_atom is None:
+            raise ParseError(
+                "ring bond digit before any atom", smiles=self.smiles, position=tok.position
+            )
+        ring_id = tok.ring_id
+        assert ring_id is not None
+        if ring_id in self._open_rings:
+            opening = self._open_rings.pop(ring_id)
+            if opening.atom == self._prev_atom:
+                raise ParseError(
+                    f"ring bond {ring_id} closes on its opening atom",
+                    smiles=self.smiles,
+                    position=tok.position,
+                )
+            order = self._pending_bond or opening.bond
+            if (
+                self._pending_bond is not None
+                and opening.bond is not None
+                and self._pending_bond is not opening.bond
+            ):
+                raise ParseError(
+                    f"conflicting bond orders on ring bond {ring_id}",
+                    smiles=self.smiles,
+                    position=tok.position,
+                )
+            if order is None:
+                a = self.graph.atoms[opening.atom]
+                b = self.graph.atoms[self._prev_atom]
+                order = (
+                    BondOrder.AROMATIC
+                    if a.aromatic and b.aromatic
+                    else BondOrder.SINGLE
+                )
+            if self.graph.get_bond(opening.atom, self._prev_atom) is not None:
+                raise ParseError(
+                    f"ring bond {ring_id} duplicates an existing bond",
+                    smiles=self.smiles,
+                    position=tok.position,
+                )
+            self.graph.add_bond(opening.atom, self._prev_atom, order)
+        else:
+            self._open_rings[ring_id] = _RingOpening(
+                atom=self._prev_atom, bond=self._pending_bond, position=tok.position
+            )
+        self._pending_bond = None
+
+
+def parse(smiles: str) -> MolecularGraph:
+    """Parse *smiles* and return its :class:`MolecularGraph`.
+
+    Raises
+    ------
+    TokenizationError
+        If the string contains characters outside the SMILES grammar.
+    ParseError
+        If the token stream is structurally invalid (unbalanced branches,
+        unpaired ring bonds, dangling bonds...).
+    """
+    return SmilesParser(smiles).run()
+
+
+def is_parsable(smiles: str) -> bool:
+    """Return ``True`` if :func:`parse` succeeds on *smiles*."""
+    try:
+        parse(smiles)
+    except Exception:
+        return False
+    return True

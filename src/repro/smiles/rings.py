@@ -1,0 +1,122 @@
+"""Ring-bond analysis on SMILES token streams.
+
+The ZSMILES preprocessor (Section IV-A) rewrites ring-bond identifiers without
+building a molecular graph: it only needs to know which ring-bond token opens
+which ring, where that ring closes, and how ring spans nest.  This module
+provides exactly that: :func:`pair_ring_bonds` pairs opening/closing tokens
+and :func:`ring_spans` exposes their nesting structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..errors import RingNumberingError
+from .tokenizer import Token, TokenType, tokenize
+
+
+@dataclass(frozen=True)
+class RingSpan:
+    """A matched pair of ring-bond tokens.
+
+    Attributes
+    ----------
+    ring_id:
+        The identifier as written in the input (before any renumbering).
+    open_index:
+        Index into the token list of the opening token.
+    close_index:
+        Index into the token list of the closing token.
+    """
+
+    ring_id: int
+    open_index: int
+    close_index: int
+
+    @property
+    def length(self) -> int:
+        """Number of tokens strictly between the opening and closing tokens."""
+        return self.close_index - self.open_index - 1
+
+    def contains(self, other: "RingSpan") -> bool:
+        """``True`` when *other* is strictly nested inside this span."""
+        return self.open_index < other.open_index and other.close_index < self.close_index
+
+    def overlaps(self, other: "RingSpan") -> bool:
+        """``True`` when the two spans are simultaneously open at some point."""
+        return not (
+            self.close_index < other.open_index or other.close_index < self.open_index
+        )
+
+
+def pair_ring_bonds(tokens: Sequence[Token]) -> List[RingSpan]:
+    """Pair ring-bond tokens by identifier, in order of their opening position.
+
+    SMILES semantics: the first occurrence of an identifier opens a ring, the
+    second occurrence closes it, after which the identifier may be reused.
+
+    Raises
+    ------
+    RingNumberingError
+        If any identifier is left open at the end of the stream.
+    """
+    open_rings: Dict[int, int] = {}
+    spans: List[RingSpan] = []
+    for index, tok in enumerate(tokens):
+        if tok.type is not TokenType.RING_BOND:
+            continue
+        ring_id = tok.ring_id
+        assert ring_id is not None
+        if ring_id in open_rings:
+            spans.append(RingSpan(ring_id, open_rings.pop(ring_id), index))
+        else:
+            open_rings[ring_id] = index
+    if open_rings:
+        unclosed = sorted(open_rings)
+        raise RingNumberingError(f"unclosed ring bond identifier(s): {unclosed}")
+    spans.sort(key=lambda span: span.open_index)
+    return spans
+
+
+def ring_spans(smiles: str) -> List[RingSpan]:
+    """Tokenize *smiles* and return its ring spans (see :func:`pair_ring_bonds`)."""
+    return pair_ring_bonds(tokenize(smiles))
+
+
+def max_simultaneous_rings(spans: Sequence[RingSpan]) -> int:
+    """Maximum number of rings simultaneously open anywhere in the string.
+
+    This lower-bounds the number of distinct identifiers any renumbering must
+    use, so it is the natural sanity check for the preprocessor.
+    """
+    events: List[tuple[int, int]] = []
+    for span in spans:
+        events.append((span.open_index, 1))
+        events.append((span.close_index, -1))
+    events.sort()
+    current = best = 0
+    for _, delta in events:
+        current += delta
+        best = max(best, current)
+    return best
+
+
+def ring_statistics(smiles: str) -> Dict[str, float]:
+    """Summary statistics about ring usage in one SMILES string.
+
+    Returns a dict with ``count`` (number of rings), ``distinct_ids`` (number
+    of distinct identifiers used), ``max_open`` (maximum simultaneously open)
+    and ``mean_span`` (average token distance between opening and closing).
+    """
+    spans = ring_spans(smiles)
+    if not spans:
+        return {"count": 0, "distinct_ids": 0, "max_open": 0, "mean_span": 0.0}
+    distinct = len({span.ring_id for span in spans})
+    mean_span = sum(span.length for span in spans) / len(spans)
+    return {
+        "count": len(spans),
+        "distinct_ids": distinct,
+        "max_open": max_simultaneous_rings(spans),
+        "mean_span": mean_span,
+    }

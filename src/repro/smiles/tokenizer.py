@@ -1,0 +1,206 @@
+"""SMILES tokenizer.
+
+Splits a SMILES string into a flat sequence of :class:`Token` objects without
+building a molecular graph.  The tokenizer is deliberately independent from
+the parser so that light-weight consumers — the ring renumbering preprocessor
+(Section IV-A of the paper) and the validators — can work on token streams
+without paying for full graph construction.
+
+The grammar covered is the practically-relevant subset used by large virtual
+screening libraries:
+
+* organic-subset atoms (``B C N O P S F Cl Br I``) and their aromatic
+  lower-case forms,
+* bracket atoms ``[isotope? symbol chiral? hcount? charge? class?]``,
+* bonds ``- = # $ : / \\ ~``,
+* branches ``( )``,
+* ring-bond closures ``1``–``9`` and ``%nn``,
+* the dot disconnection ``.``,
+* the wildcard atom ``*``.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+from ..errors import TokenizationError
+from .alphabet import AROMATIC_ORGANIC, ORGANIC_SUBSET
+
+
+class TokenType(enum.Enum):
+    """Classification of a SMILES token."""
+
+    ATOM = "atom"                  # organic subset atom, aromatic or wildcard
+    BRACKET_ATOM = "bracket_atom"  # full [ ... ] atom description
+    BOND = "bond"
+    BRANCH_OPEN = "branch_open"
+    BRANCH_CLOSE = "branch_close"
+    RING_BOND = "ring_bond"        # single digit or %nn
+    DOT = "dot"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical unit of a SMILES string.
+
+    Attributes
+    ----------
+    type:
+        The :class:`TokenType` classification.
+    text:
+        The exact substring of the input this token covers.
+    position:
+        Zero-based offset of the first character in the original string.
+    ring_id:
+        For :attr:`TokenType.RING_BOND` tokens, the integer ring identifier
+        (``%12`` → 12); ``None`` otherwise.
+    """
+
+    type: TokenType
+    text: str
+    position: int
+    ring_id: Optional[int] = field(default=None, compare=False)
+
+    def __len__(self) -> int:  # pragma: no cover - trivial
+        return len(self.text)
+
+
+# Two-character organic subset symbols must be tried first.
+_TWO_CHAR_ORGANIC = tuple(sym for sym in ORGANIC_SUBSET if len(sym) == 2)
+_ONE_CHAR_ORGANIC = tuple(sym for sym in ORGANIC_SUBSET if len(sym) == 1)
+_AROMATIC = set(AROMATIC_ORGANIC)
+_BOND_CHARS = set("-=#$:/\\~")
+
+_BRACKET_RE = re.compile(
+    r"""
+    \[
+    (?P<isotope>\d+)?
+    (?P<symbol>\*|[A-Z][a-z]?|[a-z][a-z]?)
+    (?P<chiral>@{1,2}(?:TH[12]|AL[12]|SP[1-3]|TB\d{1,2}|OH\d{1,2})?)?
+    (?P<hcount>H\d*)?
+    (?P<charge>\+\d+|-\d+|\+{1,3}|-{1,3})?
+    (?::(?P<cls>\d+))?
+    \]
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(smiles: str) -> List[Token]:
+    """Tokenize *smiles* into a list of :class:`Token` objects.
+
+    Raises
+    ------
+    TokenizationError
+        If an unexpected character or an unterminated bracket atom is found.
+    """
+    if not isinstance(smiles, str):
+        raise TokenizationError(f"expected str, got {type(smiles).__name__}")
+    tokens: List[Token] = []
+    i = 0
+    n = len(smiles)
+    while i < n:
+        ch = smiles[i]
+
+        if ch == "[":
+            match = _BRACKET_RE.match(smiles, i)
+            if match is None:
+                end = smiles.find("]", i)
+                if end == -1:
+                    raise TokenizationError(
+                        "unterminated bracket atom", smiles=smiles, position=i
+                    )
+                raise TokenizationError(
+                    f"malformed bracket atom {smiles[i:end + 1]!r}",
+                    smiles=smiles,
+                    position=i,
+                )
+            text = match.group(0)
+            tokens.append(Token(TokenType.BRACKET_ATOM, text, i))
+            i += len(text)
+            continue
+
+        if ch == "%":
+            if i + 2 >= n or not smiles[i + 1].isdigit() or not smiles[i + 2].isdigit():
+                raise TokenizationError(
+                    "'%' ring bond must be followed by two digits",
+                    smiles=smiles,
+                    position=i,
+                )
+            text = smiles[i : i + 3]
+            tokens.append(Token(TokenType.RING_BOND, text, i, ring_id=int(text[1:])))
+            i += 3
+            continue
+
+        if ch.isdigit():
+            tokens.append(Token(TokenType.RING_BOND, ch, i, ring_id=int(ch)))
+            i += 1
+            continue
+
+        if ch == "(":
+            tokens.append(Token(TokenType.BRANCH_OPEN, ch, i))
+            i += 1
+            continue
+
+        if ch == ")":
+            tokens.append(Token(TokenType.BRANCH_CLOSE, ch, i))
+            i += 1
+            continue
+
+        if ch == ".":
+            tokens.append(Token(TokenType.DOT, ch, i))
+            i += 1
+            continue
+
+        if ch in _BOND_CHARS:
+            tokens.append(Token(TokenType.BOND, ch, i))
+            i += 1
+            continue
+
+        if ch == "*":
+            tokens.append(Token(TokenType.ATOM, ch, i))
+            i += 1
+            continue
+
+        two = smiles[i : i + 2]
+        if two in _TWO_CHAR_ORGANIC:
+            tokens.append(Token(TokenType.ATOM, two, i))
+            i += 2
+            continue
+
+        if ch in _ONE_CHAR_ORGANIC or ch in _AROMATIC:
+            tokens.append(Token(TokenType.ATOM, ch, i))
+            i += 1
+            continue
+
+        raise TokenizationError(
+            f"unexpected character {ch!r}", smiles=smiles, position=i
+        )
+
+    return tokens
+
+
+def iter_tokens(smiles: str) -> Iterator[Token]:
+    """Lazily iterate over the tokens of *smiles* (same grammar as :func:`tokenize`)."""
+    yield from tokenize(smiles)
+
+
+def detokenize(tokens: Sequence[Token]) -> str:
+    """Reassemble a token sequence into a SMILES string.
+
+    ``detokenize(tokenize(s)) == s`` for every tokenizable string *s*; this
+    round-trip is property-tested.
+    """
+    return "".join(tok.text for tok in tokens)
+
+
+def is_tokenizable(smiles: str) -> bool:
+    """Return ``True`` if *smiles* tokenizes without error."""
+    try:
+        tokenize(smiles)
+    except TokenizationError:
+        return False
+    return True

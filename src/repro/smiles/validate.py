@@ -1,0 +1,121 @@
+"""SMILES validation utilities.
+
+Three levels of checking are provided, in increasing strictness:
+
+1. :func:`check_characters` — every character belongs to the SMILES alphabet.
+2. :func:`check_structure` — the string tokenizes and parses (balanced
+   branches, paired ring bonds, no dangling bonds).
+3. :func:`check_valence` — a rough valence sanity check on the parsed graph
+   (organic-subset atoms must not exceed their maximum common valence).
+
+:func:`validate` combines them and returns a structured report instead of
+raising, which is what the dataset generators and the CLI use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..errors import ParseError, TokenizationError
+from .alphabet import SMILES_ALPHABET
+from .graph import DEFAULT_VALENCE, MolecularGraph
+from .parser import parse
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate`.
+
+    Attributes
+    ----------
+    smiles:
+        The input string.
+    valid:
+        ``True`` when no problem of any severity was found.
+    errors:
+        Human-readable descriptions of fatal problems.
+    warnings:
+        Non-fatal oddities (e.g. suspicious valence) that do not prevent
+        compression.
+    """
+
+    smiles: str
+    valid: bool = True
+    errors: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+    def add_error(self, message: str) -> None:
+        self.errors.append(message)
+        self.valid = False
+
+    def add_warning(self, message: str) -> None:
+        self.warnings.append(message)
+
+
+def check_characters(smiles: str) -> List[str]:
+    """Return a list of error messages for characters outside the SMILES alphabet."""
+    problems: List[str] = []
+    for pos, ch in enumerate(smiles):
+        if ch not in SMILES_ALPHABET:
+            problems.append(f"character {ch!r} at position {pos} is not a SMILES character")
+    return problems
+
+
+def check_structure(smiles: str) -> List[str]:
+    """Return error messages if the string fails to tokenize or parse."""
+    try:
+        parse(smiles)
+    except (TokenizationError, ParseError) as exc:
+        return [str(exc)]
+    return []
+
+
+def check_valence(graph: MolecularGraph) -> List[str]:
+    """Return warnings for atoms whose bonded valence exceeds their maximum.
+
+    Charged or bracket atoms are skipped: their valence rules are too varied
+    for a rough check and they are rare in screening libraries.
+    """
+    warnings: List[str] = []
+    for idx, atom in enumerate(graph.atoms):
+        if atom.bracket or atom.charge != 0:
+            continue
+        allowed = DEFAULT_VALENCE.get(atom.element)
+        if allowed is None:
+            continue
+        bonded = graph.bonded_valence(idx)
+        # Aromatic atoms in SMILES carry one implicit extra ring-bond share.
+        slack = 1 if atom.aromatic else 0
+        if bonded > max(allowed) + slack:
+            warnings.append(
+                f"atom {idx} ({atom.element}) has bonded valence {bonded} "
+                f"exceeding maximum {max(allowed)}"
+            )
+    return warnings
+
+
+def validate(smiles: str, valence: bool = True) -> ValidationReport:
+    """Run all validation levels on *smiles* and return a :class:`ValidationReport`."""
+    report = ValidationReport(smiles=smiles)
+    if not smiles.strip():
+        report.add_error("empty SMILES string")
+        return report
+    for message in check_characters(smiles):
+        report.add_error(message)
+    if report.errors:
+        return report
+    structural = check_structure(smiles)
+    for message in structural:
+        report.add_error(message)
+    if report.errors or not valence:
+        return report
+    graph = parse(smiles)
+    for message in check_valence(graph):
+        report.add_warning(message)
+    return report
+
+
+def is_valid(smiles: str) -> bool:
+    """Return ``True`` when *smiles* passes character and structural validation."""
+    return validate(smiles, valence=False).valid

@@ -1,0 +1,258 @@
+"""Molecular graph → SMILES writer.
+
+The writer performs a depth-first traversal of a
+:class:`~repro.smiles.graph.MolecularGraph` and emits a valid SMILES string.
+It is the inverse of the parser up to traversal order: ``parse(write(g))``
+yields a graph isomorphic to ``g`` (property-tested), and
+``write(parse(s))`` yields a SMILES describing the same molecule as ``s``.
+
+Two ring-numbering policies are supported because they matter for the paper's
+preprocessing experiment (Section IV-A):
+
+``"sequential"``
+    Every ring bond receives a fresh, monotonically increasing identifier —
+    the style produced by many enumeration pipelines and by the paper's
+    Dibenzoylmethane example (``C1=CC=C(C=C1)...C2=CC=CC=C2``).  This is the
+    *un-optimized* numbering the synthetic datasets use.
+
+``"reuse"``
+    Identifiers are recycled as soon as their ring closes, always taking the
+    lowest free value.  This approximates what the ZSMILES preprocessor
+    produces and is useful for testing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Literal, Optional, Set, Tuple
+
+from ..errors import ValidationError
+from .graph import Atom, Bond, BondOrder, MolecularGraph
+
+RingPolicy = Literal["sequential", "reuse"]
+
+
+def _format_ring_id(ring_id: int) -> str:
+    """Format a ring identifier as a SMILES ring-bond token (``3`` or ``%12``)."""
+    if ring_id < 0:
+        raise ValidationError(f"negative ring id {ring_id}")
+    if ring_id <= 9:
+        return str(ring_id)
+    if ring_id <= 99:
+        return f"%{ring_id:02d}"
+    raise ValidationError(f"ring id {ring_id} exceeds the SMILES %nn limit")
+
+
+def _charge_text(charge: int) -> str:
+    if charge == 0:
+        return ""
+    sign = "+" if charge > 0 else "-"
+    magnitude = abs(charge)
+    if magnitude == 1:
+        return sign
+    if magnitude <= 3:
+        return sign * magnitude
+    return f"{sign}{magnitude}"
+
+
+def format_atom(atom: Atom) -> str:
+    """Render a single atom as SMILES text (bracketed when required)."""
+    symbol = atom.smiles_symbol()
+    if not atom.needs_bracket():
+        return symbol
+    parts: List[str] = ["["]
+    if atom.isotope is not None:
+        parts.append(str(atom.isotope))
+    parts.append(symbol)
+    if atom.chirality:
+        parts.append(atom.chirality)
+    if atom.explicit_h is not None:
+        if atom.explicit_h == 1:
+            parts.append("H")
+        elif atom.explicit_h > 1:
+            parts.append(f"H{atom.explicit_h}")
+    parts.append(_charge_text(atom.charge))
+    if atom.atom_class is not None:
+        parts.append(f":{atom.atom_class}")
+    parts.append("]")
+    return "".join(parts)
+
+
+def _bond_text(order: BondOrder, a: Atom, b: Atom) -> str:
+    """Bond symbol to emit between *a* and *b*, empty when the default applies."""
+    if order is BondOrder.SINGLE:
+        # A single bond between two aromatic atoms must be written explicitly,
+        # otherwise it would be read back as aromatic.
+        if a.aromatic and b.aromatic:
+            return "-"
+        return ""
+    if order is BondOrder.AROMATIC:
+        if a.aromatic and b.aromatic:
+            return ""
+        return ":"
+    return order.symbol
+
+
+class _RingIdAllocator:
+    """Hands out ring-bond identifiers under a given policy."""
+
+    def __init__(self, policy: RingPolicy):
+        self.policy = policy
+        self._next_sequential = 1
+        self._in_use: Set[int] = set()
+
+    def allocate(self) -> int:
+        if self.policy == "sequential":
+            ring_id = self._next_sequential
+            self._next_sequential += 1
+            if ring_id > 99:
+                # Extremely ring-dense synthetic molecule: fall back to reuse.
+                ring_id = self._lowest_free()
+            self._in_use.add(ring_id)
+            return ring_id
+        ring_id = self._lowest_free()
+        self._in_use.add(ring_id)
+        return ring_id
+
+    def release(self, ring_id: int) -> None:
+        self._in_use.discard(ring_id)
+
+    def _lowest_free(self) -> int:
+        ring_id = 1
+        while ring_id in self._in_use:
+            ring_id += 1
+        if ring_id > 99:
+            raise ValidationError("more than 99 simultaneously open rings")
+        return ring_id
+
+
+class SmilesWriter:
+    """Depth-first SMILES writer for a single :class:`MolecularGraph`."""
+
+    def __init__(self, graph: MolecularGraph, ring_policy: RingPolicy = "sequential"):
+        self.graph = graph
+        self.ring_policy = ring_policy
+
+    # ------------------------------------------------------------------ #
+    def write(self) -> str:
+        """Serialize the whole graph (all components, joined by ``.``)."""
+        components = self.graph.connected_components()
+        fragments = [self._write_component(comp) for comp in components]
+        return ".".join(fragments)
+
+    # ------------------------------------------------------------------ #
+    def _write_component(self, component: List[int]) -> str:
+        if not component:
+            return ""
+        start = self._pick_start(component)
+        visited: Set[int] = set()
+        ring_bonds: Dict[Tuple[int, int], int] = {}
+        allocator = _RingIdAllocator(self.ring_policy)
+        # Pre-compute the DFS tree and the back edges so ring digits can be
+        # emitted on both endpoints in one pass.
+        order, tree_children, back_edges = self._dfs_structure(start)
+        # Map: atom -> list of (other endpoint, bond) back edges touching it.
+        ring_touch: Dict[int, List[Bond]] = {idx: [] for idx in order}
+        for bond in back_edges:
+            ring_touch[bond.a].append(bond)
+            ring_touch[bond.b].append(bond)
+
+        out: List[str] = []
+        self._emit(start, None, tree_children, ring_touch, ring_bonds, allocator, out, visited)
+        return "".join(out)
+
+    def _pick_start(self, component: List[int]) -> int:
+        """Prefer a terminal (degree-1) heavy atom, as the paper's Section II describes."""
+        terminals = [idx for idx in component if self.graph.degree(idx) <= 1]
+        return min(terminals) if terminals else min(component)
+
+    def _dfs_structure(
+        self, start: int
+    ) -> Tuple[List[int], Dict[int, List[int]], List[Bond]]:
+        """Compute DFS pre-order, tree children and back-edge bonds from *start*."""
+        order: List[int] = []
+        tree_children: Dict[int, List[int]] = {}
+        back_edges: List[Bond] = []
+        seen_edges: Set[Tuple[int, int]] = set()
+        visited: Set[int] = set()
+
+        stack: List[Tuple[int, Optional[int]]] = [(start, None)]
+        while stack:
+            node, parent = stack.pop()
+            if node in visited:
+                continue
+            visited.add(node)
+            order.append(node)
+            tree_children.setdefault(node, [])
+            if parent is not None:
+                tree_children.setdefault(parent, []).append(node)
+            # Deterministic order: visit lower-index neighbours first.
+            neighbors = sorted(self.graph.neighbors(node), reverse=True)
+            for nbr in neighbors:
+                edge_key = (node, nbr) if node <= nbr else (nbr, node)
+                if nbr == parent and edge_key not in seen_edges:
+                    seen_edges.add(edge_key)
+                    continue
+                if nbr in visited:
+                    if edge_key not in seen_edges:
+                        seen_edges.add(edge_key)
+                        bond = self.graph.get_bond(node, nbr)
+                        assert bond is not None
+                        back_edges.append(bond)
+                    continue
+                stack.append((nbr, node))
+        # Tree-children were appended in stack pop order; re-sort for determinism.
+        for node in tree_children:
+            tree_children[node].sort()
+        return order, tree_children, back_edges
+
+    # ------------------------------------------------------------------ #
+    def _emit(
+        self,
+        node: int,
+        parent: Optional[int],
+        tree_children: Dict[int, List[int]],
+        ring_touch: Dict[int, List[Bond]],
+        ring_bonds: Dict[Tuple[int, int], int],
+        allocator: _RingIdAllocator,
+        out: List[str],
+        visited: Set[int],
+    ) -> None:
+        visited.add(node)
+        atom = self.graph.atoms[node]
+        if parent is not None:
+            bond = self.graph.get_bond(parent, node)
+            assert bond is not None
+            out.append(_bond_text(bond.order, self.graph.atoms[parent], atom))
+        out.append(format_atom(atom))
+
+        # Ring-closure digits attached to this atom.
+        for bond in ring_touch.get(node, []):
+            key = bond.key()
+            other = bond.other(node)
+            if key not in ring_bonds:
+                ring_id = allocator.allocate()
+                ring_bonds[key] = ring_id
+                out.append(
+                    _bond_text(bond.order, atom, self.graph.atoms[other])
+                )
+                out.append(_format_ring_id(ring_id))
+            else:
+                ring_id = ring_bonds[key]
+                out.append(_format_ring_id(ring_id))
+                allocator.release(ring_id)
+
+        children = [c for c in tree_children.get(node, []) if c not in visited]
+        for i, child in enumerate(children):
+            last = i == len(children) - 1
+            if not last:
+                out.append("(")
+            self._emit(
+                child, node, tree_children, ring_touch, ring_bonds, allocator, out, visited
+            )
+            if not last:
+                out.append(")")
+
+
+def write(graph: MolecularGraph, ring_policy: RingPolicy = "sequential") -> str:
+    """Serialize *graph* to SMILES using the given ring numbering policy."""
+    return SmilesWriter(graph, ring_policy).write()

@@ -1,0 +1,68 @@
+"""Tests for the bzip2 baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.bzip2_codec import Bzip2FileCodec, Bzip2LineCodec, bzip2_over_lines
+
+
+class TestBzip2LineCodec:
+    def test_roundtrip(self, mixed_corpus_small):
+        codec = Bzip2LineCodec().fit([])
+        assert codec.roundtrip_ok(mixed_corpus_small[:30])
+
+    def test_per_line_bzip2_is_inefficient(self, mixed_corpus_small):
+        """The paper's point: per-record bzip2 pays huge header overhead."""
+        codec = Bzip2LineCodec().fit([])
+        ratio = codec.compression_ratio(mixed_corpus_small[:60])
+        assert ratio > 1.0
+
+    def test_properties(self):
+        props = Bzip2LineCodec.properties
+        assert props.random_access is True
+        assert props.readable_output is False
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError):
+            Bzip2LineCodec(compresslevel=0)
+
+
+class TestBzip2FileCodec:
+    def test_blob_roundtrip(self, mixed_corpus_small):
+        codec = Bzip2FileCodec().fit([])
+        corpus = mixed_corpus_small[:80]
+        blob = codec.compress_corpus_blob(corpus)
+        assert codec.decompress_corpus_blob(blob) == corpus
+
+    def test_file_based_ratio_is_strong(self, mixed_corpus_small):
+        codec = Bzip2FileCodec().fit([])
+        ratio = codec.compression_ratio(mixed_corpus_small[:150])
+        assert ratio < 0.5
+
+    def test_file_beats_per_line(self, mixed_corpus_small):
+        corpus = mixed_corpus_small[:80]
+        assert (
+            Bzip2FileCodec().fit([]).compression_ratio(corpus)
+            < Bzip2LineCodec().fit([]).compression_ratio(corpus)
+        )
+
+    def test_no_random_access_property(self):
+        assert Bzip2FileCodec.properties.random_access is False
+
+    def test_record_roundtrip_still_works(self):
+        codec = Bzip2FileCodec()
+        assert codec.decompress_record(codec.compress_record("c1ccccc1")) == "c1ccccc1"
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError):
+            Bzip2FileCodec(compresslevel=10)
+
+
+class TestBzip2OverLines:
+    def test_ratio_of_empty_input_is_one(self):
+        assert bzip2_over_lines([]) == 1.0
+
+    def test_compresses_redundant_lines(self):
+        ratio = bzip2_over_lines(["c1ccccc1CCN"] * 200)
+        assert ratio < 0.1

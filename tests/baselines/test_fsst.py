@@ -1,0 +1,76 @@
+"""Tests for the FSST reimplementation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.fsst import (
+    ESCAPE_CODE,
+    MAX_SYMBOL_LENGTH,
+    MAX_SYMBOLS,
+    FsstCodec,
+    FsstSymbolTable,
+    build_symbol_table,
+)
+
+
+class TestSymbolTable:
+    def test_rejects_oversized_tables(self):
+        with pytest.raises(ValueError):
+            FsstSymbolTable([bytes([i % 250, i // 250]) for i in range(300)])
+
+    def test_longest_match_prefers_longer_symbol(self):
+        table = FsstSymbolTable([b"ab", b"abcd"])
+        sym, code = table.longest_match(b"abcdef", 0)
+        assert sym == b"abcd"
+        assert table.symbol_for_code(code) == b"abcd"
+
+    def test_longest_match_none_when_absent(self):
+        table = FsstSymbolTable([b"xy"])
+        assert table.longest_match(b"ab", 0) is None
+
+    def test_built_table_respects_limits(self, mixed_corpus_small):
+        table = build_symbol_table(mixed_corpus_small[:200])
+        assert len(table) <= MAX_SYMBOLS
+        assert all(1 <= len(sym) <= MAX_SYMBOL_LENGTH for sym in table.symbols)
+
+    def test_built_table_contains_multibyte_symbols(self, mixed_corpus_small):
+        table = build_symbol_table(mixed_corpus_small[:200])
+        assert any(len(sym) > 1 for sym in table.symbols)
+
+
+class TestFsstCodec:
+    def test_fit_required_before_use(self):
+        with pytest.raises(RuntimeError):
+            FsstCodec().compress_record("CC")
+
+    def test_roundtrip(self, mixed_corpus_small):
+        codec = FsstCodec().fit(mixed_corpus_small[:150])
+        assert codec.roundtrip_ok(mixed_corpus_small[:60])
+
+    def test_roundtrip_on_unseen_characters(self, mixed_corpus_small):
+        codec = FsstCodec().fit(mixed_corpus_small[:150])
+        weird = "C@@H/\\%99"
+        assert codec.decompress_record(codec.compress_record(weird)) == weird
+
+    def test_escape_code_never_used_as_symbol_code(self, mixed_corpus_small):
+        codec = FsstCodec().fit(mixed_corpus_small[:150])
+        assert len(codec.table) <= ESCAPE_CODE
+
+    def test_compression_is_effective(self, mixed_corpus_small):
+        codec = FsstCodec().fit(mixed_corpus_small[:300])
+        ratio = codec.compression_ratio(mixed_corpus_small[:300])
+        assert ratio < 0.7
+
+    def test_input_dependent_table(self, gdb_corpus, mediate_corpus):
+        gdb_table = build_symbol_table(gdb_corpus)
+        mediate_table = build_symbol_table(mediate_corpus)
+        assert set(gdb_table.symbols) != set(mediate_table.symbols)
+
+    def test_record_overhead_accounts_for_length_prefix(self):
+        assert FsstCodec.record_overhead == 2
+
+    def test_dangling_escape_rejected(self, mixed_corpus_small):
+        codec = FsstCodec().fit(mixed_corpus_small[:50])
+        with pytest.raises(ValueError):
+            codec.decompress_record(bytes([ESCAPE_CODE]))

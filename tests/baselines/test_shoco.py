@@ -1,0 +1,53 @@
+"""Tests for the SHOCO-style short-string packer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.shoco import PACK_MARKER, ShocoCodec, ShocoModel
+
+
+class TestModel:
+    def test_training_extracts_frequent_leads(self, mixed_corpus_small):
+        model = ShocoModel.train(mixed_corpus_small[:200])
+        assert 1 <= len(model.leads) <= 8
+        assert "C" in model.leads or "c" in model.leads
+
+    def test_pack_unpack_inverse(self, mixed_corpus_small):
+        model = ShocoModel.train(mixed_corpus_small[:200])
+        lead = model.leads[0]
+        successor = model.successors[lead][0]
+        packed = model.pack_indices(lead, successor)
+        assert packed is not None
+        assert packed & PACK_MARKER
+        assert model.unpack(packed) == lead + successor
+
+    def test_unpackable_pair_returns_none(self, mixed_corpus_small):
+        model = ShocoModel.train(mixed_corpus_small[:200])
+        assert model.pack_indices("@", "@") is None or "@" in model.leads
+
+
+class TestCodec:
+    def test_fit_required(self):
+        with pytest.raises(RuntimeError):
+            ShocoCodec().compress_record("CC")
+
+    def test_roundtrip(self, mixed_corpus_small):
+        codec = ShocoCodec().fit(mixed_corpus_small[:200])
+        assert codec.roundtrip_ok(mixed_corpus_small[:80])
+
+    def test_compression_is_modest(self, mixed_corpus_small):
+        """SHOCO compresses, but clearly less than the dictionary approaches."""
+        codec = ShocoCodec().fit(mixed_corpus_small[:300])
+        ratio = codec.compression_ratio(mixed_corpus_small[:300])
+        assert 0.4 < ratio < 0.9
+
+    def test_non_ascii_input_rejected(self, mixed_corpus_small):
+        codec = ShocoCodec().fit(mixed_corpus_small[:50])
+        with pytest.raises(ValueError):
+            codec.compress_record("Cé")
+
+    def test_model_is_shared_across_inputs(self, mixed_corpus_small, gdb_corpus):
+        codec = ShocoCodec().fit(mixed_corpus_small[:200])
+        # Trained once, applied to a different dataset: still round-trips.
+        assert codec.roundtrip_ok(gdb_corpus[:40])

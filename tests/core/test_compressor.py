@@ -1,0 +1,139 @@
+"""Tests for the per-line compressor and decompressor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compressor import (
+    CompressionRecord,
+    Compressor,
+    ParseStrategy,
+    compression_ratio,
+    record_bytes,
+)
+from repro.core.decompressor import Decompressor
+from repro.dictionary.codec_table import CodecTable
+from repro.dictionary.prepopulation import PrePopulation
+from repro.errors import CompressionError, DecompressionError
+from repro.smiles.alphabet import ESCAPE_CHAR
+
+
+@pytest.fixture()
+def small_table() -> CodecTable:
+    return CodecTable.from_patterns(
+        ["c1ccccc1", "C(=O)", "CC"], prepopulation=PrePopulation.SMILES_ALPHABET
+    )
+
+
+@pytest.fixture()
+def compressor(small_table) -> Compressor:
+    return Compressor(small_table)
+
+
+@pytest.fixture()
+def decompressor(small_table) -> Decompressor:
+    return Decompressor(small_table)
+
+
+class TestCompressor:
+    def test_known_pattern_becomes_one_symbol(self, compressor, small_table):
+        out = compressor.compress_line("c1ccccc1")
+        assert len(out) == 1
+        assert out == small_table.symbol_for("c1ccccc1")
+
+    def test_seeded_characters_never_escaped(self, compressor):
+        record = compressor.compress_record("CNOP")
+        assert record.escapes == 0
+        assert len(record.compressed) <= 4
+
+    def test_unknown_character_escaped(self):
+        table = CodecTable.from_patterns([], prepopulation=PrePopulation.NONE)
+        compressor = Compressor(table)
+        record = compressor.compress_record("C")
+        assert record.escapes == 1
+        assert record.compressed == ESCAPE_CHAR + "C"
+
+    def test_line_terminator_rejected(self, compressor):
+        with pytest.raises(CompressionError):
+            compressor.compress_line("CC\nCC")
+
+    def test_empty_line(self, compressor):
+        assert compressor.compress_line("") == ""
+
+    def test_record_statistics(self, compressor):
+        record = compressor.compress_record("c1ccccc1CC")
+        assert record.matches == 2
+        assert record.escapes == 0
+        assert record.ratio < 1.0
+
+    def test_empty_record_ratio_is_one(self):
+        record = CompressionRecord(original="", compressed="", matches=0, escapes=0)
+        assert record.ratio == 1.0
+
+    def test_greedy_strategy_supported(self, small_table):
+        greedy = Compressor(small_table, strategy=ParseStrategy.GREEDY)
+        optimal = Compressor(small_table, strategy=ParseStrategy.OPTIMAL)
+        line = "c1ccccc1C(=O)CC"
+        assert len(optimal.compress_line(line)) <= len(greedy.compress_line(line))
+
+    def test_strategy_from_name(self):
+        assert ParseStrategy.from_name("optimal") is ParseStrategy.OPTIMAL
+        assert ParseStrategy.from_name("GREEDY") is ParseStrategy.GREEDY
+        with pytest.raises(ValueError):
+            ParseStrategy.from_name("magic")
+
+    def test_compress_lines_iterates_lazily(self, compressor):
+        out = list(compressor.compress_lines(["CC", "c1ccccc1"]))
+        assert len(out) == 2
+
+    def test_no_expansion_with_prepopulation(self, compressor, curated_smiles):
+        for smiles in curated_smiles:
+            assert len(compressor.compress_line(smiles)) <= len(smiles)
+
+    def test_guaranteed_no_expansion_flag(self, compressor):
+        assert compressor.guaranteed_no_expansion("CCO")
+
+
+class TestDecompressor:
+    def test_roundtrip(self, compressor, decompressor, curated_smiles):
+        for smiles in curated_smiles:
+            assert decompressor.decompress_line(compressor.compress_line(smiles)) == smiles
+
+    def test_escape_roundtrip(self):
+        table = CodecTable.from_patterns([], prepopulation=PrePopulation.NONE)
+        compressor = Compressor(table)
+        decompressor = Decompressor(table)
+        assert decompressor.decompress_line(compressor.compress_line("CCO")) == "CCO"
+
+    def test_unknown_symbol_rejected(self, decompressor):
+        with pytest.raises(DecompressionError):
+            decompressor.decompress_line("ÿþ")
+
+    def test_dangling_escape_rejected(self, decompressor):
+        with pytest.raises(DecompressionError):
+            decompressor.decompress_line("C" + ESCAPE_CHAR)
+
+    def test_line_terminator_rejected(self, decompressor):
+        with pytest.raises(DecompressionError):
+            decompressor.decompress_line("C\nC")
+
+    def test_decompress_all(self, compressor, decompressor):
+        lines = ["CC", "c1ccccc1", "C(=O)O"]
+        compressed = compressor.compress_all(lines)
+        assert decompressor.decompress_all(compressed) == lines
+
+
+class TestCompressionRatio:
+    def test_record_bytes_counts_characters(self):
+        assert record_bytes("abc") == 3
+        assert record_bytes("abé") == 3  # extended symbols are one byte on disk
+
+    def test_ratio_basic(self):
+        assert compression_ratio(["aaaa"], ["aa"]) == pytest.approx(3 / 5)
+
+    def test_ratio_empty_corpus(self):
+        assert compression_ratio([], []) == 1.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            compression_ratio(["a"], [])

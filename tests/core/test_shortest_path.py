@@ -1,0 +1,122 @@
+"""Tests for the optimal shortest-path parse (paper Section IV-D1)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.shortest_path import (
+    ESCAPE_COST,
+    MATCH_COST,
+    greedy_parse,
+    optimal_parse,
+    parse_consumes,
+    parse_cost,
+)
+from repro.dictionary.trie import Trie
+
+
+def brute_force_minimum_cost(text: str, patterns: set[str]) -> int:
+    """Exponential reference: cheapest segmentation cost of *text*."""
+    n = len(text)
+    best = [0] * (n + 1)
+    for i in range(n - 1, -1, -1):
+        candidates = [ESCAPE_COST + best[i + 1]]
+        for p in patterns:
+            if text.startswith(p, i):
+                candidates.append(MATCH_COST + best[i + len(p)])
+        best[i] = min(candidates)
+    return best[0]
+
+
+class TestOptimalParse:
+    def test_empty_string(self):
+        assert optimal_parse("", Trie()) == []
+
+    def test_no_dictionary_all_escapes(self):
+        steps = optimal_parse("abc", Trie())
+        assert len(steps) == 3
+        assert all(step.symbol is None and step.cost == ESCAPE_COST for step in steps)
+
+    def test_single_full_match(self):
+        trie = Trie([("abc", "X")])
+        steps = optimal_parse("abc", trie)
+        assert len(steps) == 1
+        assert steps[0].symbol == "X"
+        assert steps[0].cost == MATCH_COST
+
+    def test_prefers_fewer_symbols_over_greedy(self):
+        # Greedy takes "ab" then must escape "c" twice; optimal takes "a"+"bc".
+        trie = Trie([("ab", "1"), ("a", "2"), ("bc", "3")])
+        text = "abc"
+        optimal = optimal_parse(text, trie)
+        greedy = greedy_parse(text, trie)
+        assert parse_cost(optimal) == 2
+        assert parse_cost(greedy) == 3
+
+    def test_steps_cover_input_exactly(self, trained_codec):
+        trie = trained_codec.table.trie
+        for text in ["COc1cc(C=O)ccc1O", "CC(C)Cc1ccc(cc1)C(C)C(=O)O"]:
+            steps = optimal_parse(text, trie)
+            assert parse_consumes(steps) == len(text)
+            rebuilt = "".join(step.pattern for step in steps)
+            assert rebuilt == text
+
+    def test_escape_pattern_is_single_character(self):
+        trie = Trie([("ab", "1")])
+        steps = optimal_parse("abz", trie)
+        assert steps[-1].symbol is None
+        assert steps[-1].pattern == "z"
+
+    def test_optimal_never_worse_than_greedy(self, trained_codec, mixed_corpus_small):
+        trie = trained_codec.table.trie
+        for smiles in mixed_corpus_small[:60]:
+            text = trained_codec.preprocess(smiles)
+            assert parse_cost(optimal_parse(text, trie)) <= parse_cost(greedy_parse(text, trie))
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize(
+        "patterns",
+        [
+            {"ab", "bc", "abc", "c"},
+            {"aa", "aaa"},
+            {"ab", "ba", "a", "b"},
+            {"abcd"},
+        ],
+    )
+    def test_matches_brute_force_on_small_alphabets(self, patterns):
+        trie = Trie.from_patterns(patterns)
+        for length in range(0, 7):
+            for combo in itertools.product("abc", repeat=length):
+                text = "".join(combo)
+                assert parse_cost(optimal_parse(text, trie)) == brute_force_minimum_cost(
+                    text, patterns
+                )
+
+
+class TestGreedyParse:
+    def test_greedy_takes_longest_match(self):
+        trie = Trie([("a", "1"), ("aa", "2"), ("aaa", "3")])
+        steps = greedy_parse("aaaa", trie)
+        assert steps[0].pattern == "aaa"
+        assert steps[1].pattern == "a"
+
+    def test_greedy_escapes_unknown(self):
+        trie = Trie([("a", "1")])
+        steps = greedy_parse("ax", trie)
+        assert steps[1].symbol is None
+
+
+@given(st.text(alphabet="abcd", max_size=24),
+       st.sets(st.text(alphabet="abcd", min_size=1, max_size=4), min_size=1, max_size=8))
+@settings(max_examples=80, deadline=None)
+def test_optimal_parse_is_truly_optimal(text, patterns):
+    """Property: the DP cost equals the brute-force minimum and covers the input."""
+    trie = Trie.from_patterns(patterns)
+    steps = optimal_parse(text, trie)
+    assert parse_consumes(steps) == len(text)
+    assert parse_cost(steps) == brute_force_minimum_cost(text, set(patterns))

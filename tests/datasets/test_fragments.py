@@ -1,0 +1,96 @@
+"""Tests for the molecular fragment library."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.fragments import (
+    FRAGMENT_LIBRARY,
+    benzene,
+    carboxylic_acid,
+    free_valence,
+    fragment_names,
+    get_fragment,
+    nitro,
+    pyrrole,
+)
+from repro.smiles.graph import Atom, MolecularGraph
+from repro.smiles.parser import parse
+from repro.smiles.validate import is_valid
+from repro.smiles.writer import write
+
+
+class TestLibrary:
+    def test_every_fragment_builds_a_valid_standalone_molecule(self):
+        for name, spec in FRAGMENT_LIBRARY.items():
+            graph = MolecularGraph()
+            added = spec.builder(graph, None)
+            assert len(added) == spec.heavy_atoms, name
+            smiles = write(graph)
+            assert is_valid(smiles), f"{name} -> {smiles}"
+
+    def test_every_fragment_attaches_to_a_carbon(self):
+        for name, spec in FRAGMENT_LIBRARY.items():
+            graph = MolecularGraph()
+            root = graph.add_atom(Atom(element="C"))
+            spec.builder(graph, root)
+            assert graph.degree(root) == 1, name
+            assert is_valid(write(graph)), name
+
+    def test_declared_sizes_match(self):
+        graph = MolecularGraph()
+        assert len(benzene(graph, None)) == 6
+        graph2 = MolecularGraph()
+        assert len(carboxylic_acid(graph2, None)) == 3
+
+    def test_fragment_names_by_category(self):
+        rings = fragment_names("ring")
+        decorations = fragment_names("decoration")
+        assert "benzene" in rings
+        assert "amide" in decorations
+        assert set(rings).isdisjoint(decorations)
+        assert set(fragment_names()) == set(FRAGMENT_LIBRARY)
+
+    def test_get_fragment(self):
+        assert get_fragment("benzene").heavy_atoms == 6
+        with pytest.raises(KeyError):
+            get_fragment("nonexistent")
+
+
+class TestSpecificFragments:
+    def test_benzene_is_aromatic_ring(self):
+        graph = MolecularGraph()
+        benzene(graph, None)
+        assert write(graph) == "c1ccccc1"
+
+    def test_pyrrole_has_bracket_nh(self):
+        graph = MolecularGraph()
+        pyrrole(graph, None)
+        assert "[nH]" in write(graph)
+
+    def test_nitro_charges(self):
+        graph = MolecularGraph()
+        nitro(graph, None)
+        charges = sorted(a.charge for a in graph.atoms)
+        assert charges == [-1, 0, 1]
+
+    def test_kekulized_benzene_roundtrip(self):
+        graph = MolecularGraph()
+        get_fragment("kekulized_benzene").builder(graph, None)
+        smiles = write(graph)
+        assert "=" in smiles
+        assert parse(smiles).ring_bond_count() == 1
+
+
+class TestFreeValence:
+    def test_saturated_carbon_has_no_free_valence(self):
+        graph = parse("C(C)(C)(C)C")
+        assert free_valence(graph, 0) == 0
+
+    def test_terminal_carbon_has_free_valence(self):
+        graph = parse("CC")
+        assert free_valence(graph, 0) == 3
+
+    def test_halogen_has_no_free_valence(self):
+        graph = parse("CF")
+        assert free_valence(graph, 1) == 0

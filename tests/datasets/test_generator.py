@@ -1,0 +1,116 @@
+"""Tests for the fragment-based molecule generator and dataset profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import dataset_statistics, exscalate, gdb17, mediate, mixed
+from repro.datasets.generator import GenerationProfile, MoleculeGenerator
+from repro.errors import DatasetError
+from repro.smiles.parser import parse
+from repro.smiles.validate import is_valid
+
+
+class TestProfileValidation:
+    def test_empty_fragment_weights_rejected(self):
+        with pytest.raises(DatasetError):
+            GenerationProfile(name="x", fragment_weights={})
+
+    def test_unknown_fragment_rejected(self):
+        with pytest.raises(DatasetError):
+            GenerationProfile(name="x", fragment_weights={"unobtainium": 1.0})
+
+    def test_bad_size_bounds_rejected(self):
+        with pytest.raises(DatasetError):
+            GenerationProfile(
+                name="x", min_heavy_atoms=10, max_heavy_atoms=5,
+                fragment_weights={"benzene": 1.0},
+            )
+
+    def test_fragments_filtered_by_category(self):
+        profile = gdb17.profile()
+        rings = profile.fragments("ring")
+        assert rings and all(spec.category == "ring" for spec, _ in rings)
+
+
+class TestGeneration:
+    def test_determinism_per_seed(self):
+        a = MoleculeGenerator(gdb17.profile(), seed=7).generate(10)
+        b = MoleculeGenerator(gdb17.profile(), seed=7).generate(10)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = MoleculeGenerator(gdb17.profile(), seed=1).generate(10)
+        b = MoleculeGenerator(gdb17.profile(), seed=2).generate(10)
+        assert a != b
+
+    def test_all_outputs_valid(self, gdb_corpus, mediate_corpus, exscalate_corpus):
+        for corpus in (gdb_corpus, mediate_corpus, exscalate_corpus):
+            assert all(is_valid(s) for s in corpus)
+
+    def test_gdb_molecules_are_small(self, gdb_corpus):
+        sizes = [parse(s).atom_count() for s in gdb_corpus[:60]]
+        assert max(sizes) <= 17 + 3  # small slack for decoration overshoot
+        assert min(sizes) >= 3
+
+    def test_mediate_molecules_are_larger_on_average(self, gdb_corpus, mediate_corpus):
+        gdb_mean = sum(len(s) for s in gdb_corpus) / len(gdb_corpus)
+        mediate_mean = sum(len(s) for s in mediate_corpus) / len(mediate_corpus)
+        assert mediate_mean > gdb_mean
+
+    def test_gdb_is_more_homogeneous_than_mediate(self, gdb_corpus, mediate_corpus):
+        """GDB-17-like text uses a narrower vocabulary of character trigrams."""
+
+        def distinct_trigrams(corpus: list[str]) -> int:
+            grams = set()
+            for s in corpus:
+                for i in range(len(s) - 2):
+                    grams.add(s[i : i + 3])
+            return len(grams)
+
+        assert distinct_trigrams(gdb_corpus) < distinct_trigrams(mediate_corpus)
+
+    def test_iter_generate_counts(self):
+        gen = MoleculeGenerator(gdb17.profile(), seed=0)
+        assert len(list(gen.iter_generate(5))) == 5
+
+    def test_series_mode_reuses_scaffolds(self):
+        gen = MoleculeGenerator(mediate.profile(), seed=3)
+        gen.generate(5)
+        assert gen._scaffold_library() is gen._scaffold_library()
+        assert len(gen._scaffold_library()) == mediate.profile().scaffold_count
+
+
+class TestDatasetModules:
+    def test_module_level_generate(self):
+        assert len(gdb17.generate(5, seed=0)) == 5
+        assert len(mediate.generate(5, seed=0)) == 5
+        assert len(exscalate.generate(5, seed=0)) == 5
+
+    def test_exscalate_scored_generation(self):
+        scored = exscalate.generate_scored(20, seed=0)
+        assert len(scored) == 20
+        assert all(isinstance(score, float) and score < 0 for _, score in scored)
+        assert all(is_valid(smiles) for smiles, _ in scored)
+
+    def test_mixed_interleaves_sources(self):
+        corpus = mixed.generate(30, seed=0)
+        assert len(corpus) == 30
+        assert len(set(corpus)) > 20
+
+    def test_mixed_components(self):
+        components = mixed.generate_components(20, seed=0)
+        assert set(components) == {"GDB-17", "MEDIATE", "EXSCALATE", "MIXED"}
+        assert all(len(v) == 20 for v in components.values())
+
+    def test_interleave_round_robin(self):
+        assert mixed.interleave([["a", "b"], ["x"]]) == ["a", "x", "b"]
+
+    def test_dataset_statistics(self, gdb_corpus):
+        stats = dataset_statistics(gdb_corpus)
+        assert stats["count"] == len(gdb_corpus)
+        assert stats["min_length"] <= stats["mean_length"] <= stats["max_length"]
+        assert 0 < stats["distinct_fraction"] <= 1
+
+    def test_dataset_statistics_empty(self):
+        assert dataset_statistics([])["count"] == 0

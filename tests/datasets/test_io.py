@@ -1,0 +1,132 @@
+"""Tests for .smi file I/O and sampling utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.io import (
+    SmiRecord,
+    file_size_bytes,
+    iter_smi,
+    parse_smi_line,
+    read_smi,
+    read_smiles,
+    write_smi,
+)
+from repro.datasets.sampling import chunked, random_sample, reservoir_sample, train_test_split
+from repro.errors import DatasetError
+
+
+class TestSmiParsing:
+    def test_smiles_only(self):
+        record = parse_smi_line("CCO")
+        assert record == SmiRecord(smiles="CCO")
+
+    def test_smiles_and_name(self):
+        record = parse_smi_line("CCO ethanol")
+        assert record.name == "ethanol"
+        assert record.score is None
+
+    def test_smiles_and_score(self):
+        record = parse_smi_line("CCO -7.25")
+        assert record.score == pytest.approx(-7.25)
+
+    def test_smiles_name_and_score(self):
+        record = parse_smi_line("CCO ethanol -7.25")
+        assert record.name == "ethanol"
+        assert record.score == pytest.approx(-7.25)
+
+    def test_multi_word_name(self):
+        record = parse_smi_line("CCO ethyl alcohol -1.0")
+        assert record.name == "ethyl alcohol"
+
+    def test_empty_line_rejected(self):
+        with pytest.raises(DatasetError):
+            parse_smi_line("   ")
+
+    def test_to_line_roundtrip(self):
+        record = SmiRecord(smiles="CCO", name="ethanol", score=-7.25)
+        assert parse_smi_line(record.to_line()) == record
+
+
+class TestSmiFiles:
+    def test_write_read_plain_smiles(self, tmp_path, gdb_corpus):
+        path = tmp_path / "lib.smi"
+        count = write_smi(path, gdb_corpus[:50])
+        assert count == 50
+        assert read_smiles(path) == gdb_corpus[:50]
+
+    def test_write_read_scored_records(self, tmp_path):
+        path = tmp_path / "scores.smi"
+        write_smi(path, [("CCO", -5.0), ("CCN", -6.5)])
+        records = read_smi(path)
+        assert [r.score for r in records] == [-5.0, -6.5]
+
+    def test_write_record_objects(self, tmp_path):
+        path = tmp_path / "named.smi"
+        write_smi(path, [SmiRecord(smiles="CCO", name="mol1")])
+        assert read_smi(path)[0].name == "mol1"
+
+    def test_blank_lines_skipped_on_read(self, tmp_path):
+        path = tmp_path / "gaps.smi"
+        path.write_text("CCO\n\nCCN\n")
+        assert [r.smiles for r in iter_smi(path)] == ["CCO", "CCN"]
+
+    def test_newline_in_record_rejected(self, tmp_path):
+        with pytest.raises(DatasetError):
+            write_smi(tmp_path / "bad.smi", ["CC\nO"])
+
+    def test_smiles_only_read_ignores_columns(self, tmp_path):
+        path = tmp_path / "cols.smi"
+        path.write_text("CCO mol1 -3.5\n")
+        assert read_smiles(path) == ["CCO"]
+
+    def test_file_size_bytes(self, tmp_path):
+        path = tmp_path / "size.smi"
+        write_smi(path, ["CCO"])
+        assert file_size_bytes(path) == 4
+
+
+class TestSampling:
+    def test_random_sample_without_replacement(self):
+        items = list(range(100))
+        sample = random_sample(items, 10, seed=1)
+        assert len(sample) == len(set(sample)) == 10
+
+    def test_random_sample_deterministic(self):
+        items = list(range(100))
+        assert random_sample(items, 10, seed=5) == random_sample(items, 10, seed=5)
+
+    def test_random_sample_larger_than_population(self):
+        assert random_sample([1, 2, 3], 10) == [1, 2, 3]
+
+    def test_random_sample_negative_rejected(self):
+        with pytest.raises(DatasetError):
+            random_sample([1], -1)
+
+    def test_reservoir_sample_size_and_membership(self):
+        stream = (str(i) for i in range(1000))
+        sample = reservoir_sample(stream, 25, seed=3)
+        assert len(sample) == 25
+        assert all(0 <= int(x) < 1000 for x in sample)
+
+    def test_reservoir_sample_short_stream(self):
+        assert sorted(reservoir_sample(iter([1, 2, 3]), 10)) == [1, 2, 3]
+
+    def test_train_test_split_partitions(self):
+        items = list(range(50))
+        train, test = train_test_split(items, train_fraction=0.6, seed=0)
+        assert len(train) == 30 and len(test) == 20
+        assert sorted(train + test) == items
+
+    def test_train_test_split_bad_fraction(self):
+        with pytest.raises(DatasetError):
+            train_test_split([1], train_fraction=1.5)
+
+    def test_chunked(self):
+        chunks = list(chunked(list(range(7)), 3))
+        assert chunks == [[0, 1, 2], [3, 4, 5], [6]]
+
+    def test_chunked_bad_size(self):
+        with pytest.raises(DatasetError):
+            list(chunked([1], 0))

@@ -1,0 +1,85 @@
+"""Tests for dictionary usage analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dictionary.analysis import analyse_dictionary, compare_dictionaries
+from repro.dictionary.codec_table import CodecTable
+from repro.dictionary.prepopulation import PrePopulation
+
+
+@pytest.fixture()
+def table() -> CodecTable:
+    return CodecTable.from_patterns(
+        ["c1ccccc1", "C(=O)", "NeverUsedPattern"[:8]],
+        prepopulation=PrePopulation.SMILES_ALPHABET,
+    )
+
+
+class TestAnalyseDictionary:
+    def test_ratio_matches_parse_output(self, table):
+        corpus = ["c1ccccc1C(=O)O", "CCc1ccccc1"]
+        analysis = analyse_dictionary(table, corpus)
+        assert analysis.total_input_chars == sum(len(s) for s in corpus)
+        assert 0 < analysis.ratio < 1
+
+    def test_entry_usage_counts(self, table):
+        analysis = analyse_dictionary(table, ["c1ccccc1c1ccccc1"])
+        by_pattern = {u.pattern: u for u in analysis.usage}
+        benzene = by_pattern["c1ccccc1"]
+        assert benzene.uses == 2
+        assert benzene.characters_covered == 16
+        assert benzene.characters_saved == 14
+
+    def test_unused_trained_entries_reported(self, table):
+        analysis = analyse_dictionary(table, ["c1ccccc1"])
+        assert "NeverUse" in analysis.unused_trained_entries
+        assert "c1ccccc1" not in analysis.unused_trained_entries
+
+    def test_coverage_bounds(self, table, mixed_corpus_small):
+        analysis = analyse_dictionary(table, mixed_corpus_small[:40])
+        assert 0.0 <= analysis.trained_coverage <= analysis.coverage <= 1.0
+
+    def test_escape_units_counted(self):
+        empty = CodecTable.from_patterns([], prepopulation=PrePopulation.NONE)
+        analysis = analyse_dictionary(empty, ["CCO"])
+        assert analysis.escape_units == 3
+        assert analysis.ratio == 2.0
+
+    def test_limit_restricts_corpus(self, table, mixed_corpus_small):
+        full = analyse_dictionary(table, mixed_corpus_small[:40])
+        limited = analyse_dictionary(table, mixed_corpus_small[:40], limit=10)
+        assert limited.total_input_chars < full.total_input_chars
+
+    def test_empty_corpus(self, table):
+        analysis = analyse_dictionary(table, [])
+        assert analysis.ratio == 1.0
+        assert analysis.coverage == 0.0
+
+    def test_top_entries_sorted_by_savings(self, trained_codec, mixed_corpus_small):
+        prepared = [trained_codec.preprocess(s) for s in mixed_corpus_small[:60]]
+        analysis = analyse_dictionary(trained_codec.table, prepared)
+        top = analysis.top_entries(5)
+        savings = [u.characters_saved for u in top]
+        assert savings == sorted(savings, reverse=True)
+        assert savings[0] > 0
+
+    def test_trained_dictionary_coverage_is_high(self, trained_codec, mixed_corpus_small):
+        prepared = [trained_codec.preprocess(s) for s in mixed_corpus_small[:60]]
+        analysis = analyse_dictionary(trained_codec.table, prepared)
+        assert analysis.coverage > 0.95  # pre-population guarantees near-full coverage
+        assert analysis.trained_coverage > 0.5
+
+
+class TestCompareDictionaries:
+    def test_sorted_by_ratio(self, trained_codec, mixed_corpus_small):
+        small = CodecTable.from_patterns(["CC"], prepopulation=PrePopulation.SMILES_ALPHABET)
+        results = compare_dictionaries(
+            {"trained": trained_codec.table, "tiny": small},
+            [trained_codec.preprocess(s) for s in mixed_corpus_small[:30]],
+        )
+        names = [name for name, _, _ in results]
+        ratios = [ratio for _, ratio, _ in results]
+        assert names[0] == "trained"
+        assert ratios == sorted(ratios)

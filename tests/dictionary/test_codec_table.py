@@ -1,0 +1,127 @@
+"""Tests for the symbol ↔ pattern codec table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dictionary.codec_table import CodecTable, DictionaryEntry
+from repro.dictionary.prepopulation import PrePopulation, available_symbols, capacity
+from repro.errors import DictionaryError, SymbolSpaceExhaustedError
+from repro.smiles.alphabet import ESCAPE_CHAR
+
+
+class TestEntryValidation:
+    def test_symbol_must_be_single_character(self):
+        with pytest.raises(DictionaryError):
+            CodecTable([DictionaryEntry(symbol="ab", pattern="x")])
+
+    def test_escape_character_cannot_be_symbol(self):
+        with pytest.raises(DictionaryError):
+            CodecTable([DictionaryEntry(symbol=ESCAPE_CHAR, pattern="x")])
+
+    def test_newline_cannot_be_symbol(self):
+        with pytest.raises(DictionaryError):
+            CodecTable([DictionaryEntry(symbol="\n", pattern="x")])
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(DictionaryError):
+            CodecTable([DictionaryEntry(symbol="!", pattern="")])
+
+    def test_pattern_with_escape_char_rejected(self):
+        with pytest.raises(DictionaryError):
+            CodecTable([DictionaryEntry(symbol="!", pattern="C O")])
+
+    def test_duplicate_symbol_rejected(self):
+        entries = [
+            DictionaryEntry(symbol="!", pattern="CC"),
+            DictionaryEntry(symbol="!", pattern="OO"),
+        ]
+        with pytest.raises(DictionaryError):
+            CodecTable(entries)
+
+    def test_duplicate_pattern_rejected(self):
+        entries = [
+            DictionaryEntry(symbol="!", pattern="CC"),
+            DictionaryEntry(symbol="?", pattern="CC"),
+        ]
+        with pytest.raises(DictionaryError):
+            CodecTable(entries)
+
+
+class TestFromPatterns:
+    def test_seeded_entries_present(self):
+        table = CodecTable.from_patterns(["c1ccccc1"], prepopulation=PrePopulation.SMILES_ALPHABET)
+        assert table.pattern_for("C") == "C"
+        assert table.symbol_for("c1ccccc1") is not None
+
+    def test_symbols_assigned_in_pool_order(self):
+        pool = available_symbols(PrePopulation.SMILES_ALPHABET)
+        table = CodecTable.from_patterns(["ccc", "OOO"])
+        assert table.symbol_for("ccc") == pool[0]
+        assert table.symbol_for("OOO") == pool[1]
+
+    def test_capacity_enforced(self):
+        too_many = [f"C{'c' * (i % 7 + 1)}N{i}" for i in range(capacity(PrePopulation.SMILES_ALPHABET) + 5)]
+        # Ensure uniqueness of the generated patterns.
+        too_many = list(dict.fromkeys(too_many))
+        with pytest.raises(SymbolSpaceExhaustedError):
+            CodecTable.from_patterns(too_many)
+
+    def test_ranks_attached_to_trained_entries(self):
+        table = CodecTable.from_patterns(["ccc", "OOO"], ranks=[12.0, 5.0])
+        ranks = {e.pattern: e.rank for e in table.trained_entries}
+        assert ranks == {"ccc": 12.0, "OOO": 5.0}
+
+    def test_none_policy_has_no_seeded_entries(self):
+        table = CodecTable.from_patterns(["ccc"], prepopulation=PrePopulation.NONE)
+        assert table.seeded_entries == []
+        assert table.pattern_for("C") is None
+
+    def test_seeded_only(self):
+        table = CodecTable.seeded_only(PrePopulation.SMILES_ALPHABET)
+        assert table.trained_entries == []
+        assert len(table) > 50
+
+
+class TestLookup:
+    @pytest.fixture()
+    def table(self) -> CodecTable:
+        return CodecTable.from_patterns(["C(=O)N", "c1ccccc1"], metadata={"source": "test"})
+
+    def test_bidirectional_lookup(self, table):
+        symbol = table.symbol_for("C(=O)N")
+        assert table.pattern_for(symbol) == "C(=O)N"
+
+    def test_contains_checks_patterns(self, table):
+        assert "C(=O)N" in table
+        assert "NotThere" not in table
+
+    def test_unknown_lookups_return_none(self, table):
+        assert table.pattern_for("ሴ") is None
+        assert table.symbol_for("zzz") is None
+
+    def test_iteration_and_len(self, table):
+        entries = list(table)
+        assert len(entries) == len(table)
+
+    def test_metadata_copied(self, table):
+        meta = table.metadata
+        meta["source"] = "mutated"
+        assert table.metadata["source"] == "test"
+
+    def test_trie_payloads_are_symbols(self, table):
+        match = table.trie.longest_match_at("c1ccccc1", 0)
+        assert match is not None
+        assert match[2] == table.symbol_for("c1ccccc1")
+
+    def test_max_pattern_length(self, table):
+        assert table.max_pattern_length == 8
+
+    def test_stats(self, table):
+        stats = table.stats()
+        assert stats["trained_entries"] == 2.0
+        assert stats["max_pattern_length"] == 8.0
+        assert stats["mean_trained_length"] == 7.0
+
+    def test_symbols_and_patterns_align(self, table):
+        assert len(table.symbols()) == len(table.patterns()) == len(table)

@@ -1,0 +1,103 @@
+"""Tests for dictionary training (Algorithm 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dictionary.generator import DictionaryConfig, DictionaryGenerator, train_dictionary
+from repro.dictionary.prepopulation import PrePopulation, capacity
+from repro.errors import DictionaryError
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = DictionaryConfig()
+        assert config.lmin == 2
+        assert config.prepopulation is PrePopulation.SMILES_ALPHABET
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(DictionaryError):
+            DictionaryConfig(lmin=0)
+        with pytest.raises(DictionaryError):
+            DictionaryConfig(lmin=4, lmax=3)
+        with pytest.raises(DictionaryError):
+            DictionaryConfig(max_entries=-1)
+        with pytest.raises(DictionaryError):
+            DictionaryConfig(rank_mode="other")
+
+    def test_effective_size_respects_capacity(self):
+        config = DictionaryConfig(max_entries=10)
+        assert config.effective_size() == 10
+        unlimited = DictionaryConfig(max_entries=None)
+        assert unlimited.effective_size() == capacity(PrePopulation.SMILES_ALPHABET)
+        oversized = DictionaryConfig(max_entries=10_000)
+        assert oversized.effective_size() == capacity(PrePopulation.SMILES_ALPHABET)
+
+
+class TestTraining:
+    def test_trained_patterns_within_length_bounds(self, mixed_corpus_small):
+        table = train_dictionary(mixed_corpus_small[:150], lmin=2, lmax=5)
+        assert all(2 <= len(e.pattern) <= 5 for e in table.trained_entries)
+
+    def test_max_entries_respected(self, mixed_corpus_small):
+        table = train_dictionary(mixed_corpus_small[:150], max_entries=12)
+        assert len(table.trained_entries) <= 12
+
+    def test_patterns_actually_occur_in_corpus(self, mixed_corpus_small):
+        corpus = mixed_corpus_small[:100]
+        table = train_dictionary(corpus, max_entries=30)
+        joined = "\n".join(corpus)
+        assert all(e.pattern in joined for e in table.trained_entries)
+
+    def test_report_collected(self, mixed_corpus_small):
+        generator = DictionaryGenerator(DictionaryConfig(max_entries=15))
+        generator.train(mixed_corpus_small[:100])
+        report = generator.report
+        assert report is not None
+        assert report.selected <= 15
+        assert report.candidates > 0
+        assert len(report.selected_patterns) == report.selected
+        assert "trained" in report.summary()
+
+    def test_metadata_recorded(self, mixed_corpus_small):
+        table = train_dictionary(mixed_corpus_small[:100], lmax=6, max_entries=10)
+        assert table.metadata["lmax"] == "6"
+        assert table.metadata["prepopulation"] == "smiles"
+
+    def test_selected_ranks_non_increasing_in_savings_mode(self, mixed_corpus_small):
+        generator = DictionaryGenerator(DictionaryConfig(max_entries=40, rank_mode="savings"))
+        generator.train(mixed_corpus_small[:150])
+        ranks = generator.report.selected_ranks
+        assert all(a >= b - 1e-9 for a, b in zip(ranks, ranks[1:]))
+
+    def test_coverage_mode_trains(self, mixed_corpus_small):
+        table = train_dictionary(
+            mixed_corpus_small[:100], max_entries=20, rank_mode="coverage"
+        )
+        assert len(table.trained_entries) > 0
+
+    def test_empty_corpus_trains_seed_only(self):
+        table = train_dictionary([], max_entries=10)
+        assert table.trained_entries == []
+        assert len(table.seeded_entries) > 0
+
+    def test_tiny_corpus_does_not_crash(self):
+        table = train_dictionary(["CCO"], max_entries=5, min_occurrences=1)
+        assert len(table.trained_entries) <= 5
+
+    def test_rank_modes_produce_different_dictionaries(self, mixed_corpus_small):
+        corpus = mixed_corpus_small[:150]
+        savings = train_dictionary(corpus, max_entries=60, rank_mode="savings")
+        coverage = train_dictionary(corpus, max_entries=60, rank_mode="coverage")
+        assert set(e.pattern for e in savings.trained_entries) != set(
+            e.pattern for e in coverage.trained_entries
+        )
+
+    def test_savings_mode_prefers_longer_patterns(self, mixed_corpus_small):
+        corpus = mixed_corpus_small[:150]
+        savings = train_dictionary(corpus, max_entries=60, rank_mode="savings")
+        coverage = train_dictionary(corpus, max_entries=60, rank_mode="coverage")
+        mean_len = lambda table: sum(len(e.pattern) for e in table.trained_entries) / max(
+            1, len(table.trained_entries)
+        )
+        assert mean_len(savings) >= mean_len(coverage)

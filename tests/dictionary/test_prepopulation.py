@@ -1,0 +1,89 @@
+"""Tests for dictionary pre-population policies (paper Section IV-B)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dictionary.prepopulation import (
+    PrePopulation,
+    available_symbols,
+    capacity,
+    seed_entries,
+    seeded_characters,
+)
+from repro.smiles.alphabet import ESCAPE_CHAR, SMILES_ALPHABET
+
+
+class TestPolicyParsing:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("none", PrePopulation.NONE),
+            ("smiles", PrePopulation.SMILES_ALPHABET),
+            ("SMILES_alphabet", PrePopulation.SMILES_ALPHABET),
+            ("printable", PrePopulation.PRINTABLE),
+            ("ASCII", PrePopulation.PRINTABLE),
+        ],
+    )
+    def test_from_name(self, name, expected):
+        assert PrePopulation.from_name(name) is expected
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            PrePopulation.from_name("everything")
+
+
+class TestSeededCharacters:
+    def test_none_seeds_nothing(self):
+        assert seeded_characters(PrePopulation.NONE) == frozenset()
+
+    def test_smiles_policy_seeds_smiles_alphabet(self):
+        seeded = seeded_characters(PrePopulation.SMILES_ALPHABET)
+        assert "C" in seeded and "(" in seeded and "@" in seeded
+        assert ESCAPE_CHAR not in seeded
+
+    def test_printable_policy_is_superset_of_smiles(self):
+        assert seeded_characters(PrePopulation.PRINTABLE) >= seeded_characters(
+            PrePopulation.SMILES_ALPHABET
+        )
+
+    def test_newlines_never_seeded(self):
+        for policy in PrePopulation:
+            assert "\n" not in seeded_characters(policy)
+            assert "\r" not in seeded_characters(policy)
+
+    def test_seed_entries_are_identity(self):
+        entries = seed_entries(PrePopulation.SMILES_ALPHABET)
+        assert all(symbol == pattern for symbol, pattern in entries.items())
+
+
+class TestSymbolPools:
+    def test_symbols_never_include_smiles_characters(self):
+        for policy in PrePopulation:
+            pool = set(available_symbols(policy))
+            assert not (pool & SMILES_ALPHABET)
+
+    def test_symbols_never_include_escape_or_newline(self):
+        for policy in PrePopulation:
+            pool = set(available_symbols(policy))
+            assert ESCAPE_CHAR not in pool
+            assert "\n" not in pool and "\r" not in pool
+
+    def test_capacity_ordering_matches_paper_design(self):
+        # PRINTABLE reserves the printable characters, so it has the fewest
+        # slots; SMILES and NONE share the same pool.
+        assert capacity(PrePopulation.PRINTABLE) < capacity(PrePopulation.SMILES_ALPHABET)
+        assert capacity(PrePopulation.NONE) == capacity(PrePopulation.SMILES_ALPHABET)
+
+    def test_capacity_counts_pool(self):
+        for policy in PrePopulation:
+            assert capacity(policy) == len(available_symbols(policy))
+
+    def test_pool_has_no_duplicates(self):
+        for policy in PrePopulation:
+            pool = available_symbols(policy)
+            assert len(pool) == len(set(pool))
+
+    def test_pool_is_single_byte_code_points(self):
+        for policy in PrePopulation:
+            assert all(ord(ch) <= 0xFF for ch in available_symbols(policy))

@@ -1,0 +1,189 @@
+"""Tests for substring counting and rank computation (Algorithm 1 internals)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dictionary.ranking import (
+    RankTable,
+    corpus_statistics,
+    count_substrings,
+    pattern_encoding_cost,
+    pattern_overlap,
+    rank_value,
+)
+from repro.dictionary.trie import Trie
+
+
+class TestCountSubstrings:
+    def test_counts_simple_corpus(self):
+        counts = count_substrings(["abab"], lmin=2, lmax=2, min_occurrences=1)
+        assert counts["ab"] == 2
+        assert counts["ba"] == 1
+
+    def test_length_bounds_respected(self):
+        counts = count_substrings(["abcdef"], lmin=2, lmax=3, min_occurrences=1)
+        assert all(2 <= len(p) <= 3 for p in counts)
+
+    def test_min_occurrences_filters_singletons(self):
+        counts = count_substrings(["abcd", "abxy"], lmin=2, lmax=2, min_occurrences=2)
+        assert "ab" in counts
+        assert "cd" not in counts
+
+    def test_short_lines_skipped_gracefully(self):
+        counts = count_substrings(["a", "ab"], lmin=2, lmax=4, min_occurrences=1)
+        assert counts == {"ab": 1}
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            count_substrings(["ab"], lmin=0)
+        with pytest.raises(ValueError):
+            count_substrings(["ab"], lmin=3, lmax=2)
+
+    def test_counts_across_lines_accumulate(self):
+        counts = count_substrings(["CCO", "CCO"], lmin=2, lmax=3, min_occurrences=1)
+        assert counts["CC"] == 2
+        assert counts["CCO"] == 2
+
+
+class TestOverlapAndCost:
+    def test_overlap_empty_selection(self):
+        assert pattern_overlap("abcd", Trie()) == 0
+
+    def test_overlap_counts_covered_characters(self):
+        selected = Trie.from_patterns(["ab"])
+        assert pattern_overlap("abab", selected) == 4
+        assert pattern_overlap("abxy", selected) == 2
+
+    def test_encoding_cost_without_selection_is_length(self):
+        assert pattern_encoding_cost("abcd", Trie()) == 4
+
+    def test_encoding_cost_with_selection(self):
+        selected = Trie.from_patterns(["ab"])
+        # "abab" -> two symbols; "abxy" -> one symbol + two literals.
+        assert pattern_encoding_cost("abab", selected) == 2
+        assert pattern_encoding_cost("abxy", selected) == 3
+
+
+class TestRankValue:
+    def test_coverage_mode_is_paper_equation(self):
+        assert rank_value(10, 4, 1, mode="coverage") == 30.0
+
+    def test_coverage_mode_floors_at_zero(self):
+        assert rank_value(10, 3, 5, mode="coverage") == 0.0
+
+    def test_savings_mode_uses_encoding_cost(self):
+        assert rank_value(10, 4, 0, encoding_cost=4, mode="savings") == 30.0
+        assert rank_value(10, 4, 0, encoding_cost=2, mode="savings") == 10.0
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            rank_value(1, 2, 0, mode="bogus")
+
+
+class TestRankTable:
+    def test_pop_best_orders_by_initial_rank(self):
+        counts = {"ab": 10, "cdef": 5, "xy": 1}
+        table = RankTable(counts, mode="savings")
+        selected = Trie()
+        first = table.pop_best(selected)
+        # savings rank: ab -> 10, cdef -> 15, xy -> 1
+        assert first.pattern == "cdef"
+
+    def test_pop_best_discounts_overlapping_candidates(self):
+        counts = {"abcd": 10, "ab": 9, "zz": 3}
+        table = RankTable(counts, mode="savings")
+        selected = Trie()
+        first = table.pop_best(selected)
+        assert first.pattern == "abcd"
+        selected.insert(first.pattern, first.pattern)
+        second = table.pop_best(selected)
+        # "ab" is now fully covered... but still saves one symbol per occurrence
+        # when it appears outside "abcd"; the rank must have dropped to occ*(2-1)=9.
+        assert second is not None
+        assert second.rank <= 9
+
+    def test_exhausted_table_returns_none(self):
+        table = RankTable({"ab": 2}, mode="savings")
+        selected = Trie()
+        assert table.pop_best(selected) is not None
+        assert table.pop_best(selected) is None
+
+    def test_candidate_limit_truncates(self):
+        counts = {f"p{i:02d}": 1 + i for i in range(50)}
+        table = RankTable(counts, candidate_limit=5, mode="savings")
+        assert len(table) == 5
+
+    def test_remove_excludes_pattern(self):
+        table = RankTable({"ab": 5, "cd": 4}, mode="savings")
+        table.remove("ab")
+        assert table.pop_best(Trie()).pattern == "cd"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            RankTable({"ab": 1}, mode="weird")
+
+    def test_lazy_heap_matches_exhaustive_search(self):
+        """The lazy-greedy selection equals brute-force argmax at every step."""
+        corpus = ["CCOC(=O)CC", "CCOC(=O)N", "c1ccccc1CCO", "CCOCCO"]
+        counts = dict(count_substrings(corpus, lmin=2, lmax=4, min_occurrences=1))
+
+        def brute_force_selection(k: int) -> list[str]:
+            from repro.dictionary.ranking import pattern_encoding_cost as cost
+
+            selected: list[str] = []
+            trie = Trie()
+            remaining = dict(counts)
+            for _ in range(k):
+                best, best_rank = None, 0.0
+                for pattern, occ in sorted(remaining.items()):
+                    rank = occ * max(0, cost(pattern, trie) - 1)
+                    if rank > best_rank:
+                        best, best_rank = pattern, rank
+                if best is None:
+                    break
+                selected.append(best)
+                trie.insert(best, best)
+                del remaining[best]
+            return selected
+
+        expected = brute_force_selection(6)
+        table = RankTable(dict(counts), mode="savings")
+        trie = Trie()
+        actual: list[str] = []
+        for _ in range(6):
+            item = table.pop_best(trie)
+            if item is None:
+                break
+            actual.append(item.pattern)
+            trie.insert(item.pattern, item.pattern)
+        # Ranks can tie; compare the achieved rank sequence rather than exact
+        # pattern identity to keep the test robust to tie-breaking order.
+        def rank_sequence(patterns: list[str]) -> list[float]:
+            trie = Trie()
+            ranks = []
+            for p in patterns:
+                ranks.append(counts[p] * max(0, pattern_encoding_cost(p, trie) - 1))
+                trie.insert(p, p)
+            return ranks
+
+        assert rank_sequence(actual) == rank_sequence(expected)
+
+    def test_snapshot_reports_top_candidates(self):
+        table = RankTable({"ab": 5, "cd": 3, "efgh": 2}, mode="savings")
+        snapshot = table.snapshot(Trie(), top=2)
+        assert len(snapshot) == 2
+        assert snapshot[0].rank >= snapshot[1].rank
+
+
+class TestCorpusStatistics:
+    def test_empty_corpus(self):
+        stats = corpus_statistics([])
+        assert stats["lines"] == 0
+
+    def test_basic_statistics(self):
+        stats = corpus_statistics(["ab", "abcd"])
+        assert stats["lines"] == 2
+        assert stats["total_chars"] == 6
+        assert stats["mean_length"] == 3.0
+        assert stats["max_length"] == 4

@@ -1,0 +1,117 @@
+"""Tests for the .dct dictionary file format."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.dictionary.codec_table import CodecTable, DictionaryEntry
+from repro.dictionary.prepopulation import PrePopulation
+from repro.dictionary.serialization import dumps, load, loads, save
+from repro.errors import DictionaryFormatError
+
+
+@pytest.fixture()
+def table() -> CodecTable:
+    return CodecTable.from_patterns(
+        ["C(=O)N", "c1ccccc1", "(=O)"],
+        ranks=[30.0, 20.0, 10.0],
+        metadata={"lmax": "8", "source": "unit-test"},
+    )
+
+
+class TestRoundTrip:
+    def test_dumps_loads_roundtrip(self, table):
+        restored = loads(dumps(table))
+        assert restored.patterns() == table.patterns()
+        assert restored.symbols() == table.symbols()
+        assert restored.prepopulation is table.prepopulation
+
+    def test_metadata_preserved(self, table):
+        restored = loads(dumps(table))
+        assert restored.metadata["source"] == "unit-test"
+        assert restored.metadata["lmax"] == "8"
+
+    def test_ranks_and_seed_flags_preserved(self, table):
+        restored = loads(dumps(table))
+        original = {e.pattern: (e.seeded, e.rank) for e in table.entries}
+        round_tripped = {e.pattern: (e.seeded, e.rank) for e in restored.entries}
+        assert original == round_tripped
+
+    def test_file_roundtrip(self, table, tmp_path):
+        path = tmp_path / "dict.dct"
+        save(table, path)
+        restored = load(path)
+        assert restored.patterns() == table.patterns()
+
+    def test_stream_roundtrip(self, table):
+        buffer = io.StringIO()
+        save(table, buffer)
+        buffer.seek(0)
+        restored = load(buffer)
+        assert restored.patterns() == table.patterns()
+
+    def test_extended_symbols_survive(self, table):
+        # Trained symbols include extended code points once the printable pool
+        # is exhausted; force one explicitly.
+        exotic = CodecTable(
+            [DictionaryEntry(symbol="÷", pattern="C(=O)NC")],
+            prepopulation=PrePopulation.NONE,
+        )
+        restored = loads(dumps(exotic))
+        assert restored.pattern_for("÷") == "C(=O)NC"
+
+    def test_trained_codec_dictionary_roundtrip(self, trained_codec, tmp_path):
+        path = tmp_path / "trained.dct"
+        save(trained_codec.table, path)
+        restored = load(path)
+        assert restored.patterns() == trained_codec.table.patterns()
+
+
+class TestFormat:
+    def test_header_present(self, table):
+        text = dumps(table)
+        assert text.startswith("# ZSMILES dictionary")
+        assert "# prepopulation = smiles" in text
+
+    def test_missing_magic_rejected(self):
+        with pytest.raises(DictionaryFormatError):
+            loads("!\t!\t1\t0\n")
+
+    def test_wrong_field_count_rejected(self, table):
+        text = dumps(table) + "!\tonly-two\n"
+        with pytest.raises(DictionaryFormatError):
+            loads(text)
+
+    def test_bad_rank_rejected(self, table):
+        text = dumps(table) + "¡\tXYZW\t0\tnot-a-number\n"
+        with pytest.raises(DictionaryFormatError):
+            loads(text)
+
+    def test_blank_and_comment_lines_ignored(self, table):
+        lines = dumps(table).splitlines()
+        lines.insert(3, "")
+        lines.insert(4, "# a stray comment")
+        restored = loads("\n".join(lines) + "\n")
+        assert restored.patterns() == table.patterns()
+
+
+class TestEscaping:
+    def test_escape_unescape_inverse(self):
+        from repro.dictionary.serialization import _escape, _unescape
+
+        for text in ["plain", "tab\tinside", "back\\slash", "ctrl\x01char"]:
+            assert _unescape(_escape(text)) == text
+
+    def test_dangling_escape_rejected(self):
+        from repro.dictionary.serialization import _unescape
+
+        with pytest.raises(DictionaryFormatError):
+            _unescape("abc\\")
+
+    def test_unknown_escape_rejected(self):
+        from repro.dictionary.serialization import _unescape
+
+        with pytest.raises(DictionaryFormatError):
+            _unescape("\\q")

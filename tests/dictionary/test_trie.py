@@ -1,0 +1,102 @@
+"""Tests for the pattern-matching trie."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dictionary.trie import Trie
+
+
+class TestConstruction:
+    def test_empty_trie(self):
+        trie = Trie()
+        assert len(trie) == 0
+        assert trie.max_length == 0
+
+    def test_insert_and_contains(self):
+        trie = Trie()
+        trie.insert("abc", "X")
+        assert "abc" in trie
+        assert "ab" not in trie
+        assert len(trie) == 1
+
+    def test_insert_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            Trie().insert("")
+
+    def test_reinsert_overwrites_payload_without_growing(self):
+        trie = Trie()
+        trie.insert("ab", "1")
+        trie.insert("ab", "2")
+        assert len(trie) == 1
+        assert trie.payload("ab") == "2"
+
+    def test_from_patterns(self):
+        trie = Trie.from_patterns(["ab", "abc"])
+        assert trie.payload("ab") == "ab"
+        assert trie.max_length == 3
+
+    def test_constructor_items(self):
+        trie = Trie([("ab", "x"), ("cd", "y")])
+        assert trie.payload("cd") == "y"
+
+
+class TestMatching:
+    @pytest.fixture()
+    def trie(self) -> Trie:
+        return Trie([("C", "1"), ("CC", "2"), ("CCO", "3"), ("O", "4"), ("c1cc", "5")])
+
+    def test_matches_at_returns_all_prefix_matches(self, trie):
+        matches = trie.matches_at("CCO", 0)
+        assert [(m[0], m[1]) for m in matches] == [(1, "C"), (2, "CC"), (3, "CCO")]
+
+    def test_matches_at_offset(self, trie):
+        matches = trie.matches_at("XCCO", 1)
+        assert [m[1] for m in matches] == ["C", "CC", "CCO"]
+
+    def test_matches_at_no_match(self, trie):
+        assert trie.matches_at("XYZ", 0) == []
+
+    def test_longest_match(self, trie):
+        assert trie.longest_match_at("CCOC", 0)[1] == "CCO"
+        assert trie.longest_match_at("ZZ", 0) is None
+
+    def test_payload_returned_with_match(self, trie):
+        assert trie.matches_at("c1ccccc1", 0)[-1][2] == "5"
+
+    def test_iter_patterns_sorted(self, trie):
+        patterns = [p for p, _ in trie.iter_patterns()]
+        assert patterns == sorted(patterns)
+        assert len(patterns) == 5
+
+
+class TestCoverage:
+    def test_full_coverage(self):
+        trie = Trie.from_patterns(["ab", "cd"])
+        assert trie.coverage("abcd") == 4
+
+    def test_partial_coverage(self):
+        trie = Trie.from_patterns(["ab"])
+        assert trie.coverage("abxab") == 4
+
+    def test_no_coverage(self):
+        trie = Trie.from_patterns(["zz"])
+        assert trie.coverage("abc") == 0
+
+    def test_greedy_coverage_uses_longest_match(self):
+        trie = Trie.from_patterns(["a", "aaa"])
+        assert trie.coverage("aaaa") == 4
+
+
+@given(st.lists(st.text(alphabet="CNOc1()=", min_size=1, max_size=6), min_size=1, max_size=15),
+       st.text(alphabet="CNOc1()=", max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_matches_at_agrees_with_startswith(patterns, text):
+    """Every reported match is a real prefix and no pattern match is missed."""
+    trie = Trie.from_patterns(patterns)
+    for pos in range(len(text)):
+        reported = {m[1] for m in trie.matches_at(text, pos)}
+        expected = {p for p in patterns if text.startswith(p, pos)}
+        assert reported == expected

@@ -1,0 +1,143 @@
+"""Integration tests for the paper-experiment drivers (smoke scale).
+
+These are the same drivers the benchmark harness runs at larger scale; here
+they execute on tiny corpora so the whole suite stays fast, and the
+assertions check the *qualitative shape* of the paper's results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dictionary.prepopulation import PrePopulation
+from repro.experiments import (
+    ExperimentScale,
+    run_figure4,
+    run_figure5,
+    run_table1,
+    run_table2,
+)
+from repro.experiments.table2 import DATASET_ORDER
+
+
+@pytest.fixture(scope="module")
+def scale() -> ExperimentScale:
+    return ExperimentScale.smoke()
+
+
+@pytest.fixture(scope="module")
+def table1_result(scale):
+    return run_table1(scale=scale)
+
+
+@pytest.fixture(scope="module")
+def table2_result(scale):
+    return run_table2(scale=scale)
+
+
+@pytest.fixture(scope="module")
+def figure4_result(scale):
+    return run_figure4(scale=scale)
+
+
+@pytest.fixture(scope="module")
+def figure5_result(scale):
+    return run_figure5(scale=scale, lmax_values=(5, 8))
+
+
+class TestScales:
+    def test_scale_presets(self):
+        assert ExperimentScale.smoke().training_size < ExperimentScale.benchmark().training_size
+        assert ExperimentScale.benchmark().training_size < ExperimentScale.paper().training_size
+
+
+class TestTable1:
+    def test_all_six_configurations_measured(self, table1_result):
+        assert len(table1_result.ratios) == 6
+
+    def test_ratios_are_sane(self, table1_result):
+        assert all(0.2 < ratio < 0.7 for ratio in table1_result.ratios.values())
+
+    def test_preprocessing_always_helps(self, table1_result):
+        """Paper Table I: every preprocessed row beats its unprocessed twin."""
+        assert table1_result.preprocessing_always_helps()
+
+    def test_smiles_prepopulation_is_best(self, table1_result):
+        """Paper Table I: the best configuration uses the SMILES alphabet seeding."""
+        (preprocessing, policy), _ = table1_result.best()
+        assert preprocessing is True
+        assert policy is PrePopulation.SMILES_ALPHABET
+
+    def test_table_rendering(self, table1_result):
+        text = table1_result.to_table().to_text()
+        assert "SMILES alphabet" in text and "Pre-processing" in text
+
+
+class TestTable2:
+    def test_full_matrix_measured(self, table2_result):
+        assert len(table2_result.ratios) == 16
+
+    def test_diagonal_among_best_per_test_set(self, table2_result):
+        """Paper Table II: the matching training set is (near-)optimal per test set."""
+        assert table2_result.diagonal_is_best_per_test()
+
+    def test_gdb_dictionary_generalizes_worst(self, table2_result):
+        """Paper Table II: the GDB-17-trained dictionary has the worst cross average."""
+        averages = {
+            train: table2_result.row_average(train, exclude_self=True)
+            for train in DATASET_ORDER
+        }
+        assert max(averages, key=averages.get) == "GDB-17"
+
+    def test_mixed_dictionary_has_best_overall_average(self, table2_result):
+        """Paper Table II: the MIXED dictionary is the best shared dictionary."""
+        assert table2_result.best_training_set() == "MIXED"
+
+    def test_table_rendering(self, table2_result):
+        assert "Train \\ Test" in table2_result.to_table().to_text()
+
+
+class TestFigure4:
+    def test_all_tools_measured(self, figure4_result):
+        assert set(figure4_result.ratios) == {
+            "ZSMILES", "SHOCO", "FSST", "Bzip2", "ZSMILES + Bzip2",
+        }
+
+    def test_zsmiles_beats_shoco(self, figure4_result):
+        assert figure4_result.ratios["ZSMILES"] < figure4_result.ratios["SHOCO"]
+
+    def test_file_bzip2_beats_short_string_tools(self, figure4_result):
+        """Paper Figure 4: the stateful file compressor wins on raw ratio."""
+        assert figure4_result.ratios["Bzip2"] < figure4_result.ratios["ZSMILES"]
+        assert figure4_result.ratios["Bzip2"] < figure4_result.ratios["FSST"]
+
+    def test_zsmiles_close_to_or_better_than_fsst(self, figure4_result):
+        """Paper: ZSMILES is x1.13 better than FSST; on the synthetic corpus the
+        two are close — assert ZSMILES is at least within 20% of FSST."""
+        assert figure4_result.zsmiles_vs_fsst_factor() > 0.8
+
+    def test_readability_and_random_access_flags(self, figure4_result):
+        props = figure4_result.properties
+        assert props["ZSMILES"].readable_output
+        assert not props["Bzip2"].random_access
+        assert figure4_result.best_random_access_tool() in {"ZSMILES", "FSST"}
+
+    def test_table_rendering(self, figure4_result):
+        assert "Compression Ratio" in figure4_result.to_table().to_text()
+
+
+class TestFigure5:
+    def test_speedups_match_paper_shape(self, figure5_result):
+        speedups = figure5_result.speedups()
+        assert speedups["compression"] > speedups["decompression"] > 1.0
+        assert 4.0 < speedups["compression"] < 11.0
+        assert 1.3 < speedups["decompression"] < 3.5
+
+    def test_flat_in_lmax(self, figure5_result):
+        assert figure5_result.flat_in_lmax("compression")
+        assert figure5_result.flat_in_lmax("decompression")
+
+    def test_two_tables_rendered(self, figure5_result):
+        tables = figure5_result.to_tables()
+        assert len(tables) == 2
+        assert "Figure 5a" in tables[0].title and "Figure 5b" in tables[1].title

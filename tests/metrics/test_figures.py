@@ -1,0 +1,64 @@
+"""Tests for ASCII figure rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.figures import BarChart, LineSeries, figure4_chart, figure5_chart
+
+
+class TestBarChart:
+    def test_render_contains_labels_and_values(self):
+        chart = BarChart(title="Figure 4")
+        chart.add("ZSMILES", 0.29)
+        chart.add("Bzip2", 0.18)
+        text = chart.render()
+        assert "Figure 4" in text
+        assert "ZSMILES" in text and "0.290" in text
+        assert "Bzip2" in text and "0.180" in text
+
+    def test_bar_lengths_proportional(self):
+        chart = BarChart(title="t", width=40)
+        chart.add("big", 1.0)
+        chart.add("half", 0.5)
+        lines = chart.render().splitlines()
+        big_bar = lines[1].count("#")
+        half_bar = lines[2].count("#")
+        assert big_bar == 40
+        assert abs(half_bar - 20) <= 1
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            BarChart(title="t").add("x", -1.0)
+
+    def test_empty_chart(self):
+        assert "(no data)" in BarChart(title="t").render()
+
+    def test_figure4_helper_respects_order(self):
+        chart = figure4_chart({"A": 0.3, "B": 0.2}, order=["B", "A", "missing"])
+        labels = [label for label, _ in chart.values]
+        assert labels == ["B", "A"]
+
+
+class TestLineSeries:
+    def test_render_contains_all_points(self):
+        chart = LineSeries(title="Figure 5a", x_label="Lmax", x_values=[5, 8, 15])
+        chart.add_series("C++", [1.0, 1.0, 1.0])
+        chart.add_series("CUDA", [0.15, 0.15, 0.15])
+        text = chart.render()
+        assert "C++" in text and "CUDA" in text
+        assert text.count("Lmax=") == 6
+
+    def test_mismatched_series_length_rejected(self):
+        chart = LineSeries(title="t", x_label="x", x_values=[1, 2])
+        with pytest.raises(ValueError):
+            chart.add_series("bad", [1.0])
+
+    def test_empty_series(self):
+        chart = LineSeries(title="t", x_label="x", x_values=[1])
+        assert "(no data)" in chart.render()
+
+    def test_figure5_helper(self):
+        chart = figure5_chart("compression", [5, 8], {"C++": [1.0, 1.0], "CUDA": [0.2, 0.2]})
+        assert "compression" in chart.title
+        assert set(chart.series) == {"C++", "CUDA"}

@@ -1,0 +1,95 @@
+"""Tests for result-table formatting and comparison helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.reporting import ResultTable, comparison_factor, percent_change
+from repro.metrics.timing import Timer, throughput_mb_per_s, time_callable
+
+
+class TestResultTable:
+    def test_add_row_validates_arity(self):
+        table = ResultTable(title="t", columns=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_text_rendering_contains_all_cells(self):
+        table = ResultTable(title="Demo", columns=["Tool", "Ratio"])
+        table.add_row("ZSMILES", 0.29)
+        table.add_row("FSST", 0.33)
+        text = table.to_text()
+        assert "Demo" in text
+        assert "ZSMILES" in text and "0.290" in text
+        assert "FSST" in text and "0.330" in text
+
+    def test_markdown_rendering(self):
+        table = ResultTable(title="Demo", columns=["Tool", "Ratio"])
+        table.add_row("ZSMILES", 0.29)
+        md = table.to_markdown()
+        assert md.startswith("**Demo**")
+        assert "| Tool | Ratio |" in md
+        assert "| ZSMILES | 0.290 |" in md
+
+    def test_notes_rendered(self):
+        table = ResultTable(title="T", columns=["x"])
+        table.add_note("measured on synthetic data")
+        assert "measured on synthetic data" in table.to_text()
+        assert "measured on synthetic data" in table.to_markdown()
+
+    def test_column_accessor(self):
+        table = ResultTable(title="T", columns=["name", "value"])
+        table.add_row("a", 1)
+        table.add_row("b", 2)
+        assert table.column("value") == [1, 2]
+
+    def test_as_dicts(self):
+        table = ResultTable(title="T", columns=["name", "value"])
+        table.add_row("a", 1)
+        assert table.as_dicts() == [{"name": "a", "value": 1}]
+
+
+class TestComparisons:
+    def test_comparison_factor_matches_paper_usage(self):
+        # FSST at 0.33 vs ZSMILES at 0.29 is the paper's "x1.13" headline.
+        assert comparison_factor(0.33, 0.29) == pytest.approx(1.137, abs=1e-3)
+
+    def test_comparison_factor_zero_candidate(self):
+        assert comparison_factor(1.0, 0.0) == float("inf")
+
+    def test_percent_change(self):
+        assert percent_change(0.4, 0.3) == pytest.approx(-25.0)
+        assert percent_change(0.0, 0.3) == 0.0
+
+
+class TestTimer:
+    def test_measure_accumulates_samples(self):
+        timer = Timer()
+        with timer.measure("step"):
+            sum(range(100))
+        with timer.measure("step"):
+            sum(range(100))
+        assert timer.count("step") == 2
+        assert timer.total("step") >= timer.mean("step") >= 0
+
+    def test_add_external_sample(self):
+        timer = Timer()
+        timer.add("io", 1.5)
+        assert timer.total("io") == 1.5
+        assert timer.names() == ["io"]
+
+    def test_missing_name_defaults(self):
+        timer = Timer()
+        assert timer.total("none") == 0.0
+        assert timer.mean("none") == 0.0
+
+    def test_time_callable(self):
+        assert time_callable(lambda: sum(range(1000)), repeats=2) >= 0.0
+
+    def test_time_callable_invalid_repeats(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repeats=0)
+
+    def test_throughput(self):
+        assert throughput_mb_per_s(2_000_000, 2.0) == pytest.approx(1.0)
+        assert throughput_mb_per_s(100, 0.0) == 0.0

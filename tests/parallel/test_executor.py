@@ -1,0 +1,58 @@
+"""Tests for the process-pool parallel backend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParallelExecutionError
+from repro.parallel.executor import ParallelCodec, default_worker_count
+
+
+class TestConfiguration:
+    def test_default_worker_count_positive(self):
+        assert default_worker_count() >= 1
+
+    def test_invalid_workers_rejected(self, trained_codec):
+        with pytest.raises(ParallelExecutionError):
+            ParallelCodec(trained_codec, workers=0)
+
+    def test_invalid_chunk_size_rejected(self, trained_codec):
+        with pytest.raises(ParallelExecutionError):
+            ParallelCodec(trained_codec, chunk_size=0)
+
+
+class TestSerialFallback:
+    def test_small_batches_run_serially(self, trained_codec, gdb_corpus):
+        parallel = ParallelCodec(trained_codec, workers=4, serial_threshold=10_000)
+        batch = gdb_corpus[:40]
+        result = parallel.compress_many(batch)
+        assert result == trained_codec.compress_many(batch)
+        assert parallel.last_stats.workers == 1
+
+    def test_single_worker_runs_serially(self, trained_codec, gdb_corpus):
+        parallel = ParallelCodec(trained_codec, workers=1, serial_threshold=0)
+        batch = gdb_corpus[:20]
+        assert parallel.decompress_many(trained_codec.compress_many(batch)) == [
+            trained_codec.preprocess(s) for s in batch
+        ]
+
+
+class TestParallelExecution:
+    def test_parallel_matches_serial_output(self, plain_codec, mixed_corpus_small):
+        """Spawned workers must reproduce the serial results in order."""
+        batch = mixed_corpus_small[:120]
+        parallel = ParallelCodec(plain_codec, workers=2, chunk_size=30, serial_threshold=0)
+        compressed = parallel.compress_many(batch)
+        assert compressed == plain_codec.compress_many(batch)
+        assert parallel.last_stats.workers == 2
+        assert parallel.last_stats.chunks == 4
+
+        restored = parallel.decompress_many(compressed)
+        assert restored == batch
+
+    def test_codec_is_picklable(self, trained_codec):
+        """The spawn-based pool requires the codec (pipeline included) to pickle."""
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(trained_codec))
+        assert clone.compress("COc1cc(C=O)ccc1O") == trained_codec.compress("COc1cc(C=O)ccc1O")

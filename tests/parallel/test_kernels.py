@@ -1,0 +1,121 @@
+"""Tests for the simulated CUDA kernels and device model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DecompressionError
+from repro.parallel.gpu_model import (
+    CPU_PROFILE,
+    GPU_PROFILE,
+    DeviceProfile,
+    KernelCounters,
+    SimulatedDevice,
+)
+from repro.parallel.kernels import compression_kernel, decompression_kernel
+
+
+class TestKernelEquivalence:
+    def test_compression_kernel_matches_serial_codec(self, trained_codec, mixed_corpus_small):
+        """The simulated block kernel must produce byte-identical output."""
+        for smiles in mixed_corpus_small[:50]:
+            prepared = trained_codec.preprocess(smiles)
+            kernel_out, _ = compression_kernel(prepared, trained_codec.table)
+            assert kernel_out == trained_codec.compressor.compress_line(prepared)
+
+    def test_decompression_kernel_matches_serial_codec(self, trained_codec, mixed_corpus_small):
+        for smiles in mixed_corpus_small[:50]:
+            compressed = trained_codec.compress(smiles)
+            kernel_out, _ = decompression_kernel(compressed, trained_codec.table)
+            assert kernel_out == trained_codec.decompress(compressed)
+
+    def test_decompression_kernel_rejects_unknown_symbol(self, trained_codec):
+        # U+0100 is outside the Latin-1 symbol space, so it can never be a symbol.
+        with pytest.raises(DecompressionError):
+            decompression_kernel("Ā", trained_codec.table)
+
+    def test_empty_record(self, trained_codec):
+        out, counters = compression_kernel("", trained_codec.table)
+        assert out == ""
+        assert counters.blocks == 1
+
+
+class TestCounters:
+    def test_compression_counters_scale_with_input(self, trained_codec):
+        short, c_short = compression_kernel("CCO", trained_codec.table)
+        long, c_long = compression_kernel("CCO" * 30, trained_codec.table)
+        assert c_long.instructions > c_short.instructions
+        assert c_long.storage_read_bytes > c_short.storage_read_bytes
+        assert c_long.memory_bytes > c_short.memory_bytes
+
+    def test_storage_bytes_match_record_sizes(self, trained_codec):
+        prepared = trained_codec.preprocess("CC(C)Cc1ccc(cc1)C(C)C(=O)O")
+        out, counters = compression_kernel(prepared, trained_codec.table)
+        assert counters.storage_read_bytes == len(prepared) + 1
+        assert counters.storage_write_bytes == len(out) + 1
+
+    def test_counters_accumulate_across_records(self, trained_codec):
+        counters = KernelCounters()
+        _, counters = compression_kernel("CCO", trained_codec.table, counters)
+        _, counters = compression_kernel("CCN", trained_codec.table, counters)
+        assert counters.blocks == 2
+
+    def test_merge(self):
+        a = KernelCounters(instructions=5, memory_bytes=2, blocks=1)
+        b = KernelCounters(instructions=3, storage_read_bytes=7, blocks=2)
+        a.merge(b)
+        assert a.instructions == 8
+        assert a.storage_read_bytes == 7
+        assert a.blocks == 3
+
+    def test_as_dict_keys(self):
+        keys = set(KernelCounters().as_dict())
+        assert keys == {
+            "instructions", "memory_bytes", "storage_read_bytes",
+            "storage_write_bytes", "blocks",
+        }
+
+
+class TestDeviceModel:
+    def test_gpu_faster_than_cpu_on_compute_heavy_work(self):
+        counters = KernelCounters(
+            instructions=10_000_000, memory_bytes=1_000_000,
+            storage_read_bytes=100_000, storage_write_bytes=40_000, blocks=1000,
+        )
+        assert GPU_PROFILE.execution_time(counters) < CPU_PROFILE.execution_time(counters)
+
+    def test_storage_traffic_bounds_both_devices(self):
+        """With zero compute both devices take the same storage-bound time."""
+        counters = KernelCounters(storage_read_bytes=1_000_000, storage_write_bytes=500_000)
+        cpu = CPU_PROFILE.execution_time(counters)
+        gpu = GPU_PROFILE.execution_time(counters)
+        assert cpu == pytest.approx(gpu - GPU_PROFILE.launch_overhead, rel=1e-6)
+
+    def test_execution_time_monotonic_in_instructions(self):
+        light = KernelCounters(instructions=1000)
+        heavy = KernelCounters(instructions=10_000_000)
+        assert CPU_PROFILE.execution_time(heavy) > CPU_PROFILE.execution_time(light)
+
+    def test_simulated_device_accumulates(self, trained_codec):
+        device = SimulatedDevice(CPU_PROFILE)
+        _, counters = compression_kernel("CCO", trained_codec.table)
+        device.record(counters)
+        first = device.elapsed_seconds()
+        _, counters2 = compression_kernel("CCCCCC", trained_codec.table)
+        device.record(counters2)
+        assert device.elapsed_seconds() > first
+        device.reset()
+        assert device.elapsed_seconds() == 0.0
+        assert device.launches == 0
+
+    def test_profile_is_frozen(self):
+        with pytest.raises(Exception):
+            CPU_PROFILE.name = "other"  # type: ignore[misc]
+
+    def test_custom_profile(self):
+        profile = DeviceProfile(
+            name="test", compute_throughput=1e9, memory_bandwidth=1e10,
+            storage_bandwidth=1e8, launch_overhead=0.0,
+        )
+        counters = KernelCounters(instructions=1_000_000, storage_read_bytes=100)
+        assert profile.execution_time(counters) > 0

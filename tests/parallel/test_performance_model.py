@@ -1,0 +1,59 @@
+"""Tests for the Figure 5 performance sweep."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel.gpu_model import CPU_PROFILE, GPU_PROFILE
+from repro.parallel.performance_model import run_performance_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep(request):
+    from repro.datasets import mixed
+
+    corpus = mixed.generate(240, seed=11)
+    return run_performance_sweep(corpus[:120], corpus[120:], lmax_values=(5, 8))
+
+
+class TestSweepStructure:
+    def test_point_count(self, sweep):
+        # 2 lmax values x 2 devices x 2 operations
+        assert len(sweep.points) == 8
+
+    def test_series_ordered_by_lmax(self, sweep):
+        series = sweep.series(CPU_PROFILE.name, "compression")
+        assert [p.lmax for p in series] == [5, 8]
+
+    def test_normalization_reference_is_one(self, sweep):
+        for operation in ("compression", "decompression"):
+            reference = sweep.series(CPU_PROFILE.name, operation)[-1]
+            assert reference.normalized == pytest.approx(1.0)
+
+    def test_counters_recorded(self, sweep):
+        assert all(p.counters["blocks"] > 0 for p in sweep.points)
+
+    def test_unknown_operation_rejected(self, sweep):
+        with pytest.raises(ValueError):
+            sweep.speedup("transmogrification")
+
+
+class TestPaperShape:
+    def test_gpu_faster_than_cpu(self, sweep):
+        for operation in ("compression", "decompression"):
+            assert sweep.speedup(operation) > 1.0
+
+    def test_compression_speedup_larger_than_decompression(self, sweep):
+        assert sweep.speedup("compression") > sweep.speedup("decompression")
+
+    def test_compression_speedup_in_paper_range(self, sweep):
+        assert 4.0 < sweep.speedup("compression") < 11.0
+
+    def test_decompression_speedup_in_paper_range(self, sweep):
+        assert 1.3 < sweep.speedup("decompression") < 3.5
+
+    def test_times_roughly_flat_in_lmax(self, sweep):
+        for device in (CPU_PROFILE.name, GPU_PROFILE.name):
+            for operation in ("compression", "decompression"):
+                values = [p.normalized for p in sweep.series(device, operation)]
+                assert max(values) - min(values) < 0.25

@@ -1,0 +1,78 @@
+"""Tests for the preprocessing pipeline."""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.preprocess.pipeline import (
+    PreprocessingPipeline,
+    drop_title_column,
+    make_pipeline,
+    strip_whitespace,
+)
+
+
+class TestSteps:
+    def test_strip_whitespace(self):
+        assert strip_whitespace("  CCO \n") == "CCO"
+
+    def test_drop_title_column(self):
+        assert drop_title_column("CCO ethanol") == "CCO"
+        assert drop_title_column("CCO") == "CCO"
+        assert drop_title_column("") == ""
+
+
+class TestPipelineConstruction:
+    def test_default_pipeline_has_ring_renumbering(self):
+        pipeline = PreprocessingPipeline.default(ring_renumbering=True)
+        assert len(pipeline) == 2
+        assert any("ring_renumber" in name for name in pipeline.names)
+
+    def test_identity_pipeline_only_strips(self):
+        pipeline = PreprocessingPipeline.identity()
+        assert pipeline.names == ["strip_whitespace"]
+
+    def test_make_pipeline_toggle(self):
+        assert len(make_pipeline(True)) == 2
+        assert len(make_pipeline(False)) == 1
+
+    def test_make_pipeline_extra_steps(self):
+        pipeline = make_pipeline(False, extra_steps=[("upper", str.upper)])
+        assert pipeline("cco ") == "CCO"
+
+    def test_add_returns_self_for_chaining(self):
+        pipeline = PreprocessingPipeline()
+        assert pipeline.add("a", str.strip) is pipeline
+
+    def test_describe(self):
+        assert "->" in make_pipeline(True).describe()
+        assert PreprocessingPipeline().describe() == "(empty pipeline)"
+
+
+class TestApplication:
+    def test_apply_renumbers_rings(self):
+        pipeline = make_pipeline(True)
+        assert pipeline.apply(" C1CCCCC1 ") == "C0CCCCC0"
+
+    def test_apply_without_preprocessing_keeps_ids(self):
+        pipeline = make_pipeline(False)
+        assert pipeline.apply(" C1CCCCC1 ") == "C1CCCCC1"
+
+    def test_apply_all_lazy(self):
+        pipeline = make_pipeline(True)
+        out = list(pipeline.apply_all(iter(["C1CC1", "CCO"])))
+        assert out == ["C0CC0", "CCO"]
+
+    def test_apply_list(self):
+        pipeline = make_pipeline(False)
+        assert pipeline.apply_list(["CC ", " CO"]) == ["CC", "CO"]
+
+    def test_outermost_policy_supported(self):
+        pipeline = make_pipeline(True, ring_policy="outermost")
+        assert "outermost" in pipeline.describe()
+
+    def test_pipeline_is_picklable(self):
+        """Required by the multiprocessing backend (spawn context)."""
+        pipeline = make_pipeline(True)
+        clone = pickle.loads(pickle.dumps(pipeline))
+        assert clone("C1CCCCC1") == pipeline("C1CCCCC1")

@@ -1,0 +1,130 @@
+"""Tests for the ring-identifier renumbering preprocessor (paper Section IV-A)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.preprocess.ring_renumber import assign_ring_ids, renumber_rings
+from repro.smiles.parser import parse
+from repro.smiles.rings import ring_spans
+from repro.smiles.validate import is_valid
+
+DIBENZOYLMETHANE = "C1=CC=C(C=C1)C(=O)CC(=O)C2=CC=CC=C2"
+
+
+class TestPaperExample:
+    def test_dibenzoylmethane_matches_paper(self):
+        """The exact transformation shown in Section IV-A of the paper."""
+        assert (
+            renumber_rings(DIBENZOYLMETHANE)
+            == "C0=CC=C(C=C0)C(=O)CC(=O)C0=CC=CC=C0"
+        )
+
+    def test_renumbered_output_is_valid(self):
+        assert is_valid(renumber_rings(DIBENZOYLMETHANE))
+
+    def test_renumbering_preserves_structure(self):
+        original = parse(DIBENZOYLMETHANE)
+        renumbered = parse(renumber_rings(DIBENZOYLMETHANE))
+        assert renumbered.atom_count() == original.atom_count()
+        assert renumbered.bond_count() == original.bond_count()
+        assert renumbered.ring_bond_count() == original.ring_bond_count()
+
+
+class TestBasicBehaviour:
+    def test_string_without_rings_unchanged(self):
+        assert renumber_rings("CCO") == "CCO"
+
+    def test_single_ring_gets_id_zero(self):
+        assert renumber_rings("C1CCCCC1") == "C0CCCCC0"
+
+    def test_sequential_rings_both_get_zero(self):
+        assert renumber_rings("C1CC1C2CC2") == "C0CC0C0CC0"
+
+    def test_custom_start_id(self):
+        assert renumber_rings("C1CCCCC1", start_id=1) == "C1CCCCC1"
+
+    def test_idempotent(self):
+        once = renumber_rings(DIBENZOYLMETHANE)
+        assert renumber_rings(once) == once
+
+    def test_percent_ids_collapse_to_single_digit(self):
+        assert renumber_rings("C%11CCCCC%11") == "C0CCCCC0"
+
+    def test_bracket_digits_untouched(self):
+        assert renumber_rings("[13CH4]") == "[13CH4]"
+
+
+class TestNestedRings:
+    def test_nested_rings_get_distinct_ids(self):
+        out = renumber_rings("C1CC2CCC1CC2")
+        spans = ring_spans(out)
+        assert len(spans) == 2
+        assert spans[0].ring_id != spans[1].ring_id
+
+    def test_innermost_gets_smaller_id(self):
+        # Ring opened second but closed first (the inner one) must get id 0.
+        smiles = "C1CC2CCC2CC1"  # ring 2 nested inside ring 1
+        out = renumber_rings(smiles, policy="innermost")
+        spans = sorted(ring_spans(out), key=lambda s: s.open_index)
+        outer, inner = spans[0], spans[1]
+        assert inner.ring_id == 0
+        assert outer.ring_id == 1
+
+    def test_outermost_policy_reverses_preference(self):
+        smiles = "C1CC2CCC2CC1"
+        out = renumber_rings(smiles, policy="outermost")
+        spans = sorted(ring_spans(out), key=lambda s: s.open_index)
+        outer, inner = spans[0], spans[1]
+        assert outer.ring_id == 0
+        assert inner.ring_id == 1
+
+    def test_overlapping_rings_never_share_an_id(self, mediate_corpus):
+        for smiles in mediate_corpus[:60]:
+            out = renumber_rings(smiles)
+            spans = ring_spans(out)
+            for i, a in enumerate(spans):
+                for b in spans[i + 1 :]:
+                    if a.overlaps(b):
+                        assert a.ring_id != b.ring_id, out
+
+
+class TestAssignRingIds:
+    def test_empty_input(self):
+        assert assign_ring_ids([]) == {}
+
+    def test_unknown_policy_rejected(self):
+        from repro.errors import RingNumberingError
+        from repro.smiles.rings import RingSpan
+
+        with pytest.raises(RingNumberingError):
+            assign_ring_ids([RingSpan(1, 0, 3)], policy="sideways")  # type: ignore[arg-type]
+
+
+class TestStructurePreservation:
+    def test_generated_corpora_preserve_structure(self, gdb_corpus, exscalate_corpus):
+        for corpus in (gdb_corpus, exscalate_corpus):
+            for smiles in corpus[:40]:
+                out = renumber_rings(smiles)
+                a, b = parse(smiles), parse(out)
+                assert a.atom_count() == b.atom_count()
+                assert a.bond_count() == b.bond_count()
+                assert a.ring_bond_count() == b.ring_bond_count()
+
+    def test_renumbering_never_lengthens_the_string(self, mediate_corpus):
+        for smiles in mediate_corpus[:60]:
+            assert len(renumber_rings(smiles)) <= len(smiles)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=30, deadline=None)
+def test_renumbering_is_idempotent_and_valid_on_generated_molecules(seed):
+    from repro.datasets.mediate import generator
+
+    smiles = generator(seed=seed).generate_smiles()
+    once = renumber_rings(smiles)
+    assert is_valid(once)
+    assert renumber_rings(once) == once
+    assert parse(once).ring_bond_count() == parse(smiles).ring_bond_count()

@@ -1,0 +1,66 @@
+"""Tests for the toy docking-score substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ScreeningError
+from repro.screening.docking import (
+    DEFAULT_POCKETS,
+    PocketModel,
+    dock_library,
+    dock_score,
+    top_hits,
+)
+
+
+class TestDockScore:
+    def test_deterministic(self):
+        pocket = DEFAULT_POCKETS[0]
+        assert dock_score("CCO", pocket) == dock_score("CCO", pocket)
+
+    def test_scores_are_negative(self, mediate_corpus):
+        pocket = DEFAULT_POCKETS[0]
+        assert all(dock_score(s, pocket) < 0 for s in mediate_corpus[:30])
+
+    def test_different_pockets_rank_differently(self, mediate_corpus):
+        a, b = DEFAULT_POCKETS[0], DEFAULT_POCKETS[1]
+        sample = mediate_corpus[:40]
+        order_a = sorted(sample, key=lambda s: dock_score(s, a))
+        order_b = sorted(sample, key=lambda s: dock_score(s, b))
+        assert order_a != order_b
+
+    def test_different_ligands_get_different_scores(self):
+        pocket = DEFAULT_POCKETS[0]
+        assert dock_score("CCO", pocket) != dock_score("c1ccccc1", pocket)
+
+    def test_unparsable_smiles_rejected(self):
+        with pytest.raises(ScreeningError):
+            dock_score("not a smiles!", DEFAULT_POCKETS[0])
+
+    def test_custom_pocket(self):
+        pocket = PocketModel(name="custom", preferred_size=10)
+        assert dock_score("CCO", pocket) < 0
+
+
+class TestLibraryScoring:
+    def test_dock_library_preserves_order(self, gdb_corpus):
+        pocket = DEFAULT_POCKETS[0]
+        scored = dock_library(gdb_corpus[:20], pocket)
+        assert [s for s, _ in scored] == gdb_corpus[:20]
+
+    def test_top_hits_sorted_best_first(self, gdb_corpus):
+        pocket = DEFAULT_POCKETS[0]
+        scored = dock_library(gdb_corpus[:50], pocket)
+        hits = top_hits(scored, 5)
+        assert len(hits) == 5
+        scores = [score for _, score in hits]
+        assert scores == sorted(scores)
+        assert min(score for _, score in scored) == scores[0]
+
+    def test_top_hits_count_clamped(self):
+        assert top_hits([("C", -1.0)], 10) == [("C", -1.0)]
+
+    def test_top_hits_negative_count_rejected(self):
+        with pytest.raises(ScreeningError):
+            top_hits([], -1)

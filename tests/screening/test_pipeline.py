@@ -1,0 +1,117 @@
+"""Integration tests: the full virtual-screening campaign over a compressed library."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.random_access import LineIndex
+from repro.errors import ScreeningError
+from repro.screening.docking import DEFAULT_POCKETS, dock_score
+from repro.screening.pipeline import ScreeningCampaign
+from repro.screening.storage import StorageFootprint, format_bytes, measure_footprint
+
+
+@pytest.fixture(scope="module")
+def campaign_setup(tmp_path_factory):
+    from repro.core.codec import ZSmilesCodec
+    from repro.datasets import mixed
+
+    corpus = mixed.generate(200, seed=21)
+    codec = ZSmilesCodec.train(corpus, preprocessing=True, lmax=8)
+    campaign = ScreeningCampaign(codec, pockets=DEFAULT_POCKETS[:2], top_k=10)
+    directory = tmp_path_factory.mktemp("campaign")
+    zsmi_path, index, footprint = campaign.prepare_library(corpus, directory)
+    return campaign, corpus, zsmi_path, index, footprint, directory
+
+
+class TestLibraryPreparation:
+    def test_compressed_library_created_with_index(self, campaign_setup):
+        _, corpus, zsmi_path, index, _, _ = campaign_setup
+        assert zsmi_path.exists()
+        assert index.line_count == len(corpus)
+        assert LineIndex.default_path(zsmi_path).exists()
+
+    def test_footprint_reports_savings(self, campaign_setup):
+        footprint = campaign_setup[4]
+        assert isinstance(footprint, StorageFootprint)
+        assert footprint.zsmiles_bytes < footprint.raw_bytes
+        assert footprint.zsmiles_bzip2_bytes < footprint.zsmiles_bytes
+        assert 0 < footprint.zsmiles_ratio < 1
+
+
+class TestCampaignRun:
+    def test_full_run_scores_every_ligand(self, campaign_setup):
+        campaign, corpus, zsmi_path, index, footprint, _ = campaign_setup
+        result = campaign.run(zsmi_path, index=index, footprint=footprint)
+        for pocket in campaign.pockets:
+            assert len(result.pocket_results[pocket.name]) == len(corpus)
+            assert len(result.hits[pocket.name]) == 10
+
+    def test_scores_match_direct_scoring(self, campaign_setup):
+        """Scoring through the compressed library equals scoring the raw SMILES."""
+        campaign, corpus, zsmi_path, index, _, _ = campaign_setup
+        result = campaign.run(zsmi_path, index=index)
+        pocket = campaign.pockets[0]
+        scored = dict(result.pocket_results[pocket.name])
+        for smiles in corpus[:25]:
+            preprocessed = campaign.codec.preprocess(smiles)
+            assert scored[preprocessed] == pytest.approx(dock_score(preprocessed, pocket))
+
+    def test_sampled_run_uses_random_access(self, campaign_setup):
+        campaign, corpus, zsmi_path, index, _, _ = campaign_setup
+        result = campaign.run(zsmi_path, index=index, sample=25, seed=3)
+        assert len(result.sampled_indices) == 25
+        assert len(set(result.sampled_indices)) == 25
+        pocket = campaign.pockets[0]
+        assert len(result.pocket_results[pocket.name]) == 25
+
+    def test_sample_must_be_positive(self, campaign_setup):
+        campaign, _, zsmi_path, index, _, _ = campaign_setup
+        with pytest.raises(ScreeningError):
+            campaign.run(zsmi_path, index=index, sample=0)
+
+    def test_fetch_hit_roundtrip(self, campaign_setup):
+        campaign, corpus, zsmi_path, _, _, _ = campaign_setup
+        assert campaign.fetch_hit(zsmi_path, 17) == campaign.codec.preprocess(corpus[17])
+
+    def test_write_results_creates_score_files(self, campaign_setup):
+        campaign, _, zsmi_path, index, _, directory = campaign_setup
+        result = campaign.run(zsmi_path, index=index, sample=20, seed=1)
+        paths = campaign.write_results(result, directory / "out")
+        assert set(paths) == {p.name for p in campaign.pockets}
+        for path in paths.values():
+            assert path.exists()
+            first_line = path.read_text().splitlines()[0]
+            assert len(first_line.split()) == 3  # smiles, pocket, score
+
+    def test_top_k_validation(self, campaign_setup):
+        campaign, *_ = campaign_setup
+        with pytest.raises(ScreeningError):
+            ScreeningCampaign(campaign.codec, top_k=0)
+
+
+class TestStorageHelpers:
+    def test_measure_footprint_with_precomputed_records(self, campaign_setup):
+        campaign, corpus, *_ = campaign_setup
+        compressed = [campaign.codec.compress(s) for s in corpus[:50]]
+        footprint = measure_footprint(corpus[:50], campaign.codec, compressed=compressed)
+        assert footprint.records == 50
+        assert footprint.zsmiles_ratio < 1
+
+    def test_scaled_projection(self):
+        footprint = StorageFootprint(
+            raw_bytes=1000, zsmiles_bytes=400, zsmiles_bzip2_bytes=200, records=10
+        )
+        projected = footprint.scaled(1000)
+        assert projected["raw_bytes"] == 100_000
+        assert projected["zsmiles_bytes"] == 40_000
+
+    def test_scaled_empty(self):
+        footprint = StorageFootprint(0, 0, 0, 0)
+        assert footprint.scaled(100)["raw_bytes"] == 0.0
+        assert footprint.zsmiles_ratio == 1.0
+
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512.00 B"
+        assert format_bytes(2048) == "2.00 KiB"
+        assert "TiB" in format_bytes(72 * 1024**4)

@@ -1,0 +1,72 @@
+"""Tests for the SMILES alphabet and symbol-pool definitions."""
+
+from __future__ import annotations
+
+from repro.smiles.alphabet import (
+    ESCAPE_CHAR,
+    EXTENDED_ASCII,
+    NON_SMILES_PRINTABLE,
+    PRINTABLE_ASCII,
+    SMILES_ALPHABET,
+    is_smiles_char,
+    symbol_code_points,
+)
+
+
+class TestAlphabetMembership:
+    def test_core_characters_present(self):
+        for ch in "CNOPSFIclnosp0123456789()[]=#+-@/\\%.*~$:":
+            assert ch in SMILES_ALPHABET, ch
+
+    def test_two_letter_element_characters_present(self):
+        # 'Cl' and 'Br' contribute their individual characters.
+        assert "l" in SMILES_ALPHABET and "r" in SMILES_ALPHABET and "B" in SMILES_ALPHABET
+
+    def test_space_and_newline_excluded(self):
+        assert " " not in SMILES_ALPHABET
+        assert "\n" not in SMILES_ALPHABET
+
+    def test_is_smiles_char(self):
+        assert is_smiles_char("C")
+        assert not is_smiles_char("!")
+
+    def test_escape_char_is_space(self):
+        assert ESCAPE_CHAR == " "
+
+    def test_alphabet_is_subset_of_printable(self):
+        assert SMILES_ALPHABET <= PRINTABLE_ASCII
+
+    def test_non_smiles_printable_disjoint_from_alphabet(self):
+        assert not (NON_SMILES_PRINTABLE & SMILES_ALPHABET)
+        assert ESCAPE_CHAR not in NON_SMILES_PRINTABLE
+
+
+class TestExtendedRange:
+    def test_extended_ascii_is_high_latin1(self):
+        assert all(0x80 <= ord(ch) <= 0xFF for ch in EXTENDED_ASCII)
+
+    def test_nel_excluded(self):
+        """U+0085 splits lines under str.splitlines, so it must never be a symbol."""
+        assert "\x85" not in EXTENDED_ASCII
+
+    def test_no_duplicates(self):
+        assert len(EXTENDED_ASCII) == len(set(EXTENDED_ASCII))
+
+
+class TestSymbolCodePoints:
+    def test_default_pool_excludes_reserved_characters(self):
+        pool = symbol_code_points()
+        assert ESCAPE_CHAR not in pool
+        assert "\n" not in pool and "\t" not in pool
+
+    def test_reserved_characters_removed(self):
+        pool = symbol_code_points(frozenset({"!"}))
+        assert "!" not in pool
+
+    def test_printable_symbols_come_first(self):
+        pool = symbol_code_points()
+        first_extended = next(i for i, ch in enumerate(pool) if ord(ch) >= 0x80)
+        assert all(ord(ch) < 0x80 for ch in pool[:first_extended])
+
+    def test_pool_never_contains_smiles_characters(self):
+        assert not (set(symbol_code_points()) & SMILES_ALPHABET)

@@ -1,0 +1,120 @@
+"""Tests for the molecular graph data structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.smiles.graph import Atom, Bond, BondOrder, MolecularGraph
+from repro.smiles.parser import parse
+
+
+class TestConstruction:
+    def test_add_atom_returns_dense_indices(self):
+        graph = MolecularGraph()
+        assert graph.add_atom(Atom(element="C")) == 0
+        assert graph.add_atom(Atom(element="N")) == 1
+        assert len(graph) == 2
+
+    def test_add_bond_updates_adjacency(self):
+        graph = MolecularGraph()
+        a = graph.add_atom(Atom(element="C"))
+        b = graph.add_atom(Atom(element="O"))
+        graph.add_bond(a, b)
+        assert graph.neighbors(a) == [b]
+        assert graph.neighbors(b) == [a]
+        assert graph.degree(a) == 1
+
+    def test_self_bond_rejected(self):
+        graph = MolecularGraph()
+        a = graph.add_atom(Atom(element="C"))
+        with pytest.raises(ValidationError):
+            graph.add_bond(a, a)
+
+    def test_missing_atom_rejected(self):
+        graph = MolecularGraph()
+        graph.add_atom(Atom(element="C"))
+        with pytest.raises(ValidationError):
+            graph.add_bond(0, 5)
+
+    def test_duplicate_bond_rejected(self):
+        graph = MolecularGraph()
+        a = graph.add_atom(Atom(element="C"))
+        b = graph.add_atom(Atom(element="C"))
+        graph.add_bond(a, b)
+        with pytest.raises(ValidationError):
+            graph.add_bond(b, a)
+
+
+class TestQueries:
+    def test_get_bond_is_order_insensitive(self):
+        graph = MolecularGraph()
+        a = graph.add_atom(Atom(element="C"))
+        b = graph.add_atom(Atom(element="N"))
+        graph.add_bond(a, b, BondOrder.DOUBLE)
+        assert graph.get_bond(a, b) is graph.get_bond(b, a)
+        assert graph.get_bond(a, b).order is BondOrder.DOUBLE
+
+    def test_get_bond_missing_returns_none(self):
+        graph = MolecularGraph()
+        graph.add_atom(Atom(element="C"))
+        graph.add_atom(Atom(element="C"))
+        assert graph.get_bond(0, 1) is None
+
+    def test_bonded_valence_counts_bond_orders(self):
+        graph = parse("C(=O)O")
+        # Atom 0 is the carbon with one double and one single bond.
+        assert graph.bonded_valence(0) == 3
+
+    def test_connected_components(self):
+        graph = parse("CC.O.CCC")
+        components = graph.connected_components()
+        assert [len(c) for c in components] == [2, 1, 3]
+
+    def test_ring_bond_count_acyclic(self):
+        assert parse("CCCC").ring_bond_count() == 0
+
+    def test_ring_bond_count_bicyclic(self):
+        assert parse("C1CC2CCC1CC2").ring_bond_count() == 2
+
+    def test_iter_ring_memberships_identifies_ring_bonds(self):
+        graph = parse("C1CC1CC")  # triangle with a two-carbon tail
+        ring_bonds = list(graph.iter_ring_memberships())
+        assert len(ring_bonds) == 3  # only the triangle edges
+
+
+class TestBond:
+    def test_other_endpoint(self):
+        bond = Bond(2, 5)
+        assert bond.other(2) == 5
+        assert bond.other(5) == 2
+
+    def test_other_invalid_raises(self):
+        with pytest.raises(ValueError):
+            Bond(2, 5).other(7)
+
+    def test_key_is_sorted(self):
+        assert Bond(5, 2).key() == (2, 5)
+
+    def test_valence_units(self):
+        assert BondOrder.SINGLE.valence_units == 1
+        assert BondOrder.DOUBLE.valence_units == 2
+        assert BondOrder.TRIPLE.valence_units == 3
+        assert BondOrder.AROMATIC.valence_units == 1
+
+
+class TestAtom:
+    def test_needs_bracket_for_charge(self):
+        assert Atom(element="N", charge=1).needs_bracket()
+
+    def test_needs_bracket_for_isotope(self):
+        assert Atom(element="C", isotope=14).needs_bracket()
+
+    def test_organic_subset_no_bracket(self):
+        assert not Atom(element="C").needs_bracket()
+
+    def test_non_organic_element_needs_bracket(self):
+        assert Atom(element="Fe").needs_bracket()
+
+    def test_smiles_symbol_lowercase_when_aromatic(self):
+        assert Atom(element="N", aromatic=True).smiles_symbol() == "n"

@@ -1,0 +1,214 @@
+"""Tests for the SMILES parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError, TokenizationError
+from repro.smiles.graph import BondOrder
+from repro.smiles.parser import is_parsable, parse, parse_bracket_atom
+
+
+class TestLinearMolecules:
+    def test_single_atom(self):
+        graph = parse("C")
+        assert graph.atom_count() == 1
+        assert graph.bond_count() == 0
+
+    def test_chain_counts(self):
+        graph = parse("CCO")
+        assert graph.atom_count() == 3
+        assert graph.bond_count() == 2
+        assert [a.element for a in graph.atoms] == ["C", "C", "O"]
+
+    def test_default_bond_is_single(self):
+        graph = parse("CC")
+        assert graph.bonds[0].order is BondOrder.SINGLE
+
+    def test_explicit_double_bond(self):
+        graph = parse("C=C")
+        assert graph.bonds[0].order is BondOrder.DOUBLE
+
+    def test_triple_bond(self):
+        graph = parse("N#C")
+        assert graph.bonds[0].order is BondOrder.TRIPLE
+
+    def test_two_letter_atoms(self):
+        graph = parse("ClCBr")
+        assert [a.element for a in graph.atoms] == ["Cl", "C", "Br"]
+
+
+class TestBranches:
+    def test_single_branch(self):
+        graph = parse("CC(C)C")
+        assert graph.atom_count() == 4
+        # atom 1 is the branch point with three carbon neighbours
+        assert graph.degree(1) == 3
+
+    def test_nested_branches(self):
+        graph = parse("CC(C(C)C)C")
+        assert graph.atom_count() == 6
+        assert graph.bond_count() == 5
+
+    def test_branch_then_continuation(self):
+        graph = parse("C(O)N")
+        assert sorted(graph.atoms[i].element for i in graph.neighbors(0)) == ["N", "O"]
+
+    def test_unclosed_branch_raises(self):
+        with pytest.raises(ParseError):
+            parse("CC(C")
+
+    def test_unmatched_close_raises(self):
+        with pytest.raises(ParseError):
+            parse("CC)C")
+
+    def test_branch_before_atom_raises(self):
+        with pytest.raises(ParseError):
+            parse("(CC)")
+
+
+class TestRings:
+    def test_simple_ring(self):
+        graph = parse("C1CCCCC1")
+        assert graph.atom_count() == 6
+        assert graph.bond_count() == 6
+        assert graph.ring_bond_count() == 1
+
+    def test_aromatic_ring_bond_orders(self):
+        graph = parse("c1ccccc1")
+        assert all(b.order is BondOrder.AROMATIC for b in graph.bonds)
+
+    def test_ring_closure_bond_order_on_opening(self):
+        graph = parse("C=1CCCCC=1")
+        ring_bond = graph.get_bond(0, 5)
+        assert ring_bond is not None
+        assert ring_bond.order is BondOrder.DOUBLE
+
+    def test_two_rings_fused(self):
+        graph = parse("c1ccc2ccccc2c1")  # naphthalene
+        assert graph.atom_count() == 10
+        assert graph.bond_count() == 11
+        assert graph.ring_bond_count() == 2
+
+    def test_ring_id_reuse_after_closing(self):
+        # Both rings use id 1; legal because the first closes before the second opens.
+        graph = parse("C1CC1C1CC1")
+        assert graph.atom_count() == 6
+        assert graph.ring_bond_count() == 2
+
+    def test_percent_ring_ids(self):
+        graph = parse("C%12CCCCC%12")
+        assert graph.ring_bond_count() == 1
+
+    def test_unclosed_ring_raises(self):
+        with pytest.raises(ParseError):
+            parse("C1CCC")
+
+    def test_ring_digit_before_atom_raises(self):
+        with pytest.raises(ParseError):
+            parse("1CC1")
+
+    def test_ring_closure_on_same_atom_raises(self):
+        with pytest.raises(ParseError):
+            parse("C11")
+
+    def test_conflicting_ring_bond_orders_raise(self):
+        with pytest.raises(ParseError):
+            parse("C=1CCCCC#1")
+
+    def test_duplicate_bond_via_ring_raises(self):
+        # Ring closure would duplicate the explicit bond between atoms 0 and 1.
+        with pytest.raises(ParseError):
+            parse("C1C1")
+
+
+class TestDisconnectedStructures:
+    def test_two_components(self):
+        graph = parse("CCO.CC")
+        assert graph.atom_count() == 5
+        assert len(graph.connected_components()) == 2
+
+    def test_dot_then_bond_symbol_raises(self):
+        with pytest.raises(ParseError):
+            parse("C=.C")
+
+    def test_salt_pair(self):
+        graph = parse("[Na+].[Cl-]")
+        assert graph.atom_count() == 2
+        assert graph.atoms[0].charge == 1
+        assert graph.atoms[1].charge == -1
+
+
+class TestBracketAtoms:
+    def test_charge_and_h(self):
+        atom = parse_bracket_atom("[NH4+]")
+        assert atom.element == "N"
+        assert atom.explicit_h == 4
+        assert atom.charge == 1
+
+    def test_isotope(self):
+        atom = parse_bracket_atom("[13CH4]")
+        assert atom.isotope == 13
+        assert atom.explicit_h == 4
+
+    def test_chirality(self):
+        atom = parse_bracket_atom("[C@@H]")
+        assert atom.chirality == "@@"
+        assert atom.explicit_h == 1
+
+    def test_numeric_charge(self):
+        assert parse_bracket_atom("[Fe+2]").charge == 2
+        assert parse_bracket_atom("[O-2]").charge == -2
+
+    def test_repeated_sign_charge(self):
+        assert parse_bracket_atom("[O--]").charge == -2
+
+    def test_aromatic_bracket_atom(self):
+        atom = parse_bracket_atom("[nH]")
+        assert atom.element == "N"
+        assert atom.aromatic is True
+
+    def test_atom_class(self):
+        assert parse_bracket_atom("[CH3:7]").atom_class == 7
+
+    def test_malformed_raises(self):
+        with pytest.raises(ParseError):
+            parse_bracket_atom("[C@H")
+
+
+class TestErrors:
+    def test_dangling_bond_at_end(self):
+        with pytest.raises(ParseError):
+            parse("CC=")
+
+    def test_two_consecutive_bonds(self):
+        with pytest.raises(ParseError):
+            parse("C==C")
+
+    def test_tokenization_error_propagates(self):
+        with pytest.raises(TokenizationError):
+            parse("C!C")
+
+    def test_is_parsable(self):
+        assert is_parsable("c1ccccc1")
+        assert not is_parsable("C1CC")
+
+
+class TestCuratedCorpus:
+    def test_all_curated_smiles_parse(self, curated_smiles):
+        for smiles in curated_smiles:
+            graph = parse(smiles)
+            assert graph.atom_count() > 0
+
+    def test_vanillin_structure(self):
+        graph = parse("COc1cc(C=O)ccc1O")
+        assert graph.atom_count() == 11
+        elements = sorted(a.element for a in graph.atoms)
+        assert elements.count("C") == 8
+        assert elements.count("O") == 3
+        assert graph.ring_bond_count() == 1
+
+    def test_generated_corpora_parse(self, gdb_corpus, mediate_corpus, exscalate_corpus):
+        for corpus in (gdb_corpus, mediate_corpus, exscalate_corpus):
+            for smiles in corpus[:50]:
+                assert is_parsable(smiles), smiles

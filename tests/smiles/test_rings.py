@@ -1,0 +1,100 @@
+"""Tests for ring-bond span analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RingNumberingError
+from repro.smiles.rings import (
+    RingSpan,
+    max_simultaneous_rings,
+    pair_ring_bonds,
+    ring_spans,
+    ring_statistics,
+)
+from repro.smiles.tokenizer import tokenize
+
+
+class TestPairing:
+    def test_no_rings(self):
+        assert ring_spans("CCO") == []
+
+    def test_single_ring(self):
+        spans = ring_spans("C1CCCCC1")
+        assert len(spans) == 1
+        assert spans[0].ring_id == 1
+        assert spans[0].open_index < spans[0].close_index
+
+    def test_two_sequential_rings(self):
+        spans = ring_spans("C1CC1C2CC2")
+        assert [s.ring_id for s in spans] == [1, 2]
+        assert not spans[0].overlaps(spans[1])
+
+    def test_reused_identifier_pairs_correctly(self):
+        spans = ring_spans("C1CC1C1CC1")
+        assert len(spans) == 2
+        assert all(s.ring_id == 1 for s in spans)
+        assert not spans[0].overlaps(spans[1])
+
+    def test_nested_rings_overlap(self):
+        spans = ring_spans("C1CC2CCC1CC2")
+        assert len(spans) == 2
+        assert spans[0].overlaps(spans[1])
+
+    def test_percent_ids(self):
+        spans = ring_spans("C%10CCCCC%10")
+        assert spans[0].ring_id == 10
+
+    def test_unclosed_ring_raises(self):
+        with pytest.raises(RingNumberingError):
+            pair_ring_bonds(tokenize("C1CCC"))
+
+    def test_digits_inside_brackets_ignored(self):
+        assert ring_spans("[13CH4]") == []
+
+
+class TestSpanGeometry:
+    def test_contains(self):
+        outer = RingSpan(ring_id=1, open_index=0, close_index=10)
+        inner = RingSpan(ring_id=2, open_index=2, close_index=5)
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_length(self):
+        span = RingSpan(ring_id=1, open_index=3, close_index=9)
+        assert span.length == 5
+
+    def test_overlap_is_symmetric(self):
+        a = RingSpan(1, 0, 5)
+        b = RingSpan(2, 3, 8)
+        assert a.overlaps(b) and b.overlaps(a)
+
+    def test_disjoint_spans_do_not_overlap(self):
+        a = RingSpan(1, 0, 2)
+        b = RingSpan(2, 5, 8)
+        assert not a.overlaps(b)
+
+
+class TestStatistics:
+    def test_max_simultaneous_rings_nested(self):
+        spans = ring_spans("C1CC2CCC1CC2")
+        assert max_simultaneous_rings(spans) == 2
+
+    def test_max_simultaneous_rings_sequential(self):
+        spans = ring_spans("C1CC1C2CC2")
+        assert max_simultaneous_rings(spans) == 1
+
+    def test_statistics_no_rings(self):
+        stats = ring_statistics("CCO")
+        assert stats["count"] == 0
+        assert stats["max_open"] == 0
+
+    def test_statistics_dibenzoylmethane(self):
+        stats = ring_statistics("C1=CC=C(C=C1)C(=O)CC(=O)C2=CC=CC=C2")
+        assert stats["count"] == 2
+        assert stats["distinct_ids"] == 2
+        assert stats["max_open"] == 1
+
+    def test_statistics_counts_generated_corpus(self, mediate_corpus):
+        ring_counts = [ring_statistics(s)["count"] for s in mediate_corpus[:40]]
+        assert any(count >= 1 for count in ring_counts)

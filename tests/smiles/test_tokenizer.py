@@ -1,0 +1,178 @@
+"""Tests for the SMILES tokenizer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TokenizationError
+from repro.smiles.tokenizer import Token, TokenType, detokenize, is_tokenizable, tokenize
+
+
+class TestBasicTokens:
+    def test_single_atom(self):
+        tokens = tokenize("C")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.ATOM
+        assert tokens[0].text == "C"
+
+    def test_two_letter_organic_atom(self):
+        tokens = tokenize("CCl")
+        assert [t.text for t in tokens] == ["C", "Cl"]
+        assert all(t.type is TokenType.ATOM for t in tokens)
+
+    def test_bromine_not_split(self):
+        tokens = tokenize("BrBr")
+        assert [t.text for t in tokens] == ["Br", "Br"]
+
+    def test_aromatic_atoms(self):
+        tokens = tokenize("cnosp")
+        assert [t.text for t in tokens] == ["c", "n", "o", "s", "p"]
+        assert all(t.type is TokenType.ATOM for t in tokens)
+
+    def test_wildcard_atom(self):
+        tokens = tokenize("*C")
+        assert tokens[0].type is TokenType.ATOM
+        assert tokens[0].text == "*"
+
+    def test_bond_symbols(self):
+        tokens = tokenize("C=C#N")
+        types = [t.type for t in tokens]
+        assert types == [
+            TokenType.ATOM,
+            TokenType.BOND,
+            TokenType.ATOM,
+            TokenType.BOND,
+            TokenType.ATOM,
+        ]
+
+    def test_directional_bonds(self):
+        tokens = tokenize("C/C=C\\C")
+        bond_texts = [t.text for t in tokens if t.type is TokenType.BOND]
+        assert bond_texts == ["/", "=", "\\"]
+
+    def test_branches(self):
+        tokens = tokenize("CC(C)C")
+        types = [t.type for t in tokens]
+        assert TokenType.BRANCH_OPEN in types
+        assert TokenType.BRANCH_CLOSE in types
+
+    def test_dot_disconnection(self):
+        tokens = tokenize("C.C")
+        assert tokens[1].type is TokenType.DOT
+
+
+class TestRingBonds:
+    def test_single_digit_ring(self):
+        tokens = tokenize("C1CC1")
+        ring_tokens = [t for t in tokens if t.type is TokenType.RING_BOND]
+        assert len(ring_tokens) == 2
+        assert all(t.ring_id == 1 for t in ring_tokens)
+
+    def test_percent_ring_id(self):
+        tokens = tokenize("C%12CCCCC%12")
+        ring_tokens = [t for t in tokens if t.type is TokenType.RING_BOND]
+        assert [t.ring_id for t in ring_tokens] == [12, 12]
+        assert [t.text for t in ring_tokens] == ["%12", "%12"]
+
+    def test_ring_id_zero(self):
+        tokens = tokenize("C0CC0")
+        ring_tokens = [t for t in tokens if t.type is TokenType.RING_BOND]
+        assert [t.ring_id for t in ring_tokens] == [0, 0]
+
+    def test_percent_requires_two_digits(self):
+        with pytest.raises(TokenizationError):
+            tokenize("C%1CC")
+
+    def test_digits_inside_brackets_are_not_ring_bonds(self):
+        tokens = tokenize("[13CH4]")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.BRACKET_ATOM
+
+
+class TestBracketAtoms:
+    @pytest.mark.parametrize(
+        "text",
+        ["[C]", "[CH4]", "[C@H]", "[C@@H]", "[O-]", "[N+]", "[13C]", "[nH]",
+         "[Fe+2]", "[NH4+]", "[C@@](N)(O)C", "[Se]", "[cH:2]"],
+    )
+    def test_bracket_atom_accepted(self, text):
+        tokens = tokenize(text)
+        assert tokens[0].type is TokenType.BRACKET_ATOM
+
+    def test_unterminated_bracket(self):
+        with pytest.raises(TokenizationError) as excinfo:
+            tokenize("[CH4")
+        assert excinfo.value.position == 0
+
+    def test_malformed_bracket(self):
+        with pytest.raises(TokenizationError):
+            tokenize("[]")
+
+    def test_bracket_position_recorded(self):
+        tokens = tokenize("C[OH]")
+        assert tokens[1].position == 1
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", ["C!C", "Cx", "C C", "C\tC", "Cé"])
+    def test_unexpected_character(self, bad):
+        with pytest.raises(TokenizationError):
+            tokenize(bad)
+
+    def test_error_carries_position(self):
+        with pytest.raises(TokenizationError) as excinfo:
+            tokenize("CC!")
+        assert excinfo.value.position == 2
+        assert excinfo.value.smiles == "CC!"
+
+    def test_non_string_input(self):
+        with pytest.raises(TokenizationError):
+            tokenize(123)  # type: ignore[arg-type]
+
+    def test_is_tokenizable(self):
+        assert is_tokenizable("CCO")
+        assert not is_tokenizable("C!O")
+
+
+class TestDetokenize:
+    def test_roundtrip_curated(self, curated_smiles):
+        for smiles in curated_smiles:
+            assert detokenize(tokenize(smiles)) == smiles
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+        assert detokenize([]) == ""
+
+    def test_positions_are_monotonic(self, curated_smiles):
+        for smiles in curated_smiles:
+            positions = [t.position for t in tokenize(smiles)]
+            assert positions == sorted(positions)
+
+    def test_token_lengths_cover_input(self, curated_smiles):
+        for smiles in curated_smiles:
+            assert sum(len(t) for t in tokenize(smiles)) == len(smiles)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=30, deadline=None)
+def test_generated_smiles_tokenize_and_roundtrip(seed):
+    """Every generator-produced SMILES tokenizes and detokenizes exactly."""
+    from repro.datasets.mediate import generator
+
+    smiles = generator(seed=seed).generate_smiles()
+    tokens = tokenize(smiles)
+    assert detokenize(tokens) == smiles
+    assert len(tokens) > 0
+
+
+@given(st.text(alphabet="CNOcno123()=#[]+-@H", max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_tokenizer_never_crashes_on_smiles_characters(text):
+    """Arbitrary strings over SMILES characters either tokenize or raise TokenizationError."""
+    try:
+        tokens = tokenize(text)
+    except TokenizationError:
+        return
+    assert detokenize(tokens) == text

@@ -1,0 +1,103 @@
+"""Tests for SMILES validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.smiles.parser import parse
+from repro.smiles.validate import (
+    ValidationReport,
+    check_characters,
+    check_structure,
+    check_valence,
+    is_valid,
+    validate,
+)
+
+
+class TestCharacterCheck:
+    def test_clean_string_has_no_problems(self):
+        assert check_characters("COc1cc(C=O)ccc1O") == []
+
+    def test_foreign_character_reported_with_position(self):
+        problems = check_characters("CC!C")
+        assert len(problems) == 1
+        assert "position 2" in problems[0]
+
+    def test_multiple_problems_all_reported(self):
+        assert len(check_characters("C!C?")) == 2
+
+
+class TestStructureCheck:
+    def test_valid_structure(self):
+        assert check_structure("c1ccccc1") == []
+
+    def test_unbalanced_branch(self):
+        assert len(check_structure("CC(C")) == 1
+
+    def test_unclosed_ring(self):
+        assert len(check_structure("C1CCC")) == 1
+
+
+class TestValenceCheck:
+    def test_normal_molecule_has_no_warnings(self):
+        assert check_valence(parse("CC(C)(C)C")) == []
+
+    def test_pentavalent_carbon_warns(self):
+        graph = parse("C(C)(C)(C)(C)C")
+        warnings = check_valence(graph)
+        assert len(warnings) == 1
+        assert "valence" in warnings[0]
+
+    def test_charged_atoms_are_skipped(self):
+        # [N+] with four bonds is legitimate; no warning because charged atoms are skipped.
+        graph = parse("C[N+](C)(C)C")
+        assert check_valence(graph) == []
+
+
+class TestValidate:
+    def test_valid_report(self):
+        report = validate("CCO")
+        assert report.valid
+        assert report.errors == []
+
+    def test_invalid_characters_short_circuit(self):
+        report = validate("CC!")
+        assert not report.valid
+        assert len(report.errors) == 1
+
+    def test_structural_error_reported(self):
+        report = validate("C1CC")
+        assert not report.valid
+
+    def test_valence_warning_does_not_invalidate(self):
+        report = validate("C(C)(C)(C)(C)C")
+        assert report.valid
+        assert report.warnings
+
+    def test_valence_check_can_be_disabled(self):
+        report = validate("C(C)(C)(C)(C)C", valence=False)
+        assert report.warnings == []
+
+    def test_report_mutators(self):
+        report = ValidationReport(smiles="C")
+        report.add_warning("odd")
+        assert report.valid
+        report.add_error("bad")
+        assert not report.valid
+
+
+class TestIsValid:
+    @pytest.mark.parametrize(
+        "smiles", ["C", "c1ccccc1", "CC(=O)Oc1ccccc1C(=O)O", "[13CH4]", "C%12CCCCC%12"]
+    )
+    def test_valid_strings(self, smiles):
+        assert is_valid(smiles)
+
+    @pytest.mark.parametrize("smiles", ["", "C1CC", "CC(", "C!C", "C=="])
+    def test_invalid_strings(self, smiles):
+        assert not is_valid(smiles)
+
+    def test_generated_corpora_are_valid(self, gdb_corpus, mediate_corpus, exscalate_corpus):
+        for corpus in (gdb_corpus, mediate_corpus, exscalate_corpus):
+            assert all(is_valid(s) for s in corpus)

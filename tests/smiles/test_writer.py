@@ -1,0 +1,176 @@
+"""Tests for the graph → SMILES writer."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.smiles.graph import Atom, BondOrder, MolecularGraph
+from repro.smiles.parser import parse
+from repro.smiles.validate import is_valid
+from repro.smiles.writer import SmilesWriter, format_atom, write
+
+
+def graph_signature(graph: MolecularGraph) -> tuple:
+    """Isomorphism-insensitive summary used to compare round-tripped graphs."""
+    elements = Counter(a.element for a in graph.atoms)
+    orders = Counter(b.order for b in graph.bonds)
+    degrees = Counter(graph.degree(i) for i in range(graph.atom_count()))
+    return (
+        graph.atom_count(),
+        graph.bond_count(),
+        tuple(sorted(elements.items())),
+        tuple(sorted((o.value, c) for o, c in orders.items())),
+        tuple(sorted(degrees.items())),
+        len(graph.connected_components()),
+        graph.ring_bond_count(),
+    )
+
+
+class TestFormatAtom:
+    def test_plain_atom(self):
+        assert format_atom(Atom(element="C")) == "C"
+
+    def test_aromatic_atom(self):
+        assert format_atom(Atom(element="N", aromatic=True)) == "n"
+
+    def test_two_letter_atom(self):
+        assert format_atom(Atom(element="Cl")) == "Cl"
+
+    def test_charge_forces_bracket(self):
+        assert format_atom(Atom(element="O", charge=-1)) == "[O-]"
+
+    def test_numeric_charge(self):
+        assert format_atom(Atom(element="Fe", charge=2)) == "[Fe++]"
+
+    def test_isotope_and_h(self):
+        assert format_atom(Atom(element="C", isotope=13, explicit_h=4)) == "[13CH4]"
+
+    def test_chirality(self):
+        assert format_atom(Atom(element="C", chirality="@", explicit_h=1)) == "[C@H]"
+
+    def test_atom_class(self):
+        assert format_atom(Atom(element="C", atom_class=5)) == "[C:5]"
+
+    def test_non_organic_element_needs_bracket(self):
+        assert format_atom(Atom(element="Na")) == "[Na]"
+
+
+class TestWriteSimpleGraphs:
+    def test_single_atom(self):
+        graph = MolecularGraph()
+        graph.add_atom(Atom(element="C"))
+        assert write(graph) == "C"
+
+    def test_chain(self):
+        graph = MolecularGraph()
+        a = graph.add_atom(Atom(element="C"))
+        b = graph.add_atom(Atom(element="C"))
+        c = graph.add_atom(Atom(element="O"))
+        graph.add_bond(a, b)
+        graph.add_bond(b, c)
+        smiles = write(graph)
+        assert parse(smiles).atom_count() == 3
+
+    def test_ring_produces_ring_digits(self):
+        graph = MolecularGraph()
+        atoms = [graph.add_atom(Atom(element="C")) for _ in range(6)]
+        for i in range(6):
+            graph.add_bond(atoms[i], atoms[(i + 1) % 6])
+        smiles = write(graph)
+        assert any(ch.isdigit() for ch in smiles)
+        assert parse(smiles).ring_bond_count() == 1
+
+    def test_disconnected_components_joined_by_dot(self):
+        graph = MolecularGraph()
+        a = graph.add_atom(Atom(element="C"))
+        b = graph.add_atom(Atom(element="O"))
+        assert a != b
+        smiles = write(graph)
+        assert "." in smiles
+
+    def test_double_bond_symbol_emitted(self):
+        graph = MolecularGraph()
+        a = graph.add_atom(Atom(element="C"))
+        b = graph.add_atom(Atom(element="O"))
+        graph.add_bond(a, b, BondOrder.DOUBLE)
+        assert "=" in write(graph)
+
+    def test_aromatic_ring_written_lowercase(self):
+        graph = parse("c1ccccc1")
+        smiles = write(graph)
+        assert smiles.count("c") == 6
+        assert is_valid(smiles)
+
+
+class TestRingPolicies:
+    def test_sequential_policy_uses_fresh_ids(self):
+        graph = parse("C1CC1C1CC1")  # two separate rings
+        smiles = write(graph, ring_policy="sequential")
+        ids = {ch for ch in smiles if ch.isdigit()}
+        assert ids == {"1", "2"}
+
+    def test_reuse_policy_reuses_ids(self):
+        graph = parse("C1CC1C1CC1")
+        smiles = write(graph, ring_policy="reuse")
+        ids = {ch for ch in smiles if ch.isdigit()}
+        assert ids == {"1"}
+
+    def test_many_rings_roundtrip(self):
+        # Steroid-like fused ring system.
+        smiles_in = "C1CC2CCC3CCCC4CCC(C1)C2C34"
+        graph = parse(smiles_in)
+        for policy in ("sequential", "reuse"):
+            out = write(graph, ring_policy=policy)
+            assert graph_signature(parse(out)) == graph_signature(graph)
+
+
+class TestRoundTrip:
+    def test_curated_roundtrip_preserves_structure(self, curated_smiles):
+        for smiles in curated_smiles:
+            original = parse(smiles)
+            rewritten = write(original)
+            assert is_valid(rewritten), f"{smiles} -> {rewritten}"
+            assert graph_signature(parse(rewritten)) == graph_signature(original), smiles
+
+    def test_vanillin_exact_text(self):
+        # The writer's deterministic DFS happens to reproduce the canonical text.
+        assert write(parse("COc1cc(C=O)ccc1O")) == "COc1cc(C=O)ccc1O"
+
+    def test_generated_corpus_roundtrip(self, mediate_corpus):
+        for smiles in mediate_corpus[:60]:
+            original = parse(smiles)
+            rewritten = write(original)
+            assert graph_signature(parse(rewritten)) == graph_signature(original), smiles
+
+
+class TestWriterErrors:
+    def test_ring_id_overflow_raises(self):
+        writer = SmilesWriter(MolecularGraph())
+        from repro.smiles.writer import _format_ring_id
+
+        with pytest.raises(ValidationError):
+            _format_ring_id(123)
+
+    def test_negative_ring_id_raises(self):
+        from repro.smiles.writer import _format_ring_id
+
+        with pytest.raises(ValidationError):
+            _format_ring_id(-1)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_generated_graph_write_parse_fixpoint(seed):
+    """write(parse(write(g))) is structurally stable for generated molecules."""
+    from repro.datasets.exscalate import generator
+
+    gen = generator(seed=seed)
+    graph = gen.generate_graph()
+    first = write(graph)
+    second = write(parse(first))
+    assert graph_signature(parse(first)) == graph_signature(parse(second))

@@ -1,0 +1,92 @@
+"""End-to-end tests for the ``zsmiles`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.streaming import read_lines
+from repro.datasets.io import write_smi
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    """A directory with a small .smi library and a trained dictionary."""
+    from repro.datasets import mixed
+
+    directory = tmp_path_factory.mktemp("cli")
+    corpus = mixed.generate(150, seed=31)
+    library = directory / "library.smi"
+    write_smi(library, corpus)
+    dictionary = directory / "shared.dct"
+    exit_code = main(["train", str(library), "-o", str(dictionary), "--lmax", "6"])
+    assert exit_code == 0
+    return directory, library, dictionary, corpus
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train", "in.smi", "-o", "out.dct"])
+        assert args.lmax == 8
+        assert args.prepopulation == "smiles"
+
+
+class TestTrainCompressDecompress:
+    def test_dictionary_created(self, workspace):
+        _, _, dictionary, _ = workspace
+        assert dictionary.exists()
+        assert dictionary.read_text(encoding="utf-8").startswith("# ZSMILES dictionary")
+
+    def test_compress_and_stats(self, workspace, capsys):
+        directory, library, dictionary, _ = workspace
+        zsmi = directory / "library.zsmi"
+        assert main(["compress", str(library), "-d", str(dictionary), "-o", str(zsmi)]) == 0
+        assert zsmi.exists()
+        out = capsys.readouterr().out
+        assert "ratio" in out
+
+        assert main(["stats", str(library), "-d", str(dictionary)]) == 0
+        stats_out = capsys.readouterr().out
+        assert "compression ratio" in stats_out
+
+    def test_decompress_roundtrip(self, workspace):
+        directory, library, dictionary, corpus = workspace
+        zsmi = directory / "library.zsmi"
+        if not zsmi.exists():
+            main(["compress", str(library), "-d", str(dictionary), "-o", str(zsmi)])
+        restored = directory / "restored.smi"
+        assert main(["decompress", str(zsmi), "-d", str(dictionary), "-o", str(restored)]) == 0
+        assert len(list(read_lines(restored))) == len(corpus)
+
+    def test_index_and_get(self, workspace, capsys):
+        directory, library, dictionary, corpus = workspace
+        zsmi = directory / "library.zsmi"
+        if not zsmi.exists():
+            main(["compress", str(library), "-d", str(dictionary), "-o", str(zsmi)])
+        index_path = directory / "library.idx"
+        assert main(["index", str(zsmi), "-o", str(index_path)]) == 0
+        assert index_path.exists()
+        capsys.readouterr()
+
+        assert main([
+            "get", str(zsmi), "0", "5", "-d", str(dictionary), "--index", str(index_path),
+        ]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+
+
+class TestGenerateAndExperiment:
+    def test_generate_dataset(self, tmp_path, capsys):
+        out = tmp_path / "gdb.smi"
+        assert main(["generate", "gdb17", "25", "-o", str(out), "--seed", "3"]) == 0
+        assert len(list(read_lines(out))) == 25
+
+    def test_experiment_table1_smoke(self, capsys):
+        assert main(["experiment", "table1", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "SMILES alphabet" in out

@@ -1,0 +1,66 @@
+"""Tests for the exception hierarchy and the top-level public API surface."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestExceptionHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) and obj is not Exception:
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_smiles_error_branch(self):
+        assert issubclass(errors.TokenizationError, errors.SmilesError)
+        assert issubclass(errors.ParseError, errors.SmilesError)
+        assert issubclass(errors.RingNumberingError, errors.SmilesError)
+
+    def test_codec_error_branch(self):
+        assert issubclass(errors.CompressionError, errors.CodecError)
+        assert issubclass(errors.DecompressionError, errors.CodecError)
+        assert issubclass(errors.RandomAccessError, errors.CodecError)
+
+    def test_dictionary_error_branch(self):
+        assert issubclass(errors.SymbolSpaceExhaustedError, errors.DictionaryError)
+        assert issubclass(errors.DictionaryFormatError, errors.DictionaryError)
+
+    def test_tokenization_error_payload(self):
+        exc = errors.TokenizationError("boom", smiles="C!", position=1)
+        assert exc.smiles == "C!"
+        assert exc.position == 1
+
+    def test_catching_base_class_covers_subsystems(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.DatasetError("x")
+
+
+class TestPublicApi:
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_core_workflow_through_top_level_names(self, tmp_path, mixed_corpus_small):
+        codec = repro.ZSmilesCodec.train(mixed_corpus_small[:100], lmax=6)
+        path = tmp_path / "dict.dct"
+        repro.save_dictionary(codec.table, path)
+        table = repro.load_dictionary(path)
+        assert table.patterns() == codec.table.patterns()
+
+    def test_subpackages_importable(self):
+        import repro.baselines
+        import repro.datasets
+        import repro.experiments
+        import repro.metrics
+        import repro.parallel
+        import repro.screening
+        import repro.smiles
+
+        assert repro.smiles.parse("CCO").atom_count() == 3
