@@ -1,13 +1,22 @@
 #!/usr/bin/env python3
 """Quickstart: train a shared dictionary, compress a library, get it back.
 
-This walks through the core ZSMILES workflow of the paper (Figure 3):
+This walks through the core ZSMILES workflow of the paper (Figure 3) on the
+unified engine surface:
 
 1. generate a small MIXED SMILES library (stand-in for a screening input),
 2. train the shared dictionary with the paper's recommended configuration
-   (ring-identifier preprocessing + SMILES-alphabet pre-population),
-3. compress / decompress individual records and a whole ``.smi`` file,
+   (ring-identifier preprocessing + SMILES-alphabet pre-population) via
+   ``ZSmilesEngine.train``,
+3. compress / decompress a whole batch, a single record and a ``.smi`` file
+   through the same engine (``backend="auto"`` transparently moves large
+   batches onto the process pool),
 4. persist the dictionary so other tools (and other machines) can reuse it.
+
+Migrating from the pre-engine API?  ``ZSmilesCodec.train`` →
+``ZSmilesEngine.train``, ``codec.compress_many(xs)`` →
+``engine.compress_batch(xs).records``, ``compress_file(codec, path)`` →
+``engine.compress_file(path)``; the old names still work as shims.
 
 Run with:  python examples/quickstart.py
 """
@@ -17,8 +26,8 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
-from repro import ZSmilesCodec
-from repro.core.streaming import compress_file, decompress_file, write_lines
+from repro import EngineConfig, ZSmilesEngine
+from repro.core.streaming import write_lines
 from repro.datasets import mixed
 
 
@@ -34,46 +43,57 @@ def main() -> None:
 
     # ------------------------------------------------------------------ #
     # 2. Train the shared dictionary (Table I's best configuration).
+    #    One EngineConfig collects dictionary, preprocessing, parsing and
+    #    backend-selection knobs.
     # ------------------------------------------------------------------ #
-    codec = ZSmilesCodec.train(library, preprocessing=True, lmax=8)
-    report = codec.training_report
+    engine = ZSmilesEngine.train(library, EngineConfig(preprocessing=True, lmax=8))
+    report = engine.training_report
     assert report is not None
     print(report.summary())
 
     # ------------------------------------------------------------------ #
-    # 3a. Single-record compression.
+    # 3a. Batch compression — the engine's primary surface.
     # ------------------------------------------------------------------ #
+    batch = engine.compress_batch(library)
+    print(
+        f"\nbatch of {batch.stats.lines} records via {batch.backend!r} backend: "
+        f"ratio {batch.stats.ratio:.3f} in {batch.wall_time:.2f}s"
+    )
+    restored = engine.decompress_batch(batch.records)
+    assert restored.records == [engine.preprocess(s) for s in library]
+
+    # 3b. Single-record convenience helpers.
     vanillin = "COc1cc(C=O)ccc1O"  # the paper's Figure 1 example
-    compressed = codec.compress(vanillin)
+    compressed = engine.compress(vanillin)
     print(f"\nvanillin:            {vanillin}")
     print(f"compressed ({len(compressed)} chars): {compressed!r}")
-    print(f"decompressed:        {codec.decompress(compressed)}")
+    print(f"decompressed:        {engine.decompress(compressed)}")
     print(f"record ratio:        {len(compressed) / len(vanillin):.2f}")
 
     # ------------------------------------------------------------------ #
-    # 3b. Whole-file compression with preserved line separability.
+    # 3c. Whole-file compression with preserved line separability.
     # ------------------------------------------------------------------ #
     smi_path = workdir / "library.smi"
     write_lines(smi_path, library)
-    stats = compress_file(codec, smi_path)
+    stats = engine.compress_file(smi_path)
     print(
         f"\ncompressed file:     {stats.output_path.name} "
         f"({stats.input_bytes} -> {stats.output_bytes} bytes, ratio {stats.ratio:.3f})"
     )
-    restored = decompress_file(codec, stats.output_path, workdir / "restored.smi")
-    print(f"decompressed file:   {restored.output_path.name} ({restored.lines} records)")
+    restored_file = engine.decompress_file(stats.output_path, workdir / "restored.smi")
+    print(f"decompressed file:   {restored_file.output_path.name} ({restored_file.lines} records)")
 
     # ------------------------------------------------------------------ #
     # 4. Persist the dictionary for reuse.
     # ------------------------------------------------------------------ #
     dct_path = workdir / "shared.dct"
-    codec.save_dictionary(dct_path)
-    reloaded = ZSmilesCodec.from_dictionary(dct_path)
-    assert reloaded.decompress(compressed) == codec.preprocess(vanillin)
+    engine.save_dictionary(dct_path)
+    reloaded = ZSmilesEngine.from_dictionary(dct_path)
+    assert reloaded.decompress(compressed) == engine.preprocess(vanillin)
     print(f"\ndictionary saved to {dct_path} and reloaded successfully")
 
-    corpus_ratio = codec.compression_ratio(library)
-    print(f"corpus compression ratio: {corpus_ratio:.3f} (paper reports up to 0.29)")
+    corpus_stats = engine.evaluate(library)
+    print(f"corpus compression ratio: {corpus_stats.ratio:.3f} (paper reports up to 0.29)")
 
 
 if __name__ == "__main__":

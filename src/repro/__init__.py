@@ -1,10 +1,41 @@
 """ZSMILES reproduction: efficient random-access SMILES storage for virtual screening.
 
-The public API is organised in subpackages (``repro.smiles``, ``repro.core``,
-``repro.dictionary``, ``repro.datasets``, ``repro.baselines``,
-``repro.parallel``, ``repro.screening``, ``repro.experiments``); the names a
-typical user needs — the codec, the dictionary types, the preprocessing
-helpers and the random-access reader — are re-exported here.
+The compression surface is unified behind the batch-first
+:class:`~repro.engine.ZSmilesEngine`: one facade, configured by a single
+:class:`~repro.engine.EngineConfig`, running on pluggable execution backends
+(``"serial"``, ``"process"``, or ``"auto"``, which picks the process pool for
+large batches).  Every batch operation returns a
+:class:`~repro.engine.BatchResult` carrying the transformed records, the
+aggregate :class:`~repro.core.codec.CodecStats` and the wall time::
+
+    from repro import EngineConfig, ZSmilesEngine
+
+    engine = ZSmilesEngine.train(training_smiles, EngineConfig(lmax=8))
+    result = engine.compress_batch(library)          # BatchResult
+    engine.compress_file("library.smi")              # .smi -> .zsmi
+    restored = engine.decompress_batch(result.records).records
+
+Migration from the pre-engine surface (the old names keep working as thin
+shims delegating to the engine):
+
+===================================================  =========================================================
+Old entry point                                      Engine equivalent
+===================================================  =========================================================
+``ZSmilesCodec.train(corpus, lmax=8)``               ``ZSmilesEngine.train(corpus, lmax=8)``
+``codec.compress_many(xs)``                          ``engine.compress_batch(xs).records``
+``codec.decompress_many(xs)``                        ``engine.decompress_batch(xs).records``
+``codec.evaluate(corpus)``                           ``engine.evaluate(corpus)``
+``compress_file(codec, path)``                       ``engine.compress_file(path)``
+``decompress_file(codec, path)``                     ``engine.decompress_file(path)``
+``ParallelCodec(codec, workers=8).compress_many``    ``ZSmilesEngine.from_codec(codec, backend="process", jobs=8).compress_batch``
+``BaselineCodec.compression_ratio(corpus)``          ``BaselineBackend(codec).compress_batch(corpus).stats.ratio``
+===================================================  =========================================================
+
+Single-record helpers (``engine.compress`` / ``engine.decompress`` /
+``engine.preprocess``) remain available for interactive use; the lower-level
+subpackages (``repro.smiles``, ``repro.core``, ``repro.dictionary``,
+``repro.datasets``, ``repro.baselines``, ``repro.parallel``,
+``repro.screening``, ``repro.experiments``) are unchanged building blocks.
 """
 
 from ._version import __version__
@@ -18,11 +49,33 @@ from .dictionary.generator import DictionaryConfig, train_dictionary
 from .dictionary.prepopulation import PrePopulation
 from .dictionary.serialization import load as load_dictionary
 from .dictionary.serialization import save as save_dictionary
+from .engine import (
+    BaselineBackend,
+    BatchResult,
+    CompressionBackend,
+    EngineConfig,
+    ProcessPoolBackend,
+    SerialBackend,
+    ZSmilesEngine,
+    available_backends,
+    register_backend,
+)
 from .preprocess.pipeline import PreprocessingPipeline, make_pipeline
 from .preprocess.ring_renumber import renumber_rings
 
 __all__ = [
     "__version__",
+    # Engine surface (preferred).
+    "ZSmilesEngine",
+    "EngineConfig",
+    "BatchResult",
+    "CompressionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "BaselineBackend",
+    "available_backends",
+    "register_backend",
+    # Building blocks and legacy shims.
     "CodecStats",
     "ZSmilesCodec",
     "Compressor",

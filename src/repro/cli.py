@@ -4,7 +4,8 @@ Mirrors the paper's ZSMILES executable plus the extra plumbing a library user
 needs:
 
 * ``zsmiles train``       — train a dictionary from a ``.smi`` file and save it as ``.dct``.
-* ``zsmiles compress``    — compress a ``.smi`` file to ``.zsmi`` with a trained dictionary.
+* ``zsmiles compress``    — compress a ``.smi`` file to ``.zsmi`` with a trained dictionary
+  (``--backend {serial,process,auto}`` / ``--jobs N`` select the execution backend).
 * ``zsmiles decompress``  — decompress a ``.zsmi`` file back to ``.smi``.
 * ``zsmiles index``       — build the random-access line index of a data file.
 * ``zsmiles get``         — fetch single records by line number through the index.
@@ -20,12 +21,11 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from .core.codec import ZSmilesCodec
 from .core.random_access import LineIndex, RandomAccessReader
-from .core.streaming import compress_file, decompress_file
 from .datasets import exscalate, gdb17, mediate, mixed
 from .datasets.io import read_smiles, write_smi
 from .dictionary.prepopulation import PrePopulation
+from .engine import BACKEND_CHOICES, ZSmilesEngine
 from .experiments import (
     ExperimentScale,
     run_figure4,
@@ -68,11 +68,21 @@ def build_parser() -> argparse.ArgumentParser:
     compress.add_argument("-d", "--dictionary", type=Path, required=True)
     compress.add_argument("-o", "--output", type=Path, default=None)
     compress.add_argument("--no-preprocessing", action="store_true")
+    compress.add_argument("--backend", choices=BACKEND_CHOICES, default="auto",
+                          help="execution backend (auto picks the process pool "
+                               "for large batches)")
+    compress.add_argument("--jobs", type=int, default=None, metavar="N",
+                          help="worker processes for the process backend "
+                               "(default: CPU count)")
 
     decompress = sub.add_parser("decompress", help="decompress a .zsmi file to .smi")
     decompress.add_argument("input", type=Path)
     decompress.add_argument("-d", "--dictionary", type=Path, required=True)
     decompress.add_argument("-o", "--output", type=Path, default=None)
+    decompress.add_argument("--backend", choices=BACKEND_CHOICES, default="auto",
+                            help="execution backend")
+    decompress.add_argument("--jobs", type=int, default=None, metavar="N",
+                            help="worker processes for the process backend")
 
     index = sub.add_parser("index", help="build a random-access line index")
     index.add_argument("input", type=Path)
@@ -106,8 +116,15 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load_codec(dictionary: Path, preprocessing: bool = True) -> ZSmilesCodec:
-    return ZSmilesCodec.from_dictionary(dictionary, preprocessing=preprocessing)
+def _load_engine(
+    dictionary: Path,
+    preprocessing: bool = True,
+    backend: str = "auto",
+    jobs: Optional[int] = None,
+) -> ZSmilesEngine:
+    return ZSmilesEngine.from_dictionary(
+        dictionary, preprocessing=preprocessing, backend=backend, jobs=jobs
+    )
 
 
 def _scale_from_name(name: str) -> ExperimentScale:
@@ -120,7 +137,7 @@ def _scale_from_name(name: str) -> ExperimentScale:
 
 def _cmd_train(args: argparse.Namespace) -> int:
     corpus = read_smiles(args.input)
-    codec = ZSmilesCodec.train(
+    engine = ZSmilesEngine.train(
         corpus,
         preprocessing=not args.no_preprocessing,
         prepopulation=PrePopulation.from_name(args.prepopulation),
@@ -128,8 +145,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
         lmax=args.lmax,
         max_entries=args.max_entries,
     )
-    codec.save_dictionary(args.output)
-    report = codec.training_report
+    engine.save_dictionary(args.output)
+    report = engine.training_report
     if report is not None:
         print(report.summary())
     print(f"dictionary written to {args.output}")
@@ -137,8 +154,13 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 
 def _cmd_compress(args: argparse.Namespace) -> int:
-    codec = _load_codec(args.dictionary, preprocessing=not args.no_preprocessing)
-    stats = compress_file(codec, args.input, args.output)
+    with _load_engine(
+        args.dictionary,
+        preprocessing=not args.no_preprocessing,
+        backend=args.backend,
+        jobs=args.jobs,
+    ) as engine:
+        stats = engine.compress_file(args.input, args.output)
     print(
         f"compressed {stats.lines} records: {stats.input_bytes} -> {stats.output_bytes} bytes "
         f"(ratio {stats.ratio:.3f}) -> {stats.output_path}"
@@ -147,8 +169,8 @@ def _cmd_compress(args: argparse.Namespace) -> int:
 
 
 def _cmd_decompress(args: argparse.Namespace) -> int:
-    codec = _load_codec(args.dictionary)
-    stats = decompress_file(codec, args.input, args.output)
+    with _load_engine(args.dictionary, backend=args.backend, jobs=args.jobs) as engine:
+        stats = engine.decompress_file(args.input, args.output)
     print(
         f"decompressed {stats.lines} records: {stats.input_bytes} -> {stats.output_bytes} bytes "
         f"-> {stats.output_path}"
@@ -165,7 +187,7 @@ def _cmd_index(args: argparse.Namespace) -> int:
 
 
 def _cmd_get(args: argparse.Namespace) -> int:
-    codec = _load_codec(args.dictionary) if args.dictionary else None
+    codec = _load_engine(args.dictionary).codec if args.dictionary else None
     index = LineIndex.load(args.index) if args.index else None
     reader = RandomAccessReader(args.input, index=index, codec=codec)
     with reader:
@@ -175,9 +197,9 @@ def _cmd_get(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    codec = _load_codec(args.dictionary, preprocessing=not args.no_preprocessing)
     corpus = read_smiles(args.input)
-    stats = codec.evaluate(corpus)
+    with _load_engine(args.dictionary, preprocessing=not args.no_preprocessing) as engine:
+        stats = engine.evaluate(corpus)
     print(f"records:            {stats.lines}")
     print(f"original bytes:     {stats.original_bytes}")
     print(f"compressed bytes:   {stats.compressed_bytes}")

@@ -38,7 +38,6 @@ from .compressor import (
     Compressor,
     ParseStrategy,
     compression_ratio,
-    record_bytes,
 )
 from .decompressor import Decompressor
 
@@ -154,40 +153,39 @@ class ZSmilesCodec:
         return self.decompressor.decompress_line(compressed)
 
     # ------------------------------------------------------------------ #
-    # Corpus operations
+    # Corpus operations (deprecation shims delegating to the engine)
     # ------------------------------------------------------------------ #
+    def _serial_engine(self):
+        """A serial :class:`~repro.engine.ZSmilesEngine` over this codec.
+
+        Imported lazily — the engine package builds on this module.
+        """
+        from ..engine.engine import ZSmilesEngine
+
+        return ZSmilesEngine.from_codec(self, backend="serial")
+
     def compress_many(self, smiles_list: Sequence[str]) -> List[str]:
-        """Compress a sequence of SMILES (order preserved, one output per input)."""
-        return [self.compress(s) for s in smiles_list]
+        """Compress a sequence of SMILES (order preserved, one output per input).
+
+        Deprecated shim: prefer :meth:`repro.engine.ZSmilesEngine.compress_batch`.
+        """
+        return self._serial_engine().compress_batch(smiles_list).records
 
     def decompress_many(self, compressed_list: Sequence[str]) -> List[str]:
-        """Decompress a sequence of records (order preserved)."""
-        return [self.decompress(c) for c in compressed_list]
+        """Decompress a sequence of records (order preserved).
+
+        Deprecated shim: prefer :meth:`repro.engine.ZSmilesEngine.decompress_batch`.
+        """
+        return self._serial_engine().decompress_batch(compressed_list).records
 
     def evaluate(self, corpus: Sequence[str]) -> CodecStats:
         """Compress *corpus* and collect aggregate statistics.
 
         File sizes include one newline byte per record on both sides, matching
-        the paper's file-level compression-ratio measurements.
+        the paper's file-level compression-ratio measurements.  Deprecated
+        shim: prefer :meth:`repro.engine.ZSmilesEngine.evaluate`.
         """
-        original_bytes = 0
-        compressed_bytes = 0
-        matches = 0
-        escapes = 0
-        for smiles in corpus:
-            prepared = self.preprocess(smiles)
-            record = self.compressor.compress_record(prepared)
-            original_bytes += record_bytes(smiles) + 1
-            compressed_bytes += record_bytes(record.compressed) + 1
-            matches += record.matches
-            escapes += record.escapes
-        return CodecStats(
-            lines=len(corpus),
-            original_bytes=original_bytes,
-            compressed_bytes=compressed_bytes,
-            matches=matches,
-            escapes=escapes,
-        )
+        return self._serial_engine().evaluate(corpus)
 
     def compression_ratio(self, corpus: Sequence[str]) -> float:
         """Corpus compression ratio (compressed bytes / original bytes)."""

@@ -120,11 +120,17 @@ class Compressor:
     def guaranteed_no_expansion(self, line: str) -> bool:
         """``True`` when the paper's no-expansion guarantee applies to *line*.
 
-        With pre-population, every character of *line* that is in the
-        dictionary as an identity entry costs at most 1 output character, so
-        the compressed record can never exceed the input length.
+        The guarantee holds exactly when every character of *line* is covered
+        by a single-character dictionary entry (an identity entry from
+        pre-population, or a trained one-character pattern): each such
+        character costs at most 1 output character, so the compressed record
+        can never exceed the input length.  A character without single-char
+        coverage may force the two-character escape sequence, voiding the
+        guarantee.  Earlier revisions also accepted ``pattern_for(ch) == ch``,
+        which looks *ch* up in the symbol space instead of the pattern space
+        and therefore conflated the two sides of the table.
         """
-        return all(self.table.pattern_for(ch) == ch or ch in self.table for ch in line)
+        return all(self.table.symbol_for(ch) is not None for ch in line)
 
 
 def record_bytes(text: str) -> int:

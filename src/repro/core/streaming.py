@@ -2,9 +2,11 @@
 
 The storage contract of ZSMILES (Section I, "random access" requirement) is
 that the compressed file has exactly one record per line, on the same line
-number as the input record.  This module implements the ``.smi`` ↔ ``.zsmi``
-file flows of Figure 3 on top of the per-line codec, streaming so that
-arbitrarily large libraries never need to fit in memory.
+number as the input record.  The ``.smi`` ↔ ``.zsmi`` file flows of Figure 3
+are implemented by :meth:`repro.engine.ZSmilesEngine.compress_file` /
+``decompress_file``; the free functions here are kept as thin shims for
+callers that still hold a bare :class:`ZSmilesCodec`.  Streaming is
+batch-at-a-time, so arbitrarily large libraries never need to fit in memory.
 """
 
 from __future__ import annotations
@@ -74,6 +76,12 @@ def _transform_file(
     progress: Optional[Callable[[int], None]] = None,
     encoding: str = FILE_ENCODING,
 ) -> FileStats:
+    """Apply a per-record *transform* to a line-oriented file.
+
+    Generic fallback used for arbitrary record transforms; the codec file
+    flows go through :class:`repro.engine.ZSmilesEngine`, which batches
+    records instead of dispatching per line.
+    """
     input_path = Path(input_path)
     output_path = Path(output_path)
     lines = 0
@@ -111,6 +119,11 @@ def compress_file(
 ) -> FileStats:
     """Compress a ``.smi`` file into a ``.zsmi`` file, one record per line.
 
+    Deprecated shim: delegates to
+    :meth:`repro.engine.ZSmilesEngine.compress_file`, which also accepts a
+    backend selection.  Output is byte-identical to the historical per-line
+    implementation.
+
     Parameters
     ----------
     codec:
@@ -122,10 +135,10 @@ def compress_file(
     progress:
         Optional callback invoked every 100 000 records with the line count.
     """
-    input_path = Path(input_path)
-    if output_path is None:
-        output_path = input_path.with_suffix(ZSMI_SUFFIX)
-    return _transform_file(input_path, output_path, codec.compress, progress=progress)
+    from ..engine.engine import ZSmilesEngine
+
+    with ZSmilesEngine.from_codec(codec, backend="serial") as engine:
+        return engine.compress_file(input_path, output_path, progress=progress)
 
 
 def decompress_file(
@@ -134,11 +147,15 @@ def decompress_file(
     output_path: Optional[PathLike] = None,
     progress: Optional[Callable[[int], None]] = None,
 ) -> FileStats:
-    """Decompress a ``.zsmi`` file back into a ``.smi`` file."""
-    input_path = Path(input_path)
-    if output_path is None:
-        output_path = input_path.with_suffix(SMI_SUFFIX)
-    return _transform_file(input_path, output_path, codec.decompress, progress=progress)
+    """Decompress a ``.zsmi`` file back into a ``.smi`` file.
+
+    Deprecated shim: delegates to
+    :meth:`repro.engine.ZSmilesEngine.decompress_file`.
+    """
+    from ..engine.engine import ZSmilesEngine
+
+    with ZSmilesEngine.from_codec(codec, backend="serial") as engine:
+        return engine.decompress_file(input_path, output_path, progress=progress)
 
 
 def verify_separability(path: PathLike, expected_lines: Optional[int] = None) -> bool:

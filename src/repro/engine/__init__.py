@@ -1,0 +1,51 @@
+"""Unified, backend-pluggable compression engine (the batch-first surface).
+
+Everything the package can do to a batch of SMILES — serial in-process
+compression, process-pool data parallelism, baseline codecs — lives behind
+one protocol (:class:`CompressionBackend`), one facade (:class:`ZSmilesEngine`)
+and one configuration object (:class:`EngineConfig`).
+"""
+
+from .backends import (
+    BackendStats,
+    BatchResult,
+    CompressionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    available_backends,
+    backend_factory,
+    create_backend,
+    default_worker_count,
+    register_backend,
+)
+from .baselines import BaselineBackend
+from .config import (
+    AUTO_BACKEND,
+    BACKEND_CHOICES,
+    PROCESS_BACKEND,
+    SERIAL_BACKEND,
+    EngineConfig,
+    EngineConfigError,
+)
+from .engine import ZSmilesEngine
+
+__all__ = [
+    "AUTO_BACKEND",
+    "BACKEND_CHOICES",
+    "PROCESS_BACKEND",
+    "SERIAL_BACKEND",
+    "BackendStats",
+    "BatchResult",
+    "BaselineBackend",
+    "CompressionBackend",
+    "EngineConfig",
+    "EngineConfigError",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "ZSmilesEngine",
+    "available_backends",
+    "backend_factory",
+    "create_backend",
+    "default_worker_count",
+    "register_backend",
+]

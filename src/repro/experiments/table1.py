@@ -16,8 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core.codec import ZSmilesCodec
 from ..dictionary.prepopulation import PrePopulation
+from ..engine import EngineConfig, ZSmilesEngine
 from ..metrics.reporting import ResultTable
 from .common import ExperimentScale, evaluation_sample, mixed_corpus, training_sample
 
@@ -114,11 +114,9 @@ def run_table1(
 
     ratios: Dict[Tuple[bool, PrePopulation], float] = {}
     for preprocessing, policy in ROW_ORDER:
-        codec = ZSmilesCodec.train(
-            train,
-            preprocessing=preprocessing,
-            prepopulation=policy,
-            lmax=lmax,
+        config = EngineConfig(
+            preprocessing=preprocessing, prepopulation=policy, lmax=lmax
         )
-        ratios[(preprocessing, policy)] = codec.compression_ratio(evaluate)
+        engine = ZSmilesEngine.train(train, config)
+        ratios[(preprocessing, policy)] = engine.evaluate(evaluate).ratio
     return Table1Result(ratios=ratios, scale=scale)

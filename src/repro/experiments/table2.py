@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..core.codec import ZSmilesCodec
+from ..engine import EngineConfig, ZSmilesEngine
 from ..metrics.reporting import ResultTable
 from .common import ExperimentScale, component_corpora
 
@@ -104,14 +104,13 @@ def run_table2(
     scale = scale or ExperimentScale.benchmark()
     corpora = component_corpora(scale)
 
-    codecs: Dict[str, ZSmilesCodec] = {}
+    config = EngineConfig(preprocessing=preprocessing, lmax=lmax)
+    engines: Dict[str, ZSmilesEngine] = {}
     for name in DATASET_ORDER:
-        codecs[name] = ZSmilesCodec.train(
-            corpora[name], preprocessing=preprocessing, lmax=lmax
-        )
+        engines[name] = ZSmilesEngine.train(corpora[name], config)
 
     ratios: Dict[Tuple[str, str], float] = {}
     for train in DATASET_ORDER:
         for test in DATASET_ORDER:
-            ratios[(train, test)] = codecs[train].compression_ratio(corpora[test])
+            ratios[(train, test)] = engines[train].evaluate(corpora[test]).ratio
     return Table2Result(ratios=ratios, scale=scale)

@@ -1,48 +1,34 @@
-"""Process-pool backend for batch compression / decompression.
+"""Process-pool batch compression / decompression (deprecation shims).
 
-The paper accelerates ZSMILES with CUDA because virtual screening pipelines
-already run on GPU nodes; in a pure-Python reproduction the analogous
-real-hardware speedup comes from data parallelism across CPU cores.  The
-executor chunks a record batch, ships each chunk to a worker process together
-with the (picklable) codec, and reassembles the results in order — the same
-"one record per work item, order preserved" decomposition as the CUDA grid.
+The process-pool execution path now lives in
+:class:`repro.engine.backends.ProcessPoolBackend`; this module keeps the
+historical :class:`ParallelCodec` surface as a thin wrapper so existing
+callers keep working.  New code should construct a
+:class:`repro.engine.ZSmilesEngine` with ``backend="process"`` (or leave the
+default ``"auto"``, which picks the pool for large batches) instead.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..core.codec import ZSmilesCodec
+from ..engine.backends import (
+    ProcessPoolBackend,
+    _compress_chunk,
+    _decompress_chunk,
+    _init_worker,
+    default_worker_count,
+)
+from ..engine.config import EngineConfig
 from ..errors import ParallelExecutionError
 
-# Module-level worker state: the codec is sent once per worker (initializer)
-# instead of once per task, which matters because the trie is the largest
-# object involved.
-_WORKER_CODEC: Optional[ZSmilesCodec] = None
-
-
-def _init_worker(codec: ZSmilesCodec) -> None:
-    global _WORKER_CODEC
-    _WORKER_CODEC = codec
-
-
-def _compress_chunk(chunk: List[str]) -> List[str]:
-    assert _WORKER_CODEC is not None, "worker initialized without a codec"
-    return [_WORKER_CODEC.compress(record) for record in chunk]
-
-
-def _decompress_chunk(chunk: List[str]) -> List[str]:
-    assert _WORKER_CODEC is not None, "worker initialized without a codec"
-    return [_WORKER_CODEC.decompress(record) for record in chunk]
-
-
-def default_worker_count() -> int:
-    """Number of worker processes used when none is specified (CPU count, ≥1)."""
-    return max(1, os.cpu_count() or 1)
+__all__ = [
+    "ParallelCodec",
+    "ParallelStats",
+    "default_worker_count",
+]
 
 
 @dataclass
@@ -55,12 +41,13 @@ class ParallelStats:
 
 
 class ParallelCodec:
-    """Data-parallel wrapper around a :class:`ZSmilesCodec`.
+    """Data-parallel wrapper around a :class:`ZSmilesCodec` (legacy surface).
 
     The wrapper does not change any output: ``compress_many`` /
     ``decompress_many`` return exactly what the serial codec would, in the
     same order.  Small batches fall back to the serial path to avoid paying
-    process start-up for nothing.
+    process start-up for nothing.  Deprecated shim over
+    :class:`repro.engine.backends.ProcessPoolBackend`.
     """
 
     def __init__(
@@ -83,40 +70,32 @@ class ParallelCodec:
     # ------------------------------------------------------------------ #
     def compress_many(self, records: Sequence[str]) -> List[str]:
         """Compress *records* across the worker pool (order preserved)."""
-        return self._run(records, _compress_chunk, self.codec.compress)
+        return self._run(records, compressing=True)
 
     def decompress_many(self, records: Sequence[str]) -> List[str]:
         """Decompress *records* across the worker pool (order preserved)."""
-        return self._run(records, _decompress_chunk, self.codec.decompress)
+        return self._run(records, compressing=False)
 
     # ------------------------------------------------------------------ #
-    def _run(
-        self,
-        records: Sequence[str],
-        chunk_fn: Callable[[List[str]], List[str]],
-        serial_fn: Callable[[str], str],
-    ) -> List[str]:
+    def _run(self, records: Sequence[str], compressing: bool) -> List[str]:
         records = list(records)
         if self.workers == 1 or len(records) <= self.serial_threshold:
             self.last_stats = ParallelStats(records=len(records), workers=1, chunks=1)
-            return [serial_fn(record) for record in records]
+            if compressing:
+                return [self.codec.compress(record) for record in records]
+            return [self.codec.decompress(record) for record in records]
 
-        chunks = [
-            records[start : start + self.chunk_size]
-            for start in range(0, len(records), self.chunk_size)
-        ]
-        context = multiprocessing.get_context("spawn")
-        try:
-            with ProcessPoolExecutor(
-                max_workers=self.workers,
-                mp_context=context,
-                initializer=_init_worker,
-                initargs=(self.codec,),
-            ) as pool:
-                results = list(pool.map(chunk_fn, chunks))
-        except Exception as exc:  # pragma: no cover - depends on runtime environment
-            raise ParallelExecutionError(f"parallel batch failed: {exc}") from exc
+        # The historical contract tears the pool down after every call
+        # (callers never close a ParallelCodec); the engine's persistent-pool
+        # behaviour is reserved for ProcessPoolBackend / ZSmilesEngine users.
+        with ProcessPoolBackend(
+            self.codec, EngineConfig(jobs=self.workers, chunk_size=self.chunk_size)
+        ) as backend:
+            if compressing:
+                result = backend.compress_batch(records)
+            else:
+                result = backend.decompress_batch(records)
         self.last_stats = ParallelStats(
-            records=len(records), workers=self.workers, chunks=len(chunks)
+            records=len(records), workers=self.workers, chunks=result.chunks
         )
-        return [record for chunk in results for record in chunk]
+        return result.records

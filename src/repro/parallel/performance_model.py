@@ -98,14 +98,16 @@ def run_performance_sweep(
     profile at the largest ``Lmax``, separately for compression and
     decompression, matching the figure's axes.
     """
+    from ..engine.engine import ZSmilesEngine
+
     points: List[PerformancePoint] = []
     for lmax in lmax_values:
-        codec = ZSmilesCodec.train(
+        codec = ZSmilesEngine.train(
             training_corpus,
             preprocessing=True,
             prepopulation=prepopulation,
             lmax=lmax,
-        )
+        ).codec
         for profile in profiles:
             for operation in ("compression", "decompression"):
                 point = _simulate(evaluation_corpus, codec, profile, operation)

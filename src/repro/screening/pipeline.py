@@ -24,8 +24,8 @@ import numpy as np
 
 from ..core.codec import ZSmilesCodec
 from ..core.random_access import LineIndex, RandomAccessReader
-from ..core.streaming import compress_file
 from ..datasets.io import SmiRecord, write_smi
+from ..engine import ZSmilesEngine
 from ..errors import ScreeningError
 from .docking import DEFAULT_POCKETS, PocketModel, dock_score, top_hits
 from .storage import StorageFootprint, measure_footprint
@@ -67,13 +67,17 @@ class ScreeningCampaign:
 
     def __init__(
         self,
-        codec: ZSmilesCodec,
+        codec: Union[ZSmilesCodec, ZSmilesEngine],
         pockets: Sequence[PocketModel] = DEFAULT_POCKETS,
         top_k: int = 25,
     ):
         if top_k < 1:
             raise ScreeningError("top_k must be >= 1")
-        self.codec = codec
+        if isinstance(codec, ZSmilesEngine):
+            self.engine = codec
+        else:
+            self.engine = ZSmilesEngine.from_codec(codec)
+        self.codec = self.engine.codec
         self.pockets = list(pockets)
         self.top_k = top_k
 
@@ -93,7 +97,7 @@ class ScreeningCampaign:
         smi_path = directory / f"{name}.smi"
         write_smi(smi_path, smiles)
         zsmi_path = directory / f"{name}.zsmi"
-        compress_file(self.codec, smi_path, zsmi_path)
+        self.engine.compress_file(smi_path, zsmi_path)
         index = LineIndex.build(zsmi_path)
         index.save(LineIndex.default_path(zsmi_path))
         footprint = measure_footprint(list(smiles), self.codec)

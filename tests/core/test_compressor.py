@@ -94,6 +94,49 @@ class TestCompressor:
         assert compressor.guaranteed_no_expansion("CCO")
 
 
+class TestGuaranteedNoExpansion:
+    """Regression tests for the single-char-coverage predicate.
+
+    The guarantee must reflect *pattern-side* coverage only: a character is
+    safe exactly when some single-character dictionary entry produces it.  An
+    earlier revision also consulted ``pattern_for(ch)`` — a *symbol*-side
+    lookup — conflating the two sides of the table.
+    """
+
+    def test_non_prepopulated_table_gives_no_guarantee(self):
+        # No identity entries: every character may need the 2-char escape.
+        table = CodecTable.from_patterns(
+            ["CC", "CO"], prepopulation=PrePopulation.NONE
+        )
+        compressor = Compressor(table)
+        assert not compressor.guaranteed_no_expansion("CCO")
+        # ...and the expansion is real: a lone uncovered char doubles.
+        assert len(compressor.compress_line("N")) == 2
+
+    def test_trained_single_char_pattern_counts_as_coverage(self):
+        # Single-char coverage need not come from pre-population: a trained
+        # one-character pattern also costs exactly one output symbol.
+        table = CodecTable.from_patterns(["C", "N"], prepopulation=PrePopulation.NONE)
+        compressor = Compressor(table)
+        assert compressor.guaranteed_no_expansion("CNC")
+        assert len(compressor.compress_line("CNC")) <= 3
+        assert not compressor.guaranteed_no_expansion("CNO")
+
+    def test_symbol_side_lookup_is_not_coverage(self):
+        # '!' is handed out as the first trained symbol under NONE
+        # pre-population; being a *symbol* must not count as input coverage.
+        table = CodecTable.from_patterns(["CC"], prepopulation=PrePopulation.NONE)
+        compressor = Compressor(table)
+        symbol = table.symbol_for("CC")
+        assert symbol is not None
+        assert not compressor.guaranteed_no_expansion(symbol)
+
+    def test_prepopulated_table_guarantees_smiles_lines(self, compressor, curated_smiles):
+        for smiles in curated_smiles:
+            assert compressor.guaranteed_no_expansion(smiles)
+            assert len(compressor.compress_line(smiles)) <= len(smiles)
+
+
 class TestDecompressor:
     def test_roundtrip(self, compressor, decompressor, curated_smiles):
         for smiles in curated_smiles:

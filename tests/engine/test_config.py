@@ -1,0 +1,70 @@
+"""Tests for the consolidated :class:`EngineConfig`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compressor import ParseStrategy
+from repro.dictionary.prepopulation import PrePopulation
+from repro.engine import EngineConfig, EngineConfigError
+from repro.engine.config import AUTO_BACKEND, PROCESS_BACKEND, SERIAL_BACKEND
+
+
+class TestValidation:
+    def test_defaults_are_consistent(self):
+        config = EngineConfig()
+        assert config.backend == AUTO_BACKEND
+        assert config.strategy is ParseStrategy.OPTIMAL
+        assert config.prepopulation is PrePopulation.SMILES_ALPHABET
+
+    def test_string_strategy_and_prepopulation_coerced(self):
+        config = EngineConfig(strategy="greedy", prepopulation="printable")
+        assert config.strategy is ParseStrategy.GREEDY
+        assert config.prepopulation is PrePopulation.PRINTABLE
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(EngineConfigError):
+            EngineConfig(jobs=0)
+
+    def test_invalid_chunk_size_rejected(self):
+        with pytest.raises(EngineConfigError):
+            EngineConfig(chunk_size=0)
+
+    def test_replace_returns_updated_copy(self):
+        config = EngineConfig(lmax=6)
+        other = config.replace(lmax=10, backend=SERIAL_BACKEND)
+        assert other.lmax == 10
+        assert other.backend == SERIAL_BACKEND
+        assert config.lmax == 6  # original untouched
+
+
+class TestDictionarySlice:
+    def test_dictionary_config_mirrors_fields(self):
+        config = EngineConfig(lmin=3, lmax=7, max_entries=50, min_occurrences=4)
+        dconfig = config.dictionary_config()
+        assert dconfig.lmin == 3
+        assert dconfig.lmax == 7
+        assert dconfig.max_entries == 50
+        assert dconfig.min_occurrences == 4
+        assert dconfig.prepopulation is config.prepopulation
+
+    def test_build_pipeline_honours_preprocessing_flag(self):
+        assert EngineConfig(preprocessing=False).build_pipeline()("CC") == "CC"
+
+
+class TestBackendResolution:
+    def test_explicit_backend_wins(self):
+        config = EngineConfig(backend=SERIAL_BACKEND, parallel_threshold=0)
+        assert config.resolved_backend(10**6) == SERIAL_BACKEND
+
+    def test_auto_small_batch_is_serial(self):
+        config = EngineConfig(parallel_threshold=100)
+        assert config.resolved_backend(99) == SERIAL_BACKEND
+
+    def test_auto_large_batch_is_process(self):
+        config = EngineConfig(parallel_threshold=100)
+        assert config.resolved_backend(100) == PROCESS_BACKEND
+
+    def test_auto_single_job_stays_serial(self):
+        config = EngineConfig(parallel_threshold=100, jobs=1)
+        assert config.resolved_backend(10**6) == SERIAL_BACKEND

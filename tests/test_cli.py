@@ -79,6 +79,56 @@ class TestTrainCompressDecompress:
         assert len(lines) == 2
 
 
+class TestBackendFlags:
+    def test_backend_defaults_to_auto(self):
+        args = build_parser().parse_args(["compress", "in.smi", "-d", "d.dct"])
+        assert args.backend == "auto"
+        assert args.jobs is None
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["compress", "in.smi", "-d", "d.dct", "--backend", "gpu"]
+            )
+
+    def test_compress_with_serial_backend(self, workspace):
+        directory, library, dictionary, corpus = workspace
+        out = directory / "serial.zsmi"
+        assert main([
+            "compress", str(library), "-d", str(dictionary), "-o", str(out),
+            "--backend", "serial",
+        ]) == 0
+        assert len(list(read_lines(out))) == len(corpus)
+
+    def test_compress_with_process_backend_matches_serial(self, workspace):
+        directory, library, dictionary, _ = workspace
+        serial_out = directory / "flag_serial.zsmi"
+        process_out = directory / "flag_process.zsmi"
+        assert main([
+            "compress", str(library), "-d", str(dictionary), "-o", str(serial_out),
+            "--backend", "serial",
+        ]) == 0
+        assert main([
+            "compress", str(library), "-d", str(dictionary), "-o", str(process_out),
+            "--backend", "process", "--jobs", "2",
+        ]) == 0
+        assert process_out.read_bytes() == serial_out.read_bytes()
+
+    def test_decompress_with_backend_flags(self, workspace):
+        directory, library, dictionary, corpus = workspace
+        zsmi = directory / "flag_roundtrip.zsmi"
+        assert main([
+            "compress", str(library), "-d", str(dictionary), "-o", str(zsmi),
+            "--backend", "serial",
+        ]) == 0
+        restored = directory / "flag_restored.smi"
+        assert main([
+            "decompress", str(zsmi), "-d", str(dictionary), "-o", str(restored),
+            "--backend", "process", "--jobs", "2",
+        ]) == 0
+        assert len(list(read_lines(restored))) == len(corpus)
+
+
 class TestGenerateAndExperiment:
     def test_generate_dataset(self, tmp_path, capsys):
         out = tmp_path / "gdb.smi"
