@@ -24,6 +24,19 @@ from repro.metrics.reporting import ResultTable
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def pytest_collection_modifyitems(items):
+    """Tag every benchmark as ``slow`` so ``-m "not slow"`` skips the suite.
+
+    The hook receives the whole collected session, so the marker is applied
+    by path: exactly the suites under ``benchmarks/`` (including any future
+    benchmark added here), never the unit tests.
+    """
+    here = Path(__file__).parent.resolve()
+    for item in items:
+        if here in Path(str(item.fspath)).resolve().parents:
+            item.add_marker(pytest.mark.slow)
+
+
 def _selected_scale() -> ExperimentScale:
     name = os.environ.get("ZSMILES_BENCH_SCALE", "benchmark").lower()
     presets = {

@@ -36,6 +36,13 @@ Single-record helpers (``engine.compress`` / ``engine.decompress`` /
 subpackages (``repro.smiles``, ``repro.core``, ``repro.dictionary``,
 ``repro.datasets``, ``repro.baselines``, ``repro.parallel``,
 ``repro.screening``, ``repro.experiments``) are unchanged building blocks.
+
+Corpora are served at scale from the block-compressed ``.zss`` store
+(:mod:`repro.store`): ``pack_records`` / ``pack_file`` pack through the
+engine (parallel across blocks), ``CorpusStore`` serves ``get(i)`` by
+decoding a single block, and the flat ``RandomAccessReader`` remains the
+documented fallback behind the shared ``RecordReader`` protocol
+(``open_reader`` picks by suffix).
 """
 
 from ._version import __version__
@@ -62,6 +69,16 @@ from .engine import (
 )
 from .preprocess.pipeline import PreprocessingPipeline, make_pipeline
 from .preprocess.ring_renumber import renumber_rings
+from .store import (
+    CorpusStore,
+    RecordReader,
+    ShardReader,
+    ShardWriter,
+    StoreInfo,
+    open_reader,
+    pack_file,
+    pack_records,
+)
 
 __all__ = [
     "__version__",
@@ -75,6 +92,15 @@ __all__ = [
     "BaselineBackend",
     "available_backends",
     "register_backend",
+    # Block-compressed corpus store (.zss) and the shared reader protocol.
+    "CorpusStore",
+    "RecordReader",
+    "ShardReader",
+    "ShardWriter",
+    "StoreInfo",
+    "open_reader",
+    "pack_file",
+    "pack_records",
     # Building blocks and legacy shims.
     "CodecStats",
     "ZSmilesCodec",

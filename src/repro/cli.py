@@ -9,6 +9,11 @@ needs:
 * ``zsmiles decompress``  — decompress a ``.zsmi`` file back to ``.smi``.
 * ``zsmiles index``       — build the random-access line index of a data file.
 * ``zsmiles get``         — fetch single records by line number through the index.
+* ``zsmiles pack``        — pack a ``.smi`` file into a block-compressed ``.zss`` store
+  (blocks compressed through the engine; ``--backend`` / ``--jobs`` parallelize packing).
+* ``zsmiles unpack``      — expand a ``.zss`` store back to a ``.smi`` file.
+* ``zsmiles query``       — serve individual records out of a ``.zss`` store, decoding
+  only the blocks touched.
 * ``zsmiles stats``       — report the compression ratio a dictionary achieves on a file.
 * ``zsmiles generate``    — emit one of the synthetic datasets (for demos / tests).
 * ``zsmiles experiment``  — regenerate one of the paper's tables / figures.
@@ -22,10 +27,13 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from .core.random_access import LineIndex, RandomAccessReader
+from .core.streaming import SMI_SUFFIX, write_lines
 from .datasets import exscalate, gdb17, mediate, mixed
 from .datasets.io import read_smiles, write_smi
 from .dictionary.prepopulation import PrePopulation
 from .engine import BACKEND_CHOICES, ZSmilesEngine
+from .store import CorpusStore, pack_file
+from .store.writer import DEFAULT_RECORDS_PER_BLOCK
 from .experiments import (
     ExperimentScale,
     run_figure4,
@@ -94,6 +102,36 @@ def build_parser() -> argparse.ArgumentParser:
     get.add_argument("-d", "--dictionary", type=Path, default=None,
                      help="decompress records with this dictionary")
     get.add_argument("--index", type=Path, default=None, help="pre-built .zsx index")
+
+    pack = sub.add_parser("pack", help="pack a .smi file into a block-compressed .zss store")
+    pack.add_argument("input", type=Path)
+    pack.add_argument("-d", "--dictionary", type=Path, required=True)
+    pack.add_argument("-o", "--output", type=Path, default=None,
+                      help="output .zss path (default: input with .zss suffix)")
+    pack.add_argument("--block-size", type=int, default=DEFAULT_RECORDS_PER_BLOCK,
+                      metavar="N", help="records per block (the random-access granularity)")
+    pack.add_argument("--no-preprocessing", action="store_true")
+    pack.add_argument("--no-embed-dictionary", action="store_true",
+                      help="do not embed the dictionary in the store footer")
+    pack.add_argument("--backend", choices=BACKEND_CHOICES, default="auto",
+                      help="execution backend for block packing")
+    pack.add_argument("--jobs", type=int, default=None, metavar="N",
+                      help="worker processes for the process backend")
+
+    unpack = sub.add_parser("unpack", help="expand a .zss store back to a .smi file")
+    unpack.add_argument("input", type=Path)
+    unpack.add_argument("-o", "--output", type=Path, default=None,
+                        help="output .smi path (default: input with .smi suffix)")
+    unpack.add_argument("-d", "--dictionary", type=Path, default=None,
+                        help="dictionary override (default: the store's embedded one)")
+
+    query = sub.add_parser("query", help="fetch records from a .zss store by index (0-based)")
+    query.add_argument("input", type=Path)
+    query.add_argument("indices", type=int, nargs="+")
+    query.add_argument("-d", "--dictionary", type=Path, default=None,
+                       help="dictionary override (default: the store's embedded one)")
+    query.add_argument("--raw", action="store_true",
+                       help="print stored (compressed) records without decoding")
 
     stats = sub.add_parser("stats", help="compression ratio of a dictionary on a file")
     stats.add_argument("input", type=Path)
@@ -196,6 +234,49 @@ def _cmd_get(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_pack(args: argparse.Namespace) -> int:
+    if args.block_size < 1:
+        print("error: --block-size must be >= 1", file=sys.stderr)
+        return 2
+    with _load_engine(
+        args.dictionary,
+        preprocessing=not args.no_preprocessing,
+        backend=args.backend,
+        jobs=args.jobs,
+    ) as engine:
+        info = pack_file(
+            args.input,
+            args.output,
+            engine=engine,
+            records_per_block=args.block_size,
+            embed_dictionary=not args.no_embed_dictionary,
+        )
+    print(
+        f"packed {info.records} records into {info.blocks} blocks "
+        f"({info.records_per_block}/block): {info.original_bytes} -> "
+        f"{info.payload_bytes} payload bytes (ratio {info.ratio:.3f}), "
+        f"{info.file_bytes} bytes on disk -> {info.path}"
+    )
+    return 0
+
+
+def _cmd_unpack(args: argparse.Namespace) -> int:
+    codec = _load_engine(args.dictionary).codec if args.dictionary else None
+    output = args.output or args.input.with_suffix(SMI_SUFFIX)
+    with CorpusStore(args.input, codec=codec) as store:
+        count = write_lines(output, store.iter_all())
+    print(f"unpacked {count} records -> {output}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    codec = _load_engine(args.dictionary).codec if args.dictionary else None
+    with CorpusStore(args.input, codec=codec) as store:
+        for index in args.indices:
+            print(store.get_raw(index) if args.raw else store.get(index))
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     corpus = read_smiles(args.input)
     with _load_engine(args.dictionary, preprocessing=not args.no_preprocessing) as engine:
@@ -242,6 +323,9 @@ _HANDLERS = {
     "decompress": _cmd_decompress,
     "index": _cmd_index,
     "get": _cmd_get,
+    "pack": _cmd_pack,
+    "unpack": _cmd_unpack,
+    "query": _cmd_query,
     "stats": _cmd_stats,
     "generate": _cmd_generate,
     "experiment": _cmd_experiment,

@@ -1,4 +1,4 @@
-"""Random access into compressed SMILES files.
+"""Random access into compressed SMILES files (the "flat" layout).
 
 The whole point of keeping one compressed record per line (Section I) is that
 domain experts can pull individual molecules or slices out of a multi-TB
@@ -8,6 +8,14 @@ library without decompressing the file.  This module provides:
   sequential pass and persistable next to the data file,
 * :class:`RandomAccessReader` — O(1) record lookups through the index, with
   optional on-the-fly decompression via a :class:`ZSmilesCodec`.
+
+This flat layout (``.zsmi`` data + ``.zsx`` sidecar index, one seek per
+record) is the documented *fallback* path: at production scale the
+block-compressed ``.zss`` container (:mod:`repro.store`) serves the same
+:class:`~repro.store.protocol.RecordReader` protocol with a binary footer
+index, per-block checksums and cached block decode.  Code that serves
+records should accept the protocol and let
+:func:`repro.store.open_reader` pick the implementation by suffix.
 """
 
 from __future__ import annotations
@@ -160,6 +168,15 @@ class RandomAccessReader:
     def lines(self, indices: Sequence[int]) -> List[str]:
         """Fetch several records by index, preserving request order."""
         return [self.line(i) for i in indices]
+
+    # RecordReader-protocol names (shared with repro.store readers).
+    def get(self, line: int) -> str:
+        """Alias of :meth:`line` (:class:`~repro.store.RecordReader` surface)."""
+        return self.line(line)
+
+    def get_many(self, indices: Sequence[int]) -> List[str]:
+        """Alias of :meth:`lines` (:class:`~repro.store.RecordReader` surface)."""
+        return self.lines(indices)
 
     def slice(self, start: int, stop: int) -> List[str]:
         """Records ``start`` (inclusive) to ``stop`` (exclusive)."""

@@ -5,6 +5,11 @@ followed by whitespace and a molecule name / identifier.  Screening output
 files additionally carry a score column.  These helpers read and write both
 flavours while preserving the one-record-per-line contract that the ZSMILES
 random-access guarantee depends on.
+
+Packed corpora are read transparently: a path ending in ``.zss`` (the
+block-compressed store, :mod:`repro.store`) is decoded through its embedded
+dictionary — or a caller-supplied codec — and its records flow through the
+same parsing helpers as plain lines.
 """
 
 from __future__ import annotations
@@ -16,6 +21,11 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 from ..errors import DatasetError
 
 PathLike = Union[str, Path]
+
+#: Suffix of packed corpus stores; must equal repro.store.format.STORE_SUFFIX
+#: (asserted there is a single source of truth in tests/datasets/test_io.py).
+#: Kept as a literal so plain .smi reads never import the store/engine stack.
+STORE_SUFFIX = ".zss"
 
 
 @dataclass(frozen=True)
@@ -73,7 +83,9 @@ def parse_smi_line(line: str) -> SmiRecord:
     return SmiRecord(smiles=smiles, name=name, score=score)
 
 
-def read_smi(path: PathLike, smiles_only: bool = False) -> List[SmiRecord]:
+def read_smi(
+    path: PathLike, smiles_only: bool = False, codec: Optional[object] = None
+) -> List[SmiRecord]:
     """Read a ``.smi`` file eagerly.
 
     Parameters
@@ -83,26 +95,54 @@ def read_smi(path: PathLike, smiles_only: bool = False) -> List[SmiRecord]:
     smiles_only:
         When ``True``, name/score columns are dropped (slightly faster and
         what the compression experiments need).
+    codec:
+        Codec for decoding a ``.zss`` packed corpus (defaults to the store's
+        embedded dictionary); ignored for flat files.
     """
-    return list(iter_smi(path, smiles_only=smiles_only))
+    return list(iter_smi(path, smiles_only=smiles_only, codec=codec))
 
 
-def iter_smi(path: PathLike, smiles_only: bool = False) -> Iterator[SmiRecord]:
-    """Lazily iterate over the records of a ``.smi`` file (blank lines skipped)."""
+def iter_smi(
+    path: PathLike, smiles_only: bool = False, codec: Optional[object] = None
+) -> Iterator[SmiRecord]:
+    """Lazily iterate over the records of a ``.smi`` file (blank lines skipped).
+
+    A ``.zss`` packed corpus is served through :class:`repro.store.CorpusStore`
+    — decoded with *codec*, or the store's embedded dictionary when ``None``.
+    """
+    for line in _iter_record_lines(path, codec=codec):
+        if not line.strip():
+            continue
+        if smiles_only:
+            yield SmiRecord(smiles=line.split()[0])
+        else:
+            yield parse_smi_line(line)
+
+
+def _iter_record_lines(path: PathLike, codec: Optional[object] = None) -> Iterator[str]:
+    """Yield terminator-stripped record lines from a flat or packed corpus."""
+    if Path(path).suffix == STORE_SUFFIX:
+        # Imported lazily: repro.store.reader pulls in the codec stack, which
+        # this light-weight I/O module must not load for plain .smi reads.
+        from ..store.reader import CorpusStore
+
+        with CorpusStore(path, codec=codec) as store:  # type: ignore[arg-type]
+            for shard in store.shards:
+                if shard.codec is None:
+                    raise DatasetError(
+                        f"{path}: packed corpus has no embedded dictionary; "
+                        "pass codec= to decode it"
+                    )
+            yield from store.iter_all()
+        return
     with open(path, "r", encoding="utf-8") as handle:
         for raw in handle:
-            line = raw.rstrip("\r\n")
-            if not line.strip():
-                continue
-            if smiles_only:
-                yield SmiRecord(smiles=line.split()[0])
-            else:
-                yield parse_smi_line(line)
+            yield raw.rstrip("\r\n")
 
 
-def read_smiles(path: PathLike) -> List[str]:
-    """Read only the SMILES column of a ``.smi`` file."""
-    return [record.smiles for record in iter_smi(path, smiles_only=True)]
+def read_smiles(path: PathLike, codec: Optional[object] = None) -> List[str]:
+    """Read only the SMILES column of a ``.smi`` file (or ``.zss`` store)."""
+    return [record.smiles for record in iter_smi(path, smiles_only=True, codec=codec)]
 
 
 def write_smi(path: PathLike, records: Iterable[Union[str, SmiRecord, Tuple[str, float]]]) -> int:

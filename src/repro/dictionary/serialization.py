@@ -93,6 +93,10 @@ def dumps(table: CodecTable) -> str:
     buffer.write(f"{MAGIC} v{FORMAT_VERSION}\n")
     buffer.write(f"# prepopulation = {table.prepopulation.value}\n")
     for key, value in sorted(table.metadata.items()):
+        if key == "prepopulation":
+            # Already written as the dedicated header line above; skipping it
+            # keeps dumps() idempotent across a save/load round trip.
+            continue
         buffer.write(f"# {key} = {value}\n")
     for entry in table.entries:
         buffer.write(

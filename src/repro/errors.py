@@ -79,6 +79,14 @@ class RandomAccessError(CodecError):
     """Raised for out-of-range or malformed random-access requests."""
 
 
+class StoreError(CodecError):
+    """Base class for block-store (``.zss``) packing and reading failures."""
+
+
+class StoreFormatError(StoreError):
+    """Raised when a ``.zss`` container is malformed, truncated or corrupt."""
+
+
 class DatasetError(ReproError):
     """Raised by the synthetic dataset generators and ``.smi`` I/O helpers."""
 

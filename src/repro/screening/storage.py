@@ -4,16 +4,21 @@ Section I of the paper motivates ZSMILES with the cold-storage cost of
 extreme-scale campaigns (≈72 TB for the Marconi100 run).  This module turns
 per-file byte counts into campaign-level projections: how much space the
 input library and the score-decorated output occupy raw, ZSMILES-compressed
-and with an additional bzip2 cold-storage pass.
+(``.zsmi``), packed into the block-compressed ``.zss`` store (framing and
+checksums included) and with an additional bzip2 cold-storage pass.
 """
 
 from __future__ import annotations
 
+import io
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
 from ..core.codec import ZSmilesCodec
 from ..baselines.bzip2_codec import bzip2_over_lines
+
+#: Block granularity used when measuring the ``.zss`` option.
+STORE_BLOCK_RECORDS = 256
 
 
 @dataclass(frozen=True)
@@ -30,17 +35,27 @@ class StorageFootprint:
         ``.zsmi`` further compressed with file-wide bzip2 for cold storage.
     records:
         Number of records measured.
+    zss_bytes:
+        Block-compressed ``.zss`` store size, container framing (footer
+        index, checksums) included; the dictionary is shipped separately,
+        as with ``.zsmi``.  ``0`` when the option was not measured.
     """
 
     raw_bytes: int
     zsmiles_bytes: int
     zsmiles_bzip2_bytes: int
     records: int
+    zss_bytes: int = 0
 
     @property
     def zsmiles_ratio(self) -> float:
         """ZSMILES bytes over raw bytes."""
         return self.zsmiles_bytes / self.raw_bytes if self.raw_bytes else 1.0
+
+    @property
+    def zss_ratio(self) -> float:
+        """Packed ``.zss`` store bytes over raw bytes."""
+        return self.zss_bytes / self.raw_bytes if self.raw_bytes else 1.0
 
     @property
     def cold_storage_ratio(self) -> float:
@@ -54,12 +69,18 @@ class StorageFootprint:
         paper's 72 TB example), assuming record statistics stay uniform.
         """
         if self.records == 0:
-            return {"raw_bytes": 0.0, "zsmiles_bytes": 0.0, "zsmiles_bzip2_bytes": 0.0}
+            return {
+                "raw_bytes": 0.0,
+                "zsmiles_bytes": 0.0,
+                "zsmiles_bzip2_bytes": 0.0,
+                "zss_bytes": 0.0,
+            }
         factor = target_records / self.records
         return {
             "raw_bytes": self.raw_bytes * factor,
             "zsmiles_bytes": self.zsmiles_bytes * factor,
             "zsmiles_bzip2_bytes": self.zsmiles_bzip2_bytes * factor,
+            "zss_bytes": self.zss_bytes * factor,
         }
 
 
@@ -77,18 +98,29 @@ def measure_footprint(
     compressed:
         Pre-computed compressed records (optional, to avoid compressing twice
         when the caller already has them).
+
+    The ``.zss`` option is measured by packing the compressed records into an
+    in-memory store at :data:`STORE_BLOCK_RECORDS` records per block, so its
+    byte count includes the real container framing (footer index, checksums).
     """
+    from ..store.writer import pack_compressed_records
+
     compressed_records = (
         list(compressed) if compressed is not None else [codec.compress(s) for s in corpus]
     )
     raw_bytes = sum(len(s) + 1 for s in corpus)
     zsmiles_bytes = sum(len(s) + 1 for s in compressed_records)
     bzip2_stage = bzip2_over_lines(compressed_records) if compressed_records else 1.0
+    store_buffer = io.BytesIO()
+    store_info = pack_compressed_records(
+        store_buffer, compressed_records, records_per_block=STORE_BLOCK_RECORDS
+    )
     return StorageFootprint(
         raw_bytes=raw_bytes,
         zsmiles_bytes=zsmiles_bytes,
         zsmiles_bzip2_bytes=int(round(zsmiles_bytes * bzip2_stage)),
         records=len(corpus),
+        zss_bytes=store_info.file_bytes,
     )
 
 

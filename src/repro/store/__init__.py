@@ -1,0 +1,59 @@
+"""Block-compressed corpus store: the ``.zss`` container and its readers.
+
+The flat per-line layout (``.zsmi`` + ``.zsx`` sidecar index, served by
+:class:`~repro.core.random_access.RandomAccessReader`) answers one lookup
+with one ``seek`` but spends an index entry per record and a file line per
+record.  The ``.zss`` container packs records into fixed-size blocks whose
+payloads are the per-line codec output — byte-identical to the ``.zsmi``
+path — framed with a binary footer (block offsets, record counts, CRC-32
+checksums) and an optional embedded dictionary:
+
+* :class:`ShardWriter` / :func:`pack_records` / :func:`pack_file` — pack a
+  corpus through the :class:`~repro.engine.ZSmilesEngine` batch surface;
+  ``backend="auto"`` / ``jobs`` parallelize packing across blocks,
+* :class:`ShardReader` / :class:`CorpusStore` — O(1) record → block lookup,
+  LRU-cached block decode, ``get`` / ``get_many`` / ``slice`` / ``iter_all``,
+* :class:`RecordReader` / :func:`open_reader` — the protocol both the store
+  and the flat fallback satisfy, so serving code takes either.
+"""
+
+from .format import (
+    DICTIONARY_META_KEY,
+    MAGIC,
+    STORE_SUFFIX,
+    VERSION,
+    BlockInfo,
+    StoreFooter,
+    read_footer,
+)
+from .protocol import RecordReader, open_reader
+from .reader import CorpusStore, ShardReader, read_store_records
+from .writer import (
+    DEFAULT_RECORDS_PER_BLOCK,
+    ShardWriter,
+    StoreInfo,
+    pack_compressed_records,
+    pack_file,
+    pack_records,
+)
+
+__all__ = [
+    "DICTIONARY_META_KEY",
+    "DEFAULT_RECORDS_PER_BLOCK",
+    "MAGIC",
+    "STORE_SUFFIX",
+    "VERSION",
+    "BlockInfo",
+    "CorpusStore",
+    "RecordReader",
+    "ShardReader",
+    "ShardWriter",
+    "StoreFooter",
+    "StoreInfo",
+    "open_reader",
+    "pack_compressed_records",
+    "pack_file",
+    "pack_records",
+    "read_footer",
+    "read_store_records",
+]

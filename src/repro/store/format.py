@@ -1,0 +1,248 @@
+"""Binary layout of the ``.zss`` block-compressed corpus container.
+
+A ``.zss`` shard stores a line-oriented corpus as fixed-size *blocks* of
+records so that a single molecule can be served out of a multi-TB library by
+decoding one small block instead of the whole file (the paper's Section I
+random-access requirement, lifted from per-line to per-block granularity).
+
+File layout (all integers little-endian)::
+
+    +---------------------------------------------------------------+
+    | header   MAGIC b"ZSS1" + version u8                           |
+    +---------------------------------------------------------------+
+    | block 0 payload                                               |
+    | block 1 payload                                               |
+    | ...                                                           |
+    +---------------------------------------------------------------+
+    | footer   u32 records_per_block                                |
+    |          u64 total_records                                    |
+    |          u32 block_count                                      |
+    |          block_count x (u64 offset, u32 length,               |
+    |                         u32 records, u32 crc32)               |
+    |          u32 meta_length + metadata JSON (sorted keys)        |
+    +---------------------------------------------------------------+
+    | trailer  u64 footer_offset, u32 footer_crc32, b"1SSZ"         |
+    +---------------------------------------------------------------+
+
+A block payload is the per-record ZSMILES codec output of its records,
+Latin-1 encoded and newline-joined (with a trailing newline) — byte-identical
+to the corresponding slice of a ``.zsmi`` file, which is what the golden
+parity tests pin.  The footer lives at the end so shards stream out in one
+pass; readers locate it through the fixed-size trailer.  Every byte of the
+format is deterministic (no timestamps), so identical inputs produce
+identical files.
+
+The metadata JSON may embed the training dictionary under the
+``"dictionary"`` key (the ``.dct`` text), making a shard self-describing:
+readers can decode records without being handed a codec.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import BinaryIO, Dict, List, Tuple
+
+from ..errors import StoreFormatError
+
+#: Header magic of a ``.zss`` shard.
+MAGIC = b"ZSS1"
+#: Magic closing the fixed-size trailer (header magic reversed).
+END_MAGIC = b"1SSZ"
+#: Current format version.
+VERSION = 1
+#: Conventional extension for packed corpus shards.
+STORE_SUFFIX = ".zss"
+
+#: Encoding of block payloads (matches ``.zsmi`` files: one byte per symbol).
+PAYLOAD_ENCODING = "latin-1"
+#: Record separator inside a block payload.
+RECORD_SEPARATOR = b"\n"
+
+#: Metadata key under which the ``.dct`` dictionary text may be embedded.
+DICTIONARY_META_KEY = "dictionary"
+
+_HEADER = struct.Struct("<4sB")
+_FOOTER_FIXED = struct.Struct("<IQI")
+_BLOCK_ENTRY = struct.Struct("<QIII")
+_META_LEN = struct.Struct("<I")
+_TRAILER = struct.Struct("<QI4s")
+
+#: Size in bytes of the fixed header / trailer.
+HEADER_SIZE = _HEADER.size
+TRAILER_SIZE = _TRAILER.size
+
+
+@dataclass(frozen=True)
+class BlockInfo:
+    """Location and checksum of one block inside a shard.
+
+    Attributes
+    ----------
+    offset:
+        Absolute byte offset of the block payload.
+    length:
+        Payload length in bytes.
+    records:
+        Number of records stored in the block.
+    crc32:
+        CRC-32 of the payload bytes.
+    """
+
+    offset: int
+    length: int
+    records: int
+    crc32: int
+
+
+@dataclass(frozen=True)
+class StoreFooter:
+    """Parsed footer of one shard: the block table plus metadata."""
+
+    records_per_block: int
+    total_records: int
+    blocks: Tuple[BlockInfo, ...]
+    metadata: Dict[str, object]
+
+    @property
+    def block_count(self) -> int:
+        return len(self.blocks)
+
+
+def write_header(handle: BinaryIO) -> int:
+    """Write the shard header; returns the number of bytes written."""
+    handle.write(_HEADER.pack(MAGIC, VERSION))
+    return HEADER_SIZE
+
+
+def encode_payload(records: List[str]) -> bytes:
+    """Encode a block's compressed records into its on-disk payload."""
+    try:
+        return b"".join(
+            record.encode(PAYLOAD_ENCODING) + RECORD_SEPARATOR for record in records
+        )
+    except UnicodeEncodeError as exc:
+        raise StoreFormatError(
+            f"record contains a symbol outside the {PAYLOAD_ENCODING} range: {exc}"
+        ) from exc
+
+
+def decode_payload(payload: bytes, expected_records: int) -> List[str]:
+    """Split a block payload back into its stored (compressed) records."""
+    if payload and not payload.endswith(RECORD_SEPARATOR):
+        raise StoreFormatError("block payload does not end with a record separator")
+    records = payload.decode(PAYLOAD_ENCODING).split("\n")[:-1]
+    if len(records) != expected_records:
+        raise StoreFormatError(
+            f"block decoded to {len(records)} records, footer says {expected_records}"
+        )
+    return records
+
+
+def payload_crc(payload: bytes) -> int:
+    """CRC-32 of a block payload (the checksum stored in the footer)."""
+    return zlib.crc32(payload) & 0xFFFFFFFF
+
+
+def serialize_metadata(metadata: Dict[str, object]) -> bytes:
+    """Deterministic (sorted-key, ASCII) JSON encoding of the footer metadata."""
+    return json.dumps(metadata, sort_keys=True, ensure_ascii=True).encode("ascii")
+
+
+def write_footer(
+    handle: BinaryIO,
+    records_per_block: int,
+    total_records: int,
+    blocks: List[BlockInfo],
+    metadata: Dict[str, object],
+) -> None:
+    """Write the footer and trailer; *handle* must sit at the footer offset."""
+    footer_offset = handle.tell()
+    parts = [_FOOTER_FIXED.pack(records_per_block, total_records, len(blocks))]
+    for block in blocks:
+        parts.append(
+            _BLOCK_ENTRY.pack(block.offset, block.length, block.records, block.crc32)
+        )
+    meta_bytes = serialize_metadata(metadata)
+    parts.append(_META_LEN.pack(len(meta_bytes)))
+    parts.append(meta_bytes)
+    footer = b"".join(parts)
+    handle.write(footer)
+    handle.write(_TRAILER.pack(footer_offset, payload_crc(footer), END_MAGIC))
+
+
+def read_footer(handle: BinaryIO) -> StoreFooter:
+    """Validate the header/trailer of an open shard and parse its footer."""
+    handle.seek(0)
+    header = handle.read(HEADER_SIZE)
+    if len(header) < HEADER_SIZE:
+        raise StoreFormatError("file too small to be a .zss shard")
+    magic, version = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise StoreFormatError(f"bad magic {magic!r}; not a .zss shard")
+    if version != VERSION:
+        raise StoreFormatError(f"unsupported .zss version {version}")
+
+    handle.seek(0, 2)
+    file_size = handle.tell()
+    if file_size < HEADER_SIZE + TRAILER_SIZE:
+        raise StoreFormatError("truncated .zss shard (missing trailer)")
+    handle.seek(file_size - TRAILER_SIZE)
+    footer_offset, footer_crc, end_magic = _TRAILER.unpack(handle.read(TRAILER_SIZE))
+    if end_magic != END_MAGIC:
+        raise StoreFormatError("bad trailer magic; truncated or corrupt shard")
+    if not HEADER_SIZE <= footer_offset <= file_size - TRAILER_SIZE:
+        raise StoreFormatError(f"footer offset {footer_offset} out of bounds")
+
+    handle.seek(footer_offset)
+    footer = handle.read(file_size - TRAILER_SIZE - footer_offset)
+    if payload_crc(footer) != footer_crc:
+        raise StoreFormatError("footer checksum mismatch; corrupt shard")
+
+    if len(footer) < _FOOTER_FIXED.size:
+        raise StoreFormatError("footer too small")
+    records_per_block, total_records, block_count = _FOOTER_FIXED.unpack_from(footer, 0)
+    cursor = _FOOTER_FIXED.size
+    blocks: List[BlockInfo] = []
+    for _ in range(block_count):
+        if cursor + _BLOCK_ENTRY.size > len(footer):
+            raise StoreFormatError("footer block table truncated")
+        offset, length, records, crc32 = _BLOCK_ENTRY.unpack_from(footer, cursor)
+        cursor += _BLOCK_ENTRY.size
+        blocks.append(BlockInfo(offset=offset, length=length, records=records, crc32=crc32))
+    if cursor + _META_LEN.size > len(footer):
+        raise StoreFormatError("footer metadata length truncated")
+    (meta_len,) = _META_LEN.unpack_from(footer, cursor)
+    cursor += _META_LEN.size
+    if cursor + meta_len > len(footer):
+        raise StoreFormatError("footer metadata truncated")
+    try:
+        metadata = json.loads(footer[cursor : cursor + meta_len].decode("ascii")) if meta_len else {}
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise StoreFormatError(f"footer metadata is not valid JSON: {exc}") from exc
+    if not isinstance(metadata, dict):
+        raise StoreFormatError("footer metadata must be a JSON object")
+
+    if sum(block.records for block in blocks) != total_records:
+        raise StoreFormatError("footer record counts do not sum to total_records")
+    if records_per_block < 1 and blocks:
+        raise StoreFormatError("records_per_block must be >= 1")
+    for number, block in enumerate(blocks):
+        # Readers compute record -> block as index // records_per_block, so
+        # every block except the last must be exactly full.
+        expected = records_per_block if number < len(blocks) - 1 else block.records
+        if block.records != expected or block.records > records_per_block:
+            raise StoreFormatError(
+                f"block {number} holds {block.records} records; non-final blocks "
+                f"must hold exactly records_per_block ({records_per_block})"
+            )
+        if block.records < 1:
+            raise StoreFormatError(f"block {number} is empty")
+    return StoreFooter(
+        records_per_block=records_per_block,
+        total_records=total_records,
+        blocks=tuple(blocks),
+        metadata=metadata,
+    )

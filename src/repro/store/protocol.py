@@ -1,0 +1,70 @@
+"""The reader protocol shared by packed stores and flat files.
+
+Callers that serve records — the screening campaign, the CLI ``get`` /
+``query`` commands, dataset loaders — should accept any
+:class:`RecordReader` instead of a concrete class:
+
+* :class:`~repro.store.reader.CorpusStore` / ``ShardReader`` — the block-
+  compressed ``.zss`` container (preferred at scale),
+* :class:`~repro.core.random_access.RandomAccessReader` — the documented
+  "flat" fallback over line-oriented ``.smi`` / ``.zsmi`` files with a
+  ``.zsx`` sidecar index.
+
+:func:`open_reader` picks the right implementation from the file suffix.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator, List, Optional, Protocol, Sequence, Union, runtime_checkable
+
+from ..core.codec import ZSmilesCodec
+from ..core.random_access import RandomAccessReader
+from .format import STORE_SUFFIX
+from .reader import CorpusStore
+
+PathLike = Union[str, Path]
+
+
+@runtime_checkable
+class RecordReader(Protocol):
+    """Random access to an ordered collection of records."""
+
+    def __len__(self) -> int:
+        """Number of records served."""
+        ...
+
+    def get(self, index: int) -> str:
+        """The record at *index* (decompressed when a codec is available)."""
+        ...
+
+    def get_many(self, indices: Sequence[int]) -> List[str]:
+        """Fetch several records, preserving request order."""
+        ...
+
+    def slice(self, start: int, stop: int) -> List[str]:
+        """Records ``start`` (inclusive) to ``stop`` (exclusive, clamped)."""
+        ...
+
+    def iter_all(self) -> Iterator[str]:
+        """Iterate over every record in order."""
+        ...
+
+    def close(self) -> None:
+        """Release the underlying file handles."""
+        ...
+
+
+def open_reader(
+    path: PathLike, codec: Optional[ZSmilesCodec] = None
+) -> RecordReader:
+    """Open the right :class:`RecordReader` for *path* by suffix.
+
+    ``.zss`` files open as a :class:`CorpusStore`; anything else opens as the
+    flat :class:`RandomAccessReader` fallback (building its line index on the
+    fly when no ``.zsx`` sidecar is supplied).
+    """
+    path = Path(path)
+    if path.suffix == STORE_SUFFIX:
+        return CorpusStore(path, codec=codec)
+    return RandomAccessReader(path, codec=codec)

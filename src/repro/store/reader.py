@@ -1,0 +1,359 @@
+"""Reading records back out of ``.zss`` shards.
+
+:class:`ShardReader` serves one shard with O(1) record → block lookup
+(``record // records_per_block``), per-block CRC validation and an LRU cache
+of decoded blocks, so repeated lookups in a hot region never re-read or
+re-decompress.  :class:`CorpusStore` composes one or more shards behind the
+same :class:`~repro.store.protocol.RecordReader` surface as the flat
+:class:`~repro.core.random_access.RandomAccessReader`.
+
+Serving one record touches exactly one block: the reader seeks to the block's
+footer-recorded offset and reads ``length`` bytes — never the whole file.
+The :attr:`ShardReader.blocks_decoded` / :attr:`ShardReader.bytes_read`
+counters make that property testable.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections import OrderedDict
+from pathlib import Path
+from typing import BinaryIO, Dict, Iterator, List, Optional, Sequence, Union
+
+from ..core.codec import ZSmilesCodec
+from ..dictionary import serialization
+from ..errors import RandomAccessError, StoreFormatError
+from .format import DICTIONARY_META_KEY, StoreFooter, decode_payload, payload_crc, read_footer
+
+PathLike = Union[str, Path]
+
+#: Default number of decoded blocks kept in the LRU cache.
+DEFAULT_CACHE_BLOCKS = 16
+
+
+class _BlockCache:
+    """Tiny LRU cache mapping block index -> decoded record list."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise StoreFormatError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[int, List[str]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: int) -> Optional[List[str]]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: int, value: List[str]) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._entries
+
+
+class ShardReader:
+    """Random access to the records of one ``.zss`` shard.
+
+    Parameters
+    ----------
+    source:
+        Shard path or an open binary, seekable file object.
+    codec:
+        Codec used to decompress stored records.  When omitted, the shard's
+        embedded dictionary (if any) builds one; with neither, records are
+        returned as stored (compressed text), mirroring a codec-less
+        :class:`~repro.core.random_access.RandomAccessReader`.
+    cache_blocks:
+        Decoded blocks kept in the LRU cache.
+    verify_checksums:
+        Validate each block's CRC-32 on first decode.
+    """
+
+    def __init__(
+        self,
+        source: Union[PathLike, BinaryIO],
+        codec: Optional[ZSmilesCodec] = None,
+        cache_blocks: int = DEFAULT_CACHE_BLOCKS,
+        verify_checksums: bool = True,
+    ):
+        self.path: Optional[Path]
+        if hasattr(source, "read"):
+            self.path = None
+            self._handle: Optional[BinaryIO] = source  # type: ignore[assignment]
+            self._owns_handle = False
+        else:
+            self.path = Path(source)
+            self._handle = open(self.path, "rb")
+            self._owns_handle = True
+        try:
+            self.footer: StoreFooter = read_footer(self._handle)
+        except Exception:
+            if self._owns_handle:
+                self._handle.close()
+            raise
+        self.verify_checksums = verify_checksums
+        self._cache = _BlockCache(cache_blocks)
+        self._raw_cache = _BlockCache(cache_blocks)
+        self.codec = codec if codec is not None else self._embedded_codec()
+        self.blocks_decoded = 0
+        self.bytes_read = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def open(self) -> None:
+        """(Re)open the underlying file (idempotent; path-backed readers only)."""
+        if self._handle is None:
+            if self.path is None:
+                raise StoreFormatError("cannot reopen a reader over a closed file object")
+            self._handle = open(self.path, "rb")
+
+    def close(self) -> None:
+        """Close the underlying file (idempotent; the cache stays warm)."""
+        if self._handle is not None and self._owns_handle:
+            self._handle.close()
+        self._handle = None
+
+    def __enter__(self) -> "ShardReader":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Shard properties
+    # ------------------------------------------------------------------ #
+    @property
+    def records_per_block(self) -> int:
+        return self.footer.records_per_block
+
+    @property
+    def block_count(self) -> int:
+        return self.footer.block_count
+
+    @property
+    def metadata(self) -> Dict[str, object]:
+        return self.footer.metadata
+
+    @property
+    def cache_hits(self) -> int:
+        return self._cache.hits
+
+    def __len__(self) -> int:
+        return self.footer.total_records
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    def block_of(self, index: int) -> int:
+        """Block number holding record *index* (O(1))."""
+        if not 0 <= index < len(self):
+            raise RandomAccessError(f"record {index} out of range [0, {len(self)})")
+        return index // self.records_per_block
+
+    def get(self, index: int) -> str:
+        """The record at *index*, decompressed when a codec is available."""
+        block = self.block_of(index)
+        records = self._block_records(block)
+        return records[index - block * self.records_per_block]
+
+    def __getitem__(self, index: int) -> str:
+        return self.get(index)
+
+    def get_raw(self, index: int) -> str:
+        """The stored (compressed) record at *index* (LRU-cached per block)."""
+        block = self.block_of(index)
+        stored = self._raw_cache.get(block)
+        if stored is None:
+            stored = self._load_payload(block)
+            self._raw_cache.put(block, stored)
+        return stored[index - block * self.records_per_block]
+
+    def get_many(self, indices: Sequence[int]) -> List[str]:
+        """Fetch several records, preserving request order."""
+        return [self.get(i) for i in indices]
+
+    def slice(self, start: int, stop: int) -> List[str]:
+        """Records ``start`` (inclusive) to ``stop`` (exclusive, clamped)."""
+        if start < 0 or stop < start:
+            raise RandomAccessError(f"invalid slice [{start}, {stop})")
+        stop = min(stop, len(self))
+        return [self.get(i) for i in range(start, stop)]
+
+    def iter_all(self) -> Iterator[str]:
+        """Iterate over every record in order, one block at a time."""
+        for block in range(self.block_count):
+            yield from self._block_records(block)
+
+    # Compatibility aliases with RandomAccessReader's historical names.
+    def line(self, index: int) -> str:
+        """Alias of :meth:`get` (RandomAccessReader compatibility)."""
+        return self.get(index)
+
+    def lines(self, indices: Sequence[int]) -> List[str]:
+        """Alias of :meth:`get_many` (RandomAccessReader compatibility)."""
+        return self.get_many(indices)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _embedded_codec(self) -> Optional[ZSmilesCodec]:
+        text = self.footer.metadata.get(DICTIONARY_META_KEY)
+        if not isinstance(text, str) or not text:
+            return None
+        return ZSmilesCodec(serialization.loads(text))
+
+    def _load_payload(self, block: int) -> List[str]:
+        """Read and split one block payload (stored records, not decompressed)."""
+        info = self.footer.blocks[block]
+        self.open()
+        assert self._handle is not None
+        self._handle.seek(info.offset)
+        payload = self._handle.read(info.length)
+        if len(payload) != info.length:
+            raise StoreFormatError(f"block {block}: short read; truncated shard")
+        if self.verify_checksums and payload_crc(payload) != info.crc32:
+            raise StoreFormatError(f"block {block}: checksum mismatch; corrupt shard")
+        self.bytes_read += len(payload)
+        return decode_payload(payload, info.records)
+
+    def _block_records(self, block: int) -> List[str]:
+        """Decoded (decompressed) records of one block, LRU-cached."""
+        cached = self._cache.get(block)
+        if cached is not None:
+            return cached
+        stored = self._load_payload(block)
+        if self.codec is not None:
+            records = [self.codec.decompress(record) for record in stored]
+        else:
+            records = stored
+        self.blocks_decoded += 1
+        self._cache.put(block, records)
+        return records
+
+
+class CorpusStore:
+    """One logical corpus over one or more ``.zss`` shards.
+
+    Record indices are global: shard boundaries are resolved with a cumulative
+    offset table (bisect over shards, O(1) block lookup within a shard).  A
+    single path behaves exactly like a :class:`ShardReader` with the protocol
+    surface of :class:`~repro.core.random_access.RandomAccessReader`.
+    """
+
+    def __init__(
+        self,
+        paths: Union[PathLike, BinaryIO, Sequence[Union[PathLike, BinaryIO]]],
+        codec: Optional[ZSmilesCodec] = None,
+        cache_blocks: int = DEFAULT_CACHE_BLOCKS,
+        verify_checksums: bool = True,
+    ):
+        if isinstance(paths, (str, Path)) or hasattr(paths, "read"):
+            sources: List[Union[PathLike, BinaryIO]] = [paths]  # type: ignore[list-item]
+        else:
+            sources = list(paths)  # type: ignore[arg-type]
+        if not sources:
+            raise StoreFormatError("CorpusStore needs at least one shard")
+        self.shards: List[ShardReader] = []
+        try:
+            for source in sources:
+                self.shards.append(
+                    ShardReader(
+                        source,
+                        codec=codec,
+                        cache_blocks=cache_blocks,
+                        verify_checksums=verify_checksums,
+                    )
+                )
+        except Exception:
+            for shard in self.shards:
+                shard.close()
+            raise
+        self._starts: List[int] = []
+        total = 0
+        for shard in self.shards:
+            self._starts.append(total)
+            total += len(shard)
+        self._total = total
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        for shard in self.shards:
+            shard.close()
+
+    def __enter__(self) -> "CorpusStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self._total
+
+    def _locate(self, index: int) -> tuple[ShardReader, int]:
+        if not 0 <= index < self._total:
+            raise RandomAccessError(f"record {index} out of range [0, {self._total})")
+        shard_no = bisect_right(self._starts, index) - 1
+        return self.shards[shard_no], index - self._starts[shard_no]
+
+    def get(self, index: int) -> str:
+        """The record at global *index*."""
+        shard, local = self._locate(index)
+        return shard.get(local)
+
+    def __getitem__(self, index: int) -> str:
+        return self.get(index)
+
+    def get_raw(self, index: int) -> str:
+        """The stored (compressed) record at global *index*."""
+        shard, local = self._locate(index)
+        return shard.get_raw(local)
+
+    def get_many(self, indices: Sequence[int]) -> List[str]:
+        """Fetch several records by global index, preserving request order."""
+        return [self.get(i) for i in indices]
+
+    def slice(self, start: int, stop: int) -> List[str]:
+        """Records ``start`` (inclusive) to ``stop`` (exclusive, clamped)."""
+        if start < 0 or stop < start:
+            raise RandomAccessError(f"invalid slice [{start}, {stop})")
+        stop = min(stop, len(self))
+        return [self.get(i) for i in range(start, stop)]
+
+    def iter_all(self) -> Iterator[str]:
+        """Iterate over every record of every shard, in order."""
+        for shard in self.shards:
+            yield from shard.iter_all()
+
+    # RandomAccessReader-compatible aliases.
+    def line(self, index: int) -> str:
+        """Alias of :meth:`get`."""
+        return self.get(index)
+
+    def lines(self, indices: Sequence[int]) -> List[str]:
+        """Alias of :meth:`get_many`."""
+        return self.get_many(indices)
+
+
+def read_store_records(source: Union[PathLike, BinaryIO], codec: Optional[ZSmilesCodec] = None) -> List[str]:
+    """Eagerly read every record of a packed corpus (convenience helper)."""
+    with CorpusStore(source, codec=codec) as store:
+        return list(store.iter_all())

@@ -108,6 +108,7 @@ class TestPersistence:
             assert restored.compress(smiles) == trained_codec.compress(smiles)
 
 
+@pytest.mark.slow
 @given(st.integers(min_value=0, max_value=10_000))
 @settings(max_examples=40, deadline=None)
 def test_roundtrip_property_on_generated_molecules(seed):

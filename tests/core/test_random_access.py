@@ -134,3 +134,97 @@ class TestRandomAccessReader:
         reader.open()
         reader.close()
         reader.close()
+
+
+class TestLineIndexLoadEdgeCases:
+    """Malformed persisted-index inputs (the flat fallback must fail loudly)."""
+
+    def test_load_rejects_empty_file(self, tmp_path):
+        empty = tmp_path / "empty.idx"
+        empty.write_text("")
+        with pytest.raises(RandomAccessError):
+            LineIndex.load(empty)
+
+    def test_load_rejects_comment_only_file(self, tmp_path):
+        bad = tmp_path / "comments.idx"
+        bad.write_text("# header\n# another comment\n")
+        with pytest.raises(RandomAccessError):
+            LineIndex.load(bad)
+
+    def test_load_rejects_float_offsets(self, tmp_path):
+        bad = tmp_path / "float.idx"
+        bad.write_text("0\n1.5\n3\n")
+        with pytest.raises(RandomAccessError):
+            LineIndex.load(bad)
+
+    def test_load_accepts_equal_consecutive_offsets(self, tmp_path):
+        # Zero-length records (bare newlines) produce non-strict monotonicity.
+        path = tmp_path / "flat.idx"
+        path.write_text("0\n5\n5\n9\n")
+        index = LineIndex.load(path)
+        assert index.line_count == 3
+        assert index.span(1) == (5, 5)
+
+    def test_load_skips_blank_and_comment_lines(self, tmp_path):
+        path = tmp_path / "gaps.idx"
+        path.write_text("# header\n0\n\n4\n# trailing comment\n9\n")
+        assert LineIndex.load(path).offsets == [0, 4, 9]
+
+    def test_empty_file_index_has_zero_lines(self, tmp_path):
+        data = tmp_path / "empty.smi"
+        data.write_text("")
+        index = LineIndex.build(data)
+        assert index.line_count == 0
+        with pytest.raises(RandomAccessError):
+            index.span(0)
+
+
+class TestReaderEdgeCases:
+    def test_crlf_records_are_stripped(self, tmp_path):
+        data = tmp_path / "crlf.smi"
+        data.write_bytes(b"CCO\r\nc1ccccc1\r\nC\r\n")
+        with RandomAccessReader(data) as reader:
+            assert len(reader) == 3
+            assert reader.line(0) == "CCO"
+            assert reader.line(1) == "c1ccccc1"
+            assert reader.line(2) == "C"
+
+    def test_final_record_without_newline(self, tmp_path):
+        data = tmp_path / "nonl.smi"
+        data.write_bytes(b"CCO\nC")
+        with RandomAccessReader(data) as reader:
+            assert len(reader) == 2
+            assert reader.line(1) == "C"
+
+    def test_lines_with_out_of_order_and_duplicate_indices(self, compressed_library,
+                                                           trained_codec):
+        zsmi, corpus = compressed_library
+        with RandomAccessReader(zsmi, codec=trained_codec) as reader:
+            got = reader.lines([50, 0, 50, 99, 0])
+            want = [trained_codec.preprocess(corpus[i]) for i in (50, 0, 50, 99, 0)]
+            assert got == want
+
+    def test_slice_fully_past_end_is_empty(self, compressed_library):
+        zsmi, corpus = compressed_library
+        with RandomAccessReader(zsmi) as reader:
+            assert reader.slice(len(corpus), len(corpus) + 5) == []
+
+    def test_empty_slice_at_zero(self, compressed_library):
+        zsmi, _ = compressed_library
+        with RandomAccessReader(zsmi) as reader:
+            assert reader.slice(0, 0) == []
+
+    def test_reader_reuse_after_close(self, compressed_library, trained_codec):
+        zsmi, corpus = compressed_library
+        reader = RandomAccessReader(zsmi, codec=trained_codec)
+        first = reader.line(0)
+        reader.close()
+        # A closed reader transparently reopens on the next access.
+        assert reader.line(0) == first
+        reader.close()
+
+    def test_get_aliases_match_line_api(self, compressed_library, trained_codec):
+        zsmi, corpus = compressed_library
+        with RandomAccessReader(zsmi, codec=trained_codec) as reader:
+            assert reader.get(4) == reader.line(4)
+            assert reader.get_many([7, 1]) == reader.lines([7, 1])

@@ -87,6 +87,56 @@ class TestSmiFiles:
         assert file_size_bytes(path) == 4
 
 
+class TestPackedCorpora:
+    @pytest.fixture(scope="class")
+    def packed_corpus(self, tmp_path_factory, plain_codec, mixed_corpus_small):
+        from repro.engine import ZSmilesEngine
+        from repro.store import pack_records
+
+        corpus = mixed_corpus_small[:60]
+        path = tmp_path_factory.mktemp("io_store") / "corpus.zss"
+        with ZSmilesEngine.from_codec(plain_codec, backend="serial") as engine:
+            pack_records(path, corpus, engine, records_per_block=16)
+        return path, corpus
+
+    def test_read_smiles_from_store(self, packed_corpus):
+        path, corpus = packed_corpus
+        assert read_smiles(path) == [line.split()[0] for line in corpus]
+
+    def test_iter_smi_parses_store_records(self, packed_corpus):
+        path, corpus = packed_corpus
+        records = list(iter_smi(path))
+        assert [r.smiles for r in records] == [line.split()[0] for line in corpus]
+
+    def test_suffix_constant_matches_store_format(self):
+        from repro.datasets.io import STORE_SUFFIX as io_suffix
+        from repro.store.format import STORE_SUFFIX as store_suffix
+
+        assert io_suffix == store_suffix
+
+    def test_explicit_codec_overrides_embedded(self, packed_corpus, plain_codec):
+        path, corpus = packed_corpus
+        assert read_smiles(path, codec=plain_codec) == [
+            line.split()[0] for line in corpus
+        ]
+
+    def test_store_without_dictionary_fails_loudly(self, tmp_path, plain_codec,
+                                                   mixed_corpus_small):
+        from repro.store.writer import pack_compressed_records
+
+        corpus = mixed_corpus_small[:10]
+        path = tmp_path / "bare.zss"
+        pack_compressed_records(
+            path, [plain_codec.compress(s) for s in corpus], records_per_block=4
+        )
+        with pytest.raises(DatasetError, match="dictionary"):
+            read_smiles(path)
+        # Supplying the codec explicitly makes the same store readable.
+        assert read_smiles(path, codec=plain_codec) == [
+            line.split()[0] for line in corpus
+        ]
+
+
 class TestSampling:
     def test_random_sample_without_replacement(self):
         items = list(range(100))

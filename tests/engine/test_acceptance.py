@@ -21,6 +21,7 @@ def tiny_scale():
     return ExperimentScale(training_size=120, evaluation_size=120, per_dataset_size=100, seed=0)
 
 
+@pytest.mark.slow
 class TestTable2ThroughEngine:
     def test_matrix_matches_direct_codec_path(self, tiny_scale):
         result = run_table2(scale=tiny_scale, lmax=6)

@@ -19,6 +19,10 @@ from repro.experiments import (
 )
 from repro.experiments.table2 import DATASET_ORDER
 
+# The experiment drivers retrain dictionaries and recompress corpora for every
+# table/figure — the heaviest non-benchmark suite; keep it out of the fast loop.
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def scale() -> ExperimentScale:

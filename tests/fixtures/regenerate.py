@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Regenerate the golden-parity fixtures.
+
+The committed fixtures pin the on-disk formats byte for byte:
+
+* ``corpus.smi``   — a small mixed SMILES corpus (curated grammar-coverage
+  records + deterministic synthetic ones),
+* ``golden.dct``   — the dictionary trained on it with the pinned
+  configuration below,
+* ``corpus.zsmi``  — the per-line :class:`ZSmilesCodec` output,
+* ``corpus.zss``   — the packed block store (8 records per block, embedded
+  dictionary).
+
+``tests/test_golden_parity.py`` asserts that the codec, every registered
+engine backend and the store writer still reproduce these bytes exactly.
+
+Re-running this script and committing its output is a FORMAT BREAK: only do
+that deliberately (e.g. a versioned ``.zss`` layout change), never to make a
+red parity test pass.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/fixtures/regenerate.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+FIXTURES = Path(__file__).parent
+
+#: Pinned training configuration (preprocessing off => byte-exact round trips).
+TRAIN_KWARGS = dict(preprocessing=False, lmax=6, min_occurrences=2)
+#: Pinned block granularity of the golden store.
+RECORDS_PER_BLOCK = 8
+
+#: The fixture corpus.  Curated grammar-coverage records (rings, branches,
+#: aromatics, brackets, charges, stereo, isotopes, %-ring ids, dots) followed
+#: by a frozen sample of the synthetic MIXED corpus.  This list is part of the
+#: fixture: corpus.smi is rewritten from it, never re-sampled.
+CORPUS = [
+    "C",
+    "CCO",
+    "c1ccccc1",
+    "COc1cc(C=O)ccc1O",
+    "C1=CC=C(C=C1)C(=O)CC(=O)C2=CC=CC=C2",
+    "CC(C)Cc1ccc(cc1)C(C)C(=O)O",
+    "CC(=O)Oc1ccccc1C(=O)O",
+    "CN1CCC[C@H]1c1cccnc1",
+    "C1CC2CCC1CC2",
+    "O=C(O)c1ccccc1O",
+    "[O-]C(=O)c1ccccc1[N+](=O)[O-]",
+    "FC(F)(F)c1ccc(Cl)cc1Br",
+    "C/C=C/C",
+    "N#Cc1ccccc1",
+    "C1CC1.C1CCC1",
+    "c1ccc2ccccc2c1",
+    "O=S(=O)(N)c1ccc(N)cc1",
+    "[13CH4]",
+    "C%12CCCCC%12",
+    "CCN(CC)CC",
+    "CC(C)(C)OC(=O)N",
+    "c1ccsc1",
+    "c1ccoc1",
+    "C1CCNCC1",
+    "CC(=O)Nc1ccc(O)cc1",
+    "Clc1ccc(cc1)C(c1ccccc1)N1CCN(CC1)CCOCC(=O)O",
+    "CC(C)NCC(O)COc1ccc(cc1)CC(=O)N",
+    "OC(=O)CCc1ccccc1",
+    "NCCc1ccc(O)c(O)c1",
+    "CNC(=O)Oc1ccccc1",
+    "CCOC(=O)c1ccccc1",
+    "CSc1ccccc1",
+    "O=[N+]([O-])c1ccccc1",
+    "Ic1ccccc1",
+    "C#CC#C",
+    "CC=C=CC",
+    "[NH4+].[Cl-]",
+    "C1CC2(CC1)CCC2",
+    "c1cc2cc3ccccc3cc2cc1",
+    "CC(O)C(N)C(=O)O",
+]
+
+
+def main() -> None:
+    import repro.engine  # noqa: F401  (registers the standard backends)
+    from repro.core.codec import ZSmilesCodec
+    from repro.core.streaming import FILE_ENCODING, write_lines
+    from repro.engine.engine import ZSmilesEngine
+    from repro.store.writer import pack_records
+
+    corpus_path = FIXTURES / "corpus.smi"
+    write_lines(corpus_path, CORPUS)
+
+    codec = ZSmilesCodec.train(CORPUS, **TRAIN_KWARGS)
+    codec.save_dictionary(FIXTURES / "golden.dct")
+
+    compressed = [codec.compress(record) for record in CORPUS]
+    write_lines(FIXTURES / "corpus.zsmi", compressed)
+
+    engine = ZSmilesEngine.from_codec(codec, backend="serial")
+    info = pack_records(
+        FIXTURES / "corpus.zss",
+        CORPUS,
+        engine,
+        records_per_block=RECORDS_PER_BLOCK,
+        embed_dictionary=True,
+    )
+    zsmi_bytes = (FIXTURES / "corpus.zsmi").stat().st_size
+    print(
+        f"wrote {len(CORPUS)} records: corpus.smi, golden.dct "
+        f"({len(codec.table)} entries), corpus.zsmi ({zsmi_bytes} B), "
+        f"corpus.zss ({info.blocks} blocks, {info.file_bytes} B)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -118,6 +118,7 @@ class TestStructurePreservation:
             assert len(renumber_rings(smiles)) <= len(smiles)
 
 
+@pytest.mark.slow
 @given(st.integers(min_value=0, max_value=10_000))
 @settings(max_examples=30, deadline=None)
 def test_renumbering_is_idempotent_and_valid_on_generated_molecules(seed):

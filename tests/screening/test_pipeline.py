@@ -38,6 +38,14 @@ class TestLibraryPreparation:
         assert footprint.zsmiles_bzip2_bytes < footprint.zsmiles_bytes
         assert 0 < footprint.zsmiles_ratio < 1
 
+    def test_footprint_measures_packed_store(self, campaign_setup):
+        footprint = campaign_setup[4]
+        # The .zss column includes the real container framing: slightly larger
+        # than the bare .zsmi payload but still far below the raw library.
+        assert footprint.zss_bytes > footprint.zsmiles_bytes
+        assert footprint.zss_bytes < footprint.raw_bytes
+        assert 0 < footprint.zss_ratio < 1
+
 
 class TestCampaignRun:
     def test_full_run_scores_every_ligand(self, campaign_setup):
@@ -100,16 +108,20 @@ class TestStorageHelpers:
 
     def test_scaled_projection(self):
         footprint = StorageFootprint(
-            raw_bytes=1000, zsmiles_bytes=400, zsmiles_bzip2_bytes=200, records=10
+            raw_bytes=1000, zsmiles_bytes=400, zsmiles_bzip2_bytes=200, records=10,
+            zss_bytes=450,
         )
         projected = footprint.scaled(1000)
         assert projected["raw_bytes"] == 100_000
         assert projected["zsmiles_bytes"] == 40_000
+        assert projected["zss_bytes"] == 45_000
 
     def test_scaled_empty(self):
         footprint = StorageFootprint(0, 0, 0, 0)
         assert footprint.scaled(100)["raw_bytes"] == 0.0
+        assert footprint.scaled(100)["zss_bytes"] == 0.0
         assert footprint.zsmiles_ratio == 1.0
+        assert footprint.zss_ratio == 1.0
 
     def test_format_bytes(self):
         assert format_bytes(512) == "512.00 B"

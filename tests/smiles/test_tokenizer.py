@@ -155,6 +155,7 @@ class TestDetokenize:
             assert sum(len(t) for t in tokenize(smiles)) == len(smiles)
 
 
+@pytest.mark.slow
 @given(st.integers(min_value=0, max_value=10_000))
 @settings(max_examples=30, deadline=None)
 def test_generated_smiles_tokenize_and_roundtrip(seed):

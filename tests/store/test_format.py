@@ -1,0 +1,142 @@
+"""Tests for the ``.zss`` binary layout (header, footer, trailer, checksums)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.errors import StoreFormatError
+from repro.store.format import (
+    BlockInfo,
+    HEADER_SIZE,
+    MAGIC,
+    TRAILER_SIZE,
+    decode_payload,
+    encode_payload,
+    payload_crc,
+    read_footer,
+    write_footer,
+    write_header,
+)
+
+
+def _shard_bytes(
+    payloads: list[list[str]],
+    metadata: dict | None = None,
+    records_per_block: int = 2,
+) -> io.BytesIO:
+    """Assemble a minimal shard from per-block record lists."""
+    buffer = io.BytesIO()
+    cursor = write_header(buffer)
+    blocks = []
+    for records in payloads:
+        payload = encode_payload(records)
+        buffer.write(payload)
+        blocks.append(
+            BlockInfo(offset=cursor, length=len(payload), records=len(records),
+                      crc32=payload_crc(payload))
+        )
+        cursor += len(payload)
+    total = sum(len(records) for records in payloads)
+    write_footer(buffer, records_per_block=records_per_block, total_records=total,
+                 blocks=blocks, metadata=metadata or {})
+    buffer.seek(0)
+    return buffer
+
+
+class TestPayloadCodec:
+    def test_roundtrip(self):
+        records = ["abc", "", "x" * 50, "\xe9\xff"]
+        payload = encode_payload(records)
+        assert decode_payload(payload, len(records)) == records
+
+    def test_empty_payload(self):
+        assert encode_payload([]) == b""
+        assert decode_payload(b"", 0) == []
+
+    def test_record_outside_latin1_rejected(self):
+        with pytest.raises(StoreFormatError):
+            encode_payload(["Ā"])
+
+    def test_record_count_mismatch_rejected(self):
+        payload = encode_payload(["a", "b"])
+        with pytest.raises(StoreFormatError):
+            decode_payload(payload, 3)
+
+    def test_missing_trailing_separator_rejected(self):
+        with pytest.raises(StoreFormatError):
+            decode_payload(b"ab", 1)
+
+
+class TestFooterRoundtrip:
+    def test_footer_roundtrip(self):
+        metadata = {"source": "unit-test", "n": 7}
+        shard = _shard_bytes([["aa", "bb"], ["cc"]], metadata=metadata)
+        footer = read_footer(shard)
+        assert footer.records_per_block == 2
+        assert footer.total_records == 3
+        assert footer.block_count == 2
+        assert footer.metadata == metadata
+        assert [b.records for b in footer.blocks] == [2, 1]
+        assert footer.blocks[0].offset == HEADER_SIZE
+
+    def test_empty_shard(self):
+        footer = read_footer(_shard_bytes([]))
+        assert footer.total_records == 0
+        assert footer.block_count == 0
+
+
+class TestCorruptionDetection:
+    def test_bad_magic(self):
+        shard = _shard_bytes([["a"]])
+        data = bytearray(shard.getvalue())
+        data[:4] = b"NOPE"
+        with pytest.raises(StoreFormatError, match="magic"):
+            read_footer(io.BytesIO(bytes(data)))
+
+    def test_unsupported_version(self):
+        data = bytearray(_shard_bytes([["a"]]).getvalue())
+        data[len(MAGIC)] = 99
+        with pytest.raises(StoreFormatError, match="version"):
+            read_footer(io.BytesIO(bytes(data)))
+
+    def test_truncated_file(self):
+        with pytest.raises(StoreFormatError):
+            read_footer(io.BytesIO(b"ZSS1"))
+
+    def test_truncated_trailer(self):
+        data = _shard_bytes([["a"]]).getvalue()
+        with pytest.raises(StoreFormatError):
+            read_footer(io.BytesIO(data[:-3]))
+
+    def test_corrupt_footer_checksum(self):
+        data = bytearray(_shard_bytes([["a"]]).getvalue())
+        # Flip one byte inside the footer (just before the trailer).
+        data[-TRAILER_SIZE - 2] ^= 0xFF
+        with pytest.raises(StoreFormatError, match="checksum"):
+            read_footer(io.BytesIO(bytes(data)))
+
+    def test_underfull_non_final_block_rejected(self):
+        # Readers map record -> block as index // records_per_block, so an
+        # irregular shard must fail loudly rather than serve wrong records.
+        shard = _shard_bytes([["aa"], ["bb", "cc"]], records_per_block=2)
+        with pytest.raises(StoreFormatError, match="records_per_block"):
+            read_footer(shard)
+
+    def test_overfull_block_rejected(self):
+        shard = _shard_bytes([["aa", "bb", "cc"]], records_per_block=2)
+        with pytest.raises(StoreFormatError, match="records_per_block"):
+            read_footer(shard)
+
+    def test_record_count_sum_mismatch(self):
+        buffer = io.BytesIO()
+        cursor = write_header(buffer)
+        payload = encode_payload(["a"])
+        buffer.write(payload)
+        blocks = [BlockInfo(cursor, len(payload), 1, payload_crc(payload))]
+        write_footer(buffer, records_per_block=4, total_records=5,
+                     blocks=blocks, metadata={})
+        buffer.seek(0)
+        with pytest.raises(StoreFormatError, match="total_records"):
+            read_footer(buffer)

@@ -1,0 +1,208 @@
+"""Tests for ``.zss`` reading: block lookup, caching, protocol surface."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.core.random_access import RandomAccessReader
+from repro.engine import ZSmilesEngine
+from repro.errors import RandomAccessError, StoreFormatError
+from repro.store import CorpusStore, RecordReader, ShardReader, open_reader, pack_records
+from repro.store.reader import read_store_records
+
+
+@pytest.fixture(scope="module")
+def packed_library(tmp_path_factory, plain_codec, mixed_corpus_small):
+    """A .zss shard of 100 records, 10 per block, with embedded dictionary."""
+    directory = tmp_path_factory.mktemp("store")
+    corpus = mixed_corpus_small[:100]
+    path = directory / "library.zss"
+    with ZSmilesEngine.from_codec(plain_codec, backend="serial") as engine:
+        info = pack_records(path, corpus, engine, records_per_block=10)
+    return path, corpus, info
+
+
+class TestShardReader:
+    def test_len_and_get(self, packed_library):
+        path, corpus, _ = packed_library
+        with ShardReader(path) as reader:
+            assert len(reader) == len(corpus)
+            for index in (0, 9, 10, 55, 99):
+                assert reader.get(index) == corpus[index]
+                assert reader[index] == corpus[index]
+
+    def test_get_out_of_range(self, packed_library):
+        path, corpus, _ = packed_library
+        with ShardReader(path) as reader:
+            with pytest.raises(RandomAccessError):
+                reader.get(len(corpus))
+            with pytest.raises(RandomAccessError):
+                reader.get(-1)
+
+    def test_single_get_touches_single_block(self, packed_library):
+        """The acceptance criterion: get(i) decodes only record i's block."""
+        path, corpus, info = packed_library
+        reader = ShardReader(path)
+        assert reader.get(55) == corpus[55]
+        assert reader.blocks_decoded == 1
+        # Only block 5's payload was read — not the whole file.
+        block_length = reader.footer.blocks[5].length
+        assert reader.bytes_read == block_length
+        assert reader.bytes_read < info.payload_bytes
+        reader.close()
+
+    def test_block_cache_serves_repeat_lookups(self, packed_library):
+        path, corpus, _ = packed_library
+        with ShardReader(path, cache_blocks=2) as reader:
+            assert reader.get(11) == corpus[11]
+            decoded_once = reader.blocks_decoded
+            assert reader.get(12) == corpus[12]   # same block: cache hit
+            assert reader.blocks_decoded == decoded_once
+            assert reader.cache_hits == 1
+
+    def test_cache_evicts_least_recently_used(self, packed_library):
+        path, corpus, _ = packed_library
+        with ShardReader(path, cache_blocks=2) as reader:
+            reader.get(0)    # block 0
+            reader.get(10)   # block 1
+            reader.get(20)   # block 2 -> evicts block 0
+            assert reader.blocks_decoded == 3
+            reader.get(0)    # block 0 must be decoded again
+            assert reader.blocks_decoded == 4
+            reader.get(20)   # block 2 still cached
+            assert reader.blocks_decoded == 4
+
+    def test_get_many_and_slice_and_iter(self, packed_library):
+        path, corpus, _ = packed_library
+        with ShardReader(path) as reader:
+            assert reader.get_many([42, 3, 77]) == [corpus[i] for i in (42, 3, 77)]
+            assert reader.slice(15, 25) == corpus[15:25]
+            assert reader.slice(95, 200) == corpus[95:]      # clamped
+            assert list(reader.iter_all()) == corpus
+            with pytest.raises(RandomAccessError):
+                reader.slice(5, 2)
+
+    def test_embedded_dictionary_builds_codec(self, packed_library):
+        path, corpus, _ = packed_library
+        with ShardReader(path) as reader:   # no codec passed
+            assert reader.codec is not None
+            assert reader.get(7) == corpus[7]
+
+    def test_explicit_codec_wins(self, packed_library, plain_codec):
+        path, corpus, _ = packed_library
+        with ShardReader(path, codec=plain_codec) as reader:
+            assert reader.get(7) == corpus[7]
+
+    def test_get_raw_returns_stored_records(self, packed_library, plain_codec):
+        path, corpus, _ = packed_library
+        with ShardReader(path) as reader:
+            assert reader.get_raw(13) == plain_codec.compress(corpus[13])
+
+    def test_get_raw_caches_block_payload(self, packed_library):
+        path, corpus, _ = packed_library
+        with ShardReader(path) as reader:
+            first = reader.get_raw(13)
+            read_once = reader.bytes_read
+            assert reader.get_raw(14) is not None   # same block: no new read
+            assert reader.get_raw(13) == first
+            assert reader.bytes_read == read_once
+
+    def test_reader_reuse_after_close(self, packed_library):
+        path, corpus, _ = packed_library
+        reader = ShardReader(path)
+        reader.get(1)
+        reader.close()
+        reader.close()                       # idempotent
+        assert reader.get(98) == corpus[98]  # transparently reopens
+        reader.close()
+
+    def test_corrupt_block_detected(self, packed_library, tmp_path):
+        path, _, _ = packed_library
+        data = bytearray(path.read_bytes())
+        reader = ShardReader(path)
+        offset = reader.footer.blocks[3].offset
+        reader.close()
+        data[offset] ^= 0xFF
+        corrupt = tmp_path / "corrupt.zss"
+        corrupt.write_bytes(bytes(data))
+        with ShardReader(corrupt) as bad:
+            bad.get(0)                       # untouched block still fine
+            with pytest.raises(StoreFormatError, match="checksum"):
+                bad.get(30)                  # block 3 fails its CRC
+
+    def test_compatibility_aliases(self, packed_library):
+        path, corpus, _ = packed_library
+        with ShardReader(path) as reader:
+            assert reader.line(4) == corpus[4]
+            assert reader.lines([1, 2]) == corpus[1:3]
+
+
+class TestCorpusStore:
+    def test_single_shard(self, packed_library):
+        path, corpus, _ = packed_library
+        with CorpusStore(path) as store:
+            assert len(store) == len(corpus)
+            assert store.get(33) == corpus[33]
+            assert store.slice(8, 12) == corpus[8:12]
+
+    def test_multiple_shards_concatenate(self, plain_codec, mixed_corpus_small, tmp_path):
+        corpus = mixed_corpus_small[:90]
+        paths = []
+        with ZSmilesEngine.from_codec(plain_codec, backend="serial") as engine:
+            for i, chunk in enumerate((corpus[:40], corpus[40:70], corpus[70:])):
+                path = tmp_path / f"shard{i}.zss"
+                pack_records(path, chunk, engine, records_per_block=16)
+                paths.append(path)
+        with CorpusStore(paths) as store:
+            assert len(store) == len(corpus)
+            assert list(store.iter_all()) == corpus
+            for index in (0, 39, 40, 69, 70, 89):   # shard boundaries
+                assert store.get(index) == corpus[index]
+            assert store.get_many([89, 0, 41]) == [corpus[i] for i in (89, 0, 41)]
+            with pytest.raises(RandomAccessError):
+                store.get(len(corpus))
+
+    def test_empty_shard_list_rejected(self):
+        with pytest.raises(StoreFormatError):
+            CorpusStore([])
+
+    def test_read_store_records_helper(self, packed_library):
+        path, corpus, _ = packed_library
+        assert read_store_records(path) == corpus
+
+
+class TestRecordReaderProtocol:
+    def test_store_satisfies_protocol(self, packed_library):
+        path, _, _ = packed_library
+        with CorpusStore(path) as store:
+            assert isinstance(store, RecordReader)
+        with ShardReader(path) as reader:
+            assert isinstance(reader, RecordReader)
+
+    def test_flat_reader_satisfies_protocol(self, tmp_path):
+        from repro.core.streaming import write_lines
+
+        flat = tmp_path / "flat.smi"
+        write_lines(flat, ["CCO", "C"])
+        with RandomAccessReader(flat) as reader:
+            assert isinstance(reader, RecordReader)
+            assert reader.get(0) == "CCO"
+            assert reader.get_many([1, 0]) == ["C", "CCO"]
+
+    def test_open_reader_dispatches_by_suffix(self, packed_library, tmp_path):
+        from repro.core.streaming import write_lines
+
+        path, corpus, _ = packed_library
+        store = open_reader(path)
+        assert isinstance(store, CorpusStore)
+        assert store.get(0) == corpus[0]
+        store.close()
+
+        flat = tmp_path / "flat.smi"
+        write_lines(flat, corpus[:5])
+        reader = open_reader(flat)
+        assert isinstance(reader, RandomAccessReader)
+        assert reader.get(2) == corpus[2]
+        reader.close()

@@ -129,6 +129,74 @@ class TestBackendFlags:
         assert len(list(read_lines(restored))) == len(corpus)
 
 
+class TestPackUnpackQuery:
+    @pytest.fixture(scope="class")
+    def packed(self, workspace, tmp_path_factory):
+        directory, library, dictionary, corpus = workspace
+        zss = tmp_path_factory.mktemp("pack") / "library.zss"
+        exit_code = main([
+            "pack", str(library), "-d", str(dictionary), "-o", str(zss),
+            "--block-size", "32",
+        ])
+        assert exit_code == 0
+        return zss, dictionary, corpus
+
+    def test_pack_reports_blocks_and_ratio(self, workspace, tmp_path, capsys):
+        directory, library, dictionary, corpus = workspace
+        zss = tmp_path / "out.zss"
+        assert main([
+            "pack", str(library), "-d", str(dictionary), "-o", str(zss),
+            "--block-size", "64",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "blocks" in out and "ratio" in out
+        assert zss.exists()
+
+    def test_pack_default_output_swaps_suffix(self, workspace, tmp_path):
+        directory, library, dictionary, _ = workspace
+        copy = tmp_path / "lib.smi"
+        copy.write_bytes(library.read_bytes())
+        assert main(["pack", str(copy), "-d", str(dictionary)]) == 0
+        assert (tmp_path / "lib.zss").exists()
+
+    def test_query_uses_embedded_dictionary(self, packed, capsys):
+        zss, dictionary, corpus = packed
+        assert main(["query", str(zss), "0", "25", "149"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+
+    def test_query_matches_get_on_flat_file(self, workspace, packed, capsys):
+        directory, library, dictionary, corpus = workspace
+        zss, _, _ = packed
+        zsmi = directory / "library.zsmi"
+        if not zsmi.exists():
+            main(["compress", str(library), "-d", str(dictionary), "-o", str(zsmi)])
+        assert main(["query", str(zss), "3", "40"]) == 0
+        store_lines = capsys.readouterr().out.strip().splitlines()
+        assert main(["get", str(zsmi), "3", "40", "-d", str(dictionary)]) == 0
+        flat_lines = capsys.readouterr().out.strip().splitlines()
+        assert store_lines == flat_lines
+
+    def test_query_raw_prints_stored_records(self, packed, capsys):
+        zss, _, _ = packed
+        assert main(["query", str(zss), "0", "--raw"]) == 0
+        raw = capsys.readouterr().out.strip()
+        assert raw  # compressed text, not necessarily printable SMILES
+
+    def test_unpack_roundtrip(self, workspace, packed, tmp_path):
+        directory, library, dictionary, corpus = workspace
+        zss, _, _ = packed
+        restored = tmp_path / "restored.smi"
+        assert main(["unpack", str(zss), "-o", str(restored)]) == 0
+        assert len(list(read_lines(restored))) == len(corpus)
+
+    def test_pack_rejects_bad_block_size(self, workspace):
+        directory, library, dictionary, _ = workspace
+        assert main([
+            "pack", str(library), "-d", str(dictionary), "--block-size", "0",
+        ]) == 2
+
+
 class TestGenerateAndExperiment:
     def test_generate_dataset(self, tmp_path, capsys):
         out = tmp_path / "gdb.smi"
