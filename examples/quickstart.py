@@ -13,22 +13,35 @@ unified engine surface:
    batches onto the process pool),
 4. persist the dictionary so other tools (and other machines) can reuse it,
 5. pack the library into a block-compressed ``.zss`` store and serve single
-   molecules out of it — decoding only the block that holds them.
+   molecules out of it — decoding only the block that holds them,
+6. pack the same corpus into a *sharded* library (``library.json`` + N
+   shards) and serve it through ``CorpusLibrary`` — synchronously and
+   concurrently via ``AsyncCorpusLibrary``'s bounded reader pool.
 
 Migrating from the pre-engine API?  ``ZSmilesCodec.train`` →
 ``ZSmilesEngine.train``, ``codec.compress_many(xs)`` →
 ``engine.compress_batch(xs).records``, ``compress_file(codec, path)`` →
 ``engine.compress_file(path)``; the old names still work as shims.
+Migrating reader plumbing?  See the serving guide in ``repro.library``.
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
+import asyncio
 import tempfile
 from pathlib import Path
 
-from repro import CorpusStore, EngineConfig, ZSmilesEngine, pack_records
+from repro import (
+    AsyncCorpusLibrary,
+    CorpusLibrary,
+    CorpusStore,
+    EngineConfig,
+    ZSmilesEngine,
+    pack_library,
+    pack_records,
+)
 from repro.core.streaming import write_lines
 from repro.datasets import mixed
 
@@ -118,6 +131,41 @@ def main() -> None:
             f"(decoded {shard.blocks_decoded} of {shard.block_count} blocks, "
             f"{shard.bytes_read} of {info.payload_bytes} payload bytes)"
         )
+
+    # ------------------------------------------------------------------ #
+    # 6. Shard the corpus into a serving library and read it concurrently.
+    #    library.json routes global indices to shards; shards open lazily
+    #    and share one LRU cache budget.  The async surface fans batched
+    #    requests out over a bounded pool of readers.
+    # ------------------------------------------------------------------ #
+    library_dir = workdir / "library.library"
+    lib_info = pack_library(library_dir, library, engine, shards=4, records_per_block=128)
+    print(
+        f"\nsharded library:     {library_dir.name} — {lib_info.records} records in "
+        f"{lib_info.shard_count} shards ({lib_info.blocks} blocks, "
+        f"{lib_info.file_bytes} bytes on disk)"
+    )
+    with CorpusLibrary.open(library_dir) as lib:
+        assert lib.get(1_234) == engine.preprocess(library[1_234])
+        print(
+            f"library.get(1234):   routed to shard "
+            f"{lib.manifest.locate(1_234)[0]} ({lib.open_shard_count} of "
+            f"{lib.shard_count} shards opened)"
+        )
+
+    async def serve_concurrently() -> None:
+        async with AsyncCorpusLibrary.open(library_dir, pool_size=4) as alib:
+            wanted = [5, 999, 1_234, 1_999]
+            records = await alib.get_many(wanted)
+            assert records == [engine.preprocess(library[i]) for i in wanted]
+            streamed = [record async for record in alib.stream(0, 8)]
+            assert streamed == [engine.preprocess(s) for s in library[:8]]
+            print(
+                f"async get_many:      {len(records)} records over "
+                f"{alib.pool_size} pooled readers; streamed {len(streamed)} more"
+            )
+
+    asyncio.run(serve_concurrently())
 
 
 if __name__ == "__main__":

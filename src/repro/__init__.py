@@ -67,6 +67,15 @@ from .engine import (
     available_backends,
     register_backend,
 )
+from .library import (
+    AsyncCorpusLibrary,
+    CorpusLibrary,
+    LibraryManifest,
+    LibraryWriter,
+    ShardedCorpusStore,
+    pack_library,
+    pack_library_file,
+)
 from .preprocess.pipeline import PreprocessingPipeline, make_pipeline
 from .preprocess.ring_renumber import renumber_rings
 from .store import (
@@ -92,6 +101,14 @@ __all__ = [
     "BaselineBackend",
     "available_backends",
     "register_backend",
+    # Sharded serving layer (library.json manifests, async surface).
+    "AsyncCorpusLibrary",
+    "CorpusLibrary",
+    "LibraryManifest",
+    "LibraryWriter",
+    "ShardedCorpusStore",
+    "pack_library",
+    "pack_library_file",
     # Block-compressed corpus store (.zss) and the shared reader protocol.
     "CorpusStore",
     "RecordReader",

@@ -9,11 +9,14 @@ needs:
 * ``zsmiles decompress``  — decompress a ``.zsmi`` file back to ``.smi``.
 * ``zsmiles index``       — build the random-access line index of a data file.
 * ``zsmiles get``         — fetch single records by line number through the index.
-* ``zsmiles pack``        — pack a ``.smi`` file into a block-compressed ``.zss`` store
-  (blocks compressed through the engine; ``--backend`` / ``--jobs`` parallelize packing).
-* ``zsmiles unpack``      — expand a ``.zss`` store back to a ``.smi`` file.
-* ``zsmiles query``       — serve individual records out of a ``.zss`` store, decoding
-  only the blocks touched.
+* ``zsmiles pack``        — pack a ``.smi`` file into a block-compressed ``.zss`` store,
+  or — with ``--shards N`` — into a sharded library (``library.json`` + N shards;
+  blocks compressed through the engine; ``--backend`` / ``--jobs`` parallelize packing).
+* ``zsmiles unpack``      — expand a ``.zss`` store or a sharded library back to ``.smi``.
+* ``zsmiles query``       — serve individual records out of a ``.zss`` store or library,
+  decoding only the blocks touched (``--cache-blocks`` / ``--mmap`` tune serving).
+* ``zsmiles serve-bench`` — measure single-get / batched-get serving latency of any
+  corpus layout (flat, ``.zss``, sharded library, mmap, async pool).
 * ``zsmiles stats``       — report the compression ratio a dictionary achieves on a file.
 * ``zsmiles generate``    — emit one of the synthetic datasets (for demos / tests).
 * ``zsmiles experiment``  — regenerate one of the paper's tables / figures.
@@ -32,7 +35,14 @@ from .datasets import exscalate, gdb17, mediate, mixed
 from .datasets.io import read_smiles, write_smi
 from .dictionary.prepopulation import PrePopulation
 from .engine import BACKEND_CHOICES, ZSmilesEngine
-from .store import CorpusStore, pack_file
+from .library import (
+    AsyncCorpusLibrary,
+    CorpusLibrary,
+    is_packed_path,
+    pack_library_file,
+    resolve_manifest_path,
+)
+from .store import DEFAULT_CACHE_BLOCKS, CorpusStore, RecordReader, open_reader, pack_file
 from .store.writer import DEFAULT_RECORDS_PER_BLOCK
 from .experiments import (
     ExperimentScale,
@@ -103,11 +113,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="decompress records with this dictionary")
     get.add_argument("--index", type=Path, default=None, help="pre-built .zsx index")
 
-    pack = sub.add_parser("pack", help="pack a .smi file into a block-compressed .zss store")
+    pack = sub.add_parser("pack", help="pack a .smi file into a block-compressed .zss store "
+                                       "or (with --shards) a sharded library")
     pack.add_argument("input", type=Path)
     pack.add_argument("-d", "--dictionary", type=Path, required=True)
     pack.add_argument("-o", "--output", type=Path, default=None,
-                      help="output .zss path (default: input with .zss suffix)")
+                      help="output .zss path (default: input with .zss suffix); with "
+                           "--shards, the library directory (default: input with .library)")
+    pack.add_argument("--shards", type=int, default=None, metavar="N",
+                      help="pack into a sharded library of N .zss shards plus library.json")
     pack.add_argument("--block-size", type=int, default=DEFAULT_RECORDS_PER_BLOCK,
                       metavar="N", help="records per block (the random-access granularity)")
     pack.add_argument("--no-preprocessing", action="store_true")
@@ -118,20 +132,50 @@ def build_parser() -> argparse.ArgumentParser:
     pack.add_argument("--jobs", type=int, default=None, metavar="N",
                       help="worker processes for the process backend")
 
-    unpack = sub.add_parser("unpack", help="expand a .zss store back to a .smi file")
-    unpack.add_argument("input", type=Path)
+    unpack = sub.add_parser("unpack", help="expand a .zss store or sharded library "
+                                           "back to a .smi file")
+    unpack.add_argument("input", type=Path,
+                        help=".zss store, library directory or library.json manifest")
     unpack.add_argument("-o", "--output", type=Path, default=None,
                         help="output .smi path (default: input with .smi suffix)")
     unpack.add_argument("-d", "--dictionary", type=Path, default=None,
                         help="dictionary override (default: the store's embedded one)")
 
-    query = sub.add_parser("query", help="fetch records from a .zss store by index (0-based)")
-    query.add_argument("input", type=Path)
+    query = sub.add_parser("query", help="fetch records from a .zss store or sharded "
+                                         "library by index (0-based)")
+    query.add_argument("input", type=Path,
+                       help=".zss store, library directory or library.json manifest")
     query.add_argument("indices", type=int, nargs="+")
     query.add_argument("-d", "--dictionary", type=Path, default=None,
                        help="dictionary override (default: the store's embedded one)")
     query.add_argument("--raw", action="store_true",
                        help="print stored (compressed) records without decoding")
+    query.add_argument("--cache-blocks", type=int, default=DEFAULT_CACHE_BLOCKS,
+                       metavar="N", help="decoded blocks kept in the LRU cache "
+                                         f"(default: {DEFAULT_CACHE_BLOCKS})")
+    query.add_argument("--mmap", action="store_true",
+                       help="serve block reads from a read-only memory map")
+
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        help="measure single-get and batched-get serving latency of a corpus",
+    )
+    serve_bench.add_argument("input", type=Path,
+                             help="flat file, .zss store, library directory or manifest")
+    serve_bench.add_argument("-d", "--dictionary", type=Path, default=None,
+                             help="dictionary for flat compressed files / override")
+    serve_bench.add_argument("--requests", type=int, default=256, metavar="N",
+                             help="random single-get requests to time (default: 256)")
+    serve_bench.add_argument("--batch-size", type=int, default=64, metavar="B",
+                             help="indices per get_many batch (default: 64)")
+    serve_bench.add_argument("--pool-size", type=int, default=4, metavar="P",
+                             help="async reader-pool size (default: 4)")
+    serve_bench.add_argument("--cache-blocks", type=int, default=DEFAULT_CACHE_BLOCKS,
+                             metavar="N", help="LRU cache capacity for packed layouts")
+    serve_bench.add_argument("--mmap", action="store_true",
+                             help="serve packed block reads from a memory map")
+    serve_bench.add_argument("--seed", type=int, default=0,
+                             help="RNG seed for the request index sequence")
 
     stats = sub.add_parser("stats", help="compression ratio of a dictionary on a file")
     stats.add_argument("input", type=Path)
@@ -234,9 +278,26 @@ def _cmd_get(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_corpus(
+    path: Path,
+    codec=None,
+    cache_blocks: int = DEFAULT_CACHE_BLOCKS,
+    use_mmap: bool = False,
+):
+    """Open a packed corpus: a library (directory / manifest) or one ``.zss``."""
+    if resolve_manifest_path(path) is not None:
+        return CorpusLibrary.open(
+            path, codec=codec, cache_blocks=cache_blocks, use_mmap=use_mmap
+        )
+    return CorpusStore(path, codec=codec, cache_blocks=cache_blocks, use_mmap=use_mmap)
+
+
 def _cmd_pack(args: argparse.Namespace) -> int:
     if args.block_size < 1:
         print("error: --block-size must be >= 1", file=sys.stderr)
+        return 2
+    if args.shards is not None and args.shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
         return 2
     with _load_engine(
         args.dictionary,
@@ -244,6 +305,23 @@ def _cmd_pack(args: argparse.Namespace) -> int:
         backend=args.backend,
         jobs=args.jobs,
     ) as engine:
+        if args.shards is not None:
+            library = pack_library_file(
+                args.input,
+                args.output,
+                engine=engine,
+                shards=args.shards,
+                records_per_block=args.block_size,
+                embed_dictionary=not args.no_embed_dictionary,
+            )
+            print(
+                f"packed {library.records} records into {library.shard_count} shards "
+                f"/ {library.blocks} blocks ({args.block_size}/block): "
+                f"{library.original_bytes} -> {library.payload_bytes} payload bytes "
+                f"(ratio {library.ratio:.3f}), {library.file_bytes} bytes on disk "
+                f"-> {library.manifest_path}"
+            )
+            return 0
         info = pack_file(
             args.input,
             args.output,
@@ -263,17 +341,97 @@ def _cmd_pack(args: argparse.Namespace) -> int:
 def _cmd_unpack(args: argparse.Namespace) -> int:
     codec = _load_engine(args.dictionary).codec if args.dictionary else None
     output = args.output or args.input.with_suffix(SMI_SUFFIX)
-    with CorpusStore(args.input, codec=codec) as store:
+    with _open_corpus(args.input, codec=codec) as store:
         count = write_lines(output, store.iter_all())
     print(f"unpacked {count} records -> {output}")
     return 0
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    if args.cache_blocks < 1:
+        print("error: --cache-blocks must be >= 1", file=sys.stderr)
+        return 2
     codec = _load_engine(args.dictionary).codec if args.dictionary else None
-    with CorpusStore(args.input, codec=codec) as store:
+    with _open_corpus(
+        args.input,
+        codec=codec,
+        cache_blocks=args.cache_blocks,
+        use_mmap=args.mmap,
+    ) as store:
         for index in args.indices:
             print(store.get_raw(index) if args.raw else store.get(index))
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import asyncio
+    import random
+    import time
+
+    if args.requests < 1 or args.batch_size < 1 or args.pool_size < 1:
+        print("error: --requests, --batch-size and --pool-size must be >= 1",
+              file=sys.stderr)
+        return 2
+    if args.cache_blocks < 1:
+        print("error: --cache-blocks must be >= 1", file=sys.stderr)
+        return 2
+    codec = _load_engine(args.dictionary).codec if args.dictionary else None
+    packed = is_packed_path(args.input)
+
+    def open_target() -> RecordReader:
+        if packed:
+            return _open_corpus(
+                args.input, codec=codec,
+                cache_blocks=args.cache_blocks, use_mmap=args.mmap,
+            )
+        return open_reader(args.input, codec=codec)
+
+    with open_target() as reader:
+        total = len(reader)
+        if total == 0:
+            print("error: corpus is empty", file=sys.stderr)
+            return 2
+        rng = random.Random(args.seed)
+        indices = [rng.randrange(total) for _ in range(args.requests)]
+
+        start = time.perf_counter()
+        singles = [reader.get(i) for i in indices]
+        single_s = time.perf_counter() - start
+
+        batches = [indices[i : i + args.batch_size]
+                   for i in range(0, len(indices), args.batch_size)]
+        start = time.perf_counter()
+        batched = [record for batch in batches for record in reader.get_many(batch)]
+        batched_s = time.perf_counter() - start
+        if batched != singles:
+            print("error: batched reads disagree with single gets", file=sys.stderr)
+            return 1
+
+    label = f"{total} records, layout={'packed' if packed else 'flat'}"
+    if args.mmap and packed:
+        label += ", mmap"
+    print(f"serve-bench: {args.input} ({label})")
+    print(f"  single get : {args.requests} requests in {single_s * 1e3:8.2f} ms "
+          f"({single_s / args.requests * 1e6:8.1f} us/req)")
+    print(f"  get_many   : {len(batches)} batches of <= {args.batch_size} in "
+          f"{batched_s * 1e3:8.2f} ms ({batched_s / args.requests * 1e6:8.1f} us/req)")
+
+    if packed:
+        async def run_async() -> tuple:
+            async with AsyncCorpusLibrary.open(
+                args.input, codec=codec, pool_size=args.pool_size,
+                cache_blocks=args.cache_blocks, use_mmap=args.mmap,
+            ) as library:
+                start = time.perf_counter()
+                records = await library.get_many(indices)
+                return records, time.perf_counter() - start
+
+        async_records, async_s = asyncio.run(run_async())
+        if async_records != singles:
+            print("error: async reads disagree with sync gets", file=sys.stderr)
+            return 1
+        print(f"  async pool : {args.requests} requests over {args.pool_size} readers in "
+              f"{async_s * 1e3:8.2f} ms ({async_s / args.requests * 1e6:8.1f} us/req)")
     return 0
 
 
@@ -326,6 +484,7 @@ _HANDLERS = {
     "pack": _cmd_pack,
     "unpack": _cmd_unpack,
     "query": _cmd_query,
+    "serve-bench": _cmd_serve_bench,
     "stats": _cmd_stats,
     "generate": _cmd_generate,
     "experiment": _cmd_experiment,

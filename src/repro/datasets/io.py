@@ -7,9 +7,10 @@ flavours while preserving the one-record-per-line contract that the ZSMILES
 random-access guarantee depends on.
 
 Packed corpora are read transparently: a path ending in ``.zss`` (the
-block-compressed store, :mod:`repro.store`) is decoded through its embedded
-dictionary — or a caller-supplied codec — and its records flow through the
-same parsing helpers as plain lines.
+block-compressed store, :mod:`repro.store`), a sharded library directory or
+a ``library.json`` manifest (:mod:`repro.library`) is decoded through its
+embedded dictionary — or a caller-supplied codec — and its records flow
+through the same parsing helpers as plain lines.
 """
 
 from __future__ import annotations
@@ -121,7 +122,25 @@ def iter_smi(
 
 def _iter_record_lines(path: PathLike, codec: Optional[object] = None) -> Iterator[str]:
     """Yield terminator-stripped record lines from a flat or packed corpus."""
-    if Path(path).suffix == STORE_SUFFIX:
+    path = Path(path)
+    if path.is_dir() or path.suffix == ".json":
+        # A sharded library (directory with library.json, or the manifest
+        # itself).  Imported lazily, like the store below; a directory
+        # without a manifest falls through to the flat open below, failing
+        # the way it always has.
+        from ..library import CorpusLibrary, resolve_manifest_path
+
+        if resolve_manifest_path(path) is not None:
+            with CorpusLibrary.open(path, codec=codec) as library:  # type: ignore[arg-type]
+                for shard_no in range(library.shard_count):
+                    if library.shard(shard_no).codec is None:
+                        raise DatasetError(
+                            f"{path}: packed corpus has no embedded dictionary; "
+                            "pass codec= to decode it"
+                        )
+                yield from library.iter_all()
+            return
+    if path.suffix == STORE_SUFFIX:
         # Imported lazily: repro.store.reader pulls in the codec stack, which
         # this light-weight I/O module must not load for plain .smi reads.
         from ..store.reader import CorpusStore

@@ -87,6 +87,14 @@ class StoreFormatError(StoreError):
     """Raised when a ``.zss`` container is malformed, truncated or corrupt."""
 
 
+class LibraryError(StoreError):
+    """Base class for sharded corpus-library packing and serving failures."""
+
+
+class ManifestError(LibraryError):
+    """Raised when a ``library.json`` manifest is malformed or inconsistent."""
+
+
 class DatasetError(ReproError):
     """Raised by the synthetic dataset generators and ``.smi`` I/O helpers."""
 

@@ -1,0 +1,98 @@
+"""Sharded, async-capable corpus serving: the ``repro.library`` subsystem.
+
+This package is the serving API for packed SMILES corpora.  Consumers —
+the screening pipeline, dataset loaders, the CLI, experiments — open one
+:class:`CorpusLibrary` (or :class:`AsyncCorpusLibrary`) instead of
+hand-wiring readers, codecs and dictionaries.
+
+Serving a corpus — which layout to use
+======================================
+
+Three layouts serve the same :class:`~repro.store.protocol.RecordReader`
+protocol; pick by scale and access pattern:
+
+**Flat** (``.smi`` / ``.zsmi`` + ``.zsx`` sidecar index) —
+:class:`~repro.core.random_access.RandomAccessReader`.  One seek per
+record, an index entry per record.  Right for small corpora, debugging,
+and line-oriented tooling; the documented fallback.
+
+**Single-shard store** (``.zss``) — :class:`~repro.store.CorpusStore`.
+Fixed-size blocks of codec output with a footer index, CRC-32 checks, LRU
+block cache and an embeddable dictionary.  Right for any corpus that is
+packed once and served many times from one process.
+
+**Sharded library** (``library.json`` + N ``.zss`` shards) —
+:class:`CorpusLibrary` over :class:`ShardedCorpusStore`.  The manifest
+routes global indices to shards, shards open lazily, and all shards share
+one LRU cache budget; ``use_mmap=True`` serves block reads from read-only
+memory maps.  Right at scale: corpora too big for one file, parallel
+packing, and concurrent serving.  :class:`AsyncCorpusLibrary` adds
+``await get`` / ``get_many`` / ``stream`` over a bounded reader pool for
+high-fanout consumers (e.g. generative screening loops).
+
+Packing::
+
+    engine = ZSmilesEngine.from_dictionary("shared.dct")
+    info = pack_library("corpus.library", smiles, engine, shards=8)
+    # or: zsmiles pack corpus.smi -d shared.dct --shards 8
+
+Serving::
+
+    with CorpusLibrary.open("corpus.library") as lib:      # sync
+        lib.get(123), lib.get_many(batch), lib.slice(0, 100)
+
+    async with AsyncCorpusLibrary.open("corpus.library") as lib:
+        await lib.get_many(batch)                           # concurrent
+
+Migrating from ``open_reader``
+==============================
+
+:func:`repro.store.open_reader` remains the suffix-dispatching shim and now
+hands library directories / ``library.json`` paths to
+:meth:`CorpusLibrary.open`, so existing call sites gain sharded serving by
+being pointed at a manifest — no code change.  New code that knows it is
+serving packed corpora should call :meth:`CorpusLibrary.open` directly
+(it also accepts a bare ``.zss``).
+"""
+
+from .async_api import DEFAULT_POOL_SIZE, DEFAULT_STREAM_BATCH, AsyncCorpusLibrary
+from .facade import CorpusLibrary
+from .manifest import (
+    MANIFEST_FORMAT,
+    MANIFEST_NAME,
+    MANIFEST_VERSION,
+    LibraryManifest,
+    ShardEntry,
+    is_packed_path,
+    resolve_manifest_path,
+)
+from .sharded import ShardedCorpusStore
+from .writer import (
+    SHARD_NAME_FORMAT,
+    LibraryInfo,
+    LibraryWriter,
+    pack_library,
+    pack_library_file,
+    split_counts,
+)
+
+__all__ = [
+    "AsyncCorpusLibrary",
+    "CorpusLibrary",
+    "DEFAULT_POOL_SIZE",
+    "DEFAULT_STREAM_BATCH",
+    "LibraryInfo",
+    "LibraryManifest",
+    "LibraryWriter",
+    "MANIFEST_FORMAT",
+    "MANIFEST_NAME",
+    "MANIFEST_VERSION",
+    "SHARD_NAME_FORMAT",
+    "ShardEntry",
+    "ShardedCorpusStore",
+    "is_packed_path",
+    "pack_library",
+    "pack_library_file",
+    "resolve_manifest_path",
+    "split_counts",
+]

@@ -2,13 +2,20 @@
 
 This is the paper's use case stitched together from the library's pieces:
 
-1. the ligand library is stored as a ZSMILES-compressed ``.zsmi`` file
-   (one record per line, random access preserved);
+1. the ligand library is stored compressed — as a ``.zsmi`` file (one
+   record per line, random access preserved), or packed into a sharded
+   ``.zss`` library served by :class:`~repro.library.CorpusLibrary`;
 2. the campaign streams or randomly samples ligands out of the compressed
-   file, scores them against one or more pockets, and writes a score-decorated
-   output;
+   library, scores them against one or more pockets, and writes a
+   score-decorated output;
 3. domain experts later pull individual hits back out of the compressed
-   library by line number — without decompressing anything else.
+   library by record index — without decompressing anything else.
+
+The campaign serves ligands through the shared
+:class:`~repro.store.protocol.RecordReader` protocol
+(:func:`~repro.store.open_reader` picks the implementation), so the same
+``run()`` accepts a flat ``.zsmi`` path, a single ``.zss`` store, or a
+sharded library directory / ``library.json`` manifest.
 
 The pipeline exists both as a realistic integration test of the whole stack
 and as the substrate for the worked examples.
@@ -27,6 +34,8 @@ from ..core.random_access import LineIndex, RandomAccessReader
 from ..datasets.io import SmiRecord, write_smi
 from ..engine import ZSmilesEngine
 from ..errors import ScreeningError
+from ..library import LibraryInfo, is_packed_path, pack_library
+from ..store import RecordReader, open_reader
 from .docking import DEFAULT_POCKETS, PocketModel, dock_score, top_hits
 from .storage import StorageFootprint, measure_footprint
 
@@ -103,6 +112,33 @@ class ScreeningCampaign:
         footprint = measure_footprint(list(smiles), self.codec)
         return zsmi_path, index, footprint
 
+    def prepare_packed_library(
+        self,
+        smiles: Sequence[str],
+        directory: PathLike,
+        name: str = "library",
+        shards: int = 1,
+        records_per_block: int = 256,
+    ) -> Tuple[Path, LibraryInfo, StorageFootprint]:
+        """Pack the ligand library into a sharded ``.zss`` library.
+
+        Returns the library directory (servable by ``run()`` directly), the
+        pack summary and the measured storage footprint.  Prefer this over
+        :meth:`prepare_library` at scale: shards pack through the engine's
+        parallel batch surface and serve with block-level caching.
+        """
+        directory = Path(directory)
+        library_dir = directory / f"{name}.library"
+        info = pack_library(
+            library_dir,
+            smiles,
+            self.engine,
+            shards=shards,
+            records_per_block=records_per_block,
+        )
+        footprint = measure_footprint(list(smiles), self.codec)
+        return library_dir, info, footprint
+
     # ------------------------------------------------------------------ #
     # Campaign execution
     # ------------------------------------------------------------------ #
@@ -119,9 +155,12 @@ class ScreeningCampaign:
         Parameters
         ----------
         library_path:
-            Compressed ``.zsmi`` library.
+            Compressed ligand library: a flat ``.zsmi`` file, a packed
+            ``.zss`` store, or a sharded library directory /
+            ``library.json`` manifest.
         index:
-            Pre-built line index; built on the fly when omitted.
+            Pre-built line index for the flat layout; ignored for packed
+            libraries (their block index is part of the format).
         sample:
             When given, only this many randomly chosen ligands are scored —
             exercising the random-access path the paper designs for.  ``None``
@@ -132,7 +171,11 @@ class ScreeningCampaign:
             Pre-measured storage footprint to attach to the result.
         """
         library_path = Path(library_path)
-        reader = RandomAccessReader(library_path, index=index, codec=self.codec)
+        reader: RecordReader
+        if index is not None and not is_packed_path(library_path):
+            reader = RandomAccessReader(library_path, index=index, codec=self.codec)
+        else:
+            reader = open_reader(library_path, codec=self.codec)
         result = CampaignResult(library_path=library_path, footprint=footprint)
         with reader:
             if sample is not None:
@@ -144,7 +187,7 @@ class ScreeningCampaign:
                     int(i) for i in rng.choice(len(reader), size=count, replace=False)
                 )
                 result.sampled_indices = indices
-                ligands = reader.lines(indices)
+                ligands = reader.get_many(indices)
             else:
                 ligands = list(reader.iter_all())
 
@@ -172,7 +215,10 @@ class ScreeningCampaign:
         return paths
 
     def fetch_hit(self, library_path: PathLike, line: int) -> str:
-        """Random-access retrieval of a single ligand from the compressed library."""
-        reader = RandomAccessReader(library_path, codec=self.codec)
-        with reader:
-            return reader.line(line)
+        """Random-access retrieval of a single ligand from the compressed library.
+
+        Works against any layout ``run()`` accepts — flat, ``.zss``, or a
+        sharded library — touching only the line / block that holds the hit.
+        """
+        with open_reader(library_path, codec=self.codec) as reader:
+            return reader.get(line)

@@ -1,20 +1,25 @@
 """Block-compressed corpus store: the ``.zss`` container and its readers.
 
-The flat per-line layout (``.zsmi`` + ``.zsx`` sidecar index, served by
-:class:`~repro.core.random_access.RandomAccessReader`) answers one lookup
-with one ``seek`` but spends an index entry per record and a file line per
-record.  The ``.zss`` container packs records into fixed-size blocks whose
-payloads are the per-line codec output — byte-identical to the ``.zsmi``
-path — framed with a binary footer (block offsets, record counts, CRC-32
-checksums) and an optional embedded dictionary:
+One ``.zss`` shard packs records into fixed-size blocks whose payloads are
+the per-line codec output — byte-identical to the ``.zsmi`` path — framed
+with a binary footer (block offsets, record counts, CRC-32 checksums) and
+an optional embedded dictionary:
 
 * :class:`ShardWriter` / :func:`pack_records` / :func:`pack_file` — pack a
   corpus through the :class:`~repro.engine.ZSmilesEngine` batch surface;
   ``backend="auto"`` / ``jobs`` parallelize packing across blocks,
 * :class:`ShardReader` / :class:`CorpusStore` — O(1) record → block lookup,
-  LRU-cached block decode, ``get`` / ``get_many`` / ``slice`` / ``iter_all``,
-* :class:`RecordReader` / :func:`open_reader` — the protocol both the store
-  and the flat fallback satisfy, so serving code takes either.
+  thread-safe LRU-cached block decode (capacity via ``cache_blocks``),
+  optional mmap-backed reads (``use_mmap=True``), ``get`` / ``get_many`` /
+  ``slice`` / ``iter_all``,
+* :class:`RecordReader` / :func:`open_reader` — the protocol every serving
+  layer satisfies; ``open_reader`` dispatches by path shape.
+
+This module is the *single-file* layer.  Choosing a layout — flat
+``.zsmi`` fallback, one ``.zss`` shard, or a sharded ``library.json``
+corpus with async serving — is covered by the serving guide in
+:mod:`repro.library`, which builds its :class:`~repro.library.CorpusLibrary`
+facade on the readers defined here.
 """
 
 from .format import (
@@ -27,7 +32,14 @@ from .format import (
     read_footer,
 )
 from .protocol import RecordReader, open_reader
-from .reader import CorpusStore, ShardReader, read_store_records
+from .reader import (
+    DEFAULT_CACHE_BLOCKS,
+    BlockCache,
+    BlockCacheView,
+    CorpusStore,
+    ShardReader,
+    read_store_records,
+)
 from .writer import (
     DEFAULT_RECORDS_PER_BLOCK,
     ShardWriter,
@@ -39,10 +51,13 @@ from .writer import (
 
 __all__ = [
     "DICTIONARY_META_KEY",
+    "DEFAULT_CACHE_BLOCKS",
     "DEFAULT_RECORDS_PER_BLOCK",
     "MAGIC",
     "STORE_SUFFIX",
     "VERSION",
+    "BlockCache",
+    "BlockCacheView",
     "BlockInfo",
     "CorpusStore",
     "RecordReader",

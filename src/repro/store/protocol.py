@@ -4,13 +4,20 @@ Callers that serve records — the screening campaign, the CLI ``get`` /
 ``query`` commands, dataset loaders — should accept any
 :class:`RecordReader` instead of a concrete class:
 
-* :class:`~repro.store.reader.CorpusStore` / ``ShardReader`` — the block-
-  compressed ``.zss`` container (preferred at scale),
+* :class:`~repro.library.CorpusLibrary` / ``ShardedCorpusStore`` — the
+  sharded serving layer over ``library.json`` manifests (preferred at
+  scale; see :mod:`repro.library` for the full serving guide),
+* :class:`~repro.store.reader.CorpusStore` / ``ShardReader`` — one
+  block-compressed ``.zss`` container,
 * :class:`~repro.core.random_access.RandomAccessReader` — the documented
   "flat" fallback over line-oriented ``.smi`` / ``.zsmi`` files with a
   ``.zsx`` sidecar index.
 
-:func:`open_reader` picks the right implementation from the file suffix.
+:func:`open_reader` picks the right implementation from the path: library
+directories and ``.json`` manifests dispatch to the library, ``.zss`` files
+to the store, anything else to the flat reader.  Every implementation is a
+context manager, so serving code can uniformly ``with open_reader(...) as
+reader:``.
 """
 
 from __future__ import annotations
@@ -54,17 +61,32 @@ class RecordReader(Protocol):
         """Release the underlying file handles."""
         ...
 
+    def __enter__(self) -> "RecordReader":
+        """Enter a serving scope (``with open_reader(...) as reader:``)."""
+        ...
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Close the reader on scope exit."""
+        ...
+
 
 def open_reader(
     path: PathLike, codec: Optional[ZSmilesCodec] = None
 ) -> RecordReader:
-    """Open the right :class:`RecordReader` for *path* by suffix.
+    """Open the right :class:`RecordReader` for *path*.
 
-    ``.zss`` files open as a :class:`CorpusStore`; anything else opens as the
-    flat :class:`RandomAccessReader` fallback (building its line index on the
+    A library directory or ``.json`` manifest opens as a
+    :class:`~repro.library.CorpusLibrary` (sharded serving); ``.zss`` files
+    open as a :class:`CorpusStore`; anything else opens as the flat
+    :class:`RandomAccessReader` fallback (building its line index on the
     fly when no ``.zsx`` sidecar is supplied).
     """
     path = Path(path)
+    # Imported lazily: repro.library sits on top of this module.
+    from ..library import CorpusLibrary, resolve_manifest_path
+
+    if resolve_manifest_path(path) is not None:
+        return CorpusLibrary.open(path, codec=codec)
     if path.suffix == STORE_SUFFIX:
         return CorpusStore(path, codec=codec)
     return RandomAccessReader(path, codec=codec)

@@ -15,14 +15,16 @@ counters make that property testable.
 
 from __future__ import annotations
 
+import mmap as _mmap_module
+import threading
 from bisect import bisect_right
 from collections import OrderedDict
 from pathlib import Path
-from typing import BinaryIO, Dict, Iterator, List, Optional, Sequence, Union
+from typing import BinaryIO, Dict, Hashable, Iterator, List, Optional, Sequence, Union
 
 from ..core.codec import ZSmilesCodec
 from ..dictionary import serialization
-from ..errors import RandomAccessError, StoreFormatError
+from ..errors import RandomAccessError, StoreError, StoreFormatError
 from .format import DICTIONARY_META_KEY, StoreFooter, decode_payload, payload_crc, read_footer
 
 PathLike = Union[str, Path]
@@ -31,40 +33,130 @@ PathLike = Union[str, Path]
 DEFAULT_CACHE_BLOCKS = 16
 
 
-class _BlockCache:
-    """Tiny LRU cache mapping block index -> decoded record list."""
+class BlockCache:
+    """Thread-safe LRU cache mapping a block key -> decoded record list.
+
+    Keys are arbitrary hashable values: a lone :class:`ShardReader` uses plain
+    block numbers, while :class:`~repro.library.ShardedCorpusStore` shares one
+    cache across shards through :class:`BlockCacheView`, whose keys are
+    ``(shard path, block)`` pairs — one capacity budget for the whole library
+    (or several libraries sharing a cache).
+    """
 
     def __init__(self, capacity: int):
         if capacity < 1:
             raise StoreFormatError("cache capacity must be >= 1")
         self.capacity = capacity
-        self._entries: "OrderedDict[int, List[str]]" = OrderedDict()
+        self._entries: "OrderedDict[Hashable, List[str]]" = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
-    def get(self, key: int) -> Optional[List[str]]:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+    def get(self, key: Hashable) -> Optional[List[str]]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
-    def put(self, key: int, value: List[str]) -> None:
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+    def put(self, key: Hashable, value: List[str]) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
-    def __contains__(self, key: int) -> bool:
-        return key in self._entries
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
 
 
-class ShardReader:
+#: Backwards-compatible private alias (pre-library name).
+_BlockCache = BlockCache
+
+
+class BlockCacheView:
+    """A namespaced window onto a shared :class:`BlockCache`.
+
+    Every shard of a sharded library gets its own view over the one shared
+    cache, so N shards compete for a single LRU budget instead of each
+    hoarding ``cache_blocks`` entries.  Hit/miss counters are the shared
+    cache's aggregates.
+    """
+
+    def __init__(self, shared: BlockCache, namespace: Hashable):
+        self.shared = shared
+        self.namespace = namespace
+
+    @property
+    def capacity(self) -> int:
+        return self.shared.capacity
+
+    @property
+    def hits(self) -> int:
+        return self.shared.hits
+
+    @property
+    def misses(self) -> int:
+        return self.shared.misses
+
+    def get(self, key: Hashable) -> Optional[List[str]]:
+        return self.shared.get((self.namespace, key))
+
+    def put(self, key: Hashable, value: List[str]) -> None:
+        self.shared.put((self.namespace, key), value)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return (self.namespace, key) in self.shared
+
+
+class RecordAccessMixin:
+    """The bulk :class:`RecordReader` surface, derived from ``get``/``len``.
+
+    Concrete readers implement ``get(index)`` and ``__len__`` (and usually a
+    smarter ``iter_all``); this mixin supplies the derived methods and the
+    ``line``/``lines`` aliases shared with
+    :class:`~repro.core.random_access.RandomAccessReader`, so the protocol
+    surface lives in one place.
+    """
+
+    def __getitem__(self, index: int) -> str:
+        return self.get(index)  # type: ignore[attr-defined]
+
+    def get_many(self, indices: Sequence[int]) -> List[str]:
+        """Fetch several records, preserving request order."""
+        return [self.get(i) for i in indices]  # type: ignore[attr-defined]
+
+    def slice(self, start: int, stop: int) -> List[str]:
+        """Records ``start`` (inclusive) to ``stop`` (exclusive, clamped)."""
+        if start < 0 or stop < start:
+            raise RandomAccessError(f"invalid slice [{start}, {stop})")
+        stop = min(stop, len(self))  # type: ignore[arg-type]
+        return [self.get(i) for i in range(start, stop)]  # type: ignore[attr-defined]
+
+    def iter_all(self) -> Iterator[str]:
+        """Iterate over every record in order."""
+        for index in range(len(self)):  # type: ignore[arg-type]
+            yield self.get(index)  # type: ignore[attr-defined]
+
+    # Compatibility aliases with RandomAccessReader's historical names.
+    def line(self, index: int) -> str:
+        """Alias of ``get`` (RandomAccessReader compatibility)."""
+        return self.get(index)  # type: ignore[attr-defined]
+
+    def lines(self, indices: Sequence[int]) -> List[str]:
+        """Alias of :meth:`get_many` (RandomAccessReader compatibility)."""
+        return self.get_many(indices)
+
+
+class ShardReader(RecordAccessMixin):
     """Random access to the records of one ``.zss`` shard.
 
     Parameters
@@ -77,9 +169,17 @@ class ShardReader:
         returned as stored (compressed text), mirroring a codec-less
         :class:`~repro.core.random_access.RandomAccessReader`.
     cache_blocks:
-        Decoded blocks kept in the LRU cache.
+        Decoded blocks kept in the LRU cache (ignored when *cache* is given).
     verify_checksums:
         Validate each block's CRC-32 on first decode.
+    use_mmap:
+        Serve block reads out of a read-only memory map instead of
+        ``seek``/``read`` on the file handle.  Byte-identical to the
+        handle path; requires a real file (one with a file descriptor).
+    cache / raw_cache:
+        Externally owned caches (:class:`BlockCache` or
+        :class:`BlockCacheView`) replacing the reader's private ones, so
+        several shards can share one LRU budget.
     """
 
     def __init__(
@@ -88,6 +188,9 @@ class ShardReader:
         codec: Optional[ZSmilesCodec] = None,
         cache_blocks: int = DEFAULT_CACHE_BLOCKS,
         verify_checksums: bool = True,
+        use_mmap: bool = False,
+        cache: Optional[Union[BlockCache, BlockCacheView]] = None,
+        raw_cache: Optional[Union[BlockCache, BlockCacheView]] = None,
     ):
         self.path: Optional[Path]
         if hasattr(source, "read"):
@@ -98,15 +201,20 @@ class ShardReader:
             self.path = Path(source)
             self._handle = open(self.path, "rb")
             self._owns_handle = True
+        self.use_mmap = use_mmap
+        self._mmap: Optional[_mmap_module.mmap] = None
+        self._io_lock = threading.Lock()
         try:
             self.footer: StoreFooter = read_footer(self._handle)
+            if use_mmap:
+                self._init_mmap()
         except Exception:
             if self._owns_handle:
                 self._handle.close()
             raise
         self.verify_checksums = verify_checksums
-        self._cache = _BlockCache(cache_blocks)
-        self._raw_cache = _BlockCache(cache_blocks)
+        self._cache = cache if cache is not None else BlockCache(cache_blocks)
+        self._raw_cache = raw_cache if raw_cache is not None else BlockCache(cache_blocks)
         self.codec = codec if codec is not None else self._embedded_codec()
         self.blocks_decoded = 0
         self.bytes_read = 0
@@ -120,12 +228,32 @@ class ShardReader:
             if self.path is None:
                 raise StoreFormatError("cannot reopen a reader over a closed file object")
             self._handle = open(self.path, "rb")
+        if self.use_mmap and self._mmap is None:
+            self._init_mmap()
 
     def close(self) -> None:
-        """Close the underlying file (idempotent; the cache stays warm)."""
-        if self._handle is not None and self._owns_handle:
-            self._handle.close()
-        self._handle = None
+        """Close the underlying file (idempotent; the cache stays warm).
+
+        Takes the I/O lock so a close never yanks the handle or mmap out
+        from under an in-flight block read on another thread.
+        """
+        with self._io_lock:
+            if self._mmap is not None:
+                self._mmap.close()
+                self._mmap = None
+            if self._handle is not None and self._owns_handle:
+                self._handle.close()
+            self._handle = None
+
+    def _init_mmap(self) -> None:
+        assert self._handle is not None
+        try:
+            fileno = self._handle.fileno()
+        except (AttributeError, OSError, ValueError) as exc:
+            raise StoreError(
+                "use_mmap requires a real file (the source has no file descriptor)"
+            ) from exc
+        self._mmap = _mmap_module.mmap(fileno, 0, access=_mmap_module.ACCESS_READ)
 
     def __enter__(self) -> "ShardReader":
         return self
@@ -170,9 +298,6 @@ class ShardReader:
         records = self._block_records(block)
         return records[index - block * self.records_per_block]
 
-    def __getitem__(self, index: int) -> str:
-        return self.get(index)
-
     def get_raw(self, index: int) -> str:
         """The stored (compressed) record at *index* (LRU-cached per block)."""
         block = self.block_of(index)
@@ -182,30 +307,10 @@ class ShardReader:
             self._raw_cache.put(block, stored)
         return stored[index - block * self.records_per_block]
 
-    def get_many(self, indices: Sequence[int]) -> List[str]:
-        """Fetch several records, preserving request order."""
-        return [self.get(i) for i in indices]
-
-    def slice(self, start: int, stop: int) -> List[str]:
-        """Records ``start`` (inclusive) to ``stop`` (exclusive, clamped)."""
-        if start < 0 or stop < start:
-            raise RandomAccessError(f"invalid slice [{start}, {stop})")
-        stop = min(stop, len(self))
-        return [self.get(i) for i in range(start, stop)]
-
     def iter_all(self) -> Iterator[str]:
         """Iterate over every record in order, one block at a time."""
         for block in range(self.block_count):
             yield from self._block_records(block)
-
-    # Compatibility aliases with RandomAccessReader's historical names.
-    def line(self, index: int) -> str:
-        """Alias of :meth:`get` (RandomAccessReader compatibility)."""
-        return self.get(index)
-
-    def lines(self, indices: Sequence[int]) -> List[str]:
-        """Alias of :meth:`get_many` (RandomAccessReader compatibility)."""
-        return self.get_many(indices)
 
     # ------------------------------------------------------------------ #
     # Internals
@@ -219,15 +324,25 @@ class ShardReader:
     def _load_payload(self, block: int) -> List[str]:
         """Read and split one block payload (stored records, not decompressed)."""
         info = self.footer.blocks[block]
-        self.open()
-        assert self._handle is not None
-        self._handle.seek(info.offset)
-        payload = self._handle.read(info.length)
+        # Seek-then-read on a shared handle is a critical section: concurrent
+        # readers interleaving seeks would hand each other the wrong bytes.
+        # The mmap path slices without seeking but shares the lock so the
+        # lazy (re)open and the counters stay consistent too.
+        with self._io_lock:
+            self.open()
+            if self.use_mmap:
+                assert self._mmap is not None
+                payload = bytes(self._mmap[info.offset : info.offset + info.length])
+            else:
+                assert self._handle is not None
+                self._handle.seek(info.offset)
+                payload = self._handle.read(info.length)
         if len(payload) != info.length:
             raise StoreFormatError(f"block {block}: short read; truncated shard")
         if self.verify_checksums and payload_crc(payload) != info.crc32:
             raise StoreFormatError(f"block {block}: checksum mismatch; corrupt shard")
-        self.bytes_read += len(payload)
+        with self._io_lock:
+            self.bytes_read += len(payload)
         return decode_payload(payload, info.records)
 
     def _block_records(self, block: int) -> List[str]:
@@ -240,12 +355,13 @@ class ShardReader:
             records = [self.codec.decompress(record) for record in stored]
         else:
             records = stored
-        self.blocks_decoded += 1
+        with self._io_lock:
+            self.blocks_decoded += 1
         self._cache.put(block, records)
         return records
 
 
-class CorpusStore:
+class CorpusStore(RecordAccessMixin):
     """One logical corpus over one or more ``.zss`` shards.
 
     Record indices are global: shard boundaries are resolved with a cumulative
@@ -260,6 +376,7 @@ class CorpusStore:
         codec: Optional[ZSmilesCodec] = None,
         cache_blocks: int = DEFAULT_CACHE_BLOCKS,
         verify_checksums: bool = True,
+        use_mmap: bool = False,
     ):
         if isinstance(paths, (str, Path)) or hasattr(paths, "read"):
             sources: List[Union[PathLike, BinaryIO]] = [paths]  # type: ignore[list-item]
@@ -276,6 +393,7 @@ class CorpusStore:
                         codec=codec,
                         cache_blocks=cache_blocks,
                         verify_checksums=verify_checksums,
+                        use_mmap=use_mmap,
                     )
                 )
         except Exception:
@@ -319,38 +437,15 @@ class CorpusStore:
         shard, local = self._locate(index)
         return shard.get(local)
 
-    def __getitem__(self, index: int) -> str:
-        return self.get(index)
-
     def get_raw(self, index: int) -> str:
         """The stored (compressed) record at global *index*."""
         shard, local = self._locate(index)
         return shard.get_raw(local)
 
-    def get_many(self, indices: Sequence[int]) -> List[str]:
-        """Fetch several records by global index, preserving request order."""
-        return [self.get(i) for i in indices]
-
-    def slice(self, start: int, stop: int) -> List[str]:
-        """Records ``start`` (inclusive) to ``stop`` (exclusive, clamped)."""
-        if start < 0 or stop < start:
-            raise RandomAccessError(f"invalid slice [{start}, {stop})")
-        stop = min(stop, len(self))
-        return [self.get(i) for i in range(start, stop)]
-
     def iter_all(self) -> Iterator[str]:
         """Iterate over every record of every shard, in order."""
         for shard in self.shards:
             yield from shard.iter_all()
-
-    # RandomAccessReader-compatible aliases.
-    def line(self, index: int) -> str:
-        """Alias of :meth:`get`."""
-        return self.get(index)
-
-    def lines(self, indices: Sequence[int]) -> List[str]:
-        """Alias of :meth:`get_many`."""
-        return self.get_many(indices)
 
 
 def read_store_records(source: Union[PathLike, BinaryIO], codec: Optional[ZSmilesCodec] = None) -> List[str]:

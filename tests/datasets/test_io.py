@@ -108,6 +108,41 @@ class TestPackedCorpora:
         records = list(iter_smi(path))
         assert [r.smiles for r in records] == [line.split()[0] for line in corpus]
 
+    def test_read_smiles_from_sharded_library(self, tmp_path_factory, plain_codec,
+                                              mixed_corpus_small):
+        from repro.engine import ZSmilesEngine
+        from repro.library import pack_library
+
+        corpus = mixed_corpus_small[:60]
+        directory = tmp_path_factory.mktemp("io_library") / "corpus.library"
+        with ZSmilesEngine.from_codec(plain_codec, backend="serial") as engine:
+            pack_library(directory, corpus, engine, shards=3, records_per_block=8)
+        expected = [line.split()[0] for line in corpus]
+        assert read_smiles(directory) == expected                      # directory
+        assert read_smiles(directory / "library.json") == expected     # manifest
+
+    def test_library_without_dictionary_fails_loudly(self, tmp_path_factory,
+                                                     plain_codec, mixed_corpus_small):
+        from repro.engine import ZSmilesEngine
+        from repro.library import pack_library
+
+        corpus = mixed_corpus_small[:20]
+        directory = tmp_path_factory.mktemp("io_bare_lib") / "bare.library"
+        with ZSmilesEngine.from_codec(plain_codec, backend="serial") as engine:
+            pack_library(directory, corpus, engine, shards=2,
+                         records_per_block=4, embed_dictionary=False)
+        with pytest.raises(DatasetError, match="dictionary"):
+            read_smiles(directory)
+        assert read_smiles(directory, codec=plain_codec) == [
+            line.split()[0] for line in corpus
+        ]
+
+    def test_directory_without_manifest_not_hijacked(self, tmp_path):
+        # A plain directory is not silently treated as a library; it fails
+        # the way a flat open always has.
+        with pytest.raises(OSError):
+            read_smiles(tmp_path)
+
     def test_suffix_constant_matches_store_format(self):
         from repro.datasets.io import STORE_SUFFIX as io_suffix
         from repro.store.format import STORE_SUFFIX as store_suffix

@@ -1,0 +1,116 @@
+"""Async serving surface: async results must equal the sync ones, byte for byte."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import LibraryError, RandomAccessError
+from repro.library import AsyncCorpusLibrary, CorpusLibrary
+
+
+@pytest.fixture(scope="module")
+def reference(library_dir):
+    with CorpusLibrary.open(library_dir) as lib:
+        return list(lib.iter_all())
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestAsyncParity:
+    def test_get_matches_sync(self, library_dir, reference):
+        async def main():
+            async with AsyncCorpusLibrary.open(library_dir, pool_size=2) as lib:
+                assert len(lib) == len(reference)
+                for index in (0, 39, 40, 80, 119):
+                    assert await lib.get(index) == reference[index]
+
+        run(main())
+
+    @pytest.mark.parametrize("use_mmap", [False, True])
+    def test_get_many_matches_sync(self, library_dir, reference, use_mmap):
+        async def main():
+            async with AsyncCorpusLibrary.open(
+                library_dir, pool_size=3, use_mmap=use_mmap
+            ) as lib:
+                everything = await lib.get_many(range(len(reference)))
+                assert everything == reference
+                shuffled = [7, 119, 0, 80, 41, 3, 90]
+                assert await lib.get_many(shuffled) == [reference[i] for i in shuffled]
+                assert await lib.get_many([]) == []
+
+        run(main())
+
+    def test_stream_matches_sync(self, library_dir, reference):
+        async def main():
+            async with AsyncCorpusLibrary.open(library_dir, pool_size=2) as lib:
+                assert [r async for r in lib.stream()] == reference
+                assert [r async for r in lib.stream(10, 57, batch_size=7)] == reference[10:57]
+                assert [r async for r in lib.stream(100, 10_000)] == reference[100:]
+
+        run(main())
+
+    def test_concurrent_requests_interleave_correctly(self, library_dir, reference):
+        """Many in-flight awaits over a small pool still return the right bytes."""
+
+        async def main():
+            async with AsyncCorpusLibrary.open(library_dir, pool_size=2) as lib:
+                results = await asyncio.gather(
+                    *(lib.get(i % len(reference)) for i in range(64))
+                )
+                assert results == [reference[i % len(reference)] for i in range(64)]
+
+        run(main())
+
+
+class TestAsyncLifecycle:
+    def test_pool_shares_one_cache_budget(self, library_dir, reference):
+        """A block decoded by any pooled reader is a cache hit for all."""
+
+        async def main():
+            async with AsyncCorpusLibrary.open(
+                library_dir, pool_size=3, cache_blocks=2
+            ) as lib:
+                for _ in range(6):  # same record through rotating readers
+                    assert await lib.get(0) == reference[0]
+                caches = {id(reader.store._cache) for reader in lib._readers}
+                assert len(caches) == 1          # one shared BlockCache
+                shared = lib._readers[0].store._cache
+                assert shared.capacity == 2
+                assert len(shared) <= 2
+                assert shared.hits >= 5          # only the first get decoded
+
+        run(main())
+
+    def test_pool_size_and_validation(self, library_dir):
+        async def main():
+            async with AsyncCorpusLibrary.open(library_dir, pool_size=3) as lib:
+                assert lib.pool_size == 3
+
+        run(main())
+        with pytest.raises(LibraryError):
+            AsyncCorpusLibrary.open(library_dir, pool_size=0)
+
+    def test_closed_library_rejects_requests(self, library_dir):
+        async def main():
+            lib = AsyncCorpusLibrary.open(library_dir, pool_size=1)
+            await lib.aclose()
+            with pytest.raises(LibraryError, match="closed"):
+                await lib.get(0)
+
+        run(main())
+
+    def test_stream_rejects_bad_ranges(self, library_dir):
+        async def main():
+            async with AsyncCorpusLibrary.open(library_dir, pool_size=1) as lib:
+                with pytest.raises(RandomAccessError):
+                    async for _ in lib.stream(-1):
+                        pass
+                with pytest.raises(LibraryError):
+                    async for _ in lib.stream(0, 10, batch_size=0):
+                        pass
+
+        run(main())

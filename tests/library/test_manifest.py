@@ -1,0 +1,161 @@
+"""Tests for ``library.json``: round trips, routing, validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import LibraryError, ManifestError, RandomAccessError
+from repro.library import (
+    MANIFEST_FORMAT,
+    MANIFEST_NAME,
+    LibraryManifest,
+    ShardEntry,
+    resolve_manifest_path,
+    split_counts,
+)
+
+
+def entry(name: str, start: int, records: int) -> ShardEntry:
+    return ShardEntry(
+        name=name, start=start, records=records,
+        blocks=max(1, records // 8), records_per_block=8, file_bytes=100,
+    )
+
+
+@pytest.fixture()
+def manifest() -> LibraryManifest:
+    return LibraryManifest(
+        shards=(
+            entry("shard-0000.zss", 0, 40),
+            entry("shard-0001.zss", 40, 40),
+            entry("shard-0002.zss", 80, 33),
+        ),
+        metadata={"dictionary_embedded": True},
+    )
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self, manifest):
+        assert LibraryManifest.from_json(manifest.to_json()) == manifest
+
+    def test_json_is_deterministic(self, manifest):
+        assert manifest.to_json() == manifest.to_json()
+        obj = json.loads(manifest.to_json())
+        assert obj["format"] == MANIFEST_FORMAT
+        assert obj["total_records"] == 113
+
+    def test_save_load_file_and_directory(self, manifest, tmp_path):
+        path = manifest.save(tmp_path)           # directory -> library.json
+        assert path == tmp_path / MANIFEST_NAME
+        assert LibraryManifest.load(path) == manifest
+        assert LibraryManifest.load(tmp_path) == manifest  # directory load
+
+    def test_from_shards_matches_written_manifest(self, library_dir):
+        written = LibraryManifest.load(library_dir)
+        rebuilt = LibraryManifest.from_shards(
+            [library_dir / shard.name for shard in written.shards],
+            metadata=written.metadata,
+            root=library_dir,
+        )
+        assert rebuilt == written
+
+    def test_load_missing_manifest(self, tmp_path):
+        with pytest.raises(ManifestError):
+            LibraryManifest.load(tmp_path / "nope.json")
+
+
+class TestRouting:
+    def test_totals(self, manifest):
+        assert manifest.total_records == 113
+        assert manifest.shard_count == 3
+
+    @pytest.mark.parametrize(
+        "index,expected",
+        [(0, (0, 0)), (39, (0, 39)), (40, (1, 0)), (79, (1, 39)), (80, (2, 0)), (112, (2, 32))],
+    )
+    def test_locate(self, manifest, index, expected):
+        assert manifest.locate(index) == expected
+
+    @pytest.mark.parametrize("index", [-1, 113, 10_000])
+    def test_locate_out_of_range(self, manifest, index):
+        with pytest.raises(RandomAccessError):
+            manifest.locate(index)
+
+
+class TestValidation:
+    def test_needs_shards(self):
+        with pytest.raises(ManifestError):
+            LibraryManifest(shards=())
+
+    def test_rejects_gap_in_ranges(self):
+        with pytest.raises(ManifestError, match="contiguous"):
+            LibraryManifest(shards=(entry("a.zss", 0, 10), entry("b.zss", 11, 5)))
+
+    def test_rejects_overlap(self):
+        with pytest.raises(ManifestError, match="contiguous"):
+            LibraryManifest(shards=(entry("a.zss", 0, 10), entry("b.zss", 9, 5)))
+
+    def test_rejects_nonzero_first_start(self):
+        with pytest.raises(ManifestError, match="contiguous"):
+            LibraryManifest(shards=(entry("a.zss", 5, 10),))
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ManifestError, match="duplicate"):
+            LibraryManifest(shards=(entry("a.zss", 0, 10), entry("a.zss", 10, 5)))
+
+    def test_rejects_escaping_names(self):
+        with pytest.raises(ManifestError, match="relative"):
+            LibraryManifest(shards=(entry("../a.zss", 0, 10),))
+        with pytest.raises(ManifestError, match="relative"):
+            LibraryManifest(shards=(entry("/abs/a.zss", 0, 10),))
+
+    def test_rejects_wrong_version(self, manifest):
+        with pytest.raises(ManifestError, match="version"):
+            LibraryManifest(shards=manifest.shards, version=99)
+
+    def test_rejects_wrong_format_marker(self, manifest):
+        obj = json.loads(manifest.to_json())
+        obj["format"] = "something-else"
+        with pytest.raises(ManifestError, match="format"):
+            LibraryManifest.from_json(json.dumps(obj))
+
+    def test_rejects_total_mismatch(self, manifest):
+        obj = json.loads(manifest.to_json())
+        obj["total_records"] = 7
+        with pytest.raises(ManifestError, match="claims"):
+            LibraryManifest.from_json(json.dumps(obj))
+
+    def test_rejects_non_json(self):
+        with pytest.raises(ManifestError):
+            LibraryManifest.from_json("{not json")
+
+    def test_rejects_non_string_shard_name(self, manifest):
+        obj = json.loads(manifest.to_json())
+        obj["shards"][0]["name"] = 5
+        with pytest.raises(ManifestError, match="string"):
+            LibraryManifest.from_json(json.dumps(obj))
+
+
+class TestHelpers:
+    def test_resolve_manifest_path(self, library_dir, tmp_path):
+        manifest_file = library_dir / MANIFEST_NAME
+        assert resolve_manifest_path(library_dir) == manifest_file
+        assert resolve_manifest_path(manifest_file) == manifest_file
+        assert resolve_manifest_path(tmp_path) is None            # dir, no manifest
+        assert resolve_manifest_path(tmp_path / "x.zss") is None  # not a manifest
+
+    def test_split_counts_balanced(self):
+        assert split_counts(10, 3) == [4, 3, 3]
+        assert split_counts(9, 3) == [3, 3, 3]
+        assert split_counts(2, 5) == [1, 1]   # clamped: no empty shards
+        assert split_counts(0, 3) == [0]
+        with pytest.raises(LibraryError):
+            split_counts(10, 0)
+
+    def test_pack_library_writes_shard_metadata(self, library_dir):
+        manifest = LibraryManifest.load(library_dir)
+        assert manifest.metadata["dictionary_embedded"] is True
+        assert sum(shard.records for shard in manifest.shards) == 120
+        assert [shard.start for shard in manifest.shards] == [0, 40, 80]

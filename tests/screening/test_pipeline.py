@@ -98,6 +98,54 @@ class TestCampaignRun:
             ScreeningCampaign(campaign.codec, top_k=0)
 
 
+class TestPackedLibraryCampaign:
+    """The same campaign served out of a sharded .zss library."""
+
+    @pytest.fixture(scope="class")
+    def packed_setup(self, campaign_setup, tmp_path_factory):
+        campaign, corpus, *_ = campaign_setup
+        directory = tmp_path_factory.mktemp("packed_campaign")
+        library_dir, info, footprint = campaign.prepare_packed_library(
+            corpus, directory, shards=3, records_per_block=16
+        )
+        return campaign, corpus, library_dir, info, footprint
+
+    def test_prepare_packed_library_writes_manifest(self, packed_setup):
+        _, corpus, library_dir, info, _ = packed_setup
+        assert (library_dir / "library.json").exists()
+        assert info.shard_count == 3
+        assert info.records == len(corpus)
+
+    def test_run_over_library_matches_flat_run(self, campaign_setup, packed_setup):
+        campaign, _, zsmi_path, index, _, _ = campaign_setup
+        _, _, library_dir, _, _ = packed_setup
+        flat = campaign.run(zsmi_path, index=index, sample=40, seed=5)
+        packed = campaign.run(library_dir, sample=40, seed=5)
+        assert packed.sampled_indices == flat.sampled_indices
+        assert packed.pocket_results == flat.pocket_results
+        assert packed.hits == flat.hits
+
+    def test_run_accepts_single_zss(self, campaign_setup, packed_setup, tmp_path):
+        campaign, corpus, *_ = campaign_setup
+        _, _, library_dir, _, _ = packed_setup
+        zss = library_dir / "shard-0000.zss"
+        result = campaign.run(zss, sample=10, seed=2)
+        assert len(result.sampled_indices) == 10
+
+    def test_stale_index_ignored_for_packed_layouts(self, campaign_setup, packed_setup):
+        """run() documents index= as ignored for packed libraries."""
+        campaign, _, _, index, _, _ = campaign_setup
+        _, _, library_dir, _, _ = packed_setup
+        with_index = campaign.run(library_dir, index=index, sample=15, seed=9)
+        without = campaign.run(library_dir, sample=15, seed=9)
+        assert with_index.pocket_results == without.pocket_results
+
+    def test_fetch_hit_from_library(self, campaign_setup, packed_setup):
+        campaign, _, zsmi_path, _, _, _ = campaign_setup
+        _, _, library_dir, _, _ = packed_setup
+        assert campaign.fetch_hit(library_dir, 123) == campaign.fetch_hit(zsmi_path, 123)
+
+
 class TestStorageHelpers:
     def test_measure_footprint_with_precomputed_records(self, campaign_setup):
         campaign, corpus, *_ = campaign_setup

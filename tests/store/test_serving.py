@@ -1,0 +1,184 @@
+"""Serving hardening: mmap parity, configurable cache bounds, concurrent reads.
+
+These suites guard the serving path underneath ``repro.library``: the mmap
+block reads must be byte-identical to the handle path, the LRU capacity must
+honor whatever bound the constructor (and ``cli query --cache-blocks``)
+configures, and one ``CorpusStore`` hammered from many threads must serve
+exactly what serial reads serve — the invariant the async layer builds on.
+"""
+
+from __future__ import annotations
+
+import io
+import threading
+
+import pytest
+
+from repro.engine import ZSmilesEngine
+from repro.errors import StoreError
+from repro.store import BlockCache, CorpusStore, ShardReader, pack_records
+
+
+@pytest.fixture(scope="module")
+def packed(tmp_path_factory, plain_codec, mixed_corpus_small):
+    """A .zss shard of 96 records, 8 per block (12 blocks)."""
+    directory = tmp_path_factory.mktemp("serving")
+    corpus = mixed_corpus_small[:96]
+    path = directory / "serving.zss"
+    with ZSmilesEngine.from_codec(plain_codec, backend="serial") as engine:
+        pack_records(path, corpus, engine, records_per_block=8)
+    return path, corpus
+
+
+class TestMmapReads:
+    def test_byte_identical_to_handle_path(self, packed):
+        path, corpus = packed
+        with ShardReader(path) as plain, ShardReader(path, use_mmap=True) as mapped:
+            assert list(mapped.iter_all()) == list(plain.iter_all()) == corpus
+            for index in (0, 7, 8, 50, 95):
+                assert mapped.get(index) == plain.get(index)
+                assert mapped.get_raw(index) == plain.get_raw(index)
+
+    def test_counters_track_mmap_reads(self, packed):
+        path, _ = packed
+        with ShardReader(path, use_mmap=True) as reader:
+            reader.get(20)
+            assert reader.blocks_decoded == 1
+            assert reader.bytes_read == reader.footer.blocks[2].length
+
+    def test_mmap_reopens_after_close(self, packed):
+        path, corpus = packed
+        reader = ShardReader(path, use_mmap=True)
+        reader.get(3)
+        reader.close()
+        assert reader.get(90) == corpus[90]
+        reader.close()
+
+    def test_mmap_through_corpus_store(self, packed):
+        path, corpus = packed
+        with CorpusStore(path, use_mmap=True) as store:
+            assert store.get_many(range(len(corpus))) == corpus
+
+    def test_mmap_requires_real_file(self, packed):
+        path, _ = packed
+        buffer = io.BytesIO(path.read_bytes())
+        with pytest.raises(StoreError, match="real file"):
+            ShardReader(buffer, use_mmap=True)
+
+
+class TestConfigurableCacheBound:
+    @pytest.mark.parametrize("capacity", [1, 2, 5])
+    def test_eviction_honors_configured_bound(self, packed, capacity):
+        """Touch every block; the cache never holds more than its capacity."""
+        path, corpus = packed
+        with ShardReader(path, cache_blocks=capacity) as reader:
+            for index in range(len(corpus)):
+                assert reader.get(index) == corpus[index]
+                assert len(reader._cache) <= capacity
+            assert len(reader._cache) == min(capacity, reader.block_count)
+            # Every block beyond the retained window was evicted and must be
+            # decoded again on revisit.
+            decoded = reader.blocks_decoded
+            assert reader.get(0) == corpus[0]
+            assert reader.blocks_decoded == decoded + (
+                0 if capacity >= reader.block_count else 1
+            )
+
+    def test_corpus_store_passes_capacity_down(self, packed):
+        path, _ = packed
+        with CorpusStore(path, cache_blocks=3) as store:
+            assert store.shards[0]._cache.capacity == 3
+
+    def test_block_cache_rejects_zero_capacity(self):
+        from repro.errors import StoreFormatError
+
+        with pytest.raises(StoreFormatError):
+            BlockCache(0)
+
+
+class TestConcurrentReads:
+    def test_threads_match_serial_reads(self, packed):
+        """Hammer ONE CorpusStore from many threads; results must equal serial.
+
+        A tiny cache forces constant eviction/refill while every thread seeks
+        on the same file handle — the exact races the reader's I/O lock and
+        the thread-safe BlockCache exist to prevent.
+        """
+        path, corpus = packed
+        store = CorpusStore(path, cache_blocks=2)
+        serial = [store.get(i) for i in range(len(corpus))]
+        assert serial == corpus
+
+        workers = 8
+        rounds = 4
+        errors: list = []
+        results: list = [None] * workers
+
+        def hammer(worker: int) -> None:
+            try:
+                mine = []
+                for round_no in range(rounds):
+                    # Offset stride per worker: all threads walk all records
+                    # but in different orders, maximizing cache contention.
+                    for step in range(len(corpus)):
+                        index = (step * (worker + 1) + round_no) % len(corpus)
+                        mine.append((index, store.get(index)))
+                results[worker] = mine
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(w,)) for w in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        store.close()
+
+        assert not errors, errors
+        for mine in results:
+            assert mine is not None
+            for index, record in mine:
+                assert record == serial[index]
+
+    def test_threads_match_serial_reads_mmap(self, packed):
+        path, corpus = packed
+        store = CorpusStore(path, cache_blocks=1, use_mmap=True)
+        try:
+            errors: list = []
+
+            def hammer(offset: int) -> None:
+                try:
+                    for step in range(len(corpus)):
+                        index = (step + offset * 13) % len(corpus)
+                        assert store.get(index) == corpus[index]
+                except Exception as exc:  # pragma: no cover - failure reporting
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=hammer, args=(w,)) for w in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors, errors
+        finally:
+            store.close()
+
+    def test_get_many_under_concurrency(self, packed):
+        path, corpus = packed
+        indices = [(i * 7) % len(corpus) for i in range(256)]
+        expected = [corpus[i] for i in indices]
+        store = CorpusStore(path, cache_blocks=2)
+        try:
+            outcomes: list = [None] * 4
+
+            def fetch(slot: int) -> None:
+                outcomes[slot] = store.get_many(indices)
+
+            threads = [threading.Thread(target=fetch, args=(s,)) for s in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert all(outcome == expected for outcome in outcomes)
+        finally:
+            store.close()

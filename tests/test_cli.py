@@ -197,6 +197,100 @@ class TestPackUnpackQuery:
         ]) == 2
 
 
+class TestShardedLibraryCommands:
+    @pytest.fixture(scope="class")
+    def packed_library(self, workspace, tmp_path_factory):
+        """A 3-shard library packed through ``pack --shards``."""
+        directory, library, dictionary, corpus = workspace
+        library_dir = tmp_path_factory.mktemp("libpack") / "corpus.library"
+        exit_code = main([
+            "pack", str(library), "-d", str(dictionary),
+            "-o", str(library_dir), "--shards", "3", "--block-size", "16",
+        ])
+        assert exit_code == 0
+        return library_dir, dictionary, corpus
+
+    def test_pack_shards_writes_manifest_and_shards(self, packed_library, capsys):
+        library_dir, _, corpus = packed_library
+        assert (library_dir / "library.json").exists()
+        shards = sorted(p.name for p in library_dir.glob("*.zss"))
+        assert shards == ["shard-0000.zss", "shard-0001.zss", "shard-0002.zss"]
+
+    def test_pack_shards_default_output_directory(self, workspace, tmp_path):
+        directory, library, dictionary, _ = workspace
+        copy = tmp_path / "lib.smi"
+        copy.write_bytes(library.read_bytes())
+        assert main([
+            "pack", str(copy), "-d", str(dictionary), "--shards", "2",
+        ]) == 0
+        assert (tmp_path / "lib.library" / "library.json").exists()
+
+    def test_query_serves_from_library(self, packed_library, capsys):
+        library_dir, _, corpus = packed_library
+        assert main(["query", str(library_dir), "0", "60", "149"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+
+    def test_query_library_matches_single_shard(self, workspace, packed_library,
+                                                tmp_path, capsys):
+        directory, library, dictionary, _ = workspace
+        library_dir, _, _ = packed_library
+        zss = tmp_path / "single.zss"
+        assert main([
+            "pack", str(library), "-d", str(dictionary), "-o", str(zss),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["query", str(zss), "5", "77", "120"]) == 0
+        single = capsys.readouterr().out
+        assert main(["query", str(library_dir), "5", "77", "120"]) == 0
+        assert capsys.readouterr().out == single
+        # The manifest path and --mmap/--cache-blocks serve the same bytes.
+        assert main([
+            "query", str(library_dir / "library.json"), "5", "77", "120",
+            "--cache-blocks", "1", "--mmap",
+        ]) == 0
+        assert capsys.readouterr().out == single
+
+    def test_query_rejects_bad_cache_blocks(self, packed_library):
+        library_dir, _, _ = packed_library
+        assert main(["query", str(library_dir), "0", "--cache-blocks", "0"]) == 2
+
+    def test_unpack_library_roundtrip(self, packed_library, tmp_path):
+        library_dir, _, corpus = packed_library
+        restored = tmp_path / "restored.smi"
+        assert main(["unpack", str(library_dir), "-o", str(restored)]) == 0
+        assert len(list(read_lines(restored))) == len(corpus)
+
+    def test_pack_rejects_bad_shard_count(self, workspace):
+        directory, library, dictionary, _ = workspace
+        assert main([
+            "pack", str(library), "-d", str(dictionary), "--shards", "0",
+        ]) == 2
+
+    def test_serve_bench_on_library(self, packed_library, capsys):
+        library_dir, _, _ = packed_library
+        assert main([
+            "serve-bench", str(library_dir),
+            "--requests", "32", "--batch-size", "8", "--pool-size", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "single get" in out and "get_many" in out and "async pool" in out
+
+    def test_serve_bench_on_flat_file(self, workspace, capsys):
+        directory, library, dictionary, _ = workspace
+        assert main([
+            "serve-bench", str(library), "--requests", "16", "--batch-size", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "layout=flat" in out
+        assert "async pool" not in out  # flat files have no async pool path
+
+    def test_serve_bench_rejects_bad_counts(self, packed_library):
+        library_dir, _, _ = packed_library
+        assert main(["serve-bench", str(library_dir), "--requests", "0"]) == 2
+        assert main(["serve-bench", str(library_dir), "--cache-blocks", "0"]) == 2
+
+
 class TestGenerateAndExperiment:
     def test_generate_dataset(self, tmp_path, capsys):
         out = tmp_path / "gdb.smi"
