@@ -5,9 +5,20 @@ the Python implementation (the paper's C++/CUDA numbers are wall-clock on real
 hardware) and guard against performance regressions in the hot paths:
 per-line compression, per-line decompression, dictionary training and
 random-access reads.
+
+``test_codec_kernel_vs_reference`` additionally records the flat-array
+kernel's batch throughput against the reference per-line path in
+``BENCH_codec.json`` (repo root, plus a copy under ``benchmarks/results/``) —
+the machine-readable perf trajectory of the codec hot loop.  It asserts byte
+parity, never timings, so CI can run it at smoke scale without flaking.
 """
 
 from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
 
 import pytest
 
@@ -15,7 +26,11 @@ from repro.core.codec import ZSmilesCodec
 from repro.core.random_access import LineIndex, RandomAccessReader
 from repro.core.streaming import compress_file, write_lines
 from repro.dictionary.generator import train_dictionary
+from repro.engine import ZSmilesEngine
 from repro.preprocess.ring_renumber import renumber_rings
+
+#: Machine-readable codec-throughput record (committed perf trajectory).
+BENCH_CODEC_PATH = Path(__file__).resolve().parent.parent / "BENCH_codec.json"
 
 
 @pytest.fixture(scope="module")
@@ -71,6 +86,87 @@ def test_random_access_fetch(benchmark, shared_codec, sample_lines, tmp_path_fac
         assert value == shared_codec.preprocess(sample_lines[len(sample_lines) // 2])
     finally:
         reader.close()
+
+
+def _throughput(seconds: float, lines: int, input_bytes: int) -> dict:
+    """lines/sec and MB/sec for one timed pass (guarding zero clocks)."""
+    seconds = max(seconds, 1e-9)
+    return {
+        "seconds": round(seconds, 6),
+        "lines_per_sec": round(lines / seconds, 1),
+        "mb_per_sec": round(input_bytes / seconds / 1e6, 3),
+    }
+
+
+def test_codec_kernel_vs_reference(shared_codec, corpus, scale, results_dir):
+    """Batch compression/decompression: flat-array kernel vs reference oracle.
+
+    Asserts byte parity (the kernel contract) and writes ``BENCH_codec.json``;
+    timings are recorded, never gated, so the test is CI-safe at any scale.
+    """
+    sample = corpus[: min(2000, len(corpus))]
+    input_bytes = sum(len(s) + 1 for s in sample)
+    with ZSmilesEngine.from_codec(shared_codec) as engine:
+        reference = engine.backend("serial")
+        kernel = engine.backend("kernel")
+        # Warm both paths (automaton build, caches) outside the timed region.
+        warm = sample[:32]
+        reference.compress_batch(warm)
+        kernel.compress_batch(warm)
+
+        start = time.perf_counter()
+        ref_compressed = reference.compress_batch(sample)
+        ref_compress_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        kernel_compressed = kernel.compress_batch(sample)
+        kernel_compress_s = time.perf_counter() - start
+
+        assert kernel_compressed.records == ref_compressed.records
+        assert (
+            kernel_compressed.stats.matches,
+            kernel_compressed.stats.escapes,
+        ) == (ref_compressed.stats.matches, ref_compressed.stats.escapes)
+
+        compressed = ref_compressed.records
+        compressed_bytes = sum(len(s) + 1 for s in compressed)
+
+        start = time.perf_counter()
+        ref_restored = reference.decompress_batch(compressed)
+        ref_decompress_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        kernel_restored = kernel.decompress_batch(compressed)
+        kernel_decompress_s = time.perf_counter() - start
+
+        assert kernel_restored.records == ref_restored.records
+
+    payload = {
+        "benchmark": "codec_block_kernel_vs_reference",
+        "scale": os.environ.get("ZSMILES_BENCH_SCALE", "benchmark"),
+        "lines": len(sample),
+        "input_bytes": input_bytes,
+        "compressed_bytes": compressed_bytes,
+        "compress": {
+            "reference": _throughput(ref_compress_s, len(sample), input_bytes),
+            "kernel": _throughput(kernel_compress_s, len(sample), input_bytes),
+            "speedup": round(ref_compress_s / max(kernel_compress_s, 1e-9), 2),
+        },
+        "decompress": {
+            "reference": _throughput(ref_decompress_s, len(sample), compressed_bytes),
+            "kernel": _throughput(kernel_decompress_s, len(sample), compressed_bytes),
+            "speedup": round(ref_decompress_s / max(kernel_decompress_s, 1e-9), 2),
+        },
+        "parity": "byte-identical",
+    }
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    BENCH_CODEC_PATH.write_text(text, encoding="utf-8")
+    (results_dir / "BENCH_codec.json").write_text(text, encoding="utf-8")
+    print(
+        f"\ncodec kernel vs reference: compress {payload['compress']['speedup']}x, "
+        f"decompress {payload['decompress']['speedup']}x "
+        f"({len(sample)} lines) -> {BENCH_CODEC_PATH.name}"
+    )
 
 
 def test_parallel_codec_batch(benchmark, shared_codec, sample_lines):

@@ -59,8 +59,11 @@ from .dictionary.serialization import save as save_dictionary
 from .engine import (
     BaselineBackend,
     BatchResult,
+    BlockKernel,
+    CodecAutomaton,
     CompressionBackend,
     EngineConfig,
+    KernelBackend,
     ProcessPoolBackend,
     SerialBackend,
     ZSmilesEngine,
@@ -95,7 +98,10 @@ __all__ = [
     "ZSmilesEngine",
     "EngineConfig",
     "BatchResult",
+    "BlockKernel",
+    "CodecAutomaton",
     "CompressionBackend",
+    "KernelBackend",
     "SerialBackend",
     "ProcessPoolBackend",
     "BaselineBackend",

@@ -5,7 +5,9 @@ needs:
 
 * ``zsmiles train``       — train a dictionary from a ``.smi`` file and save it as ``.dct``.
 * ``zsmiles compress``    — compress a ``.smi`` file to ``.zsmi`` with a trained dictionary
-  (``--backend {serial,process,auto}`` / ``--jobs N`` select the execution backend).
+  (``--backend {serial,kernel,process,auto}`` / ``--jobs N`` select the execution
+  backend; ``auto`` routes small batches through the flat-array kernel and large
+  ones onto the process pool, whose workers also run the kernel).
 * ``zsmiles decompress``  — decompress a ``.zsmi`` file back to ``.smi``.
 * ``zsmiles index``       — build the random-access line index of a data file.
 * ``zsmiles get``         — fetch single records by line number through the index.
@@ -16,7 +18,8 @@ needs:
 * ``zsmiles query``       — serve individual records out of a ``.zss`` store or library,
   decoding only the blocks touched (``--cache-blocks`` / ``--mmap`` tune serving).
 * ``zsmiles serve-bench`` — measure single-get / batched-get serving latency of any
-  corpus layout (flat, ``.zss``, sharded library, mmap, async pool).
+  corpus layout (flat, ``.zss``, sharded library, mmap, async pool); ``--json PATH``
+  also writes the measurements machine-readably.
 * ``zsmiles stats``       — report the compression ratio a dictionary achieves on a file.
 * ``zsmiles generate``    — emit one of the synthetic datasets (for demos / tests).
 * ``zsmiles experiment``  — regenerate one of the paper's tables / figures.
@@ -176,6 +179,9 @@ def build_parser() -> argparse.ArgumentParser:
                              help="serve packed block reads from a memory map")
     serve_bench.add_argument("--seed", type=int, default=0,
                              help="RNG seed for the request index sequence")
+    serve_bench.add_argument("--json", type=Path, default=None, metavar="PATH",
+                             help="also write the measurements as machine-readable "
+                                  "JSON (requests/sec and us/request per mode)")
 
     stats = sub.add_parser("stats", help="compression ratio of a dictionary on a file")
     stats.add_argument("input", type=Path)
@@ -416,6 +422,16 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     print(f"  get_many   : {len(batches)} batches of <= {args.batch_size} in "
           f"{batched_s * 1e3:8.2f} ms ({batched_s / args.requests * 1e6:8.1f} us/req)")
 
+    def _mode(seconds: float) -> dict:
+        seconds = max(seconds, 1e-9)
+        return {
+            "seconds": round(seconds, 6),
+            "us_per_request": round(seconds / args.requests * 1e6, 2),
+            "requests_per_sec": round(args.requests / seconds, 1),
+        }
+
+    modes = {"single_get": _mode(single_s), "get_many": _mode(batched_s)}
+
     if packed:
         async def run_async() -> tuple:
             async with AsyncCorpusLibrary.open(
@@ -432,6 +448,27 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             return 1
         print(f"  async pool : {args.requests} requests over {args.pool_size} readers in "
               f"{async_s * 1e3:8.2f} ms ({async_s / args.requests * 1e6:8.1f} us/req)")
+        modes["async_pool"] = _mode(async_s)
+
+    if args.json is not None:
+        import json as _json
+
+        payload = {
+            "benchmark": "serve_bench",
+            "input": str(args.input),
+            "layout": "packed" if packed else "flat",
+            "mmap": bool(args.mmap and packed),
+            "records": total,
+            "requests": args.requests,
+            "batch_size": args.batch_size,
+            "pool_size": args.pool_size if packed else None,
+            "seed": args.seed,
+            "modes": modes,
+        }
+        args.json.write_text(
+            _json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"  wrote JSON -> {args.json}")
     return 0
 
 

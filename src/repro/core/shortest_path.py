@@ -9,7 +9,22 @@ Dijkstra search used by the paper reduces to a single backward dynamic
 programming sweep; the result (the cheapest symbol sequence) is identical.
 
 This module computes the optimal parse; the compressor turns the parse into
-output text.
+output text.  It is the package's *reference oracle*: the flat-array kernel
+(:mod:`repro.engine.kernel`) must reproduce its output byte for byte, so the
+implementation here favours clarity — while staying as cheap as a pure-Python
+oracle can be (integer costs, ``__slots__`` trie nodes, no redundant work).
+
+Deterministic tie-break (pinned by the golden fixtures)
+-------------------------------------------------------
+Several parses can share the minimal output length.  The parse chosen is fully
+deterministic: at every position the escape edge is the initial incumbent,
+candidate dictionary matches are examined in increasing pattern length (the
+order :meth:`~repro.dictionary.trie.Trie.matches_at` yields them), and a
+candidate replaces the incumbent only with a *strictly* lower cost.  At equal
+cost, therefore, the escape edge beats any match and the shortest match beats
+longer ones.  This rule is a format commitment: the byte-pinned fixtures under
+``tests/fixtures/`` encode it, so changing it (e.g. to longest-match-wins,
+which rewrites most fixture lines) is a declared format break, not a refactor.
 """
 
 from __future__ import annotations
@@ -55,18 +70,24 @@ def optimal_parse(text: str, trie: Trie) -> List[ParseStep]:
     """Compute the minimum-output-length parse of *text* against *trie*.
 
     Returns the list of steps from the beginning to the end of *text*.  The
-    empty string parses to an empty list.
+    empty string parses to an empty list.  Ties follow the pinned rule in the
+    module docstring: strict improvement only, so the escape edge wins at
+    equal cost and the shortest match wins among equal-cost matches.
+
+    Costs are small integers (edge weights are 1 and 2), so the DP runs on
+    ``int`` arithmetic; ``ESCAPE_COST * n + 1`` bounds every reachable cost
+    from above and serves as the unreached-position sentinel.
     """
     n = len(text)
     if n == 0:
         return []
     # cost[i] = minimal output length for text[i:], choice[i] = best step at i.
-    INF = float("inf")
-    cost: List[float] = [INF] * (n + 1)
+    infinity = ESCAPE_COST * n + 1
+    cost: List[int] = [infinity] * (n + 1)
     choice: List[Optional[ParseStep]] = [None] * (n + 1)
-    cost[n] = 0.0
+    cost[n] = 0
     for i in range(n - 1, -1, -1):
-        # Escape edge always available.
+        # Escape edge always available: the incumbent at every position.
         best_cost = ESCAPE_COST + cost[i + 1]
         best_step = ParseStep(
             start=i, length=1, symbol=None, pattern=text[i], cost=ESCAPE_COST

@@ -121,8 +121,9 @@ def compress_file(
 
     Deprecated shim: delegates to
     :meth:`repro.engine.ZSmilesEngine.compress_file`, which also accepts a
-    backend selection.  Output is byte-identical to the historical per-line
-    implementation.
+    backend selection.  Batches run through the flat-array kernel backend;
+    output stays byte-identical to the historical per-line implementation
+    (the kernel's parity contract).
 
     Parameters
     ----------
@@ -137,7 +138,7 @@ def compress_file(
     """
     from ..engine.engine import ZSmilesEngine
 
-    with ZSmilesEngine.from_codec(codec, backend="serial") as engine:
+    with ZSmilesEngine.from_codec(codec, backend="kernel") as engine:
         return engine.compress_file(input_path, output_path, progress=progress)
 
 
@@ -150,11 +151,12 @@ def decompress_file(
     """Decompress a ``.zsmi`` file back into a ``.smi`` file.
 
     Deprecated shim: delegates to
-    :meth:`repro.engine.ZSmilesEngine.decompress_file`.
+    :meth:`repro.engine.ZSmilesEngine.decompress_file` (flat-array kernel
+    backend, byte-identical to the per-line path).
     """
     from ..engine.engine import ZSmilesEngine
 
-    with ZSmilesEngine.from_codec(codec, backend="serial") as engine:
+    with ZSmilesEngine.from_codec(codec, backend="kernel") as engine:
         return engine.decompress_file(input_path, output_path, progress=progress)
 
 

@@ -107,6 +107,10 @@ class Trie:
         -------
         list of (length, pattern, payload)
             One entry per matching pattern, ordered by increasing length.
+            The ordering is load-bearing: the shortest-path DP's pinned
+            tie-break (see :mod:`repro.core.shortest_path`) examines
+            candidates in exactly this order, and the flat-array kernel
+            replicates it by walking its transition table depth-first.
         """
         out: List[Tuple[int, str, Optional[str]]] = []
         node = self._root

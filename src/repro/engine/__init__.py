@@ -1,15 +1,39 @@
 """Unified, backend-pluggable compression engine (the batch-first surface).
 
 Everything the package can do to a batch of SMILES — serial in-process
-compression, process-pool data parallelism, baseline codecs — lives behind
-one protocol (:class:`CompressionBackend`), one facade (:class:`ZSmilesEngine`)
-and one configuration object (:class:`EngineConfig`).
+compression, the flat-array batch kernel, process-pool data parallelism,
+baseline codecs — lives behind one protocol (:class:`CompressionBackend`),
+one facade (:class:`ZSmilesEngine`) and one configuration object
+(:class:`EngineConfig`).
+
+Kernel vs reference
+-------------------
+The engine has two in-process parse implementations with one invariant:
+**byte-identical output**.
+
+* The **kernel** (:mod:`repro.engine.kernel`, backend name ``"kernel"``) is
+  the default single-process hot path: the dictionary trie compiled once into
+  flat integer transition arrays (:class:`~repro.engine.kernel.CodecAutomaton`),
+  the shortest-path DP run over preallocated scratch, output emitted into a
+  reused ``bytearray``.  Process-pool workers and the ``.zss`` block decoder
+  run the same kernel.
+* The **reference** (backend name ``"serial"``) is the seed's per-line
+  trie walk (:func:`~repro.core.shortest_path.optimal_parse`); it stays the
+  readable oracle that defines correct bytes — including the deterministic
+  tie-break the golden fixtures pin (see :mod:`repro.core.shortest_path`).
+
+Select the oracle with ``EngineConfig(parser="reference")`` (routes ``auto``
+batches and pool workers through it) or per call with
+``compress_batch(..., backend="serial")``.  Parity is enforced by
+``tests/engine/test_kernel.py``, the golden fixtures and a hypothesis suite;
+``benchmarks/test_throughput.py`` records the speedup in ``BENCH_codec.json``.
 """
 
 from .backends import (
     BackendStats,
     BatchResult,
     CompressionBackend,
+    KernelBackend,
     ProcessPoolBackend,
     SerialBackend,
     available_backends,
@@ -22,24 +46,33 @@ from .baselines import BaselineBackend
 from .config import (
     AUTO_BACKEND,
     BACKEND_CHOICES,
+    KERNEL_BACKEND,
+    PARSER_CHOICES,
     PROCESS_BACKEND,
     SERIAL_BACKEND,
     EngineConfig,
     EngineConfigError,
 )
 from .engine import ZSmilesEngine
+from .kernel import BlockKernel, CodecAutomaton, KernelUnsupportedError
 
 __all__ = [
     "AUTO_BACKEND",
     "BACKEND_CHOICES",
+    "KERNEL_BACKEND",
+    "PARSER_CHOICES",
     "PROCESS_BACKEND",
     "SERIAL_BACKEND",
     "BackendStats",
     "BatchResult",
     "BaselineBackend",
+    "BlockKernel",
+    "CodecAutomaton",
     "CompressionBackend",
     "EngineConfig",
     "EngineConfigError",
+    "KernelBackend",
+    "KernelUnsupportedError",
     "ProcessPoolBackend",
     "SerialBackend",
     "ZSmilesEngine",

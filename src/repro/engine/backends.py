@@ -3,15 +3,20 @@
 A backend takes a batch of records and returns a :class:`BatchResult` with the
 transformed records (order preserved, one output per input), the aggregate
 :class:`~repro.core.codec.CodecStats` of the batch, and the wall time spent.
-Two backends operate on a :class:`~repro.core.codec.ZSmilesCodec`:
+Three backends operate on a :class:`~repro.core.codec.ZSmilesCodec`:
 
 * :class:`SerialBackend` — in-process loop over the per-line compressor /
   decompressor; the reference implementation every other backend must match
   byte for byte.
+* :class:`KernelBackend` — in-process flat-array batch kernel
+  (:class:`~repro.engine.kernel.BlockKernel`); byte-identical to the serial
+  reference but several times faster, and the default single-process path
+  (``EngineConfig.parser``).
 * :class:`ProcessPoolBackend` — data parallelism across CPU cores (the
   pure-Python analogue of the paper's CUDA grid); chunks the batch, ships each
   chunk to a worker process that holds a copy of the codec, and reassembles
-  results in order.
+  results in order.  Workers run the block kernel too unless the engine is
+  configured for the reference parser.
 
 Baseline compressors are adapted to the same protocol in
 :mod:`repro.engine.baselines`.  Backends register themselves by name so the
@@ -30,7 +35,14 @@ from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple, ru
 from ..core.codec import CodecStats, ZSmilesCodec
 from ..core.compressor import record_bytes
 from ..errors import ParallelExecutionError
-from .config import EngineConfig, PROCESS_BACKEND, SERIAL_BACKEND
+from .config import (
+    EngineConfig,
+    KERNEL_BACKEND,
+    KERNEL_PARSER,
+    PROCESS_BACKEND,
+    SERIAL_BACKEND,
+)
+from .kernel import BlockKernel
 
 
 @dataclass
@@ -102,19 +114,26 @@ class CompressionBackend(Protocol):
 # --------------------------------------------------------------------------- #
 # Worker-process plumbing (module level so the spawn context can pickle it).
 # The codec is sent once per worker through the pool initializer instead of
-# once per task: the trie is by far the largest object involved.
+# once per task: the trie is by far the largest object involved.  Each worker
+# compiles its own flat-array kernel from the codec at init time (unless the
+# engine asked for the reference parser), so chunk processing runs the same
+# allocation-free hot loop as the in-process kernel backend.
 # --------------------------------------------------------------------------- #
 _WORKER_CODEC: Optional[ZSmilesCodec] = None
+_WORKER_KERNEL: Optional[BlockKernel] = None
 
 
-def _init_worker(codec: ZSmilesCodec) -> None:
-    global _WORKER_CODEC
+def _init_worker(codec: ZSmilesCodec, use_kernel: bool = True) -> None:
+    global _WORKER_CODEC, _WORKER_KERNEL
     _WORKER_CODEC = codec
+    _WORKER_KERNEL = BlockKernel(codec) if use_kernel else None
 
 
 def _compress_chunk(chunk: List[str]) -> Tuple[List[str], int, int]:
     """Compress one chunk; returns (records, matches, escapes)."""
     assert _WORKER_CODEC is not None, "worker initialized without a codec"
+    if _WORKER_KERNEL is not None:
+        return _WORKER_KERNEL.compress_block(chunk)
     out: List[str] = []
     matches = 0
     escapes = 0
@@ -129,6 +148,8 @@ def _compress_chunk(chunk: List[str]) -> Tuple[List[str], int, int]:
 def _decompress_chunk(chunk: List[str]) -> Tuple[List[str], int, int]:
     """Decompress one chunk; returns (records, 0, 0)."""
     assert _WORKER_CODEC is not None, "worker initialized without a codec"
+    if _WORKER_KERNEL is not None:
+        return _WORKER_KERNEL.decompress_block(chunk), 0, 0
     return [_WORKER_CODEC.decompress(line) for line in chunk], 0, 0
 
 
@@ -201,6 +222,53 @@ class SerialBackend:
         return self._stats
 
 
+class KernelBackend:
+    """In-process flat-array kernel backend (the default hot path).
+
+    Runs the :class:`~repro.engine.kernel.BlockKernel` batch loop: the
+    dictionary compiled once into a :class:`~repro.engine.kernel.CodecAutomaton`,
+    then every line of every batch parsed over preallocated integer arrays.
+    Byte-identical to :class:`SerialBackend` — including statistics and error
+    messages — just faster; the parity is pinned by the golden fixtures and
+    the kernel test suite.
+    """
+
+    name = KERNEL_BACKEND
+
+    def __init__(self, codec: ZSmilesCodec, config: Optional[EngineConfig] = None):
+        self.codec = codec
+        self.kernel = BlockKernel(codec)
+        self._stats = BackendStats()
+
+    # ------------------------------------------------------------------ #
+    def compress_batch(self, records: Sequence[str]) -> BatchResult:
+        started = time.perf_counter()
+        out, matches, escapes = self.kernel.compress_block(records)
+        result = BatchResult(
+            records=out,
+            stats=_batch_stats(records, out, matches, escapes, compressing=True),
+            wall_time=time.perf_counter() - started,
+            backend=self.name,
+        )
+        self._stats.record(result)
+        return result
+
+    def decompress_batch(self, records: Sequence[str]) -> BatchResult:
+        started = time.perf_counter()
+        out = self.kernel.decompress_block(records)
+        result = BatchResult(
+            records=out,
+            stats=_batch_stats(records, out, 0, 0, compressing=False),
+            wall_time=time.perf_counter() - started,
+            backend=self.name,
+        )
+        self._stats.record(result)
+        return result
+
+    def stats(self) -> BackendStats:
+        return self._stats
+
+
 class ProcessPoolBackend:
     """Spawn-based process-pool backend over a :class:`ZSmilesCodec`.
 
@@ -218,6 +286,7 @@ class ProcessPoolBackend:
         self.codec = codec
         self.workers = config.jobs or default_worker_count()
         self.chunk_size = config.chunk_size
+        self.use_kernel = config.parser == KERNEL_PARSER
         self._stats = BackendStats()
         self._pool: Optional[ProcessPoolExecutor] = None
 
@@ -242,7 +311,7 @@ class ProcessPoolBackend:
                 max_workers=self.workers,
                 mp_context=multiprocessing.get_context("spawn"),
                 initializer=_init_worker,
-                initargs=(self.codec,),
+                initargs=(self.codec, self.use_kernel),
             )
         return self._pool
 
@@ -350,4 +419,5 @@ def available_backends() -> List[str]:
 
 
 register_backend(SERIAL_BACKEND, SerialBackend)
+register_backend(KERNEL_BACKEND, KernelBackend)
 register_backend(PROCESS_BACKEND, ProcessPoolBackend)

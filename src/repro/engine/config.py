@@ -22,12 +22,19 @@ from ..errors import ReproError
 from ..preprocess.pipeline import PreprocessingPipeline, make_pipeline
 from ..preprocess.ring_renumber import RingRenumberPolicy
 
-#: Backend name that defers the serial / process choice to the batch size.
+#: Backend name that defers the kernel / process choice to the batch size.
 AUTO_BACKEND = "auto"
-#: Name of the in-process backend.
+#: Name of the in-process reference backend (the per-line oracle).
 SERIAL_BACKEND = "serial"
+#: Name of the in-process flat-array kernel backend (the default hot path).
+KERNEL_BACKEND = "kernel"
 #: Name of the process-pool backend.
 PROCESS_BACKEND = "process"
+
+#: Parser implementations selectable through :attr:`EngineConfig.parser`.
+KERNEL_PARSER = "kernel"
+REFERENCE_PARSER = "reference"
+PARSER_CHOICES: Tuple[str, ...] = (KERNEL_PARSER, REFERENCE_PARSER)
 
 
 class EngineConfigError(ReproError):
@@ -52,10 +59,19 @@ class EngineConfig:
         ``"innermost"`` (paper default) or ``"outermost"``.
     strategy:
         Optimal shortest-path parsing (paper) or greedy longest match.
+    parser:
+        In-process parse implementation: ``"kernel"`` (default — the
+        flat-array batch automaton of :mod:`repro.engine.kernel`) or
+        ``"reference"`` (the original per-line trie walk, kept as the
+        byte-parity oracle).  Both produce identical bytes; the choice only
+        affects speed and applies to the ``"auto"`` route and the
+        process-pool workers.  Selecting ``backend="serial"`` or
+        ``backend="kernel"`` explicitly overrides this knob.
     backend:
-        Execution backend name: ``"serial"``, ``"process"`` or ``"auto"``.
-        ``"auto"`` runs batches of at least *parallel_threshold* records on
-        the process pool and everything smaller in-process.
+        Execution backend name: ``"serial"``, ``"kernel"``, ``"process"``
+        or ``"auto"``.  ``"auto"`` runs batches of at least
+        *parallel_threshold* records on the process pool and everything
+        smaller in-process (through the configured *parser*).
     jobs:
         Worker processes for the process-pool backend (``None`` = CPU count).
     chunk_size:
@@ -78,6 +94,7 @@ class EngineConfig:
 
     # Parsing (Section IV-D1).
     strategy: ParseStrategy = ParseStrategy.OPTIMAL
+    parser: str = KERNEL_PARSER
 
     # Execution backend.
     backend: str = AUTO_BACKEND
@@ -91,6 +108,10 @@ class EngineConfig:
         if isinstance(self.prepopulation, str):
             object.__setattr__(
                 self, "prepopulation", PrePopulation.from_name(self.prepopulation)
+            )
+        if self.parser not in PARSER_CHOICES:
+            raise EngineConfigError(
+                f"parser must be one of {PARSER_CHOICES}, got {self.parser!r}"
             )
         if self.jobs is not None and self.jobs < 1:
             raise EngineConfigError("jobs must be >= 1")
@@ -125,15 +146,22 @@ class EngineConfig:
         ``"auto"`` picks the process pool for large batches (at least
         *parallel_threshold* records) unless the pool is configured down to a
         single worker, in which case spawning processes can never pay off.
+        Small batches run in-process through the configured *parser*: the
+        flat-array kernel by default, the reference oracle on request.
         """
         if self.backend != AUTO_BACKEND:
             return self.backend
         if self.jobs == 1 or batch_size < self.parallel_threshold:
-            return SERIAL_BACKEND
+            return KERNEL_BACKEND if self.parser == KERNEL_PARSER else SERIAL_BACKEND
         return PROCESS_BACKEND
 
 
 #: Names accepted by the CLI and the engine for backend selection.
-BACKEND_CHOICES: Tuple[str, ...] = (SERIAL_BACKEND, PROCESS_BACKEND, AUTO_BACKEND)
+BACKEND_CHOICES: Tuple[str, ...] = (
+    SERIAL_BACKEND,
+    KERNEL_BACKEND,
+    PROCESS_BACKEND,
+    AUTO_BACKEND,
+)
 
 ConfigLike = Union[EngineConfig, None]

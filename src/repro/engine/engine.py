@@ -11,8 +11,13 @@ One :class:`~repro.engine.config.EngineConfig` describes dictionary training,
 preprocessing, parsing and backend selection; every batch operation returns a
 :class:`~repro.engine.backends.BatchResult` with the transformed records, the
 aggregate :class:`~repro.core.codec.CodecStats` and the wall time.  With
-``backend="auto"`` (the default) small batches run in-process and large ones
-on the process pool, so callers never hand-roll the dispatch decision.
+``backend="auto"`` (the default) small batches run in-process through the
+flat-array kernel (:mod:`repro.engine.kernel`) and large ones on the process
+pool (whose workers run the same kernel), so callers never hand-roll the
+dispatch decision.  ``EngineConfig(parser="reference")`` or
+``backend="serial"`` select the per-line reference oracle instead — byte
+parity between the two is the engine's core invariant (see
+:mod:`repro.engine` for the full kernel-vs-reference contract).
 """
 
 from __future__ import annotations

@@ -1,0 +1,410 @@
+"""Flat-array codec kernel: the engine's allocation-free batch hot loop.
+
+The reference parse (:func:`repro.core.shortest_path.optimal_parse`) walks a
+pointer-based :class:`~repro.dictionary.trie.TrieNode` graph and allocates one
+``ParseStep`` dataclass per chosen edge — clean, but every layer of the system
+(engine batches, ``.zss`` block packing, sharded serving) funnels through it,
+so its per-character Python overhead multiplies.  This module compiles the
+dictionary into a :class:`CodecAutomaton` — the trie flattened into contiguous
+integer arrays — and runs the same shortest-path dynamic program over
+preallocated integer scratch arrays, emitting straight into a reused
+``bytearray``.  No ``TrieNode``, no ``ParseStep``, no per-position objects.
+
+Parity contract
+---------------
+The kernel is **byte-identical** to the reference path, including the
+deterministic tie-break pinned by the golden fixtures (see
+:mod:`repro.core.shortest_path`): the escape edge is the initial incumbent,
+candidate matches are examined in increasing pattern length, and a candidate
+wins only with a *strictly* lower cost.  Statistics (match / escape counts)
+and error messages also match the reference exactly.  ``tests/engine/
+test_kernel.py`` and ``tests/test_golden_parity.py`` enforce this contract
+against the pinned fixtures, every registered backend and a hypothesis
+property suite.
+
+Both texts sides of the codec live in Latin-1 (plain SMILES are ASCII;
+compressed symbols stop at U+00FF — the paper's "extended ASCII"), which is
+what makes flat 256-wide tables possible.  Inputs or tables that step outside
+Latin-1 transparently fall back to the reference implementation line by line,
+so the kernel never changes behaviour, only speed.
+
+Selection
+---------
+:class:`BlockKernel` wraps one :class:`~repro.core.codec.ZSmilesCodec` and is
+what the execution layers use: the ``"kernel"`` engine backend (the default
+in-process path — ``EngineConfig(parser="reference")`` restores the oracle),
+process-pool workers, and the ``.zss`` block decoder.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.compressor import ParseStrategy
+from ..core.shortest_path import ESCAPE_COST as _ESCAPE_COST
+from ..core.shortest_path import MATCH_COST as _MATCH_COST
+from ..dictionary.codec_table import CodecTable
+from ..errors import CompressionError, DecompressionError, ReproError
+from ..smiles.alphabet import ESCAPE_CHAR
+
+#: Transition-table width: one slot per Latin-1 code point.
+ALPHABET_SIZE = 256
+
+#: Byte value of the escape marker (a space).
+ESCAPE_BYTE = ord(ESCAPE_CHAR)
+
+
+class KernelUnsupportedError(ReproError):
+    """Raised when a codec table cannot be compiled into a flat automaton."""
+
+
+class CodecAutomaton:
+    """The dictionary trie compiled into contiguous integer arrays.
+
+    The automaton has one state per trie node.  Three parallel flat arrays
+    describe it:
+
+    * ``transitions`` — ``num_states * 256`` ints; ``transitions[(s << 8) | b]``
+      is the next state after reading byte ``b`` in state ``s`` (-1 = no edge),
+    * ``accept_length`` — pattern length terminating at each state (0 = none),
+    * ``accept_symbol`` — symbol byte emitted for that pattern (-1 = none).
+
+    All compression work then happens over ``bytes`` / ``bytearray`` and
+    preallocated integer lists: the DP cost table, the per-position best
+    (length, symbol) choice, and the output buffer are built once and reused
+    across every line of every block.  Because that scratch state is reused,
+    the ``compress_line_*`` methods are not re-entrant — each backend /
+    worker process owns its own automaton.  ``decompress_line`` is
+    re-entrant (it serves concurrent block decodes).
+    """
+
+    __slots__ = (
+        "table",
+        "num_states",
+        "max_pattern_length",
+        "_transitions",
+        "_accept_length",
+        "_accept_symbol",
+        "_patterns_by_byte",
+        "_cost",
+        "_best_length",
+        "_best_symbol",
+        "_buffer",
+    )
+
+    def __init__(self, table: CodecTable):
+        self.table = table
+        transitions: List[int] = [-1] * ALPHABET_SIZE
+        accept_length: List[int] = [0]
+        accept_symbol: List[int] = [-1]
+        patterns_by_byte: List[Optional[bytes]] = [None] * ALPHABET_SIZE
+        num_states = 1
+        for entry in table:
+            try:
+                pattern = entry.pattern.encode("latin-1")
+                symbol = entry.symbol.encode("latin-1")
+            except UnicodeEncodeError:
+                raise KernelUnsupportedError(
+                    f"entry {entry.symbol!r} -> {entry.pattern!r} is outside "
+                    "Latin-1; the flat automaton cannot represent it"
+                ) from None
+            state = 0
+            for byte in pattern:
+                slot = (state << 8) | byte
+                nxt = transitions[slot]
+                if nxt < 0:
+                    nxt = num_states
+                    num_states += 1
+                    transitions[slot] = nxt
+                    transitions.extend([-1] * ALPHABET_SIZE)
+                    accept_length.append(0)
+                    accept_symbol.append(-1)
+                state = nxt
+            accept_length[state] = len(pattern)
+            accept_symbol[state] = symbol[0]
+            patterns_by_byte[symbol[0]] = pattern
+        self.num_states = num_states
+        self.max_pattern_length = table.max_pattern_length
+        self._transitions = transitions
+        self._accept_length = accept_length
+        self._accept_symbol = accept_symbol
+        self._patterns_by_byte = patterns_by_byte
+        # Reusable scratch: DP tables sized to the longest line seen so far.
+        self._cost: List[int] = []
+        self._best_length: List[int] = []
+        self._best_symbol: List[int] = []
+        self._buffer = bytearray()
+
+    @classmethod
+    def try_from_table(cls, table: CodecTable) -> Optional["CodecAutomaton"]:
+        """Compile *table*, or ``None`` when it cannot be represented."""
+        try:
+            return cls(table)
+        except KernelUnsupportedError:
+            return None
+
+    # ------------------------------------------------------------------ #
+    # Compression
+    # ------------------------------------------------------------------ #
+    def _reserve(self, n: int) -> None:
+        """Grow the DP scratch arrays to hold a line of *n* characters."""
+        if len(self._cost) <= n:
+            grow = n + 1 - len(self._cost)
+            self._cost.extend([0] * grow)
+            self._best_length.extend([1] * grow)
+            self._best_symbol.extend([-1] * grow)
+
+    def compress_line_optimal(self, data: bytes) -> Tuple[str, int, int]:
+        """Shortest-path compression of one Latin-1 line.
+
+        Returns ``(compressed, matches, escapes)``; the parse replicates
+        :func:`~repro.core.shortest_path.optimal_parse` exactly, tie-break
+        included (strict improvement over the escape incumbent, matches
+        visited in increasing length).
+        """
+        n = len(data)
+        if n == 0:
+            return "", 0, 0
+        self._reserve(n)
+        transitions = self._transitions
+        accept_length = self._accept_length
+        accept_symbol = self._accept_symbol
+        cost = self._cost
+        best_length = self._best_length
+        best_symbol = self._best_symbol
+        cost[n] = 0
+        for i in range(n - 1, -1, -1):
+            # Escape edge: always available, the incumbent at every position.
+            best_cost = _ESCAPE_COST + cost[i + 1]
+            chosen_length = 1
+            chosen_symbol = -1
+            state = 0
+            j = i
+            while j < n:
+                state = transitions[(state << 8) | data[j]]
+                if state < 0:
+                    break
+                j += 1
+                length = accept_length[state]
+                if length:
+                    candidate = _MATCH_COST + cost[j]
+                    if candidate < best_cost:
+                        best_cost = candidate
+                        chosen_length = length
+                        chosen_symbol = accept_symbol[state]
+            cost[i] = best_cost
+            best_length[i] = chosen_length
+            best_symbol[i] = chosen_symbol
+        return self._emit(data, n, best_length, best_symbol)
+
+    def compress_line_greedy(self, data: bytes) -> Tuple[str, int, int]:
+        """Longest-match greedy compression of one Latin-1 line."""
+        n = len(data)
+        if n == 0:
+            return "", 0, 0
+        transitions = self._transitions
+        accept_length = self._accept_length
+        accept_symbol = self._accept_symbol
+        buffer = self._buffer
+        del buffer[:]
+        matches = 0
+        escapes = 0
+        pos = 0
+        while pos < n:
+            state = 0
+            j = pos
+            longest_end = -1
+            longest_symbol = -1
+            while j < n:
+                state = transitions[(state << 8) | data[j]]
+                if state < 0:
+                    break
+                j += 1
+                if accept_length[state]:
+                    longest_end = j
+                    longest_symbol = accept_symbol[state]
+            if longest_end < 0:
+                buffer.append(ESCAPE_BYTE)
+                buffer.append(data[pos])
+                escapes += 1
+                pos += 1
+            else:
+                buffer.append(longest_symbol)
+                matches += 1
+                pos = longest_end
+        return buffer.decode("latin-1"), matches, escapes
+
+    def _emit(
+        self, data: bytes, n: int, best_length: List[int], best_symbol: List[int]
+    ) -> Tuple[str, int, int]:
+        """Walk the chosen edges forward, writing into the reused buffer."""
+        buffer = self._buffer
+        del buffer[:]
+        matches = 0
+        escapes = 0
+        pos = 0
+        while pos < n:
+            symbol = best_symbol[pos]
+            if symbol < 0:
+                buffer.append(ESCAPE_BYTE)
+                buffer.append(data[pos])
+                escapes += 1
+                pos += 1
+            else:
+                buffer.append(symbol)
+                matches += 1
+                pos += best_length[pos]
+        return buffer.decode("latin-1"), matches, escapes
+
+    # ------------------------------------------------------------------ #
+    # Decompression
+    # ------------------------------------------------------------------ #
+    def decompress_line(self, data: bytes) -> str:
+        """Decode one Latin-1 compressed record back to SMILES text.
+
+        Unlike the compression scratch arrays this allocates a local buffer:
+        decompression serves concurrent readers (the ``.zss`` block decode
+        path is hammered from multiple threads), so it must stay re-entrant.
+        """
+        n = len(data)
+        patterns = self._patterns_by_byte
+        buffer = bytearray()
+        i = 0
+        while i < n:
+            byte = data[i]
+            if byte == ESCAPE_BYTE:
+                i += 1
+                if i >= n:
+                    raise DecompressionError("dangling escape marker at end of record")
+                buffer.append(data[i])
+                i += 1
+            else:
+                pattern = patterns[byte]
+                if pattern is None:
+                    raise DecompressionError(
+                        f"symbol {chr(byte)!r} (U+{byte:04X}) is not in the dictionary"
+                    )
+                buffer += pattern
+                i += 1
+        return buffer.decode("latin-1")
+
+
+class BlockKernel:
+    """Batch compression / decompression of one codec through the automaton.
+
+    The kernel owns the fallbacks that keep it a pure optimisation:
+
+    * a table outside Latin-1 means no automaton — every line runs through the
+      reference compressor / decompressor;
+    * a single line outside Latin-1 (only reachable through escape-heavy
+      non-SMILES input) falls back for that line only.
+
+    ``compress_block`` applies the codec's preprocessing pipeline, honours its
+    parse strategy (optimal or greedy) and returns the aggregate match /
+    escape counters the engine's statistics need.
+    """
+
+    __slots__ = ("codec", "automaton", "_greedy", "_compress_lock")
+
+    def __init__(self, codec):
+        self.codec = codec
+        self.automaton = CodecAutomaton.try_from_table(codec.table)
+        self._greedy = codec.compressor.strategy is ParseStrategy.GREEDY
+        # The automaton's DP scratch is reused across lines, so concurrent
+        # compress calls must serialize.  One acquire per block is noise next
+        # to the work, and pure-Python compression holds the GIL anyway —
+        # threads never gained compression parallelism here.  Decompression
+        # takes no lock: its kernel path is re-entrant by construction.
+        self._compress_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    def compress_block(self, lines: Sequence[str]) -> Tuple[List[str], int, int]:
+        """Compress *lines*; returns ``(records, matches, escapes)``.
+
+        Thread-safe: the shared DP scratch is guarded, so a cached
+        :class:`~repro.engine.backends.KernelBackend` (the engine's default
+        in-process path) can be driven from several threads like the
+        stateless reference backend could.
+        """
+        with self._compress_lock:
+            return self._compress_block_locked(lines)
+
+    def _compress_block_locked(self, lines: Sequence[str]) -> Tuple[List[str], int, int]:
+        automaton = self.automaton
+        codec = self.codec
+        if automaton is None:
+            return self._compress_reference(lines)
+        preprocess = codec.pipeline
+        compress_line = (
+            automaton.compress_line_greedy
+            if self._greedy
+            else automaton.compress_line_optimal
+        )
+        out: List[str] = []
+        append = out.append
+        matches = 0
+        escapes = 0
+        for raw in lines:
+            line = preprocess(raw)
+            if "\n" in line or "\r" in line:
+                raise CompressionError("input record must not contain line terminators")
+            try:
+                data = line.encode("latin-1")
+            except UnicodeEncodeError:
+                record = codec.compressor.compress_record(line)
+                append(record.compressed)
+                matches += record.matches
+                escapes += record.escapes
+                continue
+            compressed, line_matches, line_escapes = compress_line(data)
+            append(compressed)
+            matches += line_matches
+            escapes += line_escapes
+        return out, matches, escapes
+
+    def decompress_block(self, lines: Sequence[str]) -> List[str]:
+        """Decompress *lines* (one output per input, order preserved)."""
+        automaton = self.automaton
+        if automaton is None:
+            return [self.codec.decompress(line) for line in lines]
+        decompress_line = automaton.decompress_line
+        reference = self.codec.decompressor.decompress_line
+        out: List[str] = []
+        append = out.append
+        for line in lines:
+            if "\n" in line or "\r" in line:
+                raise DecompressionError(
+                    "compressed record must not contain line terminators"
+                )
+            try:
+                data = line.encode("latin-1")
+            except UnicodeEncodeError:
+                # Escaped literals beyond U+00FF can only come from non-SMILES
+                # input; the reference path decodes (or rejects) them exactly.
+                append(reference(line))
+                continue
+            append(decompress_line(data))
+        return out
+
+    # ------------------------------------------------------------------ #
+    def _compress_reference(self, lines: Sequence[str]) -> Tuple[List[str], int, int]:
+        """Whole-block reference fallback (non-Latin-1 dictionary)."""
+        out: List[str] = []
+        matches = 0
+        escapes = 0
+        for line in lines:
+            record = self.codec.compress_record(line)
+            out.append(record.compressed)
+            matches += record.matches
+            escapes += record.escapes
+        return out, matches, escapes
+
+
+__all__ = [
+    "ALPHABET_SIZE",
+    "ESCAPE_BYTE",
+    "BlockKernel",
+    "CodecAutomaton",
+    "KernelUnsupportedError",
+]

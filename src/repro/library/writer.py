@@ -3,8 +3,10 @@
 A library pack splits the corpus into N contiguous chunks, packs each chunk
 into its own ``.zss`` shard through the
 :class:`~repro.engine.ZSmilesEngine` batch surface (``backend="auto"`` /
-``jobs`` spread each shard's blocks over the process pool), and writes the
-``library.json`` manifest recording every shard's global record range.
+``jobs`` spread each shard's blocks over the process pool; every path —
+in-process and worker — compresses through the flat-array kernel of
+:mod:`repro.engine.kernel`), and writes the ``library.json`` manifest
+recording every shard's global record range.
 
 Because records are compressed one line at a time, the shard split never
 changes the stored bytes: a 4-shard library holds exactly the records a

@@ -23,13 +23,71 @@ an identifier), so the renumbered string describes exactly the same molecule.
 
 from __future__ import annotations
 
-from typing import Dict, List, Literal, Sequence
+import re
+from typing import Dict, List, Literal, Optional, Sequence, Tuple
 
 from ..errors import RingNumberingError
 from ..smiles.rings import RingSpan, pair_ring_bonds
-from ..smiles.tokenizer import Token, TokenType, tokenize
+from ..smiles.tokenizer import BRACKET_ATOM_PATTERN, Token, TokenType, tokenize
 
 RingRenumberPolicy = Literal["innermost", "outermost"]
+
+# --------------------------------------------------------------------------- #
+# Fast scan (structure-identical to the tokenizer path)
+# --------------------------------------------------------------------------- #
+# Ring-bond tokens are exactly the digits / %nn pairs *outside* bracket atoms,
+# so renumbering does not need full tokenization — only their positions.  The
+# fast path below first validates the whole line with one C-speed regex whose
+# bracket-atom alternative is the tokenizer's own pattern (imported, so the
+# two grammars cannot drift); anything the regex does not accept (malformed
+# brackets, stray or non-ASCII characters, a dangling %) falls back to the
+# token path so errors surface exactly as before.  Ring spans then carry
+# character positions instead of token indices — a strictly monotone
+# re-indexing, so every comparison :func:`assign_ring_ids` makes (span
+# overlap, innermost/outermost ordering) is unchanged and the assigned
+# identifiers are provably identical to the token path's.  All three regexes
+# are ASCII-flagged: exotic digit-likes (Unicode Nd, superscripts) always
+# take the token path, which reproduces the historical behaviour for them.
+
+#: Whole-line validity gate for the fast path: bracket atoms, %nn / digit ring
+#: bonds, two-char organics before their one-char prefixes, aromatics, bonds,
+#: branches, dot and wildcard — the tokenizer's grammar, as one alternation.
+_FAST_VALID_RE = re.compile(
+    "(?:"
+    + BRACKET_ATOM_PATTERN
+    + r"|%\d\d|\d|Cl|Br|[BCNOPSFI]|[bcnops]|[-=#$:/\\~().*])*\Z",
+    re.ASCII,
+)
+
+#: Candidate scan: bracket atoms are consumed (their digits are isotopes,
+#: hydrogen counts, charges or atom classes — never ring bonds), leaving the
+#: true ring-bond tokens.  Loose bracket contents are safe here because the
+#: strict validity gate already ran, and both patterns end at the first ``]``.
+_RING_TOKEN_RE = re.compile(r"\[[^\]]*\]|%\d\d|\d", re.ASCII)
+
+#: Cheap "any ring identifier at all?" probe replacing a per-character loop.
+_MAYBE_RING_RE = re.compile(r"[%\d]", re.ASCII)
+
+
+def _fast_ring_positions(smiles: str) -> Optional[List[Tuple[int, int, int]]]:
+    """Ring-bond tokens of *smiles* as ``(position, length, ring_id)`` triples.
+
+    Returns ``None`` when the line is outside the fast path's validated
+    grammar (the caller falls back to the tokenizer, which raises the
+    canonical errors for genuinely malformed input).
+    """
+    if _FAST_VALID_RE.match(smiles) is None:
+        return None
+    out: List[Tuple[int, int, int]] = []
+    for match in _RING_TOKEN_RE.finditer(smiles):
+        text = match.group()
+        if text[0] == "[":
+            continue
+        if text[0] == "%":
+            out.append((match.start(), 3, int(text[1:])))
+        else:
+            out.append((match.start(), 1, int(text)))
+    return out
 
 
 def _format_ring_token(ring_id: int, explicit_percent: bool) -> str:
@@ -127,8 +185,56 @@ def renumber_rings(
     This is the preprocessing transformation evaluated in Table I.  The output
     is a valid SMILES describing the same molecule; strings without ring bonds
     are returned unchanged.
+
+    Implementation note: lines matching the tokenizer's grammar run through a
+    regex scan that locates ring-bond tokens without building ``Token``
+    objects (this function sits on the batch compression hot path); output is
+    byte-identical to the token path, which remains the fallback for anything
+    unusual.
     """
-    if not any(ch.isdigit() or ch == "%" for ch in smiles):
+    if _MAYBE_RING_RE.search(smiles) is None:
+        # No ASCII ring identifier.  ASCII lines (the entire hot path) are
+        # returned unchanged; non-ASCII lines may still contain exotic
+        # digit-likes (Unicode Nd, superscripts) that the historical
+        # ``str.isdigit`` probe accepted, so they keep the token-path
+        # behaviour — including its errors — exactly.
+        if smiles.isascii() or not any(ch.isdigit() for ch in smiles):
+            return smiles
+        tokens = tokenize(smiles)
+        return "".join(renumber_tokens(tokens, policy=policy, start_id=start_id))
+    positions = _fast_ring_positions(smiles)
+    if positions is None:
+        tokens = tokenize(smiles)
+        return "".join(renumber_tokens(tokens, policy=policy, start_id=start_id))
+    if not positions:
         return smiles
-    tokens = tokenize(smiles)
-    return "".join(renumber_tokens(tokens, policy=policy, start_id=start_id))
+    # Pair identifiers: first occurrence opens, second closes, then reusable.
+    open_rings: Dict[int, int] = {}
+    spans: List[RingSpan] = []
+    lengths: Dict[int, int] = {}
+    for position, length, ring_id in positions:
+        lengths[position] = length
+        if ring_id in open_rings:
+            spans.append(RingSpan(ring_id, open_rings.pop(ring_id), position))
+        else:
+            open_rings[ring_id] = position
+    if open_rings:
+        unclosed = sorted(open_rings)
+        raise RingNumberingError(f"unclosed ring bond identifier(s): {unclosed}")
+    spans.sort(key=lambda span: span.open_index)
+    assignment = assign_ring_ids(spans, policy=policy, start_id=start_id)
+    # Splice the new identifier texts over the old tokens, left to right.
+    replacements: List[Tuple[int, int, str]] = []
+    for span, ring_id in assignment.items():
+        text = _format_ring_token(ring_id, explicit_percent=ring_id > 9)
+        replacements.append((span.open_index, lengths[span.open_index], text))
+        replacements.append((span.close_index, lengths[span.close_index], text))
+    replacements.sort()
+    parts: List[str] = []
+    cursor = 0
+    for position, length, text in replacements:
+        parts.append(smiles[cursor:position])
+        parts.append(text)
+        cursor = position + length
+    parts.append(smiles[cursor:])
+    return "".join(parts)

@@ -74,19 +74,17 @@ _ONE_CHAR_ORGANIC = tuple(sym for sym in ORGANIC_SUBSET if len(sym) == 1)
 _AROMATIC = set(AROMATIC_ORGANIC)
 _BOND_CHARS = set("-=#$:/\\~")
 
-_BRACKET_RE = re.compile(
-    r"""
-    \[
-    (?P<isotope>\d+)?
-    (?P<symbol>\*|[A-Z][a-z]?|[a-z][a-z]?)
-    (?P<chiral>@{1,2}(?:TH[12]|AL[12]|SP[1-3]|TB\d{1,2}|OH\d{1,2})?)?
-    (?P<hcount>H\d*)?
-    (?P<charge>\+\d+|-\d+|\+{1,3}|-{1,3})?
-    (?::(?P<cls>\d+))?
-    \]
-    """,
-    re.VERBOSE,
+#: The bracket-atom grammar as one non-capturing pattern string.  This is the
+#: single source of truth: the tokenizer compiles it directly, and the
+#: ring-renumbering fast path (:mod:`repro.preprocess.ring_renumber`) embeds
+#: it in its whole-line validity gate so the two can never drift apart.
+BRACKET_ATOM_PATTERN = (
+    r"\[(?:\d+)?(?:\*|[A-Z][a-z]?|[a-z][a-z]?)"
+    r"(?:@{1,2}(?:TH[12]|AL[12]|SP[1-3]|TB\d{1,2}|OH\d{1,2})?)?"
+    r"(?:H\d*)?(?:\+\d+|-\d+|\+{1,3}|-{1,3})?(?::\d+)?\]"
 )
+
+_BRACKET_RE = re.compile(BRACKET_ATOM_PATTERN)
 
 
 def tokenize(smiles: str) -> List[Token]:

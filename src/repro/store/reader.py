@@ -10,7 +10,9 @@ same :class:`~repro.store.protocol.RecordReader` surface as the flat
 Serving one record touches exactly one block: the reader seeks to the block's
 footer-recorded offset and reads ``length`` bytes — never the whole file.
 The :attr:`ShardReader.blocks_decoded` / :attr:`ShardReader.bytes_read`
-counters make that property testable.
+counters make that property testable.  Block decodes run through the
+flat-array kernel (:class:`~repro.engine.kernel.BlockKernel`), byte-identical
+to the per-line reference decompressor.
 """
 
 from __future__ import annotations
@@ -216,6 +218,7 @@ class ShardReader(RecordAccessMixin):
         self._cache = cache if cache is not None else BlockCache(cache_blocks)
         self._raw_cache = raw_cache if raw_cache is not None else BlockCache(cache_blocks)
         self.codec = codec if codec is not None else self._embedded_codec()
+        self._kernel = None  # lazy BlockKernel, rebuilt if the codec is swapped
         self.blocks_decoded = 0
         self.bytes_read = 0
 
@@ -352,13 +355,27 @@ class ShardReader(RecordAccessMixin):
             return cached
         stored = self._load_payload(block)
         if self.codec is not None:
-            records = [self.codec.decompress(record) for record in stored]
+            records = self._decompress_block(stored)
         else:
             records = stored
         with self._io_lock:
             self.blocks_decoded += 1
         self._cache.put(block, records)
         return records
+
+    def _decompress_block(self, stored: List[str]) -> List[str]:
+        """Decode one block through the flat-array kernel (reference parity).
+
+        The kernel is compiled lazily from the reader's codec and rebuilt if
+        the ``codec`` attribute is swapped; its decompression path is
+        re-entrant, so concurrent block decodes can share it.
+        """
+        kernel = self._kernel
+        if kernel is None or kernel.codec is not self.codec:
+            from ..engine.kernel import BlockKernel
+
+            kernel = self._kernel = BlockKernel(self.codec)
+        return kernel.decompress_block(stored)
 
 
 class CorpusStore(RecordAccessMixin):

@@ -3,9 +3,11 @@
 :class:`ShardWriter` streams records into fixed-size blocks.  Compression runs
 through the PR-1 :class:`~repro.engine.ZSmilesEngine` batch surface: pending
 records are accumulated across *several* blocks and compressed in one engine
-batch (``backend="auto"`` / ``--jobs`` route big batches onto the process
-pool), so packing parallelizes across blocks while the per-record output stays
-byte-identical to the serial per-line codec path.
+batch — small batches through the in-process flat-array kernel
+(:mod:`repro.engine.kernel`), large ones on the process pool whose workers run
+the same kernel (``backend="auto"`` / ``--jobs``) — so packing rides the
+codebase's fastest path while the per-record output stays byte-identical to
+the serial per-line codec path.
 
 The writer also accepts pre-compressed records (:meth:`add_compressed_many`)
 so callers that already hold ``.zsmi`` lines — the screening footprint

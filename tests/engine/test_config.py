@@ -7,7 +7,12 @@ import pytest
 from repro.core.compressor import ParseStrategy
 from repro.dictionary.prepopulation import PrePopulation
 from repro.engine import EngineConfig, EngineConfigError
-from repro.engine.config import AUTO_BACKEND, PROCESS_BACKEND, SERIAL_BACKEND
+from repro.engine.config import (
+    AUTO_BACKEND,
+    KERNEL_BACKEND,
+    PROCESS_BACKEND,
+    SERIAL_BACKEND,
+)
 
 
 class TestValidation:
@@ -57,14 +62,23 @@ class TestBackendResolution:
         config = EngineConfig(backend=SERIAL_BACKEND, parallel_threshold=0)
         assert config.resolved_backend(10**6) == SERIAL_BACKEND
 
-    def test_auto_small_batch_is_serial(self):
+    def test_auto_small_batch_is_kernel(self):
         config = EngineConfig(parallel_threshold=100)
-        assert config.resolved_backend(99) == SERIAL_BACKEND
+        assert config.resolved_backend(99) == KERNEL_BACKEND
 
     def test_auto_large_batch_is_process(self):
         config = EngineConfig(parallel_threshold=100)
         assert config.resolved_backend(100) == PROCESS_BACKEND
 
-    def test_auto_single_job_stays_serial(self):
+    def test_auto_single_job_stays_in_process(self):
         config = EngineConfig(parallel_threshold=100, jobs=1)
-        assert config.resolved_backend(10**6) == SERIAL_BACKEND
+        assert config.resolved_backend(10**6) == KERNEL_BACKEND
+
+    def test_reference_parser_routes_auto_to_serial(self):
+        config = EngineConfig(parallel_threshold=100, parser="reference")
+        assert config.resolved_backend(99) == SERIAL_BACKEND
+        assert config.resolved_backend(100) == PROCESS_BACKEND
+
+    def test_invalid_parser_rejected(self):
+        with pytest.raises(EngineConfigError, match="parser"):
+            EngineConfig(parser="c++")

@@ -95,9 +95,16 @@ class TestByteIdenticalToSeedPath:
 
 
 class TestAutoBackendSelection:
-    def test_small_batch_runs_serial(self, mixed_corpus_small):
+    def test_small_batch_runs_kernel(self, mixed_corpus_small):
         engine = ZSmilesEngine.train(
             mixed_corpus_small, lmax=6, parallel_threshold=10_000
+        )
+        result = engine.compress_batch(mixed_corpus_small[:10])
+        assert result.backend == "kernel"
+
+    def test_reference_parser_routes_small_batches_to_serial(self, mixed_corpus_small):
+        engine = ZSmilesEngine.train(
+            mixed_corpus_small, lmax=6, parallel_threshold=10_000, parser="reference"
         )
         result = engine.compress_batch(mixed_corpus_small[:10])
         assert result.backend == "serial"

@@ -33,6 +33,42 @@ class TestPaperExample:
         assert renumbered.ring_bond_count() == original.ring_bond_count()
 
 
+class TestFastPathParity:
+    """The regex fast path must be byte-identical to the token path."""
+
+    def test_fast_and_token_paths_agree_on_generated_corpora(
+        self, gdb_corpus, mediate_corpus, exscalate_corpus
+    ):
+        from repro.preprocess.ring_renumber import renumber_tokens
+        from repro.smiles.tokenizer import tokenize
+
+        for smiles in gdb_corpus + mediate_corpus + exscalate_corpus:
+            for policy in ("innermost", "outermost"):
+                expected = "".join(renumber_tokens(tokenize(smiles), policy=policy))
+                assert renumber_rings(smiles, policy=policy) == expected
+
+    def test_malformed_input_still_raises_through_fallback(self):
+        from repro.errors import TokenizationError
+
+        with pytest.raises(TokenizationError, match="unexpected character"):
+            renumber_rings("C1Q1")  # has a digit, so no early return
+        with pytest.raises(TokenizationError, match="two digits"):
+            renumber_rings("C%1")
+
+    def test_unicode_digit_likes_keep_token_path_behaviour(self):
+        # '²'.isdigit() is true but '²' is no ASCII ring id: the historical
+        # probe sent such lines to the tokenizer, which chokes on int('²').
+        # The ASCII-gated fast path must preserve that, not skip silently.
+        with pytest.raises(ValueError):
+            renumber_rings("C²")
+        # Non-ASCII lines without any digit-like stay untouched, as before.
+        assert renumber_rings("Cè") == "Cè"
+
+    def test_escaped_percent_two_digit_ids_round_trip(self):
+        # %nn ids compact to single digits; >9 new ids keep the %nn form.
+        assert renumber_rings("C%12CCCCC%12") == "C0CCCCC0"
+
+
 class TestBasicBehaviour:
     def test_string_without_rings_unchanged(self):
         assert renumber_rings("CCO") == "CCO"

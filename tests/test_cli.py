@@ -290,6 +290,27 @@ class TestShardedLibraryCommands:
         assert main(["serve-bench", str(library_dir), "--requests", "0"]) == 2
         assert main(["serve-bench", str(library_dir), "--cache-blocks", "0"]) == 2
 
+    def test_serve_bench_writes_machine_readable_json(
+        self, packed_library, tmp_path, capsys
+    ):
+        import json
+
+        library_dir, _, _ = packed_library
+        out_path = tmp_path / "serve.json"
+        assert main([
+            "serve-bench", str(library_dir),
+            "--requests", "32", "--batch-size", "8", "--pool-size", "2",
+            "--json", str(out_path),
+        ]) == 0
+        capsys.readouterr()
+        payload = json.loads(out_path.read_text(encoding="utf-8"))
+        assert payload["benchmark"] == "serve_bench"
+        assert payload["requests"] == 32
+        assert set(payload["modes"]) == {"single_get", "get_many", "async_pool"}
+        for mode in payload["modes"].values():
+            assert mode["requests_per_sec"] > 0
+            assert mode["us_per_request"] > 0
+
 
 class TestGenerateAndExperiment:
     def test_generate_dataset(self, tmp_path, capsys):
