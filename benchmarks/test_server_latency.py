@@ -1,0 +1,211 @@
+"""Loopback load harness for the HTTP serving front.
+
+N concurrent blocking clients hammer one :class:`CorpusServer` over loopback
+in three modes — single-get, batched get, and chunked range streaming — and
+the measurements land in ``BENCH_server.json`` (repo root, plus a copy under
+``benchmarks/results/``): the machine-readable latency trajectory of the
+network tier, next to ``BENCH_codec.json``'s codec trajectory.
+
+Like every benchmark here, assertions gate on *parity* (every byte a client
+receives equals a direct :class:`CorpusLibrary` read) and on the run
+completing — never on timings — so CI's ``serve-smoke`` job runs this at
+``ZSMILES_BENCH_SCALE=smoke`` as a serving-front tripwire without flaking
+on runner speed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.engine import ZSmilesEngine
+from repro.library import CorpusLibrary, pack_library
+from repro.metrics.reporting import ResultTable
+from repro.server import BackgroundServer, CorpusClient
+
+#: Machine-readable server-latency record (committed perf trajectory).
+BENCH_SERVER_PATH = Path(__file__).resolve().parent.parent / "BENCH_server.json"
+
+#: Concurrent clients hammering the server (the acceptance bar is >= 8).
+CLIENTS = 8
+#: Single-get requests issued per client.
+REQUESTS_PER_CLIENT = 64
+#: Indices per batched get_many request.
+BATCH_SIZE = 32
+#: Shards in the served library.
+SHARDS = 4
+#: Server-side async reader-pool size (the backpressure bound).
+POOL_SIZE = 4
+
+
+@pytest.fixture(scope="module")
+def serving_corpus(corpus):
+    return corpus[: min(2_000, len(corpus))]
+
+
+@pytest.fixture(scope="module")
+def served_library(tmp_path_factory, shared_codec, serving_corpus):
+    directory = tmp_path_factory.mktemp("server_latency") / "corpus.library"
+    with ZSmilesEngine.from_codec(shared_codec, backend="serial") as engine:
+        pack_library(directory, serving_corpus, engine,
+                     shards=SHARDS, records_per_block=64)
+    return directory
+
+
+@pytest.fixture(scope="module")
+def server(served_library):
+    with BackgroundServer(served_library, readers=POOL_SIZE) as srv:
+        yield srv
+
+
+def _client_indices(total: int, seed: int) -> list:
+    rng = random.Random(seed)
+    return [rng.randrange(total) for _ in range(REQUESTS_PER_CLIENT)]
+
+
+def _fan_out(url: str, work) -> tuple:
+    """Run *work(client, slot)* on CLIENTS threads; returns (results, seconds).
+
+    Each thread owns its client (its own keep-alive socket), all start on a
+    shared barrier so the timed window covers genuinely concurrent load.
+    """
+    results: list = [None] * CLIENTS
+    errors: list = []
+    barrier = threading.Barrier(CLIENTS + 1)
+
+    def run(slot: int) -> None:
+        try:
+            with CorpusClient(url, timeout=60.0) as client:
+                barrier.wait()
+                results[slot] = work(client, slot)
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+            try:
+                barrier.abort()
+            except threading.BrokenBarrierError:
+                pass
+
+    threads = [threading.Thread(target=run, args=(slot,)) for slot in range(CLIENTS)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    assert not errors, errors
+    return results, elapsed
+
+
+def _mode(seconds: float, requests: int, records: int) -> dict:
+    seconds = max(seconds, 1e-9)
+    return {
+        "seconds": round(seconds, 6),
+        "requests": requests,
+        "records": records,
+        "us_per_request": round(seconds / max(requests, 1) * 1e6, 2),
+        "requests_per_sec": round(requests / seconds, 1),
+        "records_per_sec": round(records / seconds, 1),
+    }
+
+
+def test_loopback_concurrent_load(server, served_library, serving_corpus, report,
+                                  results_dir):
+    """8 concurrent clients; parity per mode; BENCH_server.json refreshed."""
+    total = len(serving_corpus)
+    with CorpusLibrary.open(served_library) as direct:
+        expected_all = list(direct.iter_all())
+    per_client_indices = [_client_indices(total, seed=100 + slot)
+                          for slot in range(CLIENTS)]
+    stream_span = min(total, 512)
+
+    # -- single gets ---------------------------------------------------- #
+    singles, single_s = _fan_out(
+        server.url,
+        lambda client, slot: [client.get(i) for i in per_client_indices[slot]],
+    )
+    for slot in range(CLIENTS):
+        assert singles[slot] == [expected_all[i] for i in per_client_indices[slot]]
+    single_requests = CLIENTS * REQUESTS_PER_CLIENT
+
+    # -- batched gets ---------------------------------------------------- #
+    def batched(client: CorpusClient, slot: int) -> list:
+        indices = per_client_indices[slot]
+        out: list = []
+        for cursor in range(0, len(indices), BATCH_SIZE):
+            out.extend(client.get_many(indices[cursor : cursor + BATCH_SIZE]))
+        return out
+
+    batches, batch_s = _fan_out(server.url, batched)
+    assert batches == singles  # same indices, same bytes, one mode vs the other
+    batch_requests = CLIENTS * -(-REQUESTS_PER_CLIENT // BATCH_SIZE)
+
+    # -- range streams ---------------------------------------------------- #
+    def streamed(client: CorpusClient, slot: int) -> list:
+        start = (slot * stream_span) % max(total - stream_span, 1)
+        return [start, client.slice(start, start + stream_span)]
+
+    streams, stream_s = _fan_out(server.url, streamed)
+    streamed_records = 0
+    for start, records in streams:
+        assert records == expected_all[start : start + stream_span]
+        streamed_records += len(records)
+
+    # -- server-side accounting ------------------------------------------ #
+    with CorpusClient(server.url) as observer:
+        stats = observer.stats()
+    assert stats["counters"]["single"] >= single_requests
+    assert stats["counters"]["batch"] >= batch_requests
+    assert stats["counters"]["stream"] >= CLIENTS
+    assert stats["cache"]["hits"] + stats["cache"]["misses"] > 0
+
+    payload = {
+        "benchmark": "server_loopback_load",
+        "scale": os.environ.get("ZSMILES_BENCH_SCALE", "benchmark"),
+        "records": total,
+        "shards": SHARDS,
+        "clients": CLIENTS,
+        "pool_size": POOL_SIZE,
+        "batch_size": BATCH_SIZE,
+        "modes": {
+            "single_get": _mode(single_s, single_requests, single_requests),
+            "batch_get": _mode(batch_s, batch_requests, single_requests),
+            "stream": _mode(stream_s, CLIENTS, streamed_records),
+        },
+        "cache": stats["cache"],
+        "parity": "byte-identical",
+    }
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    BENCH_SERVER_PATH.write_text(text, encoding="utf-8")
+
+    table = ResultTable(
+        title=f"HTTP serving front: {CLIENTS} concurrent loopback clients",
+        columns=["mode", "requests", "us/request", "records/sec"],
+    )
+    for name, mode in payload["modes"].items():
+        table.add_row(name, mode["requests"], mode["us_per_request"],
+                      mode["records_per_sec"])
+    table.add_note(
+        f"{total} records over {SHARDS} shards; reader pool {POOL_SIZE}; "
+        f"batches of {BATCH_SIZE}; streams of {stream_span}."
+    )
+    report("server_latency", table)
+    (results_dir / "BENCH_server.json").write_text(text, encoding="utf-8")
+
+
+def test_remote_reads_match_local_under_sustained_load(server, served_library):
+    """A long alternating workload stays byte-correct on one keep-alive socket."""
+    with CorpusLibrary.open(served_library) as direct:
+        with CorpusClient(server.url) as client:
+            rng = random.Random(7)
+            for _ in range(30):
+                index = rng.randrange(len(direct))
+                assert client.get(index) == direct.get(index)
+                batch = [rng.randrange(len(direct)) for _ in range(16)]
+                assert client.get_many(batch) == direct.get_many(batch)

@@ -16,7 +16,10 @@ unified engine surface:
    molecules out of it — decoding only the block that holds them,
 6. pack the same corpus into a *sharded* library (``library.json`` + N
    shards) and serve it through ``CorpusLibrary`` — synchronously and
-   concurrently via ``AsyncCorpusLibrary``'s bounded reader pool.
+   concurrently via ``AsyncCorpusLibrary``'s bounded reader pool,
+7. stand up the HTTP serving front over that library and read it back
+   through ``CorpusClient`` (and plain ``open_reader("http://…")``) — the
+   same corpus, now a network service (``zsmiles serve`` is the CLI spelling).
 
 Migrating from the pre-engine API?  ``ZSmilesCodec.train`` →
 ``ZSmilesEngine.train``, ``codec.compress_many(xs)`` →
@@ -35,10 +38,13 @@ from pathlib import Path
 
 from repro import (
     AsyncCorpusLibrary,
+    BackgroundServer,
+    CorpusClient,
     CorpusLibrary,
     CorpusStore,
     EngineConfig,
     ZSmilesEngine,
+    open_reader,
     pack_library,
     pack_records,
 )
@@ -166,6 +172,30 @@ def main() -> None:
             )
 
     asyncio.run(serve_concurrently())
+
+    # ------------------------------------------------------------------ #
+    # 7. The network tier: the same library as an HTTP service.
+    #    `zsmiles serve library.library --port 8765` is the CLI spelling;
+    #    here the server runs on a background thread of this process.  The
+    #    bounded reader pool caps concurrent block decodes (backpressure),
+    #    and any RecordReader consumer can point at the URL.
+    # ------------------------------------------------------------------ #
+    with BackgroundServer(library_dir, readers=4) as server:
+        with CorpusClient(server.url) as client:
+            assert client.get(1_234) == engine.preprocess(library[1_234])
+            batch = client.get_many([5, 999, 1_234, 1_999])
+            streamed = client.slice(0, 256)
+            stats = client.stats()
+            print(
+                f"\nHTTP serving front:  {server.url} — fetched 1 + {len(batch)} + "
+                f"{len(streamed)} records over the wire "
+                f"(cache: {stats['cache']['hits']} hits / "
+                f"{stats['cache']['misses']} misses)"
+            )
+        # Consumers don't need to know it's remote: open_reader dispatches.
+        with open_reader(server.url) as remote:
+            assert remote.get(42) == engine.preprocess(library[42])
+            print("open_reader(url):    served record 42 through the shared protocol")
 
 
 if __name__ == "__main__":

@@ -42,7 +42,11 @@ Corpora are served at scale from the block-compressed ``.zss`` store
 engine (parallel across blocks), ``CorpusStore`` serves ``get(i)`` by
 decoding a single block, and the flat ``RandomAccessReader`` remains the
 documented fallback behind the shared ``RecordReader`` protocol
-(``open_reader`` picks by suffix).
+(``open_reader`` picks by suffix).  Sharded ``library.json`` corpora serve
+through ``CorpusLibrary`` / ``AsyncCorpusLibrary`` (:mod:`repro.library`),
+and ``zsmiles serve`` exposes any packed corpus over HTTP
+(:mod:`repro.server`) — ``open_reader("http://…")`` consumes it through the
+same protocol.
 """
 
 from ._version import __version__
@@ -76,9 +80,11 @@ from .library import (
     LibraryManifest,
     LibraryWriter,
     ShardedCorpusStore,
+    compose_libraries,
     pack_library,
     pack_library_file,
 )
+from .server import BackgroundServer, CorpusClient, CorpusServer
 from .preprocess.pipeline import PreprocessingPipeline, make_pipeline
 from .preprocess.ring_renumber import renumber_rings
 from .store import (
@@ -113,8 +119,13 @@ __all__ = [
     "LibraryManifest",
     "LibraryWriter",
     "ShardedCorpusStore",
+    "compose_libraries",
     "pack_library",
     "pack_library_file",
+    # Network serving front (HTTP server + typed client).
+    "BackgroundServer",
+    "CorpusClient",
+    "CorpusServer",
     # Block-compressed corpus store (.zss) and the shared reader protocol.
     "CorpusStore",
     "RecordReader",

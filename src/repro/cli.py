@@ -13,10 +13,17 @@ needs:
 * ``zsmiles get``         — fetch single records by line number through the index.
 * ``zsmiles pack``        — pack a ``.smi`` file into a block-compressed ``.zss`` store,
   or — with ``--shards N`` — into a sharded library (``library.json`` + N shards;
-  blocks compressed through the engine; ``--backend`` / ``--jobs`` parallelize packing).
+  blocks compressed through the engine; ``--backend`` / ``--jobs`` parallelize packing,
+  ``--shard-jobs N`` packs whole shards concurrently across processes).
+* ``zsmiles compose``     — concatenate packed libraries into one ``library.json``
+  without repacking a single shard (manifest-level composition).
 * ``zsmiles unpack``      — expand a ``.zss`` store or a sharded library back to ``.smi``.
 * ``zsmiles query``       — serve individual records out of a ``.zss`` store or library,
-  decoding only the blocks touched (``--cache-blocks`` / ``--mmap`` tune serving).
+  decoding only the blocks touched (``--cache-blocks`` / ``--mmap`` tune serving;
+  ``--verbose`` reports block-cache hit/miss counters).
+* ``zsmiles serve``       — serve a packed corpus over HTTP (``repro.server``): single
+  records, batches and chunked range streams out of an async reader pool, with
+  ``/stats`` + ``/healthz`` and graceful shutdown on SIGINT/SIGTERM.
 * ``zsmiles serve-bench`` — measure single-get / batched-get serving latency of any
   corpus layout (flat, ``.zss``, sharded library, mmap, async pool); ``--json PATH``
   also writes the measurements machine-readably.
@@ -39,12 +46,16 @@ from .datasets.io import read_smiles, write_smi
 from .dictionary.prepopulation import PrePopulation
 from .engine import BACKEND_CHOICES, ZSmilesEngine
 from .library import (
+    DEFAULT_POOL_SIZE,
     AsyncCorpusLibrary,
     CorpusLibrary,
+    compose_libraries,
     is_packed_path,
     pack_library_file,
     resolve_manifest_path,
 )
+from .server.app import DEFAULT_HOST as SERVER_DEFAULT_HOST
+from .server.app import DEFAULT_PORT as SERVER_DEFAULT_PORT
 from .store import DEFAULT_CACHE_BLOCKS, CorpusStore, RecordReader, open_reader, pack_file
 from .store.writer import DEFAULT_RECORDS_PER_BLOCK
 from .experiments import (
@@ -134,6 +145,20 @@ def build_parser() -> argparse.ArgumentParser:
                       help="execution backend for block packing")
     pack.add_argument("--jobs", type=int, default=None, metavar="N",
                       help="worker processes for the process backend")
+    pack.add_argument("--shard-jobs", type=int, default=None, metavar="N",
+                      help="with --shards: pack whole shards concurrently across "
+                           "N processes (byte-identical to sequential packing)")
+
+    compose = sub.add_parser(
+        "compose",
+        help="concatenate packed libraries into one library.json without repacking",
+    )
+    compose.add_argument("sources", type=Path, nargs="+",
+                         help="source libraries in order: directories, library.json "
+                              "manifests or bare .zss shards")
+    compose.add_argument("-o", "--output", type=Path, required=True,
+                         help="composed library directory (or explicit .json path); "
+                              "must be a common ancestor of every source shard")
 
     unpack = sub.add_parser("unpack", help="expand a .zss store or sharded library "
                                            "back to a .smi file")
@@ -158,6 +183,29 @@ def build_parser() -> argparse.ArgumentParser:
                                          f"(default: {DEFAULT_CACHE_BLOCKS})")
     query.add_argument("--mmap", action="store_true",
                        help="serve block reads from a read-only memory map")
+    query.add_argument("-v", "--verbose", action="store_true",
+                       help="report block-cache hit/miss counters on stderr")
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a packed corpus (.zss / library) over HTTP",
+    )
+    serve.add_argument("input", type=Path,
+                       help=".zss store, library directory or library.json manifest")
+    serve.add_argument("-d", "--dictionary", type=Path, default=None,
+                       help="dictionary override (default: the store's embedded one)")
+    serve.add_argument("--host", default=SERVER_DEFAULT_HOST,
+                       help=f"bind address (default: {SERVER_DEFAULT_HOST})")
+    serve.add_argument("--port", type=int, default=SERVER_DEFAULT_PORT,
+                       help=f"bind port, 0 = ephemeral (default: {SERVER_DEFAULT_PORT})")
+    serve.add_argument("--readers", type=int, default=DEFAULT_POOL_SIZE, metavar="N",
+                       help="async reader-pool size = max concurrent block decodes "
+                            f"(default: {DEFAULT_POOL_SIZE})")
+    serve.add_argument("--cache-blocks", type=int, default=DEFAULT_CACHE_BLOCKS,
+                       metavar="N", help="shared LRU budget of decoded blocks "
+                                         f"(default: {DEFAULT_CACHE_BLOCKS})")
+    serve.add_argument("--mmap", action="store_true",
+                       help="serve block reads from read-only memory maps")
 
     serve_bench = sub.add_parser(
         "serve-bench",
@@ -305,6 +353,13 @@ def _cmd_pack(args: argparse.Namespace) -> int:
     if args.shards is not None and args.shards < 1:
         print("error: --shards must be >= 1", file=sys.stderr)
         return 2
+    if args.shard_jobs is not None:
+        if args.shard_jobs < 1:
+            print("error: --shard-jobs must be >= 1", file=sys.stderr)
+            return 2
+        if args.shards is None:
+            print("error: --shard-jobs requires --shards", file=sys.stderr)
+            return 2
     with _load_engine(
         args.dictionary,
         preprocessing=not args.no_preprocessing,
@@ -319,6 +374,7 @@ def _cmd_pack(args: argparse.Namespace) -> int:
                 shards=args.shards,
                 records_per_block=args.block_size,
                 embed_dictionary=not args.no_embed_dictionary,
+                shard_jobs=args.shard_jobs,
             )
             print(
                 f"packed {library.records} records into {library.shard_count} shards "
@@ -366,7 +422,56 @@ def _cmd_query(args: argparse.Namespace) -> int:
     ) as store:
         for index in args.indices:
             print(store.get_raw(index) if args.raw else store.get(index))
+        if args.verbose:
+            stats = (
+                store.cache_stats()
+                if hasattr(store, "cache_stats")
+                # CorpusStore: per-shard private caches; aggregate them.
+                else {
+                    key: sum(shard.cache_stats()[key] for shard in store.shards)
+                    for key in ("hits", "misses", "capacity", "cached_blocks")
+                }
+            )
+            print(
+                f"cache: {stats['hits']} hits, {stats['misses']} misses, "
+                f"{stats['cached_blocks']}/{stats['capacity']} blocks resident",
+                file=sys.stderr,
+            )
     return 0
+
+
+def _cmd_compose(args: argparse.Namespace) -> int:
+    manifest_path = compose_libraries(args.output, args.sources)
+    with CorpusLibrary.open(manifest_path) as library:
+        print(
+            f"composed {len(args.sources)} sources into {library.shard_count} shards "
+            f"/ {len(library)} records -> {manifest_path} (no shards repacked)"
+        )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .server.app import run_server
+
+    if args.readers < 1:
+        print("error: --readers must be >= 1", file=sys.stderr)
+        return 2
+    if args.cache_blocks < 1:
+        print("error: --cache-blocks must be >= 1", file=sys.stderr)
+        return 2
+    if args.port < 0:
+        print("error: --port must be >= 0", file=sys.stderr)
+        return 2
+    codec = _load_engine(args.dictionary).codec if args.dictionary else None
+    return run_server(
+        args.input,
+        codec=codec,
+        host=args.host,
+        port=args.port,
+        readers=args.readers,
+        cache_blocks=args.cache_blocks,
+        use_mmap=args.mmap,
+    )
 
 
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
@@ -519,8 +624,10 @@ _HANDLERS = {
     "index": _cmd_index,
     "get": _cmd_get,
     "pack": _cmd_pack,
+    "compose": _cmd_compose,
     "unpack": _cmd_unpack,
     "query": _cmd_query,
+    "serve": _cmd_serve,
     "serve-bench": _cmd_serve_bench,
     "stats": _cmd_stats,
     "generate": _cmd_generate,

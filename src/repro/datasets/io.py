@@ -10,7 +10,9 @@ Packed corpora are read transparently: a path ending in ``.zss`` (the
 block-compressed store, :mod:`repro.store`), a sharded library directory or
 a ``library.json`` manifest (:mod:`repro.library`) is decoded through its
 embedded dictionary — or a caller-supplied codec — and its records flow
-through the same parsing helpers as plain lines.
+through the same parsing helpers as plain lines.  An ``http://`` URL
+streams the corpus from a running server (:mod:`repro.server`) the same
+way — the server decodes, so no local dictionary is needed.
 """
 
 from __future__ import annotations
@@ -122,6 +124,17 @@ def iter_smi(
 
 def _iter_record_lines(path: PathLike, codec: Optional[object] = None) -> Iterator[str]:
     """Yield terminator-stripped record lines from a flat or packed corpus."""
+    # The URL check must run before Path() collapses the "//"; imported
+    # lazily like the packed layouts below.
+    from ..server.protocol import is_url
+
+    if is_url(path):
+        # A remote corpus server (zsmiles serve): stream the whole range.
+        from ..server.client import CorpusClient
+
+        with CorpusClient(str(path)) as client:
+            yield from client.iter_all()
+        return
     path = Path(path)
     if path.is_dir() or path.suffix == ".json":
         # A sharded library (directory with library.json, or the manifest

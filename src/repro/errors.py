@@ -95,6 +95,18 @@ class ManifestError(LibraryError):
     """Raised when a ``library.json`` manifest is malformed or inconsistent."""
 
 
+class ServerError(ReproError):
+    """Base class for the HTTP serving front (:mod:`repro.server`)."""
+
+
+class ProtocolError(ServerError):
+    """Raised for malformed requests or responses on the serving wire (HTTP 400)."""
+
+
+class ServerConnectionError(ServerError):
+    """Raised when the transport to a corpus server fails (died mid-stream, refused)."""
+
+
 class DatasetError(ReproError):
     """Raised by the synthetic dataset generators and ``.smi`` I/O helpers."""
 

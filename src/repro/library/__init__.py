@@ -8,8 +8,9 @@ hand-wiring readers, codecs and dictionaries.
 Serving a corpus — which layout to use
 ======================================
 
-Three layouts serve the same :class:`~repro.store.protocol.RecordReader`
-protocol; pick by scale and access pattern:
+Four tiers serve the same :class:`~repro.store.protocol.RecordReader`
+protocol — flat → ``.zss`` → sharded library → HTTP — pick by scale and
+access pattern:
 
 **Flat** (``.smi`` / ``.zsmi`` + ``.zsx`` sidecar index) —
 :class:`~repro.core.random_access.RandomAccessReader`.  One seek per
@@ -30,11 +31,27 @@ packing, and concurrent serving.  :class:`AsyncCorpusLibrary` adds
 ``await get`` / ``get_many`` / ``stream`` over a bounded reader pool for
 high-fanout consumers (e.g. generative screening loops).
 
+**Network service** (``http://host:port``) — :mod:`repro.server`.  A
+``zsmiles serve`` process (or :class:`~repro.server.CorpusServer` embedded
+in yours) mounts an :class:`AsyncCorpusLibrary` and speaks HTTP/1.1:
+``GET /records/{i}``, ``POST /records:batch``, a chunked
+``GET /records?start=&stop=`` range stream, ``/stats`` and ``/healthz``.
+Right when consumers are *other processes or machines*: the corpus is
+packed once, served by one process, and every consumer reads it through
+:class:`~repro.server.CorpusClient` — or just ``open_reader("http://…")``,
+which satisfies this same protocol.  The bounded reader pool caps
+concurrent block decodes, so a burst of clients queues instead of
+thundering the disk.
+
 Packing::
 
     engine = ZSmilesEngine.from_dictionary("shared.dct")
     info = pack_library("corpus.library", smiles, engine, shards=8)
     # or: zsmiles pack corpus.smi -d shared.dct --shards 8
+    # whole shards in parallel across processes (byte-identical):
+    #     zsmiles pack corpus.smi -d shared.dct --shards 8 --shard-jobs 4
+    # concatenate packed libraries without repacking (manifest-only):
+    #     zsmiles compose corpora/batch-*.library -o corpora
 
 Serving::
 
@@ -43,6 +60,10 @@ Serving::
 
     async with AsyncCorpusLibrary.open("corpus.library") as lib:
         await lib.get_many(batch)                           # concurrent
+
+    # over the network (zsmiles serve corpus.library --port 8765):
+    with open_reader("http://127.0.0.1:8765") as remote:
+        remote.get(123), remote.get_many(batch)
 
 Migrating from ``open_reader``
 ==============================
@@ -56,6 +77,7 @@ serving packed corpora should call :meth:`CorpusLibrary.open` directly
 """
 
 from .async_api import DEFAULT_POOL_SIZE, DEFAULT_STREAM_BATCH, AsyncCorpusLibrary
+from .compose import compose_libraries, compose_manifests
 from .facade import CorpusLibrary
 from .manifest import (
     MANIFEST_FORMAT,
@@ -90,6 +112,8 @@ __all__ = [
     "SHARD_NAME_FORMAT",
     "ShardEntry",
     "ShardedCorpusStore",
+    "compose_libraries",
+    "compose_manifests",
     "is_packed_path",
     "pack_library",
     "pack_library_file",

@@ -103,6 +103,19 @@ class AsyncCorpusLibrary:
     def __len__(self) -> int:
         return len(self._readers[0])
 
+    @property
+    def manifest(self):
+        """The pooled readers' shared manifest (they all open the same source)."""
+        return self._readers[0].manifest
+
+    def cache_stats(self) -> dict:
+        """Shared decoded-block cache counters across the whole reader pool.
+
+        :meth:`open` hands every pooled reader the same :class:`BlockCache`,
+        so the first reader's snapshot *is* the pool aggregate.
+        """
+        return self._readers[0].cache_stats()
+
     async def _call(self, fn: Callable[[CorpusLibrary], T]) -> T:
         """Run a blocking reader operation on a pooled reader in a thread."""
         if self._closed:

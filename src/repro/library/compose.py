@@ -1,0 +1,143 @@
+"""Manifest-level library composition: concatenate corpora without repacking.
+
+A ``library.json`` manifest is just a routing table over ``.zss`` shard
+files, so concatenating libraries needs no codec work at all: a composed
+manifest lists every source library's shards in order, with the global
+record ranges re-based — the shards themselves are never opened, copied or
+rewritten.  Composing a 10-billion-record corpus out of per-batch packs is
+a JSON write.
+
+The one constraint is the manifest contract: shard names are *relative*
+paths under the manifest's directory (no ``..``, no absolute paths), so the
+composed manifest must live at a common ancestor of every source library::
+
+    corpora/
+      batch-a.library/   shard-0000.zss ...
+      batch-b.library/   shard-0000.zss ...
+      library.json       <- compose_libraries("corpora", ["corpora/batch-a.library",
+                                                          "corpora/batch-b.library"])
+
+Records keep their within-source order; source N+1's records follow source
+N's, which is exactly how :class:`~repro.library.CorpusLibrary` then serves
+them.  Composing the same library twice is legal only through distinct
+shard files (the manifest rejects duplicate names) — compose routes
+*files*, not logical corpora.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ManifestError
+from .manifest import MANIFEST_NAME, LibraryManifest, ShardEntry, resolve_manifest_path
+
+PathLike = Union[str, Path]
+
+
+def _relative_name(shard_path: Path, root: Path) -> str:
+    """Shard path relative to the composed manifest's directory (validated)."""
+    try:
+        return shard_path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError as exc:
+        raise ManifestError(
+            f"shard {shard_path} is not under the composed library root {root}: "
+            "compose the manifest at a common ancestor of every source library"
+        ) from exc
+
+
+def compose_manifests(
+    sources: Sequence[PathLike],
+    root: PathLike,
+    metadata: Optional[Dict[str, object]] = None,
+) -> LibraryManifest:
+    """Build one manifest concatenating the shards of several libraries.
+
+    Parameters
+    ----------
+    sources:
+        Source libraries, in concatenation order: library directories,
+        ``library.json`` paths, or bare ``.zss`` shard files.
+    root:
+        Directory the composed manifest will live in; every source shard
+        must sit beneath it.
+    metadata:
+        Metadata for the composed manifest.  Defaults to recording the
+        source list under ``"composed_from"``.
+
+    Purely manifest-level: shard sizes and block counts are copied from the
+    source manifests (or, for a bare ``.zss``, read from its footer — the
+    only case a shard file is touched at all).
+    """
+    if not sources:
+        raise ManifestError("compose needs at least one source library")
+    root = Path(root)
+    entries: List[ShardEntry] = []
+    names: List[str] = []
+    start = 0
+    for source in sources:
+        for shard_path, entry in _source_entries(Path(source)):
+            entries.append(
+                ShardEntry(
+                    name=_relative_name(shard_path, root),
+                    start=start,
+                    records=entry.records,
+                    blocks=entry.blocks,
+                    records_per_block=entry.records_per_block,
+                    file_bytes=entry.file_bytes,
+                )
+            )
+            start += entry.records
+        names.append(str(source))
+    if metadata is None:
+        metadata = {"composed_from": names}
+    return LibraryManifest(shards=tuple(entries), metadata=dict(metadata))
+
+
+def _source_entries(source: Path) -> List[Tuple[Path, ShardEntry]]:
+    """One source's shards as ``(absolute path, manifest entry)`` pairs."""
+    manifest_path = resolve_manifest_path(source)
+    if manifest_path is not None:
+        manifest = LibraryManifest.load(manifest_path)
+        source_root = manifest_path.parent
+        return [
+            (source_root / entry.name, entry) for entry in manifest.shards
+        ]
+    from ..store.format import STORE_SUFFIX
+
+    if source.is_file() and source.suffix == STORE_SUFFIX:
+        # A bare .zss shard: synthesize its entry from the footer, exactly
+        # like CorpusLibrary.open's one-shard wrapping.
+        synthetic = LibraryManifest.from_shards([source])
+        return [(source, synthetic.shards[0])]
+    raise ManifestError(
+        f"cannot compose {source}: expected a library directory, a "
+        "library.json manifest, or a .zss shard"
+    )
+
+
+def compose_libraries(
+    output: PathLike,
+    sources: Sequence[PathLike],
+    metadata: Optional[Dict[str, object]] = None,
+) -> Path:
+    """Write a composed ``library.json`` at *output*; returns the manifest path.
+
+    *output* is the composed library's directory (created if missing) or an
+    explicit ``*.json`` path.  The result opens with
+    :meth:`~repro.library.CorpusLibrary.open` like any other library and
+    serves source A's records at global indices ``[0, len(A))``, source B's
+    at ``[len(A), len(A)+len(B))``, and so on — no bytes repacked.
+    """
+    output = Path(output)
+    if output.suffix == ".json":
+        manifest_path = output
+        root = output.parent
+        root.mkdir(parents=True, exist_ok=True)
+    else:
+        output.mkdir(parents=True, exist_ok=True)
+        manifest_path = output / MANIFEST_NAME
+        root = output
+    manifest = compose_manifests(sources, root, metadata=metadata)
+    manifest.save(manifest_path)
+    return manifest_path

@@ -99,6 +99,18 @@ class CorpusLibrary:
         """The (lazily opened) reader for shard *shard_no*."""
         return self.store.shard(shard_no)
 
+    @property
+    def cache_hits(self) -> int:
+        return self.store.cache_hits
+
+    @property
+    def cache_misses(self) -> int:
+        return self.store.cache_misses
+
+    def cache_stats(self) -> dict:
+        """Hit/miss/occupancy snapshot of the shared decoded-block cache."""
+        return self.store.cache_stats()
+
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #

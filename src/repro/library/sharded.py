@@ -145,6 +145,14 @@ class ShardedCorpusStore(RecordAccessMixin):
     def cache_hits(self) -> int:
         return self._cache.hits
 
+    @property
+    def cache_misses(self) -> int:
+        return self._cache.misses
+
+    def cache_stats(self) -> dict:
+        """Hit/miss/occupancy snapshot of the shared decoded-block cache."""
+        return self._cache.stats()
+
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #

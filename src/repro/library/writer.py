@@ -12,14 +12,24 @@ Because records are compressed one line at a time, the shard split never
 changes the stored bytes: a 4-shard library holds exactly the records a
 single-shard pack would, just cut at different file boundaries — which is
 what the cross-shard parity tests pin.
+
+Shards pack sequentially by default (each shard's *blocks* may still spread
+over the engine's process pool).  With ``shard_jobs=N`` (``cli pack
+--shard-jobs N``) whole shards pack concurrently across worker processes
+instead — each worker rebuilds the engine from the pickled codec and packs
+one shard through the in-process kernel — and the output is byte-identical
+to a sequential pack (pinned by the parallel-packing parity tests).
 """
 
 from __future__ import annotations
 
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from ..core.codec import ZSmilesCodec
 from ..engine.engine import ZSmilesEngine
 from ..errors import LibraryError
 from ..store.format import STORE_SUFFIX
@@ -85,6 +95,34 @@ class LibraryInfo:
         return self.payload_bytes / self.original_bytes
 
 
+def _pack_shard_job(
+    path_str: str,
+    records: List[str],
+    codec: ZSmilesCodec,
+    records_per_block: int,
+    batch_blocks: int,
+    metadata: Dict[str, object],
+    embed_dictionary: bool,
+) -> StoreInfo:
+    """Pack one shard in a worker process (module-level: must pickle).
+
+    The engine is rebuilt from the pickled codec with the in-process kernel
+    backend — never ``"auto"``, which could nest a process pool inside the
+    worker.  Per-record output is backend-invariant, so the shard bytes are
+    identical to a sequential pack.
+    """
+    with ZSmilesEngine.from_codec(codec, backend="kernel") as engine:
+        return pack_records(
+            Path(path_str),
+            records,
+            engine,
+            records_per_block=records_per_block,
+            batch_blocks=batch_blocks,
+            metadata=metadata,
+            embed_dictionary=embed_dictionary,
+        )
+
+
 def split_counts(total: int, shards: int) -> List[int]:
     """Balanced contiguous chunk sizes: ``total`` records over ``shards`` shards.
 
@@ -119,6 +157,11 @@ class LibraryWriter:
     embed_dictionary:
         Embed the engine's dictionary in every shard footer so each shard —
         and therefore the library — is self-describing.
+    shard_jobs:
+        Worker processes packing whole shards concurrently (``None``/1 =
+        sequential).  Byte-identical to the sequential pack; most useful
+        for many-shard libraries where per-shard batches are too small to
+        feed the engine's block-level process pool.
     """
 
     def __init__(
@@ -131,9 +174,12 @@ class LibraryWriter:
         batch_blocks: int = DEFAULT_BATCH_BLOCKS,
         metadata: Optional[Dict[str, object]] = None,
         embed_dictionary: bool = True,
+        shard_jobs: Optional[int] = None,
     ):
         if shards < 1:
             raise LibraryError("shard count must be >= 1")
+        if shard_jobs is not None and shard_jobs < 1:
+            raise LibraryError("shard_jobs must be >= 1")
         self.directory = Path(directory)
         self.engine = engine
         self.shards = shards
@@ -142,30 +188,67 @@ class LibraryWriter:
         self.batch_blocks = batch_blocks
         self.metadata = dict(metadata or {})
         self.embed_dictionary = embed_dictionary
+        self.shard_jobs = shard_jobs
 
     def pack(self, records: Iterable[str]) -> LibraryInfo:
         """Pack *records* into the library and write its manifest."""
         records = list(records)
         counts = split_counts(len(records), self.shards)
         self.directory.mkdir(parents=True, exist_ok=True)
-        infos: List[StoreInfo] = []
-        paths: List[Path] = []
-        cursor = 0
-        for shard_no, count in enumerate(counts):
-            path = self.directory / SHARD_NAME_FORMAT.format(shard_no)
-            info = pack_records(
-                path,
-                records[cursor : cursor + count],
-                self.engine,
-                records_per_block=self.records_per_block,
-                backend=self.backend,
-                batch_blocks=self.batch_blocks,
-                metadata={"shard": shard_no, "shard_count": len(counts)},
-                embed_dictionary=self.embed_dictionary,
-            )
-            infos.append(info)
-            paths.append(path)
-            cursor += count
+        paths = [
+            self.directory / SHARD_NAME_FORMAT.format(shard_no)
+            for shard_no in range(len(counts))
+        ]
+        shard_metadata = [
+            {"shard": shard_no, "shard_count": len(counts)}
+            for shard_no in range(len(counts))
+        ]
+        jobs = min(self.shard_jobs or 1, len(counts))
+        if jobs > 1:
+            # Whole shards across processes: same spawn discipline as the
+            # engine's ProcessPoolBackend, shard order preserved by map().
+            # The chunk list is a second copy of the corpus, but the workers
+            # need the records shipped to them anyway.
+            chunks: List[List[str]] = []
+            cursor = 0
+            for count in counts:
+                chunks.append(records[cursor : cursor + count])
+                cursor += count
+            with ProcessPoolExecutor(
+                max_workers=jobs,
+                mp_context=multiprocessing.get_context("spawn"),
+            ) as pool:
+                infos = list(
+                    pool.map(
+                        _pack_shard_job,
+                        [str(path) for path in paths],
+                        chunks,
+                        [self.engine.codec] * len(counts),
+                        [self.records_per_block] * len(counts),
+                        [self.batch_blocks] * len(counts),
+                        shard_metadata,
+                        [self.embed_dictionary] * len(counts),
+                    )
+                )
+        else:
+            # Sequential: slice one shard's records transiently per
+            # iteration rather than materializing every chunk up front.
+            infos = []
+            cursor = 0
+            for path, count, meta in zip(paths, counts, shard_metadata):
+                infos.append(
+                    pack_records(
+                        path,
+                        records[cursor : cursor + count],
+                        self.engine,
+                        records_per_block=self.records_per_block,
+                        backend=self.backend,
+                        batch_blocks=self.batch_blocks,
+                        metadata=meta,
+                        embed_dictionary=self.embed_dictionary,
+                    )
+                )
+                cursor += count
         metadata = dict(self.metadata)
         metadata.setdefault("dictionary_embedded", self.embed_dictionary)
         manifest = LibraryManifest.from_shards(paths, metadata=metadata, root=self.directory)
@@ -188,6 +271,7 @@ def pack_library(
     batch_blocks: int = DEFAULT_BATCH_BLOCKS,
     metadata: Optional[Dict[str, object]] = None,
     embed_dictionary: bool = True,
+    shard_jobs: Optional[int] = None,
 ) -> LibraryInfo:
     """Pack an iterable of plain records into a sharded library at *directory*."""
     return LibraryWriter(
@@ -199,6 +283,7 @@ def pack_library(
         batch_blocks=batch_blocks,
         metadata=metadata,
         embed_dictionary=embed_dictionary,
+        shard_jobs=shard_jobs,
     ).pack(records)
 
 
@@ -212,6 +297,7 @@ def pack_library_file(
     batch_blocks: int = DEFAULT_BATCH_BLOCKS,
     metadata: Optional[Dict[str, object]] = None,
     embed_dictionary: bool = True,
+    shard_jobs: Optional[int] = None,
 ) -> LibraryInfo:
     """Pack a line-oriented ``.smi`` file into a sharded library.
 
@@ -235,4 +321,5 @@ def pack_library_file(
         batch_blocks=batch_blocks,
         metadata=metadata,
         embed_dictionary=embed_dictionary,
+        shard_jobs=shard_jobs,
     )

@@ -35,6 +35,7 @@ from ..datasets.io import SmiRecord, write_smi
 from ..engine import ZSmilesEngine
 from ..errors import ScreeningError
 from ..library import LibraryInfo, is_packed_path, pack_library
+from ..server.protocol import is_url
 from ..store import RecordReader, open_reader
 from .docking import DEFAULT_POCKETS, PocketModel, dock_score, top_hits
 from .storage import StorageFootprint, measure_footprint
@@ -156,8 +157,10 @@ class ScreeningCampaign:
         ----------
         library_path:
             Compressed ligand library: a flat ``.zsmi`` file, a packed
-            ``.zss`` store, or a sharded library directory /
-            ``library.json`` manifest.
+            ``.zss`` store, a sharded library directory / ``library.json``
+            manifest, or the ``http://`` URL of a running corpus server
+            (``zsmiles serve``) — the campaign then screens a *remote*
+            library, fetching only the ligands it scores.
         index:
             Pre-built line index for the flat layout; ignored for packed
             libraries (their block index is part of the format).
@@ -170,12 +173,16 @@ class ScreeningCampaign:
         footprint:
             Pre-measured storage footprint to attach to the result.
         """
-        library_path = Path(library_path)
         reader: RecordReader
-        if index is not None and not is_packed_path(library_path):
-            reader = RandomAccessReader(library_path, index=index, codec=self.codec)
+        if is_url(library_path):
+            # A remote corpus server: the server decodes with its own codec.
+            reader = open_reader(library_path)
         else:
-            reader = open_reader(library_path, codec=self.codec)
+            library_path = Path(library_path)
+            if index is not None and not is_packed_path(library_path):
+                reader = RandomAccessReader(library_path, index=index, codec=self.codec)
+            else:
+                reader = open_reader(library_path, codec=self.codec)
         result = CampaignResult(library_path=library_path, footprint=footprint)
         with reader:
             if sample is not None:

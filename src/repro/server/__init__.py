@@ -1,0 +1,62 @@
+"""The network serving front: HTTP over the corpus library.
+
+``repro.server`` turns a packed corpus — any layout
+:meth:`~repro.library.CorpusLibrary.open` accepts — into a service, the
+fourth tier of the serving ladder documented in :mod:`repro.library`
+(flat → ``.zss`` → sharded library → **HTTP**):
+
+* :class:`CorpusServer` (:mod:`repro.server.app`) — stdlib ``asyncio``
+  HTTP/1.1 server mounting an :class:`~repro.library.AsyncCorpusLibrary`;
+  the bounded reader pool is the backpressure.  Endpoints: ``/healthz``,
+  ``/stats``, ``/records/{i}``, ``/records:batch``, and the chunked
+  ``/records?start=&stop=`` range stream.
+* :mod:`repro.server.protocol` — the wire schema both sides share: routes,
+  content types, body limits, and the JSON error envelope that maps
+  :mod:`repro.errors` to HTTP statuses *and back*.
+* :class:`CorpusClient` (:mod:`repro.server.client`) — blocking
+  ``http.client`` consumer mirroring the
+  :class:`~repro.store.protocol.RecordReader` protocol, so
+  :func:`repro.store.open_reader` serves ``http://`` URLs to existing
+  consumers (screening, dataset loaders, the CLI) with no call-site change.
+* :class:`BackgroundServer` / :func:`run_server` — the thread-hosted and
+  foreground (``zsmiles serve``) lifecycles, both with graceful, draining
+  shutdown.
+
+Standing a service up::
+
+    zsmiles pack corpus.smi -d shared.dct --shards 8
+    zsmiles serve corpus.library --port 8765 --readers 8
+
+Consuming it::
+
+    with CorpusClient("http://127.0.0.1:8765") as client:
+        client.get(123), client.get_many(batch)
+        for record in client.iter_range(0, 10_000):
+            ...
+    # or, transparently:
+    reader = open_reader("http://127.0.0.1:8765")
+"""
+
+from .app import (
+    DEFAULT_GRACE,
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    BackgroundServer,
+    CorpusServer,
+    run_server,
+)
+from .client import DEFAULT_TIMEOUT, CorpusClient
+from .protocol import PROTOCOL_VERSION, is_url
+
+__all__ = [
+    "BackgroundServer",
+    "CorpusClient",
+    "CorpusServer",
+    "DEFAULT_GRACE",
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "DEFAULT_TIMEOUT",
+    "PROTOCOL_VERSION",
+    "is_url",
+    "run_server",
+]

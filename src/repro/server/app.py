@@ -1,0 +1,634 @@
+"""The asyncio HTTP serving front: :class:`CorpusServer`.
+
+The server mounts an :class:`~repro.library.AsyncCorpusLibrary` — the
+bounded reader pool *is* the backpressure: at most ``readers`` blocking
+block-decodes run at once, no matter how many sockets are open — and speaks
+a deliberately small slice of HTTP/1.1 over plain ``asyncio`` streams
+(stdlib only, no frameworks):
+
+==========================  ================================================
+``GET /healthz``            liveness + record count
+``GET /stats``              manifest summary, pool/cache counters, request
+                            tallies (the observable the load harness reads)
+``GET /records/{i}``        one record, ``text/plain``
+``POST /records:batch``     ``{"indices": [...]}`` → one record per line,
+                            served through ``get_many``'s pool fan-out
+``GET /records?start=&stop=``  range stream over chunked transfer encoding,
+                            one :meth:`AsyncCorpusLibrary.stream` batch per
+                            chunk so the event loop interleaves requests
+==========================  ================================================
+
+Connections are keep-alive by default; every error is the JSON envelope of
+:mod:`repro.server.protocol`, typed so clients re-raise the exact
+:mod:`repro.errors` class.  :meth:`CorpusServer.shutdown` is graceful: the
+listener closes first, in-flight requests run to completion (bounded by a
+grace period), then idle keep-alive connections are torn down.
+
+:class:`BackgroundServer` wraps the whole lifecycle in a thread with its own
+event loop — the harness the tests, the latency benchmark and the quickstart
+all use to stand a server up next to blocking client code.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+import urllib.parse
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from ..core.codec import ZSmilesCodec
+from ..errors import ProtocolError, ReproError, ServerError
+from ..library import DEFAULT_POOL_SIZE, DEFAULT_STREAM_BATCH, AsyncCorpusLibrary
+from ..store.reader import DEFAULT_CACHE_BLOCKS
+from . import protocol
+
+PathLike = Union[str, Path]
+
+#: Default bind address (loopback: exposing a corpus is an explicit choice).
+DEFAULT_HOST = "127.0.0.1"
+#: Default port (0 = ephemeral, reported by ``CorpusServer.port`` once bound).
+DEFAULT_PORT = 8765
+#: Seconds in-flight requests get to finish during a graceful shutdown.
+DEFAULT_GRACE = 10.0
+
+_REQUEST_METHODS = ("GET", "POST")
+
+
+class _ConnectionAbort(Exception):
+    """Internal: tear the connection down without writing anything more.
+
+    Raised when a response is already partially on the wire (a chunked
+    stream) and failed mid-way — injecting an error envelope would corrupt
+    the framing, so the only honest signal left is closing the socket.
+    """
+
+
+class _Request:
+    """One parsed HTTP request (the few fields the routes need)."""
+
+    __slots__ = ("method", "path", "query", "headers", "body")
+
+    def __init__(
+        self,
+        method: str,
+        path: str,
+        query: Dict[str, str],
+        headers: Dict[str, str],
+        body: bytes,
+    ):
+        self.method = method
+        self.path = path
+        self.query = query
+        self.headers = headers
+        self.body = body
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+
+class CorpusServer:
+    """Serve one :class:`AsyncCorpusLibrary` over HTTP on an asyncio loop.
+
+    The server borrows the library (it does not close it): callers own both
+    lifecycles, which lets one library back a server *and* in-process
+    consumers at once.
+    """
+
+    def __init__(
+        self,
+        library: AsyncCorpusLibrary,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        stream_batch: int = DEFAULT_STREAM_BATCH,
+    ):
+        if stream_batch < 1:
+            raise ServerError("stream_batch must be >= 1")
+        self.library = library
+        self.host = host
+        self.port = port
+        self.stream_batch = stream_batch
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: set = set()
+        self._busy: set = set()
+        self._closing = False
+        self._started_at = 0.0
+        #: Request tally per route plus error count (single loop: plain ints).
+        self.counters: Dict[str, int] = {
+            "requests": 0,
+            "errors": 0,
+            "records_served": 0,
+            "healthz": 0,
+            "stats": 0,
+            "single": 0,
+            "batch": 0,
+            "stream": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Bind and start accepting connections; resolves ``self.port``."""
+        if self._server is not None:
+            raise ServerError("server already started")
+        self._server = await asyncio.start_server(self._serve_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
+
+    @property
+    def url(self) -> str:
+        """The server's base URL (valid once :meth:`start` returned)."""
+        return f"http://{self.host}:{self.port}"
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def shutdown(self, grace: float = DEFAULT_GRACE) -> None:
+        """Stop accepting, drain in-flight requests, then drop idle connections.
+
+        A request already being processed (including a chunked range stream)
+        gets up to *grace* seconds to complete; keep-alive connections that
+        are merely idle between requests are cancelled after the drain.
+        """
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Drain: only connections actually processing a request get the grace
+        # period; handlers re-check _closing after each response and exit
+        # instead of waiting for another one, so this is "drain", not
+        # "linger".  Idle keep-alive connections are torn down immediately.
+        in_flight = {task for task in self._connections if task in self._busy}
+        if in_flight:
+            await asyncio.wait(in_flight, timeout=grace)
+        leftovers = set(self._connections)
+        for task in leftovers:
+            task.cancel()
+        if leftovers:
+            await asyncio.gather(*leftovers, return_exceptions=True)
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            while not self._closing:
+                try:
+                    request = await self._read_request(reader)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                except (asyncio.LimitOverrunError, ValueError):
+                    # readline() reports an over-limit request line / header
+                    # as ValueError (it swallows the LimitOverrunError).
+                    await self._write_error(writer, ProtocolError("request line/header too long"))
+                    break
+                except ProtocolError as exc:
+                    # A framing error leaves the stream unsynchronized; answer
+                    # and close rather than misparse the next request.
+                    await self._write_error(writer, exc)
+                    break
+                if request is None:  # clean EOF between requests
+                    break
+                keep_alive = request.keep_alive and not self._closing
+                if task is not None:
+                    self._busy.add(task)
+                try:
+                    try:
+                        await self._dispatch(request, writer, keep_alive)
+                    except (ConnectionError, asyncio.CancelledError):
+                        raise
+                    except _ConnectionAbort:
+                        # A partially-written response cannot be followed by
+                        # an envelope; the close below is the error signal.
+                        break
+                    except ReproError as exc:
+                        self.counters["errors"] += 1
+                        await self._write_error(writer, exc, keep_alive)
+                    except Exception as exc:  # noqa: BLE001 — envelope, don't kill the loop
+                        self.counters["errors"] += 1
+                        await self._write_error(
+                            writer, ServerError(f"internal error: {exc}"), False
+                        )
+                        break
+                finally:
+                    if task is not None:
+                        self._busy.discard(task)
+                if not keep_alive:
+                    break
+        except (asyncio.CancelledError, ConnectionError):
+            pass  # shutdown tear-down, or the peer vanished mid-write
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader) -> Optional[_Request]:
+        """Parse one HTTP/1.1 request; ``None`` on clean EOF."""
+        line = await reader.readline()
+        if not line:
+            return None
+        try:
+            method, target, version = line.decode("ascii").split()
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ProtocolError(f"malformed request line: {line[:80]!r}") from exc
+        if method not in _REQUEST_METHODS:
+            raise ProtocolError(f"unsupported method {method!r}")
+        if not version.startswith("HTTP/1."):
+            raise ProtocolError(f"unsupported protocol version {version!r}")
+        headers: Dict[str, str] = {}
+        header_lines = 0
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            # Count lines read, not dict entries: repeated names overwrite
+            # their dict slot, so len(headers) would never trip the guard.
+            header_lines += 1
+            if header_lines > 100:
+                raise ProtocolError("too many headers")
+            try:
+                name, _, value = raw.decode("latin-1").partition(":")
+            except UnicodeDecodeError as exc:  # pragma: no cover — latin-1 total
+                raise ProtocolError("undecodable header") from exc
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        if "content-length" in headers:
+            try:
+                length = int(headers["content-length"])
+            except ValueError as exc:
+                raise ProtocolError("content-length is not an integer") from exc
+            if length < 0 or length > protocol.MAX_BODY_BYTES:
+                raise ProtocolError(
+                    f"body of {length} bytes exceeds the {protocol.MAX_BODY_BYTES} cap"
+                )
+            body = await reader.readexactly(length)
+        parsed = urllib.parse.urlsplit(target)
+        query = dict(urllib.parse.parse_qsl(parsed.query, keep_blank_values=True))
+        return _Request(method, parsed.path, query, headers, body)
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    async def _dispatch(
+        self, request: _Request, writer: asyncio.StreamWriter, keep_alive: bool
+    ) -> None:
+        self.counters["requests"] += 1
+        path = request.path
+        if path == protocol.ROUTE_HEALTH:
+            self.counters["healthz"] += 1
+            await self._write_json(writer, self._health_payload(), keep_alive)
+        elif path == protocol.ROUTE_STATS:
+            self.counters["stats"] += 1
+            await self._write_json(writer, self.stats(), keep_alive)
+        elif path == protocol.ROUTE_BATCH:
+            if request.method != "POST":
+                raise ProtocolError(f"{path} requires POST, got {request.method}")
+            await self._handle_batch(request, writer, keep_alive)
+        elif path.startswith(protocol.RECORD_PREFIX):
+            await self._handle_single(request, writer, keep_alive)
+        elif path == protocol.ROUTE_RECORDS:
+            await self._handle_stream(request, writer, keep_alive)
+        else:
+            self.counters["errors"] += 1
+            status, body = 404, protocol.encode_json(
+                {"error": {"type": "NotFound", "message": f"no route {path}", "status": 404}}
+            )
+            await self._write_response(
+                writer, status, body, protocol.CONTENT_TYPE_JSON, keep_alive
+            )
+
+    async def _handle_single(
+        self, request: _Request, writer: asyncio.StreamWriter, keep_alive: bool
+    ) -> None:
+        raw = request.path[len(protocol.RECORD_PREFIX):]
+        try:
+            index = int(raw)
+        except ValueError as exc:
+            raise ProtocolError(f"record index must be an integer, got {raw!r}") from exc
+        record = await self.library.get(index)
+        self.counters["single"] += 1
+        self.counters["records_served"] += 1
+        await self._write_response(
+            writer,
+            200,
+            record.encode("utf-8"),
+            protocol.CONTENT_TYPE_TEXT,
+            keep_alive,
+        )
+
+    async def _handle_batch(
+        self, request: _Request, writer: asyncio.StreamWriter, keep_alive: bool
+    ) -> None:
+        indices = protocol.parse_batch_request(request.body)
+        records = await self.library.get_many(indices)
+        self.counters["batch"] += 1
+        self.counters["records_served"] += len(records)
+        await self._write_response(
+            writer,
+            200,
+            protocol.encode_records_body(records),
+            protocol.CONTENT_TYPE_TEXT,
+            keep_alive,
+        )
+
+    async def _handle_stream(
+        self, request: _Request, writer: asyncio.StreamWriter, keep_alive: bool
+    ) -> None:
+        """Range streaming over chunked transfer encoding.
+
+        Each chunk is one reader-pool batch, so a slow consumer only ever
+        holds ``stream_batch`` decoded records in the send path and the
+        event loop is free between chunks.
+        """
+        start, stop = protocol.parse_range_query(request.query, len(self.library))
+        self.counters["stream"] += 1
+        headers = (
+            f"HTTP/1.1 200 {protocol.STATUS_REASONS[200]}\r\n"
+            f"Content-Type: {protocol.CONTENT_TYPE_TEXT}\r\n"
+            "Transfer-Encoding: chunked\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        )
+        writer.write(headers.encode("ascii"))
+        # From here the response is on the wire: a failure can no longer be
+        # answered with an error envelope (it would be injected into the
+        # chunked body and desynchronize the framing), so it aborts the
+        # connection instead — the truncated stream is the client's signal
+        # (CorpusClient raises ServerConnectionError on it).
+        try:
+            cursor = start
+            while cursor < stop:
+                upper = min(cursor + self.stream_batch, stop)
+                batch = await self.library.get_many(list(range(cursor, upper)))
+                payload = protocol.encode_records_body(batch)
+                writer.write(f"{len(payload):x}\r\n".encode("ascii") + payload + b"\r\n")
+                await writer.drain()
+                self.counters["records_served"] += len(batch)
+                cursor = upper
+            writer.write(b"0\r\n\r\n")
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            raise
+        except Exception as exc:
+            self.counters["errors"] += 1
+            raise _ConnectionAbort from exc
+
+    # ------------------------------------------------------------------ #
+    # Payloads
+    # ------------------------------------------------------------------ #
+    def _health_payload(self) -> Dict[str, object]:
+        return {
+            "status": "ok",
+            "protocol": protocol.PROTOCOL_VERSION,
+            "records": len(self.library),
+        }
+
+    def stats(self) -> Dict[str, object]:
+        """The ``/stats`` payload (also handy for in-process inspection)."""
+        manifest = self.library.manifest
+        return {
+            "protocol": protocol.PROTOCOL_VERSION,
+            "records": len(self.library),
+            "shards": manifest.shard_count,
+            "pool_size": self.library.pool_size,
+            "uptime_seconds": round(time.monotonic() - self._started_at, 3)
+            if self._started_at
+            else 0.0,
+            "cache": self.library.cache_stats(),
+            "counters": dict(self.counters),
+            "manifest": {
+                "total_records": manifest.total_records,
+                "shard_count": manifest.shard_count,
+                "metadata": manifest.metadata,
+            },
+        }
+
+    # ------------------------------------------------------------------ #
+    # Response plumbing
+    # ------------------------------------------------------------------ #
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: bytes,
+        content_type: str,
+        keep_alive: bool,
+    ) -> None:
+        reason = protocol.STATUS_REASONS.get(status, "Unknown")
+        headers = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        )
+        writer.write(headers.encode("ascii") + body)
+        await writer.drain()
+
+    async def _write_json(
+        self, writer: asyncio.StreamWriter, payload: Dict[str, object], keep_alive: bool
+    ) -> None:
+        await self._write_response(
+            writer, 200, protocol.encode_json(payload), protocol.CONTENT_TYPE_JSON, keep_alive
+        )
+
+    async def _write_error(
+        self, writer: asyncio.StreamWriter, exc: BaseException, keep_alive: bool = False
+    ) -> None:
+        status, body = protocol.encode_error(exc)
+        try:
+            await self._write_response(
+                writer, status, body, protocol.CONTENT_TYPE_JSON, keep_alive
+            )
+        except ConnectionError:
+            pass  # the peer is gone; nothing to tell them
+
+
+# --------------------------------------------------------------------------- #
+# Blocking entry points
+# --------------------------------------------------------------------------- #
+class BackgroundServer:
+    """A :class:`CorpusServer` on its own thread + event loop.
+
+    The bridge between the async server and blocking consumers: tests, the
+    latency benchmark, the quickstart, and ``cli serve``'s signal-driven
+    foreground loop all run the same lifecycle.
+
+    Use as a context manager::
+
+        with BackgroundServer("corpus.library", readers=8) as server:
+            client = CorpusClient(server.url)
+            ...
+    """
+
+    def __init__(
+        self,
+        source: PathLike,
+        codec: Optional[ZSmilesCodec] = None,
+        host: str = DEFAULT_HOST,
+        port: int = 0,
+        readers: int = DEFAULT_POOL_SIZE,
+        cache_blocks: int = DEFAULT_CACHE_BLOCKS,
+        use_mmap: bool = False,
+        stream_batch: int = DEFAULT_STREAM_BATCH,
+    ):
+        self._source = source
+        self._codec = codec
+        self._host = host
+        self._port = port
+        self._readers = readers
+        self._cache_blocks = cache_blocks
+        self._use_mmap = use_mmap
+        self._stream_batch = stream_batch
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._startup_error: Optional[BaseException] = None
+        self.server: Optional[CorpusServer] = None
+
+    # -- thread body ---------------------------------------------------- #
+    async def _main(self) -> None:
+        try:
+            library = AsyncCorpusLibrary.open(
+                self._source,
+                codec=self._codec,
+                pool_size=self._readers,
+                cache_blocks=self._cache_blocks,
+                use_mmap=self._use_mmap,
+            )
+        except BaseException as exc:  # startup failures surface in start()
+            self._startup_error = exc
+            self._ready.set()
+            return
+        try:
+            server = CorpusServer(
+                library, self._host, self._port, stream_batch=self._stream_batch
+            )
+            await server.start()
+            self.server = server
+            self._loop = asyncio.get_running_loop()
+            self._stop_event = asyncio.Event()
+            self._ready.set()
+            await self._stop_event.wait()
+            await server.shutdown()
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            raise
+        finally:
+            library.close()
+
+    # -- public surface -------------------------------------------------- #
+    def start(self) -> "BackgroundServer":
+        if self._thread is not None or self._ready.is_set():
+            # One instance, one lifecycle: _ready/_startup_error/server all
+            # belong to the first run, so a restart would report stale state
+            # (the old port, a dead URL).  Create a new instance instead.
+            raise ServerError(
+                "BackgroundServer cannot be restarted; create a new instance"
+            )
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()),
+            name="zsmiles-corpus-server",
+            daemon=True,
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            self._thread.join()
+            raise ServerError(
+                f"corpus server failed to start: {self._startup_error}"
+            ) from self._startup_error
+        return self
+
+    @property
+    def url(self) -> str:
+        if self.server is None:
+            raise ServerError("BackgroundServer is not running")
+        return self.server.url
+
+    def stop(self) -> None:
+        """Graceful shutdown (idempotent): drain, then join the thread."""
+        if self._thread is None:
+            return
+        if self._loop is not None and self._stop_event is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:
+                pass  # loop already closed
+        self._thread.join()
+        self._thread = None
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def run_server(
+    source: PathLike,
+    codec: Optional[ZSmilesCodec] = None,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    readers: int = DEFAULT_POOL_SIZE,
+    cache_blocks: int = DEFAULT_CACHE_BLOCKS,
+    use_mmap: bool = False,
+) -> int:
+    """Serve *source* in the foreground until SIGINT/SIGTERM (``cli serve``).
+
+    Prints the bound URL once serving (flushed, machine-readable first line:
+    ``serving <records> records at <url> ...``) and shuts down gracefully —
+    in-flight requests drain before the process exits.
+    """
+    import signal
+
+    async def _main() -> None:
+        library = AsyncCorpusLibrary.open(
+            source,
+            codec=codec,
+            pool_size=readers,
+            cache_blocks=cache_blocks,
+            use_mmap=use_mmap,
+        )
+        try:
+            server = CorpusServer(library, host, port)
+            await server.start()
+            print(
+                f"serving {len(library)} records at {server.url} "
+                f"(pool={readers}, cache_blocks={cache_blocks}"
+                f"{', mmap' if use_mmap else ''}) — Ctrl-C to stop",
+                flush=True,
+            )
+            stop = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(signum, stop.set)
+                except (NotImplementedError, RuntimeError):  # pragma: no cover
+                    pass  # platforms without signal handler support
+            await stop.wait()
+            print("shutting down (draining in-flight requests)...", flush=True)
+            await server.shutdown()
+        finally:
+            library.close()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover — signal handler races
+        pass
+    return 0

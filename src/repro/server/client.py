@@ -1,0 +1,314 @@
+"""The blocking corpus client: :class:`CorpusClient`.
+
+A :class:`~http.client.HTTPConnection`-based client that mirrors the
+:class:`~repro.store.protocol.RecordReader` surface — ``len()``, ``get``,
+``get_many``, ``slice``, ``iter_all``, the ``line``/``lines`` aliases and
+context management — so every existing consumer (the screening pipeline,
+``datasets.io``, the CLI) reads from a URL exactly the way it reads from a
+file.  :func:`repro.store.open_reader` dispatches ``http://`` / ``https://``
+sources here, which is how a corpus moves from "local file" to "service"
+without a single call-site change.
+
+Error behaviour is typed end to end: the server's JSON envelope is decoded
+back into the originating :mod:`repro.errors` class (an out-of-range index
+raises :class:`~repro.errors.RandomAccessError`, a malformed request
+:class:`~repro.errors.ProtocolError`), and transport failures — connection
+refused, the server dying mid-stream — raise
+:class:`~repro.errors.ServerConnectionError`.
+
+One connection is kept alive across calls and transparently reopened once
+when the server closed it between requests (standard keep-alive race); a
+failure on the *retried* request is reported, not retried again.
+
+The client is thread-safe the way the local readers are: unit requests
+(``get`` / ``get_many`` / ``stats``) serialize over the shared keep-alive
+connection behind a lock — mirroring :class:`ShardReader`'s I/O lock — and
+every :meth:`iter_range` stream runs on its own dedicated connection, so a
+long (or abandoned) stream never blocks or desynchronizes unit requests
+from other threads.
+"""
+
+from __future__ import annotations
+
+import http.client
+import socket
+import threading
+import urllib.parse
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import ProtocolError, ServerConnectionError, ServerError
+from . import protocol
+
+#: Default socket timeout (seconds) for every request.
+DEFAULT_TIMEOUT = 30.0
+#: Records requested per :meth:`CorpusClient.iter_range` underlying stream read.
+DEFAULT_READ_BATCH = 8192
+
+
+class CorpusClient:
+    """Blocking record access to a :class:`~repro.server.app.CorpusServer`.
+
+    Parameters
+    ----------
+    base_url:
+        The server root, e.g. ``http://127.0.0.1:8765``.  A path prefix is
+        honoured (``http://host:port/corpus`` requests ``/corpus/records/…``).
+    timeout:
+        Socket timeout per request, in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = DEFAULT_TIMEOUT):
+        parsed = urllib.parse.urlsplit(base_url)
+        if parsed.scheme not in ("http", "https"):
+            raise ServerError(f"unsupported URL scheme {parsed.scheme!r} in {base_url!r}")
+        if not parsed.hostname:
+            raise ServerError(f"no host in server URL {base_url!r}")
+        self.base_url = base_url.rstrip("/")
+        self._https = parsed.scheme == "https"
+        self._host = parsed.hostname
+        self._port = parsed.port
+        self._prefix = parsed.path.rstrip("/")
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+        # Serializes request/response cycles on the shared keep-alive
+        # connection (http.client forbids interleaving them); the local
+        # readers' ShardReader._io_lock plays the same role.
+        self._lock = threading.RLock()
+        self._total: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+    def _new_connection(self) -> http.client.HTTPConnection:
+        factory = (
+            http.client.HTTPSConnection if self._https else http.client.HTTPConnection
+        )
+        return factory(self._host, self._port, timeout=self.timeout)
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = self._new_connection()
+        return self._conn
+
+    def _drop_connection(self) -> None:
+        with self._lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
+
+    def _request(
+        self,
+        method: str,
+        target: str,
+        body: Optional[bytes] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> http.client.HTTPResponse:
+        """One request over the kept-alive connection, reconnecting once.
+
+        The retry covers exactly the keep-alive race (the server closed an
+        idle connection between our requests); a connection that fails twice
+        in a row — or refuses outright — is a real transport error.
+        """
+        target = self._prefix + target
+        request_headers = {"Accept": protocol.CONTENT_TYPE_JSON}
+        if headers:
+            request_headers.update(headers)
+        last_error: Optional[Exception] = None
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, target, body=body, headers=request_headers)
+                return conn.getresponse()
+            except (http.client.HTTPException, ConnectionError, socket.timeout, OSError) as exc:
+                last_error = exc
+                self._drop_connection()
+                if attempt:
+                    break
+        raise ServerConnectionError(
+            f"request {method} {target} to {self.base_url} failed: {last_error}"
+        ) from last_error
+
+    def _read_body(self, response: http.client.HTTPResponse) -> bytes:
+        try:
+            return response.read()
+        except (http.client.HTTPException, ConnectionError, socket.timeout, OSError) as exc:
+            self._drop_connection()
+            raise ServerConnectionError(
+                f"server at {self.base_url} died mid-response: {exc}"
+            ) from exc
+
+    def _call(
+        self,
+        method: str,
+        target: str,
+        body: Optional[bytes] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, bytes]:
+        # The lock spans the whole request/response cycle: another thread
+        # starting a request before this response is fully read would tear
+        # the keep-alive connection (http.client CannotSendRequest) or, at
+        # worst, read the wrong response.
+        with self._lock:
+            response = self._request(method, target, body=body, headers=headers)
+            payload = self._read_body(response)
+        if response.status != 200:
+            raise protocol.exception_from_envelope(payload, response.status)
+        return response.status, payload
+
+    # ------------------------------------------------------------------ #
+    # Service endpoints
+    # ------------------------------------------------------------------ #
+    def healthz(self) -> Dict[str, object]:
+        """The server's liveness payload."""
+        _, body = self._call("GET", protocol.ROUTE_HEALTH)
+        return self._json_object(body, protocol.ROUTE_HEALTH)
+
+    def stats(self) -> Dict[str, object]:
+        """The server's ``/stats`` payload (manifest, cache and counters)."""
+        _, body = self._call("GET", protocol.ROUTE_STATS)
+        payload = self._json_object(body, protocol.ROUTE_STATS)
+        records = payload.get("records")
+        if isinstance(records, int):
+            self._total = records
+        return payload
+
+    @staticmethod
+    def _json_object(body: bytes, route: str) -> Dict[str, object]:
+        obj = protocol.decode_json(body)
+        if not isinstance(obj, dict):
+            raise ProtocolError(f"{route} response must be a JSON object")
+        return obj
+
+    # ------------------------------------------------------------------ #
+    # RecordReader surface
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        """Record count, fetched from ``/stats`` once and cached."""
+        if self._total is None:
+            self.stats()
+            if self._total is None:
+                raise ProtocolError("/stats response carried no integer 'records'")
+        return self._total
+
+    def get(self, index: int) -> str:
+        """The record at *index* (one ``GET /records/{i}``)."""
+        _, body = self._call("GET", f"{protocol.RECORD_PREFIX}{index}")
+        return body.decode("utf-8")
+
+    def __getitem__(self, index: int) -> str:
+        return self.get(index)
+
+    def get_many(self, indices: Sequence[int]) -> List[str]:
+        """Fetch several records in one ``POST /records:batch`` round trip."""
+        indices = list(indices)
+        if not indices:
+            return []
+        _, body = self._call(
+            "POST",
+            protocol.ROUTE_BATCH,
+            body=protocol.encode_batch_request(indices),
+            headers={"Content-Type": protocol.CONTENT_TYPE_JSON},
+        )
+        records = body.decode("utf-8").split("\n")
+        if records and records[-1] == "":
+            records.pop()
+        if len(records) != len(indices):
+            raise ProtocolError(
+                f"batch response carried {len(records)} records for {len(indices)} indices"
+            )
+        return records
+
+    def iter_range(
+        self, start: int = 0, stop: Optional[int] = None
+    ) -> Iterator[str]:
+        """Stream records ``start`` … ``stop`` (exclusive) lazily.
+
+        One ``GET /records?start=&stop=`` request; the server answers with
+        chunked transfer encoding and records are yielded as lines arrive,
+        so a range larger than memory streams in constant space.  If the
+        server dies mid-stream, :class:`ServerConnectionError` is raised at
+        the point of interruption.
+
+        Each stream runs on a *dedicated* connection: other threads keep
+        using the shared keep-alive socket while a stream is in flight, and
+        abandoning the generator mid-way just closes the stream's own
+        socket instead of desynchronizing the shared one.
+        """
+        query = {"start": str(start)}
+        if stop is not None:
+            query["stop"] = str(stop)
+        target = (
+            self._prefix
+            + f"{protocol.ROUTE_RECORDS}?{urllib.parse.urlencode(query)}"
+        )
+        conn = self._new_connection()
+        try:
+            try:
+                conn.request("GET", target, headers={"Accept": protocol.CONTENT_TYPE_TEXT})
+                response = conn.getresponse()
+                if response.status != 200:
+                    payload = response.read()
+                    raise protocol.exception_from_envelope(payload, response.status)
+            except (http.client.HTTPException, ConnectionError, socket.timeout, OSError) as exc:
+                raise ServerConnectionError(
+                    f"request GET {target} to {self.base_url} failed: {exc}"
+                ) from exc
+            pending = b""
+            try:
+                while True:
+                    # read1, not read: read(n) buffers until n bytes or EOF
+                    # and discards the partial tail when the stream is cut,
+                    # whereas read1 hands over each transfer chunk as it
+                    # arrives — so records received before a mid-stream
+                    # death are delivered.
+                    chunk = response.read1(DEFAULT_READ_BATCH)
+                    if not chunk:
+                        break
+                    pending += chunk
+                    lines = pending.split(b"\n")
+                    pending = lines.pop()
+                    for line in lines:
+                        yield line.decode("utf-8")
+            except (http.client.HTTPException, ConnectionError, socket.timeout, OSError) as exc:
+                raise ServerConnectionError(
+                    f"server at {self.base_url} died mid-stream: {exc}"
+                ) from exc
+            if pending:
+                # The protocol terminates every record with \n; a dangling
+                # tail means the stream was cut (e.g. the connection dropped
+                # cleanly at a chunk boundary before the terminating chunk).
+                raise ServerConnectionError(
+                    f"record stream from {self.base_url} ended mid-record"
+                )
+        finally:
+            conn.close()
+
+    def slice(self, start: int, stop: int) -> List[str]:
+        """Records ``start`` (inclusive) to ``stop`` (exclusive, clamped)."""
+        return list(self.iter_range(start, stop))
+
+    def iter_all(self) -> Iterator[str]:
+        """Stream every record in order."""
+        return self.iter_range(0, None)
+
+    # Compatibility aliases with RandomAccessReader's historical names.
+    def line(self, index: int) -> str:
+        """Alias of :meth:`get`."""
+        return self.get(index)
+
+    def lines(self, indices: Sequence[int]) -> List[str]:
+        """Alias of :meth:`get_many`."""
+        return self.get_many(indices)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Close the kept-alive connection (idempotent; calls reopen it)."""
+        self._drop_connection()
+
+    def __enter__(self) -> "CorpusClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,234 @@
+"""The wire schema shared by the corpus server and its clients.
+
+One module pins everything both sides must agree on, so the server
+(:mod:`repro.server.app`) and the blocking client
+(:mod:`repro.server.client`) cannot drift apart:
+
+* **Routes** — ``/healthz``, ``/stats``, ``/records/{i}``,
+  ``/records:batch`` and the ``/records?start=&stop=`` range stream.
+* **Content types** — single records and streamed ranges travel as
+  ``text/plain; charset=utf-8`` (one record per line, exactly the ``.smi``
+  framing every other layer uses); structured payloads travel as
+  ``application/json``.
+* **The error envelope** — every non-2xx response is a JSON object
+  ``{"error": {"type": ..., "message": ...}}`` whose ``type`` is the
+  :mod:`repro.errors` class name.  :func:`status_for_exception` maps
+  exceptions to HTTP statuses on the way out;
+  :func:`exception_from_envelope` maps envelopes back to the *same*
+  exception classes on the way in, so ``client.get(10**9)`` raises the
+  :class:`~repro.errors.RandomAccessError` a direct
+  :meth:`CorpusLibrary.get` would — the parity the failure-path tests pin.
+* **Body limits** — request bodies and batch sizes are bounded so a
+  misbehaving client cannot balloon server memory.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple, Type
+
+from ..errors import (
+    LibraryError,
+    ManifestError,
+    ProtocolError,
+    RandomAccessError,
+    ReproError,
+    ServerConnectionError,
+    ServerError,
+    StoreError,
+    StoreFormatError,
+)
+
+#: Wire-protocol version reported by ``/healthz`` and ``/stats``.
+PROTOCOL_VERSION = 1
+
+# --------------------------------------------------------------------------- #
+# Routes
+# --------------------------------------------------------------------------- #
+ROUTE_HEALTH = "/healthz"
+ROUTE_STATS = "/stats"
+ROUTE_RECORDS = "/records"
+ROUTE_BATCH = "/records:batch"
+#: Prefix of the single-record route (``/records/{index}``).
+RECORD_PREFIX = ROUTE_RECORDS + "/"
+
+# --------------------------------------------------------------------------- #
+# Content types
+# --------------------------------------------------------------------------- #
+CONTENT_TYPE_JSON = "application/json"
+CONTENT_TYPE_TEXT = "text/plain; charset=utf-8"
+
+#: Hard cap on request body bytes (a batch of ~1M indices fits comfortably).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+#: Hard cap on indices per ``/records:batch`` request.
+MAX_BATCH_INDICES = 100_000
+
+#: Reason phrases for the statuses the protocol emits.
+STATUS_REASONS: Dict[int, str] = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+# --------------------------------------------------------------------------- #
+# Error envelope
+# --------------------------------------------------------------------------- #
+#: Exception classes that may legitimately cross the wire, by envelope name.
+#: Order matters for :func:`status_for_exception`: first match wins.
+_STATUS_BY_EXCEPTION: Tuple[Tuple[Type[BaseException], int], ...] = (
+    (RandomAccessError, 404),  # out-of-range index: the resource does not exist
+    (ProtocolError, 400),      # the caller sent something malformed
+    (ManifestError, 500),      # server-side corpus trouble from here down
+    (StoreFormatError, 500),
+    (LibraryError, 500),
+    (StoreError, 500),
+    (ServerError, 500),
+    (ReproError, 500),
+)
+
+_EXCEPTION_BY_NAME: Dict[str, Type[ReproError]] = {
+    cls.__name__: cls
+    for cls in (
+        RandomAccessError,
+        ProtocolError,
+        ManifestError,
+        StoreFormatError,
+        LibraryError,
+        StoreError,
+        ServerConnectionError,
+        ServerError,
+    )
+}
+
+
+def status_for_exception(exc: BaseException) -> int:
+    """The HTTP status an exception maps to (500 for anything unexpected)."""
+    for cls, status in _STATUS_BY_EXCEPTION:
+        if isinstance(exc, cls):
+            return status
+    return 500
+
+
+def error_envelope(exc: BaseException, status: int) -> Dict[str, object]:
+    """The JSON-serializable error body for *exc*."""
+    return {
+        "error": {
+            "type": type(exc).__name__,
+            "message": str(exc),
+            "status": status,
+        }
+    }
+
+
+def encode_error(exc: BaseException) -> Tuple[int, bytes]:
+    """Render *exc* as ``(status, envelope bytes)`` for the response."""
+    status = status_for_exception(exc)
+    return status, encode_json(error_envelope(exc, status))
+
+
+def exception_from_envelope(body: bytes, status: int) -> ReproError:
+    """Rebuild the typed exception an error response carries.
+
+    Unknown types (and unparsable bodies) degrade to :class:`ServerError`
+    so the client always raises something from the :mod:`repro.errors`
+    hierarchy, never a bare ``KeyError`` over a malformed envelope.
+    """
+    message = f"server returned HTTP {status}"
+    name = ""
+    try:
+        obj = json.loads(body.decode("utf-8"))
+        error = obj.get("error", {}) if isinstance(obj, dict) else {}
+        if isinstance(error, dict):
+            name = str(error.get("type", ""))
+            message = str(error.get("message", message))
+    except (ValueError, UnicodeDecodeError):
+        pass
+    cls = _EXCEPTION_BY_NAME.get(name, ServerError)
+    return cls(message)
+
+
+# --------------------------------------------------------------------------- #
+# Bodies
+# --------------------------------------------------------------------------- #
+def encode_json(obj: object) -> bytes:
+    """Deterministic JSON bytes (sorted keys, compact separators)."""
+    return (json.dumps(obj, sort_keys=True, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_json(body: bytes) -> object:
+    """Parse a JSON request/response body, raising :class:`ProtocolError`."""
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"body is not valid JSON: {exc}") from exc
+
+
+def encode_batch_request(indices: List[int]) -> bytes:
+    """The ``/records:batch`` request body for *indices*."""
+    return encode_json({"indices": list(indices)})
+
+
+def parse_batch_request(body: bytes) -> List[int]:
+    """Validate a ``/records:batch`` body into a list of indices.
+
+    Raises :class:`ProtocolError` (HTTP 400) for anything malformed: bad
+    JSON, a missing or non-list ``indices`` key, non-integer entries (bools
+    included), or more than :data:`MAX_BATCH_INDICES` entries.
+    """
+    obj = decode_json(body)
+    if not isinstance(obj, dict) or "indices" not in obj:
+        raise ProtocolError('batch body must be a JSON object with an "indices" key')
+    indices = obj["indices"]
+    if not isinstance(indices, list):
+        raise ProtocolError('"indices" must be a JSON array')
+    if len(indices) > MAX_BATCH_INDICES:
+        raise ProtocolError(
+            f"batch of {len(indices)} indices exceeds the {MAX_BATCH_INDICES} cap"
+        )
+    for value in indices:
+        # bool is an int subclass; reject it explicitly.
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ProtocolError(f"batch indices must be integers, got {value!r}")
+    return list(indices)
+
+
+def encode_records_body(records: List[str]) -> bytes:
+    """A batch/stream payload: one record per line (``.smi`` framing)."""
+    return "".join(record + "\n" for record in records).encode("utf-8")
+
+
+def parse_range_query(query: Dict[str, str], total: int) -> Tuple[int, int]:
+    """Validate ``start``/``stop`` query parameters for the range stream.
+
+    Mirrors the local ``slice`` contract of
+    :class:`~repro.store.reader.RecordAccessMixin` exactly, so remote and
+    local reads fail (and succeed) identically: a negative ``start`` or an
+    inverted range — judged on the *raw* values, before clamping — raises
+    :class:`RandomAccessError` (HTTP 404, the class a direct
+    ``reader.slice`` raises); ``stop`` then defaults to *total* and is
+    clamped to it, so a ``start`` past the end yields an empty stream, not
+    an error.  Only non-integer values are :class:`ProtocolError` (HTTP
+    400) — those cannot occur locally.
+    """
+    try:
+        start = int(query.get("start", "0"))
+        stop = int(query["stop"]) if "stop" in query else total
+    except ValueError as exc:
+        raise ProtocolError(f"start/stop must be integers: {exc}") from exc
+    if start < 0 or stop < start:
+        raise RandomAccessError(f"invalid slice [{start}, {stop})")
+    return start, min(stop, total)
+
+
+def is_url(path: object) -> bool:
+    """Whether *path* is an HTTP(S) URL rather than a filesystem path.
+
+    Checked against the raw string: ``pathlib`` would collapse ``//`` and
+    destroy the scheme, so callers must test *before* any ``Path(...)``.
+    """
+    return isinstance(path, str) and path.startswith(("http://", "https://"))

@@ -11,11 +11,14 @@ Callers that serve records — the screening campaign, the CLI ``get`` /
   block-compressed ``.zss`` container,
 * :class:`~repro.core.random_access.RandomAccessReader` — the documented
   "flat" fallback over line-oriented ``.smi`` / ``.zsmi`` files with a
-  ``.zsx`` sidecar index.
+  ``.zsx`` sidecar index,
+* :class:`~repro.server.CorpusClient` — the network tier: a blocking HTTP
+  client over a :class:`~repro.server.CorpusServer` (``zsmiles serve``).
 
-:func:`open_reader` picks the right implementation from the path: library
-directories and ``.json`` manifests dispatch to the library, ``.zss`` files
-to the store, anything else to the flat reader.  Every implementation is a
+:func:`open_reader` picks the right implementation from the path:
+``http://`` / ``https://`` URLs dispatch to the corpus client, library
+directories and ``.json`` manifests to the library, ``.zss`` files to the
+store, anything else to the flat reader.  Every implementation is a
 context manager, so serving code can uniformly ``with open_reader(...) as
 reader:``.
 """
@@ -75,12 +78,23 @@ def open_reader(
 ) -> RecordReader:
     """Open the right :class:`RecordReader` for *path*.
 
-    A library directory or ``.json`` manifest opens as a
-    :class:`~repro.library.CorpusLibrary` (sharded serving); ``.zss`` files
-    open as a :class:`CorpusStore`; anything else opens as the flat
-    :class:`RandomAccessReader` fallback (building its line index on the
-    fly when no ``.zsx`` sidecar is supplied).
+    An ``http://`` / ``https://`` URL opens as a
+    :class:`~repro.server.CorpusClient` over a running corpus server (the
+    server decodes; *codec* is ignored).  A library directory or ``.json``
+    manifest opens as a :class:`~repro.library.CorpusLibrary` (sharded
+    serving); ``.zss`` files open as a :class:`CorpusStore`; anything else
+    opens as the flat :class:`RandomAccessReader` fallback (building its
+    line index on the fly when no ``.zsx`` sidecar is supplied).
     """
+    # URL check runs on the raw string: Path() would collapse the "//" and
+    # destroy the scheme.  Imported lazily — repro.server sits on top of
+    # this module.
+    from ..server.protocol import is_url
+
+    if is_url(path):
+        from ..server.client import CorpusClient
+
+        return CorpusClient(str(path))
     path = Path(path)
     # Imported lazily: repro.library sits on top of this module.
     from ..library import CorpusLibrary, resolve_manifest_path

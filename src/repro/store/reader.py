@@ -79,6 +79,16 @@ class BlockCache:
         with self._lock:
             return key in self._entries
 
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/occupancy snapshot (the shape ``/stats`` and the CLI report)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "capacity": self.capacity,
+                "cached_blocks": len(self._entries),
+            }
+
 
 #: Backwards-compatible private alias (pre-library name).
 _BlockCache = BlockCache
@@ -117,6 +127,10 @@ class BlockCacheView:
 
     def __contains__(self, key: Hashable) -> bool:
         return (self.namespace, key) in self.shared
+
+    def stats(self) -> Dict[str, int]:
+        """The shared cache's aggregate snapshot (views share one budget)."""
+        return self.shared.stats()
 
 
 class RecordAccessMixin:
@@ -282,6 +296,14 @@ class ShardReader(RecordAccessMixin):
     @property
     def cache_hits(self) -> int:
         return self._cache.hits
+
+    @property
+    def cache_misses(self) -> int:
+        return self._cache.misses
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Decoded-block cache counters (shared aggregates for pooled caches)."""
+        return self._cache.stats()
 
     def __len__(self) -> int:
         return self.footer.total_records

@@ -1,0 +1,112 @@
+"""Manifest-level composition: concatenating libraries without repacking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ManifestError
+from repro.library import (
+    CorpusLibrary,
+    LibraryManifest,
+    compose_libraries,
+    compose_manifests,
+    pack_library,
+)
+from repro.store import pack_records
+
+
+@pytest.fixture(scope="module")
+def composed_root(tmp_path_factory, corpus, engine):
+    """Two libraries + one bare shard packed side by side under one root."""
+    root = tmp_path_factory.mktemp("compose") / "corpora"
+    root.mkdir()
+    pack_library(root / "a.library", corpus[:50], engine, shards=2, records_per_block=8)
+    pack_library(root / "b.library", corpus[50:100], engine, shards=3, records_per_block=8)
+    pack_records(root / "tail.zss", corpus[100:], engine, records_per_block=8)
+    return root
+
+
+class TestComposeLibraries:
+    def test_composed_library_serves_the_concatenation(self, composed_root, corpus):
+        manifest_path = compose_libraries(
+            composed_root, [composed_root / "a.library", composed_root / "b.library",
+                            composed_root / "tail.zss"]
+        )
+        with CorpusLibrary.open(manifest_path) as library:
+            assert len(library) == len(corpus)
+            assert library.shard_count == 6  # 2 + 3 + 1
+            assert list(library.iter_all()) == corpus
+            # Spot-check routing across source boundaries.
+            for index in (0, 49, 50, 99, 100, len(corpus) - 1):
+                assert library.get(index) == corpus[index]
+
+    def test_shard_files_untouched(self, composed_root):
+        """Composition is a JSON write: no shard is modified or copied."""
+        before = {
+            path: (path.stat().st_mtime_ns, path.read_bytes())
+            for path in sorted(composed_root.rglob("*.zss"))
+        }
+        compose_libraries(
+            composed_root / "again.json",
+            [composed_root / "a.library", composed_root / "b.library"],
+        )
+        after = {
+            path: (path.stat().st_mtime_ns, path.read_bytes())
+            for path in sorted(composed_root.rglob("*.zss"))
+        }
+        assert before == after
+
+    def test_entries_copied_from_source_manifests(self, composed_root):
+        manifest = compose_manifests(
+            [composed_root / "a.library", composed_root / "b.library"], composed_root
+        )
+        source_a = LibraryManifest.load(composed_root / "a.library")
+        assert manifest.shards[0].records == source_a.shards[0].records
+        assert manifest.shards[0].blocks == source_a.shards[0].blocks
+        assert manifest.shards[0].name == "a.library/shard-0000.zss"
+        # Ranges re-based: b's first shard starts where a ends.
+        assert manifest.shards[2].start == source_a.total_records
+
+    def test_metadata_records_sources_by_default(self, composed_root):
+        manifest = compose_manifests([composed_root / "a.library"], composed_root)
+        assert "composed_from" in manifest.metadata
+
+    def test_explicit_json_output_path(self, composed_root, corpus):
+        manifest_path = compose_libraries(
+            composed_root / "subset.json", [composed_root / "b.library"]
+        )
+        assert manifest_path.name == "subset.json"
+        with CorpusLibrary.open(manifest_path) as library:
+            assert list(library.iter_all()) == corpus[50:100]
+
+    def test_order_is_concatenation_order(self, composed_root, corpus):
+        manifest_path = compose_libraries(
+            composed_root / "reversed.json",
+            [composed_root / "b.library", composed_root / "a.library"],
+        )
+        with CorpusLibrary.open(manifest_path) as library:
+            assert list(library.iter_all()) == corpus[50:100] + corpus[:50]
+
+
+class TestComposeValidation:
+    def test_shard_outside_root_rejected(self, composed_root, tmp_path):
+        with pytest.raises(ManifestError, match="common ancestor"):
+            compose_libraries(tmp_path / "elsewhere", [composed_root / "a.library"])
+
+    def test_empty_sources_rejected(self, composed_root):
+        with pytest.raises(ManifestError, match="at least one"):
+            compose_libraries(composed_root / "empty.json", [])
+
+    def test_same_library_twice_rejected(self, composed_root):
+        # compose routes files; listing one twice would alias shard names.
+        with pytest.raises(ManifestError, match="duplicate"):
+            compose_libraries(
+                composed_root / "dup.json",
+                [composed_root / "a.library", composed_root / "a.library"],
+            )
+
+    def test_non_library_source_rejected(self, composed_root, tmp_path):
+        bogus = composed_root / "bogus.txt"
+        bogus.write_text("hi", encoding="utf-8")
+        with pytest.raises(ManifestError, match="cannot compose"):
+            compose_libraries(composed_root / "x.json", [bogus])

@@ -1,0 +1,82 @@
+"""Per-shard parallel packing: ``shard_jobs`` is byte-identical to sequential."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LibraryError
+from repro.library import CorpusLibrary, LibraryWriter, pack_library
+
+
+def _shard_bytes(directory):
+    return {
+        path.name: path.read_bytes() for path in sorted(directory.glob("*.zss"))
+    }
+
+
+class TestParallelPackingParity:
+    @pytest.fixture(scope="class")
+    def packed_pair(self, tmp_path_factory, corpus, engine):
+        """The same corpus packed sequentially and with shard_jobs=3."""
+        base = tmp_path_factory.mktemp("shard_jobs")
+        sequential = base / "sequential.library"
+        parallel = base / "parallel.library"
+        info_seq = pack_library(
+            sequential, corpus, engine, shards=4, records_per_block=8
+        )
+        info_par = pack_library(
+            parallel, corpus, engine, shards=4, records_per_block=8, shard_jobs=3
+        )
+        return sequential, parallel, info_seq, info_par
+
+    def test_every_shard_byte_identical(self, packed_pair):
+        sequential, parallel, _, _ = packed_pair
+        seq_bytes = _shard_bytes(sequential)
+        par_bytes = _shard_bytes(parallel)
+        assert list(seq_bytes) == list(par_bytes) == [
+            f"shard-{i:04d}.zss" for i in range(4)
+        ]
+        for name in seq_bytes:
+            assert par_bytes[name] == seq_bytes[name], f"{name} differs"
+
+    def test_manifest_byte_identical(self, packed_pair):
+        sequential, parallel, _, _ = packed_pair
+        assert (parallel / "library.json").read_bytes() == (
+            sequential / "library.json"
+        ).read_bytes()
+
+    def test_pack_summaries_agree(self, packed_pair):
+        _, _, info_seq, info_par = packed_pair
+        assert info_par.records == info_seq.records
+        assert info_par.payload_bytes == info_seq.payload_bytes
+        assert info_par.file_bytes == info_seq.file_bytes
+        assert info_par.original_bytes == info_seq.original_bytes
+
+    def test_parallel_pack_serves_correctly(self, packed_pair, corpus):
+        _, parallel, _, _ = packed_pair
+        with CorpusLibrary.open(parallel) as library:
+            assert list(library.iter_all()) == corpus
+
+
+class TestShardJobsKnob:
+    def test_more_jobs_than_shards_is_clamped(self, tmp_path, corpus, engine):
+        directory = tmp_path / "clamped.library"
+        info = pack_library(
+            directory, corpus[:24], engine, shards=2, records_per_block=8,
+            shard_jobs=16,
+        )
+        assert info.shard_count == 2
+        with CorpusLibrary.open(directory) as library:
+            assert list(library.iter_all()) == corpus[:24]
+
+    def test_single_job_stays_in_process(self, tmp_path, corpus, engine):
+        directory = tmp_path / "single.library"
+        info = pack_library(
+            directory, corpus[:16], engine, shards=2, records_per_block=8,
+            shard_jobs=1,
+        )
+        assert info.shard_count == 2
+
+    def test_invalid_shard_jobs_rejected(self, tmp_path, engine):
+        with pytest.raises(LibraryError, match="shard_jobs"):
+            LibraryWriter(tmp_path / "x.library", engine, shards=2, shard_jobs=0)

@@ -1,0 +1,49 @@
+"""Shared fixtures for the HTTP serving-front test suites.
+
+One small multi-shard library is packed per module and served by one
+:class:`~repro.server.BackgroundServer`; tests that need fresh counters or
+a server they can kill start their own.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import ZSmilesEngine
+from repro.library import pack_library
+from repro.server import BackgroundServer, CorpusClient
+
+
+@pytest.fixture(scope="module")
+def corpus(mixed_corpus_small):
+    """120 records across 3 shards: small, fast, multi-shard routing."""
+    return mixed_corpus_small[:120]
+
+
+@pytest.fixture(scope="module")
+def engine(plain_codec):
+    """Serial engine over the no-preprocessing codec (byte-exact round trips)."""
+    with ZSmilesEngine.from_codec(plain_codec, backend="serial") as eng:
+        yield eng
+
+
+@pytest.fixture(scope="module")
+def library_dir(tmp_path_factory, corpus, engine):
+    """A 3-shard library over the corpus (blocks of 8)."""
+    directory = tmp_path_factory.mktemp("server_lib") / "corpus.library"
+    pack_library(directory, corpus, engine, shards=3, records_per_block=8)
+    return directory
+
+
+@pytest.fixture(scope="module")
+def server(library_dir):
+    """A background corpus server over the shared library (module-lived)."""
+    with BackgroundServer(library_dir, readers=3, stream_batch=16) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    """A fresh blocking client per test (the server outlives it)."""
+    with CorpusClient(server.url, timeout=10.0) as cli:
+        yield cli

@@ -1,0 +1,140 @@
+"""Unit tests for the wire schema: status mapping, envelopes, body parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    LibraryError,
+    ManifestError,
+    ProtocolError,
+    RandomAccessError,
+    ServerConnectionError,
+    ServerError,
+    StoreFormatError,
+)
+from repro.server import protocol
+
+
+class TestStatusMapping:
+    def test_out_of_range_is_404(self):
+        assert protocol.status_for_exception(RandomAccessError("nope")) == 404
+
+    def test_malformed_request_is_400(self):
+        assert protocol.status_for_exception(ProtocolError("bad")) == 400
+
+    @pytest.mark.parametrize(
+        "exc",
+        [ManifestError("m"), StoreFormatError("s"), LibraryError("l"), ServerError("x")],
+    )
+    def test_server_side_trouble_is_500(self, exc):
+        assert protocol.status_for_exception(exc) == 500
+
+    def test_unknown_exception_is_500(self):
+        assert protocol.status_for_exception(RuntimeError("?")) == 500
+
+
+class TestErrorEnvelope:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            RandomAccessError("record 9 out of range [0, 5)"),
+            ProtocolError("bad body"),
+            ManifestError("manifest drift"),
+            StoreFormatError("crc mismatch"),
+            LibraryError("no reader"),
+        ],
+    )
+    def test_round_trip_preserves_type_and_message(self, exc):
+        status, body = protocol.encode_error(exc)
+        rebuilt = protocol.exception_from_envelope(body, status)
+        assert type(rebuilt) is type(exc)
+        assert str(rebuilt) == str(exc)
+
+    def test_unknown_type_degrades_to_server_error(self):
+        rebuilt = protocol.exception_from_envelope(
+            b'{"error": {"type": "WeirdError", "message": "?"}}', 500
+        )
+        assert type(rebuilt) is ServerError
+
+    def test_unparsable_body_degrades_to_server_error(self):
+        rebuilt = protocol.exception_from_envelope(b"<html>gateway</html>", 502)
+        assert isinstance(rebuilt, ServerError)
+        assert "502" in str(rebuilt)
+
+    def test_connection_error_type_is_known(self):
+        # ServerConnectionError never travels the wire but must stay mappable
+        # if a proxy echoes it back.
+        status, body = protocol.encode_error(ServerConnectionError("gone"))
+        assert type(protocol.exception_from_envelope(body, status)) is ServerConnectionError
+
+
+class TestBatchBody:
+    def test_round_trip(self):
+        body = protocol.encode_batch_request([3, 1, 2])
+        assert protocol.parse_batch_request(body) == [3, 1, 2]
+
+    def test_empty_list_is_valid(self):
+        assert protocol.parse_batch_request(b'{"indices": []}') == []
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            b"not json",
+            b"[]",
+            b'{"wrong": []}',
+            b'{"indices": 3}',
+            b'{"indices": ["a"]}',
+            b'{"indices": [1.5]}',
+            b'{"indices": [true]}',
+        ],
+    )
+    def test_malformed_bodies_raise_protocol_error(self, body):
+        with pytest.raises(ProtocolError):
+            protocol.parse_batch_request(body)
+
+    def test_oversized_batch_rejected(self):
+        body = protocol.encode_batch_request(list(range(protocol.MAX_BATCH_INDICES + 1)))
+        with pytest.raises(ProtocolError, match="cap"):
+            protocol.parse_batch_request(body)
+
+
+class TestRangeQuery:
+    def test_defaults_cover_everything(self):
+        assert protocol.parse_range_query({}, 100) == (0, 100)
+
+    def test_stop_clamped_to_total(self):
+        assert protocol.parse_range_query({"start": "10", "stop": "999"}, 100) == (10, 100)
+
+    def test_start_past_end_is_an_empty_range_like_local_slice(self):
+        # RecordAccessMixin.slice(60, 70) over 50 records returns [] — the
+        # remote contract must match, not error.
+        assert protocol.parse_range_query({"start": "60", "stop": "70"}, 50) == (60, 50)
+
+    @pytest.mark.parametrize("query", [{"start": "x"}, {"stop": "y"}])
+    def test_non_integers_raise_protocol_error(self, query):
+        with pytest.raises(ProtocolError):
+            protocol.parse_range_query(query, 100)
+
+    @pytest.mark.parametrize("query", [{"start": "-1"}, {"start": "50", "stop": "10"}])
+    def test_invalid_ranges_raise_random_access_error_like_local_slice(self, query):
+        # Local readers raise RandomAccessError for these; remote parity.
+        with pytest.raises(RandomAccessError):
+            protocol.parse_range_query(query, 100)
+
+
+class TestIsUrl:
+    @pytest.mark.parametrize("value", ["http://h:1", "https://h/corpus"])
+    def test_urls(self, value):
+        assert protocol.is_url(value)
+
+    @pytest.mark.parametrize("value", ["corpus.zss", "/abs/lib", "ftp://h", 3, None])
+    def test_non_urls(self, value):
+        assert not protocol.is_url(value)
+
+    def test_path_objects_are_not_urls(self):
+        from pathlib import Path
+
+        # Path collapses "//", which is exactly why the raw-string check
+        # must run before any Path() conversion.
+        assert not protocol.is_url(Path("http://h:1"))

@@ -96,6 +96,57 @@ class TestConfigurableCacheBound:
             BlockCache(0)
 
 
+class TestCacheCounters:
+    """Hit/miss surfacing: the numbers ``/stats`` and ``query --verbose`` report."""
+
+    def test_block_cache_stats_snapshot(self):
+        cache = BlockCache(2)
+        assert cache.stats() == {"hits": 0, "misses": 0, "capacity": 2, "cached_blocks": 0}
+        assert cache.get("a") is None
+        cache.put("a", ["x"])
+        assert cache.get("a") == ["x"]
+        assert cache.stats() == {"hits": 1, "misses": 1, "capacity": 2, "cached_blocks": 1}
+
+    def test_cache_view_reports_shared_aggregates(self):
+        from repro.store import BlockCacheView
+
+        shared = BlockCache(4)
+        view_a = BlockCacheView(shared, "a")
+        view_b = BlockCacheView(shared, "b")
+        view_a.put(0, ["ra"])
+        assert view_a.get(0) == ["ra"]
+        assert view_b.get(0) is None  # namespaced: b's block 0 is not a's
+        assert view_a.stats() == view_b.stats() == shared.stats()
+        assert shared.stats()["hits"] == 1 and shared.stats()["misses"] == 1
+
+    def test_shard_reader_counts_hits_and_misses(self, packed):
+        path, corpus = packed
+        with ShardReader(path, cache_blocks=4) as reader:
+            assert reader.cache_hits == 0 and reader.cache_misses == 0
+            reader.get(0)  # cold: miss
+            reader.get(1)  # same block: hit
+            reader.get(8)  # next block: miss
+            assert reader.cache_misses == 2
+            assert reader.cache_hits == 1
+            assert reader.cache_stats()["cached_blocks"] == 2
+
+    def test_library_surfaces_shared_cache_counters(self, packed, plain_codec, tmp_path):
+        from repro.library import CorpusLibrary, pack_library
+
+        _, corpus = packed
+        directory = tmp_path / "counters.library"
+        with ZSmilesEngine.from_codec(plain_codec, backend="serial") as engine:
+            pack_library(directory, corpus, engine, shards=2, records_per_block=8)
+        with CorpusLibrary.open(directory) as library:
+            library.get(0)   # cold block in shard 0: miss
+            library.get(1)   # same block: hit
+            library.get(90)  # cold block in shard 1: miss (same shared cache)
+            stats = library.cache_stats()
+            assert stats["misses"] == library.cache_misses == 2
+            assert stats["hits"] == library.cache_hits == 1
+            assert stats["cached_blocks"] == 2
+
+
 class TestConcurrentReads:
     def test_threads_match_serial_reads(self, packed):
         """Hammer ONE CorpusStore from many threads; results must equal serial.

@@ -312,6 +312,104 @@ class TestShardedLibraryCommands:
             assert mode["us_per_request"] > 0
 
 
+class TestShardJobsFlag:
+    def test_shard_jobs_requires_shards(self, workspace):
+        directory, library, dictionary, _ = workspace
+        assert main([
+            "pack", str(library), "-d", str(dictionary), "--shard-jobs", "2",
+        ]) == 2
+
+    def test_shard_jobs_rejects_zero(self, workspace):
+        directory, library, dictionary, _ = workspace
+        assert main([
+            "pack", str(library), "-d", str(dictionary),
+            "--shards", "2", "--shard-jobs", "0",
+        ]) == 2
+
+    def test_shard_jobs_matches_sequential_pack(self, workspace, tmp_path, capsys):
+        """`pack --shard-jobs` emits byte-identical shards and manifest."""
+        directory, library, dictionary, _ = workspace
+        sequential = tmp_path / "seq.library"
+        parallel = tmp_path / "par.library"
+        assert main([
+            "pack", str(library), "-d", str(dictionary), "-o", str(sequential),
+            "--shards", "3", "--block-size", "16",
+        ]) == 0
+        assert main([
+            "pack", str(library), "-d", str(dictionary), "-o", str(parallel),
+            "--shards", "3", "--block-size", "16", "--shard-jobs", "2",
+        ]) == 0
+        for name in ("shard-0000.zss", "shard-0001.zss", "shard-0002.zss",
+                     "library.json"):
+            assert (parallel / name).read_bytes() == (sequential / name).read_bytes()
+
+
+class TestComposeCommand:
+    def test_compose_concatenates_without_repacking(self, workspace, tmp_path, capsys):
+        directory, library, dictionary, corpus = workspace
+        root = tmp_path / "corpora"
+        for name, shards in (("a", 2), ("b", 1)):
+            assert main([
+                "pack", str(library), "-d", str(dictionary),
+                "-o", str(root / f"{name}.library"), "--shards", str(shards),
+                "--block-size", "32",
+            ]) == 0
+        capsys.readouterr()
+        assert main([
+            "compose", str(root / "a.library"), str(root / "b.library"),
+            "-o", str(root),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "no shards repacked" in out
+        assert (root / "library.json").exists()
+        # The composed library serves both copies back to back.
+        assert main(["query", str(root), "0", str(len(corpus)),
+                     str(2 * len(corpus) - 1)]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+        assert lines[0] == lines[1]  # record 0 of copy A == record 0 of copy B
+
+    def test_compose_rejects_outside_root(self, workspace, tmp_path):
+        directory, library, dictionary, _ = workspace
+        packed = tmp_path / "inner" / "a.library"
+        assert main([
+            "pack", str(library), "-d", str(dictionary), "-o", str(packed),
+            "--shards", "1",
+        ]) == 0
+        from repro.errors import ManifestError
+
+        with pytest.raises(ManifestError):
+            main(["compose", str(packed), "-o", str(tmp_path / "elsewhere")])
+
+
+class TestQueryVerbose:
+    def test_verbose_reports_cache_counters(self, workspace, tmp_path, capsys):
+        directory, library, dictionary, _ = workspace
+        zss = tmp_path / "v.zss"
+        assert main([
+            "pack", str(library), "-d", str(dictionary), "-o", str(zss),
+            "--block-size", "16",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["query", str(zss), "0", "1", "2", "--verbose"]) == 0
+        captured = capsys.readouterr()
+        assert "cache:" in captured.err
+        assert "2 hits" in captured.err  # records 1, 2 hit record 0's block
+        assert "1 misses" in captured.err
+
+    def test_verbose_on_library(self, workspace, tmp_path, capsys):
+        directory, library, dictionary, _ = workspace
+        library_dir = tmp_path / "v.library"
+        assert main([
+            "pack", str(library), "-d", str(dictionary), "-o", str(library_dir),
+            "--shards", "2", "--block-size", "16",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["query", str(library_dir), "0", "80", "-v"]) == 0
+        captured = capsys.readouterr()
+        assert "cache:" in captured.err and "misses" in captured.err
+
+
 class TestGenerateAndExperiment:
     def test_generate_dataset(self, tmp_path, capsys):
         out = tmp_path / "gdb.smi"
