@@ -19,7 +19,12 @@ unified engine surface:
    concurrently via ``AsyncCorpusLibrary``'s bounded reader pool,
 7. stand up the HTTP serving front over that library and read it back
    through ``CorpusClient`` (and plain ``open_reader("http://…")``) — the
-   same corpus, now a network service (``zsmiles serve`` is the CLI spelling).
+   same corpus, now a network service (``zsmiles serve`` is the CLI spelling),
+8. run the curation loop: ingest a messy dump (filters + streaming dedup),
+   train a *pinned* dictionary on a reservoir sample of the same pass, pack
+   with it, and migrate the live library to a new dictionary with
+   ``repack_library`` — ``zsmiles ingest`` / ``train-dict`` / ``repack`` on
+   the CLI.
 
 Migrating from the pre-engine API?  ``ZSmilesCodec.train`` →
 ``ZSmilesEngine.train``, ``codec.compress_many(xs)`` →
@@ -196,6 +201,49 @@ def main() -> None:
         with open_reader(server.url) as remote:
             assert remote.get(42) == engine.preprocess(library[42])
             print("open_reader(url):    served record 42 through the shared protocol")
+
+    # ------------------------------------------------------------------ #
+    # 8. The curation loop: ingest -> train -> pack -> repack.
+    #    A messy multi-source dump streams through filters + dedup once;
+    #    a reservoir sampler tees off the training sample in the same pass;
+    #    the dictionary is pinned (name/version/content hash) so every
+    #    manifest packed with it records its identity; and when a better
+    #    dictionary lands, the live library migrates loss-free.
+    # ------------------------------------------------------------------ #
+    from repro.curation import (
+        IngestPipeline,
+        ReservoirSampler,
+        ingest_to_file,
+        repack_library,
+        save_pinned,
+        strip_filter,
+        tee,
+    )
+
+    dump_path = workdir / "dump.txt"
+    write_lines(dump_path, library + library[:500] + ["", "   "])  # dupes + blanks
+    curated_path = workdir / "curated.smi"
+    pipeline = IngestPipeline([strip_filter()])
+    stats = ingest_to_file(dump_path, curated_path, pipeline)
+    print(
+        f"\ningest:              {stats.lines_in} lines -> {stats.records_out} "
+        f"records ({stats.rejected_total()} rejected; counters tally)"
+    )
+
+    sampler = ReservoirSampler(1_000, seed=7)
+    for _ in tee(pipeline.process(dump_path), sampler):
+        pass
+    engine_v2 = ZSmilesEngine.train(sampler.sample, EngineConfig(preprocessing=True, lmax=8))
+    identity = save_pinned(engine_v2.table, workdir / "shared-v2.dct",
+                           name="quickstart", version="2")
+    print(f"trained dictionary:  {identity.label()} on a {len(sampler)}-record sample")
+
+    result = repack_library(library_dir, workdir / "library.v2.library",
+                            engine_v2.table, shard_jobs=2)
+    print(
+        f"repacked library:    {result.records} records -> "
+        f"{result.target_identity.label()} (readback verified; source untouched)"
+    )
 
 
 if __name__ == "__main__":

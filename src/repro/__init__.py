@@ -85,6 +85,13 @@ from .library import (
     pack_library_file,
 )
 from .server import BackgroundServer, CorpusClient, CorpusServer
+from .curation import (
+    DictionaryIdentity,
+    IngestPipeline,
+    ReservoirSampler,
+    pin_identity,
+    repack_library,
+)
 from .preprocess.pipeline import PreprocessingPipeline, make_pipeline
 from .preprocess.ring_renumber import renumber_rings
 from .store import (
@@ -126,6 +133,12 @@ __all__ = [
     "BackgroundServer",
     "CorpusClient",
     "CorpusServer",
+    # Curation subsystem (streaming ingest, dictionary lifecycle, repack).
+    "DictionaryIdentity",
+    "IngestPipeline",
+    "ReservoirSampler",
+    "pin_identity",
+    "repack_library",
     # Block-compressed corpus store (.zss) and the shared reader protocol.
     "CorpusStore",
     "RecordReader",

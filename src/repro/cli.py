@@ -29,7 +29,16 @@ needs:
   also writes the measurements machine-readably.
 * ``zsmiles stats``       — report the compression ratio a dictionary achieves on a file.
 * ``zsmiles generate``    — emit one of the synthetic datasets (for demos / tests).
-* ``zsmiles experiment``  — regenerate one of the paper's tables / figures.
+* ``zsmiles experiment``  — regenerate one of the paper's tables / figures
+  (``experiment table2 --via repack`` drives the matrix through real library
+  re-packs instead of in-memory evaluation).
+* ``zsmiles ingest``      — stream a raw SMILES dump through the curation pipeline
+  (filters + dedup, bounded memory) into a clean ``.smi`` corpus.
+* ``zsmiles train-dict``  — single-pass curation + bounded-sample dictionary
+  training, pinning name/version/content-hash identity into the ``.dct``.
+* ``zsmiles repack``      — migrate a packed library to a new dictionary
+  (``repro.curation.repack``): decompress with the old, recompress with the new,
+  ``--shard-jobs`` parallel, source untouched until the new manifest validates.
 """
 
 from __future__ import annotations
@@ -248,8 +257,90 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("--scale", choices=["smoke", "benchmark", "paper"],
                             default="benchmark")
+    experiment.add_argument("--via", choices=["engine", "repack"], default="engine",
+                            help="table2 only: evaluate dictionaries in memory "
+                                 "(engine) or through real library re-packs (repack)")
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="stream a raw SMILES dump through filters + dedup into a clean .smi",
+    )
+    ingest.add_argument("input", type=Path, help="raw line-oriented input file")
+    ingest.add_argument("-o", "--output", type=Path, required=True,
+                        help="curated .smi output path")
+    _add_curation_options(ingest)
+    ingest.add_argument("--stats-json", type=Path, default=None, metavar="PATH",
+                        help="also write the per-stage accept/reject counters as JSON")
+
+    train_dict = sub.add_parser(
+        "train-dict",
+        help="curate a stream, sample it and train a pinned dictionary in one pass",
+    )
+    train_dict.add_argument("input", type=Path, help="raw line-oriented input file")
+    train_dict.add_argument("-o", "--output", type=Path, required=True,
+                            help="output .dct path")
+    _add_curation_options(train_dict)
+    train_dict.add_argument("--sample", type=int, default=100_000, metavar="N",
+                            help="bounded training-sample size (default: 100000)")
+    train_dict.add_argument("--sampler", choices=["reservoir", "head"],
+                            default="reservoir",
+                            help="reservoir = uniform over the whole stream; "
+                                 "head = first N records")
+    train_dict.add_argument("--seed", type=int, default=0,
+                            help="reservoir sampling seed")
+    train_dict.add_argument("--name", default=None,
+                            help="dictionary name pinned into the .dct metadata")
+    train_dict.add_argument("--version", dest="dict_version", default=None,
+                            help="dictionary version pinned into the .dct metadata")
+    train_dict.add_argument("--lmin", type=int, default=2)
+    train_dict.add_argument("--lmax", type=int, default=8)
+    train_dict.add_argument("--max-entries", type=int, default=None)
+    train_dict.add_argument(
+        "--prepopulation", default="smiles", choices=["smiles", "printable", "none"]
+    )
+    train_dict.add_argument("--no-preprocessing", action="store_true",
+                            help="disable ring-identifier renumbering")
+
+    repack = sub.add_parser(
+        "repack",
+        help="re-pack a library with a new dictionary (source left untouched)",
+    )
+    repack.add_argument("input", type=Path,
+                        help="source library: directory, library.json or .zss")
+    repack.add_argument("-o", "--output", type=Path, required=True,
+                        help="destination library directory (must differ from source)")
+    repack.add_argument("-d", "--dictionary", type=Path, required=True,
+                        help="the new dictionary (.dct)")
+    repack.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="shard count of the new library (default: mirror source)")
+    repack.add_argument("--block-size", type=int, default=None, metavar="N",
+                        help="records per block (default: mirror source)")
+    repack.add_argument("--shard-jobs", type=int, default=None, metavar="N",
+                        help="pack whole shards concurrently across N processes")
+    repack.add_argument("--no-verify", action="store_true",
+                        help="skip the full readback comparison after packing")
 
     return parser
+
+
+def _add_curation_options(parser: argparse.ArgumentParser) -> None:
+    """The shared ingest-pipeline flags of ``ingest`` and ``train-dict``."""
+    parser.add_argument("--column", type=int, default=None, metavar="N",
+                        help="take column N (0-based, whitespace-split) of each row")
+    parser.add_argument("--canonicalize", action="store_true",
+                        help="canonicalise through the SMILES parser/writer "
+                             "(rejects unparsable records)")
+    parser.add_argument("--no-largest-fragment", action="store_true",
+                        help="keep multi-fragment records whole instead of "
+                             "selecting the largest '.'-separated fragment")
+    parser.add_argument("--drop-charged", action="store_true",
+                        help="reject records containing charged bracket atoms")
+    parser.add_argument("--min-length", type=int, default=1, metavar="N")
+    parser.add_argument("--max-length", type=int, default=None, metavar="N")
+    parser.add_argument("--min-carbons", type=int, default=0, metavar="N",
+                        help="reject records with fewer than N carbon atoms")
+    parser.add_argument("--no-dedup", action="store_true",
+                        help="keep duplicate records")
 
 
 def _load_engine(
@@ -409,6 +500,27 @@ def _cmd_unpack(args: argparse.Namespace) -> int:
     return 0
 
 
+def _corpus_dictionary_identity(store):
+    """The dictionary identity of an opened corpus, or ``None``.
+
+    Libraries answer from their manifest; a bare ``.zss`` store answers
+    from the dictionary embedded in its first shard footer.
+    """
+    from .dictionary.serialization import DictionaryIdentity, loads
+    from .store import DICTIONARY_META_KEY
+
+    if hasattr(store, "dictionary_identity"):
+        identity = store.dictionary_identity()
+        if identity is not None:
+            return identity
+    shards = getattr(store, "shards", None)
+    if shards:
+        text = shards[0].metadata.get(DICTIONARY_META_KEY)
+        if isinstance(text, str) and text:
+            return DictionaryIdentity.of(loads(text))
+    return None
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     if args.cache_blocks < 1:
         print("error: --cache-blocks must be >= 1", file=sys.stderr)
@@ -423,6 +535,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
         for index in args.indices:
             print(store.get_raw(index) if args.raw else store.get(index))
         if args.verbose:
+            identity = _corpus_dictionary_identity(store)
+            if identity is not None:
+                print(f"dictionary: {identity.label()}", file=sys.stderr)
             stats = (
                 store.cache_stats()
                 if hasattr(store, "cache_stats")
@@ -437,6 +552,120 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 f"{stats['cached_blocks']}/{stats['capacity']} blocks resident",
                 file=sys.stderr,
             )
+    return 0
+
+
+def _pipeline_from_args(args: argparse.Namespace):
+    """Build the curation :class:`IngestPipeline` the shared flags describe."""
+    from .curation import IngestPipeline, column_filter, default_filters
+
+    filters = default_filters(
+        canonicalize=args.canonicalize,
+        largest_fragment=not args.no_largest_fragment,
+        drop_charged=args.drop_charged,
+        min_length=args.min_length,
+        max_length=args.max_length,
+        min_carbons=args.min_carbons,
+    )
+    if args.column is not None:
+        filters.insert(1, column_filter(args.column))
+    return IngestPipeline(filters, dedup=not args.no_dedup)
+
+
+def _print_ingest_stats(stats) -> None:
+    print(
+        f"ingested {stats.lines_in} lines -> {stats.records_out} records "
+        f"({stats.rejected_total()} rejected)"
+    )
+    for name, stage in stats.stages.items():
+        print(f"  {name:<20} seen {stage.seen:>10}  rejected {stage.rejected:>10}")
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from .curation import ingest_to_file
+
+    pipeline = _pipeline_from_args(args)
+    stats = ingest_to_file(args.input, args.output, pipeline)
+    _print_ingest_stats(stats)
+    print(f"curated corpus -> {args.output}")
+    if args.stats_json is not None:
+        import json as _json
+
+        args.stats_json.write_text(
+            _json.dumps(stats.as_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote stats JSON -> {args.stats_json}")
+    return 0
+
+
+def _cmd_train_dict(args: argparse.Namespace) -> int:
+    from .curation import identity_of, make_sampler, pin_identity, train_on_sample
+    from .dictionary import serialization
+
+    if args.sample < 1:
+        print("error: --sample must be >= 1", file=sys.stderr)
+        return 2
+    pipeline = _pipeline_from_args(args)
+    sampler = make_sampler(args.sampler, args.sample, seed=args.seed)
+    engine, sampler = train_on_sample(
+        pipeline.process(args.input),
+        capacity=args.sample,
+        sampler=sampler,
+        preprocessing=not args.no_preprocessing,
+        prepopulation=PrePopulation.from_name(args.prepopulation),
+        lmin=args.lmin,
+        lmax=args.lmax,
+        max_entries=args.max_entries,
+    )
+    _print_ingest_stats(pipeline.stats)
+    pinned = pin_identity(engine.table, name=args.name, version=args.dict_version)
+    serialization.save(pinned, args.output)
+    identity = identity_of(pinned)
+    print(
+        f"trained {len(pinned)} entries on a {len(sampler)}-record "
+        f"{args.sampler} sample of {sampler.seen} curated records"
+    )
+    print(f"dictionary {identity.label()} written to {args.output}")
+    return 0
+
+
+def _cmd_repack(args: argparse.Namespace) -> int:
+    from .curation import repack_library
+
+    if args.shards is not None and args.shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
+        return 2
+    if args.block_size is not None and args.block_size < 1:
+        print("error: --block-size must be >= 1", file=sys.stderr)
+        return 2
+    if args.shard_jobs is not None and args.shard_jobs < 1:
+        print("error: --shard-jobs must be >= 1", file=sys.stderr)
+        return 2
+    result = repack_library(
+        args.input,
+        args.output,
+        args.dictionary,
+        shards=args.shards,
+        records_per_block=args.block_size,
+        shard_jobs=args.shard_jobs,
+        verify=not args.no_verify,
+    )
+    source_label = (
+        result.source_identity.label() if result.source_identity else "unpinned"
+    )
+    info = result.info
+    print(
+        f"repacked {result.records} records: dictionary {source_label} -> "
+        f"{result.target_identity.label()}"
+    )
+    print(
+        f"  {info.shard_count} shards / {info.blocks} blocks, "
+        f"{info.original_bytes} -> {info.payload_bytes} payload bytes "
+        f"(ratio {info.ratio:.3f}) -> {result.manifest_path}"
+    )
+    if not args.no_verify:
+        print("  full readback verified byte-identical to the source corpus")
     return 0
 
 
@@ -604,7 +833,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.name == "table1":
         print(run_table1(scale=scale).to_table().to_text())
     elif args.name == "table2":
-        print(run_table2(scale=scale).to_table().to_text())
+        print(run_table2(scale=scale, via=args.via).to_table().to_text())
     elif args.name == "figure4":
         print(run_figure4(scale=scale).to_table().to_text())
     elif args.name == "figure5":
@@ -632,6 +861,9 @@ _HANDLERS = {
     "stats": _cmd_stats,
     "generate": _cmd_generate,
     "experiment": _cmd_experiment,
+    "ingest": _cmd_ingest,
+    "train-dict": _cmd_train_dict,
+    "repack": _cmd_repack,
 }
 
 

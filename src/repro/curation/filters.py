@@ -1,0 +1,218 @@
+"""Composable record filters for the streaming ingest pipeline.
+
+A filter is a *pure* callable ``(record: str) -> Optional[str]`` with a
+``name``: it either returns the (possibly transformed) record to keep, or
+``None`` to reject it.  Purity is a contract the property tests pin —
+calling a filter twice on the same input must give the same answer, and a
+filter's output must be a fixpoint of itself (``f(f(x)) == f(x)`` whenever
+``f(x)`` is not ``None``) so that re-ingesting an already curated corpus is
+a no-op.
+
+The built-in filters mirror what real ingest pipelines (DrugEx-style
+dataset construction) do to raw multi-source SMILES dumps:
+
+* :func:`strip_filter` — trim surrounding whitespace, drop blank lines.
+* :func:`column_filter` — pull the SMILES column out of delimited rows.
+* :func:`largest_fragment_filter` — keep the largest ``.``-separated
+  fragment of a multi-component record (salts, counter-ions).
+* :func:`charge_filter` — drop records containing charged bracket atoms.
+* :func:`length_filter` — bound record length.
+* :func:`carbon_filter` — drop records with too few carbon atoms to be
+  drug-like.
+* :func:`canonical_filter` — parse through :mod:`repro.smiles` and rewrite,
+  rejecting unparsable records; the written form is a fixpoint of the
+  parser/writer pair, which is what makes dedup meaningful across sources
+  that format the same molecule differently.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, List, Optional, Sequence
+
+from ..errors import CurationError
+
+FilterFn = Callable[[str], Optional[str]]
+
+
+class RecordFilter:
+    """One named, pure record transform/reject stage."""
+
+    __slots__ = ("name", "_fn")
+
+    def __init__(self, name: str, fn: FilterFn):
+        if not name:
+            raise CurationError("a filter needs a non-empty name")
+        self.name = name
+        self._fn = fn
+
+    def __call__(self, record: str) -> Optional[str]:
+        return self._fn(record)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RecordFilter({self.name!r})"
+
+
+# --------------------------------------------------------------------------- #
+# Built-in filters
+# --------------------------------------------------------------------------- #
+def strip_filter() -> RecordFilter:
+    """Trim surrounding whitespace; reject records that are blank after it."""
+
+    def apply(record: str) -> Optional[str]:
+        stripped = record.strip()
+        return stripped if stripped else None
+
+    return RecordFilter("strip", apply)
+
+
+def column_filter(index: int = 0, sep: Optional[str] = None) -> RecordFilter:
+    """Keep column *index* of a delimited row (default: whitespace-split).
+
+    Rows without that column are rejected.  Already single-column records
+    pass through unchanged, so the filter is idempotent.
+    """
+    if index < 0:
+        raise CurationError("column index must be >= 0")
+
+    def apply(record: str) -> Optional[str]:
+        fields = record.split(sep)
+        if index >= len(fields) or not fields[index]:
+            return None
+        return fields[index]
+
+    return RecordFilter(f"column[{index}]", apply)
+
+
+def largest_fragment_filter() -> RecordFilter:
+    """Keep the largest ``.``-separated fragment (leftmost wins ties)."""
+
+    def apply(record: str) -> Optional[str]:
+        if "." not in record:
+            return record
+        fragment = max(record.split("."), key=len)
+        return fragment if fragment else None
+
+    return RecordFilter("largest_fragment", apply)
+
+
+_BRACKET_ATOM = re.compile(r"\[[^\]]*\]")
+
+
+def is_charged(record: str) -> bool:
+    """Whether *record* contains a charged bracket atom (``[O-]``, ``[N+2]``...).
+
+    Charge in SMILES only ever appears inside bracket atoms; ``+``/``-``
+    outside brackets are bond/direction symbols and do not count.
+    """
+    return any(
+        "+" in atom or "-" in atom for atom in _BRACKET_ATOM.findall(record)
+    )
+
+
+def charge_filter() -> RecordFilter:
+    """Reject records containing charged bracket atoms."""
+
+    def apply(record: str) -> Optional[str]:
+        return None if is_charged(record) else record
+
+    return RecordFilter("uncharged", apply)
+
+
+def length_filter(min_length: int = 1, max_length: Optional[int] = None) -> RecordFilter:
+    """Reject records shorter than *min_length* or longer than *max_length*."""
+    if min_length < 0:
+        raise CurationError("min_length must be >= 0")
+    if max_length is not None and max_length < min_length:
+        raise CurationError("max_length must be >= min_length")
+
+    def apply(record: str) -> Optional[str]:
+        if len(record) < min_length:
+            return None
+        if max_length is not None and len(record) > max_length:
+            return None
+        return record
+
+    return RecordFilter(f"length[{min_length},{max_length or '*'}]", apply)
+
+
+#: Carbon atoms: aromatic ``c``, or ``C`` not starting the two-letter ``Cl``.
+_CARBON = re.compile(r"c|C(?!l)")
+
+
+def count_carbons(record: str) -> int:
+    """Heuristic carbon count (``C``/``c`` occurrences, ``Cl`` excluded)."""
+    return len(_CARBON.findall(record))
+
+
+def carbon_filter(min_carbons: int = 2) -> RecordFilter:
+    """Reject records with fewer than *min_carbons* carbon atoms.
+
+    The DrugEx drug-likeness floor: a molecule with fewer than two carbons
+    cannot be drug-like and only pollutes dictionary training.
+    """
+    if min_carbons < 0:
+        raise CurationError("min_carbons must be >= 0")
+
+    def apply(record: str) -> Optional[str]:
+        return record if count_carbons(record) >= min_carbons else None
+
+    return RecordFilter(f"carbon[{min_carbons}]", apply)
+
+
+def canonical_filter() -> RecordFilter:
+    """Canonicalise through :mod:`repro.smiles`; reject unparsable records.
+
+    ``write(parse(record))`` is a fixpoint of the parser/writer pair (the
+    property suite pins this), so two differently-formatted spellings of
+    the same structure converge before dedup sees them.
+    """
+    from ..errors import SmilesError
+    from ..smiles import parse, write
+
+    def apply(record: str) -> Optional[str]:
+        try:
+            return write(parse(record))
+        except SmilesError:
+            return None
+
+    return RecordFilter("canonicalize", apply)
+
+
+def default_filters(
+    canonicalize: bool = False,
+    largest_fragment: bool = True,
+    drop_charged: bool = False,
+    min_length: int = 1,
+    max_length: Optional[int] = None,
+    min_carbons: int = 0,
+) -> List[RecordFilter]:
+    """The standard ingest filter chain, in the order real pipelines run it.
+
+    Strip → column extraction is left to the caller (raw dumps vary); the
+    chain here starts from a whitespace-trimmed record: largest fragment
+    first (so later judgments see the kept fragment), then charge/length/
+    carbon gates, then canonicalisation last (it is the expensive stage, so
+    it only runs on records that survived the cheap gates).
+    """
+    filters: List[RecordFilter] = [strip_filter()]
+    if largest_fragment:
+        filters.append(largest_fragment_filter())
+    if drop_charged:
+        filters.append(charge_filter())
+    if min_length > 1 or max_length is not None:
+        filters.append(length_filter(min_length, max_length))
+    if min_carbons > 0:
+        filters.append(carbon_filter(min_carbons))
+    if canonicalize:
+        filters.append(canonical_filter())
+    return filters
+
+
+def validate_filters(filters: Sequence[RecordFilter]) -> None:
+    """Reject filter chains with duplicate stage names (counters key on them)."""
+    seen = set()
+    for record_filter in filters:
+        if record_filter.name in seen:
+            raise CurationError(f"duplicate filter name {record_filter.name!r}")
+        seen.add(record_filter.name)

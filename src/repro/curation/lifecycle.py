@@ -1,0 +1,98 @@
+"""Dictionary lifecycle: pin an identity, save/load with verification.
+
+A dictionary's *identity* is its content hash (:func:`content_hash` over the
+pre-population policy and every entry) plus optional human-facing name and
+version labels.  Pinning writes the labels — and a declared ``entries``
+count that doubles as a truncation tripwire — into the table metadata, so
+they travel inside the ``.dct`` file; the hash itself is never stored in the
+dictionary (it is recomputed on load) but *is* recorded in every
+``library.json`` manifest and shard footer that was packed with it, which is
+what lets loads verify agreement and raise
+:class:`~repro.errors.DictionaryMismatchError` instead of silently decoding
+garbage with the wrong table.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from ..dictionary.codec_table import CodecTable
+from ..dictionary.serialization import (
+    ENTRIES_META_KEY,
+    NAME_META_KEY,
+    VERSION_META_KEY,
+    DictionaryIdentity,
+    content_hash,
+    load,
+    save,
+    verify_identity,
+)
+
+__all__ = [
+    "DictionaryIdentity",
+    "content_hash",
+    "verify_identity",
+    "pin_identity",
+    "identity_of",
+    "save_pinned",
+    "load_verified",
+]
+
+
+def pin_identity(
+    table: CodecTable,
+    name: Optional[str] = None,
+    version: Optional[str] = None,
+) -> CodecTable:
+    """A copy of *table* with name/version labels and a declared entry count.
+
+    The declared ``entries`` count is validated on every subsequent load
+    (see :func:`repro.dictionary.serialization.loads`), turning silent
+    truncation into a typed error.  Pinning does not change the content
+    hash — identity metadata is deliberately excluded from it.
+    """
+    metadata = table.metadata
+    if name is not None:
+        metadata[NAME_META_KEY] = name
+    if version is not None:
+        metadata[VERSION_META_KEY] = version
+    metadata[ENTRIES_META_KEY] = str(len(table))
+    return CodecTable(
+        table.entries, prepopulation=table.prepopulation, metadata=metadata
+    )
+
+
+def identity_of(table: CodecTable) -> DictionaryIdentity:
+    """The identity of *table* (content hash + metadata name/version)."""
+    return DictionaryIdentity.of(table)
+
+
+def save_pinned(
+    table: CodecTable,
+    path: Union[str, Path],
+    name: Optional[str] = None,
+    version: Optional[str] = None,
+) -> DictionaryIdentity:
+    """Pin *table*'s identity and save it; returns the pinned identity."""
+    pinned = pin_identity(table, name=name, version=version)
+    save(pinned, path)
+    return DictionaryIdentity.of(pinned)
+
+
+def load_verified(
+    path: Union[str, Path],
+    expected_hash: Optional[str] = None,
+) -> Tuple[CodecTable, DictionaryIdentity]:
+    """Load a ``.dct`` and (optionally) verify its content hash.
+
+    Returns ``(table, identity)``.  With *expected_hash* set — typically the
+    hash a ``library.json`` manifest pins — a disagreement raises
+    :class:`~repro.errors.DictionaryMismatchError` naming the path.
+    """
+    table = load(path)
+    if expected_hash is not None:
+        identity = verify_identity(table, expected_hash, source=path)
+    else:
+        identity = DictionaryIdentity.of(table)
+    return table, identity

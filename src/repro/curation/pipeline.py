@@ -1,0 +1,230 @@
+"""Bounded-memory streaming ingest: filters → dedup → sink.
+
+The pipeline is a single forward pass over a line source of any size.  Each
+record flows through the filter chain (:mod:`repro.curation.filters`), then
+through hash-based streaming dedup, and out through a generator — nothing is
+ever materialised except the dedup digest set (16 bytes per *unique* record)
+and whatever sink the caller attaches.  Per-stage accept/reject counters are
+kept for every run and must tally: each stage's ``seen`` equals the previous
+stage's ``accepted``, and rejected + accepted == seen, so a full audit of
+where every input line went is always available (:class:`IngestStats`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
+
+from ..core.streaming import read_lines, write_lines
+from ..errors import CurationError
+from .filters import RecordFilter, validate_filters
+
+LineSource = Union[str, Path, Iterable[str]]
+
+#: blake2b digest size for streaming dedup: 16 bytes keeps the set compact
+#: while making accidental collisions over even billion-line corpora
+#: vanishingly unlikely (~2^-64 at 2^32 records).
+DEDUP_DIGEST_SIZE = 16
+
+#: Stage name used for the dedup counters (reserved; filters may not use it).
+DEDUP_STAGE = "dedup"
+
+
+@dataclass
+class StageCount:
+    """Accept/reject tally for one pipeline stage."""
+
+    seen: int = 0
+    accepted: int = 0
+    rejected: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"seen": self.seen, "accepted": self.accepted, "rejected": self.rejected}
+
+
+@dataclass
+class IngestStats:
+    """Full accounting of one ingest run.
+
+    ``lines_in`` counts every line drawn from the source; ``records_out``
+    counts records the pipeline emitted.  ``stages`` maps stage name to its
+    :class:`StageCount` in pipeline order; the counters are chained —
+    ``stages[i].seen == stages[i-1].accepted`` — so the audit
+    ``lines_in == records_out + sum(rejected)`` always holds
+    (:meth:`check`).
+    """
+
+    lines_in: int = 0
+    records_out: int = 0
+    stages: Dict[str, StageCount] = field(default_factory=dict)
+
+    def rejected_total(self) -> int:
+        return sum(stage.rejected for stage in self.stages.values())
+
+    def check(self) -> None:
+        """Assert internal consistency; raises :class:`CurationError` if broken."""
+        previous = self.lines_in
+        for name, stage in self.stages.items():
+            if stage.seen != previous:
+                raise CurationError(
+                    f"stage {name!r} saw {stage.seen} records but upstream "
+                    f"accepted {previous}"
+                )
+            if stage.accepted + stage.rejected != stage.seen:
+                raise CurationError(
+                    f"stage {name!r} counters do not tally: "
+                    f"{stage.accepted} + {stage.rejected} != {stage.seen}"
+                )
+            previous = stage.accepted
+        if self.records_out != previous:
+            raise CurationError(
+                f"pipeline emitted {self.records_out} records but the last "
+                f"stage accepted {previous}"
+            )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "lines_in": self.lines_in,
+            "records_out": self.records_out,
+            "rejected": self.rejected_total(),
+            "stages": {name: stage.as_dict() for name, stage in self.stages.items()},
+        }
+
+
+def iter_source(source: LineSource) -> Iterator[str]:
+    """Lines from a path (streamed off disk) or any iterable of strings."""
+    if isinstance(source, (str, Path)):
+        yield from read_lines(source)
+        return
+    for line in source:
+        yield line.rstrip("\r\n")
+
+
+class IngestPipeline:
+    """Filters + streaming dedup over an arbitrarily large line source.
+
+    Parameters
+    ----------
+    filters:
+        Ordered :class:`~repro.curation.filters.RecordFilter` chain; records
+        flow through them left to right.
+    dedup:
+        When true (default), drop records whose canonical-form digest has
+        been seen before in this run.  Dedup is order-stable: the *first*
+        occurrence wins, later duplicates are rejected, so output order is
+        the order of first appearance.
+    """
+
+    def __init__(self, filters: Sequence[RecordFilter] = (), dedup: bool = True):
+        validate_filters(filters)
+        if any(record_filter.name == DEDUP_STAGE for record_filter in filters):
+            raise CurationError(f"filter name {DEDUP_STAGE!r} is reserved")
+        self.filters: List[RecordFilter] = list(filters)
+        self.dedup = dedup
+        self.stats = IngestStats()
+
+    def process(self, source: LineSource) -> Iterator[str]:
+        """Stream accepted records; ``self.stats`` tracks the run.
+
+        A fresh :class:`IngestStats` is bound per call, so a pipeline object
+        can be reused across runs; the generator is single-pass and not
+        thread-safe.
+        """
+        stats = IngestStats()
+        stats.stages = {f.name: StageCount() for f in self.filters}
+        if self.dedup:
+            stats.stages[DEDUP_STAGE] = StageCount()
+        self.stats = stats
+        return self._run(source, stats)
+
+    def _run(self, source: LineSource, stats: IngestStats) -> Iterator[str]:
+        seen_digests = set()
+        dedup_count = stats.stages.get(DEDUP_STAGE)
+        for line in iter_source(source):
+            stats.lines_in += 1
+            record: Optional[str] = line
+            for record_filter in self.filters:
+                count = stats.stages[record_filter.name]
+                count.seen += 1
+                record = record_filter(record)
+                if record is None:
+                    count.rejected += 1
+                    break
+                count.accepted += 1
+            if record is None:
+                continue
+            if dedup_count is not None:
+                dedup_count.seen += 1
+                digest = hashlib.blake2b(
+                    record.encode("utf-8"), digest_size=DEDUP_DIGEST_SIZE
+                ).digest()
+                if digest in seen_digests:
+                    dedup_count.rejected += 1
+                    continue
+                seen_digests.add(digest)
+                dedup_count.accepted += 1
+            stats.records_out += 1
+            yield record
+
+
+def tee(records: Iterable[str], sampler) -> Iterator[str]:
+    """Yield *records* unchanged while feeding each one to *sampler*.
+
+    Lets a single ingest pass both fill a sink and collect the training
+    sample (``sampler`` is any object with an ``add(record)`` method, e.g.
+    :class:`~repro.curation.sampling.ReservoirSampler`).
+    """
+    for record in records:
+        sampler.add(record)
+        yield record
+
+
+def ingest_to_file(
+    source: LineSource,
+    output: Union[str, Path],
+    pipeline: IngestPipeline,
+    sampler=None,
+) -> IngestStats:
+    """Run *pipeline* over *source*, writing accepted records to a flat file.
+
+    Fully streaming: memory stays bounded by the dedup set regardless of
+    source size.  Returns the run's :class:`IngestStats`.
+    """
+    records: Iterable[str] = pipeline.process(source)
+    if sampler is not None:
+        records = tee(records, sampler)
+    write_lines(output, records)
+    stats = pipeline.stats
+    stats.check()
+    return stats
+
+
+def ingest_to_store(
+    source: LineSource,
+    output: Union[str, Path],
+    pipeline: IngestPipeline,
+    engine,
+    records_per_block: int = 64,
+    sampler=None,
+) -> IngestStats:
+    """Run *pipeline* over *source* straight into a single ``.zss`` shard.
+
+    Streams through :class:`~repro.store.writer.ShardWriter` block by block,
+    so like :func:`ingest_to_file` the memory footprint is bounded.  For a
+    multi-shard library pack (which needs the record count up front), ingest
+    to a flat file first and pack with ``LibraryWriter``.
+    """
+    from ..store.writer import ShardWriter
+
+    records: Iterable[str] = pipeline.process(source)
+    if sampler is not None:
+        records = tee(records, sampler)
+    with open(output, "wb") as handle:
+        with ShardWriter(handle, engine=engine, records_per_block=records_per_block) as writer:
+            writer.add_many(records)
+            writer.close()
+    stats = pipeline.stats
+    stats.check()
+    return stats

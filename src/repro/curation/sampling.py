@@ -1,0 +1,107 @@
+"""Bounded samplers for single-pass dictionary training during ingest.
+
+Training a dictionary wants a representative slice of the corpus, but the
+ingest stream may be arbitrarily large and is consumed exactly once.  The
+samplers here hold at most ``capacity`` records while the stream flows past
+(tee'd in via :func:`repro.curation.pipeline.tee`):
+
+* :class:`ReservoirSampler` — Vitter's algorithm R: every record seen has
+  equal probability ``capacity / seen`` of being in the final sample,
+  regardless of stream length.  Deterministic for a fixed seed and stream.
+* :class:`HeadSampler` — first ``capacity`` records; cheapest, right when
+  the source is already shuffled.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional
+
+from ..errors import CurationError
+
+
+class ReservoirSampler:
+    """Uniform bounded sample of a stream (algorithm R), seedable."""
+
+    def __init__(self, capacity: int, seed: int = 0):
+        if capacity <= 0:
+            raise CurationError("sampler capacity must be positive")
+        self.capacity = capacity
+        self.seen = 0
+        self._rng = random.Random(seed)
+        self._sample: List[str] = []
+
+    def add(self, record: str) -> None:
+        self.seen += 1
+        if len(self._sample) < self.capacity:
+            self._sample.append(record)
+            return
+        slot = self._rng.randrange(self.seen)
+        if slot < self.capacity:
+            self._sample[slot] = record
+
+    @property
+    def sample(self) -> List[str]:
+        """The current sample (a copy; order is reservoir order, not stream order)."""
+        return list(self._sample)
+
+    def __len__(self) -> int:
+        return len(self._sample)
+
+
+class HeadSampler:
+    """Keep the first ``capacity`` records of the stream."""
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise CurationError("sampler capacity must be positive")
+        self.capacity = capacity
+        self.seen = 0
+        self._sample: List[str] = []
+
+    def add(self, record: str) -> None:
+        self.seen += 1
+        if len(self._sample) < self.capacity:
+            self._sample.append(record)
+
+    @property
+    def sample(self) -> List[str]:
+        return list(self._sample)
+
+    def __len__(self) -> int:
+        return len(self._sample)
+
+
+def make_sampler(kind: str, capacity: int, seed: int = 0):
+    """Factory used by the CLI: ``reservoir`` or ``head``."""
+    if kind == "reservoir":
+        return ReservoirSampler(capacity, seed=seed)
+    if kind == "head":
+        return HeadSampler(capacity)
+    raise CurationError(f"unknown sampler kind {kind!r} (expected reservoir or head)")
+
+
+def train_on_sample(
+    records: Iterable[str],
+    capacity: int,
+    seed: int = 0,
+    sampler: Optional[object] = None,
+    **train_kwargs,
+):
+    """Drain *records* through a bounded sampler and train an engine on it.
+
+    Returns ``(engine, sampler)`` — the sampler exposes ``seen`` (stream
+    length) and the sample that trained the dictionary.  One pass, bounded
+    memory: this is the ``zsmiles train-dict`` core.
+    """
+    from ..engine import ZSmilesEngine
+
+    if sampler is None:
+        sampler = ReservoirSampler(capacity, seed=seed)
+    for record in records:
+        sampler.add(record)
+    sample = sampler.sample
+    if not sample:
+        raise CurationError("cannot train a dictionary: the stream yielded no records")
+    engine = ZSmilesEngine.train(sample, **train_kwargs)
+    return engine, sampler

@@ -14,16 +14,26 @@ UTF-8 text file:
 
 from __future__ import annotations
 
+import hashlib
 import io
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, TextIO, Tuple, Union
+from typing import Dict, List, Optional, TextIO, Tuple, Union
 
-from ..errors import DictionaryFormatError
+from ..errors import DictionaryFormatError, DictionaryIntegrityError, DictionaryMismatchError
 from .codec_table import CodecTable, DictionaryEntry
 from .prepopulation import PrePopulation
 
 FORMAT_VERSION = "1"
 MAGIC = "# ZSMILES dictionary"
+
+#: Metadata keys that pin a dictionary's identity (see :class:`DictionaryIdentity`).
+NAME_META_KEY = "name"
+VERSION_META_KEY = "version"
+#: Optional declared total entry count, validated on load (see :func:`loads`).
+ENTRIES_META_KEY = "entries"
+#: Declared trained-entry count written by the dictionary generator.
+TRAINED_ENTRIES_META_KEY = "trained_entries"
 
 
 def _escape(text: str) -> str:
@@ -121,8 +131,17 @@ def _parse_header(lines: List[str]) -> Tuple[Dict[str, str], int]:
     return metadata, index
 
 
-def loads(text: str) -> CodecTable:
-    """Parse the ``.dct`` text format back into a :class:`CodecTable`."""
+def loads(text: str, source: object = None) -> CodecTable:
+    """Parse the ``.dct`` text format back into a :class:`CodecTable`.
+
+    *source* is only used to name the offending file in error messages.
+
+    When the header declares entry counts (the ``trained_entries`` key every
+    trained dictionary carries, and/or an explicit ``entries`` total), the
+    parsed body must agree — a truncated file loses trailing entry lines but
+    keeps its header, so the mismatch is the truncation tripwire.  Raises
+    :class:`~repro.errors.DictionaryIntegrityError` on disagreement.
+    """
     lines = text.splitlines()
     metadata, start = _parse_header(lines)
     prepopulation = PrePopulation.from_name(metadata.pop("prepopulation", "smiles"))
@@ -148,7 +167,47 @@ def loads(text: str) -> CodecTable:
                 rank=rank,
             )
         )
+    _check_declared_counts(entries, metadata, source)
     return CodecTable(entries, prepopulation=prepopulation, metadata=metadata)
+
+
+def _check_declared_counts(
+    entries: List[DictionaryEntry], metadata: Dict[str, str], source: object
+) -> None:
+    """Validate the parsed body against the header's declared entry counts."""
+    where = f" in {source}" if source is not None else ""
+    declared_total = _declared_int(metadata, ENTRIES_META_KEY)
+    if declared_total is not None and declared_total != len(entries):
+        raise DictionaryIntegrityError(
+            f"dictionary declares {declared_total} entries but the body holds "
+            f"{len(entries)}{where}: truncated or corrupt .dct",
+            source=source,
+        )
+    declared_trained = _declared_int(metadata, TRAINED_ENTRIES_META_KEY)
+    if declared_trained is not None:
+        trained = sum(1 for entry in entries if not entry.seeded)
+        if declared_trained != trained:
+            raise DictionaryIntegrityError(
+                f"dictionary declares {declared_trained} trained entries but the "
+                f"body holds {trained}{where}: truncated or corrupt .dct",
+                source=source,
+            )
+
+
+def _declared_int(metadata: Dict[str, str], key: str) -> Optional[int]:
+    """The integer a header key declares, or ``None`` if absent/non-integer.
+
+    Non-integer values are ignored rather than rejected: legacy hand-written
+    headers may use the keys for free-form notes, and the integrity check
+    must never make a previously loadable file unloadable.
+    """
+    raw = metadata.get(key)
+    if raw is None:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        return None
 
 
 def save(table: CodecTable, path: Union[str, Path, TextIO]) -> None:
@@ -164,6 +223,109 @@ def load(path: Union[str, Path, TextIO]) -> CodecTable:
     """Read a dictionary from *path* (a filesystem path or an open text file)."""
     if hasattr(path, "read"):
         text = path.read()  # type: ignore[union-attr]
+        source: object = getattr(path, "name", None)
     else:
         text = Path(path).read_text(encoding="utf-8")
-    return loads(text)
+        source = Path(path)
+    return loads(text, source=source)
+
+
+# --------------------------------------------------------------------------- #
+# Dictionary identity
+# --------------------------------------------------------------------------- #
+def content_hash(table: CodecTable) -> str:
+    """SHA-256 hex digest of a dictionary's *content*.
+
+    Hashes the pre-population policy plus every entry (symbol, pattern,
+    seeded flag, rank) in order, using the same escaping as the ``.dct``
+    body — and deliberately *not* the metadata, so pinning a name/version
+    on a dictionary does not change its content hash.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"prepopulation={table.prepopulation.value}\n".encode("utf-8"))
+    for entry in table.entries:
+        digest.update(
+            f"{_escape(entry.symbol)}\t{_escape(entry.pattern)}\t"
+            f"{1 if entry.seeded else 0}\t{entry.rank:.6g}\n".encode("utf-8")
+        )
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class DictionaryIdentity:
+    """A dictionary's pinned identity: content hash plus optional name/version.
+
+    The hash is authoritative (it is recomputed and verified on load); name
+    and version are human-facing labels carried in the table metadata.
+    """
+
+    hash: str
+    name: Optional[str] = None
+    version: Optional[str] = None
+    entries: int = 0
+
+    @property
+    def short_hash(self) -> str:
+        """The first 12 hex characters — enough to name a dictionary in logs."""
+        return self.hash[:12]
+
+    def label(self) -> str:
+        """Human-readable one-liner (``name@version (hash)`` as available)."""
+        parts = []
+        if self.name:
+            parts.append(self.name if not self.version else f"{self.name}@{self.version}")
+        parts.append(self.short_hash)
+        return " ".join(parts)
+
+    @classmethod
+    def of(cls, table: CodecTable) -> "DictionaryIdentity":
+        """The identity of *table*: content hash + metadata name/version."""
+        metadata = table.metadata
+        return cls(
+            hash=content_hash(table),
+            name=metadata.get(NAME_META_KEY) or None,
+            version=metadata.get(VERSION_META_KEY) or None,
+            entries=len(table),
+        )
+
+    def to_json_obj(self) -> Dict[str, object]:
+        """JSON-serializable form (``None`` fields omitted, deterministic)."""
+        obj: Dict[str, object] = {"hash": self.hash, "entries": self.entries}
+        if self.name is not None:
+            obj["name"] = self.name
+        if self.version is not None:
+            obj["version"] = self.version
+        return obj
+
+    @classmethod
+    def from_json_obj(cls, obj: object) -> Optional["DictionaryIdentity"]:
+        """Rebuild an identity from manifest metadata (``None`` if malformed)."""
+        if not isinstance(obj, dict) or not isinstance(obj.get("hash"), str):
+            return None
+        name = obj.get("name")
+        version = obj.get("version")
+        entries = obj.get("entries")
+        return cls(
+            hash=obj["hash"],
+            name=name if isinstance(name, str) else None,
+            version=version if isinstance(version, str) else None,
+            entries=entries if isinstance(entries, int) else 0,
+        )
+
+
+def verify_identity(
+    table: CodecTable, expected_hash: str, source: object = None
+) -> DictionaryIdentity:
+    """Check *table*'s content hash against *expected_hash*.
+
+    Returns the table's identity on agreement; raises
+    :class:`~repro.errors.DictionaryMismatchError` naming *source* otherwise.
+    """
+    identity = DictionaryIdentity.of(table)
+    if identity.hash != expected_hash:
+        where = f" ({source})" if source is not None else ""
+        raise DictionaryMismatchError(
+            f"dictionary content hash {identity.short_hash} does not match the "
+            f"declared {expected_hash[:12]}{where}: wrong or corrupt dictionary"
+        )
+    return identity

@@ -63,6 +63,27 @@ class DictionaryFormatError(DictionaryError):
     """Raised when a ``.dct`` file cannot be parsed."""
 
 
+class DictionaryIntegrityError(DictionaryFormatError):
+    """Raised when a ``.dct`` parses but its declared entry counts disagree
+    with the parsed body (a truncated or spliced file).
+
+    Attributes
+    ----------
+    source:
+        The offending path (or ``None`` when parsing from a string).
+    """
+
+    def __init__(self, message: str, source: object = None):
+        super().__init__(message)
+        self.source = source
+
+
+class DictionaryMismatchError(DictionaryError):
+    """Raised when a dictionary's content hash disagrees with the identity a
+    manifest or shard footer declares for it (serving a corpus with the
+    wrong dictionary would silently decode garbage)."""
+
+
 class CodecError(ReproError):
     """Base class for compression / decompression failures."""
 
@@ -105,6 +126,10 @@ class ProtocolError(ServerError):
 
 class ServerConnectionError(ServerError):
     """Raised when the transport to a corpus server fails (died mid-stream, refused)."""
+
+
+class CurationError(ReproError):
+    """Raised by the corpus-curation subsystem (ingest, sampling, repack)."""
 
 
 class DatasetError(ReproError):

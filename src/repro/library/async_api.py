@@ -108,6 +108,10 @@ class AsyncCorpusLibrary:
         """The pooled readers' shared manifest (they all open the same source)."""
         return self._readers[0].manifest
 
+    def dictionary_identity(self):
+        """The dictionary identity the shared manifest pins, or ``None``."""
+        return self._readers[0].dictionary_identity()
+
     def cache_stats(self) -> dict:
         """Shared decoded-block cache counters across the whole reader pool.
 

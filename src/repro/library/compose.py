@@ -30,7 +30,13 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import ManifestError
-from .manifest import MANIFEST_NAME, LibraryManifest, ShardEntry, resolve_manifest_path
+from .manifest import (
+    DICTIONARY_IDENTITY_KEY,
+    MANIFEST_NAME,
+    LibraryManifest,
+    ShardEntry,
+    resolve_manifest_path,
+)
 
 PathLike = Union[str, Path]
 
@@ -74,9 +80,11 @@ def compose_manifests(
     root = Path(root)
     entries: List[ShardEntry] = []
     names: List[str] = []
+    identities: List[Optional[Dict[str, object]]] = []
     start = 0
     for source in sources:
-        for shard_path, entry in _source_entries(Path(source)):
+        pairs, identity_obj = _source_entries(Path(source))
+        for shard_path, entry in pairs:
             entries.append(
                 ShardEntry(
                     name=_relative_name(shard_path, root),
@@ -89,27 +97,53 @@ def compose_manifests(
             )
             start += entry.records
         names.append(str(source))
+        identities.append(identity_obj)
     if metadata is None:
         metadata = {"composed_from": names}
+        shared = _shared_identity(identities)
+        if shared is not None:
+            metadata[DICTIONARY_IDENTITY_KEY] = shared
     return LibraryManifest(shards=tuple(entries), metadata=dict(metadata))
 
 
-def _source_entries(source: Path) -> List[Tuple[Path, ShardEntry]]:
-    """One source's shards as ``(absolute path, manifest entry)`` pairs."""
+def _shared_identity(
+    identities: Sequence[Optional[Dict[str, object]]],
+) -> Optional[Dict[str, object]]:
+    """The one dictionary identity all sources agree on, else ``None``.
+
+    A composed manifest may only pin a dictionary when *every* source pins
+    the same content hash — otherwise the sharded store's hash-agreement
+    check would reject shards that are in fact exactly what their source
+    library packed.
+    """
+    if not identities or any(obj is None for obj in identities):
+        return None
+    hashes = {obj.get("hash") for obj in identities if isinstance(obj, dict)}
+    if len(hashes) != 1 or not all(isinstance(h, str) for h in hashes):
+        return None
+    return dict(identities[0])
+
+
+def _source_entries(
+    source: Path,
+) -> Tuple[List[Tuple[Path, ShardEntry]], Optional[Dict[str, object]]]:
+    """One source's ``(absolute path, entry)`` pairs plus its pinned identity."""
     manifest_path = resolve_manifest_path(source)
     if manifest_path is not None:
         manifest = LibraryManifest.load(manifest_path)
         source_root = manifest_path.parent
-        return [
-            (source_root / entry.name, entry) for entry in manifest.shards
-        ]
+        identity = manifest.metadata.get(DICTIONARY_IDENTITY_KEY)
+        return (
+            [(source_root / entry.name, entry) for entry in manifest.shards],
+            identity if isinstance(identity, dict) else None,
+        )
     from ..store.format import STORE_SUFFIX
 
     if source.is_file() and source.suffix == STORE_SUFFIX:
         # A bare .zss shard: synthesize its entry from the footer, exactly
         # like CorpusLibrary.open's one-shard wrapping.
         synthetic = LibraryManifest.from_shards([source])
-        return [(source, synthetic.shards[0])]
+        return [(source, synthetic.shards[0])], None
     raise ManifestError(
         f"cannot compose {source}: expected a library directory, a "
         "library.json manifest, or a .zss shard"

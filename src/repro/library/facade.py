@@ -87,6 +87,10 @@ class CorpusLibrary:
     def manifest(self) -> LibraryManifest:
         return self.store.manifest
 
+    def dictionary_identity(self):
+        """The dictionary identity the library's manifest pins, or ``None``."""
+        return self.store.dictionary_identity()
+
     @property
     def shard_count(self) -> int:
         return self.store.shard_count

@@ -44,6 +44,8 @@ MANIFEST_FORMAT = "zsmiles-library"
 MANIFEST_VERSION = 1
 #: Conventional manifest file name inside a library directory.
 MANIFEST_NAME = "library.json"
+#: Metadata key under which a library pins its dictionary's identity.
+DICTIONARY_IDENTITY_KEY = "dictionary"
 
 
 @dataclass(frozen=True)
@@ -169,6 +171,19 @@ class LibraryManifest:
     def shard_path(self, shard_no: int, root: PathLike) -> Path:
         """Absolute path of shard *shard_no* under the library *root*."""
         return Path(root) / self.shards[shard_no].name
+
+    def dictionary_identity(self):
+        """The dictionary identity this manifest pins, or ``None``.
+
+        Returns a :class:`~repro.dictionary.serialization.DictionaryIdentity`
+        when the metadata carries a well-formed ``"dictionary"`` object
+        (libraries packed before the lifecycle existed simply have none).
+        """
+        from ..dictionary.serialization import DictionaryIdentity
+
+        return DictionaryIdentity.from_json_obj(
+            self.metadata.get(DICTIONARY_IDENTITY_KEY)
+        )
 
     # ------------------------------------------------------------------ #
     # Serialization

@@ -20,7 +20,8 @@ from pathlib import Path
 from typing import Iterator, List, Optional, Union
 
 from ..core.codec import ZSmilesCodec
-from ..errors import ManifestError
+from ..errors import DictionaryMismatchError, ManifestError
+from ..store.format import DICTIONARY_HASH_META_KEY
 from ..store.reader import (
     DEFAULT_CACHE_BLOCKS,
     BlockCache,
@@ -120,8 +121,38 @@ class ShardedCorpusStore(RecordAccessMixin):
                             f"shard {entry.name!r} holds {actual} records but the "
                             f"manifest promises {entry.records}"
                         )
+                    self._check_shard_dictionary(reader, entry)
                     self._readers[shard_no] = reader
         return reader
+
+    def _check_shard_dictionary(self, reader: ShardReader, entry) -> None:
+        """Manifest-pinned dictionary hash must match the shard footer's.
+
+        Cheap metadata comparison (no dictionary parse): catches a shard
+        file swapped in from a library packed with a different dictionary.
+        Skipped when the caller supplied an explicit codec override — that
+        is a deliberate choice to decode with something else — or when
+        either side predates hash pinning.
+        """
+        if self._codec is not None:
+            return
+        identity = self.manifest.dictionary_identity()
+        if identity is None:
+            return
+        declared = reader.footer.metadata.get(DICTIONARY_HASH_META_KEY)
+        if not isinstance(declared, str) or not declared:
+            return
+        if declared != identity.hash:
+            reader.close()
+            raise DictionaryMismatchError(
+                f"shard {entry.name!r} was packed with dictionary "
+                f"{declared[:12]} but the manifest pins "
+                f"{identity.short_hash}: re-pack or fix the manifest"
+            )
+
+    def dictionary_identity(self):
+        """The dictionary identity the manifest pins, or ``None``."""
+        return self.manifest.dictionary_identity()
 
     @property
     def shard_count(self) -> int:

@@ -30,11 +30,12 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..core.codec import ZSmilesCodec
+from ..dictionary.serialization import DictionaryIdentity
 from ..engine.engine import ZSmilesEngine
 from ..errors import LibraryError
-from ..store.format import STORE_SUFFIX
+from ..store.format import DICTIONARY_HASH_META_KEY, STORE_SUFFIX
 from ..store.writer import DEFAULT_BATCH_BLOCKS, DEFAULT_RECORDS_PER_BLOCK, StoreInfo, pack_records
-from .manifest import LibraryManifest
+from .manifest import DICTIONARY_IDENTITY_KEY, LibraryManifest
 
 PathLike = Union[str, Path]
 
@@ -199,8 +200,13 @@ class LibraryWriter:
             self.directory / SHARD_NAME_FORMAT.format(shard_no)
             for shard_no in range(len(counts))
         ]
+        identity = DictionaryIdentity.of(self.engine.table)
         shard_metadata = [
-            {"shard": shard_no, "shard_count": len(counts)}
+            {
+                "shard": shard_no,
+                "shard_count": len(counts),
+                DICTIONARY_HASH_META_KEY: identity.hash,
+            }
             for shard_no in range(len(counts))
         ]
         jobs = min(self.shard_jobs or 1, len(counts))
@@ -251,6 +257,7 @@ class LibraryWriter:
                 cursor += count
         metadata = dict(self.metadata)
         metadata.setdefault("dictionary_embedded", self.embed_dictionary)
+        metadata.setdefault(DICTIONARY_IDENTITY_KEY, identity.to_json_obj())
         manifest = LibraryManifest.from_shards(paths, metadata=metadata, root=self.directory)
         manifest_path = manifest.save(self.directory)
         return LibraryInfo(

@@ -13,6 +13,8 @@ a deliberately small slice of HTTP/1.1 over plain ``asyncio`` streams
 ``GET /records/{i}``        one record, ``text/plain``
 ``POST /records:batch``     ``{"indices": [...]}`` → one record per line,
                             served through ``get_many``'s pool fan-out
+``GET /records:sample``     ``?n=&seed=`` → JSON of uniform random records
+                            (without replacement, seed-deterministic)
 ``GET /records?start=&stop=``  range stream over chunked transfer encoding,
                             one :meth:`AsyncCorpusLibrary.stream` batch per
                             chunk so the event loop interleaves requests
@@ -32,6 +34,7 @@ all use to stand a server up next to blocking client code.
 from __future__ import annotations
 
 import asyncio
+import random
 import threading
 import time
 import urllib.parse
@@ -125,6 +128,7 @@ class CorpusServer:
             "single": 0,
             "batch": 0,
             "stream": 0,
+            "sample": 0,
         }
 
     # ------------------------------------------------------------------ #
@@ -297,6 +301,10 @@ class CorpusServer:
             if request.method != "POST":
                 raise ProtocolError(f"{path} requires POST, got {request.method}")
             await self._handle_batch(request, writer, keep_alive)
+        elif path == protocol.ROUTE_SAMPLE:
+            if request.method != "GET":
+                raise ProtocolError(f"{path} requires GET, got {request.method}")
+            await self._handle_sample(request, writer, keep_alive)
         elif path.startswith(protocol.RECORD_PREFIX):
             await self._handle_single(request, writer, keep_alive)
         elif path == protocol.ROUTE_RECORDS:
@@ -341,6 +349,28 @@ class CorpusServer:
             200,
             protocol.encode_records_body(records),
             protocol.CONTENT_TYPE_TEXT,
+            keep_alive,
+        )
+
+    async def _handle_sample(
+        self, request: _Request, writer: asyncio.StreamWriter, keep_alive: bool
+    ) -> None:
+        """Uniform random records without replacement, seedable.
+
+        The draw is over *indices* (cheap even for huge corpora); records
+        come back through the pooled ``get_many``.  A fixed ``seed`` fully
+        determines the sample, which is what lets remote curation runs be
+        reproduced.
+        """
+        count, seed = protocol.parse_sample_query(request.query, len(self.library))
+        rng = random.Random(seed)
+        indices = sorted(rng.sample(range(len(self.library)), count))
+        records = await self.library.get_many(indices)
+        self.counters["sample"] += 1
+        self.counters["records_served"] += len(records)
+        await self._write_json(
+            writer,
+            protocol.sample_payload(indices, records, len(self.library), seed),
             keep_alive,
         )
 
@@ -399,8 +429,10 @@ class CorpusServer:
     def stats(self) -> Dict[str, object]:
         """The ``/stats`` payload (also handy for in-process inspection)."""
         manifest = self.library.manifest
+        identity = self.library.dictionary_identity()
         return {
             "protocol": protocol.PROTOCOL_VERSION,
+            "dictionary": identity.to_json_obj() if identity is not None else None,
             "records": len(self.library),
             "shards": manifest.shard_count,
             "pool_size": self.library.pool_size,

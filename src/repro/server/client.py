@@ -218,6 +218,32 @@ class CorpusClient:
             )
         return records
 
+    def sample(self, n: int, seed: Optional[int] = None) -> Tuple[List[int], List[str]]:
+        """Uniform random records without replacement (``GET /records:sample``).
+
+        Returns ``(indices, records)`` in ascending index order; a fixed
+        *seed* makes the draw deterministic across calls and processes.
+        """
+        query = {"n": str(n)}
+        if seed is not None:
+            query["seed"] = str(seed)
+        _, body = self._call(
+            "GET", f"{protocol.ROUTE_SAMPLE}?{urllib.parse.urlencode(query)}"
+        )
+        payload = self._json_object(body, protocol.ROUTE_SAMPLE)
+        indices = payload.get("indices")
+        records = payload.get("records")
+        if not isinstance(indices, list) or not isinstance(records, list):
+            raise ProtocolError("sample response must carry 'indices' and 'records' lists")
+        if len(indices) != len(records):
+            raise ProtocolError(
+                f"sample response carried {len(records)} records for {len(indices)} indices"
+            )
+        total = payload.get("total")
+        if isinstance(total, int):
+            self._total = total
+        return [int(i) for i in indices], [str(r) for r in records]
+
     def iter_range(
         self, start: int = 0, stop: Optional[int] = None
     ) -> Iterator[str]:

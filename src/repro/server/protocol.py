@@ -49,6 +49,7 @@ ROUTE_HEALTH = "/healthz"
 ROUTE_STATS = "/stats"
 ROUTE_RECORDS = "/records"
 ROUTE_BATCH = "/records:batch"
+ROUTE_SAMPLE = "/records:sample"
 #: Prefix of the single-record route (``/records/{index}``).
 RECORD_PREFIX = ROUTE_RECORDS + "/"
 
@@ -62,6 +63,8 @@ CONTENT_TYPE_TEXT = "text/plain; charset=utf-8"
 MAX_BODY_BYTES = 16 * 1024 * 1024
 #: Hard cap on indices per ``/records:batch`` request.
 MAX_BATCH_INDICES = 100_000
+#: Hard cap on records per ``/records:sample`` request.
+MAX_SAMPLE_RECORDS = 100_000
 
 #: Reason phrases for the statuses the protocol emits.
 STATUS_REASONS: Dict[int, str] = {
@@ -223,6 +226,47 @@ def parse_range_query(query: Dict[str, str], total: int) -> Tuple[int, int]:
     if start < 0 or stop < start:
         raise RandomAccessError(f"invalid slice [{start}, {stop})")
     return start, min(stop, total)
+
+
+def parse_sample_query(query: Dict[str, str], total: int) -> Tuple[int, "int | None"]:
+    """Validate ``n``/``seed`` query parameters for ``/records:sample``.
+
+    ``n`` is required, must be a non-negative integer, and is capped at
+    :data:`MAX_SAMPLE_RECORDS`; it is clamped to *total* (sampling is
+    without replacement, so you cannot draw more records than exist).
+    ``seed`` is optional; when present it must be an integer and makes the
+    draw deterministic.  Every violation is :class:`ProtocolError`
+    (HTTP 400) — there is no local slice analogue to mirror.
+    """
+    if "n" not in query:
+        raise ProtocolError('sample requires an "n" query parameter')
+    try:
+        n = int(query["n"])
+    except ValueError as exc:
+        raise ProtocolError(f"n must be an integer: {query['n']!r}") from exc
+    if n < 0:
+        raise ProtocolError(f"n must be >= 0, got {n}")
+    if n > MAX_SAMPLE_RECORDS:
+        raise ProtocolError(
+            f"sample of {n} records exceeds the {MAX_SAMPLE_RECORDS} cap"
+        )
+    seed = None
+    if "seed" in query:
+        try:
+            seed = int(query["seed"])
+        except ValueError as exc:
+            raise ProtocolError(f"seed must be an integer: {query['seed']!r}") from exc
+    return min(n, total), seed
+
+
+def sample_payload(indices: List[int], records: List[str], total: int, seed) -> Dict[str, object]:
+    """The ``/records:sample`` JSON response body."""
+    return {
+        "indices": list(indices),
+        "records": list(records),
+        "total": total,
+        "seed": seed,
+    }
 
 
 def is_url(path: object) -> bool:

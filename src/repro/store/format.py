@@ -63,6 +63,8 @@ RECORD_SEPARATOR = b"\n"
 
 #: Metadata key under which the ``.dct`` dictionary text may be embedded.
 DICTIONARY_META_KEY = "dictionary"
+#: Metadata key under which a shard may pin its dictionary's content hash.
+DICTIONARY_HASH_META_KEY = "dictionary_hash"
 
 _HEADER = struct.Struct("<4sB")
 _FOOTER_FIXED = struct.Struct("<IQI")

@@ -27,7 +27,14 @@ from typing import BinaryIO, Dict, Hashable, Iterator, List, Optional, Sequence,
 from ..core.codec import ZSmilesCodec
 from ..dictionary import serialization
 from ..errors import RandomAccessError, StoreError, StoreFormatError
-from .format import DICTIONARY_META_KEY, StoreFooter, decode_payload, payload_crc, read_footer
+from .format import (
+    DICTIONARY_HASH_META_KEY,
+    DICTIONARY_META_KEY,
+    StoreFooter,
+    decode_payload,
+    payload_crc,
+    read_footer,
+)
 
 PathLike = Union[str, Path]
 
@@ -344,7 +351,14 @@ class ShardReader(RecordAccessMixin):
         text = self.footer.metadata.get(DICTIONARY_META_KEY)
         if not isinstance(text, str) or not text:
             return None
-        return ZSmilesCodec(serialization.loads(text))
+        table = serialization.loads(text, source=self.path)
+        declared = self.footer.metadata.get(DICTIONARY_HASH_META_KEY)
+        if isinstance(declared, str) and declared:
+            # A shard that pins its dictionary hash must embed that exact
+            # dictionary — disagreement means the footer was spliced or the
+            # embedded text edited, and decoding would produce garbage.
+            serialization.verify_identity(table, declared, source=self.path)
+        return ZSmilesCodec(table)
 
     def _load_payload(self, block: int) -> List[str]:
         """Read and split one block payload (stored records, not decompressed)."""

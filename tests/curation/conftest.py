@@ -1,0 +1,33 @@
+"""Shared fixtures for the curation subsystem tests.
+
+One serial engine (over the session's no-preprocessing codec, so round
+trips are byte-exact) and one small multi-shard library packed with it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import ZSmilesEngine
+from repro.library import pack_library
+
+
+@pytest.fixture(scope="module")
+def engine(plain_codec):
+    """Serial engine over the no-preprocessing codec (byte-exact round trips)."""
+    with ZSmilesEngine.from_codec(plain_codec, backend="serial") as eng:
+        yield eng
+
+
+@pytest.fixture(scope="module")
+def corpus(mixed_corpus_small):
+    """120 records: small, fast, spans 3 shards."""
+    return mixed_corpus_small[:120]
+
+
+@pytest.fixture(scope="module")
+def library_dir(tmp_path_factory, corpus, engine):
+    """A 3-shard library over the corpus (blocks of 8)."""
+    directory = tmp_path_factory.mktemp("curation_lib") / "corpus.library"
+    pack_library(directory, corpus, engine, shards=3, records_per_block=8)
+    return directory

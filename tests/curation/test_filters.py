@@ -1,0 +1,138 @@
+"""Property suite for the ingest filters: purity, idempotence, semantics.
+
+The filter contract the pipeline relies on: a filter is a pure function of
+its input (same record → same answer, no hidden state), and whenever it
+accepts a record its output is a fixpoint of itself, so re-ingesting an
+already curated corpus is a no-op.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.curation.filters import (
+    canonical_filter,
+    carbon_filter,
+    charge_filter,
+    column_filter,
+    count_carbons,
+    default_filters,
+    is_charged,
+    largest_fragment_filter,
+    length_filter,
+    strip_filter,
+    validate_filters,
+)
+from repro.errors import CurationError
+
+#: Text resembling raw ingest lines: printable ASCII with SMILES punctuation.
+record_text = st.text(
+    alphabet=st.sampled_from("CcNnOoS()[]=#+-.1234 \tCl"), max_size=40
+)
+
+#: Every built-in filter under test, constructed fresh per property run.
+FILTER_FACTORIES = [
+    strip_filter,
+    largest_fragment_filter,
+    charge_filter,
+    lambda: length_filter(2, 30),
+    lambda: carbon_filter(2),
+    lambda: column_filter(0),
+]
+
+
+class TestPurityAndIdempotence:
+    @pytest.mark.parametrize("factory", FILTER_FACTORIES)
+    @given(record=record_text)
+    @settings(max_examples=50, deadline=None)
+    def test_pure(self, factory, record):
+        """Same input twice → same answer (no hidden state)."""
+        record_filter = factory()
+        assert record_filter(record) == record_filter(record)
+
+    @pytest.mark.parametrize("factory", FILTER_FACTORIES)
+    @given(record=record_text)
+    @settings(max_examples=50, deadline=None)
+    def test_accepted_output_is_fixpoint(self, factory, record):
+        """f(f(x)) == f(x) whenever f accepts x."""
+        record_filter = factory()
+        out = record_filter(record)
+        if out is not None:
+            assert record_filter(out) == out
+
+
+class TestCanonicalFilter:
+    @given(record=record_text)
+    @settings(max_examples=50, deadline=None)
+    def test_never_raises(self, record):
+        """Unparsable garbage is rejected (None), never an exception."""
+        canonical_filter()(record)
+
+    def test_fixpoint_on_curated_corpus(self, curated_smiles):
+        """write(parse(s)) is a fixpoint: canonicalising twice changes nothing."""
+        record_filter = canonical_filter()
+        for smiles in curated_smiles:
+            once = record_filter(smiles)
+            assert once is not None, smiles
+            assert record_filter(once) == once
+
+    def test_rejects_garbage(self):
+        assert canonical_filter()("not(a(smiles") is None
+
+
+class TestSemantics:
+    def test_strip_rejects_blank(self):
+        assert strip_filter()("   ") is None
+        assert strip_filter()("  CCO \n") == "CCO"
+
+    def test_column_picks_field(self):
+        assert column_filter(1)("CCO\tmol-1") == "mol-1"
+        assert column_filter(1)("CCO") is None
+
+    def test_column_negative_index_rejected(self):
+        with pytest.raises(CurationError):
+            column_filter(-1)
+
+    def test_largest_fragment(self):
+        assert largest_fragment_filter()("Cl.CCCCO") == "CCCCO"
+        assert largest_fragment_filter()("CCO") == "CCO"
+        # Leftmost wins ties.
+        assert largest_fragment_filter()("CCN.OCC") == "CCN"
+
+    def test_charge_detection_only_in_brackets(self):
+        assert is_charged("[O-]C(=O)C")
+        assert is_charged("[N+](C)(C)C")
+        assert not is_charged("C/C=C/C")      # direction symbols, not charges
+        assert not is_charged("C#C")
+        assert charge_filter()("[O-]CC") is None
+        assert charge_filter()("OCC") == "OCC"
+
+    def test_length_bounds(self):
+        record_filter = length_filter(3, 5)
+        assert record_filter("CC") is None
+        assert record_filter("CCC") == "CCC"
+        assert record_filter("CCCCCC") is None
+
+    def test_length_bad_bounds(self):
+        with pytest.raises(CurationError):
+            length_filter(5, 3)
+
+    def test_carbon_count_excludes_chlorine(self):
+        assert count_carbons("ClCCl") == 1
+        assert count_carbons("c1ccccc1") == 6
+        assert carbon_filter(2)("ClCl") is None
+        assert carbon_filter(2)("CCO") == "CCO"
+
+    def test_default_chain_order_and_gating(self):
+        names = [f.name for f in default_filters(
+            canonicalize=True, drop_charged=True, min_length=2, min_carbons=2
+        )]
+        assert names[0] == "strip"
+        assert names[-1] == "canonicalize"
+        assert "uncharged" in names and "largest_fragment" in names
+
+    def test_validate_rejects_duplicate_names(self):
+        with pytest.raises(CurationError):
+            validate_filters([strip_filter(), strip_filter()])

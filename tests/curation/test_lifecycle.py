@@ -1,0 +1,99 @@
+"""Dictionary lifecycle: content hash, pinning, verified save/load."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.curation import (
+    DictionaryIdentity,
+    content_hash,
+    identity_of,
+    load_verified,
+    pin_identity,
+    save_pinned,
+)
+from repro.dictionary.serialization import dumps, loads
+from repro.errors import DictionaryIntegrityError, DictionaryMismatchError
+
+
+@pytest.fixture(scope="module")
+def table(plain_codec):
+    return plain_codec.table
+
+
+class TestContentHash:
+    def test_stable_across_serialization(self, table):
+        assert content_hash(loads(dumps(table))) == content_hash(table)
+
+    def test_metadata_does_not_change_hash(self, table):
+        """Pinning name/version labels keeps the content hash — by design."""
+        pinned = pin_identity(table, name="shared", version="1.0")
+        assert content_hash(pinned) == content_hash(table)
+
+    def test_entry_change_changes_hash(self, table):
+        from repro.dictionary.codec_table import CodecTable
+
+        truncated = CodecTable(
+            table.entries[:-1], prepopulation=table.prepopulation
+        )
+        assert content_hash(truncated) != content_hash(table)
+
+
+class TestPinning:
+    def test_pin_writes_labels_and_count(self, table):
+        pinned = pin_identity(table, name="shared", version="2026.08")
+        assert pinned.metadata["name"] == "shared"
+        assert pinned.metadata["version"] == "2026.08"
+        assert pinned.metadata["entries"] == str(len(table))
+        identity = identity_of(pinned)
+        assert identity.name == "shared"
+        assert identity.version == "2026.08"
+        assert identity.entries == len(table)
+        assert identity.label() == f"shared@2026.08 {identity.short_hash}"
+
+    def test_original_table_untouched(self, table):
+        before = dict(table.metadata)
+        pin_identity(table, name="other")
+        assert table.metadata == before
+
+    def test_labels_survive_round_trip(self, table, tmp_path):
+        path = tmp_path / "pinned.dct"
+        identity = save_pinned(table, path, name="shared", version="1.0")
+        loaded, loaded_identity = load_verified(path)
+        assert loaded_identity == identity
+        assert loaded.metadata["name"] == "shared"
+
+
+class TestVerifiedLoad:
+    def test_expected_hash_agreement(self, table, tmp_path):
+        path = tmp_path / "ok.dct"
+        identity = save_pinned(table, path)
+        _, verified = load_verified(path, expected_hash=identity.hash)
+        assert verified.hash == identity.hash
+
+    def test_expected_hash_disagreement_raises(self, table, tmp_path):
+        path = tmp_path / "wrong.dct"
+        save_pinned(table, path)
+        with pytest.raises(DictionaryMismatchError):
+            load_verified(path, expected_hash="0" * 64)
+
+    def test_truncated_pinned_dictionary_rejected(self, table, tmp_path):
+        """The declared entry count is the truncation tripwire."""
+        path = tmp_path / "truncated.dct"
+        save_pinned(table, path)
+        lines = path.read_text(encoding="utf-8").splitlines(keepends=True)
+        path.write_text("".join(lines[:-3]), encoding="utf-8")
+        with pytest.raises(DictionaryIntegrityError) as excinfo:
+            load_verified(path)
+        assert str(path) in str(excinfo.value)
+
+
+class TestIdentityJson:
+    def test_round_trip(self, table):
+        identity = identity_of(pin_identity(table, name="n", version="v"))
+        assert DictionaryIdentity.from_json_obj(identity.to_json_obj()) == identity
+
+    def test_malformed_is_none(self):
+        assert DictionaryIdentity.from_json_obj(None) is None
+        assert DictionaryIdentity.from_json_obj({"name": "x"}) is None
+        assert DictionaryIdentity.from_json_obj("hash") is None

@@ -1,0 +1,34 @@
+"""Table II driven through real library re-packs matches the engine matrix.
+
+Stored records are exact per-record codec outputs and the store's payload
+accounting mirrors ``evaluate()``'s (record bytes + newline), so the repack
+route must reproduce the in-memory matrix *exactly* — not approximately.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentScale
+from repro.experiments.table2 import DATASET_ORDER, run_table2
+
+
+@pytest.fixture(scope="module")
+def scale():
+    return ExperimentScale.smoke()
+
+
+def test_repack_matrix_equals_engine_matrix(scale):
+    engine_result = run_table2(scale=scale, lmax=6, via="engine")
+    repack_result = run_table2(scale=scale, lmax=6, via="repack")
+    assert set(repack_result.ratios) == set(engine_result.ratios)
+    for key in engine_result.ratios:
+        assert repack_result.ratios[key] == pytest.approx(
+            engine_result.ratios[key], abs=1e-12
+        ), key
+    assert len(repack_result.ratios) == len(DATASET_ORDER) ** 2
+
+
+def test_unknown_via_rejected(scale):
+    with pytest.raises(ValueError):
+        run_table2(scale=scale, via="teleport")

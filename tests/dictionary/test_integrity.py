@@ -1,0 +1,67 @@
+"""Declared-count integrity checks on ``.dct`` load (truncation tripwire)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dictionary.codec_table import CodecTable, DictionaryEntry
+from repro.dictionary.serialization import dumps, load, loads
+from repro.errors import (
+    DictionaryFormatError,
+    DictionaryIntegrityError,
+    DictionaryMismatchError,
+)
+
+
+def make_table(n=5, metadata=None):
+    entries = [
+        DictionaryEntry(symbol=chr(0x21 + i), pattern=f"C{'N' * i}", seeded=False, rank=n - i)
+        for i in range(n)
+    ]
+    return CodecTable(entries, metadata=metadata or {})
+
+
+class TestDeclaredEntryCount:
+    def test_agreeing_count_loads(self):
+        table = make_table(5, metadata={"entries": "5"})
+        assert len(loads(dumps(table))) == 5
+
+    def test_disagreeing_count_rejected_with_source(self, tmp_path):
+        table = make_table(5, metadata={"entries": "5"})
+        path = tmp_path / "broken.dct"
+        text = dumps(table)
+        path.write_text(
+            "".join(text.splitlines(keepends=True)[:-2]), encoding="utf-8"
+        )
+        with pytest.raises(DictionaryIntegrityError) as excinfo:
+            load(path)
+        assert str(path) in str(excinfo.value)
+        assert excinfo.value.source == path
+
+    def test_trained_entries_mismatch_rejected(self):
+        table = make_table(4, metadata={"trained_entries": "4"})
+        text = dumps(table)
+        truncated = "".join(text.splitlines(keepends=True)[:-1])
+        with pytest.raises(DictionaryIntegrityError):
+            loads(truncated)
+
+    def test_non_integer_declaration_ignored(self):
+        """Legacy free-form header values must never make a file unloadable."""
+        table = make_table(3, metadata={"entries": "about three"})
+        assert len(loads(dumps(table))) == 3
+
+    def test_golden_dictionary_still_loads(self):
+        """The pinned golden fixture declares trained_entries and must agree."""
+        from pathlib import Path
+
+        golden = Path(__file__).parent.parent / "fixtures" / "golden.dct"
+        table = load(golden)
+        trained = sum(1 for e in table.entries if not e.seeded)
+        assert str(trained) == table.metadata["trained_entries"]
+
+
+class TestErrorTaxonomy:
+    def test_integrity_error_is_format_error(self):
+        """Existing except DictionaryFormatError handlers keep working."""
+        assert issubclass(DictionaryIntegrityError, DictionaryFormatError)
+        assert not issubclass(DictionaryMismatchError, DictionaryFormatError)
