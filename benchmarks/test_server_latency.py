@@ -27,7 +27,7 @@ import pytest
 from repro.engine import ZSmilesEngine
 from repro.library import CorpusLibrary, pack_library
 from repro.metrics.reporting import ResultTable
-from repro.server import BackgroundServer, CorpusClient
+from repro.server import BackgroundServer, CorpusClient, ServerFleet
 
 #: Machine-readable server-latency record (committed perf trajectory).
 BENCH_SERVER_PATH = Path(__file__).resolve().parent.parent / "BENCH_server.json"
@@ -42,6 +42,8 @@ BATCH_SIZE = 32
 SHARDS = 4
 #: Server-side async reader-pool size (the backpressure bound).
 POOL_SIZE = 4
+#: Worker counts for the multi-process scaling curve.
+WORKER_COUNTS = (1, 2, 4)
 
 
 @pytest.fixture(scope="module")
@@ -115,6 +117,23 @@ def _mode(seconds: float, requests: int, records: int) -> dict:
     }
 
 
+def _merge_bench_payload(update: dict) -> str:
+    """Merge *update* into BENCH_server.json, keeping keys the other test
+    wrote (the loopback and worker-scaling tests co-own the file).  Returns
+    the serialized text so callers can mirror it under benchmarks/results/.
+    """
+    merged: dict = {}
+    if BENCH_SERVER_PATH.exists():
+        try:
+            merged = json.loads(BENCH_SERVER_PATH.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            merged = {}
+    merged.update(update)
+    text = json.dumps(merged, indent=2, sort_keys=True) + "\n"
+    BENCH_SERVER_PATH.write_text(text, encoding="utf-8")
+    return text
+
+
 def test_loopback_concurrent_load(server, served_library, serving_corpus, report,
                                   results_dir):
     """8 concurrent clients; parity per mode; BENCH_server.json refreshed."""
@@ -181,8 +200,7 @@ def test_loopback_concurrent_load(server, served_library, serving_corpus, report
         "cache": stats["cache"],
         "parity": "byte-identical",
     }
-    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
-    BENCH_SERVER_PATH.write_text(text, encoding="utf-8")
+    text = _merge_bench_payload(payload)
 
     table = ResultTable(
         title=f"HTTP serving front: {CLIENTS} concurrent loopback clients",
@@ -197,6 +215,67 @@ def test_loopback_concurrent_load(server, served_library, serving_corpus, report
     )
     report("server_latency", table)
     (results_dir / "BENCH_server.json").write_text(text, encoding="utf-8")
+
+
+def test_worker_scaling_curve(served_library, serving_corpus, report, results_dir):
+    """Requests/sec across ``--workers`` {1, 2, 4} fleets, parity-gated.
+
+    Each worker count gets a fresh :class:`ServerFleet` over the same
+    library; the same 8-client single-get fan-out hammers it, every byte is
+    checked against a direct library read, and the curve is merged into
+    ``BENCH_server.json`` under ``"worker_scaling"``.  Assertions gate on
+    parity and on every worker surviving the run — never on speedup, which
+    loopback single-gets on a shared CI runner cannot promise.
+    """
+    total = len(serving_corpus)
+    with CorpusLibrary.open(served_library) as direct:
+        expected_all = list(direct.iter_all())
+    per_client_indices = [_client_indices(total, seed=300 + slot)
+                          for slot in range(CLIENTS)]
+    requests = CLIENTS * REQUESTS_PER_CLIENT
+
+    curve: dict = {}
+    for workers in WORKER_COUNTS:
+        with ServerFleet(served_library, workers=workers,
+                         readers=POOL_SIZE) as fleet:
+            results, seconds = _fan_out(
+                fleet.url,
+                lambda client, slot: [client.get(i)
+                                      for i in per_client_indices[slot]],
+            )
+            assert fleet.alive_workers() == workers  # nobody died under load
+            for slot in range(CLIENTS):
+                assert results[slot] == [expected_all[i]
+                                         for i in per_client_indices[slot]]
+            entry = _mode(seconds, requests, requests)
+            entry["dispatch"] = fleet.mode
+            curve[str(workers)] = entry
+
+    text = _merge_bench_payload({
+        "worker_scaling": {
+            "clients": CLIENTS,
+            "requests_per_point": requests,
+            "scale": os.environ.get("ZSMILES_BENCH_SCALE", "benchmark"),
+            "workers": curve,
+            "parity": "byte-identical",
+        },
+    })
+    (results_dir / "BENCH_server.json").write_text(text, encoding="utf-8")
+
+    table = ResultTable(
+        title=f"Fleet scaling: {CLIENTS} clients vs --workers "
+              f"{{{', '.join(str(w) for w in WORKER_COUNTS)}}}",
+        columns=["workers", "dispatch", "requests/sec", "us/request"],
+    )
+    for workers in WORKER_COUNTS:
+        entry = curve[str(workers)]
+        table.add_row(workers, entry["dispatch"], entry["requests_per_sec"],
+                      entry["us_per_request"])
+    table.add_note(
+        f"{requests} single-gets per point over {total} records; "
+        f"reader pool {POOL_SIZE} per worker."
+    )
+    report("server_worker_scaling", table)
 
 
 def test_remote_reads_match_local_under_sustained_load(server, served_library):

@@ -19,7 +19,10 @@ unified engine surface:
    concurrently via ``AsyncCorpusLibrary``'s bounded reader pool,
 7. stand up the HTTP serving front over that library and read it back
    through ``CorpusClient`` (and plain ``open_reader("http://…")``) — the
-   same corpus, now a network service (``zsmiles serve`` is the CLI spelling),
+   same corpus, now a network service (``zsmiles serve`` is the CLI
+   spelling) — then scale it out: a multi-process ``ServerFleet``
+   (``zsmiles serve --workers N``), deflate-compressed transport, and a
+   replica-aware ``FailoverCorpusClient`` that rides out a dead replica,
 8. run the curation loop: ingest a messy dump (filters + streaming dedup),
    train a *pinned* dictionary on a reservoir sample of the same pass, pack
    with it, and migrate the live library to a new dictionary with
@@ -48,6 +51,8 @@ from repro import (
     CorpusLibrary,
     CorpusStore,
     EngineConfig,
+    FailoverCorpusClient,
+    ServerFleet,
     ZSmilesEngine,
     open_reader,
     pack_library,
@@ -201,6 +206,33 @@ def main() -> None:
         with open_reader(server.url) as remote:
             assert remote.get(42) == engine.preprocess(library[42])
             print("open_reader(url):    served record 42 through the shared protocol")
+
+    # ------------------------------------------------------------------ #
+    # 7b. Scale the front out.  `zsmiles serve library.library --workers 4`
+    #     pre-forks worker processes over the same library (SO_REUSEPORT
+    #     kernel dispatch where available, a proxy accept-loop otherwise);
+    #     ServerFleet is the in-process spelling.  Clients negotiate
+    #     deflate transport transparently (Accept-Encoding; the server only
+    #     compresses when it pays), and FailoverCorpusClient round-robins
+    #     replicas, retrying connection loss and 503s while typed request
+    #     errors (404/400) propagate untouched.
+    # ------------------------------------------------------------------ #
+    with ServerFleet(library_dir, workers=2, readers=4) as fleet:
+        with BackgroundServer(library_dir, readers=4) as second_replica:
+            with FailoverCorpusClient([fleet.url, second_replica.url]) as client:
+                wanted = [5, 999, 1_234, 1_999]
+                assert client.get_many(wanted) == [
+                    engine.preprocess(library[i]) for i in wanted
+                ]
+                fleet.kill_worker(0)  # a replica degrades mid-flight...
+                streamed = client.slice(0, 256)  # ...and reads keep landing
+                assert streamed == [engine.preprocess(s) for s in library[:256]]
+                print(
+                    f"fleet + failover:    {fleet.mode} fleet of 2 workers at "
+                    f"{fleet.url}; killed one worker mid-stream, "
+                    f"{len(streamed)} records still byte-correct across "
+                    f"{len(client.urls)} replicas (deflate transport)"
+                )
 
     # ------------------------------------------------------------------ #
     # 8. The curation loop: ingest -> train -> pack -> repack.

@@ -84,7 +84,15 @@ from .library import (
     pack_library,
     pack_library_file,
 )
-from .server import BackgroundServer, CorpusClient, CorpusServer
+from .server import (
+    AsyncCorpusClient,
+    AsyncFailoverCorpusClient,
+    BackgroundServer,
+    CorpusClient,
+    CorpusServer,
+    FailoverCorpusClient,
+    ServerFleet,
+)
 from .curation import (
     DictionaryIdentity,
     IngestPipeline,
@@ -129,10 +137,14 @@ __all__ = [
     "compose_libraries",
     "pack_library",
     "pack_library_file",
-    # Network serving front (HTTP server + typed client).
+    # Network serving front (HTTP server, fleet, typed clients).
+    "AsyncCorpusClient",
+    "AsyncFailoverCorpusClient",
     "BackgroundServer",
     "CorpusClient",
     "CorpusServer",
+    "FailoverCorpusClient",
+    "ServerFleet",
     # Curation subsystem (streaming ingest, dictionary lifecycle, repack).
     "DictionaryIdentity",
     "IngestPipeline",

@@ -215,6 +215,10 @@ def build_parser() -> argparse.ArgumentParser:
                                          f"(default: {DEFAULT_CACHE_BLOCKS})")
     serve.add_argument("--mmap", action="store_true",
                        help="serve block reads from read-only memory maps")
+    serve.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="worker processes behind one port (default 1: "
+                            "in-process server; >1 pre-forks a fleet via "
+                            "SO_REUSEPORT or a round-robin accept proxy)")
 
     serve_bench = sub.add_parser(
         "serve-bench",
@@ -681,6 +685,7 @@ def _cmd_compose(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .server.app import run_server
+    from .server.fleet import run_fleet
 
     if args.readers < 1:
         print("error: --readers must be >= 1", file=sys.stderr)
@@ -691,7 +696,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.port < 0:
         print("error: --port must be >= 0", file=sys.stderr)
         return 2
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
     codec = _load_engine(args.dictionary).codec if args.dictionary else None
+    if args.workers > 1:
+        return run_fleet(
+            args.input,
+            workers=args.workers,
+            codec=codec,
+            host=args.host,
+            port=args.port,
+            readers=args.readers,
+            cache_blocks=args.cache_blocks,
+            use_mmap=args.mmap,
+        )
     return run_server(
         args.input,
         codec=codec,

@@ -128,6 +128,11 @@ class ServerConnectionError(ServerError):
     """Raised when the transport to a corpus server fails (died mid-stream, refused)."""
 
 
+class ServerBusyError(ServerError):
+    """Raised when a server (or fleet front) cannot take the request right now
+    (HTTP 503).  Retryable: a replica-aware client should try another replica."""
+
+
 class CurationError(ReproError):
     """Raised by the corpus-curation subsystem (ingest, sampling, repack)."""
 

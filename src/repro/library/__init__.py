@@ -76,7 +76,12 @@ serving packed corpora should call :meth:`CorpusLibrary.open` directly
 (it also accepts a bare ``.zss``).
 """
 
-from .async_api import DEFAULT_POOL_SIZE, DEFAULT_STREAM_BATCH, AsyncCorpusLibrary
+from .async_api import (
+    DEFAULT_POOL_SIZE,
+    DEFAULT_STREAM_BATCH,
+    AsyncCorpusLibrary,
+    open_async_reader,
+)
 from .compose import compose_libraries, compose_manifests
 from .facade import CorpusLibrary
 from .manifest import (
@@ -115,6 +120,7 @@ __all__ = [
     "compose_libraries",
     "compose_manifests",
     "is_packed_path",
+    "open_async_reader",
     "pack_library",
     "pack_library_file",
     "resolve_manifest_path",

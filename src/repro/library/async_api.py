@@ -209,3 +209,44 @@ class AsyncCorpusLibrary:
 
     async def __aexit__(self, *exc_info: object) -> None:
         self.close()
+
+
+def open_async_reader(
+    source: Union[PathLike, Sequence[str]],
+    codec: Optional[ZSmilesCodec] = None,
+    pool_size: int = DEFAULT_POOL_SIZE,
+    cache_blocks: int = DEFAULT_CACHE_BLOCKS,
+    use_mmap: bool = False,
+):
+    """The async counterpart of :func:`repro.store.open_reader`.
+
+    An ``http://`` URL opens as an
+    :class:`~repro.server.AsyncCorpusClient`; several URLs (a sequence, or
+    one comma-separated string) open as an
+    :class:`~repro.server.AsyncFailoverCorpusClient` that round-robins and
+    fails over across the replicas; anything else opens as an
+    :class:`AsyncCorpusLibrary` over the local layout (the server decodes
+    for URLs, so *codec* only applies locally).  Every return type is an
+    async context manager with ``get`` / ``get_many`` / ``sample`` and an
+    async record stream, so async consumers accept any corpus the same way
+    blocking ones do.
+    """
+    # Imported lazily — repro.server sits on top of this module.
+    from ..server.protocol import split_replica_urls
+
+    replica_urls = split_replica_urls(source)
+    if replica_urls:
+        if len(replica_urls) > 1:
+            from ..server.async_client import AsyncFailoverCorpusClient
+
+            return AsyncFailoverCorpusClient(replica_urls)
+        from ..server.async_client import AsyncCorpusClient
+
+        return AsyncCorpusClient(replica_urls[0])
+    return AsyncCorpusLibrary.open(
+        source,
+        codec=codec,
+        pool_size=pool_size,
+        cache_blocks=cache_blocks,
+        use_mmap=use_mmap,
+    )

@@ -21,11 +21,29 @@ fourth tier of the serving ladder documented in :mod:`repro.library`
 * :class:`BackgroundServer` / :func:`run_server` — the thread-hosted and
   foreground (``zsmiles serve``) lifecycles, both with graceful, draining
   shutdown.
+* :class:`ServerFleet` / :func:`run_fleet` (:mod:`repro.server.fleet`) —
+  multi-process scale-out: ``zsmiles serve --workers N`` pre-forks N
+  worker processes over the same library behind one URL, via
+  ``SO_REUSEPORT`` kernel load-balancing where available and a parent
+  round-robin TCP proxy everywhere else.  A SIGKILLed worker drops out of
+  rotation; survivors keep serving.
+* :class:`FailoverCorpusClient` / :class:`AsyncFailoverCorpusClient` —
+  replica-aware clients over several server URLs: round-robin routing,
+  failover on retryable outcomes (connection loss, HTTP 503 — see
+  :func:`repro.server.protocol.is_retryable`), immediate propagation of
+  fatal typed errors, and mid-stream resume at the first undelivered
+  record.
+* :class:`AsyncCorpusClient` (:mod:`repro.server.async_client`) — the
+  asyncio twin of :class:`CorpusClient` for event-loop consumers.
+
+Transport: ``/records:batch`` and range-stream responses negotiate zlib
+``Content-Encoding: deflate`` (clients advertise it by default; identity
+bodies stay byte-identical to the pre-compression wire).
 
 Standing a service up::
 
     zsmiles pack corpus.smi -d shared.dct --shards 8
-    zsmiles serve corpus.library --port 8765 --readers 8
+    zsmiles serve corpus.library --port 8765 --readers 8 --workers 4
 
 Consuming it::
 
@@ -33,8 +51,12 @@ Consuming it::
         client.get(123), client.get_many(batch)
         for record in client.iter_range(0, 10_000):
             ...
+    # replicas behind one client (comma-spelling works in CLIs/envs too):
+    with FailoverCorpusClient(["http://a:8765", "http://b:8765"]) as client:
+        client.get_many(batch)   # fails over on refused/503, resumes streams
     # or, transparently:
     reader = open_reader("http://127.0.0.1:8765")
+    reader = open_reader("http://a:8765,http://b:8765")  # failover reader
 """
 
 from .app import (
@@ -45,10 +67,14 @@ from .app import (
     CorpusServer,
     run_server,
 )
-from .client import DEFAULT_TIMEOUT, CorpusClient
-from .protocol import PROTOCOL_VERSION, is_url
+from .async_client import AsyncCorpusClient, AsyncFailoverCorpusClient
+from .client import DEFAULT_TIMEOUT, CorpusClient, FailoverCorpusClient
+from .fleet import ServerFleet, run_fleet
+from .protocol import PROTOCOL_VERSION, is_retryable, is_url, split_replica_urls
 
 __all__ = [
+    "AsyncCorpusClient",
+    "AsyncFailoverCorpusClient",
     "BackgroundServer",
     "CorpusClient",
     "CorpusServer",
@@ -56,7 +82,12 @@ __all__ = [
     "DEFAULT_HOST",
     "DEFAULT_PORT",
     "DEFAULT_TIMEOUT",
+    "FailoverCorpusClient",
     "PROTOCOL_VERSION",
+    "ServerFleet",
+    "is_retryable",
     "is_url",
+    "run_fleet",
     "run_server",
+    "split_replica_urls",
 ]

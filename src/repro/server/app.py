@@ -38,6 +38,7 @@ import random
 import threading
 import time
 import urllib.parse
+import zlib
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 
@@ -106,6 +107,7 @@ class CorpusServer:
         host: str = DEFAULT_HOST,
         port: int = DEFAULT_PORT,
         stream_batch: int = DEFAULT_STREAM_BATCH,
+        reuse_port: bool = False,
     ):
         if stream_batch < 1:
             raise ServerError("stream_batch must be >= 1")
@@ -113,16 +115,25 @@ class CorpusServer:
         self.host = host
         self.port = port
         self.stream_batch = stream_batch
+        #: Bind with SO_REUSEPORT so several worker processes can share one
+        #: port and let the kernel balance connections (the fleet tier).
+        self.reuse_port = reuse_port
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: set = set()
         self._busy: set = set()
         self._closing = False
+        # Startedness is an explicit flag, not a truthiness test on the
+        # monotonic stamp: time.monotonic() may legitimately be 0.0 at
+        # start (it counts from an unspecified epoch), and a falsy stamp
+        # must not make stats() report a never-started server.
+        self._started = False
         self._started_at = 0.0
         #: Request tally per route plus error count (single loop: plain ints).
         self.counters: Dict[str, int] = {
             "requests": 0,
             "errors": 0,
             "records_served": 0,
+            "deflated": 0,
             "healthz": 0,
             "stats": 0,
             "single": 0,
@@ -138,9 +149,17 @@ class CorpusServer:
         """Bind and start accepting connections; resolves ``self.port``."""
         if self._server is not None:
             raise ServerError("server already started")
-        self._server = await asyncio.start_server(self._serve_connection, self.host, self.port)
+        if self.reuse_port:
+            self._server = await asyncio.start_server(
+                self._serve_connection, self.host, self.port, reuse_port=True
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._serve_connection, self.host, self.port
+            )
         self.port = self._server.sockets[0].getsockname()[1]
         self._started_at = time.monotonic()
+        self._started = True
 
     @property
     def url(self) -> str:
@@ -344,12 +363,18 @@ class CorpusServer:
         records = await self.library.get_many(indices)
         self.counters["batch"] += 1
         self.counters["records_served"] += len(records)
+        body, encoding = protocol.negotiate_encoding(
+            request.headers, protocol.encode_records_body(records)
+        )
+        if encoding:
+            self.counters["deflated"] += 1
         await self._write_response(
             writer,
             200,
-            protocol.encode_records_body(records),
+            body,
             protocol.CONTENT_TYPE_TEXT,
             keep_alive,
+            content_encoding=encoding,
         )
 
     async def _handle_sample(
@@ -385,11 +410,25 @@ class CorpusServer:
         """
         start, stop = protocol.parse_range_query(request.query, len(self.library))
         self.counters["stream"] += 1
+        # Streams deflate whenever the request advertises it (no size gate:
+        # the range's size is unknown up front and streams are the bulk
+        # path).  One zlib stream spans the whole response; every chunk is
+        # sync-flushed so records decoded before a mid-stream death are
+        # still deliverable — the compressed twin of the read1 guarantee.
+        compressor = None
+        if protocol.accepts_deflate(request.headers):
+            compressor = zlib.compressobj(protocol.COMPRESS_LEVEL)
+            self.counters["deflated"] += 1
         headers = (
             f"HTTP/1.1 200 {protocol.STATUS_REASONS[200]}\r\n"
             f"Content-Type: {protocol.CONTENT_TYPE_TEXT}\r\n"
             "Transfer-Encoding: chunked\r\n"
-            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            + (
+                f"Content-Encoding: {protocol.CONTENT_ENCODING_DEFLATE}\r\n"
+                if compressor is not None
+                else ""
+            )
+            + f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             "\r\n"
         )
         writer.write(headers.encode("ascii"))
@@ -404,10 +443,21 @@ class CorpusServer:
                 upper = min(cursor + self.stream_batch, stop)
                 batch = await self.library.get_many(list(range(cursor, upper)))
                 payload = protocol.encode_records_body(batch)
-                writer.write(f"{len(payload):x}\r\n".encode("ascii") + payload + b"\r\n")
-                await writer.drain()
+                if compressor is not None:
+                    payload = compressor.compress(payload) + compressor.flush(
+                        zlib.Z_SYNC_FLUSH
+                    )
+                if payload:
+                    writer.write(
+                        f"{len(payload):x}\r\n".encode("ascii") + payload + b"\r\n"
+                    )
+                    await writer.drain()
                 self.counters["records_served"] += len(batch)
                 cursor = upper
+            if compressor is not None:
+                tail = compressor.flush()
+                if tail:
+                    writer.write(f"{len(tail):x}\r\n".encode("ascii") + tail + b"\r\n")
             writer.write(b"0\r\n\r\n")
             await writer.drain()
         except (ConnectionError, asyncio.CancelledError):
@@ -436,8 +486,9 @@ class CorpusServer:
             "records": len(self.library),
             "shards": manifest.shard_count,
             "pool_size": self.library.pool_size,
+            # The key is always present; 0.0 before start(), never omitted.
             "uptime_seconds": round(time.monotonic() - self._started_at, 3)
-            if self._started_at
+            if self._started
             else 0.0,
             "cache": self.library.cache_stats(),
             "counters": dict(self.counters),
@@ -458,13 +509,19 @@ class CorpusServer:
         body: bytes,
         content_type: str,
         keep_alive: bool,
+        content_encoding: Optional[str] = None,
     ) -> None:
         reason = protocol.STATUS_REASONS.get(status, "Unknown")
         headers = (
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
-            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            + (
+                f"Content-Encoding: {content_encoding}\r\n"
+                if content_encoding
+                else ""
+            )
+            + f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             "\r\n"
         )
         writer.write(headers.encode("ascii") + body)
@@ -530,6 +587,7 @@ class BackgroundServer:
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stop_event: Optional[asyncio.Event] = None
         self._startup_error: Optional[BaseException] = None
+        self._stop_lock = threading.Lock()
         self.server: Optional[CorpusServer] = None
 
     # -- thread body ---------------------------------------------------- #
@@ -594,16 +652,29 @@ class BackgroundServer:
         return self.server.url
 
     def stop(self) -> None:
-        """Graceful shutdown (idempotent): drain, then join the thread."""
-        if self._thread is None:
-            return
-        if self._loop is not None and self._stop_event is not None:
-            try:
-                self._loop.call_soon_threadsafe(self._stop_event.set)
-            except RuntimeError:
-                pass  # loop already closed
-        self._thread.join()
-        self._thread = None
+        """Graceful shutdown (idempotent): drain, then join the thread.
+
+        Safe against the startup race: a ``stop()`` issued while the server
+        thread is still binding waits for startup to resolve (success or
+        error) before signalling, so ``_loop``/``_stop_event`` are never
+        half-initialized and the thread cannot leak.  Concurrent and
+        repeated ``stop()`` calls are no-ops after the first.
+        """
+        with self._stop_lock:
+            thread = self._thread
+            if thread is None:
+                return
+            # Wait for the thread body to either publish _loop/_stop_event
+            # or record a startup error — signalling before that point
+            # would be lost and leave the thread parked forever.
+            self._ready.wait()
+            if self._loop is not None and self._stop_event is not None:
+                try:
+                    self._loop.call_soon_threadsafe(self._stop_event.set)
+                except RuntimeError:
+                    pass  # loop already closed
+            thread.join()
+            self._thread = None
 
     def __enter__(self) -> "BackgroundServer":
         return self.start()

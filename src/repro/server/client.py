@@ -16,11 +16,29 @@ raises :class:`~repro.errors.RandomAccessError`, a malformed request
 refused, the server dying mid-stream — raise
 :class:`~repro.errors.ServerConnectionError`.
 
-One connection is kept alive across calls and transparently reopened once
-when the server closed it between requests (standard keep-alive race); a
-failure on the *retried* request is reported, not retried again.
+One connection is kept alive across calls.  The keep-alive race (the server
+closed an idle connection between our requests) is handled *before* sending:
+the pooled socket is probed for a pending EOF and reopened if stale.  The
+single reconnect retry is therefore restricted to the connect/send phase —
+once any response byte could have been received, a transport failure raises
+:class:`~repro.errors.ServerConnectionError` instead of silently resending
+(a resend after partial response receipt would be a duplicate request; for
+anything non-idempotent upstream of the library that is corruption, and even
+here it double-counts server tallies).
 
-The client is thread-safe the way the local readers are: unit requests
+Responses negotiate zlib ``Content-Encoding: deflate`` (see
+:mod:`repro.server.protocol`): the client advertises it by default and
+transparently inflates batch bodies and range streams.
+
+:class:`FailoverCorpusClient` wraps several replicas of the same corpus
+behind the same surface: calls round-robin across the URLs and fail over on
+*retryable* outcomes (connection loss, HTTP 503) while fatal, typed errors
+(a 404 out-of-range index, a 400 malformed request) propagate immediately —
+the typed envelope is what makes that distinction trustworthy.  Range
+streams resume on the next replica at the first undelivered record, so a
+replica dying mid-stream costs nothing but latency.
+
+The clients are thread-safe the way the local readers are: unit requests
 (``get`` / ``get_many`` / ``stats``) serialize over the shared keep-alive
 connection behind a lock — mirroring :class:`ShardReader`'s I/O lock — and
 every :meth:`iter_range` stream runs on its own dedicated connection, so a
@@ -31,12 +49,14 @@ from other threads.
 from __future__ import annotations
 
 import http.client
+import select
 import socket
 import threading
 import urllib.parse
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+import zlib
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
-from ..errors import ProtocolError, ServerConnectionError, ServerError
+from ..errors import ProtocolError, ReproError, ServerConnectionError, ServerError
 from . import protocol
 
 #: Default socket timeout (seconds) for every request.
@@ -55,9 +75,18 @@ class CorpusClient:
         honoured (``http://host:port/corpus`` requests ``/corpus/records/…``).
     timeout:
         Socket timeout per request, in seconds.
+    compress:
+        Advertise ``Accept-Encoding: deflate`` so the server may compress
+        batch and stream responses (inflated transparently).  Identity
+        responses are always accepted either way.
     """
 
-    def __init__(self, base_url: str, timeout: float = DEFAULT_TIMEOUT):
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = DEFAULT_TIMEOUT,
+        compress: bool = True,
+    ):
         parsed = urllib.parse.urlsplit(base_url)
         if parsed.scheme not in ("http", "https"):
             raise ServerError(f"unsupported URL scheme {parsed.scheme!r} in {base_url!r}")
@@ -69,6 +98,7 @@ class CorpusClient:
         self._port = parsed.port
         self._prefix = parsed.path.rstrip("/")
         self.timeout = timeout
+        self.compress = compress
         self._conn: Optional[http.client.HTTPConnection] = None
         # Serializes request/response cycles on the shared keep-alive
         # connection (http.client forbids interleaving them); the local
@@ -86,6 +116,19 @@ class CorpusClient:
         return factory(self._host, self._port, timeout=self.timeout)
 
     def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is not None and self._conn.sock is not None:
+            # Keep-alive staleness probe: a server that closed this idle
+            # connection has already sent its FIN, so the socket selects
+            # readable with no response outstanding.  Reopening *before*
+            # sending keeps that race inside the retry-safe connect phase —
+            # the alternative (retrying after a failed read) can resend a
+            # request whose first attempt was already processed.
+            try:
+                readable, _, _ = select.select([self._conn.sock], [], [], 0)
+            except (OSError, ValueError):
+                readable = [self._conn.sock]
+            if readable:
+                self._drop_connection()
         if self._conn is None:
             self._conn = self._new_connection()
         return self._conn
@@ -103,30 +146,46 @@ class CorpusClient:
         body: Optional[bytes] = None,
         headers: Optional[Dict[str, str]] = None,
     ) -> http.client.HTTPResponse:
-        """One request over the kept-alive connection, reconnecting once.
+        """One request over the kept-alive connection.
 
-        The retry covers exactly the keep-alive race (the server closed an
-        idle connection between our requests); a connection that fails twice
-        in a row — or refuses outright — is a real transport error.
+        The single reconnect retry covers ONLY the connect/send phase —
+        before any response byte could have been received, when resending
+        is safe.  Once the request is on the wire, a failure while reading
+        the response raises :class:`ServerConnectionError` immediately:
+        retrying there would silently issue the request twice.  The classic
+        keep-alive race is handled up front by :meth:`_connection`'s
+        staleness probe, which is what makes the narrow retry window
+        sufficient in practice.
         """
         target = self._prefix + target
         request_headers = {"Accept": protocol.CONTENT_TYPE_JSON}
+        if self.compress:
+            request_headers["Accept-Encoding"] = protocol.CONTENT_ENCODING_DEFLATE
         if headers:
             request_headers.update(headers)
         last_error: Optional[Exception] = None
-        for attempt in (0, 1):
-            conn = self._connection()
+        conn: Optional[http.client.HTTPConnection] = None
+        for _attempt in (0, 1):
             try:
+                conn = self._connection()
                 conn.request(method, target, body=body, headers=request_headers)
-                return conn.getresponse()
+                break
             except (http.client.HTTPException, ConnectionError, socket.timeout, OSError) as exc:
                 last_error = exc
                 self._drop_connection()
-                if attempt:
-                    break
-        raise ServerConnectionError(
-            f"request {method} {target} to {self.base_url} failed: {last_error}"
-        ) from last_error
+                conn = None
+        if conn is None:
+            raise ServerConnectionError(
+                f"request {method} {target} to {self.base_url} failed: {last_error}"
+            ) from last_error
+        try:
+            return conn.getresponse()
+        except (http.client.HTTPException, ConnectionError, socket.timeout, OSError) as exc:
+            self._drop_connection()
+            raise ServerConnectionError(
+                f"server at {self.base_url} died before answering "
+                f"{method} {target}: {exc}"
+            ) from exc
 
     def _read_body(self, response: http.client.HTTPResponse) -> bytes:
         try:
@@ -151,6 +210,13 @@ class CorpusClient:
         with self._lock:
             response = self._request(method, target, body=body, headers=headers)
             payload = self._read_body(response)
+        encoding = (response.getheader("Content-Encoding") or "").strip().lower()
+        if encoding == protocol.CONTENT_ENCODING_DEFLATE:
+            payload = protocol.inflate_body(payload)
+        elif encoding and encoding != "identity":
+            raise ProtocolError(
+                f"server sent unsupported Content-Encoding {encoding!r}"
+            )
         if response.status != 200:
             raise protocol.exception_from_envelope(payload, response.status)
         return response.status, payload
@@ -267,10 +333,13 @@ class CorpusClient:
             self._prefix
             + f"{protocol.ROUTE_RECORDS}?{urllib.parse.urlencode(query)}"
         )
+        stream_headers = {"Accept": protocol.CONTENT_TYPE_TEXT}
+        if self.compress:
+            stream_headers["Accept-Encoding"] = protocol.CONTENT_ENCODING_DEFLATE
         conn = self._new_connection()
         try:
             try:
-                conn.request("GET", target, headers={"Accept": protocol.CONTENT_TYPE_TEXT})
+                conn.request("GET", target, headers=stream_headers)
                 response = conn.getresponse()
                 if response.status != 200:
                     payload = response.read()
@@ -279,6 +348,14 @@ class CorpusClient:
                 raise ServerConnectionError(
                     f"request GET {target} to {self.base_url} failed: {exc}"
                 ) from exc
+            encoding = (response.getheader("Content-Encoding") or "").strip().lower()
+            inflater = None
+            if encoding == protocol.CONTENT_ENCODING_DEFLATE:
+                inflater = zlib.decompressobj()
+            elif encoding and encoding != "identity":
+                raise ProtocolError(
+                    f"server sent unsupported Content-Encoding {encoding!r}"
+                )
             pending = b""
             try:
                 while True:
@@ -286,10 +363,21 @@ class CorpusClient:
                     # and discards the partial tail when the stream is cut,
                     # whereas read1 hands over each transfer chunk as it
                     # arrives — so records received before a mid-stream
-                    # death are delivered.
+                    # death are delivered.  The server sync-flushes the
+                    # deflate stream per chunk for the same reason, so the
+                    # incremental inflater below preserves the guarantee.
                     chunk = response.read1(DEFAULT_READ_BATCH)
                     if not chunk:
                         break
+                    if inflater is not None:
+                        try:
+                            chunk = inflater.decompress(chunk)
+                        except zlib.error as exc:
+                            raise ProtocolError(
+                                f"corrupt deflate stream from {self.base_url}: {exc}"
+                            ) from exc
+                        if not chunk:
+                            continue
                     pending += chunk
                     lines = pending.split(b"\n")
                     pending = lines.pop()
@@ -299,6 +387,18 @@ class CorpusClient:
                 raise ServerConnectionError(
                     f"server at {self.base_url} died mid-stream: {exc}"
                 ) from exc
+            if inflater is not None:
+                try:
+                    pending += inflater.flush()
+                except zlib.error as exc:
+                    raise ProtocolError(
+                        f"corrupt deflate stream from {self.base_url}: {exc}"
+                    ) from exc
+                if pending:
+                    lines = pending.split(b"\n")
+                    pending = lines.pop()
+                    for line in lines:
+                        yield line.decode("utf-8")
             if pending:
                 # The protocol terminates every record with \n; a dangling
                 # tail means the stream was cut (e.g. the connection dropped
@@ -334,6 +434,186 @@ class CorpusClient:
         self._drop_connection()
 
     def __enter__(self) -> "CorpusClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class FailoverCorpusClient:
+    """Replica-aware reads over several servers of the *same* corpus.
+
+    Presents the same ``RecordReader`` surface as :class:`CorpusClient` but
+    routes each call across a set of replica URLs:
+
+    - Calls start at a rotating cursor (client-side round-robin, so load
+      spreads across replicas even from a single consumer).
+    - A *retryable* failure — :class:`~repro.errors.ServerConnectionError`
+      (refused, died mid-response) or
+      :class:`~repro.errors.ServerBusyError` (HTTP 503) — fails over to the
+      next replica in rotation; see :func:`repro.server.protocol.is_retryable`.
+    - A *fatal* typed error (404 out-of-range, 400 malformed, a named
+      library error) propagates immediately: every replica serves the same
+      corpus, so the next one would answer identically.
+    - When one full rotation yields no progress, a
+      :class:`~repro.errors.ServerConnectionError` reports the exhaustion
+      (chained to the last replica's error).
+
+    Range streams resume: if a replica dies mid-stream the iterator
+    continues on the next replica at the first *undelivered* record, so a
+    SIGKILLed replica costs latency, never records — and never duplicates.
+
+    Parameters
+    ----------
+    urls:
+        The replica URLs — a sequence, or one comma-separated string
+        (``"http://a:8765,http://b:8765"``, the CLI-friendly spelling).
+    timeout, compress:
+        Forwarded to each per-replica :class:`CorpusClient`.
+    """
+
+    def __init__(
+        self,
+        urls: Union[str, Sequence[str]],
+        timeout: float = DEFAULT_TIMEOUT,
+        compress: bool = True,
+    ):
+        replica_urls = protocol.split_replica_urls(urls)
+        if not replica_urls:
+            raise ServerError(f"no replica URLs in {urls!r}")
+        self.urls: Tuple[str, ...] = tuple(replica_urls)
+        self._clients = [
+            CorpusClient(url, timeout=timeout, compress=compress)
+            for url in replica_urls
+        ]
+        self._cursor = 0
+        self._cursor_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    def _rotation(self) -> List[CorpusClient]:
+        """The replicas in try-order, starting at (and advancing) the cursor."""
+        with self._cursor_lock:
+            start = self._cursor
+            self._cursor = (self._cursor + 1) % len(self._clients)
+        n = len(self._clients)
+        return [self._clients[(start + i) % n] for i in range(n)]
+
+    def _fan(self, op):
+        """Run *op* against replicas in rotation until one answers."""
+        last_error: Optional[ReproError] = None
+        for client in self._rotation():
+            try:
+                return op(client)
+            except ReproError as exc:
+                if not protocol.is_retryable(exc):
+                    raise
+                last_error = exc
+        raise ServerConnectionError(
+            f"all {len(self._clients)} replicas failed "
+            f"({', '.join(self.urls)}); last error: {last_error}"
+        ) from last_error
+
+    # ------------------------------------------------------------------ #
+    # Service endpoints
+    # ------------------------------------------------------------------ #
+    def healthz(self) -> Dict[str, object]:
+        """Liveness payload from the first replica that answers."""
+        return self._fan(lambda c: c.healthz())
+
+    def stats(self) -> Dict[str, object]:
+        """``/stats`` payload from the first replica that answers."""
+        return self._fan(lambda c: c.stats())
+
+    # ------------------------------------------------------------------ #
+    # RecordReader surface
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self._fan(len)
+
+    def get(self, index: int) -> str:
+        """The record at *index*, from the first replica that answers."""
+        return self._fan(lambda c: c.get(index))
+
+    def __getitem__(self, index: int) -> str:
+        return self.get(index)
+
+    def get_many(self, indices: Sequence[int]) -> List[str]:
+        """One batch round trip, failing over between replicas."""
+        indices = list(indices)
+        if not indices:
+            return []
+        return self._fan(lambda c: c.get_many(indices))
+
+    def sample(self, n: int, seed: Optional[int] = None) -> Tuple[List[int], List[str]]:
+        """Seed-deterministic uniform sample (identical on every replica)."""
+        return self._fan(lambda c: c.sample(n, seed))
+
+    def iter_range(
+        self, start: int = 0, stop: Optional[int] = None
+    ) -> Iterator[str]:
+        """Stream ``start`` … ``stop``, resuming across replica deaths.
+
+        The stream tracks how many records it has already yielded; when the
+        serving replica dies, the next replica picks up at
+        ``start + delivered`` — exactly-once delivery without buffering.
+        Only a full rotation with *zero* progress raises (every replica
+        down); any progress resets the rotation budget.
+        """
+        delivered = 0
+        while True:
+            progressed = False
+            last_error: Optional[ReproError] = None
+            for client in self._rotation():
+                try:
+                    for record in client.iter_range(start + delivered, stop):
+                        delivered += 1
+                        progressed = True
+                        yield record
+                    return
+                except ReproError as exc:
+                    if not protocol.is_retryable(exc):
+                        raise
+                    last_error = exc
+                    if progressed:
+                        # Partial delivery: restart the rotation with a
+                        # fresh failure budget rather than burning the
+                        # remaining replicas of this one.
+                        break
+            if not progressed:
+                raise ServerConnectionError(
+                    f"all {len(self._clients)} replicas failed streaming "
+                    f"[{start + delivered}, {stop}) ({', '.join(self.urls)}); "
+                    f"last error: {last_error}"
+                ) from last_error
+
+    def slice(self, start: int, stop: int) -> List[str]:
+        """Records ``start`` (inclusive) to ``stop`` (exclusive, clamped)."""
+        return list(self.iter_range(start, stop))
+
+    def iter_all(self) -> Iterator[str]:
+        """Stream every record in order (failover included)."""
+        return self.iter_range(0, None)
+
+    # Compatibility aliases with RandomAccessReader's historical names.
+    def line(self, index: int) -> str:
+        """Alias of :meth:`get`."""
+        return self.get(index)
+
+    def lines(self, indices: Sequence[int]) -> List[str]:
+        """Alias of :meth:`get_many`."""
+        return self.get_many(indices)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Close every replica's kept-alive connection (idempotent)."""
+        for client in self._clients:
+            client.close()
+
+    def __enter__(self) -> "FailoverCorpusClient":
         return self
 
     def __exit__(self, *exc_info: object) -> None:

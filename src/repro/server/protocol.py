@@ -20,12 +20,25 @@ One module pins everything both sides must agree on, so the server
   :meth:`CorpusLibrary.get` would — the parity the failure-path tests pin.
 * **Body limits** — request bodies and batch sizes are bounded so a
   misbehaving client cannot balloon server memory.
+* **Content-Encoding negotiation** — ``/records:batch`` and range-stream
+  responses travel zlib-deflated when the request advertises
+  ``Accept-Encoding: deflate`` (and the identity body clears
+  :data:`MIN_COMPRESS_BYTES`); :func:`negotiate_encoding` /
+  :func:`inflate_body` keep both sides byte-identical to the identity path.
+* **Retry classification** — :func:`is_retryable` is the one policy the
+  replica-aware failover clients apply: transport failures
+  (:class:`~repro.errors.ServerConnectionError`) and HTTP 503
+  (:class:`~repro.errors.ServerBusyError`) mean "try another replica";
+  everything else (404, 400, 500) is the *request's* fault or a corpus
+  fault every replica shares, so failing over would only repeat it.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Tuple, Type
+import re
+import zlib
+from typing import Dict, List, Optional, Sequence, Tuple, Type, Union
 
 from ..errors import (
     LibraryError,
@@ -33,6 +46,7 @@ from ..errors import (
     ProtocolError,
     RandomAccessError,
     ReproError,
+    ServerBusyError,
     ServerConnectionError,
     ServerError,
     StoreError,
@@ -66,6 +80,15 @@ MAX_BATCH_INDICES = 100_000
 #: Hard cap on records per ``/records:sample`` request.
 MAX_SAMPLE_RECORDS = 100_000
 
+#: The one compression coding the protocol negotiates ("deflate" is the zlib
+#: format, RFC 9110 §8.4.1.2 — stdlib ``zlib`` on both sides).
+CONTENT_ENCODING_DEFLATE = "deflate"
+#: Identity bodies below this size are never compressed: the zlib header +
+#: dictionary warm-up costs more than it saves on tiny payloads.
+MIN_COMPRESS_BYTES = 256
+#: zlib level for response bodies (6 is zlib's default speed/ratio balance).
+COMPRESS_LEVEL = 6
+
 #: Reason phrases for the statuses the protocol emits.
 STATUS_REASONS: Dict[int, str] = {
     200: "OK",
@@ -86,6 +109,7 @@ STATUS_REASONS: Dict[int, str] = {
 _STATUS_BY_EXCEPTION: Tuple[Tuple[Type[BaseException], int], ...] = (
     (RandomAccessError, 404),  # out-of-range index: the resource does not exist
     (ProtocolError, 400),      # the caller sent something malformed
+    (ServerBusyError, 503),    # transient: try again / try another replica
     (ManifestError, 500),      # server-side corpus trouble from here down
     (StoreFormatError, 500),
     (LibraryError, 500),
@@ -103,6 +127,7 @@ _EXCEPTION_BY_NAME: Dict[str, Type[ReproError]] = {
         StoreFormatError,
         LibraryError,
         StoreError,
+        ServerBusyError,
         ServerConnectionError,
         ServerError,
     )
@@ -151,8 +176,24 @@ def exception_from_envelope(body: bytes, status: int) -> ReproError:
             message = str(error.get("message", message))
     except (ValueError, UnicodeDecodeError):
         pass
-    cls = _EXCEPTION_BY_NAME.get(name, ServerError)
+    # A 503 whose envelope is untyped (a proxy, a load balancer) is still a
+    # "try another replica" signal — degrade to ServerBusyError, not the
+    # fatal ServerError, so failover clients keep their retry classification.
+    default = ServerBusyError if status == 503 else ServerError
+    cls = _EXCEPTION_BY_NAME.get(name, default)
     return cls(message)
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Whether a failover client may retry *exc* against another replica.
+
+    Transport failures (:class:`ServerConnectionError`: refused, died
+    mid-stream) and HTTP 503 (:class:`ServerBusyError`) are replica-local —
+    another replica may well answer.  Everything else (404 out-of-range,
+    400 malformed, 500 corpus trouble) would fail identically everywhere,
+    so it propagates immediately.
+    """
+    return isinstance(exc, (ServerBusyError, ServerConnectionError))
 
 
 # --------------------------------------------------------------------------- #
@@ -205,6 +246,25 @@ def encode_records_body(records: List[str]) -> bytes:
     return "".join(record + "\n" for record in records).encode("utf-8")
 
 
+#: The only integer spelling the wire accepts.  Python's ``int()`` is far
+#: laxer — it swallows ``"+5"``, ``" 5 "``, ``"1_0"`` and non-ASCII digits —
+#: and the laxest inputs used to reach handlers as values no local call could
+#: ever produce.  Strict decimal keeps remote inputs inside the local domain.
+_STRICT_INT_RE = re.compile(r"^-?[0-9]+$")
+
+
+def parse_query_int(name: str, raw: str) -> int:
+    """Parse one query/path integer strictly, or raise :class:`ProtocolError`.
+
+    Every malformed value — non-numeric, underscore separators, leading
+    ``+``, surrounding whitespace, non-ASCII digits — is an HTTP 400
+    envelope, never a 500 out of a surprised handler.
+    """
+    if not _STRICT_INT_RE.match(raw):
+        raise ProtocolError(f"{name} must be a decimal integer, got {raw!r}")
+    return int(raw)
+
+
 def parse_range_query(query: Dict[str, str], total: int) -> Tuple[int, int]:
     """Validate ``start``/``stop`` query parameters for the range stream.
 
@@ -218,11 +278,8 @@ def parse_range_query(query: Dict[str, str], total: int) -> Tuple[int, int]:
     an error.  Only non-integer values are :class:`ProtocolError` (HTTP
     400) — those cannot occur locally.
     """
-    try:
-        start = int(query.get("start", "0"))
-        stop = int(query["stop"]) if "stop" in query else total
-    except ValueError as exc:
-        raise ProtocolError(f"start/stop must be integers: {exc}") from exc
+    start = parse_query_int("start", query.get("start", "0"))
+    stop = parse_query_int("stop", query["stop"]) if "stop" in query else total
     if start < 0 or stop < start:
         raise RandomAccessError(f"invalid slice [{start}, {stop})")
     return start, min(stop, total)
@@ -240,10 +297,7 @@ def parse_sample_query(query: Dict[str, str], total: int) -> Tuple[int, "int | N
     """
     if "n" not in query:
         raise ProtocolError('sample requires an "n" query parameter')
-    try:
-        n = int(query["n"])
-    except ValueError as exc:
-        raise ProtocolError(f"n must be an integer: {query['n']!r}") from exc
+    n = parse_query_int("n", query["n"])
     if n < 0:
         raise ProtocolError(f"n must be >= 0, got {n}")
     if n > MAX_SAMPLE_RECORDS:
@@ -252,10 +306,7 @@ def parse_sample_query(query: Dict[str, str], total: int) -> Tuple[int, "int | N
         )
     seed = None
     if "seed" in query:
-        try:
-            seed = int(query["seed"])
-        except ValueError as exc:
-            raise ProtocolError(f"seed must be an integer: {query['seed']!r}") from exc
+        seed = parse_query_int("seed", query["seed"])
     return min(n, total), seed
 
 
@@ -269,6 +320,61 @@ def sample_payload(indices: List[int], records: List[str], total: int, seed) -> 
     }
 
 
+# --------------------------------------------------------------------------- #
+# Content-Encoding negotiation
+# --------------------------------------------------------------------------- #
+def accepts_deflate(headers: Dict[str, str]) -> bool:
+    """Whether a request's ``Accept-Encoding`` admits the deflate coding.
+
+    Understands the comma list and ``;q=`` weights just enough to honour an
+    explicit opt-out (``deflate;q=0``); anything unparsable reads as "no",
+    so a garbled header degrades to identity, never to a broken body.
+    """
+    accept = headers.get("accept-encoding", "")
+    for part in accept.split(","):
+        coding, _, params = part.partition(";")
+        if coding.strip().lower() != CONTENT_ENCODING_DEFLATE:
+            continue
+        q = params.replace(" ", "").lower()
+        if q.startswith("q="):
+            try:
+                return float(q[2:]) > 0.0
+            except ValueError:
+                return False
+        return True
+    return False
+
+
+def negotiate_encoding(
+    headers: Dict[str, str], body: bytes
+) -> Tuple[bytes, Optional[str]]:
+    """Deflate *body* when the request asked for it and it actually pays.
+
+    Returns ``(body, None)`` untouched unless the request advertises
+    ``deflate``, the identity body clears :data:`MIN_COMPRESS_BYTES`, and
+    compression genuinely shrinks it — a response must never grow because
+    the client offered an encoding.
+    """
+    if len(body) < MIN_COMPRESS_BYTES or not accepts_deflate(headers):
+        return body, None
+    compressed = zlib.compress(body, COMPRESS_LEVEL)
+    if len(compressed) >= len(body):
+        return body, None
+    return compressed, CONTENT_ENCODING_DEFLATE
+
+
+def inflate_body(body: bytes, source: str = "response") -> bytes:
+    """Reverse :func:`negotiate_encoding` on the client side.
+
+    A body that does not inflate is a malformed response —
+    :class:`ProtocolError`, typed like every other wire violation.
+    """
+    try:
+        return zlib.decompress(body)
+    except zlib.error as exc:
+        raise ProtocolError(f"undecodable deflate {source}: {exc}") from exc
+
+
 def is_url(path: object) -> bool:
     """Whether *path* is an HTTP(S) URL rather than a filesystem path.
 
@@ -276,3 +382,27 @@ def is_url(path: object) -> bool:
     destroy the scheme, so callers must test *before* any ``Path(...)``.
     """
     return isinstance(path, str) and path.startswith(("http://", "https://"))
+
+
+def split_replica_urls(source: Union[str, Sequence[str]]) -> List[str]:
+    """Normalize a replica spec into a list of base URLs.
+
+    Accepts one URL, a comma-separated URL list (the CLI/env spelling:
+    ``http://a:1,http://b:2``), or a sequence of URLs.  Returns ``[]`` when
+    *source* is not URL-shaped at all, so callers can use it as the
+    dispatch test; raises :class:`~repro.errors.ServerError` when a
+    *mixed* spec names both URLs and non-URLs (silently dropping entries
+    would route reads to fewer replicas than the caller listed).
+    """
+    if isinstance(source, str):
+        parts = [part.strip() for part in source.split(",") if part.strip()]
+    elif isinstance(source, (list, tuple)):
+        parts = [str(part).strip() for part in source]
+    else:
+        return []
+    if not parts or not any(is_url(part) for part in parts):
+        return []
+    bad = [part for part in parts if not is_url(part)]
+    if bad:
+        raise ServerError(f"replica list mixes URLs with non-URLs: {bad!r}")
+    return parts

@@ -74,27 +74,36 @@ class RecordReader(Protocol):
 
 
 def open_reader(
-    path: PathLike, codec: Optional[ZSmilesCodec] = None
+    path: Union[PathLike, Sequence[str]], codec: Optional[ZSmilesCodec] = None
 ) -> RecordReader:
     """Open the right :class:`RecordReader` for *path*.
 
     An ``http://`` / ``https://`` URL opens as a
     :class:`~repro.server.CorpusClient` over a running corpus server (the
-    server decodes; *codec* is ignored).  A library directory or ``.json``
-    manifest opens as a :class:`~repro.library.CorpusLibrary` (sharded
-    serving); ``.zss`` files open as a :class:`CorpusStore`; anything else
-    opens as the flat :class:`RandomAccessReader` fallback (building its
-    line index on the fly when no ``.zsx`` sidecar is supplied).
+    server decodes; *codec* is ignored).  *Several* URLs — a list/tuple of
+    URLs, or one comma-separated string (``"http://a:1,http://b:2"``) —
+    open as a :class:`~repro.server.FailoverCorpusClient` that round-robins
+    across the replicas and fails over on retryable outcomes.  A library
+    directory or ``.json`` manifest opens as a
+    :class:`~repro.library.CorpusLibrary` (sharded serving); ``.zss`` files
+    open as a :class:`CorpusStore`; anything else opens as the flat
+    :class:`RandomAccessReader` fallback (building its line index on the
+    fly when no ``.zsx`` sidecar is supplied).
     """
     # URL check runs on the raw string: Path() would collapse the "//" and
     # destroy the scheme.  Imported lazily — repro.server sits on top of
     # this module.
-    from ..server.protocol import is_url
+    from ..server.protocol import split_replica_urls
 
-    if is_url(path):
+    replica_urls = split_replica_urls(path)
+    if replica_urls:
+        if len(replica_urls) > 1:
+            from ..server.client import FailoverCorpusClient
+
+            return FailoverCorpusClient(replica_urls)
         from ..server.client import CorpusClient
 
-        return CorpusClient(str(path))
+        return CorpusClient(replica_urls[0])
     path = Path(path)
     # Imported lazily: repro.library sits on top of this module.
     from ..library import CorpusLibrary, resolve_manifest_path

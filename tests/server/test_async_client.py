@@ -1,0 +1,269 @@
+"""The asyncio clients: parity with the blocking client, typed errors,
+failover, and the ``open_async_reader`` dispatch."""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+
+import pytest
+
+from repro.errors import (
+    ProtocolError,
+    RandomAccessError,
+    ServerConnectionError,
+    ServerError,
+)
+from repro.library import AsyncCorpusLibrary, open_async_reader
+from repro.server import (
+    AsyncCorpusClient,
+    AsyncFailoverCorpusClient,
+    protocol,
+)
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+def _dead_url() -> str:
+    probe = socket.create_server(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return f"http://127.0.0.1:{port}"
+
+
+class TestAsyncClientParity:
+    def test_get_and_total(self, server, corpus):
+        async def run():
+            async with AsyncCorpusClient(server.url, timeout=10.0) as client:
+                assert await client.total() == len(corpus)
+                assert await client.get(0) == corpus[0]
+                assert await client.get(len(corpus) - 1) == corpus[-1]
+
+        _run(run())
+
+    def test_get_many_parity(self, server, corpus):
+        async def run():
+            async with AsyncCorpusClient(server.url, timeout=10.0) as client:
+                indices = list(range(0, len(corpus), 7))
+                assert await client.get_many(indices) == [corpus[i] for i in indices]
+                assert await client.get_many([]) == []
+
+        _run(run())
+
+    def test_healthz_and_stats(self, server, corpus):
+        async def run():
+            async with AsyncCorpusClient(server.url, timeout=10.0) as client:
+                health = await client.healthz()
+                assert health["status"] == "ok"
+                stats = await client.stats()
+                assert stats["records"] == len(corpus)
+                assert stats["uptime_seconds"] >= 0.0
+
+        _run(run())
+
+    def test_sample_seed_determinism(self, server, corpus):
+        async def run():
+            async with AsyncCorpusClient(server.url, timeout=10.0) as client:
+                first = await client.sample(5, seed=3)
+                second = await client.sample(5, seed=3)
+                assert first == second
+                indices, records = first
+                assert records == [corpus[i] for i in indices]
+
+        _run(run())
+
+    @pytest.mark.parametrize("compress", [True, False])
+    def test_stream_parity_compressed_and_identity(self, server, corpus, compress):
+        async def run():
+            async with AsyncCorpusClient(
+                server.url, timeout=10.0, compress=compress
+            ) as client:
+                records = [r async for r in client.iter_range(3, 77)]
+                assert records == list(corpus[3:77])
+                everything = [r async for r in client.iter_range(0, None)]
+                assert everything == list(corpus)
+
+        _run(run())
+
+    def test_slice_matches_blocking_client(self, server, client, corpus):
+        async def run():
+            async with AsyncCorpusClient(server.url, timeout=10.0) as aclient:
+                return await aclient.slice(10, 40)
+
+        assert _run(run()) == client.slice(10, 40) == list(corpus[10:40])
+
+    def test_concurrent_requests_interleave(self, server, corpus):
+        async def run():
+            async with AsyncCorpusClient(server.url, timeout=10.0) as client:
+                # The connection lock serializes safely under gather.
+                results = await asyncio.gather(
+                    *(client.get(i) for i in range(10))
+                )
+                assert list(results) == list(corpus[:10])
+
+        _run(run())
+
+
+class TestAsyncClientErrors:
+    def test_out_of_range_raises_typed_404(self, server, corpus):
+        async def run():
+            async with AsyncCorpusClient(server.url, timeout=10.0) as client:
+                with pytest.raises(RandomAccessError):
+                    await client.get(len(corpus) + 1)
+
+        _run(run())
+
+    def test_malformed_batch_raises_typed_400(self, server):
+        async def run():
+            async with AsyncCorpusClient(server.url, timeout=10.0) as client:
+                with pytest.raises(ProtocolError):
+                    await client.get_many([0, "x"])  # type: ignore[list-item]
+
+        _run(run())
+
+    def test_connection_refused_raises_server_connection_error(self):
+        url = _dead_url()
+
+        async def run():
+            async with AsyncCorpusClient(url, timeout=2.0) as client:
+                with pytest.raises(ServerConnectionError):
+                    await client.get(0)
+
+        _run(run())
+
+    def test_mid_stream_death_delivers_prefix_then_raises(self):
+        listener = socket.create_server(("127.0.0.1", 0))
+        port = listener.getsockname()[1]
+
+        def serve_one_truncated() -> None:
+            conn, _ = listener.accept()
+            conn.recv(65536)
+            payload = b"REC0\nREC1\n"
+            conn.sendall(
+                b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: text/plain; charset=utf-8\r\n"
+                b"Transfer-Encoding: chunked\r\n\r\n"
+                + f"{len(payload):x}\r\n".encode() + payload + b"\r\n"
+            )
+            conn.close()
+            listener.close()
+
+        thread = threading.Thread(target=serve_one_truncated, daemon=True)
+        thread.start()
+
+        async def run():
+            received = []
+            async with AsyncCorpusClient(
+                f"http://127.0.0.1:{port}", timeout=5.0
+            ) as client:
+                with pytest.raises(ServerConnectionError):
+                    async for record in client.iter_range(0, 100):
+                        received.append(record)
+            assert received == ["REC0", "REC1"]
+
+        try:
+            _run(run())
+        finally:
+            thread.join()
+
+    def test_https_is_rejected(self):
+        with pytest.raises(ServerError, match="plain http"):
+            AsyncCorpusClient("https://host:1")
+
+
+class TestAsyncFailover:
+    def test_dead_replica_fails_over(self, server, corpus):
+        async def run():
+            async with AsyncFailoverCorpusClient(
+                [_dead_url(), server.url], timeout=2.0
+            ) as client:
+                for i in range(4):  # both cursor positions
+                    assert await client.get(i) == corpus[i]
+                assert await client.total() == len(corpus)
+
+        _run(run())
+
+    def test_exhaustion_raises_typed_error(self):
+        urls = [_dead_url(), _dead_url()]
+
+        async def run():
+            async with AsyncFailoverCorpusClient(urls, timeout=1.0) as client:
+                with pytest.raises(ServerConnectionError, match="all 2 replicas"):
+                    await client.get(0)
+
+        _run(run())
+
+    def test_fatal_error_propagates_without_failover(self, server, corpus):
+        async def run():
+            async with AsyncFailoverCorpusClient(
+                [server.url, _dead_url()], timeout=2.0
+            ) as client:
+                for _ in range(2):
+                    with pytest.raises(RandomAccessError):
+                        await client.get(len(corpus) + 2)
+
+        _run(run())
+
+    def test_stream_resumes_across_replica_death(self, server, corpus):
+        listener = socket.create_server(("127.0.0.1", 0))
+        port = listener.getsockname()[1]
+
+        def serve_prefix_then_die() -> None:
+            conn, _ = listener.accept()
+            conn.recv(65536)
+            payload = protocol.encode_records_body(list(corpus[:5]))
+            conn.sendall(
+                b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: text/plain; charset=utf-8\r\n"
+                b"Transfer-Encoding: chunked\r\n\r\n"
+                + f"{len(payload):x}\r\n".encode() + payload + b"\r\n"
+            )
+            conn.close()
+            listener.close()
+
+        thread = threading.Thread(target=serve_prefix_then_die, daemon=True)
+        thread.start()
+
+        async def run():
+            async with AsyncFailoverCorpusClient(
+                [f"http://127.0.0.1:{port}", server.url], timeout=5.0
+            ) as client:
+                received = [r async for r in client.iter_range(0, 30)]
+            assert received == list(corpus[:30])
+
+        try:
+            _run(run())
+        finally:
+            thread.join()
+
+
+class TestOpenAsyncReader:
+    def test_url_opens_async_client(self, server, corpus):
+        async def run():
+            reader = open_async_reader(server.url)
+            assert isinstance(reader, AsyncCorpusClient)
+            async with reader:
+                assert await reader.get(0) == corpus[0]
+
+        _run(run())
+
+    def test_multi_url_opens_async_failover_client(self, server, corpus):
+        async def run():
+            reader = open_async_reader(f"{server.url},{server.url}")
+            assert isinstance(reader, AsyncFailoverCorpusClient)
+            async with reader:
+                assert await reader.get(1) == corpus[1]
+
+        _run(run())
+
+    def test_local_path_opens_async_library(self, library_dir, corpus):
+        async def run():
+            reader = open_async_reader(library_dir, pool_size=2)
+            assert isinstance(reader, AsyncCorpusLibrary)
+            async with reader:
+                assert await reader.get(2) == corpus[2]
+
+        _run(run())

@@ -1,0 +1,195 @@
+"""Compressed transport: deflate negotiation end to end.
+
+Pins the Content-Encoding contract:
+
+* compressed and identity responses are **byte-parity** — the records a
+  compressing client sees are exactly the records an identity client (and a
+  direct library read) sees,
+* the server only deflates when asked, only when it pays, and labels the
+  response with ``Content-Encoding: deflate``,
+* range streams stay incremental under compression (records delivered
+  before a mid-stream death still arrive — the sync-flush guarantee).
+"""
+
+from __future__ import annotations
+
+import http.client
+import zlib
+
+import pytest
+
+from repro.library import CorpusLibrary
+from repro.server import BackgroundServer, CorpusClient, protocol
+
+
+def _raw_response(url: str, method: str, target: str, body: bytes = b"",
+                  headers: dict = None):
+    """One raw request, returning ``(status, headers dict, body bytes)``."""
+    host, port = url.rsplit(":", 1)
+    conn = http.client.HTTPConnection(host[len("http://"):], int(port), timeout=10)
+    try:
+        conn.request(method, target, body=body or None, headers=headers or {})
+        response = conn.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        conn.close()
+
+
+@pytest.fixture(scope="module")
+def deflate_client(server):
+    with CorpusClient(server.url, timeout=10.0, compress=True) as cli:
+        yield cli
+
+
+@pytest.fixture(scope="module")
+def identity_client(server):
+    with CorpusClient(server.url, timeout=10.0, compress=False) as cli:
+        yield cli
+
+
+class TestBatchCompression:
+    def test_large_batch_carries_deflate_header_and_inflates_to_parity(
+        self, server, corpus
+    ):
+        indices = list(range(len(corpus)))
+        status, headers, body = _raw_response(
+            server.url,
+            "POST",
+            "/records:batch",
+            body=protocol.encode_batch_request(indices),
+            headers={
+                "Content-Type": protocol.CONTENT_TYPE_JSON,
+                "Accept-Encoding": "deflate",
+            },
+        )
+        assert status == 200
+        assert headers.get("Content-Encoding") == "deflate"
+        identity = protocol.encode_records_body(list(corpus))
+        assert len(body) < len(identity)  # it actually compressed
+        assert zlib.decompress(body) == identity  # byte-parity
+
+    def test_small_batch_stays_identity(self, server, corpus):
+        status, headers, body = _raw_response(
+            server.url,
+            "POST",
+            "/records:batch",
+            body=protocol.encode_batch_request([0]),
+            headers={
+                "Content-Type": protocol.CONTENT_TYPE_JSON,
+                "Accept-Encoding": "deflate",
+            },
+        )
+        assert status == 200
+        assert "Content-Encoding" not in headers
+        assert body == protocol.encode_records_body([corpus[0]])
+
+    def test_without_advertisement_stays_identity(self, server, corpus):
+        indices = list(range(len(corpus)))
+        status, headers, body = _raw_response(
+            server.url,
+            "POST",
+            "/records:batch",
+            body=protocol.encode_batch_request(indices),
+            headers={"Content-Type": protocol.CONTENT_TYPE_JSON},
+        )
+        assert status == 200
+        assert "Content-Encoding" not in headers
+        assert body == protocol.encode_records_body(list(corpus))
+
+    def test_compressing_and_identity_clients_agree(
+        self, deflate_client, identity_client, corpus
+    ):
+        indices = list(range(len(corpus)))
+        assert deflate_client.get_many(indices) == identity_client.get_many(indices)
+        assert deflate_client.get_many(indices) == list(corpus)
+
+    def test_error_envelopes_stay_typed_under_compression(self, deflate_client, corpus):
+        from repro.errors import RandomAccessError
+
+        with pytest.raises(RandomAccessError):
+            deflate_client.get_many([0, len(corpus)])
+
+
+class TestStreamCompression:
+    def test_stream_carries_deflate_header_when_advertised(self, server, corpus):
+        status, headers, body = _raw_response(
+            server.url,
+            "GET",
+            "/records?start=0&stop=64",
+            headers={"Accept-Encoding": "deflate"},
+        )
+        assert status == 200
+        assert headers.get("Content-Encoding") == "deflate"
+        assert zlib.decompress(body) == protocol.encode_records_body(
+            list(corpus[:64])
+        )
+
+    def test_stream_stays_identity_without_advertisement(self, server, corpus):
+        status, headers, body = _raw_response(
+            server.url, "GET", "/records?start=0&stop=64"
+        )
+        assert status == 200
+        assert "Content-Encoding" not in headers
+        assert body == protocol.encode_records_body(list(corpus[:64]))
+
+    def test_compressed_stream_parity_with_direct_reads(
+        self, deflate_client, identity_client, library_dir, corpus
+    ):
+        compressed = list(deflate_client.iter_range(0, len(corpus)))
+        identity = list(identity_client.iter_range(0, len(corpus)))
+        with CorpusLibrary.open(library_dir) as direct:
+            local = direct.slice(0, len(corpus))
+        assert compressed == identity == local == list(corpus)
+
+    def test_compressed_stream_range_subset(self, deflate_client, corpus):
+        assert list(deflate_client.iter_range(17, 53)) == list(corpus[17:53])
+
+    def test_deflated_counter_advances(self, library_dir, corpus):
+        """A dedicated server so the module fixture's counters stay untouched."""
+        with BackgroundServer(library_dir, readers=2) as srv:
+            with CorpusClient(srv.url, compress=True) as cli:
+                before = cli.stats()["counters"]["deflated"]
+                cli.get_many(list(range(len(corpus))))
+                list(cli.iter_range(0, 32))
+                after = cli.stats()["counters"]["deflated"]
+        assert after >= before + 2  # one batch + one stream deflated
+
+    def test_compressed_stream_partial_delivery_before_death(self):
+        """Sync-flushed deflate chunks decode as they arrive: records sent
+        before the server dies are delivered, then the typed error."""
+        import socket
+        import threading
+
+        from repro.errors import ServerConnectionError
+
+        listener = socket.create_server(("127.0.0.1", 0))
+        port = listener.getsockname()[1]
+
+        def serve_one_truncated() -> None:
+            conn, _ = listener.accept()
+            conn.recv(65536)
+            compressor = zlib.compressobj(protocol.COMPRESS_LEVEL)
+            payload = compressor.compress(b"REC0\nREC1\n") + compressor.flush(
+                zlib.Z_SYNC_FLUSH
+            )
+            conn.sendall(
+                b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: text/plain; charset=utf-8\r\n"
+                b"Content-Encoding: deflate\r\n"
+                b"Transfer-Encoding: chunked\r\n\r\n"
+                + f"{len(payload):x}\r\n".encode() + payload + b"\r\n"
+            )
+            conn.close()  # dies before the terminating chunk (and the tail)
+
+        thread = threading.Thread(target=serve_one_truncated, daemon=True)
+        thread.start()
+        try:
+            client = CorpusClient(f"http://127.0.0.1:{port}", timeout=5.0)
+            received = []
+            with pytest.raises(ServerConnectionError, match="mid-stream|mid-record"):
+                for record in client.iter_range(0, 100):
+                    received.append(record)
+            assert received == ["REC0", "REC1"]
+        finally:
+            thread.join()
+            listener.close()

@@ -1,0 +1,283 @@
+"""The replica-aware client: round-robin, retry classification, stream resume.
+
+The policy under test (one policy, shared with the async twin through
+:func:`repro.server.protocol.is_retryable`):
+
+* retryable outcomes — connection refused/lost, HTTP 503 — rotate to the
+  next replica,
+* fatal typed outcomes — 404 out-of-range, 400 malformed — propagate
+  immediately (every replica would answer identically),
+* exhausting every replica with no progress raises a typed
+  :class:`ServerConnectionError` naming the fleet,
+* a replica SIGKILLed mid-load costs zero failed reads (the acceptance
+  criterion's replica-death integration test lives here).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.errors import (
+    ProtocolError,
+    RandomAccessError,
+    ServerBusyError,
+    ServerConnectionError,
+    ServerError,
+)
+from repro.server import (
+    BackgroundServer,
+    CorpusClient,
+    FailoverCorpusClient,
+    ServerFleet,
+    protocol,
+)
+from repro.store import open_reader
+
+
+def _dead_url() -> str:
+    """A URL nothing listens on (bind-then-close reserves the port)."""
+    probe = socket.create_server(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return f"http://127.0.0.1:{port}"
+
+
+class TestRouting:
+    def test_single_live_replica_serves(self, server, corpus):
+        with FailoverCorpusClient([server.url], timeout=5.0) as client:
+            assert client.get(3) == corpus[3]
+            assert len(client) == len(corpus)
+
+    def test_dead_replica_fails_over_to_live_one(self, server, corpus):
+        with FailoverCorpusClient([_dead_url(), server.url], timeout=2.0) as client:
+            # Several calls so the rotating cursor passes through the dead
+            # replica in first position too.
+            for i in range(4):
+                assert client.get(i) == corpus[i]
+            assert client.get_many([0, 5, 9]) == [corpus[0], corpus[5], corpus[9]]
+            assert list(client.iter_range(10, 30)) == list(corpus[10:30])
+
+    def test_comma_spelling_constructs_the_same_client(self, server, corpus):
+        with FailoverCorpusClient(
+            f"{_dead_url()},{server.url}", timeout=2.0
+        ) as client:
+            assert len(client.urls) == 2
+            assert client.get(0) == corpus[0]
+
+    def test_sample_fails_over_and_stays_deterministic(self, server, corpus):
+        with FailoverCorpusClient([_dead_url(), server.url], timeout=2.0) as client:
+            indices_a, records_a = client.sample(5, seed=7)
+            indices_b, records_b = client.sample(5, seed=7)
+        assert indices_a == indices_b
+        assert records_a == records_b == [corpus[i] for i in indices_a]
+
+    def test_no_urls_raises(self):
+        with pytest.raises(ServerError, match="no replica URLs"):
+            FailoverCorpusClient([])
+
+
+class TestRetryClassification:
+    def test_all_replicas_dead_raises_typed_exhaustion(self):
+        urls = [_dead_url(), _dead_url(), _dead_url()]
+        with FailoverCorpusClient(urls, timeout=1.0) as client:
+            with pytest.raises(ServerConnectionError, match="all 3 replicas"):
+                client.get(0)
+
+    def test_fatal_404_propagates_without_failover(self, server, corpus):
+        """An out-of-range index must NOT burn the rotation: the error is
+        the request's fault and every replica would repeat it."""
+        with FailoverCorpusClient([server.url, _dead_url()], timeout=2.0) as client:
+            for _ in range(2):  # both cursor positions
+                with pytest.raises(RandomAccessError):
+                    client.get(len(corpus) + 5)
+
+    def test_fatal_400_propagates_without_failover(self, server):
+        with FailoverCorpusClient([server.url], timeout=2.0) as client:
+            with pytest.raises(ProtocolError):
+                client.get_many([0, "x"])  # type: ignore[list-item]
+
+    def test_503_fails_over_to_live_replica(self, server, corpus):
+        """A replica answering 503 envelopes is busy, not broken: the call
+        must rotate onward and succeed."""
+        status, body = protocol.encode_error(ServerBusyError("draining"))
+        head = (
+            f"HTTP/1.1 {status} {protocol.STATUS_REASONS[status]}\r\n"
+            f"Content-Type: {protocol.CONTENT_TYPE_JSON}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("ascii")
+        listener = socket.create_server(("127.0.0.1", 0))
+        listener.settimeout(0.25)
+        busy_port = listener.getsockname()[1]
+        stop = threading.Event()
+
+        def always_busy() -> None:
+            try:
+                while not stop.is_set():
+                    try:
+                        conn, _ = listener.accept()
+                    except socket.timeout:
+                        continue
+                    with conn:
+                        if conn.recv(65536):
+                            conn.sendall(head + body)
+            finally:
+                listener.close()
+
+        thread = threading.Thread(target=always_busy, daemon=True)
+        thread.start()
+        try:
+            with FailoverCorpusClient(
+                [f"http://127.0.0.1:{busy_port}", server.url], timeout=5.0
+            ) as client:
+                for i in range(4):  # both cursor positions hit the busy one
+                    assert client.get(i) == corpus[i]
+        finally:
+            stop.set()
+            thread.join()
+
+    def test_busy_fleet_front_exhausts_as_typed_error(self):
+        """All replicas 503 → the exhaustion error chains the busy signal."""
+        status, body = protocol.encode_error(ServerBusyError("no live workers"))
+        head = (
+            f"HTTP/1.1 503 {protocol.STATUS_REASONS[503]}\r\n"
+            f"Content-Type: {protocol.CONTENT_TYPE_JSON}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("ascii")
+        listener = socket.create_server(("127.0.0.1", 0))
+        listener.settimeout(0.25)
+        port = listener.getsockname()[1]
+        stop = threading.Event()
+
+        def busy() -> None:
+            try:
+                while not stop.is_set():
+                    try:
+                        conn, _ = listener.accept()
+                    except socket.timeout:
+                        continue
+                    with conn:
+                        if conn.recv(65536):
+                            conn.sendall(head + body)
+            finally:
+                listener.close()
+
+        thread = threading.Thread(target=busy, daemon=True)
+        thread.start()
+        try:
+            with FailoverCorpusClient(
+                [f"http://127.0.0.1:{port}"], timeout=5.0
+            ) as client:
+                with pytest.raises(ServerConnectionError, match="all 1 replicas"):
+                    client.get(0)
+        finally:
+            stop.set()
+            thread.join()
+
+
+class TestStreamResume:
+    def test_stream_resumes_on_next_replica_mid_record_cut(self, server, corpus):
+        """Replica 0 streams a prefix then dies; the stream must continue on
+        replica 1 at the first undelivered record — no gaps, no duplicates."""
+        listener = socket.create_server(("127.0.0.1", 0))
+        port = listener.getsockname()[1]
+
+        def serve_prefix_then_die() -> None:
+            conn, _ = listener.accept()
+            conn.recv(65536)
+            payload = protocol.encode_records_body(list(corpus[:7]))
+            conn.sendall(
+                b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: text/plain; charset=utf-8\r\n"
+                b"Transfer-Encoding: chunked\r\n\r\n"
+                + f"{len(payload):x}\r\n".encode() + payload + b"\r\n"
+            )
+            conn.close()  # no terminating chunk: mid-stream death
+            listener.close()
+
+        thread = threading.Thread(target=serve_prefix_then_die, daemon=True)
+        thread.start()
+        try:
+            client = FailoverCorpusClient(
+                [f"http://127.0.0.1:{port}", server.url], timeout=5.0
+            )
+            received = list(client.iter_range(0, 40))
+            assert received == list(corpus[:40])  # exactly once, in order
+            client.close()
+        finally:
+            thread.join()
+
+    def test_stream_exhaustion_with_no_progress_raises(self):
+        with FailoverCorpusClient([_dead_url(), _dead_url()], timeout=1.0) as client:
+            with pytest.raises(ServerConnectionError, match="failed streaming"):
+                list(client.iter_range(0, 10))
+
+
+class TestOpenReaderDispatch:
+    def test_multi_url_string_opens_failover_client(self, server):
+        reader = open_reader(f"{server.url},{server.url}")
+        try:
+            assert isinstance(reader, FailoverCorpusClient)
+            assert reader.get(0)
+        finally:
+            reader.close()
+
+    def test_url_list_opens_failover_client(self, server):
+        reader = open_reader([server.url, server.url])
+        try:
+            assert isinstance(reader, FailoverCorpusClient)
+        finally:
+            reader.close()
+
+    def test_single_url_still_opens_plain_client(self, server):
+        reader = open_reader(server.url)
+        try:
+            assert isinstance(reader, CorpusClient)
+            assert not isinstance(reader, FailoverCorpusClient)
+        finally:
+            reader.close()
+
+    def test_mixed_spec_raises(self):
+        with pytest.raises(ServerError, match="mixes"):
+            open_reader("http://a:1,corpus.library")
+
+
+class TestReplicaDeathIntegration:
+    """The acceptance criterion: one replica SIGKILLed mid-load, zero
+    failed reads."""
+
+    def test_replica_sigkilled_mid_load_zero_failed_reads(
+        self, library_dir, corpus
+    ):
+        # Replica A: in-process background server (stable).  Replica B: a
+        # real worker process behind a single-worker fleet — SIGKILL-able.
+        with BackgroundServer(library_dir, readers=2) as stable:
+            fleet = ServerFleet(library_dir, workers=1)
+            fleet.start()
+            try:
+                client = FailoverCorpusClient(
+                    [fleet.url, stable.url], timeout=5.0
+                )
+                total = len(corpus)
+                failed = 0
+                for step in range(60):
+                    if step == 20:
+                        fleet.kill_worker(0)  # SIGKILL mid-load
+                    index = step % total
+                    try:
+                        assert client.get(index) == corpus[index]
+                        batch = client.get_many([index, (index + 3) % total])
+                        assert batch == [corpus[index], corpus[(index + 3) % total]]
+                    except ServerConnectionError:
+                        failed += 1
+                assert failed == 0, f"{failed} reads failed across the kill"
+                # Streams keep working after the kill too.
+                assert list(client.iter_range(0, total)) == list(corpus)
+                client.close()
+            finally:
+                fleet.stop()

@@ -203,6 +203,200 @@ class TestTransportFailures:
             late_client.get(0)
 
 
+class TestRetryPhaseRestriction:
+    """The reconnect retry must never resend after response bytes arrived.
+
+    Regression tests for the duplicate-request bug: the old retry loop
+    wrapped ``getresponse()`` as well as the send, so a server dying after
+    the response began (or right after accepting) made the client silently
+    issue the request twice.
+    """
+
+    @staticmethod
+    def _scripted_server(handler):
+        """Accept connections until told to stop; run *handler* per request.
+
+        Returns ``(port, request_count list, stop_event, thread)``.
+        """
+        listener = socket.create_server(("127.0.0.1", 0))
+        listener.settimeout(0.25)
+        port = listener.getsockname()[1]
+        request_count = [0]
+        stop = threading.Event()
+
+        def serve() -> None:
+            try:
+                while not stop.is_set():
+                    try:
+                        conn, _ = listener.accept()
+                    except socket.timeout:
+                        continue
+                    with conn:
+                        conn.settimeout(5.0)
+                        try:
+                            data = conn.recv(65536)
+                        except OSError:
+                            continue
+                        if not data:
+                            continue
+                        request_count[0] += 1
+                        handler(conn, request_count[0])
+            finally:
+                listener.close()
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        return port, request_count, stop, thread
+
+    def test_death_mid_response_is_not_retried(self):
+        """Partial status line + close → one request on the wire, typed error."""
+
+        def die_mid_status(conn, _n):
+            conn.sendall(b"HTTP/1.1 2")  # response under way, then death
+
+        port, count, stop, thread = self._scripted_server(die_mid_status)
+        try:
+            client = CorpusClient(f"http://127.0.0.1:{port}", timeout=5.0)
+            with pytest.raises(ServerConnectionError, match="died before answering"):
+                client.get(0)
+            # The stop/join below gives a would-be duplicate a full accept
+            # cycle to land before the count is asserted.
+            stop.set()
+            thread.join()
+            assert count[0] == 1, "the request was silently resent"
+        finally:
+            stop.set()
+            thread.join()
+
+    def test_death_after_headers_mid_body_is_not_retried(self):
+        """Full headers + partial body + close → typed error, no resend."""
+
+        def die_mid_body(conn, _n):
+            conn.sendall(
+                b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: text/plain; charset=utf-8\r\n"
+                b"Content-Length: 100\r\n"
+                b"Connection: keep-alive\r\n\r\n"
+                b"only a few bytes"
+            )
+
+        port, count, stop, thread = self._scripted_server(die_mid_body)
+        try:
+            client = CorpusClient(f"http://127.0.0.1:{port}", timeout=5.0)
+            with pytest.raises(ServerConnectionError, match="mid-response"):
+                client.get(0)
+            stop.set()
+            thread.join()
+            assert count[0] == 1, "the request was silently resent"
+        finally:
+            stop.set()
+            thread.join()
+
+    def test_stale_keepalive_socket_reopens_before_send(self):
+        """The classic keep-alive race is caught by the pre-send probe.
+
+        The server answers each request completely, *claims* keep-alive,
+        then closes the connection — exactly what an idle-timeout does
+        between two client calls.  The client must notice the pending EOF
+        before sending and reopen, so both calls succeed with exactly one
+        request each (no duplicates, no spurious failures).
+        """
+
+        def serve_then_close(conn, _n):
+            conn.sendall(
+                b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: text/plain; charset=utf-8\r\n"
+                b"Content-Length: 1\r\n"
+                b"Connection: keep-alive\r\n\r\nA"
+            )
+            # the `with conn:` in the accept loop closes the socket here
+
+        port, count, stop, thread = self._scripted_server(serve_then_close)
+        try:
+            import time
+
+            client = CorpusClient(f"http://127.0.0.1:{port}", timeout=5.0)
+            assert client.get(0) == "A"
+            time.sleep(0.1)  # let the server-side close's FIN arrive
+            assert client.get(1) == "A"
+            stop.set()
+            thread.join()
+            assert count[0] == 2
+        finally:
+            stop.set()
+            thread.join()
+
+
+class TestStatsUptime:
+    """`uptime_seconds` is always present — startedness is a flag, not a
+    truthiness test on the monotonic stamp (which may legitimately be 0.0)."""
+
+    def test_uptime_is_zero_before_start(self, library_dir):
+        library = AsyncCorpusLibrary.open(library_dir, pool_size=1)
+        try:
+            server = CorpusServer(library)
+            payload = server.stats()
+            assert payload["uptime_seconds"] == 0.0
+        finally:
+            library.close()
+
+    def test_uptime_reported_when_monotonic_stamp_is_falsy(self, library_dir):
+        import time
+
+        library = AsyncCorpusLibrary.open(library_dir, pool_size=1)
+        try:
+            server = CorpusServer(library)
+            # Simulate a host whose monotonic clock read exactly 0.0 at
+            # start() — the regression the truthiness check tripped over.
+            server._started = True
+            server._started_at = 0.0
+            payload = server.stats()
+            assert "uptime_seconds" in payload
+            assert payload["uptime_seconds"] >= 0.0
+            assert payload["uptime_seconds"] == pytest.approx(
+                time.monotonic(), rel=0.1
+            )
+        finally:
+            library.close()
+
+    def test_uptime_live_server(self, client):
+        payload = client.stats()
+        assert payload["uptime_seconds"] >= 0.0
+
+
+class TestStrictWireIntegers:
+    """Lax integer spellings Python's int() accepts must be 400, not 500.
+
+    (Negative values stay 404 — the local-parity contract pinned above.)
+    """
+
+    @pytest.mark.parametrize(
+        "target",
+        [
+            "/records?start=1_0",          # underscore separator
+            "/records?start=%2B1",          # leading plus
+            "/records?start=%201",          # leading whitespace
+            "/records?start=0&stop=1_0",
+            "/records:sample?n=1_0",
+            "/records:sample?n=%2B5",
+            "/records:sample?n=1&seed=1_0",
+            "/records/0?start=x",           # sanity: unrelated query ignored
+        ],
+    )
+    def test_lax_integer_spelling_is_400_envelope(self, server, target):
+        status, body = _raw_request(server.url, "GET", target)
+        if target.startswith("/records/0"):
+            assert status == 200  # single-record route ignores the query
+            return
+        assert status == 400
+        assert json.loads(body)["error"]["type"] == "ProtocolError"
+
+    def test_negative_start_stays_404_local_parity(self, server):
+        status, body = _raw_request(server.url, "GET", "/records?start=-1")
+        assert status == 404
+        assert json.loads(body)["error"]["type"] == "RandomAccessError"
+
+
 class TestGracefulShutdown:
     def test_shutdown_drains_in_flight_request(self, library_dir):
         """A request being processed at shutdown completes; the listener dies."""
@@ -273,6 +467,34 @@ class TestGracefulShutdown:
             assert client.healthz()["status"] == "ok"
         server.stop()
         server.stop()  # second stop is a no-op
+
+    def test_stop_before_start_is_a_noop(self, library_dir):
+        server = BackgroundServer(library_dir, readers=2)
+        server.stop()  # never started: returns immediately, nothing leaks
+
+    def test_stop_racing_startup_waits_and_joins(self, library_dir):
+        """A stop() issued while the server thread is still binding must
+        wait for startup to resolve, then shut down — not leak the thread
+        by signalling before ``_loop``/``_stop_event`` exist."""
+        server = BackgroundServer(library_dir, readers=2)
+        # Launch the thread body directly (what start() does first) and
+        # race stop() against it *before* _ready can possibly have fired.
+        server._thread = threading.Thread(
+            target=lambda: asyncio.run(server._main()), daemon=True
+        )
+        server._thread.start()
+        server.stop()  # must block on _ready, then signal, then join
+        assert server._thread is None
+        server.stop()  # and stay idempotent afterwards
+
+    def test_stop_racing_startup_failure_still_joins(self, tmp_path):
+        server = BackgroundServer(tmp_path / "missing.zss")
+        server._thread = threading.Thread(
+            target=lambda: asyncio.run(server._main()), daemon=True
+        )
+        server._thread.start()
+        server.stop()  # startup will fail; stop must not hang on it
+        assert server._thread is None
 
     def test_background_server_cannot_be_restarted(self, library_dir):
         # A restarted instance would report the first run's (dead) URL.

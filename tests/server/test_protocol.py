@@ -138,3 +138,162 @@ class TestIsUrl:
         # Path collapses "//", which is exactly why the raw-string check
         # must run before any Path() conversion.
         assert not protocol.is_url(Path("http://h:1"))
+
+
+class TestStrictQueryInts:
+    """The wire only accepts strict decimal integers — Python's ``int()``
+    laxness (plus signs, underscores, whitespace, unicode digits) must not
+    let remote inputs outside the local call domain reach handlers."""
+
+    @pytest.mark.parametrize("raw,expected", [("0", 0), ("42", 42), ("-7", -7)])
+    def test_strict_spellings_parse(self, raw, expected):
+        assert protocol.parse_query_int("x", raw) == expected
+
+    @pytest.mark.parametrize(
+        "raw", ["+5", " 5", "5 ", "1_0", "0x10", "٥", "1e3", "", "-", "abc", "5.0"]
+    )
+    def test_lax_spellings_are_protocol_errors(self, raw):
+        with pytest.raises(ProtocolError, match="decimal integer"):
+            protocol.parse_query_int("x", raw)
+
+    def test_range_query_rejects_underscored_start(self):
+        with pytest.raises(ProtocolError):
+            protocol.parse_range_query({"start": "1_0"}, total=100)
+
+    def test_sample_query_rejects_plus_n(self):
+        with pytest.raises(ProtocolError):
+            protocol.parse_sample_query({"n": "+5"}, total=100)
+
+    def test_sample_query_rejects_lax_seed(self):
+        with pytest.raises(ProtocolError):
+            protocol.parse_sample_query({"n": "5", "seed": " 1"}, total=100)
+
+
+class TestRetryClassification:
+    def test_connection_loss_is_retryable(self):
+        assert protocol.is_retryable(ServerConnectionError("refused"))
+
+    def test_busy_is_retryable(self):
+        from repro.errors import ServerBusyError
+
+        assert protocol.is_retryable(ServerBusyError("503"))
+
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            RandomAccessError("404"),
+            ProtocolError("400"),
+            ServerError("500"),
+            ManifestError("corpus"),
+        ],
+    )
+    def test_fatal_outcomes_are_not_retryable(self, exc):
+        assert not protocol.is_retryable(exc)
+
+    def test_untyped_503_envelope_degrades_to_busy(self):
+        from repro.errors import ServerBusyError
+
+        exc = protocol.exception_from_envelope(b"not json at all", 503)
+        assert isinstance(exc, ServerBusyError)
+        assert protocol.is_retryable(exc)
+
+    def test_busy_round_trips_through_envelope(self):
+        from repro.errors import ServerBusyError
+
+        status, body = protocol.encode_error(ServerBusyError("drain"))
+        assert status == 503
+        rebuilt = protocol.exception_from_envelope(body, status)
+        assert isinstance(rebuilt, ServerBusyError)
+        assert str(rebuilt) == "drain"
+
+
+class TestContentEncodingNegotiation:
+    def test_plain_deflate_accepted(self):
+        assert protocol.accepts_deflate({"accept-encoding": "deflate"})
+
+    def test_comma_list_accepted(self):
+        assert protocol.accepts_deflate({"accept-encoding": "gzip, deflate, br"})
+
+    def test_missing_header_declines(self):
+        assert not protocol.accepts_deflate({})
+
+    def test_gzip_only_declines(self):
+        assert not protocol.accepts_deflate({"accept-encoding": "gzip"})
+
+    def test_q_zero_opt_out(self):
+        assert not protocol.accepts_deflate({"accept-encoding": "deflate;q=0"})
+
+    def test_positive_q_accepted(self):
+        assert protocol.accepts_deflate({"accept-encoding": "deflate;q=0.5"})
+
+    def test_garbled_q_declines(self):
+        assert not protocol.accepts_deflate({"accept-encoding": "deflate;q=banana"})
+
+    def test_small_body_stays_identity(self):
+        body = b"tiny\n"
+        out, encoding = protocol.negotiate_encoding(
+            {"accept-encoding": "deflate"}, body
+        )
+        assert (out, encoding) == (body, None)
+
+    def test_incompressible_body_stays_identity(self):
+        import os
+
+        body = os.urandom(4096)  # random bytes do not deflate smaller
+        out, encoding = protocol.negotiate_encoding(
+            {"accept-encoding": "deflate"}, body
+        )
+        assert (out, encoding) == (body, None)
+
+    def test_compressible_body_deflates_and_round_trips(self):
+        body = b"CCCCNCCCC\n" * 200
+        out, encoding = protocol.negotiate_encoding(
+            {"accept-encoding": "deflate"}, body
+        )
+        assert encoding == protocol.CONTENT_ENCODING_DEFLATE
+        assert len(out) < len(body)
+        assert protocol.inflate_body(out) == body
+
+    def test_without_advertisement_stays_identity(self):
+        body = b"CCCCNCCCC\n" * 200
+        out, encoding = protocol.negotiate_encoding({}, body)
+        assert (out, encoding) == (body, None)
+
+    def test_inflate_garbage_is_protocol_error(self):
+        with pytest.raises(ProtocolError, match="deflate"):
+            protocol.inflate_body(b"this is not zlib data")
+
+
+class TestSplitReplicaUrls:
+    def test_single_url(self):
+        assert protocol.split_replica_urls("http://a:1") == ["http://a:1"]
+
+    def test_comma_separated(self):
+        assert protocol.split_replica_urls("http://a:1,http://b:2") == [
+            "http://a:1",
+            "http://b:2",
+        ]
+
+    def test_comma_spelling_tolerates_spaces_and_trailing_comma(self):
+        assert protocol.split_replica_urls(" http://a:1 , http://b:2 ,") == [
+            "http://a:1",
+            "http://b:2",
+        ]
+
+    def test_sequence_of_urls(self):
+        assert protocol.split_replica_urls(["http://a:1", "https://b:2"]) == [
+            "http://a:1",
+            "https://b:2",
+        ]
+
+    def test_plain_path_is_not_urls(self):
+        assert protocol.split_replica_urls("corpus.library") == []
+
+    def test_path_object_is_not_urls(self):
+        from pathlib import Path
+
+        assert protocol.split_replica_urls(Path("corpus.library")) == []
+
+    def test_mixed_spec_raises(self):
+        with pytest.raises(ServerError, match="mixes"):
+            protocol.split_replica_urls("http://a:1,corpus.library")
