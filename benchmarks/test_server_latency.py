@@ -278,6 +278,73 @@ def test_worker_scaling_curve(served_library, serving_corpus, report, results_di
     report("server_worker_scaling", table)
 
 
+def _zipfish_indices(total: int, seed: int, hot_fraction: float = 0.05,
+                     hot_weight: float = 0.8) -> list:
+    """A skewed access mix: *hot_weight* of requests hit the hottest
+    *hot_fraction* of records (approximating the zipf-shaped access
+    patterns real serving tiers see), the rest spread uniformly."""
+    rng = random.Random(seed)
+    hot_span = max(1, int(total * hot_fraction))
+    return [
+        rng.randrange(hot_span) if rng.random() < hot_weight
+        else rng.randrange(total)
+        for _ in range(REQUESTS_PER_CLIENT)
+    ]
+
+
+def test_hot_set_access_mix(server, served_library, serving_corpus, report,
+                            results_dir):
+    """Non-uniform (zipf-ish) load: 80% of gets hit the hottest 5% of records.
+
+    The skew concentrates reads on a few blocks, so the LRU block cache
+    should absorb most of the hot traffic — the measurement records the
+    cache hit delta alongside the latency, merged into ``BENCH_server.json``
+    under ``"hot_set_mix"``.  Parity- and completion-gated like the uniform
+    loopback test; timings are recorded, never asserted.
+    """
+    total = len(serving_corpus)
+    with CorpusLibrary.open(served_library) as direct:
+        expected_all = list(direct.iter_all())
+    per_client_indices = [_zipfish_indices(total, seed=500 + slot)
+                          for slot in range(CLIENTS)]
+
+    with CorpusClient(server.url) as observer:
+        cache_before = observer.stats()["cache"]
+
+    results, seconds = _fan_out(
+        server.url,
+        lambda client, slot: [client.get(i) for i in per_client_indices[slot]],
+    )
+    for slot in range(CLIENTS):
+        assert results[slot] == [expected_all[i] for i in per_client_indices[slot]]
+    requests = CLIENTS * REQUESTS_PER_CLIENT
+
+    with CorpusClient(server.url) as observer:
+        cache_after = observer.stats()["cache"]
+    delta_hits = cache_after["hits"] - cache_before["hits"]
+    delta_misses = cache_after["misses"] - cache_before["misses"]
+    assert delta_hits + delta_misses > 0, "the mix never touched the cache"
+
+    entry = _mode(seconds, requests, requests)
+    entry["hot_fraction"] = 0.05
+    entry["hot_weight"] = 0.8
+    entry["cache_delta"] = {"hits": delta_hits, "misses": delta_misses}
+    text = _merge_bench_payload({"hot_set_mix": entry})
+    (results_dir / "BENCH_server.json").write_text(text, encoding="utf-8")
+
+    table = ResultTable(
+        title=f"Hot-set access mix: {CLIENTS} clients, 80% of gets on the "
+              "hottest 5% of records",
+        columns=["requests", "us/request", "cache hits", "cache misses"],
+    )
+    table.add_row(requests, entry["us_per_request"], delta_hits, delta_misses)
+    table.add_note(
+        "Skew concentrates reads on a few blocks; the LRU block cache "
+        "absorbs the hot traffic (hit delta above)."
+    )
+    report("server_hot_set_mix", table)
+
+
 def test_remote_reads_match_local_under_sustained_load(server, served_library):
     """A long alternating workload stays byte-correct on one keep-alive socket."""
     with CorpusLibrary.open(served_library) as direct:

@@ -100,6 +100,12 @@ from .curation import (
     pin_identity,
     repack_library,
 )
+from .campaign import (
+    CampaignConfig,
+    CampaignDriver,
+    CampaignState,
+    GenerationStats,
+)
 from .preprocess.pipeline import PreprocessingPipeline, make_pipeline
 from .preprocess.ring_renumber import renumber_rings
 from .store import (
@@ -151,6 +157,11 @@ __all__ = [
     "ReservoirSampler",
     "pin_identity",
     "repack_library",
+    # Generative GA screening campaigns.
+    "CampaignConfig",
+    "CampaignDriver",
+    "CampaignState",
+    "GenerationStats",
     # Block-compressed corpus store (.zss) and the shared reader protocol.
     "CorpusStore",
     "RecordReader",

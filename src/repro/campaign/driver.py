@@ -1,0 +1,501 @@
+"""The GA campaign driver: generation loops over any :class:`RecordReader`.
+
+One :class:`CampaignDriver` owns a campaign working directory and runs the
+evolve loop the ROADMAP describes — sample a seed population from a corpus
+(local library *or* ``http://`` replica list, via the transport-agnostic
+``sample(n, seed)``), mutate/crossover with the fragment operators, reject
+invalid offspring through the curation filter chain, score with the
+deterministic docking surrogate (thread-pooled), select survivors, and pack
+each generation as a normal sharded library composed with its ancestors.
+
+Determinism is the load-bearing property: every choice flows from one
+``random.Random`` whose state is checkpointed after each generation, scoring
+is a pure function, selection uses the total order of
+:func:`repro.screening.docking.top_hits`, and generation packs go through
+the byte-deterministic library writer — so a campaign SIGKILLed at any
+instant and resumed from ``campaign.json`` replays the in-flight generation
+to byte-identical manifests, stats and hit lists.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.codec import ZSmilesCodec
+from ..dictionary.serialization import DictionaryIdentity
+from ..curation.filters import (
+    RecordFilter,
+    canonical_filter,
+    length_filter,
+    strip_filter,
+)
+from ..curation.pipeline import IngestPipeline
+from ..engine import ZSmilesEngine
+from ..errors import CampaignError
+from ..library import CorpusLibrary, compose_libraries, pack_library
+from ..library.manifest import DICTIONARY_IDENTITY_KEY
+from ..screening.docking import top_hits as rank_hits
+from ..store import RecordReader, open_reader
+from . import operators
+from .scoring import resolve_pocket, score_many
+from .state import (
+    CHECKPOINT_NAME,
+    DICTIONARY_NAME,
+    CampaignState,
+    GenerationStats,
+    generation_dir,
+)
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class CampaignConfig:
+    """Tunable knobs of one GA campaign (persisted inside ``campaign.json``).
+
+    Attributes
+    ----------
+    population_size:
+        Survivors kept per generation; also the seed-sample size and the
+        number of offspring attempts per generation.
+    generations:
+        Evolution generations to run after the seed generation 0.
+    seed:
+        Master seed: drives the seed-population draw and the evolution RNG.
+    pocket:
+        Scoring target, by name, from
+        :data:`~repro.screening.docking.DEFAULT_POCKETS`.
+    crossover_rate:
+        Probability an offspring attempt is a two-parent crossover rather
+        than a single-parent mutation.
+    immigrants:
+        Fresh records sampled from the source corpus each generation (keeps
+        sustained sampling traffic on the serving tier; 0 disables).
+    max_heavy_atoms:
+        Offspring size ceiling enforced by the operators.
+    score_jobs:
+        Scoring thread-pool width (any value scores identically).
+    min_length / max_length:
+        Offspring length gate applied by the curation filter chain.
+    records_per_block:
+        Block granularity of the generation libraries.
+    throttle:
+        Seconds slept inside each generation before packing — pacing for
+        campaigns sharing a serving tier (and the test hook that makes
+        "SIGKILL mid-generation" reproducible).
+    """
+
+    population_size: int = 64
+    generations: int = 5
+    seed: int = 0
+    pocket: str = "3CLpro"
+    crossover_rate: float = 0.3
+    immigrants: int = 0
+    max_heavy_atoms: int = operators.DEFAULT_MAX_HEAVY_ATOMS
+    score_jobs: int = 4
+    min_length: int = 1
+    max_length: Optional[int] = None
+    records_per_block: int = 256
+    throttle: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise CampaignError("population_size must be >= 2")
+        if self.generations < 0:
+            raise CampaignError("generations must be >= 0")
+        if not 0.0 <= self.crossover_rate <= 1.0:
+            raise CampaignError("crossover_rate must be in [0, 1]")
+        if self.immigrants < 0:
+            raise CampaignError("immigrants must be >= 0")
+        if self.max_heavy_atoms < 4:
+            raise CampaignError("max_heavy_atoms must be >= 4")
+        if self.score_jobs < 1:
+            raise CampaignError("score_jobs must be >= 1")
+        if self.throttle < 0:
+            raise CampaignError("throttle must be >= 0")
+        resolve_pocket(self.pocket)
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, obj: Dict[str, object]) -> "CampaignConfig":
+        known = {f: obj[f] for f in cls.__dataclass_fields__ if f in obj}
+        return cls(**known)  # type: ignore[arg-type]
+
+
+def _filter_chain(config: CampaignConfig) -> List[RecordFilter]:
+    """The curation chain every candidate record must survive.
+
+    Strip → length gate → canonicalisation: offspring (and sampled seeds /
+    immigrants) are packed in the parse/write fixpoint form, which is what
+    makes dedup across generations meaningful and scores reproducible.
+    """
+    chain = [strip_filter()]
+    if config.min_length > 1 or config.max_length is not None:
+        chain.append(length_filter(config.min_length, config.max_length))
+    chain.append(canonical_filter())
+    return chain
+
+
+class CampaignDriver:
+    """Drives one checkpointed GA campaign in a working directory.
+
+    Construct through :meth:`start` (new campaign) or :meth:`resume`
+    (continue from ``campaign.json``); both return a driver whose
+    :meth:`step` runs exactly one generation and whose :meth:`run` loops to
+    the configured target.  The driver is a context manager; closing it
+    releases the corpus reader and the pack engine, never the checkpoint.
+    """
+
+    def __init__(
+        self,
+        workdir: Path,
+        state: CampaignState,
+        codec: ZSmilesCodec,
+        config: CampaignConfig,
+    ):
+        self.workdir = Path(workdir)
+        self.state = state
+        self.codec = codec
+        self.config = config
+        self.pocket = resolve_pocket(config.pocket)
+        self._engine: Optional[ZSmilesEngine] = None
+        self._reader: Optional[RecordReader] = None
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def start(
+        cls,
+        source: Union[PathLike, Sequence[str]],
+        workdir: PathLike,
+        config: Optional[CampaignConfig] = None,
+    ) -> "CampaignDriver":
+        """Create *workdir*, draw the seed generation and checkpoint it.
+
+        *source* is anything :func:`repro.store.open_reader` accepts: a
+        library directory, ``library.json``, ``.zss`` shard, flat file, one
+        ``http://`` URL or a comma-separated replica list.  The campaign
+        dictionary is trained once on the curated seed population and
+        reused for every generation, so the composed manifest pins a single
+        dictionary identity end to end.
+        """
+        config = config if config is not None else CampaignConfig()
+        workdir = Path(workdir)
+        if (workdir / CHECKPOINT_NAME).exists():
+            raise CampaignError(
+                f"{workdir} already holds a campaign: resume it instead"
+            )
+        workdir.mkdir(parents=True, exist_ok=True)
+        source_str = source if isinstance(source, str) else (
+            ",".join(source) if isinstance(source, (list, tuple)) else str(source)
+        )
+        state = CampaignState(
+            name=workdir.name,
+            source=source_str,
+            seed=config.seed,
+            config=config.as_dict(),
+            generation=-1,
+            rng_state=[],
+        )
+        driver = cls(workdir, state, codec=None, config=config)  # type: ignore[arg-type]
+        driver._run_seed_generation()
+        return driver
+
+    @classmethod
+    def resume(
+        cls, workdir: PathLike, source: Optional[str] = None
+    ) -> "CampaignDriver":
+        """Reopen a campaign from its checkpoint.
+
+        *source* optionally replaces the corpus location (e.g. a changed
+        replica list); the replacement is persisted on the next checkpoint
+        write.  The in-flight generation the checkpoint does *not* name is
+        replayed from the campaign RNG state, deterministically.
+        """
+        workdir = Path(workdir)
+        state = CampaignState.load(workdir)
+        if source is not None:
+            state.source = source
+        config = CampaignConfig.from_dict(state.config)
+        dict_path = workdir / DICTIONARY_NAME
+        if not dict_path.is_file():
+            raise CampaignError(f"campaign dictionary missing: {dict_path}")
+        codec = ZSmilesCodec.from_dictionary(dict_path)
+        return cls(workdir, state, codec, config)
+
+    # ------------------------------------------------------------------ #
+    # Lazy resources
+    # ------------------------------------------------------------------ #
+    @property
+    def reader(self) -> RecordReader:
+        """The corpus reader, opened on first use (local or HTTP)."""
+        if self._reader is None:
+            self._reader = open_reader(self.state.source)
+        return self._reader
+
+    @property
+    def engine(self) -> ZSmilesEngine:
+        """The pack engine (in-process kernel backend: deterministic bytes)."""
+        if self._engine is None:
+            if self.codec is None:
+                raise CampaignError("campaign codec not initialised")
+            self._engine = ZSmilesEngine.from_codec(self.codec, backend="kernel")
+        return self._engine
+
+    def close(self) -> None:
+        """Release the reader and engine (the checkpoint stays on disk)."""
+        if self._reader is not None:
+            self._reader.close()
+            self._reader = None
+        if self._engine is not None:
+            self._engine.close()
+            self._engine = None
+
+    def __enter__(self) -> "CampaignDriver":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # The generation loop
+    # ------------------------------------------------------------------ #
+    def _curate(self, records: Sequence[str]) -> Tuple[List[str], int, int]:
+        """Run *records* through the filter chain; ``(kept, seen, rejected)``."""
+        pipeline = IngestPipeline(filters=_filter_chain(self.config), dedup=True)
+        kept = list(pipeline.process(records))
+        stats = pipeline.stats
+        return kept, stats.lines_in, stats.rejected_total()
+
+    def _select(
+        self, candidates: Sequence[str]
+    ) -> Tuple[List[str], List[float]]:
+        """Score *candidates* and keep the ``population_size`` best.
+
+        Selection rides :func:`~repro.screening.docking.top_hits`' total
+        order (score, then SMILES), so the survivor list — and therefore
+        the packed generation bytes — cannot depend on scoring order.
+        """
+        scores = score_many(candidates, self.pocket, jobs=self.config.score_jobs)
+        ranked = rank_hits(
+            list(zip(candidates, scores)), self.config.population_size
+        )
+        return [s for s, _ in ranked], [score for _, score in ranked]
+
+    def _pack_generation(self, generation: int, population: Sequence[str]) -> None:
+        """Pack *population* as ``gen-NNNN.library`` and recompose history."""
+        pack_library(
+            generation_dir(self.workdir, generation),
+            population,
+            self.engine,
+            shards=1,
+            records_per_block=self.config.records_per_block,
+            metadata={"campaign_generation": generation},
+        )
+        sources = [generation_dir(self.workdir, g) for g in range(generation + 1)]
+        # Explicit metadata with workdir-relative source names keeps the
+        # composed manifest byte-stable across resumes and relocations
+        # (compose's default records absolute source paths).
+        compose_libraries(
+            self.workdir / self.state.composed_manifest,
+            sources,
+            metadata={
+                "composed_from": [src.name for src in sources],
+                DICTIONARY_IDENTITY_KEY: DictionaryIdentity.of(
+                    self.engine.table
+                ).to_json_obj(),
+            },
+        )
+
+    def _finish_generation(
+        self, stats: GenerationStats, rng, started: float
+    ) -> GenerationStats:
+        """Checkpoint a completed generation (stats + RNG state, atomically)."""
+        stats.elapsed_seconds = round(time.perf_counter() - started, 6)
+        self.state.generations.append(stats)
+        self.state.generation = stats.generation
+        if rng is not None:
+            self.state.capture_rng(rng)
+        self.state.save(self.workdir)
+        return stats
+
+    def _run_seed_generation(self) -> GenerationStats:
+        """Generation 0: sample, curate, train the dictionary, pack."""
+        config = self.config
+        started = time.perf_counter()
+        _, records = self.reader.sample(config.population_size, config.seed)
+        seeds, seen, rejected = self._curate(records)
+        if not seeds:
+            raise CampaignError(
+                "seed sample produced no valid records after curation: "
+                "is the source corpus SMILES-like?"
+            )
+        self.codec = ZSmilesCodec.train(seeds, preprocessing=True, lmax=8)
+        self.codec.save_dictionary(self.workdir / DICTIONARY_NAME)
+        self.state.dictionary_hash = DictionaryIdentity.of(self.codec.table).hash
+        population, scores = self._select(seeds)
+        if config.throttle:
+            time.sleep(config.throttle)
+        self._pack_generation(0, population)
+        stats = GenerationStats(
+            generation=0,
+            sampled=seen,
+            rejected=rejected,
+            scored=len(seeds),
+            survivors=len(population),
+            records_written=len(population),
+            best_score=round(min(scores), 9),
+            mean_score=round(sum(scores) / len(scores), 9),
+        )
+        rng = random.Random(config.seed)
+        return self._finish_generation(stats, rng, started)
+
+    def step(self) -> GenerationStats:
+        """Run exactly one evolution generation and checkpoint it."""
+        config = self.config
+        generation = self.state.generation + 1
+        started = time.perf_counter()
+        rng = self.state.restore_rng()
+        parents = self._load_population()
+
+        offspring: List[str] = []
+        mutated = crossed = rejected = 0
+        for _ in range(config.population_size):
+            if len(parents) >= 2 and rng.random() < config.crossover_rate:
+                a, b = rng.sample(range(len(parents)), 2)
+                child = operators.crossover(
+                    parents[a], parents[b], rng,
+                    max_heavy_atoms=config.max_heavy_atoms,
+                )
+                crossed += 1
+            else:
+                parent = parents[rng.randrange(len(parents))]
+                child = operators.mutate(
+                    parent, rng, max_heavy_atoms=config.max_heavy_atoms
+                )
+                mutated += 1
+            if child is None:
+                rejected += 1
+            else:
+                offspring.append(child)
+
+        sampled = 0
+        if config.immigrants:
+            immigrant_seed = rng.randrange(2**63)
+            _, immigrants = self.reader.sample(config.immigrants, immigrant_seed)
+            sampled = len(immigrants)
+            offspring.extend(immigrants)
+
+        curated, seen, filter_rejected = self._curate(offspring)
+        rejected += filter_rejected
+        parent_set = set(parents)
+        fresh = [record for record in curated if record not in parent_set]
+        rejected += len(curated) - len(fresh)
+
+        candidates = list(parents) + fresh
+        population, scores = self._select(candidates)
+        if config.throttle:
+            time.sleep(config.throttle)
+        self._pack_generation(generation, population)
+        stats = GenerationStats(
+            generation=generation,
+            sampled=sampled,
+            mutated=mutated,
+            crossed=crossed,
+            rejected=rejected,
+            scored=len(candidates),
+            survivors=len(population),
+            records_written=len(population),
+            best_score=round(min(scores), 9),
+            mean_score=round(sum(scores) / len(scores), 9),
+        )
+        return self._finish_generation(stats, rng, started)
+
+    def run(self, generations: Optional[int] = None) -> CampaignState:
+        """Step until ``generation == generations`` (default: the config's).
+
+        Passing a larger *generations* than the config's extends the
+        campaign; the new target is persisted with the next checkpoint.
+        """
+        if generations is not None:
+            if generations < 0:
+                raise CampaignError("generations must be >= 0")
+            self.config.generations = generations
+            self.state.config = self.config.as_dict()
+        while self.state.generation < self.config.generations:
+            self.step()
+        return self.state
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def _load_population(self) -> List[str]:
+        """The last completed generation's records (the live population)."""
+        if self.state.generation < 0:
+            raise CampaignError("campaign has no completed generation yet")
+        library_dir = generation_dir(self.workdir, self.state.generation)
+        with CorpusLibrary.open(library_dir) as library:
+            return list(library.iter_all())
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Cumulative sampled/mutated/rejected/scored/… counters."""
+        return self.state.counters()
+
+    def composed_manifest_path(self) -> Path:
+        return self.workdir / self.state.composed_manifest
+
+    def top_hits(self, count: int = 16) -> List[Tuple[str, float]]:
+        """The best *count* distinct records across the whole campaign.
+
+        Reads the composed library (every generation, ancestors first),
+        dedups keeping first occurrence, rescores — the scorer is pure, so
+        this is exact — and ranks with the total order.
+        """
+        with CorpusLibrary.open(self.composed_manifest_path()) as library:
+            distinct = list(dict.fromkeys(library.iter_all()))
+        scores = score_many(distinct, self.pocket, jobs=self.config.score_jobs)
+        return rank_hits(list(zip(distinct, scores)), count)
+
+
+# ---------------------------------------------------------------------- #
+# Module-level conveniences (the CLI rides these)
+# ---------------------------------------------------------------------- #
+def run_campaign(
+    source: Union[PathLike, Sequence[str]],
+    workdir: PathLike,
+    config: Optional[CampaignConfig] = None,
+) -> CampaignState:
+    """Start a campaign and run it to its configured generation target."""
+    with CampaignDriver.start(source, workdir, config) as driver:
+        return driver.run()
+
+
+def resume_campaign(
+    workdir: PathLike,
+    generations: Optional[int] = None,
+    source: Optional[str] = None,
+) -> CampaignState:
+    """Resume a checkpointed campaign and run it to its target."""
+    with CampaignDriver.resume(workdir, source=source) as driver:
+        return driver.run(generations)
+
+
+def campaign_status(workdir: PathLike) -> CampaignState:
+    """Load a campaign's checkpoint without touching its corpus source."""
+    return CampaignState.load(workdir)
+
+
+def campaign_top_hits(
+    workdir: PathLike, count: int = 16
+) -> List[Tuple[str, float]]:
+    """Top hits of a checkpointed campaign (no corpus connection needed)."""
+    with CampaignDriver.resume(workdir) as driver:
+        return driver.top_hits(count)

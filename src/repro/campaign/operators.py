@@ -1,0 +1,169 @@
+"""Fragment-level GA operators: mutation and crossover over molecular graphs.
+
+The generative campaign evolves SMILES records the same way the synthetic
+dataset generators build them — by attaching chemical fragments from
+:mod:`repro.datasets.fragments` at atoms with free valence — so every
+offspring inherits the library's own validity guarantees instead of relying
+on an external toolkit.
+
+Operators are *pure* deterministic functions of ``(input SMILES, RNG
+state)``: they parse their inputs into fresh :class:`MolecularGraph`
+instances (the input strings are never mutated), draw every choice from the
+caller-supplied ``random.Random``, and emit a SMILES string — or ``None``
+when no chemically sensible edit exists (no attachment point with free
+valence, size budget exhausted, or the written offspring fails validation).
+``None`` is a *rejection*, which the campaign driver counts; callers never
+see invalid molecules.  Emitted offspring then pass through the curation
+filter chain (:func:`repro.curation.filters.canonical_filter`), so what the
+campaign packs is always in the canonical parse/write fixpoint form.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+from typing import List, Optional, Sequence, Tuple
+
+from ..datasets.fragments import FRAGMENT_LIBRARY, free_valence
+from ..smiles import MolecularGraph, is_valid, parse, write
+from ..errors import CampaignError, SmilesError
+
+#: Fragments the mutation operator may attach: every decoration and chain
+#: fragment plus the small rings — large ring systems would blow through the
+#: size budget in one step.  Order is fixed (it indexes RNG draws).
+DEFAULT_MUTATION_FRAGMENTS: Tuple[str, ...] = (
+    "methyl",
+    "ethyl",
+    "propyl_chain",
+    "isopropyl",
+    "hydroxyl",
+    "methoxy",
+    "amine",
+    "fluoro",
+    "chloro",
+    "bromo",
+    "carbonyl",
+    "carboxylic_acid",
+    "ester",
+    "amide",
+    "nitrile",
+    "trifluoromethyl",
+    "benzene",
+    "pyridine",
+    "furan",
+    "cyclopropane",
+)
+
+#: Terminal halogens cannot take another substituent.
+_HALOGENS = frozenset(("F", "Cl", "Br", "I"))
+
+#: Default heavy-atom ceiling for offspring (rejects runaway growth).
+DEFAULT_MAX_HEAVY_ATOMS = 60
+
+
+def attachment_candidates(graph: MolecularGraph, max_degree: int = 5) -> List[int]:
+    """Atom indices an operator may bond a new fragment to, in index order.
+
+    An atom qualifies when it has at least one unit of free valence, is not
+    a terminal halogen, and has not already accumulated *max_degree* bonds.
+    The deterministic index order matters: the RNG draws *into* this list,
+    so two runs with equal RNG state pick the same atom.
+    """
+    return [
+        idx
+        for idx in range(graph.atom_count())
+        if free_valence(graph, idx) >= 1
+        and graph.degree(idx) < max_degree
+        and graph.atoms[idx].element not in _HALOGENS
+    ]
+
+
+def _parse_parent(smiles: str) -> Optional[MolecularGraph]:
+    try:
+        return parse(smiles)
+    except SmilesError:
+        return None
+
+
+def _emit(graph: MolecularGraph) -> Optional[str]:
+    """Write *graph* back out; ``None`` when the result fails validation."""
+    offspring = write(graph, ring_policy="sequential")
+    return offspring if is_valid(offspring) else None
+
+
+def mutate(
+    smiles: str,
+    rng: random.Random,
+    fragments: Sequence[str] = DEFAULT_MUTATION_FRAGMENTS,
+    max_heavy_atoms: int = DEFAULT_MAX_HEAVY_ATOMS,
+) -> Optional[str]:
+    """Attach one RNG-chosen fragment at an RNG-chosen attachment atom.
+
+    Returns the offspring SMILES, or ``None`` when the parent cannot be
+    parsed, offers no attachment point, every candidate fragment would
+    exceed *max_heavy_atoms*, or the edited graph writes to an invalid
+    string.  The parent string is never modified.
+    """
+    if not fragments:
+        raise CampaignError("mutate needs a non-empty fragment pool")
+    graph = _parse_parent(smiles)
+    if graph is None:
+        return None
+    candidates = attachment_candidates(graph)
+    if not candidates:
+        return None
+    attachment = candidates[rng.randrange(len(candidates))]
+    budget = max_heavy_atoms - graph.atom_count()
+    pool = [name for name in fragments if FRAGMENT_LIBRARY[name].heavy_atoms <= budget]
+    if not pool:
+        return None
+    spec = FRAGMENT_LIBRARY[pool[rng.randrange(len(pool))]]
+    spec.builder(graph, attachment)
+    return _emit(graph)
+
+
+def _append_graph(dst: MolecularGraph, src: MolecularGraph) -> List[int]:
+    """Copy *src*'s atoms and bonds into *dst*; returns the index mapping.
+
+    Atoms are copied with :func:`dataclasses.replace` so the two graphs
+    never share mutable state.
+    """
+    mapping = [dst.add_atom(replace(atom)) for atom in src.atoms]
+    for bond in src.bonds:
+        dst.add_bond(mapping[bond.a], mapping[bond.b], bond.order)
+    return mapping
+
+
+def crossover(
+    a: str,
+    b: str,
+    rng: random.Random,
+    max_heavy_atoms: int = DEFAULT_MAX_HEAVY_ATOMS,
+) -> Optional[str]:
+    """Fuse two parents with a single RNG-chosen bond between them.
+
+    The offspring contains every atom of both parents (A's first, then B's)
+    joined by one new single bond between a free-valence atom of each part.
+    Returns ``None`` when either parent fails to parse, the fused molecule
+    would exceed *max_heavy_atoms*, either part offers no attachment point,
+    or the written offspring fails validation.
+    """
+    graph_a = _parse_parent(a)
+    graph_b = _parse_parent(b)
+    if graph_a is None or graph_b is None:
+        return None
+    if graph_a.atom_count() + graph_b.atom_count() > max_heavy_atoms:
+        return None
+    fused = MolecularGraph()
+    map_a = _append_graph(fused, graph_a)
+    map_b = _append_graph(fused, graph_b)
+    candidates = set(attachment_candidates(fused))
+    left = [idx for idx in map_a if idx in candidates]
+    right = [idx for idx in map_b if idx in candidates]
+    if not left or not right:
+        return None
+    fused.add_bond(
+        left[rng.randrange(len(left))],
+        right[rng.randrange(len(right))],
+    )
+    return _emit(fused)

@@ -1,0 +1,43 @@
+"""Thread-pooled deterministic scoring for campaign generations.
+
+:func:`repro.screening.docking.dock_score` is a pure function of the
+``(SMILES, pocket)`` pair, so scoring parallelises trivially:
+``ThreadPoolExecutor.map`` preserves input order and every worker computes
+the same value it would serially.  The campaign's determinism guarantee
+(kill → resume → byte-identical) therefore survives any ``score_jobs``
+setting — pinned by the driver tests.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Sequence
+
+from ..errors import CampaignError
+from ..screening.docking import DEFAULT_POCKETS, PocketModel, dock_score
+
+
+def resolve_pocket(name: str) -> PocketModel:
+    """Look a pocket up in :data:`~repro.screening.docking.DEFAULT_POCKETS`."""
+    for pocket in DEFAULT_POCKETS:
+        if pocket.name == name:
+            return pocket
+    known = ", ".join(p.name for p in DEFAULT_POCKETS)
+    raise CampaignError(f"unknown pocket {name!r}; known pockets: {known}")
+
+
+def score_many(
+    smiles_list: Sequence[str], pocket: PocketModel, jobs: int = 1
+) -> List[float]:
+    """Scores for *smiles_list* against *pocket*, in input order.
+
+    ``jobs > 1`` fans the pure scoring function over a thread pool; the
+    result is identical to the serial loop because ``map`` preserves order
+    and the score depends on nothing but its arguments.
+    """
+    if jobs < 1:
+        raise CampaignError(f"score_jobs must be >= 1, got {jobs}")
+    if jobs == 1 or len(smiles_list) < 2:
+        return [dock_score(smiles, pocket) for smiles in smiles_list]
+    with ThreadPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(lambda smiles: dock_score(smiles, pocket), smiles_list))

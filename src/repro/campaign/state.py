@@ -1,0 +1,218 @@
+"""Campaign checkpoint: ``campaign.json`` plus the manifests it points at.
+
+A campaign's durable state is deliberately nothing but manifests: each
+generation is a normal sharded library (``gen-0000.library/`` …) and the
+whole campaign history is one composed ``library.json`` over those
+generation libraries.  ``campaign.json`` only records what the manifests
+cannot — the evolution RNG state, the index of the last *completed*
+generation, the per-generation counters, and pointers to the composed
+manifest and the campaign dictionary — so a SIGKILL at any instant loses at
+most the in-flight generation, which a resume then replays deterministically
+to byte-identical output.
+
+The checkpoint is written atomically (temp file + ``os.replace``) *after*
+the generation's libraries are on disk, which is the whole crash-consistency
+story: either the checkpoint names a generation whose files are complete,
+or the generation never happened.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Union
+
+from ..errors import CampaignError
+
+PathLike = Union[str, Path]
+
+#: Checkpoint file name inside a campaign working directory.
+CHECKPOINT_NAME = "campaign.json"
+#: Composed manifest over every generation library, under the workdir root.
+COMPOSED_MANIFEST_NAME = "composed.library.json"
+#: The campaign dictionary, trained once on the curated seed population.
+DICTIONARY_NAME = "campaign.dct"
+#: Per-generation library directory name.
+GENERATION_DIR_FORMAT = "gen-{:04d}.library"
+
+#: Checkpoint schema version (bumped on incompatible changes).
+STATE_VERSION = 1
+
+
+def generation_dir(workdir: PathLike, generation: int) -> Path:
+    """The library directory of generation *generation* under *workdir*."""
+    return Path(workdir) / GENERATION_DIR_FORMAT.format(generation)
+
+
+def encode_rng_state(state: object) -> list:
+    """``random.Random.getstate()`` → JSON-serializable nested lists."""
+    version, internal, gauss = state  # type: ignore[misc]
+    return [version, list(internal), gauss]
+
+
+def decode_rng_state(obj: object) -> tuple:
+    """Inverse of :func:`encode_rng_state` (JSON arrays → state tuple)."""
+    if not isinstance(obj, list) or len(obj) != 3 or not isinstance(obj[1], list):
+        raise CampaignError(f"malformed RNG state in checkpoint: {obj!r}")
+    return (obj[0], tuple(obj[1]), obj[2])
+
+
+@dataclass
+class GenerationStats:
+    """Observability counters for one completed generation.
+
+    Every field except ``elapsed_seconds`` is a deterministic function of
+    the campaign seed — the resume tests compare them across a kill.
+    """
+
+    generation: int
+    sampled: int = 0
+    mutated: int = 0
+    crossed: int = 0
+    rejected: int = 0
+    scored: int = 0
+    survivors: int = 0
+    records_written: int = 0
+    best_score: float = 0.0
+    mean_score: float = 0.0
+    elapsed_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    def deterministic_dict(self) -> Dict[str, object]:
+        """The stats minus wall time — the cross-run comparison surface."""
+        out = asdict(self)
+        out.pop("elapsed_seconds")
+        return out
+
+    @classmethod
+    def from_dict(cls, obj: Dict[str, object]) -> "GenerationStats":
+        known = {f: obj[f] for f in cls.__dataclass_fields__ if f in obj}
+        return cls(**known)  # type: ignore[arg-type]
+
+
+@dataclass
+class CampaignState:
+    """Everything ``campaign.json`` persists."""
+
+    name: str
+    source: str
+    seed: int
+    config: Dict[str, object]
+    generation: int
+    rng_state: list
+    dictionary_hash: str = ""
+    composed_manifest: str = COMPOSED_MANIFEST_NAME
+    generations: List[GenerationStats] = field(default_factory=list)
+    version: int = STATE_VERSION
+
+    # ------------------------------------------------------------------ #
+    # RNG round-trip
+    # ------------------------------------------------------------------ #
+    def restore_rng(self) -> random.Random:
+        """A ``random.Random`` carrying exactly the checkpointed state."""
+        rng = random.Random()
+        rng.setstate(decode_rng_state(self.rng_state))
+        return rng
+
+    def capture_rng(self, rng: random.Random) -> None:
+        self.rng_state = encode_rng_state(rng.getstate())
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "version": self.version,
+            "name": self.name,
+            "source": self.source,
+            "seed": self.seed,
+            "config": dict(self.config),
+            "generation": self.generation,
+            "rng_state": self.rng_state,
+            "dictionary_hash": self.dictionary_hash,
+            "composed_manifest": self.composed_manifest,
+            "generations": [stats.as_dict() for stats in self.generations],
+        }
+
+    def save(self, workdir: PathLike) -> Path:
+        """Atomically write ``campaign.json`` under *workdir*.
+
+        The temp-then-``os.replace`` dance guarantees a reader (or a resume
+        after SIGKILL) only ever sees a complete checkpoint — the previous
+        one or this one, never a torn write.
+        """
+        workdir = Path(workdir)
+        path = workdir / CHECKPOINT_NAME
+        tmp = workdir / (CHECKPOINT_NAME + ".tmp")
+        tmp.write_text(
+            json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def load(cls, workdir: PathLike) -> "CampaignState":
+        path = Path(workdir) / CHECKPOINT_NAME
+        if not path.is_file():
+            raise CampaignError(
+                f"no campaign checkpoint at {path}: start one with "
+                "CampaignDriver.start() / `zsmiles campaign run`"
+            )
+        try:
+            obj = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CampaignError(f"unreadable campaign checkpoint {path}: {exc}") from exc
+        if not isinstance(obj, dict):
+            raise CampaignError(f"campaign checkpoint {path} is not a JSON object")
+        declared = obj.get("version")
+        if declared != STATE_VERSION:
+            raise CampaignError(
+                f"campaign checkpoint {path} has version {declared!r}; "
+                f"this build reads version {STATE_VERSION}"
+            )
+        try:
+            return cls(
+                name=str(obj["name"]),
+                source=str(obj["source"]),
+                seed=int(obj["seed"]),
+                config=dict(obj["config"]),
+                generation=int(obj["generation"]),
+                rng_state=list(obj["rng_state"]),
+                dictionary_hash=str(obj.get("dictionary_hash", "")),
+                composed_manifest=str(
+                    obj.get("composed_manifest", COMPOSED_MANIFEST_NAME)
+                ),
+                generations=[
+                    GenerationStats.from_dict(entry)
+                    for entry in obj.get("generations", [])
+                ],
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CampaignError(
+                f"campaign checkpoint {path} is missing or mistypes a field: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------ #
+    # Summaries
+    # ------------------------------------------------------------------ #
+    def counters(self) -> Dict[str, int]:
+        """Cumulative observability counters across completed generations."""
+        totals = {
+            "sampled": 0,
+            "mutated": 0,
+            "crossed": 0,
+            "rejected": 0,
+            "scored": 0,
+            "records_written": 0,
+        }
+        for stats in self.generations:
+            for key in totals:
+                totals[key] += int(getattr(stats, key))
+        totals["generations"] = len(self.generations)
+        return totals

@@ -39,6 +39,10 @@ needs:
 * ``zsmiles repack``      — migrate a packed library to a new dictionary
   (``repro.curation.repack``): decompress with the old, recompress with the new,
   ``--shard-jobs`` parallel, source untouched until the new manifest validates.
+* ``zsmiles campaign``    — generative GA screening campaigns (``repro.campaign``):
+  ``run`` a checkpointed campaign against any corpus tier (local library or
+  ``http://`` replica list), ``resume`` after a kill to byte-identical results,
+  ``status`` the per-generation counters, ``top-hits`` the best records.
 """
 
 from __future__ import annotations
@@ -323,6 +327,57 @@ def build_parser() -> argparse.ArgumentParser:
                         help="pack whole shards concurrently across N processes")
     repack.add_argument("--no-verify", action="store_true",
                         help="skip the full readback comparison after packing")
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="generative GA screening campaigns over any corpus tier "
+             "(local library or http:// replica list)",
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    camp_run = campaign_sub.add_parser(
+        "run", help="start a new campaign and run it to its generation target"
+    )
+    camp_run.add_argument("source",
+                          help="seed corpus: library dir, library.json, .zss, "
+                               ".smi/.zsmi, http:// URL or comma-separated replicas")
+    camp_run.add_argument("workdir", type=Path, help="campaign working directory")
+    camp_run.add_argument("--population", type=int, default=64, metavar="N",
+                          help="survivors per generation (default 64)")
+    camp_run.add_argument("--generations", type=int, default=5, metavar="N",
+                          help="evolution generations after the seed draw (default 5)")
+    camp_run.add_argument("--seed", type=int, default=0, help="master campaign seed")
+    camp_run.add_argument("--pocket", default="3CLpro",
+                          help="scoring pocket name (default 3CLpro)")
+    camp_run.add_argument("--crossover-rate", type=float, default=0.3)
+    camp_run.add_argument("--immigrants", type=int, default=0, metavar="N",
+                          help="fresh records sampled from the source each generation")
+    camp_run.add_argument("--max-heavy-atoms", type=int, default=60, metavar="N")
+    camp_run.add_argument("--score-jobs", type=int, default=4, metavar="N",
+                          help="scoring thread-pool width (output-invariant)")
+    camp_run.add_argument("--throttle", type=float, default=0.0, metavar="SECONDS",
+                          help="sleep per generation before packing (pacing for "
+                               "campaigns sharing a serving tier)")
+
+    camp_resume = campaign_sub.add_parser(
+        "resume", help="resume a checkpointed campaign to its generation target"
+    )
+    camp_resume.add_argument("workdir", type=Path)
+    camp_resume.add_argument("--generations", type=int, default=None, metavar="N",
+                             help="override (e.g. extend) the generation target")
+    camp_resume.add_argument("--source", default=None,
+                             help="replace the corpus source (e.g. new replica list)")
+
+    camp_status = campaign_sub.add_parser(
+        "status", help="print a campaign's checkpoint state and counters"
+    )
+    camp_status.add_argument("workdir", type=Path)
+
+    camp_hits = campaign_sub.add_parser(
+        "top-hits", help="best distinct records across the whole campaign"
+    )
+    camp_hits.add_argument("workdir", type=Path)
+    camp_hits.add_argument("-n", "--count", type=int, default=16)
 
     return parser
 
@@ -865,6 +920,62 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_campaign_state(state) -> None:
+    print(f"campaign   : {state.name}")
+    print(f"source     : {state.source}")
+    print(f"seed       : {state.seed}")
+    print(f"generation : {state.generation} (last completed)")
+    print(f"dictionary : {state.dictionary_hash[:12] or '-'}")
+    print(f"composed   : {state.composed_manifest}")
+    for key, value in state.counters().items():
+        print(f"  {key:<16} {value}")
+    for stats in state.generations:
+        print(
+            f"  gen {stats.generation:>3}: scored={stats.scored:<5} "
+            f"survivors={stats.survivors:<5} rejected={stats.rejected:<4} "
+            f"best={stats.best_score:.4f} mean={stats.mean_score:.4f} "
+            f"({stats.elapsed_seconds:.2f}s)"
+        )
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from .campaign import (
+        CampaignConfig,
+        CampaignDriver,
+        campaign_status,
+        campaign_top_hits,
+    )
+
+    if args.campaign_command == "run":
+        config = CampaignConfig(
+            population_size=args.population,
+            generations=args.generations,
+            seed=args.seed,
+            pocket=args.pocket,
+            crossover_rate=args.crossover_rate,
+            immigrants=args.immigrants,
+            max_heavy_atoms=args.max_heavy_atoms,
+            score_jobs=args.score_jobs,
+            throttle=args.throttle,
+        )
+        with CampaignDriver.start(args.source, args.workdir, config) as driver:
+            state = driver.run()
+        _print_campaign_state(state)
+        return 0
+    if args.campaign_command == "resume":
+        with CampaignDriver.resume(args.workdir, source=args.source) as driver:
+            state = driver.run(args.generations)
+        _print_campaign_state(state)
+        return 0
+    if args.campaign_command == "status":
+        _print_campaign_state(campaign_status(args.workdir))
+        return 0
+    # top-hits
+    for smiles, score in campaign_top_hits(args.workdir, args.count):
+        print(f"{score:12.6f}  {smiles}")
+    return 0
+
+
 _HANDLERS = {
     "train": _cmd_train,
     "compress": _cmd_compress,
@@ -883,6 +994,7 @@ _HANDLERS = {
     "ingest": _cmd_ingest,
     "train-dict": _cmd_train_dict,
     "repack": _cmd_repack,
+    "campaign": _cmd_campaign,
 }
 
 

@@ -21,6 +21,7 @@ records should accept the protocol and let
 from __future__ import annotations
 
 import io
+import random
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, List, Optional, Sequence, Union
@@ -184,6 +185,20 @@ class RandomAccessReader:
             raise RandomAccessError(f"invalid slice [{start}, {stop})")
         stop = min(stop, len(self))
         return [self.line(i) for i in range(start, stop)]
+
+    def sample(self, n: int, seed: Optional[int] = None) -> tuple:
+        """Uniform random records without replacement: ``(indices, records)``.
+
+        Same ``random.Random(seed).sample`` semantics and clamping as the
+        server's ``GET /records:sample`` and the packed readers' ``sample``,
+        so the flat layout is transport-interchangeable for seeded draws.
+        """
+        if n < 0:
+            raise RandomAccessError(f"sample size must be >= 0, got {n}")
+        total = len(self)
+        rng = random.Random(seed)
+        indices = sorted(rng.sample(range(total), min(n, total)))
+        return indices, self.get_many(indices)
 
     def iter_all(self) -> Iterator[str]:
         """Iterate over every record in order (decompressing when applicable)."""

@@ -145,5 +145,11 @@ class ScreeningError(ReproError):
     """Raised by the virtual-screening pipeline substrate."""
 
 
+class CampaignError(ReproError):
+    """Raised by the generative GA screening-campaign driver
+    (:mod:`repro.campaign`): bad configuration, corrupt or missing
+    checkpoints, and unrecoverable generation-loop failures."""
+
+
 class ParallelExecutionError(ReproError):
     """Raised when a parallel backend fails to complete a batch."""

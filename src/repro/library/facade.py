@@ -156,6 +156,14 @@ class CorpusLibrary:
         """Iterate over every record, in global order."""
         return self.store.iter_all()
 
+    def sample(self, n: int, seed=None) -> tuple:
+        """Seeded uniform sample without replacement: ``(indices, records)``.
+
+        Same semantics as ``GET /records:sample`` on the HTTP tier, so a
+        campaign driver can sample through either transport identically.
+        """
+        return self.store.sample(n, seed)
+
     def line(self, index: int) -> str:
         """Alias of :meth:`get`."""
         return self.store.get(index)

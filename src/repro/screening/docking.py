@@ -127,7 +127,13 @@ def dock_library(
 def top_hits(
     scored: Sequence[Tuple[str, float]], count: int
 ) -> List[Tuple[str, float]]:
-    """The *count* best (most negative) scoring ligands, best first."""
+    """The *count* best (most negative) scoring ligands, best first.
+
+    The order is *total*: equal scores tie-break on the SMILES text, and
+    identical ``(smiles, score)`` duplicates keep their input order (the
+    sort is stable).  Input order therefore never influences distinct hits,
+    so a parallel scorer that reorders its shards cannot reorder hit lists.
+    """
     if count < 0:
         raise ScreeningError("count must be non-negative")
-    return sorted(scored, key=lambda item: item[1])[:count]
+    return sorted(scored, key=lambda item: (item[1], item[0]))[:count]

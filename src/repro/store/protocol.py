@@ -60,6 +60,16 @@ class RecordReader(Protocol):
         """Iterate over every record in order."""
         ...
 
+    def sample(self, n: int, seed: Optional[int] = None) -> tuple:
+        """Seeded uniform sample without replacement: ``(indices, records)``.
+
+        Every implementation draws with ``random.Random(seed).sample`` over
+        the index range and clamps *n* to the corpus size — the exact
+        semantics of the HTTP tier's ``GET /records:sample`` — so seeded
+        sampling is transport-agnostic.
+        """
+        ...
+
     def close(self) -> None:
         """Release the underlying file handles."""
         ...

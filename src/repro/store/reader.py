@@ -18,6 +18,7 @@ to the per-line reference decompressor.
 from __future__ import annotations
 
 import mmap as _mmap_module
+import random
 import threading
 from bisect import bisect_right
 from collections import OrderedDict
@@ -168,6 +169,22 @@ class RecordAccessMixin:
         """Iterate over every record in order."""
         for index in range(len(self)):  # type: ignore[arg-type]
             yield self.get(index)  # type: ignore[attr-defined]
+
+    def sample(self, n: int, seed: Optional[int] = None) -> tuple:
+        """Uniform random records without replacement: ``(indices, records)``.
+
+        Mirrors the server's ``GET /records:sample`` exactly — the draw is
+        ``random.Random(seed).sample`` over the index range, *n* clamped to
+        the corpus size, indices returned sorted — so a campaign sampling
+        through a local reader and one sampling over HTTP see the same
+        records for the same seed.
+        """
+        if n < 0:
+            raise RandomAccessError(f"sample size must be >= 0, got {n}")
+        total = len(self)  # type: ignore[arg-type]
+        rng = random.Random(seed)
+        indices = sorted(rng.sample(range(total), min(n, total)))
+        return indices, self.get_many(indices)
 
     # Compatibility aliases with RandomAccessReader's historical names.
     def line(self, index: int) -> str:

@@ -1,0 +1,46 @@
+"""Shared fixtures for the GA campaign suite.
+
+One small deterministic corpus is written once per session, both flat and as
+a packed library, so the suites can open it through every tier the driver
+supports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import CampaignConfig
+from repro.core.codec import ZSmilesCodec
+from repro.engine import ZSmilesEngine
+from repro.library import pack_library
+
+
+@pytest.fixture(scope="session")
+def campaign_corpus(gdb_corpus) -> list[str]:
+    """The seed corpus every campaign test samples from."""
+    return list(gdb_corpus)
+
+
+@pytest.fixture(scope="session")
+def corpus_file(tmp_path_factory, campaign_corpus):
+    """The corpus as a flat ``.smi`` file (the simplest reader tier)."""
+    path = tmp_path_factory.mktemp("campaign_corpus") / "corpus.smi"
+    path.write_text("\n".join(campaign_corpus) + "\n", encoding="utf-8")
+    return path
+
+
+@pytest.fixture(scope="session")
+def corpus_library(tmp_path_factory, campaign_corpus):
+    """The corpus as a 2-shard packed library (the serving tier's layout)."""
+    directory = tmp_path_factory.mktemp("campaign_lib") / "corpus.library"
+    codec = ZSmilesCodec.train(campaign_corpus, preprocessing=True, lmax=8)
+    with ZSmilesEngine.from_codec(codec, backend="kernel") as engine:
+        pack_library(directory, campaign_corpus, engine, shards=2, records_per_block=16)
+    return directory
+
+
+def small_config(**overrides) -> CampaignConfig:
+    """A campaign small enough for unit tests, big enough to breed."""
+    params = dict(population_size=12, generations=2, seed=7, score_jobs=2)
+    params.update(overrides)
+    return CampaignConfig(**params)

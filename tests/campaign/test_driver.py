@@ -1,0 +1,214 @@
+"""The campaign driver: generation loop, determinism, checkpoint discipline."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignConfig,
+    CampaignDriver,
+    campaign_status,
+    campaign_top_hits,
+)
+from repro.campaign.state import CHECKPOINT_NAME, DICTIONARY_NAME
+from repro.errors import CampaignError
+from repro.library import CorpusLibrary
+from repro.library.manifest import DICTIONARY_IDENTITY_KEY, LibraryManifest
+
+from .conftest import small_config
+
+
+def run_campaign_to(workdir, source, config):
+    with CampaignDriver.start(source, workdir, config) as driver:
+        return driver.run()
+
+
+def deterministic_stats(state):
+    return [g.deterministic_dict() for g in state.generations]
+
+
+def workdir_bytes(workdir, skip=(CHECKPOINT_NAME,)):
+    """``{relative name: bytes}`` of every file, minus the wall-clock ones."""
+    return {
+        p.relative_to(workdir).as_posix(): p.read_bytes()
+        for p in sorted(workdir.rglob("*"))
+        if p.is_file() and p.name not in skip
+    }
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        CampaignConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"population_size": 1},
+            {"generations": -1},
+            {"crossover_rate": 1.5},
+            {"immigrants": -1},
+            {"max_heavy_atoms": 2},
+            {"score_jobs": 0},
+            {"throttle": -0.1},
+            {"pocket": "NoSuchPocket"},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(CampaignError):
+            CampaignConfig(**kwargs)
+
+    def test_round_trips_through_dict(self):
+        config = small_config(immigrants=3, throttle=0.5)
+        assert CampaignConfig.from_dict(config.as_dict()) == config
+
+
+class TestCampaignRun:
+    @pytest.fixture(scope="class")
+    def finished(self, tmp_path_factory, corpus_file):
+        workdir = tmp_path_factory.mktemp("camp") / "run"
+        state = run_campaign_to(workdir, corpus_file, small_config(immigrants=3))
+        return workdir, state
+
+    def test_workdir_layout(self, finished):
+        workdir, state = finished
+        assert (workdir / CHECKPOINT_NAME).is_file()
+        assert (workdir / DICTIONARY_NAME).is_file()
+        assert (workdir / state.composed_manifest).is_file()
+        for generation in range(state.generation + 1):
+            assert (workdir / f"gen-{generation:04d}.library").is_dir()
+
+    def test_generation_counters(self, finished):
+        _, state = finished
+        assert state.generation == 2
+        assert len(state.generations) == 3
+        for stats in state.generations:
+            assert stats.survivors == stats.records_written > 0
+            assert stats.best_score <= stats.mean_score
+        evolution = state.generations[1:]
+        assert all(g.mutated + g.crossed > 0 for g in evolution)
+        assert all(g.sampled == 3 for g in evolution), "immigrants drawn"
+
+    def test_composed_library_serves_every_generation(self, finished):
+        workdir, state = finished
+        total = sum(g.records_written for g in state.generations)
+        with CorpusLibrary.open(workdir / state.composed_manifest) as library:
+            assert len(library) == total
+            records = list(library.iter_all())
+        assert all(records), "no empty records packed"
+
+    def test_composed_manifest_pins_campaign_dictionary(self, finished):
+        workdir, state = finished
+        manifest = LibraryManifest.load(workdir / state.composed_manifest)
+        identity = manifest.metadata[DICTIONARY_IDENTITY_KEY]
+        assert identity["hash"] == state.dictionary_hash
+        assert manifest.metadata["composed_from"] == [
+            f"gen-{g:04d}.library" for g in range(state.generation + 1)
+        ]
+
+    def test_monotone_selection_pressure(self, finished):
+        _, state = finished
+        best = [g.best_score for g in state.generations]
+        # Survivors carry over, so the champion can never regress.
+        assert best == sorted(best, reverse=True) or best == sorted(best)
+        assert min(best) == best[-1]
+
+    def test_top_hits_sorted_and_distinct(self, finished):
+        workdir, _ = finished
+        hits = campaign_top_hits(workdir, 8)
+        scores = [score for _, score in hits]
+        assert scores == sorted(scores)
+        assert len({smiles for smiles, _ in hits}) == len(hits)
+
+    def test_status_reads_without_source(self, finished, tmp_path):
+        workdir, state = finished
+        status = campaign_status(workdir)
+        assert status.generation == state.generation
+        assert status.counters() == state.counters()
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_bytes(self, tmp_path, corpus_file):
+        config = small_config(immigrants=2)
+        state_a = run_campaign_to(tmp_path / "a", corpus_file, config)
+        state_b = run_campaign_to(tmp_path / "b", corpus_file, config)
+        assert deterministic_stats(state_a) == deterministic_stats(state_b)
+        assert workdir_bytes(tmp_path / "a") == workdir_bytes(tmp_path / "b")
+
+    def test_score_pool_width_is_output_invariant(self, tmp_path, corpus_file):
+        serial = run_campaign_to(
+            tmp_path / "serial", corpus_file, small_config(score_jobs=1)
+        )
+        pooled = run_campaign_to(
+            tmp_path / "pooled", corpus_file, small_config(score_jobs=4)
+        )
+        assert deterministic_stats(serial) == deterministic_stats(pooled)
+        assert workdir_bytes(tmp_path / "serial") == workdir_bytes(tmp_path / "pooled")
+
+    def test_stepwise_resume_matches_uninterrupted(self, tmp_path, corpus_file):
+        config = small_config(generations=3, immigrants=2)
+        straight = run_campaign_to(tmp_path / "straight", corpus_file, config)
+        with CampaignDriver.start(corpus_file, tmp_path / "chopped", config) as d:
+            d.step()
+        with CampaignDriver.resume(tmp_path / "chopped") as d:
+            d.step()
+        with CampaignDriver.resume(tmp_path / "chopped") as d:
+            chopped = d.run()
+        assert deterministic_stats(straight) == deterministic_stats(chopped)
+        assert workdir_bytes(tmp_path / "straight") == workdir_bytes(
+            tmp_path / "chopped"
+        )
+        assert campaign_top_hits(tmp_path / "straight", 5) == campaign_top_hits(
+            tmp_path / "chopped", 5
+        )
+
+    def test_different_seeds_diverge(self, tmp_path, corpus_file):
+        state_a = run_campaign_to(tmp_path / "a", corpus_file, small_config(seed=1))
+        state_b = run_campaign_to(tmp_path / "b", corpus_file, small_config(seed=2))
+        assert deterministic_stats(state_a) != deterministic_stats(state_b)
+
+
+class TestSourceTiers:
+    def test_library_source_matches_flat_source(
+        self, tmp_path, corpus_file, corpus_library
+    ):
+        # Same records behind two reader tiers -> identical campaigns.
+        config = small_config()
+        flat = run_campaign_to(tmp_path / "flat", corpus_file, config)
+        packed = run_campaign_to(tmp_path / "packed", corpus_library, config)
+        assert deterministic_stats(flat) == deterministic_stats(packed)
+        assert workdir_bytes(tmp_path / "flat") == workdir_bytes(tmp_path / "packed")
+
+
+class TestLifecycleErrors:
+    def test_start_refuses_existing_campaign(self, tmp_path, corpus_file):
+        run_campaign_to(tmp_path / "c", corpus_file, small_config(generations=0))
+        with pytest.raises(CampaignError, match="resume"):
+            CampaignDriver.start(corpus_file, tmp_path / "c", small_config())
+
+    def test_resume_without_checkpoint_raises(self, tmp_path):
+        with pytest.raises(CampaignError, match="no campaign checkpoint"):
+            CampaignDriver.resume(tmp_path)
+
+    def test_resume_without_dictionary_raises(self, tmp_path, corpus_file):
+        run_campaign_to(tmp_path / "c", corpus_file, small_config(generations=0))
+        (tmp_path / "c" / DICTIONARY_NAME).unlink()
+        with pytest.raises(CampaignError, match="dictionary"):
+            CampaignDriver.resume(tmp_path / "c")
+
+    def test_hostile_corpus_raises(self, tmp_path):
+        corpus = tmp_path / "garbage.smi"
+        corpus.write_text("((((\n]]]]\nzzzz\n", encoding="utf-8")
+        with pytest.raises(CampaignError, match="no valid records"):
+            CampaignDriver.start(corpus, tmp_path / "camp", small_config())
+
+    def test_extend_generations_on_resume(self, tmp_path, corpus_file):
+        run_campaign_to(tmp_path / "c", corpus_file, small_config(generations=1))
+        with CampaignDriver.resume(tmp_path / "c") as driver:
+            state = driver.run(3)
+        assert state.generation == 3
+        checkpoint = json.loads(
+            (tmp_path / "c" / CHECKPOINT_NAME).read_text(encoding="utf-8")
+        )
+        assert checkpoint["config"]["generations"] == 3

@@ -1,0 +1,140 @@
+"""The acceptance criterion: kill a campaign mid-generation, resume, and get
+byte-identical results — locally and over an HTTP replica list with one
+replica SIGKILLed mid-campaign (zero failed reads)."""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.campaign import CampaignDriver, campaign_status, campaign_top_hits
+from repro.campaign.state import CHECKPOINT_NAME
+from repro.server import BackgroundServer, ServerFleet
+
+from .conftest import small_config
+from .test_driver import deterministic_stats, run_campaign_to, workdir_bytes
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+def spawn_campaign(source, workdir, *, generations, throttle):
+    """``zsmiles campaign run`` in a real subprocess we can SIGKILL."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "campaign", "run",
+            str(source), str(workdir),
+            "--population", "12", "--generations", str(generations),
+            "--seed", "7", "--score-jobs", "2",
+            "--throttle", str(throttle),
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def wait_for_checkpoint(workdir, minimum_generation, timeout=60.0):
+    """Block until ``campaign.json`` records *minimum_generation* complete."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if (workdir / CHECKPOINT_NAME).is_file():
+            try:
+                if campaign_status(workdir).generation >= minimum_generation:
+                    return
+            except Exception:
+                pass  # torn read race is impossible, but a slow FS retry is cheap
+        time.sleep(0.02)
+    raise AssertionError(f"campaign never reached generation {minimum_generation}")
+
+
+class TestLocalKillResume:
+    def test_sigkill_mid_generation_resumes_byte_identical(
+        self, tmp_path, corpus_file
+    ):
+        config = small_config(generations=3, throttle=0.0)
+        straight = run_campaign_to(tmp_path / "straight", corpus_file, config)
+
+        # The throttled twin sleeps inside every generation (after scoring,
+        # before packing), so a SIGKILL after the gen-1 checkpoint reliably
+        # lands mid-generation-2 with partial or absent gen-2 output.
+        killed_dir = tmp_path / "killed"
+        proc = spawn_campaign(
+            corpus_file, killed_dir, generations=3, throttle=0.75
+        )
+        try:
+            wait_for_checkpoint(killed_dir, minimum_generation=1)
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        interrupted = campaign_status(killed_dir)
+        assert interrupted.generation < 3, "kill landed before the finish line"
+
+        with CampaignDriver.resume(killed_dir) as driver:
+            resumed = driver.run()
+
+        assert resumed.generation == 3
+        assert deterministic_stats(resumed) == deterministic_stats(straight)
+        assert workdir_bytes(killed_dir) == workdir_bytes(tmp_path / "straight")
+        assert campaign_top_hits(killed_dir, 8) == campaign_top_hits(
+            tmp_path / "straight", 8
+        )
+
+
+class TestHttpReplicaKillResume:
+    def test_replica_sigkilled_mid_campaign_matches_local(
+        self, tmp_path, corpus_library
+    ):
+        # The oracle: the same campaign straight over the local library.
+        config = small_config(generations=3, immigrants=4)
+        local = run_campaign_to(tmp_path / "local", corpus_library, config)
+
+        # Replica A: SIGKILL-able worker process.  Replica B: stable
+        # in-thread server.  The failover client must keep every read and
+        # sample flowing across the kill.
+        with BackgroundServer(corpus_library, readers=2) as stable:
+            fleet = ServerFleet(corpus_library, workers=1)
+            fleet.start()
+            try:
+                replicas = f"{fleet.url},{stable.url}"
+                with CampaignDriver.start(
+                    replicas, tmp_path / "http", config
+                ) as driver:
+                    driver.step()  # generation 1 over both replicas
+                    fleet.kill_worker(0)  # SIGKILL mid-campaign
+                    over_http = driver.run()  # finishes on the survivor
+            finally:
+                fleet.stop()
+
+        assert over_http.generation == 3
+        assert deterministic_stats(over_http) == deterministic_stats(local)
+        assert workdir_bytes(tmp_path / "http") == workdir_bytes(tmp_path / "local")
+        assert campaign_top_hits(tmp_path / "http", 8) == campaign_top_hits(
+            tmp_path / "local", 8
+        )
+
+    def test_campaign_checkpoint_survives_replica_list_change(
+        self, tmp_path, corpus_library
+    ):
+        config = small_config(generations=2)
+        with BackgroundServer(corpus_library, readers=2) as first:
+            with CampaignDriver.start(
+                first.url, tmp_path / "camp", config
+            ) as driver:
+                driver.step()
+        # The first server is gone; resume with a replacement replica list.
+        with BackgroundServer(corpus_library, readers=2) as second:
+            with CampaignDriver.resume(
+                tmp_path / "camp", source=second.url
+            ) as driver:
+                state = driver.run()
+        assert state.generation == 2
+        assert state.source == second.url

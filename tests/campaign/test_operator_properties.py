@@ -1,0 +1,122 @@
+"""Hypothesis properties of the fragment operators as GA mutators.
+
+Three invariants the campaign's correctness leans on:
+
+* **free-valence** — every offspring's atoms still satisfy their valence
+  budget (no atom is over-bonded by an attachment or a crossover bond),
+* **canonicalisation fixpoint** — offspring converge under the curation
+  chain's ``write(parse(x))`` in one step, so the filter never rewrites a
+  record twice,
+* **purity under reuse** — operators are pure functions of ``(inputs, RNG
+  state)``: no hidden state accumulates across calls, and the parent
+  strings are never modified.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaign import crossover, mutate
+from repro.datasets import gdb17, mediate
+from repro.datasets.fragments import free_valence
+from repro.smiles import is_valid, parse, write
+
+#: Deterministic parent pool: two dataset textures plus grammar-heavy picks.
+PARENTS = tuple(
+    gdb17.generate(40, seed=5)
+    + mediate.generate(40, seed=6)
+    + ["C", "CCO", "c1ccccc1", "CC(C)Cc1ccc(cc1)C(C)C(=O)O", "N#Cc1ccccc1"]
+)
+
+parents = st.sampled_from(PARENTS)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def canonical(smiles: str) -> str:
+    return write(parse(smiles))
+
+
+class TestFreeValenceInvariant:
+    @given(parent=parents, seed=seeds)
+    @settings(max_examples=120, deadline=None)
+    def test_mutated_offspring_respects_valence(self, parent, seed):
+        child = mutate(parent, random.Random(seed))
+        if child is None:
+            return
+        graph = parse(child)
+        for idx in range(graph.atom_count()):
+            assert free_valence(graph, idx) >= 0, (parent, child, idx)
+
+    @given(a=parents, b=parents, seed=seeds)
+    @settings(max_examples=120, deadline=None)
+    def test_crossed_offspring_respects_valence(self, a, b, seed):
+        child = crossover(a, b, random.Random(seed))
+        if child is None:
+            return
+        graph = parse(child)
+        assert graph.atom_count() == parse(a).atom_count() + parse(b).atom_count()
+        for idx in range(graph.atom_count()):
+            assert free_valence(graph, idx) >= 0, (a, b, child, idx)
+
+
+class TestCanonicalisationFixpoint:
+    @given(parent=parents, seed=seeds)
+    @settings(max_examples=120, deadline=None)
+    def test_mutated_offspring_canonicalises_in_one_step(self, parent, seed):
+        child = mutate(parent, random.Random(seed))
+        if child is None:
+            return
+        assert is_valid(child)
+        once = canonical(child)
+        assert canonical(once) == once
+
+    @given(a=parents, b=parents, seed=seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_crossed_offspring_canonicalises_in_one_step(self, a, b, seed):
+        child = crossover(a, b, random.Random(seed))
+        if child is None:
+            return
+        assert is_valid(child)
+        once = canonical(child)
+        assert canonical(once) == once
+
+
+class TestOperatorPurity:
+    @given(parent=parents, seed=seeds, churn=st.integers(0, 8))
+    @settings(max_examples=80, deadline=None)
+    def test_mutate_pure_under_reuse(self, parent, seed, churn):
+        # Interleaved unrelated calls must not change what (parent, seed)
+        # produces: the operator keeps no state of its own.
+        first = mutate(parent, random.Random(seed))
+        for i in range(churn):
+            mutate(PARENTS[i % len(PARENTS)], random.Random(seed + i + 1))
+            crossover(parent, PARENTS[i % len(PARENTS)], random.Random(i))
+        assert mutate(parent, random.Random(seed)) == first
+
+    @given(a=parents, b=parents, seed=seeds)
+    @settings(max_examples=80, deadline=None)
+    def test_crossover_pure_under_reuse(self, a, b, seed):
+        first = crossover(a, b, random.Random(seed))
+        mutate(a, random.Random(seed))
+        crossover(b, a, random.Random(seed))
+        assert crossover(a, b, random.Random(seed)) == first
+
+    @given(parent=parents, seed=seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_parent_string_unchanged(self, parent, seed):
+        snapshot = str(parent)
+        mutate(parent, random.Random(seed))
+        crossover(parent, parent, random.Random(seed))
+        assert parent == snapshot
+
+    @given(parent=parents, seed=seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_rng_consumption_is_part_of_the_contract(self, parent, seed):
+        # Two RNGs with identical state stay in lockstep through an
+        # operator call — the draws depend only on the inputs.
+        rng_a, rng_b = random.Random(seed), random.Random(seed)
+        assert mutate(parent, rng_a) == mutate(parent, rng_b)
+        assert rng_a.getstate() == rng_b.getstate()

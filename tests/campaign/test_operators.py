@@ -1,0 +1,114 @@
+"""Unit tests for the GA operators: attachment rules, mutation, crossover."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.campaign import (
+    DEFAULT_MUTATION_FRAGMENTS,
+    attachment_candidates,
+    crossover,
+    mutate,
+)
+from repro.datasets.fragments import FRAGMENT_LIBRARY, free_valence
+from repro.errors import CampaignError
+from repro.smiles import is_valid, parse
+
+
+class TestAttachmentCandidates:
+    def test_methane_has_one_candidate(self):
+        assert attachment_candidates(parse("C")) == [0]
+
+    def test_halogens_excluded(self):
+        graph = parse("CF")
+        candidates = attachment_candidates(graph)
+        assert 1 not in candidates, "terminal F must not take a substituent"
+        assert 0 in candidates
+
+    def test_saturated_atoms_excluded(self):
+        # Neopentane's central carbon has no free valence.
+        graph = parse("CC(C)(C)C")
+        candidates = attachment_candidates(graph)
+        assert 1 not in candidates
+
+    def test_candidates_in_index_order(self):
+        candidates = attachment_candidates(parse("CCCC"))
+        assert candidates == sorted(candidates)
+
+    def test_every_candidate_has_free_valence(self):
+        graph = parse("CC(C)Cc1ccc(cc1)C(C)C(=O)O")
+        for idx in attachment_candidates(graph):
+            assert free_valence(graph, idx) >= 1
+
+
+class TestMutate:
+    def test_offspring_is_valid(self):
+        child = mutate("CCO", random.Random(0))
+        assert child is not None
+        assert is_valid(child)
+
+    def test_offspring_grows_by_one_fragment(self):
+        parent = "CCO"
+        rng = random.Random(3)
+        child = mutate(parent, rng)
+        assert child is not None
+        grown = parse(child).atom_count() - parse(parent).atom_count()
+        sizes = {FRAGMENT_LIBRARY[n].heavy_atoms for n in DEFAULT_MUTATION_FRAGMENTS}
+        assert grown in sizes
+
+    def test_deterministic_under_equal_rng_state(self):
+        assert mutate("CCO", random.Random(42)) == mutate("CCO", random.Random(42))
+
+    def test_unparsable_parent_rejected(self):
+        assert mutate("not-smiles(((", random.Random(0)) is None
+
+    def test_budget_rejects_growth(self):
+        parent = "CCCCCCCCCC"  # 10 heavy atoms, budget leaves no room
+        assert mutate(parent, random.Random(0), max_heavy_atoms=10) is None
+
+    def test_small_budget_limits_fragment_pool(self):
+        # Budget of 1 only admits single-atom fragments.
+        child = mutate("CCO", random.Random(5), max_heavy_atoms=4)
+        if child is not None:
+            assert parse(child).atom_count() == 4
+
+    def test_empty_fragment_pool_raises(self):
+        with pytest.raises(CampaignError):
+            mutate("CCO", random.Random(0), fragments=())
+
+    def test_fully_substituted_parent_rejected(self):
+        assert mutate("FC(F)(F)F", random.Random(0)) is None
+
+
+class TestCrossover:
+    def test_offspring_contains_both_parents(self):
+        a, b = "CCO", "c1ccccc1"
+        child = crossover(a, b, random.Random(0))
+        assert child is not None
+        assert is_valid(child)
+        expected = parse(a).atom_count() + parse(b).atom_count()
+        assert parse(child).atom_count() == expected
+
+    def test_deterministic_under_equal_rng_state(self):
+        pair = ("CCO", "CC(C)C")
+        assert crossover(*pair, random.Random(9)) == crossover(*pair, random.Random(9))
+
+    def test_unparsable_parent_rejected(self):
+        assert crossover("CCO", "][", random.Random(0)) is None
+        assert crossover("][", "CCO", random.Random(0)) is None
+
+    def test_size_budget_rejects_fusion(self):
+        assert crossover("CCCCC", "CCCCC", random.Random(0), max_heavy_atoms=9) is None
+
+    def test_saturated_parent_rejected(self):
+        # Tetrafluoromethane offers no attachment point on either side.
+        assert crossover("FC(F)(F)F", "CCO", random.Random(0)) is None
+
+    def test_parent_strings_never_mutated(self):
+        a, b = "CCO", "c1ccccc1"
+        a_copy, b_copy = str(a), str(b)
+        crossover(a, b, random.Random(1))
+        mutate(a, random.Random(1))
+        assert a == a_copy and b == b_copy

@@ -1,0 +1,129 @@
+"""The ``campaign.json`` checkpoint: RNG round-trip, atomicity, validation."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.campaign import CampaignState, GenerationStats
+from repro.campaign.state import (
+    CHECKPOINT_NAME,
+    STATE_VERSION,
+    decode_rng_state,
+    encode_rng_state,
+    generation_dir,
+)
+from repro.errors import CampaignError
+
+
+def make_state(**overrides) -> CampaignState:
+    rng = random.Random(3)
+    params = dict(
+        name="camp",
+        source="corpus.smi",
+        seed=3,
+        config={"population_size": 8},
+        generation=1,
+        rng_state=encode_rng_state(rng.getstate()),
+        dictionary_hash="abc123",
+        generations=[
+            GenerationStats(generation=0, scored=8, survivors=8, best_score=-1.5),
+            GenerationStats(generation=1, scored=16, survivors=8, best_score=-2.5),
+        ],
+    )
+    params.update(overrides)
+    return CampaignState(**params)
+
+
+class TestRngRoundTrip:
+    def test_encode_decode_identity(self):
+        rng = random.Random(99)
+        rng.random(), rng.randrange(1000)  # advance past the seed state
+        state = rng.getstate()
+        assert decode_rng_state(encode_rng_state(state)) == state
+
+    def test_restored_rng_continues_the_sequence(self):
+        rng = random.Random(5)
+        [rng.random() for _ in range(10)]
+        state = make_state(rng_state=encode_rng_state(rng.getstate()))
+        expected = [rng.random() for _ in range(5)]
+        restored = state.restore_rng()
+        assert [restored.random() for _ in range(5)] == expected
+
+    def test_json_round_trip_preserves_rng(self):
+        rng = random.Random(8)
+        rng.randrange(2**63)
+        encoded = encode_rng_state(rng.getstate())
+        rehydrated = json.loads(json.dumps(encoded))
+        assert decode_rng_state(rehydrated) == rng.getstate()
+
+    def test_malformed_rng_state_rejected(self):
+        with pytest.raises(CampaignError, match="RNG state"):
+            decode_rng_state({"not": "a list"})
+        with pytest.raises(CampaignError, match="RNG state"):
+            decode_rng_state([1, 2])
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        state = make_state()
+        state.save(tmp_path)
+        loaded = CampaignState.load(tmp_path)
+        assert loaded.as_dict() == state.as_dict()
+        assert loaded.restore_rng().random() == state.restore_rng().random()
+
+    def test_save_leaves_no_temp_file(self, tmp_path):
+        make_state().save(tmp_path)
+        assert [p.name for p in tmp_path.iterdir()] == [CHECKPOINT_NAME]
+
+    def test_save_is_sorted_and_stable(self, tmp_path):
+        state = make_state()
+        first = state.save(tmp_path).read_bytes()
+        second = state.save(tmp_path).read_bytes()
+        assert first == second
+
+    def test_missing_checkpoint_raises(self, tmp_path):
+        with pytest.raises(CampaignError, match="no campaign checkpoint"):
+            CampaignState.load(tmp_path)
+
+    def test_corrupt_checkpoint_raises(self, tmp_path):
+        (tmp_path / CHECKPOINT_NAME).write_text("{ truncated", encoding="utf-8")
+        with pytest.raises(CampaignError, match="unreadable"):
+            CampaignState.load(tmp_path)
+
+    def test_non_object_checkpoint_raises(self, tmp_path):
+        (tmp_path / CHECKPOINT_NAME).write_text("[1, 2]", encoding="utf-8")
+        with pytest.raises(CampaignError, match="not a JSON object"):
+            CampaignState.load(tmp_path)
+
+    def test_wrong_version_raises(self, tmp_path):
+        obj = make_state().as_dict()
+        obj["version"] = STATE_VERSION + 1
+        (tmp_path / CHECKPOINT_NAME).write_text(json.dumps(obj), encoding="utf-8")
+        with pytest.raises(CampaignError, match="version"):
+            CampaignState.load(tmp_path)
+
+    def test_missing_field_raises(self, tmp_path):
+        obj = make_state().as_dict()
+        del obj["rng_state"]
+        (tmp_path / CHECKPOINT_NAME).write_text(json.dumps(obj), encoding="utf-8")
+        with pytest.raises(CampaignError, match="missing"):
+            CampaignState.load(tmp_path)
+
+
+class TestStats:
+    def test_deterministic_dict_drops_wall_time(self):
+        stats = GenerationStats(generation=2, scored=10, elapsed_seconds=1.25)
+        assert "elapsed_seconds" in stats.as_dict()
+        assert "elapsed_seconds" not in stats.deterministic_dict()
+
+    def test_counters_aggregate_generations(self):
+        state = make_state()
+        counters = state.counters()
+        assert counters["scored"] == 24
+        assert counters["generations"] == 2
+
+    def test_generation_dir_layout(self, tmp_path):
+        assert generation_dir(tmp_path, 3).name == "gen-0003.library"

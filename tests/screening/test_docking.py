@@ -64,3 +64,43 @@ class TestLibraryScoring:
     def test_top_hits_negative_count_rejected(self):
         with pytest.raises(ScreeningError):
             top_hits([], -1)
+
+
+class TestTopHitsTotalOrder:
+    """The selection order is total: score, then SMILES text.
+
+    Campaign survivor selection packs ``top_hits`` output directly, so two
+    runs that score the same candidate set in different input orders must
+    select — and serialize — the identical list.
+    """
+
+    def test_equal_scores_tie_break_on_smiles(self):
+        scored = [("CCO", -2.0), ("CCN", -2.0), ("CCC", -2.0), ("C", -5.0)]
+        assert top_hits(scored, 4) == [
+            ("C", -5.0),
+            ("CCC", -2.0),
+            ("CCN", -2.0),
+            ("CCO", -2.0),
+        ]
+
+    def test_order_invariant_to_input_permutation(self):
+        scored = [("CCO", -2.0), ("CCN", -2.0), ("CCC", -3.0), ("CO", -2.0)]
+        forward = top_hits(scored, 3)
+        assert top_hits(list(reversed(scored)), 3) == forward
+        rotated = scored[2:] + scored[:2]
+        assert top_hits(rotated, 3) == forward
+
+    def test_tie_break_applies_inside_the_cut(self):
+        # Without the SMILES tie-break, which of the -2.0 entries survives a
+        # count=2 cut would depend on input order.
+        scored = [("CCO", -2.0), ("CCN", -2.0), ("C", -5.0)]
+        assert top_hits(scored, 2) == [("C", -5.0), ("CCN", -2.0)]
+        assert top_hits(list(reversed(scored)), 2) == [("C", -5.0), ("CCN", -2.0)]
+
+    def test_identical_pairs_keep_input_order(self):
+        # Fully identical (smiles, score) duplicates: stable sort keeps
+        # their relative input order.
+        first = ("CCO", -2.0)
+        second = ("CCO", -2.0)
+        hits = top_hits([first, second], 2)
+        assert hits[0] is first and hits[1] is second

@@ -108,6 +108,20 @@ class TestSampleEndpoint:
             urllib.request.urlopen(request)
         assert excinfo.value.code == 400
 
+    def test_sample_matches_local_reader_semantics(self, client, library_dir):
+        """Transport parity: the server's draw is the local ``sample()``.
+
+        A consumer sampling through ``open_reader`` must get the same
+        records for the same ``(n, seed)`` whether the URL points at a
+        local library or an HTTP replica — the campaign driver's resume
+        determinism rides on this.
+        """
+        from repro.library import CorpusLibrary
+
+        with CorpusLibrary.open(library_dir) as library:
+            for n, seed in [(5, 0), (12, 99), (1, 7), (10_000, 3)]:
+                assert client.sample(n, seed=seed) == library.sample(n, seed=seed)
+
     def test_stats_serve_dictionary_identity(self, client, library_dir):
         """/stats names the dictionary the library was packed with."""
         from repro.library import CorpusLibrary
