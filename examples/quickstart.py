@@ -32,7 +32,12 @@ unified engine surface:
    seed population, breed with the fragment operators, score, select, and
    pack every generation as a composed library — then kill it mid-run and
    resume from ``campaign.json`` to the exact same results (``zsmiles
-   campaign run`` / ``resume`` / ``status`` / ``top-hits`` on the CLI).
+   campaign run`` / ``resume`` / ``status`` / ``top-hits`` on the CLI),
+10. survive bit rot: flip bits in a copy of the shards with the seeded
+    fault harness (``repro.faults``), let ``zsmiles fsck`` pin down every
+    damaged block, and restore the shards byte-identically from a healthy
+    replica with ``fsck --repair`` — while degraded reads quarantine the
+    bad block and keep serving everything else.
 
 Migrating from the pre-engine API?  ``ZSmilesCodec.train`` →
 ``ZSmilesEngine.train``, ``codec.compress_many(xs)`` →
@@ -307,6 +312,41 @@ def main() -> None:
         f"\ncampaign:            {state.generation + 1} generations, "
         f"{state.counters()['scored']} molecules scored, resumed after an "
         f"interrupt;\n                     best hit {best_score:.3f}  {best}"
+    )
+
+    # ------------------------------------------------------------------ #
+    # 10. Disks rot: scrub and repair the packed library.  A seeded fault
+    #     schedule flips bits in a *copy* of the shards (the healthy
+    #     original plays the role of a clean replica), ``zsmiles fsck``
+    #     pins down every damaged block, and ``--repair`` restores the
+    #     shards byte-identically from the replica.  Reads of the corrupt
+    #     copy stay degraded, not dead: the bad block is quarantined and
+    #     every record outside it keeps serving.
+    # ------------------------------------------------------------------ #
+    import shutil
+
+    from repro import fsck_path, repair_path
+    from repro.faults import FaultSchedule, apply_corruptions
+
+    damaged_dir = workdir / "library_damaged"
+    shutil.copytree(library_dir, damaged_dir)
+    schedule = FaultSchedule(seed=4242)
+    plan = schedule.plan_corruptions(
+        sorted(damaged_dir.glob("*.zss")), flips=3, truncations=0
+    )
+    apply_corruptions(plan)
+
+    report = fsck_path(damaged_dir)
+    print(f"\nfsck after bit rot:  {report.summary().splitlines()[1].strip()}")
+    result = repair_path(damaged_dir, replica=library_dir)
+    assert result.after.clean, "repair must leave the library clean"
+    parity = all(
+        (damaged_dir / path.name).read_bytes() == path.read_bytes()
+        for path in sorted(library_dir.glob("*.zss"))
+    )
+    print(
+        f"fsck --repair:       restored {len(result.repaired)} shard(s) from "
+        f"the replica; byte-identical: {parity}"
     )
 
 

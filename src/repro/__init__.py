@@ -91,6 +91,7 @@ from .server import (
     CorpusClient,
     CorpusServer,
     FailoverCorpusClient,
+    RetryPolicy,
     ServerFleet,
 )
 from .curation import (
@@ -110,13 +111,16 @@ from .preprocess.pipeline import PreprocessingPipeline, make_pipeline
 from .preprocess.ring_renumber import renumber_rings
 from .store import (
     CorpusStore,
+    FsckReport,
     RecordReader,
     ShardReader,
     ShardWriter,
     StoreInfo,
+    fsck_path,
     open_reader,
     pack_file,
     pack_records,
+    repair_path,
 )
 
 __all__ = [
@@ -150,6 +154,7 @@ __all__ = [
     "CorpusClient",
     "CorpusServer",
     "FailoverCorpusClient",
+    "RetryPolicy",
     "ServerFleet",
     # Curation subsystem (streaming ingest, dictionary lifecycle, repack).
     "DictionaryIdentity",
@@ -164,13 +169,16 @@ __all__ = [
     "GenerationStats",
     # Block-compressed corpus store (.zss) and the shared reader protocol.
     "CorpusStore",
+    "FsckReport",
     "RecordReader",
     "ShardReader",
     "ShardWriter",
     "StoreInfo",
+    "fsck_path",
     "open_reader",
     "pack_file",
     "pack_records",
+    "repair_path",
     # Building blocks and legacy shims.
     "CodecStats",
     "ZSmilesCodec",

@@ -39,6 +39,7 @@ from ..errors import CampaignError
 from ..library import CorpusLibrary, compose_libraries, pack_library
 from ..library.manifest import DICTIONARY_IDENTITY_KEY
 from ..screening.docking import top_hits as rank_hits
+from ..server.retry import RetryPolicy
 from ..store import RecordReader, open_reader
 from . import operators
 from .scoring import resolve_pocket, score_many
@@ -233,11 +234,21 @@ class CampaignDriver:
     # ------------------------------------------------------------------ #
     # Lazy resources
     # ------------------------------------------------------------------ #
+    #: Retry discipline for remote corpus reads: a campaign step is long
+    #: and restartable-but-expensive, so it rides out transient replica
+    #: trouble harder than an interactive client — more rotations, longer
+    #: backoff, bounded by a total deadline instead of hanging forever.
+    REMOTE_RETRY = RetryPolicy(max_attempts=4, base_delay=0.2, deadline=60.0)
+
     @property
     def reader(self) -> RecordReader:
-        """The corpus reader, opened on first use (local or HTTP)."""
+        """The corpus reader, opened on first use (local or HTTP).
+
+        HTTP sources get :data:`REMOTE_RETRY`; local readers ignore the
+        policy (nothing to retry on a local file).
+        """
         if self._reader is None:
-            self._reader = open_reader(self.state.source)
+            self._reader = open_reader(self.state.source, retry=self.REMOTE_RETRY)
         return self._reader
 
     @property

@@ -140,20 +140,35 @@ class CampaignState:
         }
 
     def save(self, workdir: PathLike) -> Path:
-        """Atomically write ``campaign.json`` under *workdir*.
+        """Atomically and *durably* write ``campaign.json`` under *workdir*.
 
         The temp-then-``os.replace`` dance guarantees a reader (or a resume
         after SIGKILL) only ever sees a complete checkpoint — the previous
-        one or this one, never a torn write.
+        one or this one, never a torn write.  The fsyncs extend that to
+        *machine* crashes: the tmp file's bytes are forced to disk before
+        the rename makes them visible (no window where the rename survives
+        a power cut but the content doesn't), and the directory entry is
+        forced after, so the rename itself is durable too.
         """
         workdir = Path(workdir)
         path = workdir / CHECKPOINT_NAME
         tmp = workdir / (CHECKPOINT_NAME + ".tmp")
-        tmp.write_text(
-            json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n",
-            encoding="utf-8",
-        )
+        payload = json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, path)
+        try:
+            dir_fd = os.open(workdir, os.O_RDONLY)
+        except OSError:  # pragma: no cover — platforms without dir opens
+            return path
+        try:
+            os.fsync(dir_fd)
+        except OSError:  # pragma: no cover — fs without dir fsync
+            pass
+        finally:
+            os.close(dir_fd)
         return path
 
     @classmethod

@@ -21,6 +21,10 @@ needs:
 * ``zsmiles query``       — serve individual records out of a ``.zss`` store or library,
   decoding only the blocks touched (``--cache-blocks`` / ``--mmap`` tune serving;
   ``--verbose`` reports block-cache hit/miss counters).
+* ``zsmiles fsck``        — scrub a packed corpus (``repro.store.fsck``): verify footers,
+  every block CRC, manifest↔footer agreement and dictionary identities;
+  ``--repair`` restores damaged shards from a healthy ``--replica`` (byte-identical)
+  or re-packs them from the ``--source`` corpus (content-identical).
 * ``zsmiles serve``       — serve a packed corpus over HTTP (``repro.server``): single
   records, batches and chunked range streams out of an async reader pool, with
   ``/stats`` + ``/healthz`` and graceful shutdown on SIGINT/SIGTERM.
@@ -198,6 +202,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="serve block reads from a read-only memory map")
     query.add_argument("-v", "--verbose", action="store_true",
                        help="report block-cache hit/miss counters on stderr")
+
+    fsck = sub.add_parser(
+        "fsck",
+        help="scrub a packed corpus: footers, block CRCs, manifest agreement "
+             "and dictionary identities; optionally repair damaged shards",
+    )
+    fsck.add_argument("input", type=Path,
+                      help=".zss store, library directory or library.json manifest")
+    fsck.add_argument("--repair", action="store_true",
+                      help="restore damaged shards from --replica / --source")
+    fsck.add_argument("--replica", type=Path, default=None,
+                      help="healthy replica of the same layout "
+                           "(verbatim byte copy, verified clean first)")
+    fsck.add_argument("--source", type=Path, default=None,
+                      help="original .smi source corpus (content-identical "
+                           "re-pack of the damaged record range)")
+    fsck.add_argument("--json", action="store_true",
+                      help="print the machine-readable report instead of the summary")
 
     serve = sub.add_parser(
         "serve",
@@ -611,7 +633,45 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 f"{stats['cached_blocks']}/{stats['capacity']} blocks resident",
                 file=sys.stderr,
             )
+            if hasattr(store, "quarantine_stats"):
+                quarantine = store.quarantine_stats()
+                print(
+                    f"quarantine: {quarantine['quarantined_blocks']} blocks, "
+                    f"{quarantine['quarantine_hits']} hits",
+                    file=sys.stderr,
+                )
     return 0
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .store.fsck import fsck_path, repair_path
+
+    if args.repair:
+        result = repair_path(args.input, replica=args.replica, source=args.source)
+        report = result.after
+        if args.json:
+            payload = {
+                "before": result.before.as_dict(),
+                "after": result.after.as_dict(),
+                "repaired": list(result.repaired),
+                "failed": list(result.failed),
+            }
+            print(_json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            for name in result.repaired:
+                print(f"repaired {name}")
+            for name in result.failed:
+                print(f"could not repair {name}", file=sys.stderr)
+            print(report.summary())
+    else:
+        report = fsck_path(args.input)
+        if args.json:
+            print(_json.dumps(report.as_dict(), indent=2, sort_keys=True))
+        else:
+            print(report.summary())
+    return 0 if report.clean else 1
 
 
 def _pipeline_from_args(args: argparse.Namespace):
@@ -986,6 +1046,7 @@ _HANDLERS = {
     "compose": _cmd_compose,
     "unpack": _cmd_unpack,
     "query": _cmd_query,
+    "fsck": _cmd_fsck,
     "serve": _cmd_serve,
     "serve-bench": _cmd_serve_bench,
     "stats": _cmd_stats,

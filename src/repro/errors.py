@@ -108,6 +108,30 @@ class StoreFormatError(StoreError):
     """Raised when a ``.zss`` container is malformed, truncated or corrupt."""
 
 
+class BlockCorruptionError(StoreFormatError):
+    """Raised when one block of a ``.zss`` shard fails its integrity check
+    (CRC mismatch or short read) while the rest of the shard stays readable.
+
+    Carrying the shard path and block index lets the serving layers
+    *quarantine* exactly the damaged block — every record outside it keeps
+    serving — and lets ``zsmiles fsck`` name what to repair.  Replica-aware
+    clients treat it as retryable: corruption is replica-local, so another
+    replica can usually serve the same range.
+
+    Attributes
+    ----------
+    shard_path:
+        Path of the damaged shard (string; ``""`` when unknown).
+    block:
+        Zero-based index of the damaged block (``-1`` when unknown).
+    """
+
+    def __init__(self, message: str, shard_path: object = None, block: int = -1):
+        super().__init__(message)
+        self.shard_path = str(shard_path) if shard_path is not None else ""
+        self.block = block
+
+
 class LibraryError(StoreError):
     """Base class for sharded corpus-library packing and serving failures."""
 
@@ -125,7 +149,18 @@ class ProtocolError(ServerError):
 
 
 class ServerConnectionError(ServerError):
-    """Raised when the transport to a corpus server fails (died mid-stream, refused)."""
+    """Raised when the transport to a corpus server fails (died mid-stream, refused).
+
+    ``delivered`` counts records the failing call had already handed to the
+    consumer before the transport died (only meaningful for range streams;
+    ``0`` for unit requests).  Failover clients use it to resume a broken
+    stream on another replica at the first undelivered record, and consumers
+    that buffered the partial stream can trust the prefix they hold.
+    """
+
+    def __init__(self, message: str, delivered: int = 0):
+        super().__init__(message)
+        self.delivered = delivered
 
 
 class ServerBusyError(ServerError):

@@ -1,0 +1,216 @@
+"""A fault-injecting TCP proxy for the serving tier: :class:`FaultyProxy`.
+
+The proxy sits between a client and a real corpus server and injects
+transport faults per a seeded
+:class:`~repro.faults.schedule.ConnectionFaultPlan`: connection resets,
+pre-response stalls, and mid-stream drops after a scripted number of
+response bytes.  It speaks raw TCP — no HTTP awareness — so what the
+client experiences is exactly what a flaky network or a dying peer
+produces, and the typed-error contract of the clients
+(:class:`~repro.errors.ServerConnectionError` et al.) is exercised for
+real.
+
+::
+
+    plan = FaultSchedule(seed).connection_plan(connections=8, drops=2)
+    with FaultyProxy(server.url, plan) as proxy:
+        client = CorpusClient(proxy.url)
+        ...   # two of the first eight connections die mid-stream
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+from typing import Optional, Tuple
+
+from ..errors import ServerError
+from .schedule import ConnectionFault, ConnectionFaultPlan
+
+_RELAY_CHUNK = 65536
+
+
+def _parse_host_port(url: str) -> Tuple[str, int]:
+    """``http://host:port`` / ``host:port`` → ``(host, port)``."""
+    target = url
+    for scheme in ("http://", "https://"):
+        if target.startswith(scheme):
+            target = target[len(scheme):]
+            break
+    target = target.rstrip("/")
+    host, sep, port = target.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ServerError(f"cannot parse proxy backend address from {url!r}")
+    return host, int(port)
+
+
+def _hard_close(conn: socket.socket) -> None:
+    """Close with SO_LINGER 0 — an RST, not a graceful FIN."""
+    try:
+        conn.setsockopt(
+            socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+        )
+    except OSError:
+        pass
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+class FaultyProxy:
+    """Forward TCP connections to a backend, injecting scheduled faults.
+
+    Parameters
+    ----------
+    backend:
+        Backend address: an ``http://host:port`` URL or ``host:port``.
+    plan:
+        Per-connection fault plan; connections beyond the plan (or mapped
+        to ``"pass"``) relay untouched.
+    host:
+        Listen address (loopback by default; port is always ephemeral).
+    """
+
+    def __init__(
+        self,
+        backend: str,
+        plan: Optional[ConnectionFaultPlan] = None,
+        host: str = "127.0.0.1",
+    ):
+        self.backend = _parse_host_port(backend)
+        self.plan = plan if plan is not None else ConnectionFaultPlan()
+        self.host = host
+        self.port: Optional[int] = None
+        self.connections_seen = 0
+        self.faults_injected = 0
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def url(self) -> str:
+        if self.port is None:
+            raise ServerError("FaultyProxy is not started")
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "FaultyProxy":
+        if self._listener is not None:
+            raise ServerError("FaultyProxy already started")
+        self._listener = socket.create_server((self.host, 0))
+        self._listener.settimeout(0.2)
+        self.port = self._listener.getsockname()[1]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="faulty-proxy-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+            self._accept_thread = None
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+
+    def __enter__(self) -> "FaultyProxy":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # The accept / relay machinery
+    # ------------------------------------------------------------------ #
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            with self._lock:
+                ordinal = self.connections_seen
+                self.connections_seen += 1
+            fault = self.plan.fault_for(ordinal)
+            threading.Thread(
+                target=self._handle,
+                args=(conn, fault),
+                name=f"faulty-proxy-conn-{ordinal}",
+                daemon=True,
+            ).start()
+
+    def _handle(self, client: socket.socket, fault: Optional[ConnectionFault]) -> None:
+        if fault is not None and fault.kind != "pass":
+            with self._lock:
+                self.faults_injected += 1
+        if fault is not None and fault.kind == "reset":
+            _hard_close(client)
+            return
+        if fault is not None and fault.kind == "stall":
+            # The client's request may already be in flight; stall before
+            # even connecting to the backend, so nothing answers until the
+            # stall elapses (or the client times out first).
+            time.sleep(fault.arg)
+        try:
+            backend = socket.create_connection(self.backend, timeout=10.0)
+        except OSError:
+            _hard_close(client)
+            return
+        drop_after = int(fault.arg) if fault is not None and fault.kind == "drop" else None
+        done = threading.Event()
+        upstream = threading.Thread(
+            target=self._relay,
+            args=(client, backend, None, done),
+            daemon=True,
+        )
+        upstream.start()
+        # Response path runs inline so a drop can cut both sockets.
+        self._relay(backend, client, drop_after, done)
+        done.set()
+        _hard_close(client)
+        _hard_close(backend)
+        upstream.join(timeout=5.0)
+
+    @staticmethod
+    def _relay(
+        src: socket.socket,
+        dst: socket.socket,
+        drop_after: Optional[int],
+        done: threading.Event,
+    ) -> None:
+        """Pump bytes src → dst; with *drop_after*, cut the stream there."""
+        forwarded = 0
+        src.settimeout(0.2)
+        while not done.is_set():
+            try:
+                data = src.recv(_RELAY_CHUNK)
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            if not data:
+                break
+            if drop_after is not None and forwarded + len(data) > drop_after:
+                data = data[: max(0, drop_after - forwarded)]
+                if data:
+                    try:
+                        dst.sendall(data)
+                    except OSError:
+                        pass
+                break
+            try:
+                dst.sendall(data)
+            except OSError:
+                break
+            forwarded += len(data)

@@ -1,0 +1,266 @@
+"""Seeded fault planning: the same seed always injects the same faults.
+
+The planners never touch anything themselves — they return plain frozen
+fault descriptions that :func:`apply_corruptions`, :class:`~repro.faults.io.FaultyFile`
+and :class:`~repro.faults.proxy.FaultyProxy` execute.  Keeping planning
+(pure, seeded) apart from execution (side-effectful) is what makes a chaos
+run replayable: persist the seed, re-derive the identical plan.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ReproError
+
+PathLike = Union[str, Path]
+
+#: Bytes at the head of a ``.zss`` shard the default corruption plan leaves
+#: alone (the magic + version header); flipping those makes the whole shard
+#: unopenable, which is a *different* failure mode than payload corruption.
+HEADER_GUARD = 5
+
+
+# ---------------------------------------------------------------------- #
+# On-disk corruption plans (bit flips, truncations)
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class BitFlip:
+    """Flip one bit of one file: ``path[offset] ^= 1 << bit``."""
+
+    path: str
+    offset: int
+    bit: int
+
+    def describe(self) -> str:
+        return f"flip {Path(self.path).name}@{self.offset} bit {self.bit}"
+
+
+@dataclass(frozen=True)
+class Truncation:
+    """Cut a file down to ``size`` bytes (simulates a torn write)."""
+
+    path: str
+    size: int
+
+    def describe(self) -> str:
+        return f"truncate {Path(self.path).name} -> {self.size} bytes"
+
+
+def apply_corruptions(plan: Sequence[Union[BitFlip, Truncation]]) -> List[str]:
+    """Execute a corruption plan in place, returning human-readable labels.
+
+    Only ever point this at *copies* of corpus files — the golden-fixture
+    invariant forbids touching pinned bytes, and the chaos suites make
+    their own tmp copies before calling in here.
+    """
+    applied: List[str] = []
+    for fault in plan:
+        path = Path(fault.path)
+        if isinstance(fault, BitFlip):
+            data = bytearray(path.read_bytes())
+            if not 0 <= fault.offset < len(data):
+                raise ReproError(
+                    f"bit-flip offset {fault.offset} outside {path} "
+                    f"({len(data)} bytes)"
+                )
+            data[fault.offset] ^= 1 << fault.bit
+            path.write_bytes(bytes(data))
+        elif isinstance(fault, Truncation):
+            size = path.stat().st_size
+            if fault.size >= size:
+                raise ReproError(
+                    f"truncation to {fault.size} does not shrink {path} ({size} bytes)"
+                )
+            with open(path, "r+b") as handle:
+                handle.truncate(fault.size)
+        else:  # pragma: no cover - defensive
+            raise ReproError(f"unknown fault {fault!r}")
+        applied.append(fault.describe())
+    return applied
+
+
+# ---------------------------------------------------------------------- #
+# Per-read-call faults for the injectable I/O layer
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ReadFault:
+    """One scripted fault on the Nth ``read()`` call of a faulty file.
+
+    kind:
+        ``"flip"`` (xor the first byte of the result), ``"short"`` (return
+        at most ``arg`` bytes of what was asked), ``"truncate"`` (pretend
+        EOF: return ``b""``), or ``"delay"`` (sleep ``arg`` seconds, then
+        read normally).
+    """
+
+    call: int
+    kind: str
+    arg: float = 0.0
+
+
+class ReadFaultPlan:
+    """Maps read-call ordinals to scripted :class:`ReadFault` events."""
+
+    def __init__(self, faults: Sequence[ReadFault] = ()):
+        self._by_call: Dict[int, ReadFault] = {}
+        for fault in faults:
+            if fault.kind not in ("flip", "short", "truncate", "delay"):
+                raise ReproError(f"unknown read-fault kind {fault.kind!r}")
+            self._by_call[fault.call] = fault
+
+    def fault_for(self, call: int) -> Optional[ReadFault]:
+        return self._by_call.get(call)
+
+    def __len__(self) -> int:
+        return len(self._by_call)
+
+
+# ---------------------------------------------------------------------- #
+# Per-connection faults for the TCP proxy
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ConnectionFault:
+    """One scripted fault on the Nth accepted proxy connection.
+
+    kind:
+        ``"reset"`` (close the client socket immediately, RST-ish),
+        ``"stall"`` (sleep ``arg`` seconds before forwarding anything),
+        ``"drop"`` (forward ``int(arg)`` response bytes, then cut the
+        connection mid-stream), or ``"pass"`` (forward untouched).
+    """
+
+    connection: int
+    kind: str
+    arg: float = 0.0
+
+
+class ConnectionFaultPlan:
+    """Maps accepted-connection ordinals to :class:`ConnectionFault` events."""
+
+    def __init__(self, faults: Sequence[ConnectionFault] = ()):
+        self._by_connection: Dict[int, ConnectionFault] = {}
+        for fault in faults:
+            if fault.kind not in ("reset", "stall", "drop", "pass"):
+                raise ReproError(f"unknown connection-fault kind {fault.kind!r}")
+            self._by_connection[fault.connection] = fault
+
+    def fault_for(self, connection: int) -> Optional[ConnectionFault]:
+        return self._by_connection.get(connection)
+
+    def __len__(self) -> int:
+        return len(self._by_connection)
+
+
+# ---------------------------------------------------------------------- #
+# The seeded planner
+# ---------------------------------------------------------------------- #
+class FaultSchedule:
+    """Derives every fault plan of one chaos run from a single seed.
+
+    Each planner call consumes the schedule's RNG in a documented order, so
+    a chaos test that records nothing but ``seed`` replays identically.
+    """
+
+    def __init__(self, seed: int):
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    # -- on-disk corruption ------------------------------------------- #
+    def plan_corruptions(
+        self,
+        paths: Sequence[PathLike],
+        flips: int = 1,
+        truncations: int = 0,
+        guard_head: int = HEADER_GUARD,
+    ) -> List[Union[BitFlip, Truncation]]:
+        """Seeded bit flips and truncations spread over *paths*.
+
+        Flip offsets avoid the first *guard_head* bytes (the shard header)
+        so the injected faults model payload/footer rot rather than
+        unopenable files; truncations cut off at least the trailer.  Files
+        are chosen round-robin-ish by the RNG; every planned fault names a
+        concrete path + offset, so the plan is storable and replayable.
+        """
+        paths = [str(Path(p)) for p in paths]
+        if not paths:
+            raise ReproError("plan_corruptions needs at least one path")
+        sizes = {p: Path(p).stat().st_size for p in paths}
+        plan: List[Union[BitFlip, Truncation]] = []
+        for _ in range(flips):
+            path = self._rng.choice(paths)
+            size = sizes[path]
+            if size <= guard_head:
+                raise ReproError(f"{path} too small to corrupt past its header")
+            offset = self._rng.randrange(guard_head, size)
+            plan.append(BitFlip(path=path, offset=offset, bit=self._rng.randrange(8)))
+        for _ in range(truncations):
+            path = self._rng.choice(paths)
+            size = sizes[path]
+            if size <= guard_head + 1:
+                raise ReproError(f"{path} too small to truncate meaningfully")
+            cut = self._rng.randrange(guard_head + 1, size)
+            plan.append(Truncation(path=path, size=cut))
+            sizes[path] = cut
+        return plan
+
+    # -- injectable file I/O ------------------------------------------ #
+    def read_plan(
+        self,
+        calls: int,
+        flips: int = 0,
+        shorts: int = 0,
+        truncates: int = 0,
+        delays: int = 0,
+        delay_seconds: float = 0.01,
+    ) -> ReadFaultPlan:
+        """A per-read-call fault plan over the first *calls* read ordinals."""
+        wanted = flips + shorts + truncates + delays
+        if wanted > calls:
+            raise ReproError(
+                f"cannot place {wanted} faults in {calls} read calls"
+            )
+        ordinals = self._rng.sample(range(calls), wanted)
+        kinds = (
+            ["flip"] * flips + ["short"] * shorts
+            + ["truncate"] * truncates + ["delay"] * delays
+        )
+        faults = []
+        for ordinal, kind in zip(ordinals, kinds):
+            arg = delay_seconds if kind == "delay" else (
+                1.0 if kind == "short" else 0.0
+            )
+            faults.append(ReadFault(call=ordinal, kind=kind, arg=arg))
+        return ReadFaultPlan(faults)
+
+    # -- network ------------------------------------------------------- #
+    def connection_plan(
+        self,
+        connections: int,
+        resets: int = 0,
+        stalls: int = 0,
+        drops: int = 0,
+        stall_seconds: float = 0.2,
+        drop_after_bytes: int = 64,
+    ) -> ConnectionFaultPlan:
+        """A per-connection fault plan over the first *connections* accepts."""
+        wanted = resets + stalls + drops
+        if wanted > connections:
+            raise ReproError(
+                f"cannot place {wanted} faults in {connections} connections"
+            )
+        ordinals = self._rng.sample(range(connections), wanted)
+        kinds = ["reset"] * resets + ["stall"] * stalls + ["drop"] * drops
+        faults = []
+        for ordinal, kind in zip(ordinals, kinds):
+            if kind == "stall":
+                arg: float = stall_seconds
+            elif kind == "drop":
+                arg = float(drop_after_bytes)
+            else:
+                arg = 0.0
+            faults.append(ConnectionFault(connection=ordinal, kind=kind, arg=arg))
+        return ConnectionFaultPlan(faults)

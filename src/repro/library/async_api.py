@@ -120,6 +120,28 @@ class AsyncCorpusLibrary:
         """
         return self._readers[0].cache_stats()
 
+    def quarantine_stats(self) -> dict:
+        """Quarantined-block counters aggregated across the reader pool.
+
+        Quarantine state is per-reader (each pooled reader owns its shard
+        handles), so the pool aggregate sums every reader's counters and
+        unions the per-shard damaged-block lists.
+        """
+        quarantined_union: dict = {}
+        hits = 0
+        for reader in self._readers:
+            stats = reader.quarantine_stats()
+            hits += stats["quarantine_hits"]
+            for name, blocks in stats["shards"].items():
+                merged = quarantined_union.setdefault(name, set())
+                merged.update(blocks)
+        shards = {name: sorted(blocks) for name, blocks in quarantined_union.items()}
+        return {
+            "quarantined_blocks": sum(len(blocks) for blocks in shards.values()),
+            "quarantine_hits": hits,
+            "shards": shards,
+        }
+
     async def _call(self, fn: Callable[[CorpusLibrary], T]) -> T:
         """Run a blocking reader operation on a pooled reader in a thread."""
         if self._closed:

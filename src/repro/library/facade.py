@@ -115,6 +115,10 @@ class CorpusLibrary:
         """Hit/miss/occupancy snapshot of the shared decoded-block cache."""
         return self.store.cache_stats()
 
+    def quarantine_stats(self) -> dict:
+        """Quarantined-block counters (degraded-read observability)."""
+        return self.store.quarantine_stats()
+
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #

@@ -184,6 +184,31 @@ class ShardedCorpusStore(RecordAccessMixin):
         """Hit/miss/occupancy snapshot of the shared decoded-block cache."""
         return self._cache.stats()
 
+    def quarantine_stats(self) -> dict:
+        """Quarantined-block counters aggregated across opened shards.
+
+        A quarantined block is one whose integrity check failed; its reads
+        raise :class:`~repro.errors.BlockCorruptionError` while every other
+        block keeps serving.  Unopened shards contribute nothing — they
+        have not been read, so nothing can be quarantined yet.
+        """
+        quarantined = 0
+        hits = 0
+        shards: dict = {}
+        for shard_no, reader in enumerate(self._readers):
+            if reader is None:
+                continue
+            stats = reader.quarantine_stats()
+            quarantined += stats["quarantined_blocks"]
+            hits += stats["quarantine_hits"]
+            if stats["blocks"]:
+                shards[self.manifest.shards[shard_no].name] = stats["blocks"]
+        return {
+            "quarantined_blocks": quarantined,
+            "quarantine_hits": hits,
+            "shards": shards,
+        }
+
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #

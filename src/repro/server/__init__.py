@@ -35,6 +35,11 @@ fourth tier of the serving ladder documented in :mod:`repro.library`
   record.
 * :class:`AsyncCorpusClient` (:mod:`repro.server.async_client`) — the
   asyncio twin of :class:`CorpusClient` for event-loop consumers.
+* :class:`RetryPolicy` (:mod:`repro.server.retry`) — the one retry
+  discipline every client and the campaign driver share: attempts,
+  exponential backoff with jitter, optional total deadline.  Pass it as
+  ``retry=`` to any client (or :func:`repro.store.open_reader`) to tune
+  how hard transient failures are ridden out.
 
 Transport: ``/records:batch`` and range-stream responses negotiate zlib
 ``Content-Encoding: deflate`` (clients advertise it by default; identity
@@ -71,6 +76,7 @@ from .async_client import AsyncCorpusClient, AsyncFailoverCorpusClient
 from .client import DEFAULT_TIMEOUT, CorpusClient, FailoverCorpusClient
 from .fleet import ServerFleet, run_fleet
 from .protocol import PROTOCOL_VERSION, is_retryable, is_url, split_replica_urls
+from .retry import RetryPolicy, RetryState
 
 __all__ = [
     "AsyncCorpusClient",
@@ -84,6 +90,8 @@ __all__ = [
     "DEFAULT_TIMEOUT",
     "FailoverCorpusClient",
     "PROTOCOL_VERSION",
+    "RetryPolicy",
+    "RetryState",
     "ServerFleet",
     "is_retryable",
     "is_url",

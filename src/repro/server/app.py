@@ -492,6 +492,10 @@ class CorpusServer:
             else 0.0,
             "cache": self.library.cache_stats(),
             "counters": dict(self.counters),
+            # Degraded-read visibility: which blocks this replica has
+            # quarantined after integrity failures, and how often reads
+            # hit them (each hit was served by failover or failed typed).
+            "quarantine": self.library.quarantine_stats(),
             "manifest": {
                 "total_records": manifest.total_records,
                 "shard_count": manifest.shard_count,

@@ -33,6 +33,7 @@ from typing import AsyncIterator, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import ProtocolError, ReproError, ServerConnectionError, ServerError
 from . import protocol
+from .retry import RetryPolicy, RetryState
 
 #: Default per-I/O-operation timeout (seconds).
 DEFAULT_TIMEOUT = 30.0
@@ -47,6 +48,16 @@ _TRANSPORT_ERRORS = (
     OSError,
     EOFError,
 )
+
+
+async def _await_retry(state: RetryState) -> bool:
+    """Async twin of :meth:`RetryState.wait` (no blocking sleep)."""
+    delay = state.next_delay()
+    if delay is None:
+        return False
+    if delay > 0:
+        await asyncio.sleep(delay)
+    return True
 
 
 class _Response:
@@ -87,6 +98,7 @@ class AsyncCorpusClient:
         base_url: str,
         timeout: float = DEFAULT_TIMEOUT,
         compress: bool = True,
+        retry: Optional[RetryPolicy] = None,
     ):
         parsed = urllib.parse.urlsplit(base_url)
         if parsed.scheme != "http":
@@ -102,6 +114,7 @@ class AsyncCorpusClient:
         self._prefix = parsed.path.rstrip("/")
         self.timeout = timeout
         self.compress = compress
+        self.retry = retry if retry is not None else RetryPolicy()
         self._conn: Optional[Tuple[asyncio.StreamReader, asyncio.StreamWriter]] = None
         self._lock = asyncio.Lock()
         self._total: Optional[int] = None
@@ -195,7 +208,8 @@ class AsyncCorpusClient:
         async with self._lock:
             last_error: Optional[Exception] = None
             conn = None
-            for _attempt in (0, 1):
+            retry_state = self.retry.start()
+            while True:
                 try:
                     if self._conn is None:
                         self._conn = await self._open()
@@ -207,6 +221,8 @@ class AsyncCorpusClient:
                 except _TRANSPORT_ERRORS as exc:
                     last_error = exc
                     await self._drop_connection()
+                    if not await _await_retry(retry_state):
+                        break
             if conn is None:
                 raise ServerConnectionError(
                     f"request {method} {target} to {self.base_url} failed: {last_error}"
@@ -367,6 +383,7 @@ class AsyncCorpusClient:
                     f"{response.content_encoding!r}"
                 )
             pending = b""
+            delivered = 0
             try:
                 while True:
                     size_line = await asyncio.wait_for(reader.readline(), self.timeout)
@@ -399,9 +416,17 @@ class AsyncCorpusClient:
                     pending = lines.pop()
                     for line in lines:
                         yield line.decode("utf-8")
+                        delivered += 1
+            except (asyncio.TimeoutError, TimeoutError) as exc:
+                raise ServerConnectionError(
+                    f"server at {self.base_url} stalled mid-stream "
+                    f"(no data within {self.timeout}s): {exc}",
+                    delivered=delivered,
+                ) from exc
             except _TRANSPORT_ERRORS as exc:
                 raise ServerConnectionError(
-                    f"server at {self.base_url} died mid-stream: {exc}"
+                    f"server at {self.base_url} died mid-stream: {exc}",
+                    delivered=delivered,
                 ) from exc
             if inflater is not None:
                 try:
@@ -415,9 +440,11 @@ class AsyncCorpusClient:
                     pending = lines.pop()
                     for line in lines:
                         yield line.decode("utf-8")
+                        delivered += 1
             if pending:
                 raise ServerConnectionError(
-                    f"record stream from {self.base_url} ended mid-record"
+                    f"record stream from {self.base_url} ended mid-record",
+                    delivered=delivered,
                 )
         finally:
             writer.close()
@@ -458,11 +485,13 @@ class AsyncFailoverCorpusClient:
         urls: Union[str, Sequence[str]],
         timeout: float = DEFAULT_TIMEOUT,
         compress: bool = True,
+        retry: Optional[RetryPolicy] = None,
     ):
         replica_urls = protocol.split_replica_urls(urls)
         if not replica_urls:
             raise ServerError(f"no replica URLs in {urls!r}")
         self.urls: Tuple[str, ...] = tuple(replica_urls)
+        self.retry = retry if retry is not None else RetryPolicy()
         self._clients = [
             AsyncCorpusClient(url, timeout=timeout, compress=compress)
             for url in replica_urls
@@ -477,17 +506,20 @@ class AsyncFailoverCorpusClient:
 
     async def _fan(self, op):
         last_error: Optional[ReproError] = None
-        for client in self._rotation():
-            try:
-                return await op(client)
-            except ReproError as exc:
-                if not protocol.is_retryable(exc):
-                    raise
-                last_error = exc
-        raise ServerConnectionError(
-            f"all {len(self._clients)} replicas failed "
-            f"({', '.join(self.urls)}); last error: {last_error}"
-        ) from last_error
+        retry_state = self.retry.start()
+        while True:
+            for client in self._rotation():
+                try:
+                    return await op(client)
+                except ReproError as exc:
+                    if not protocol.is_retryable(exc):
+                        raise
+                    last_error = exc
+            if not await _await_retry(retry_state):
+                raise ServerConnectionError(
+                    f"all {len(self._clients)} replicas failed "
+                    f"({', '.join(self.urls)}); last error: {last_error}"
+                ) from last_error
 
     async def healthz(self) -> Dict[str, object]:
         """Liveness payload from the first replica that answers."""
@@ -523,6 +555,7 @@ class AsyncFailoverCorpusClient:
     ) -> AsyncIterator[str]:
         """Stream ``start`` … ``stop``, resuming across replica deaths."""
         delivered = 0
+        retry_state = self.retry.start()
         while True:
             progressed = False
             last_error: Optional[ReproError] = None
@@ -539,11 +572,15 @@ class AsyncFailoverCorpusClient:
                     last_error = exc
                     if progressed:
                         break  # progress resets the rotation budget
-            if not progressed:
+            if progressed:
+                retry_state.reset_progress()
+                continue
+            if not await _await_retry(retry_state):
                 raise ServerConnectionError(
                     f"all {len(self._clients)} replicas failed streaming "
                     f"[{start + delivered}, {stop}) ({', '.join(self.urls)}); "
-                    f"last error: {last_error}"
+                    f"last error: {last_error}",
+                    delivered=delivered,
                 ) from last_error
 
     async def slice(self, start: int, stop: int) -> List[str]:

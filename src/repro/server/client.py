@@ -58,6 +58,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..errors import ProtocolError, ReproError, ServerConnectionError, ServerError
 from . import protocol
+from .retry import RetryPolicy
 
 #: Default socket timeout (seconds) for every request.
 DEFAULT_TIMEOUT = 30.0
@@ -79,6 +80,11 @@ class CorpusClient:
         Advertise ``Accept-Encoding: deflate`` so the server may compress
         batch and stream responses (inflated transparently).  Identity
         responses are always accepted either way.
+    retry:
+        The :class:`~repro.server.retry.RetryPolicy` governing the
+        connect/send phase (the only phase where resending is safe).  The
+        default matches the historical behaviour: one transparent retry
+        with a short backoff.
     """
 
     def __init__(
@@ -86,6 +92,7 @@ class CorpusClient:
         base_url: str,
         timeout: float = DEFAULT_TIMEOUT,
         compress: bool = True,
+        retry: Optional[RetryPolicy] = None,
     ):
         parsed = urllib.parse.urlsplit(base_url)
         if parsed.scheme not in ("http", "https"):
@@ -99,6 +106,7 @@ class CorpusClient:
         self._prefix = parsed.path.rstrip("/")
         self.timeout = timeout
         self.compress = compress
+        self.retry = retry if retry is not None else RetryPolicy()
         self._conn: Optional[http.client.HTTPConnection] = None
         # Serializes request/response cycles on the shared keep-alive
         # connection (http.client forbids interleaving them); the local
@@ -148,14 +156,15 @@ class CorpusClient:
     ) -> http.client.HTTPResponse:
         """One request over the kept-alive connection.
 
-        The single reconnect retry covers ONLY the connect/send phase —
-        before any response byte could have been received, when resending
-        is safe.  Once the request is on the wire, a failure while reading
-        the response raises :class:`ServerConnectionError` immediately:
-        retrying there would silently issue the request twice.  The classic
-        keep-alive race is handled up front by :meth:`_connection`'s
-        staleness probe, which is what makes the narrow retry window
-        sufficient in practice.
+        The reconnect retries (governed by the client's
+        :class:`~repro.server.retry.RetryPolicy`) cover ONLY the
+        connect/send phase — before any response byte could have been
+        received, when resending is safe.  Once the request is on the wire,
+        a failure while reading the response raises
+        :class:`ServerConnectionError` immediately: retrying there would
+        silently issue the request twice.  The classic keep-alive race is
+        handled up front by :meth:`_connection`'s staleness probe, which is
+        what makes the narrow retry window sufficient in practice.
         """
         target = self._prefix + target
         request_headers = {"Accept": protocol.CONTENT_TYPE_JSON}
@@ -165,7 +174,8 @@ class CorpusClient:
             request_headers.update(headers)
         last_error: Optional[Exception] = None
         conn: Optional[http.client.HTTPConnection] = None
-        for _attempt in (0, 1):
+        retry_state = self.retry.start()
+        while True:
             try:
                 conn = self._connection()
                 conn.request(method, target, body=body, headers=request_headers)
@@ -174,6 +184,8 @@ class CorpusClient:
                 last_error = exc
                 self._drop_connection()
                 conn = None
+                if not retry_state.wait():
+                    break
         if conn is None:
             raise ServerConnectionError(
                 f"request {method} {target} to {self.base_url} failed: {last_error}"
@@ -318,8 +330,11 @@ class CorpusClient:
         One ``GET /records?start=&stop=`` request; the server answers with
         chunked transfer encoding and records are yielded as lines arrive,
         so a range larger than memory streams in constant space.  If the
-        server dies mid-stream, :class:`ServerConnectionError` is raised at
-        the point of interruption.
+        server dies or stalls mid-stream, :class:`ServerConnectionError` is
+        raised at the point of interruption with its ``delivered``
+        attribute set to the number of records already yielded — enough for
+        a caller (e.g. the failover client) to resume at
+        ``start + delivered`` elsewhere.
 
         Each stream runs on a *dedicated* connection: other threads keep
         using the shared keep-alive socket while a stream is in flight, and
@@ -357,6 +372,7 @@ class CorpusClient:
                     f"server sent unsupported Content-Encoding {encoding!r}"
                 )
             pending = b""
+            delivered = 0
             try:
                 while True:
                     # read1, not read: read(n) buffers until n bytes or EOF
@@ -383,9 +399,17 @@ class CorpusClient:
                     pending = lines.pop()
                     for line in lines:
                         yield line.decode("utf-8")
-            except (http.client.HTTPException, ConnectionError, socket.timeout, OSError) as exc:
+                        delivered += 1
+            except socket.timeout as exc:
                 raise ServerConnectionError(
-                    f"server at {self.base_url} died mid-stream: {exc}"
+                    f"server at {self.base_url} stalled mid-stream "
+                    f"(no data within {self.timeout}s): {exc}",
+                    delivered=delivered,
+                ) from exc
+            except (http.client.HTTPException, ConnectionError, OSError) as exc:
+                raise ServerConnectionError(
+                    f"server at {self.base_url} died mid-stream: {exc}",
+                    delivered=delivered,
                 ) from exc
             if inflater is not None:
                 try:
@@ -399,12 +423,14 @@ class CorpusClient:
                     pending = lines.pop()
                     for line in lines:
                         yield line.decode("utf-8")
+                        delivered += 1
             if pending:
                 # The protocol terminates every record with \n; a dangling
                 # tail means the stream was cut (e.g. the connection dropped
                 # cleanly at a chunk boundary before the terminating chunk).
                 raise ServerConnectionError(
-                    f"record stream from {self.base_url} ended mid-record"
+                    f"record stream from {self.base_url} ended mid-record",
+                    delivered=delivered,
                 )
         finally:
             conn.close()
@@ -470,6 +496,12 @@ class FailoverCorpusClient:
         (``"http://a:8765,http://b:8765"``, the CLI-friendly spelling).
     timeout, compress:
         Forwarded to each per-replica :class:`CorpusClient`.
+    retry:
+        The :class:`~repro.server.retry.RetryPolicy` governing full
+        *rotations*: when every replica fails one pass, the policy decides
+        whether (and after what backoff) to sweep the fleet again before
+        raising exhaustion.  Per-replica connect retries are separate and
+        stay at the per-client default.
     """
 
     def __init__(
@@ -477,11 +509,13 @@ class FailoverCorpusClient:
         urls: Union[str, Sequence[str]],
         timeout: float = DEFAULT_TIMEOUT,
         compress: bool = True,
+        retry: Optional[RetryPolicy] = None,
     ):
         replica_urls = protocol.split_replica_urls(urls)
         if not replica_urls:
             raise ServerError(f"no replica URLs in {urls!r}")
         self.urls: Tuple[str, ...] = tuple(replica_urls)
+        self.retry = retry if retry is not None else RetryPolicy()
         self._clients = [
             CorpusClient(url, timeout=timeout, compress=compress)
             for url in replica_urls
@@ -501,19 +535,27 @@ class FailoverCorpusClient:
         return [self._clients[(start + i) % n] for i in range(n)]
 
     def _fan(self, op):
-        """Run *op* against replicas in rotation until one answers."""
+        """Run *op* against replicas in rotation until one answers.
+
+        One rotation tries every replica once; the failover retry policy
+        decides how many rotations (with backoff in between) to spend
+        before raising exhaustion.
+        """
         last_error: Optional[ReproError] = None
-        for client in self._rotation():
-            try:
-                return op(client)
-            except ReproError as exc:
-                if not protocol.is_retryable(exc):
-                    raise
-                last_error = exc
-        raise ServerConnectionError(
-            f"all {len(self._clients)} replicas failed "
-            f"({', '.join(self.urls)}); last error: {last_error}"
-        ) from last_error
+        retry_state = self.retry.start()
+        while True:
+            for client in self._rotation():
+                try:
+                    return op(client)
+                except ReproError as exc:
+                    if not protocol.is_retryable(exc):
+                        raise
+                    last_error = exc
+            if not retry_state.wait():
+                raise ServerConnectionError(
+                    f"all {len(self._clients)} replicas failed "
+                    f"({', '.join(self.urls)}); last error: {last_error}"
+                ) from last_error
 
     # ------------------------------------------------------------------ #
     # Service endpoints
@@ -558,10 +600,12 @@ class FailoverCorpusClient:
         The stream tracks how many records it has already yielded; when the
         serving replica dies, the next replica picks up at
         ``start + delivered`` — exactly-once delivery without buffering.
-        Only a full rotation with *zero* progress raises (every replica
-        down); any progress resets the rotation budget.
+        Any progress resets the retry budget (a long stream may outlive
+        many replica deaths); only rotations with *zero* progress consume
+        it, and exhausting the policy with no progress raises.
         """
         delivered = 0
+        retry_state = self.retry.start()
         while True:
             progressed = False
             last_error: Optional[ReproError] = None
@@ -581,11 +625,15 @@ class FailoverCorpusClient:
                         # fresh failure budget rather than burning the
                         # remaining replicas of this one.
                         break
-            if not progressed:
+            if progressed:
+                retry_state.reset_progress()
+                continue
+            if not retry_state.wait():
                 raise ServerConnectionError(
                     f"all {len(self._clients)} replicas failed streaming "
                     f"[{start + delivered}, {stop}) ({', '.join(self.urls)}); "
-                    f"last error: {last_error}"
+                    f"last error: {last_error}",
+                    delivered=delivered,
                 ) from last_error
 
     def slice(self, start: int, stop: int) -> List[str]:

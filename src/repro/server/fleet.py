@@ -226,28 +226,33 @@ class ServerFleet:
             worker_port, worker_reuse = self._port, True
         else:
             worker_port, worker_reuse = 0, False
-        for worker_id in range(self.workers):
-            process = ctx.Process(
-                target=_worker_main,
-                args=(
-                    worker_id,
-                    self._source,
-                    self._codec,
-                    self._host,
-                    worker_port,
-                    worker_reuse,
-                    self._readers,
-                    self._cache_blocks,
-                    self._use_mmap,
-                    self._stream_batch,
-                    ready_queue,
-                ),
-                name=f"zsmiles-fleet-worker-{worker_id}",
-                daemon=True,
-            )
-            process.start()
-            self._processes.append(process)
+        # Everything from the first spawn onward runs under the teardown
+        # guard: a failure while spawning worker k (or while awaiting
+        # readiness) must terminate and join workers 0..k-1 — and release
+        # the placeholder port — instead of leaking live processes behind
+        # the raised startup error.
         try:
+            for worker_id in range(self.workers):
+                process = ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        worker_id,
+                        self._source,
+                        self._codec,
+                        self._host,
+                        worker_port,
+                        worker_reuse,
+                        self._readers,
+                        self._cache_blocks,
+                        self._use_mmap,
+                        self._stream_batch,
+                        ready_queue,
+                    ),
+                    name=f"zsmiles-fleet-worker-{worker_id}",
+                    daemon=True,
+                )
+                process.start()
+                self._processes.append(process)
             self._await_ready(ready_queue)
             if self.mode == "proxy":
                 self._start_proxy()

@@ -41,6 +41,7 @@ import zlib
 from typing import Dict, List, Optional, Sequence, Tuple, Type, Union
 
 from ..errors import (
+    BlockCorruptionError,
     LibraryError,
     ManifestError,
     ProtocolError,
@@ -124,6 +125,7 @@ _EXCEPTION_BY_NAME: Dict[str, Type[ReproError]] = {
         RandomAccessError,
         ProtocolError,
         ManifestError,
+        BlockCorruptionError,
         StoreFormatError,
         LibraryError,
         StoreError,
@@ -188,12 +190,17 @@ def is_retryable(exc: BaseException) -> bool:
     """Whether a failover client may retry *exc* against another replica.
 
     Transport failures (:class:`ServerConnectionError`: refused, died
-    mid-stream) and HTTP 503 (:class:`ServerBusyError`) are replica-local —
-    another replica may well answer.  Everything else (404 out-of-range,
-    400 malformed, 500 corpus trouble) would fail identically everywhere,
-    so it propagates immediately.
+    mid-stream), HTTP 503 (:class:`ServerBusyError`), and block corruption
+    (:class:`BlockCorruptionError`) are replica-local — another replica may
+    well answer; in the corruption case the other replica holds its own
+    copy of the shard bytes, so a degraded read can be healed transparently
+    by fail-over.  Everything else (404 out-of-range, 400 malformed, 500
+    corpus trouble) would fail identically everywhere, so it propagates
+    immediately.
     """
-    return isinstance(exc, (ServerBusyError, ServerConnectionError))
+    return isinstance(
+        exc, (ServerBusyError, ServerConnectionError, BlockCorruptionError)
+    )
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,144 @@
+"""The serving tier's unified retry discipline: :class:`RetryPolicy`.
+
+Every component that re-issues work after a transient failure — the sync
+and async corpus clients, both failover clients, and the campaign driver's
+remote reads — shares this one policy object instead of hand-rolled
+``for _attempt in (0, 1)`` loops.  A policy is a frozen value: attempts,
+exponential backoff with jitter, and an optional total deadline budget.
+Per-call bookkeeping lives in the mutable :class:`RetryState` the policy
+mints, so one policy instance can safely govern many concurrent calls.
+
+::
+
+    policy = RetryPolicy(max_attempts=4, base_delay=0.05, deadline=10.0)
+    state = policy.start()
+    while True:
+        try:
+            return do_call()
+        except ServerConnectionError:
+            delay = state.next_delay()
+            if delay is None:          # attempts or deadline exhausted
+                raise
+            time.sleep(delay)
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ReproError
+
+#: Matches the clients' historical behaviour: one transparent retry.
+DEFAULT_MAX_ATTEMPTS = 2
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to try, and how long to wait between tries.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total attempts including the first (``2`` = the historical
+        "retry once" behaviour; ``1`` disables retries).
+    base_delay:
+        Sleep before the first retry, in seconds.
+    multiplier:
+        Exponential growth factor between consecutive retries.
+    max_delay:
+        Upper clamp on any single sleep.
+    jitter:
+        Fraction of the computed delay added as uniform random noise
+        (``0.1`` → up to +10%), de-synchronising retry storms across
+        clients.  ``0`` makes delays fully deterministic.
+    deadline:
+        Optional total budget in seconds across all attempts of one call,
+        measured from :meth:`start`.  When the budget is spent,
+        :meth:`RetryState.next_delay` returns ``None`` even if attempts
+        remain.
+    """
+
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.1
+    deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ReproError("RetryPolicy.max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ReproError("RetryPolicy delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ReproError("RetryPolicy.multiplier must be >= 1")
+        if not 0 <= self.jitter <= 1:
+            raise ReproError("RetryPolicy.jitter must be within [0, 1]")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ReproError("RetryPolicy.deadline must be positive")
+
+    def start(self) -> "RetryState":
+        """Begin one call's retry bookkeeping (starts the deadline clock)."""
+        return RetryState(self)
+
+    def delay_for(self, retry_number: int) -> float:
+        """The base (jitter-free) delay before the Nth retry (0-based)."""
+        return min(self.max_delay, self.base_delay * (self.multiplier ** retry_number))
+
+
+class RetryState:
+    """Mutable per-call companion of a :class:`RetryPolicy`.
+
+    Tracks how many attempts have been consumed and how much of the
+    deadline budget remains; hands out the next sleep via
+    :meth:`next_delay` (``None`` = stop retrying) or sleeps itself via
+    :meth:`wait`.
+    """
+
+    def __init__(self, policy: RetryPolicy):
+        self.policy = policy
+        self.attempts = 1  # the caller is about to make the first attempt
+        self.started = time.monotonic()
+
+    @property
+    def exhausted(self) -> bool:
+        return self.attempts >= self.policy.max_attempts
+
+    def remaining_budget(self) -> Optional[float]:
+        """Seconds left of the deadline, or ``None`` when unbounded."""
+        if self.policy.deadline is None:
+            return None
+        return self.policy.deadline - (time.monotonic() - self.started)
+
+    def next_delay(self) -> Optional[float]:
+        """Consume one retry; the sleep before it, or ``None`` to give up.
+
+        ``None`` means either attempts are exhausted or the deadline budget
+        cannot cover the computed sleep.
+        """
+        if self.exhausted:
+            return None
+        delay = self.policy.delay_for(self.attempts - 1)
+        if self.policy.jitter:
+            delay += delay * self.policy.jitter * random.random()
+        budget = self.remaining_budget()
+        if budget is not None and delay >= budget:
+            return None
+        self.attempts += 1
+        return delay
+
+    def wait(self) -> bool:
+        """Sleep before the next retry; ``False`` when retries are spent."""
+        delay = self.next_delay()
+        if delay is None:
+            return False
+        if delay > 0:
+            time.sleep(delay)
+        return True
+
+    def reset_progress(self) -> None:
+        """Refill attempts after forward progress (streams that advanced)."""
+        self.attempts = 1

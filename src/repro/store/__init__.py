@@ -20,6 +20,54 @@ This module is the *single-file* layer.  Choosing a layout — flat
 corpus with async serving — is covered by the serving guide in
 :mod:`repro.library`, which builds its :class:`~repro.library.CorpusLibrary`
 facade on the readers defined here.
+
+Failure modes & recovery
+------------------------
+
+The storage layer assumes disks rot, writes tear, and replicas die; every
+defect has a *typed* detection path, a degraded-service mode, and a repair:
+
+**Bit rot inside a block payload**
+    Detected on first read: the payload's CRC-32 disagrees with the
+    footer's block table and the reader raises
+    :class:`~repro.errors.BlockCorruptionError` naming the shard path and
+    block index.  The block is *quarantined* — every other block of every
+    shard keeps serving (``get``/``get_many``/``slice`` outside the bad
+    block succeed normally) and repeat touches of the bad block fail fast
+    without re-reading the disk.  ``quarantine_stats()`` (on
+    :class:`ShardReader`, :class:`CorpusStore`, the library facades, and
+    the server's ``/stats`` payload) reports what is quarantined and how
+    often it was hit.  Replica-aware clients treat the error as retryable
+    (:func:`repro.server.protocol.is_retryable`): a read of a quarantined
+    range fails over to a replica holding clean bytes, so the fleet as a
+    whole self-heals the degraded read.
+
+**Truncated shard (torn write, partial copy)**
+    A cut inside the footer/trailer region fails
+    :func:`~repro.store.format.read_footer`'s validation chain
+    (:class:`~repro.errors.StoreFormatError` on open); a cut inside a
+    block payload surfaces as a short read →
+    :class:`~repro.errors.BlockCorruptionError` + quarantine, as above.
+
+**Finding damage before consumers do**
+    ``zsmiles fsck`` (:func:`repro.store.fsck.fsck_path`) scrubs any
+    layout — shard, library directory, composed manifest — verifying
+    footers, every block CRC, record counts, manifest↔footer agreement and
+    dictionary identities; it reports typed
+    :class:`~repro.store.fsck.FsckIssue` entries per shard/block.
+
+**Repair**
+    ``zsmiles fsck --repair`` (:func:`~repro.store.fsck.repair_path`)
+    restores damaged shards from a healthy replica (verbatim byte copy,
+    verified clean first — byte-identical restoration) or, when no replica
+    holds the bytes, re-packs the damaged shard's record range from the
+    source corpus with the dictionary embedded in a healthy sibling
+    (content-identical; the manifest is refreshed to the new layout).
+
+**Checkpoint durability** (campaign tier)
+    ``campaign.json`` checkpoints are written tmp → fsync → rename →
+    directory fsync, so a crash — process or machine — always leaves a
+    complete checkpoint, previous or current.
 """
 
 from .format import (
@@ -31,6 +79,7 @@ from .format import (
     StoreFooter,
     read_footer,
 )
+from .fsck import FsckIssue, FsckReport, RepairResult, fsck_path, repair_path
 from .protocol import RecordReader, open_reader
 from .reader import (
     DEFAULT_CACHE_BLOCKS,
@@ -60,12 +109,17 @@ __all__ = [
     "BlockCacheView",
     "BlockInfo",
     "CorpusStore",
+    "FsckIssue",
+    "FsckReport",
     "RecordReader",
+    "RepairResult",
     "ShardReader",
     "ShardWriter",
     "StoreFooter",
     "StoreInfo",
+    "fsck_path",
     "open_reader",
+    "repair_path",
     "pack_compressed_records",
     "pack_file",
     "pack_records",

@@ -1,0 +1,538 @@
+"""Corpus scrubbing and repair: the ``zsmiles fsck`` engine.
+
+:func:`fsck_path` verifies a packed corpus — a bare ``.zss`` shard, a
+library directory, or a (possibly composed) ``library.json`` manifest —
+end to end:
+
+* shard header, trailer and footer parse and checksum (``read_footer``'s
+  full validation chain),
+* every block payload's length and CRC-32 against the footer's block
+  table, and its record count against ``decode_payload``,
+* manifest ↔ footer agreement: record counts, block counts, block
+  granularity and on-disk file size per shard entry,
+* dictionary identities: the footer-pinned hash against the manifest's
+  pinned identity, and the embedded dictionary text against the
+  footer-pinned hash.
+
+Every problem becomes a typed :class:`FsckIssue` naming the shard (and
+block, where it applies) — the chaos suites assert a seeded fault plan is
+detected 100%, issue for issue.
+
+:func:`repair_path` restores damaged shards:
+
+* from a **healthy replica** holding the same record ranges — the clean
+  replica shard's bytes are copied verbatim (byte-identical restoration,
+  verified by a re-scrub), or
+* from the **source corpus** (a flat ``.smi``) — the damaged shard's
+  record range is re-packed with the dictionary embedded in a healthy
+  sibling shard, then verified clean and record-count-exact.
+"""
+
+from __future__ import annotations
+
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import ReproError, StoreError, StoreFormatError
+from .format import (
+    DICTIONARY_HASH_META_KEY,
+    DICTIONARY_META_KEY,
+    STORE_SUFFIX,
+    TRAILER_SIZE,
+    StoreFooter,
+    decode_payload,
+    payload_crc,
+    read_footer,
+)
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class FsckIssue:
+    """One verified defect: which shard, what kind, which block (if any).
+
+    kind is one of ``"missing"``, ``"footer"``, ``"block-bounds"``,
+    ``"block-short"``, ``"block-crc"``, ``"block-decode"``,
+    ``"manifest"``, ``"dictionary"``.
+    """
+
+    shard: str
+    kind: str
+    detail: str
+    block: int = -1
+
+    def describe(self) -> str:
+        where = f"{self.shard}" + (f" block {self.block}" if self.block >= 0 else "")
+        return f"[{self.kind}] {where}: {self.detail}"
+
+
+@dataclass
+class FsckReport:
+    """The outcome of one scrub: what was checked and what was wrong."""
+
+    root: str
+    layout: str  # "shard" | "library"
+    shards_checked: int = 0
+    blocks_checked: int = 0
+    records_declared: int = 0
+    issues: List[FsckIssue] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.issues
+
+    def damaged_shards(self) -> List[str]:
+        """Distinct shard names with at least one issue, in first-seen order."""
+        seen: List[str] = []
+        for issue in self.issues:
+            if issue.shard not in seen:
+                seen.append(issue.shard)
+        return seen
+
+    def summary(self) -> str:
+        lines = [
+            f"fsck {self.root} ({self.layout}): "
+            f"{self.shards_checked} shards, {self.blocks_checked} blocks, "
+            f"{self.records_declared} records declared"
+        ]
+        if self.clean:
+            lines.append("clean: no corruption found")
+        else:
+            lines.append(f"CORRUPT: {len(self.issues)} issue(s)")
+            lines.extend(f"  {issue.describe()}" for issue in self.issues)
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "root": self.root,
+            "layout": self.layout,
+            "clean": self.clean,
+            "shards_checked": self.shards_checked,
+            "blocks_checked": self.blocks_checked,
+            "records_declared": self.records_declared,
+            "issues": [
+                {
+                    "shard": issue.shard,
+                    "kind": issue.kind,
+                    "block": issue.block,
+                    "detail": issue.detail,
+                }
+                for issue in self.issues
+            ],
+        }
+
+
+# ---------------------------------------------------------------------- #
+# Scrubbing
+# ---------------------------------------------------------------------- #
+def _scrub_shard(
+    path: Path, name: str, report: FsckReport
+) -> Optional[StoreFooter]:
+    """Verify one shard file exhaustively; append issues to *report*.
+
+    Returns the parsed footer when the container structure was readable
+    (block-level issues may still have been appended), else ``None``.
+    """
+    if not path.is_file():
+        report.issues.append(
+            FsckIssue(shard=name, kind="missing", detail=f"shard file {path} missing")
+        )
+        return None
+    try:
+        with open(path, "rb") as handle:
+            footer = read_footer(handle)
+            file_size = path.stat().st_size
+            payload_end = file_size - TRAILER_SIZE
+            for number, info in enumerate(footer.blocks):
+                if info.offset + info.length > payload_end:
+                    report.issues.append(
+                        FsckIssue(
+                            shard=name,
+                            kind="block-bounds",
+                            block=number,
+                            detail=(
+                                f"block extends to {info.offset + info.length}, "
+                                f"past the payload region ({payload_end})"
+                            ),
+                        )
+                    )
+                    continue
+                handle.seek(info.offset)
+                payload = handle.read(info.length)
+                report.blocks_checked += 1
+                if len(payload) != info.length:
+                    report.issues.append(
+                        FsckIssue(
+                            shard=name,
+                            kind="block-short",
+                            block=number,
+                            detail=(
+                                f"read {len(payload)} of {info.length} payload bytes"
+                            ),
+                        )
+                    )
+                    continue
+                if payload_crc(payload) != info.crc32:
+                    report.issues.append(
+                        FsckIssue(
+                            shard=name,
+                            kind="block-crc",
+                            block=number,
+                            detail="payload CRC-32 disagrees with the footer",
+                        )
+                    )
+                    continue
+                try:
+                    decode_payload(payload, info.records)
+                except StoreFormatError as exc:
+                    report.issues.append(
+                        FsckIssue(
+                            shard=name, kind="block-decode", block=number,
+                            detail=str(exc),
+                        )
+                    )
+    except StoreFormatError as exc:
+        report.issues.append(FsckIssue(shard=name, kind="footer", detail=str(exc)))
+        return None
+    except OSError as exc:
+        report.issues.append(FsckIssue(shard=name, kind="missing", detail=str(exc)))
+        return None
+    report.shards_checked += 1
+    _scrub_dictionary(path, name, footer, report)
+    return footer
+
+
+def _scrub_dictionary(
+    path: Path, name: str, footer: StoreFooter, report: FsckReport
+) -> None:
+    """Embedded dictionary text must hash to the footer-pinned identity."""
+    from ..dictionary import serialization
+
+    declared = footer.metadata.get(DICTIONARY_HASH_META_KEY)
+    text = footer.metadata.get(DICTIONARY_META_KEY)
+    if not isinstance(text, str) or not text:
+        return
+    try:
+        table = serialization.loads(text, source=path)
+        if isinstance(declared, str) and declared:
+            serialization.verify_identity(table, declared, source=path)
+    except ReproError as exc:
+        report.issues.append(
+            FsckIssue(shard=name, kind="dictionary", detail=str(exc))
+        )
+
+
+def _check_manifest_agreement(
+    entry, footer: StoreFooter, path: Path, report: FsckReport
+) -> None:
+    """The manifest's promises about one shard must match its footer."""
+    if footer.total_records != entry.records:
+        report.issues.append(
+            FsckIssue(
+                shard=entry.name,
+                kind="manifest",
+                detail=(
+                    f"footer holds {footer.total_records} records, "
+                    f"manifest promises {entry.records}"
+                ),
+            )
+        )
+    if entry.blocks and footer.block_count != entry.blocks:
+        report.issues.append(
+            FsckIssue(
+                shard=entry.name,
+                kind="manifest",
+                detail=(
+                    f"footer holds {footer.block_count} blocks, "
+                    f"manifest promises {entry.blocks}"
+                ),
+            )
+        )
+    if entry.records_per_block and footer.records_per_block != entry.records_per_block:
+        report.issues.append(
+            FsckIssue(
+                shard=entry.name,
+                kind="manifest",
+                detail=(
+                    f"footer block granularity {footer.records_per_block}, "
+                    f"manifest promises {entry.records_per_block}"
+                ),
+            )
+        )
+    actual_bytes = path.stat().st_size
+    if entry.file_bytes and actual_bytes != entry.file_bytes:
+        report.issues.append(
+            FsckIssue(
+                shard=entry.name,
+                kind="manifest",
+                detail=(
+                    f"shard is {actual_bytes} bytes on disk, "
+                    f"manifest promises {entry.file_bytes}"
+                ),
+            )
+        )
+
+
+def _check_manifest_dictionary(manifest, entry, footer, report: FsckReport) -> None:
+    """Manifest-pinned dictionary hash vs the shard footer's pinned hash."""
+    identity = manifest.dictionary_identity()
+    if identity is None:
+        return
+    declared = footer.metadata.get(DICTIONARY_HASH_META_KEY)
+    if not isinstance(declared, str) or not declared:
+        return
+    if declared != identity.hash:
+        report.issues.append(
+            FsckIssue(
+                shard=entry.name,
+                kind="dictionary",
+                detail=(
+                    f"footer pins dictionary {declared[:12]}, manifest pins "
+                    f"{identity.short_hash}"
+                ),
+            )
+        )
+
+
+def fsck_path(path: PathLike) -> FsckReport:
+    """Scrub a packed corpus at *path* (``.zss`` / library dir / manifest)."""
+    from ..library.manifest import resolve_manifest_path, LibraryManifest
+    from ..errors import ManifestError
+
+    path = Path(path)
+    manifest_path = resolve_manifest_path(path)
+    if manifest_path is not None:
+        report = FsckReport(root=str(path), layout="library")
+        try:
+            manifest = LibraryManifest.load(manifest_path)
+        except ManifestError as exc:
+            report.issues.append(
+                FsckIssue(
+                    shard=manifest_path.name, kind="manifest", detail=str(exc)
+                )
+            )
+            return report
+        report.records_declared = manifest.total_records
+        root = manifest_path.parent
+        for entry in manifest.shards:
+            shard_path = root / entry.name
+            footer = _scrub_shard(shard_path, entry.name, report)
+            if footer is None:
+                continue
+            _check_manifest_agreement(entry, footer, shard_path, report)
+            _check_manifest_dictionary(manifest, entry, footer, report)
+        return report
+    if path.suffix == STORE_SUFFIX:
+        report = FsckReport(root=str(path), layout="shard")
+        footer = _scrub_shard(path, path.name, report)
+        if footer is not None:
+            report.records_declared = footer.total_records
+        return report
+    raise StoreError(
+        f"cannot fsck {path}: expected a {STORE_SUFFIX} shard, a library "
+        "directory, or a library.json manifest"
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Repair
+# ---------------------------------------------------------------------- #
+@dataclass
+class RepairResult:
+    """What :func:`repair_path` did: scrubs before/after, shards touched."""
+
+    before: FsckReport
+    after: FsckReport
+    repaired: List[str] = field(default_factory=list)
+    failed: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return self.after.clean
+
+
+def _shard_paths(path: Path) -> Dict[str, Tuple[Path, object]]:
+    """Map shard name → (absolute path, manifest entry or None) for a layout."""
+    from ..library.manifest import LibraryManifest, resolve_manifest_path
+
+    manifest_path = resolve_manifest_path(path)
+    if manifest_path is not None:
+        manifest = LibraryManifest.load(manifest_path)
+        root = manifest_path.parent
+        return {entry.name: (root / entry.name, entry) for entry in manifest.shards}
+    if path.suffix == STORE_SUFFIX:
+        return {path.name: (path, None)}
+    raise StoreError(f"cannot resolve shards of {path}")
+
+
+def _repack_from_source(
+    damaged_path: Path,
+    entry,
+    all_paths: Dict[str, Tuple[Path, object]],
+    source: Path,
+) -> bool:
+    """Re-pack one damaged shard's record range from a flat source corpus.
+
+    The dictionary and footer metadata template come from a healthy sibling
+    shard (the damaged footer may be unreadable).  A shard stores records
+    *after* preprocessing, and the pipeline is not recorded in the shard —
+    so it is calibrated against the sibling: whichever candidate pipeline
+    maps the sibling's source lines onto the sibling's actual readback is
+    the one the original pack used, and the damaged range is re-packed with
+    it.  Content parity (record for record) is the hard guarantee on this
+    path; byte parity is not, because parse-strategy details may differ.
+    """
+    from ..core.codec import ZSmilesCodec
+    from ..core.streaming import read_lines
+    from ..engine.engine import ZSmilesEngine
+    from ..preprocess.pipeline import make_pipeline
+    from ..store.reader import ShardReader
+    from ..store.writer import DEFAULT_RECORDS_PER_BLOCK, pack_records
+
+    if entry is None:
+        return False  # a bare shard has no sibling to borrow a codec from
+    template = None
+    for name, (sibling_path, sibling_entry) in all_paths.items():
+        if sibling_path == damaged_path or sibling_entry is None:
+            continue
+        try:
+            with ShardReader(sibling_path) as sibling:
+                if sibling.codec is None:
+                    continue
+                probe_count = min(sibling_entry.records, 32)
+                readback = [sibling[i] for i in range(probe_count)]
+                template = (
+                    sibling.codec.table,
+                    dict(sibling.metadata),
+                    sibling_entry.start,
+                    readback,
+                )
+                break
+        except ReproError:
+            continue
+    if template is None:
+        return False
+    table, metadata, probe_start, probe_readback = template
+    embed = DICTIONARY_META_KEY in metadata
+    metadata.pop(DICTIONARY_META_KEY, None)
+    if "shard" in metadata:
+        metadata["shard"] = list(all_paths).index(entry.name)
+
+    wanted = {}
+    for number, line in enumerate(read_lines(source)):
+        if probe_start <= number < probe_start + len(probe_readback):
+            wanted.setdefault("probe", []).append(line)
+        if entry.start <= number < entry.stop:
+            wanted.setdefault("records", []).append(line)
+        if number >= max(entry.stop, probe_start + len(probe_readback)):
+            break
+    records = wanted.get("records", [])
+    probe_lines = wanted.get("probe", [])
+    if len(records) != entry.records:
+        return False
+
+    pipeline = None
+    for candidate in (
+        make_pipeline(False),
+        make_pipeline(True, "innermost"),
+        make_pipeline(True, "outermost"),
+    ):
+        if [candidate(line) for line in probe_lines] == probe_readback:
+            pipeline = candidate
+            break
+    if pipeline is None:
+        return False  # source corpus does not reproduce the library's records
+
+    codec = ZSmilesCodec(table, pipeline=pipeline)
+    with ZSmilesEngine.from_codec(codec, backend="kernel") as engine:
+        pack_records(
+            damaged_path,
+            records,
+            engine,
+            records_per_block=entry.records_per_block or DEFAULT_RECORDS_PER_BLOCK,
+            metadata=metadata,
+            embed_dictionary=embed,
+        )
+    return True
+
+
+def repair_path(
+    path: PathLike,
+    replica: Optional[PathLike] = None,
+    source: Optional[PathLike] = None,
+) -> RepairResult:
+    """Scrub *path* and restore its damaged shards.
+
+    Parameters
+    ----------
+    path:
+        The damaged layout (``.zss`` / library dir / manifest).
+    replica:
+        A healthy layout holding the same shards (same names, same record
+        ranges) — typically another serving replica of the same library.
+        Damaged shards are restored by copying the replica's bytes after
+        the replica shard itself scrubs clean (byte-identical repair).
+    source:
+        A flat source corpus (``.smi``): damaged shards are re-packed from
+        their record ranges with a healthy sibling's dictionary.  Used for
+        shards the replica could not fix (or when no replica is given).
+    """
+    path = Path(path)
+    before = fsck_path(path)
+    repaired: List[str] = []
+    failed: List[str] = []
+    repacked = False
+    if not before.clean:
+        damaged = before.damaged_shards()
+        shard_map = _shard_paths(path)
+        replica_map = _shard_paths(Path(replica)) if replica is not None else {}
+        for name in damaged:
+            if name not in shard_map:
+                failed.append(name)  # manifest-level issue, not a shard file
+                continue
+            damaged_shard_path, entry = shard_map[name]
+            fixed = False
+            if name in replica_map:
+                replica_shard_path, _ = replica_map[name]
+                probe = FsckReport(root=str(replica_shard_path), layout="shard")
+                if _scrub_shard(replica_shard_path, name, probe) is not None and probe.clean:
+                    shutil.copyfile(replica_shard_path, damaged_shard_path)
+                    fixed = True
+            if not fixed and source is not None:
+                try:
+                    fixed = _repack_from_source(
+                        damaged_shard_path, entry, shard_map, Path(source)
+                    )
+                    repacked = repacked or fixed
+                except ReproError:
+                    fixed = False
+            (repaired if fixed else failed).append(name)
+        if repacked:
+            _refresh_manifest(path, shard_map)
+    after = fsck_path(path)
+    return RepairResult(before=before, after=after, repaired=repaired, failed=failed)
+
+
+def _refresh_manifest(path: Path, shard_map: Dict[str, Tuple[Path, object]]) -> None:
+    """Re-derive the manifest's per-shard facts after a source re-pack.
+
+    A re-packed shard is equivalent record for record but not byte for byte
+    (the original pack's preprocessing pipeline is not recoverable from the
+    embedded dictionary), so block layout and file sizes may legitimately
+    change.  A replica repair copies bytes verbatim and never needs this.
+    """
+    from ..library.manifest import LibraryManifest, resolve_manifest_path
+
+    manifest_path = resolve_manifest_path(path)
+    if manifest_path is None:
+        return
+    old = LibraryManifest.load(manifest_path)
+    rebuilt = LibraryManifest.from_shards(
+        [shard_map[entry.name][0] for entry in old.shards],
+        metadata=dict(old.metadata),
+        root=manifest_path.parent,
+    )
+    rebuilt.save(manifest_path)

@@ -84,7 +84,9 @@ class RecordReader(Protocol):
 
 
 def open_reader(
-    path: Union[PathLike, Sequence[str]], codec: Optional[ZSmilesCodec] = None
+    path: Union[PathLike, Sequence[str]],
+    codec: Optional[ZSmilesCodec] = None,
+    retry: Optional[object] = None,
 ) -> RecordReader:
     """Open the right :class:`RecordReader` for *path*.
 
@@ -99,6 +101,11 @@ def open_reader(
     open as a :class:`CorpusStore`; anything else opens as the flat
     :class:`RandomAccessReader` fallback (building its line index on the
     fly when no ``.zsx`` sidecar is supplied).
+
+    *retry* (a :class:`~repro.server.retry.RetryPolicy`) governs transient
+    failure handling of the HTTP readers — connect retries for a single
+    client, rotation budget for a failover client.  Local readers never
+    retry, so the argument is ignored for file-backed paths.
     """
     # URL check runs on the raw string: Path() would collapse the "//" and
     # destroy the scheme.  Imported lazily — repro.server sits on top of
@@ -110,10 +117,10 @@ def open_reader(
         if len(replica_urls) > 1:
             from ..server.client import FailoverCorpusClient
 
-            return FailoverCorpusClient(replica_urls)
+            return FailoverCorpusClient(replica_urls, retry=retry)
         from ..server.client import CorpusClient
 
-        return CorpusClient(replica_urls[0])
+        return CorpusClient(replica_urls[0], retry=retry)
     path = Path(path)
     # Imported lazily: repro.library sits on top of this module.
     from ..library import CorpusLibrary, resolve_manifest_path

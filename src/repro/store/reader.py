@@ -27,7 +27,7 @@ from typing import BinaryIO, Dict, Hashable, Iterator, List, Optional, Sequence,
 
 from ..core.codec import ZSmilesCodec
 from ..dictionary import serialization
-from ..errors import RandomAccessError, StoreError, StoreFormatError
+from ..errors import BlockCorruptionError, RandomAccessError, StoreError, StoreFormatError
 from .format import (
     DICTIONARY_HASH_META_KEY,
     DICTIONARY_META_KEY,
@@ -259,6 +259,11 @@ class ShardReader(RecordAccessMixin):
         self._kernel = None  # lazy BlockKernel, rebuilt if the codec is swapped
         self.blocks_decoded = 0
         self.bytes_read = 0
+        # Quarantine: blocks that failed an integrity check.  Re-reads fail
+        # fast with the remembered error instead of re-touching the disk —
+        # every record *outside* a quarantined block keeps serving.
+        self._quarantined: Dict[int, str] = {}
+        self.quarantine_hits = 0
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -329,6 +334,21 @@ class ShardReader(RecordAccessMixin):
         """Decoded-block cache counters (shared aggregates for pooled caches)."""
         return self._cache.stats()
 
+    def quarantine_stats(self) -> Dict[str, object]:
+        """Quarantined-block counters: degraded-read observability.
+
+        ``quarantined_blocks`` counts distinct blocks that failed integrity
+        checks; ``quarantine_hits`` counts reads refused fast because their
+        block was already quarantined; ``blocks`` lists the damaged block
+        indices in order.
+        """
+        with self._io_lock:
+            return {
+                "quarantined_blocks": len(self._quarantined),
+                "quarantine_hits": self.quarantine_hits,
+                "blocks": sorted(self._quarantined),
+            }
+
     def __len__(self) -> int:
         return self.footer.total_records
 
@@ -352,6 +372,7 @@ class ShardReader(RecordAccessMixin):
         block = self.block_of(index)
         stored = self._raw_cache.get(block)
         if stored is None:
+            self._check_quarantine(block)
             stored = self._load_payload(block)
             self._raw_cache.put(block, stored)
         return stored[index - block * self.records_per_block]
@@ -394,18 +415,36 @@ class ShardReader(RecordAccessMixin):
                 self._handle.seek(info.offset)
                 payload = self._handle.read(info.length)
         if len(payload) != info.length:
-            raise StoreFormatError(f"block {block}: short read; truncated shard")
+            raise self._quarantine(block, f"block {block}: short read; truncated shard")
         if self.verify_checksums and payload_crc(payload) != info.crc32:
-            raise StoreFormatError(f"block {block}: checksum mismatch; corrupt shard")
+            raise self._quarantine(
+                block, f"block {block}: checksum mismatch; corrupt shard"
+            )
         with self._io_lock:
             self.bytes_read += len(payload)
         return decode_payload(payload, info.records)
+
+    def _quarantine(self, block: int, message: str) -> BlockCorruptionError:
+        """Remember *block* as damaged and build its typed error."""
+        with self._io_lock:
+            self._quarantined.setdefault(block, message)
+        return BlockCorruptionError(message, shard_path=self.path, block=block)
+
+    def _check_quarantine(self, block: int) -> None:
+        """Fail fast if *block* is already quarantined (no disk touch)."""
+        with self._io_lock:
+            message = self._quarantined.get(block)
+            if message is None:
+                return
+            self.quarantine_hits += 1
+        raise BlockCorruptionError(message, shard_path=self.path, block=block)
 
     def _block_records(self, block: int) -> List[str]:
         """Decoded (decompressed) records of one block, LRU-cached."""
         cached = self._cache.get(block)
         if cached is not None:
             return cached
+        self._check_quarantine(block)
         stored = self._load_payload(block)
         if self.codec is not None:
             records = self._decompress_block(stored)
@@ -511,6 +550,19 @@ class CorpusStore(RecordAccessMixin):
         """The stored (compressed) record at global *index*."""
         shard, local = self._locate(index)
         return shard.get_raw(local)
+
+    def quarantine_stats(self) -> Dict[str, object]:
+        """Aggregate quarantined-block counters across every shard."""
+        stats = [shard.quarantine_stats() for shard in self.shards]
+        return {
+            "quarantined_blocks": sum(s["quarantined_blocks"] for s in stats),
+            "quarantine_hits": sum(s["quarantine_hits"] for s in stats),
+            "shards": {
+                shard_no: s["blocks"]
+                for shard_no, s in enumerate(stats)
+                if s["blocks"]
+            },
+        }
 
     def iter_all(self) -> Iterator[str]:
         """Iterate over every record of every shard, in order."""

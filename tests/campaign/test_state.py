@@ -78,6 +78,27 @@ class TestPersistence:
         make_state().save(tmp_path)
         assert [p.name for p in tmp_path.iterdir()] == [CHECKPOINT_NAME]
 
+    def test_save_fsyncs_the_checkpoint_and_its_directory(
+        self, tmp_path, monkeypatch
+    ):
+        """Crash durability: tmp → fsync → rename → directory fsync, so a
+        kill at any instant leaves a complete checkpoint (old or new)."""
+        import os
+
+        synced = []
+        real_fsync = os.fsync
+
+        def recording_fsync(fd):
+            synced.append(fd)
+            return real_fsync(fd)
+
+        monkeypatch.setattr("repro.campaign.state.os.fsync", recording_fsync)
+        make_state().save(tmp_path)
+        # One fsync for the tmp payload, one for the containing directory.
+        assert len(synced) >= 2
+        assert CampaignState.load(tmp_path).name == "camp"
+        assert [p.name for p in tmp_path.iterdir()] == [CHECKPOINT_NAME]
+
     def test_save_is_sorted_and_stable(self, tmp_path):
         state = make_state()
         first = state.save(tmp_path).read_bytes()

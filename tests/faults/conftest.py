@@ -1,0 +1,69 @@
+"""Shared fixtures for the fault-injection suites.
+
+One pristine multi-shard library is packed per module; tests that corrupt
+bytes always work on their own tmp copies (the golden-fixture invariant:
+pinned bytes are never touched).
+
+The fault-schedule seed is pinned — ``ZSMILES_FAULT_SEED`` overrides it, and
+CI exports the same value — so every run replays the identical fault plan.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+
+import pytest
+
+from repro.engine import ZSmilesEngine
+from repro.library import pack_library
+
+#: The one seed every chaos plan in the suite derives from.
+FAULT_SEED = int(os.environ.get("ZSMILES_FAULT_SEED", "20240917"))
+
+
+@pytest.fixture(scope="module")
+def corpus(mixed_corpus_small):
+    """120 records across 3 shards: small, fast, multi-shard."""
+    return mixed_corpus_small[:120]
+
+
+@pytest.fixture(scope="module")
+def engine(plain_codec):
+    """Serial engine over the no-preprocessing codec (byte-exact round trips)."""
+    with ZSmilesEngine.from_codec(plain_codec, backend="serial") as eng:
+        yield eng
+
+
+@pytest.fixture(scope="module")
+def pristine_library(tmp_path_factory, corpus, engine):
+    """A 3-shard library over the corpus (blocks of 8).  Never corrupted."""
+    directory = tmp_path_factory.mktemp("faults_lib") / "corpus.library"
+    pack_library(directory, corpus, engine, shards=3, records_per_block=8)
+    return directory
+
+
+@pytest.fixture(scope="module")
+def pristine_shard(tmp_path_factory, corpus, engine):
+    """A single 5-block ``.zss`` shard of 40 records.  Never corrupted."""
+    from repro.store import pack_records
+
+    path = tmp_path_factory.mktemp("faults_shard") / "corpus.zss"
+    pack_records(path, corpus[:40], engine, records_per_block=8)
+    return path
+
+
+@pytest.fixture()
+def library_copy(pristine_library, tmp_path):
+    """A per-test scratch copy of the library, safe to corrupt."""
+    target = tmp_path / "scratch.library"
+    shutil.copytree(pristine_library, target)
+    return target
+
+
+@pytest.fixture()
+def shard_copy(pristine_shard, tmp_path):
+    """A per-test scratch copy of the shard, safe to corrupt."""
+    target = tmp_path / "scratch.zss"
+    shutil.copyfile(pristine_shard, target)
+    return target

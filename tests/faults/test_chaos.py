@@ -1,0 +1,175 @@
+"""The chaos acceptance suite.
+
+Seeded bit flips and truncations land on *copies* of a packed library's
+shards; one serving replica is SIGKILLed mid-campaign; a fault-injecting
+proxy resets and drops connections on another.  The pinned outcomes:
+
+* ``fsck`` detects 100% of the injected corruptions (every faulted shard is
+  flagged, no clean shard is),
+* ``fsck --repair`` restores the damaged shards byte-identically from a
+  healthy replica,
+* a GA campaign over the faulty replica set completes with byte-identical
+  composed manifests, stats and top-hits versus the fault-free run.
+
+The fault-schedule seed is pinned (``ZSMILES_FAULT_SEED``), so CI replays
+the identical corruption plan every run.
+"""
+
+from __future__ import annotations
+
+import random
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.core.codec import ZSmilesCodec
+from repro.engine import ZSmilesEngine
+from repro.faults import (
+    BitFlip,
+    FaultSchedule,
+    FaultyProxy,
+    apply_corruptions,
+)
+from repro.library import pack_library
+from repro.server import BackgroundServer, ServerFleet
+from repro.store import fsck_path, read_footer, repair_path
+
+from ..campaign.conftest import small_config
+from ..campaign.test_driver import (
+    deterministic_stats,
+    run_campaign_to,
+    workdir_bytes,
+)
+from .conftest import FAULT_SEED
+
+
+@pytest.fixture(scope="module")
+def chaos_corpus(gdb_corpus):
+    """Valid SMILES (the GA operators breed over them)."""
+    return list(gdb_corpus)
+
+
+@pytest.fixture(scope="module")
+def chaos_library(tmp_path_factory, chaos_corpus):
+    """The pristine 3-shard library every chaos scenario copies from."""
+    directory = tmp_path_factory.mktemp("chaos_lib") / "corpus.library"
+    codec = ZSmilesCodec.train(chaos_corpus, preprocessing=True, lmax=8)
+    with ZSmilesEngine.from_codec(codec, backend="kernel") as engine:
+        pack_library(directory, chaos_corpus, engine, shards=3, records_per_block=16)
+    return directory
+
+
+class TestSeededCorruptionDetectionAndRepair:
+    def test_fsck_detects_every_injected_fault_and_repairs_byte_identical(
+        self, chaos_library, tmp_path
+    ):
+        faulty = tmp_path / "faulty.library"
+        replica = tmp_path / "replica.library"
+        shutil.copytree(chaos_library, faulty)
+        shutil.copytree(chaos_library, replica)
+
+        schedule = FaultSchedule(FAULT_SEED)
+        plan = schedule.plan_corruptions(
+            sorted(faulty.glob("*.zss")), flips=3, truncations=1
+        )
+        applied = apply_corruptions(plan)
+        assert len(applied) == 4
+        faulted_shards = {Path(fault.path).name for fault in plan}
+
+        # Detection: exactly the faulted shards are flagged — every injected
+        # corruption found, no healthy shard accused.
+        report = fsck_path(faulty)
+        assert not report.clean
+        assert set(report.damaged_shards()) == faulted_shards
+
+        # Repair from the healthy replica: byte-identical restoration.
+        result = repair_path(faulty, replica=replica)
+        assert result.clean
+        assert not result.failed
+        assert set(result.repaired) == faulted_shards
+        for shard in sorted(chaos_library.glob("*.zss")):
+            assert (faulty / shard.name).read_bytes() == shard.read_bytes()
+        assert (
+            (faulty / "library.json").read_bytes()
+            == (chaos_library / "library.json").read_bytes()
+        )
+
+    def test_repair_without_any_source_reports_failure(
+        self, chaos_library, tmp_path
+    ):
+        faulty = tmp_path / "faulty.library"
+        shutil.copytree(chaos_library, faulty)
+        plan = FaultSchedule(FAULT_SEED).plan_corruptions(
+            sorted(faulty.glob("*.zss")), flips=1
+        )
+        apply_corruptions(plan)
+        result = repair_path(faulty)  # nothing to restore from
+        assert not result.clean
+        assert result.failed and not result.repaired
+
+
+class TestCampaignOverFaultyReplicas:
+    def test_campaign_completes_byte_identical_despite_chaos(
+        self, chaos_library, tmp_path
+    ):
+        # The oracle: the same campaign straight over the local library.
+        config = small_config(generations=3, immigrants=4)
+        local = run_campaign_to(tmp_path / "local", chaos_library, config)
+
+        # Replica 1: a library copy with a corrupted shard, behind a proxy
+        # scripted to reset and drop connections (stream cuts + quarantined
+        # blocks force failovers).  Replica 2: a SIGKILL-able fleet worker.
+        # Replica 3: a stable in-thread server over clean bytes.
+        damaged = tmp_path / "damaged.library"
+        shutil.copytree(chaos_library, damaged)
+        schedule = FaultSchedule(FAULT_SEED)
+        # Corrupt *block payloads* specifically (seeded choice of block and
+        # offset): payload rot is the replica-local, retryable failure mode
+        # — the campaign's reads of the bad block must fail over, while a
+        # torn footer would be a fatal open error, a different scenario
+        # (covered by the fsck detection test above).
+        rng = random.Random(FAULT_SEED)
+        for shard in sorted(damaged.glob("*.zss"))[:2]:
+            with open(shard, "rb") as handle:
+                block = rng.choice(read_footer(handle).blocks)
+            apply_corruptions(
+                [
+                    BitFlip(
+                        path=str(shard),
+                        offset=block.offset + rng.randrange(block.length),
+                        bit=rng.randrange(8),
+                    )
+                ]
+            )
+        connection_faults = schedule.connection_plan(
+            connections=12, resets=2, drops=2, stalls=1, stall_seconds=0.1
+        )
+
+        with BackgroundServer(damaged, readers=2) as shaky, BackgroundServer(
+            chaos_library, readers=2
+        ) as stable:
+            fleet = ServerFleet(chaos_library, workers=1)
+            fleet.start()
+            try:
+                with FaultyProxy(shaky.url, connection_faults) as proxy:
+                    replicas = f"{proxy.url},{fleet.url},{stable.url}"
+                    from repro.campaign import CampaignDriver
+
+                    with CampaignDriver.start(
+                        replicas, tmp_path / "chaos", config
+                    ) as driver:
+                        driver.step()  # generation 1 across all replicas
+                        fleet.kill_worker(0)  # SIGKILL one replica
+                        chaotic = driver.run()  # finishes on the survivors
+            finally:
+                fleet.stop()
+
+        assert chaotic.generation == 3
+        assert deterministic_stats(chaotic) == deterministic_stats(local)
+        assert workdir_bytes(tmp_path / "chaos") == workdir_bytes(tmp_path / "local")
+        from repro.campaign import campaign_top_hits
+
+        assert campaign_top_hits(tmp_path / "chaos", 8) == campaign_top_hits(
+            tmp_path / "local", 8
+        )

@@ -1,0 +1,128 @@
+"""The fault-injecting TCP proxy: transport faults produce typed client errors.
+
+A :class:`FaultyProxy` sits between a real :class:`BackgroundServer` and the
+clients; the plans script resets, stalls and mid-stream drops per accepted
+connection.  What these pin: typed :class:`ServerConnectionError` outcomes
+(with ``delivered`` on streams), and the failover client healing every
+injected fault against a clean replica.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServerConnectionError
+from repro.faults import (
+    ConnectionFault,
+    ConnectionFaultPlan,
+    FaultyProxy,
+)
+from repro.server import (
+    BackgroundServer,
+    CorpusClient,
+    FailoverCorpusClient,
+    RetryPolicy,
+)
+
+
+@pytest.fixture(scope="module")
+def server(pristine_library):
+    with BackgroundServer(pristine_library, readers=2, stream_batch=16) as srv:
+        yield srv
+
+
+class TestPassThrough:
+    def test_unplanned_connections_relay_untouched(self, server, corpus):
+        with FaultyProxy(server.url) as proxy:
+            with CorpusClient(proxy.url, timeout=10.0) as client:
+                assert client.get(0) == corpus[0]
+                assert client.get_many([5, 50, 119]) == [
+                    corpus[5], corpus[50], corpus[119]
+                ]
+                assert list(client.iter_range(0, 30)) == corpus[:30]
+            assert proxy.connections_seen >= 1
+            assert proxy.faults_injected == 0
+
+    def test_pass_fault_kind_relays_untouched(self, server, corpus):
+        plan = ConnectionFaultPlan([ConnectionFault(connection=0, kind="pass")])
+        with FaultyProxy(server.url, plan) as proxy:
+            with CorpusClient(proxy.url, timeout=10.0) as client:
+                assert client.get(7) == corpus[7]
+            assert proxy.faults_injected == 0
+
+
+class TestInjectedFaults:
+    def test_reset_connection_raises_typed_error(self, server, corpus):
+        # max_attempts=1 disables the transparent connect-phase retry: the
+        # reset must surface as a typed error no matter which phase of the
+        # request it lands in (send vs response is a kernel-timing race).
+        plan = ConnectionFaultPlan([ConnectionFault(connection=0, kind="reset")])
+        with FaultyProxy(server.url, plan) as proxy:
+            with CorpusClient(
+                proxy.url, timeout=5.0, retry=RetryPolicy(max_attempts=1)
+            ) as client:
+                with pytest.raises(ServerConnectionError):
+                    client.get(0)
+                # The next connection is unplanned and sails through.
+                assert client.get(0) == corpus[0]
+            assert proxy.faults_injected == 1
+
+    def test_default_policy_rides_out_a_reset(self, server, corpus):
+        """With the stock policy the reset is healed by the built-in retry
+        when it lands in the connect/send phase — and either way the caller
+        ends up with the record or a typed error, never an untyped crash."""
+        plan = ConnectionFaultPlan([ConnectionFault(connection=0, kind="reset")])
+        with FaultyProxy(server.url, plan) as proxy:
+            with CorpusClient(proxy.url, timeout=5.0) as client:
+                try:
+                    assert client.get(0) == corpus[0]
+                except ServerConnectionError:
+                    pass  # reset landed post-send: typed, not retried
+                assert client.get(0) == corpus[0]
+
+    def test_stall_beyond_timeout_raises_typed_error(self, server):
+        plan = ConnectionFaultPlan(
+            [ConnectionFault(connection=0, kind="stall", arg=2.0)]
+        )
+        with FaultyProxy(server.url, plan) as proxy:
+            with CorpusClient(proxy.url, timeout=0.3) as client:
+                with pytest.raises(ServerConnectionError):
+                    client.get(0)
+
+    def test_drop_mid_stream_carries_delivered_count(self, server, corpus):
+        # Cut the response after ~enough bytes for headers + some records:
+        # the stream dies mid-flight and the typed error reports how many
+        # records were already yielded (the failover resume arithmetic).
+        plan = ConnectionFaultPlan(
+            [ConnectionFault(connection=0, kind="drop", arg=400.0)]
+        )
+        with FaultyProxy(server.url, plan) as proxy:
+            with CorpusClient(proxy.url, timeout=5.0, compress=False) as client:
+                delivered = 0
+                with pytest.raises(ServerConnectionError) as excinfo:
+                    for record in client.iter_range(0, 120):
+                        assert record == corpus[delivered]
+                        delivered += 1
+                assert excinfo.value.delivered == delivered
+                assert delivered < 120
+
+    def test_failover_client_heals_every_injected_fault(self, server, corpus):
+        # One replica behind a proxy scripted to reset, stall and drop; the
+        # other replica clean.  The failover client must deliver every
+        # record byte-identically regardless of which faults fire.
+        plan = ConnectionFaultPlan(
+            [
+                ConnectionFault(connection=0, kind="reset"),
+                ConnectionFault(connection=1, kind="drop", arg=300.0),
+                ConnectionFault(connection=2, kind="reset"),
+            ]
+        )
+        with FaultyProxy(server.url, plan) as proxy:
+            with FailoverCorpusClient(
+                [proxy.url, server.url], timeout=5.0
+            ) as client:
+                assert client.get(3) == corpus[3]
+                assert client.get_many([1, 60, 110]) == [
+                    corpus[1], corpus[60], corpus[110]
+                ]
+                assert list(client.iter_range(0, 120)) == corpus

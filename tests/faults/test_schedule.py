@@ -1,0 +1,120 @@
+"""The seeded fault planner: same seed → same plan, and plans stay in bounds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.faults import (
+    BitFlip,
+    FaultSchedule,
+    Truncation,
+    apply_corruptions,
+)
+from repro.faults.schedule import HEADER_GUARD
+
+from .conftest import FAULT_SEED
+
+
+class TestDeterminism:
+    def test_same_seed_same_corruption_plan(self, library_copy):
+        shards = sorted(library_copy.glob("*.zss"))
+        first = FaultSchedule(FAULT_SEED).plan_corruptions(
+            shards, flips=4, truncations=2
+        )
+        second = FaultSchedule(FAULT_SEED).plan_corruptions(
+            shards, flips=4, truncations=2
+        )
+        assert first == second
+
+    def test_different_seed_different_plan(self, library_copy):
+        shards = sorted(library_copy.glob("*.zss"))
+        plans = {
+            tuple(FaultSchedule(seed).plan_corruptions(shards, flips=6))
+            for seed in range(5)
+        }
+        assert len(plans) > 1, "five seeds produced one identical plan"
+
+    def test_same_seed_same_read_plan(self):
+        first = FaultSchedule(FAULT_SEED).read_plan(calls=50, flips=2, shorts=1)
+        second = FaultSchedule(FAULT_SEED).read_plan(calls=50, flips=2, shorts=1)
+        assert len(first) == len(second) == 3
+        for call in range(50):
+            assert first.fault_for(call) == second.fault_for(call)
+
+    def test_same_seed_same_connection_plan(self):
+        first = FaultSchedule(FAULT_SEED).connection_plan(
+            connections=10, resets=2, stalls=1, drops=1
+        )
+        second = FaultSchedule(FAULT_SEED).connection_plan(
+            connections=10, resets=2, stalls=1, drops=1
+        )
+        assert len(first) == len(second) == 4
+        for connection in range(10):
+            assert first.fault_for(connection) == second.fault_for(connection)
+
+
+class TestPlanBounds:
+    def test_flips_respect_header_guard_and_file_size(self, library_copy):
+        shards = sorted(library_copy.glob("*.zss"))
+        sizes = {str(p): p.stat().st_size for p in shards}
+        plan = FaultSchedule(FAULT_SEED).plan_corruptions(shards, flips=32)
+        for fault in plan:
+            assert isinstance(fault, BitFlip)
+            assert HEADER_GUARD <= fault.offset < sizes[fault.path]
+            assert 0 <= fault.bit < 8
+
+    def test_truncations_shrink_but_keep_the_header(self, library_copy):
+        shards = sorted(library_copy.glob("*.zss"))
+        sizes = {str(p): p.stat().st_size for p in shards}
+        plan = FaultSchedule(FAULT_SEED).plan_corruptions(
+            shards, flips=0, truncations=3
+        )
+        for fault in plan:
+            assert isinstance(fault, Truncation)
+            assert HEADER_GUARD < fault.size < sizes[fault.path]
+
+    def test_empty_path_list_rejected(self):
+        with pytest.raises(ReproError, match="at least one path"):
+            FaultSchedule(FAULT_SEED).plan_corruptions([])
+
+    def test_read_plan_rejects_more_faults_than_calls(self):
+        with pytest.raises(ReproError, match="cannot place"):
+            FaultSchedule(FAULT_SEED).read_plan(calls=2, flips=2, shorts=1)
+
+    def test_connection_plan_rejects_more_faults_than_connections(self):
+        with pytest.raises(ReproError, match="cannot place"):
+            FaultSchedule(FAULT_SEED).connection_plan(connections=1, resets=2)
+
+
+class TestApplyCorruptions:
+    def test_bit_flip_changes_exactly_one_byte(self, shard_copy):
+        original = shard_copy.read_bytes()
+        flip = BitFlip(path=str(shard_copy), offset=100, bit=3)
+        labels = apply_corruptions([flip])
+        assert labels == [flip.describe()]
+        mutated = shard_copy.read_bytes()
+        assert len(mutated) == len(original)
+        diff = [i for i in range(len(original)) if original[i] != mutated[i]]
+        assert diff == [100]
+        assert mutated[100] == original[100] ^ (1 << 3)
+
+    def test_flip_is_its_own_inverse(self, shard_copy):
+        original = shard_copy.read_bytes()
+        flip = BitFlip(path=str(shard_copy), offset=64, bit=0)
+        apply_corruptions([flip, flip])
+        assert shard_copy.read_bytes() == original
+
+    def test_truncation_cuts_the_file(self, shard_copy):
+        apply_corruptions([Truncation(path=str(shard_copy), size=128)])
+        assert shard_copy.stat().st_size == 128
+
+    def test_flip_offset_out_of_bounds_rejected(self, shard_copy):
+        size = shard_copy.stat().st_size
+        with pytest.raises(ReproError, match="outside"):
+            apply_corruptions([BitFlip(path=str(shard_copy), offset=size, bit=0)])
+
+    def test_truncation_must_shrink(self, shard_copy):
+        size = shard_copy.stat().st_size
+        with pytest.raises(ReproError, match="does not shrink"):
+            apply_corruptions([Truncation(path=str(shard_copy), size=size)])

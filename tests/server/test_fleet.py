@@ -151,6 +151,39 @@ class TestFleetLifecycle:
         with pytest.raises(ServerError, match="failed to start"):
             ServerFleet(tmp_path / "missing.zss", workers=1).start()
 
+    def test_spawn_failure_mid_startup_leaks_no_workers(
+        self, library_dir, monkeypatch
+    ):
+        """A failure while spawning worker k must terminate workers 0..k-1
+        and release the reserved port — not leak live processes behind the
+        startup error."""
+        import multiprocessing
+
+        real_context = multiprocessing.get_context("spawn")
+        spawned = []
+
+        class ExplodingContext:
+            def Queue(self):
+                return real_context.Queue()
+
+            def Process(self, *args, **kwargs):
+                if spawned:
+                    raise RuntimeError("spawn exploded")
+                process = real_context.Process(*args, **kwargs)
+                spawned.append(process)
+                return process
+
+        monkeypatch.setattr(
+            multiprocessing, "get_context", lambda method: ExplodingContext()
+        )
+        fleet = ServerFleet(library_dir, workers=2)
+        with pytest.raises(RuntimeError, match="spawn exploded"):
+            fleet.start()
+        assert len(spawned) == 1
+        assert not spawned[0].is_alive(), "worker 0 leaked past the failure"
+        assert fleet._processes == []
+        assert fleet._placeholder is None
+
     def test_graceful_stop_exits_workers_cleanly(self, library_dir):
         fleet = ServerFleet(library_dir, workers=2)
         fleet.start()

@@ -1,0 +1,252 @@
+"""The unified retry discipline: policy math, and the clients honouring it.
+
+Scripted servers (raw sockets, no real corpus) pin the transport contract:
+how many requests actually hit the wire under a policy, and that read-phase
+stalls surface as typed :class:`ServerConnectionError` carrying the
+``delivered`` count streams need for exactly-once resume.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import ReproError, ServerConnectionError
+from repro.server import CorpusClient, FailoverCorpusClient, RetryPolicy
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay": -0.1},
+            {"max_delay": -1.0},
+            {"multiplier": 0.5},
+            {"jitter": -0.1},
+            {"jitter": 1.5},
+            {"deadline": 0.0},
+        ],
+    )
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(ReproError, match="RetryPolicy"):
+            RetryPolicy(**kwargs)
+
+    def test_defaults_are_the_historical_single_retry(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 2
+
+
+class TestBackoffMath:
+    def test_delays_grow_exponentially_and_clamp(self):
+        policy = RetryPolicy(
+            max_attempts=10, base_delay=0.1, multiplier=2.0, max_delay=0.5, jitter=0.0
+        )
+        assert [policy.delay_for(n) for n in range(5)] == [
+            0.1, 0.2, 0.4, 0.5, 0.5
+        ]
+
+    def test_state_consumes_attempts_then_stops(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+        state = policy.start()
+        assert state.next_delay() == 0.0
+        assert state.next_delay() == 0.0
+        assert state.next_delay() is None  # 3 attempts = 2 retries
+        assert state.exhausted
+
+    def test_jitter_stays_within_the_declared_fraction(self):
+        policy = RetryPolicy(max_attempts=50, base_delay=0.1, multiplier=1.0, jitter=0.5)
+        state = policy.start()
+        delays = [state.next_delay() for _ in range(49)]
+        assert all(0.1 <= d <= 0.15 for d in delays)
+
+    def test_deadline_budget_refuses_unaffordable_sleeps(self):
+        policy = RetryPolicy(
+            max_attempts=10, base_delay=5.0, jitter=0.0, deadline=1.0
+        )
+        state = policy.start()
+        assert state.next_delay() is None  # 5s sleep > 1s budget
+
+    def test_reset_progress_refills_attempts(self):
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0)
+        state = policy.start()
+        assert state.next_delay() == 0.0
+        assert state.next_delay() is None
+        state.reset_progress()
+        assert state.next_delay() == 0.0
+
+    def test_wait_returns_false_when_spent(self):
+        state = RetryPolicy(max_attempts=1).start()
+        assert state.wait() is False
+
+
+def _scripted_server(handler):
+    """Accept connections until stopped; one request per connection."""
+    listener = socket.create_server(("127.0.0.1", 0))
+    listener.settimeout(0.25)
+    port = listener.getsockname()[1]
+    request_count = [0]
+    stop = threading.Event()
+
+    def serve() -> None:
+        try:
+            while not stop.is_set():
+                try:
+                    conn, _ = listener.accept()
+                except socket.timeout:
+                    continue
+                with conn:
+                    conn.settimeout(5.0)
+                    try:
+                        data = conn.recv(65536)
+                    except OSError:
+                        continue
+                    if not data:
+                        continue
+                    request_count[0] += 1
+                    handler(conn, request_count[0])
+        finally:
+            listener.close()
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    return port, request_count, stop, thread
+
+
+def _busy_response() -> bytes:
+    envelope = json.dumps(
+        {"error": {"type": "ServerBusyError", "message": "replica saturated"}}
+    ).encode("utf-8")
+    return (
+        b"HTTP/1.1 503 Service Unavailable\r\n"
+        b"Content-Type: application/json\r\n"
+        b"Content-Length: " + str(len(envelope)).encode() + b"\r\n"
+        b"Connection: close\r\n\r\n" + envelope
+    )
+
+
+class TestPolicyGovernsTheWire:
+    def test_failover_rotations_match_max_attempts(self):
+        """A policy of N attempts puts exactly N requests on a busy replica."""
+
+        def always_busy(conn, _n):
+            conn.sendall(_busy_response())
+
+        port, count, stop, thread = _scripted_server(always_busy)
+        try:
+            policy = RetryPolicy(max_attempts=3, base_delay=0.01, jitter=0.0)
+            with FailoverCorpusClient(
+                [f"http://127.0.0.1:{port}"], timeout=5.0, retry=policy
+            ) as client:
+                with pytest.raises(ServerConnectionError, match="all 1 replicas"):
+                    client.get(0)
+            stop.set()
+            thread.join()
+            assert count[0] == 3
+        finally:
+            stop.set()
+            thread.join()
+
+    def test_single_attempt_policy_disables_retries(self):
+        def always_busy(conn, _n):
+            conn.sendall(_busy_response())
+
+        port, count, stop, thread = _scripted_server(always_busy)
+        try:
+            policy = RetryPolicy(max_attempts=1)
+            with FailoverCorpusClient(
+                [f"http://127.0.0.1:{port}"], timeout=5.0, retry=policy
+            ) as client:
+                with pytest.raises(ServerConnectionError):
+                    client.get(0)
+            stop.set()
+            thread.join()
+            assert count[0] == 1
+        finally:
+            stop.set()
+            thread.join()
+
+    def test_connect_phase_retries_ride_out_a_refused_replica(self):
+        """A server that comes up between attempts is reached by the retry."""
+        listener = socket.create_server(("127.0.0.1", 0))
+        port = listener.getsockname()[1]
+        listener.close()  # now refused — until the delayed server binds it
+
+        body = b"hello-record"
+        response = (
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/plain; charset=utf-8\r\n"
+            b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+            b"Connection: close\r\n\r\n" + body
+        )
+        ready = threading.Event()
+
+        def come_up_late() -> None:
+            time.sleep(0.25)
+            late = socket.create_server(("127.0.0.1", port))
+            ready.set()
+            late.settimeout(5.0)
+            try:
+                conn, _ = late.accept()
+                with conn:
+                    conn.recv(65536)
+                    conn.sendall(response)
+            except socket.timeout:
+                pass
+            finally:
+                late.close()
+
+        thread = threading.Thread(target=come_up_late, daemon=True)
+        thread.start()
+        policy = RetryPolicy(max_attempts=8, base_delay=0.1, multiplier=1.0, jitter=0.0)
+        with CorpusClient(f"http://127.0.0.1:{port}", timeout=5.0, retry=policy) as client:
+            assert client.get(0) == "hello-record"
+        thread.join()
+
+
+class TestReadPhaseStalls:
+    def test_stream_stall_raises_typed_error_with_delivered(self):
+        """Records before the stall are delivered; the error counts them."""
+
+        def stall_mid_stream(conn, _n):
+            conn.sendall(
+                b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: text/plain; charset=utf-8\r\n"
+                b"Content-Length: 1000\r\n\r\n"
+                b"alpha\nbravo\ncharlie\n"
+            )
+            time.sleep(2.0)  # stall with the connection open
+
+        port, _count, stop, thread = _scripted_server(stall_mid_stream)
+        try:
+            with CorpusClient(
+                f"http://127.0.0.1:{port}", timeout=0.4, compress=False
+            ) as client:
+                received = []
+                with pytest.raises(
+                    ServerConnectionError, match="stalled mid-stream"
+                ) as excinfo:
+                    for record in client.iter_range(0, 100):
+                        received.append(record)
+                assert received == ["alpha", "bravo", "charlie"]
+                assert excinfo.value.delivered == 3
+        finally:
+            stop.set()
+            thread.join()
+
+    def test_get_stall_raises_typed_error(self):
+        def stall_before_answering(conn, _n):
+            time.sleep(2.0)
+
+        port, _count, stop, thread = _scripted_server(stall_before_answering)
+        try:
+            with CorpusClient(f"http://127.0.0.1:{port}", timeout=0.3) as client:
+                with pytest.raises(ServerConnectionError):
+                    client.get(0)
+        finally:
+            stop.set()
+            thread.join()

@@ -1,0 +1,84 @@
+"""Property: no single-byte flip of a packed ``.zss`` is ever *silent*.
+
+For every byte offset and bit, flipping that bit on a tmp copy (golden
+fixtures stay untouched) must yield exactly one of:
+
+* byte-identical records on full readback (the flip hit bytes the format
+  never trusts blindly — impossible for payload/footer, but the property
+  does not care *where* it hit), or
+* a typed :class:`~repro.errors.ReproError` (``StoreFormatError``,
+  ``BlockCorruptionError``, …) at open or read time.
+
+Silent corruption (wrong records, no error) and untyped crashes are the
+two forbidden outcomes.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine import ZSmilesEngine
+from repro.errors import ReproError
+from repro.store import ShardReader, pack_records
+
+
+@pytest.fixture(scope="module")
+def packed(tmp_path_factory, plain_codec, mixed_corpus_small):
+    """One small shard packed once; (path, corpus, raw bytes, scratch path)."""
+    directory = tmp_path_factory.mktemp("flip_property")
+    corpus = mixed_corpus_small[:40]
+    path = directory / "pristine.zss"
+    with ZSmilesEngine.from_codec(plain_codec, backend="serial") as engine:
+        pack_records(path, corpus, engine, records_per_block=8)
+    return corpus, path.read_bytes(), directory / "flipped.zss"
+
+
+@given(data=st.data())
+@settings(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_single_byte_flip_is_detected_or_harmless(packed, data):
+    corpus, pristine, scratch = packed
+    offset = data.draw(st.integers(min_value=0, max_value=len(pristine) - 1))
+    bit = data.draw(st.integers(min_value=0, max_value=7))
+
+    mutated = bytearray(pristine)
+    mutated[offset] ^= 1 << bit
+    scratch.write_bytes(bytes(mutated))
+
+    try:
+        with ShardReader(scratch) as reader:
+            readback = [reader.get(i) for i in range(len(corpus))]
+    except ReproError:
+        return  # typed detection: the acceptable failure mode
+    # No error raised: the flip must have been harmless — any divergence
+    # here would be silent corruption, the one forbidden outcome.
+    assert readback == corpus, (
+        f"silent corruption: flip at offset {offset} bit {bit} changed "
+        "records without raising a typed error"
+    )
+
+
+@given(data=st.data())
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_truncation_is_detected_or_harmless(packed, data):
+    corpus, pristine, scratch = packed
+    size = data.draw(st.integers(min_value=0, max_value=len(pristine) - 1))
+    scratch.write_bytes(pristine[:size])
+    try:
+        with ShardReader(scratch) as reader:
+            readback = [reader.get(i) for i in range(len(corpus))]
+    except ReproError:
+        return
+    assert readback == corpus, (
+        f"silent corruption: truncation to {size} bytes changed records "
+        "without raising a typed error"
+    )

@@ -1,0 +1,218 @@
+"""``zsmiles fsck``: scrubbing every layout, and both repair paths.
+
+Each issue kind has a dedicated forgery; repairs pin their respective
+guarantees — replica restoration is *byte*-identical, source re-pack is
+*content*-identical with a refreshed manifest.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+
+import pytest
+
+from repro.engine import ZSmilesEngine
+from repro.errors import StoreError
+from repro.library import CorpusLibrary, pack_library
+from repro.store import ShardReader, fsck_path, pack_records, repair_path
+from repro.store.format import TRAILER_SIZE, read_footer
+
+
+@pytest.fixture(scope="module")
+def corpus(mixed_corpus_small):
+    return mixed_corpus_small[:120]
+
+
+@pytest.fixture(scope="module")
+def engine(plain_codec):
+    with ZSmilesEngine.from_codec(plain_codec, backend="serial") as eng:
+        yield eng
+
+
+@pytest.fixture(scope="module")
+def pristine_library(tmp_path_factory, corpus, engine):
+    directory = tmp_path_factory.mktemp("fsck_lib") / "corpus.library"
+    pack_library(directory, corpus, engine, shards=3, records_per_block=8)
+    return directory
+
+
+@pytest.fixture(scope="module")
+def source_smi(tmp_path_factory, corpus):
+    path = tmp_path_factory.mktemp("fsck_src") / "corpus.smi"
+    path.write_text("\n".join(corpus) + "\n", encoding="utf-8")
+    return path
+
+
+@pytest.fixture()
+def library_copy(pristine_library, tmp_path):
+    target = tmp_path / "scratch.library"
+    shutil.copytree(pristine_library, target)
+    return target
+
+
+def _first_shard(library):
+    return sorted(library.glob("*.zss"))[0]
+
+
+def _flip_payload_byte(shard, block_number=0):
+    """Corrupt one byte inside a block payload (CRC must catch it)."""
+    with open(shard, "rb") as handle:
+        block = read_footer(handle).blocks[block_number]
+    data = bytearray(shard.read_bytes())
+    data[block.offset + block.length // 2] ^= 0xFF
+    shard.write_bytes(bytes(data))
+
+
+class TestScrubLayouts:
+    def test_golden_fixture_store_is_clean(self):
+        report = fsck_path("tests/fixtures/corpus.zss")
+        assert report.clean
+        assert report.layout == "shard"
+        assert report.shards_checked == 1
+        assert report.blocks_checked > 0
+
+    def test_pristine_library_is_clean(self, pristine_library, corpus):
+        report = fsck_path(pristine_library)
+        assert report.clean
+        assert report.layout == "library"
+        assert report.shards_checked == 3
+        assert report.records_declared == len(corpus)
+        assert "clean" in report.summary()
+
+    def test_manifest_path_and_directory_are_equivalent(self, pristine_library):
+        by_dir = fsck_path(pristine_library)
+        by_manifest = fsck_path(pristine_library / "library.json")
+        assert by_dir.as_dict()["issues"] == by_manifest.as_dict()["issues"]
+
+    def test_unrecognized_path_rejected(self, tmp_path):
+        with pytest.raises(StoreError, match="cannot fsck"):
+            fsck_path(tmp_path / "nothing.smi")
+
+    def test_report_is_json_serializable(self, pristine_library):
+        json.dumps(fsck_path(pristine_library).as_dict())
+
+
+class TestIssueKinds:
+    def test_payload_flip_is_block_crc(self, library_copy):
+        _flip_payload_byte(_first_shard(library_copy), block_number=1)
+        report = fsck_path(library_copy)
+        issues = [i for i in report.issues if i.kind == "block-crc"]
+        assert len(issues) == 1
+        assert issues[0].block == 1
+        assert issues[0].shard == _first_shard(library_copy).name
+
+    def test_trailer_truncation_is_footer(self, library_copy):
+        shard = _first_shard(library_copy)
+        with open(shard, "r+b") as handle:
+            handle.truncate(shard.stat().st_size - TRAILER_SIZE // 2)
+        report = fsck_path(library_copy)
+        kinds = {i.kind for i in report.issues if i.shard == shard.name}
+        assert "footer" in kinds
+
+    def test_missing_shard_file_is_missing(self, library_copy):
+        shard = _first_shard(library_copy)
+        shard.unlink()
+        report = fsck_path(library_copy)
+        assert any(
+            i.kind == "missing" and i.shard == shard.name for i in report.issues
+        )
+
+    def test_manifest_disagreement_is_manifest(self, library_copy):
+        manifest_path = library_copy / "library.json"
+        payload = json.loads(manifest_path.read_text(encoding="utf-8"))
+        payload["shards"][0]["records"] += 1
+        payload["total_records"] += 1
+        manifest_path.write_text(json.dumps(payload), encoding="utf-8")
+        report = fsck_path(library_copy)
+        assert any(i.kind == "manifest" for i in report.issues)
+
+    def test_unreadable_manifest_is_manifest_issue(self, library_copy):
+        (library_copy / "library.json").write_text("{ torn", encoding="utf-8")
+        report = fsck_path(library_copy)
+        assert not report.clean
+        assert report.issues[0].kind == "manifest"
+
+    def test_damaged_shards_lists_each_shard_once(self, library_copy):
+        shard = _first_shard(library_copy)
+        _flip_payload_byte(shard, block_number=0)
+        _flip_payload_byte(shard, block_number=1)
+        report = fsck_path(library_copy)
+        assert report.damaged_shards() == [shard.name]
+        assert "CORRUPT" in report.summary()
+
+
+class TestRepair:
+    def test_replica_repair_is_byte_identical(
+        self, library_copy, pristine_library
+    ):
+        shard = _first_shard(library_copy)
+        _flip_payload_byte(shard)
+        result = repair_path(library_copy, replica=pristine_library)
+        assert result.clean
+        assert result.repaired == [shard.name]
+        assert shard.read_bytes() == _first_shard(pristine_library).read_bytes()
+
+    def test_damaged_replica_shard_is_not_used(
+        self, library_copy, pristine_library, tmp_path
+    ):
+        # The replica's own copy of the damaged shard is damaged too: the
+        # repair must refuse it (a blind copy would "repair" rot with rot).
+        bad_replica = tmp_path / "bad_replica.library"
+        shutil.copytree(pristine_library, bad_replica)
+        _flip_payload_byte(_first_shard(bad_replica))
+        _flip_payload_byte(_first_shard(library_copy))
+        result = repair_path(library_copy, replica=bad_replica)
+        assert not result.clean
+        assert result.failed == [_first_shard(library_copy).name]
+
+    def test_source_repair_restores_content_and_refreshes_manifest(
+        self, library_copy, source_smi, corpus
+    ):
+        shard = _first_shard(library_copy)
+        _flip_payload_byte(shard)
+        result = repair_path(library_copy, source=source_smi)
+        assert result.clean
+        assert result.repaired == [shard.name]
+        # Content parity: every record reads back byte-for-byte; the
+        # manifest was refreshed, so the re-packed layout scrubs clean.
+        with CorpusLibrary.open(library_copy) as library:
+            assert list(library.iter_all()) == corpus
+
+    def test_repair_with_no_recovery_source_fails(self, library_copy):
+        _flip_payload_byte(_first_shard(library_copy))
+        result = repair_path(library_copy)
+        assert not result.clean
+        assert result.failed and not result.repaired
+        assert not result.after.clean
+
+    def test_repair_on_clean_layout_is_a_no_op(
+        self, library_copy, pristine_library
+    ):
+        before = {
+            p.name: p.read_bytes() for p in sorted(library_copy.iterdir())
+        }
+        result = repair_path(library_copy, replica=pristine_library)
+        assert result.clean
+        assert not result.repaired and not result.failed
+        after = {p.name: p.read_bytes() for p in sorted(library_copy.iterdir())}
+        assert after == before
+
+    def test_bare_shard_repair_from_replica(
+        self, tmp_path, corpus, engine, pristine_library
+    ):
+        path = tmp_path / "solo.zss"
+        pack_records(path, corpus[:40], engine, records_per_block=8)
+        # Replica shards match by name, so the healthy twin keeps the name
+        # in its own directory — exactly how a serving replica lays out.
+        (tmp_path / "replica").mkdir()
+        healthy = tmp_path / "replica" / "solo.zss"
+        shutil.copyfile(path, healthy)
+        _flip_payload_byte(path)
+        assert not fsck_path(path).clean
+        # A bare shard's replica layout is the healthy twin file itself.
+        result = repair_path(path, replica=healthy)
+        assert result.clean
+        assert path.read_bytes() == healthy.read_bytes()
+        with ShardReader(path) as reader:
+            assert list(reader.iter_all()) == corpus[:40]
