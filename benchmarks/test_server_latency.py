@@ -15,12 +15,14 @@ on runner speed.
 
 from __future__ import annotations
 
+import http.client
 import json
 import os
 import random
 import threading
 import time
 from pathlib import Path
+from urllib.parse import urlparse
 
 import pytest
 
@@ -343,6 +345,99 @@ def test_hot_set_access_mix(server, served_library, serving_corpus, report,
         "absorbs the hot traffic (hit delta above)."
     )
     report("server_hot_set_mix", table)
+
+
+def _raw_get(url: str, target: str) -> tuple:
+    """(status, body bytes) of one bare GET — no trace headers, no encoding."""
+    parsed = urlparse(url)
+    conn = http.client.HTTPConnection(parsed.hostname, parsed.port, timeout=30.0)
+    try:
+        conn.request("GET", target)
+        response = conn.getresponse()
+        return response.status, response.read()
+    finally:
+        conn.close()
+
+
+def test_telemetry_overhead_parity(served_library, serving_corpus, report,
+                                   results_dir):
+    """Instrumented vs ``ZSMILES_TELEMETRY=off``: byte-parity, timed, ungated.
+
+    Two single-worker fleets over the same library — one with telemetry on,
+    one with the kill switch set (fleet workers re-read the environment at
+    spawn) — serve the identical probe workload.  The gate is **parity**:
+    every single, batch and stream response body is byte-identical across
+    the two modes, proving the instrumentation never touches the wire.  The
+    per-request timings of both modes are recorded into
+    ``BENCH_server.json`` under ``"telemetry_overhead"`` but never asserted.
+    """
+    total = len(serving_corpus)
+    probe_singles = [0, 1, total // 2, total - 1]
+    stream_stop = min(total, 256)
+    batch_indices = list(range(0, min(total, 64)))
+
+    def run_mode(enabled: bool) -> dict:
+        previous = os.environ.get("ZSMILES_TELEMETRY")
+        os.environ["ZSMILES_TELEMETRY"] = "on" if enabled else "off"
+        try:
+            with ServerFleet(served_library, workers=1,
+                             readers=POOL_SIZE) as fleet:
+                bodies = {}
+                for index in probe_singles:
+                    bodies[f"single:{index}"] = _raw_get(
+                        fleet.url, f"/records/{index}"
+                    )
+                bodies["stream"] = _raw_get(
+                    fleet.url, f"/records?start=0&stop={stream_stop}"
+                )
+                with CorpusClient(fleet.url, timeout=30.0) as client:
+                    batch = client.get_many(batch_indices)
+                    start = time.perf_counter()
+                    for i in range(REQUESTS_PER_CLIENT):
+                        client.get(i % total)
+                    seconds = time.perf_counter() - start
+                return {"bodies": bodies, "batch": batch, "seconds": seconds}
+        finally:
+            if previous is None:
+                os.environ.pop("ZSMILES_TELEMETRY", None)
+            else:
+                os.environ["ZSMILES_TELEMETRY"] = previous
+
+    instrumented = run_mode(True)
+    disabled = run_mode(False)
+
+    for key, (status, body) in instrumented["bodies"].items():
+        assert status == 200, f"{key} failed instrumented: {status}"
+        off_status, off_body = disabled["bodies"][key]
+        assert off_status == 200, f"{key} failed with telemetry off: {off_status}"
+        assert body == off_body, f"{key}: telemetry changed the response bytes"
+    assert instrumented["batch"] == disabled["batch"]
+
+    entry = {
+        "scale": os.environ.get("ZSMILES_BENCH_SCALE", "benchmark"),
+        "requests": REQUESTS_PER_CLIENT,
+        "instrumented": _mode(instrumented["seconds"], REQUESTS_PER_CLIENT,
+                              REQUESTS_PER_CLIENT),
+        "disabled": _mode(disabled["seconds"], REQUESTS_PER_CLIENT,
+                          REQUESTS_PER_CLIENT),
+        "parity": "byte-identical",
+    }
+    text = _merge_bench_payload({"telemetry_overhead": entry})
+    (results_dir / "BENCH_server.json").write_text(text, encoding="utf-8")
+
+    table = ResultTable(
+        title="Telemetry overhead: instrumented vs ZSMILES_TELEMETRY=off",
+        columns=["mode", "requests", "us/request"],
+    )
+    table.add_row("instrumented", REQUESTS_PER_CLIENT,
+                  entry["instrumented"]["us_per_request"])
+    table.add_row("disabled", REQUESTS_PER_CLIENT,
+                  entry["disabled"]["us_per_request"])
+    table.add_note(
+        "Gate is byte-parity on single/batch/stream bodies; timings are "
+        "recorded, never asserted."
+    )
+    report("server_telemetry_overhead", table)
 
 
 def test_remote_reads_match_local_under_sustained_load(server, served_library):

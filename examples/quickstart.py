@@ -37,7 +37,12 @@ unified engine surface:
     fault harness (``repro.faults``), let ``zsmiles fsck`` pin down every
     damaged block, and restore the shards byte-identically from a healthy
     replica with ``fsck --repair`` — while degraded reads quarantine the
-    bad block and keep serving everything else.
+    bad block and keep serving everything else,
+11. observe the stack: serve the library with a structured JSON access log,
+    drive it under a caller-chosen trace id, scrape ``GET /metrics``
+    (Prometheus text, per-route latency histograms, fleet-aggregated), and
+    read the request's span back from ``/stats?trace=recent`` — ``zsmiles
+    serve --access-log`` and ``zsmiles stats URL --watch`` on the CLI.
 
 Migrating from the pre-engine API?  ``ZSmilesCodec.train`` →
 ``ZSmilesEngine.train``, ``codec.compress_many(xs)`` →
@@ -348,6 +353,43 @@ def main() -> None:
         f"fsck --repair:       restored {len(result.repaired)} shard(s) from "
         f"the replica; byte-identical: {parity}"
     )
+
+    # ------------------------------------------------------------------ #
+    # 11. Observe the stack.  Serve with a structured access log, pin a
+    #     trace id on a batch of reads (the client stamps it on every
+    #     request; the server adopts, logs and echoes it), scrape the
+    #     Prometheus exposition, and read the spans back.  `zsmiles serve
+    #     --access-log access.log` / `zsmiles stats URL --watch 2` are the
+    #     CLI spellings; ZSMILES_TELEMETRY=off is the kill switch (responses
+    #     stay byte-identical either way).
+    # ------------------------------------------------------------------ #
+    import json
+
+    from repro.telemetry import trace_context
+
+    access_log = workdir / "access.log"
+    with BackgroundServer(library_dir, readers=4, access_log=access_log) as server:
+        with CorpusClient(server.url) as client:
+            with trace_context() as trace_id:
+                client.get(1_234)           # both requests share one trace id
+                client.get_many([5, 999])
+            exposition = client.metrics()
+            spans = client.stats(trace=True)["trace"]
+    latency_lines = [
+        line for line in exposition.splitlines()
+        if line.startswith("zsmiles_server_request_seconds_bucket")
+    ]
+    logged = [json.loads(line) for line in access_log.read_text().splitlines()]
+    traced = [entry for entry in logged if entry["request_id"] == trace_id]
+    print(
+        f"\nobservability:       trace {trace_id} covered "
+        f"{len(traced)} access-log lines "
+        f"(routes {sorted({e['route'] for e in traced})}); /metrics served "
+        f"{len(latency_lines)} latency-bucket series; "
+        f"{len(spans)} recent spans via /stats?trace=recent"
+    )
+    assert all(entry["status"] == 200 for entry in traced)
+    assert any(span["trace_id"] == trace_id for span in spans)
 
 
 if __name__ == "__main__":

@@ -41,6 +41,7 @@ from ..library.manifest import DICTIONARY_IDENTITY_KEY
 from ..screening.docking import top_hits as rank_hits
 from ..server.retry import RetryPolicy
 from ..store import RecordReader, open_reader
+from ..telemetry import metrics as _metrics
 from . import operators
 from .scoring import resolve_pocket, score_many
 from .state import (
@@ -335,6 +336,23 @@ class CampaignDriver:
         if rng is not None:
             self.state.capture_rng(rng)
         self.state.save(self.workdir)
+        registry = _metrics.get_registry()
+        registry.counter(
+            "zsmiles_campaign_generations_total",
+            "Campaign generations completed and checkpointed",
+        ).inc()
+        registry.histogram(
+            "zsmiles_campaign_generation_seconds",
+            "Wall time of one campaign generation",
+            buckets=(0.01, 0.05, 0.25, 1.0, 5.0, 30.0, 120.0, 600.0),
+        ).observe(stats.elapsed_seconds)
+        offspring = registry.counter(
+            "zsmiles_campaign_offspring_total",
+            "Offspring by curation/selection outcome",
+            labels=("outcome",),
+        )
+        offspring.labels("accepted").inc(stats.survivors)
+        offspring.labels("rejected").inc(stats.rejected)
         return stats
 
     def _run_seed_generation(self) -> GenerationStats:

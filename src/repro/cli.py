@@ -245,6 +245,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes behind one port (default 1: "
                             "in-process server; >1 pre-forks a fleet via "
                             "SO_REUSEPORT or a round-robin accept proxy)")
+    serve.add_argument("--access-log", default=None, metavar="PATH",
+                       help="append one JSON line per request to PATH "
+                            "('-' = stdout; off by default)")
 
     serve_bench = sub.add_parser(
         "serve-bench",
@@ -270,10 +273,21 @@ def build_parser() -> argparse.ArgumentParser:
                              help="also write the measurements as machine-readable "
                                   "JSON (requests/sec and us/request per mode)")
 
-    stats = sub.add_parser("stats", help="compression ratio of a dictionary on a file")
-    stats.add_argument("input", type=Path)
-    stats.add_argument("-d", "--dictionary", type=Path, required=True)
+    stats = sub.add_parser(
+        "stats",
+        help="compression ratio of a dictionary on a file, or live telemetry "
+             "of a running server (stats URL [--watch N])",
+    )
+    stats.add_argument("input", type=str,
+                       help="input file — or a server URL for live registry stats")
+    stats.add_argument("-d", "--dictionary", type=Path, default=None,
+                       help="dictionary (required in file mode)")
     stats.add_argument("--no-preprocessing", action="store_true")
+    stats.add_argument("--watch", type=float, default=None, metavar="SECONDS",
+                       help="URL mode: re-scrape every N seconds and render the "
+                            "counter diff until interrupted")
+    stats.add_argument("--json", action="store_true",
+                       help="URL mode: print the raw metrics snapshot as JSON")
 
     generate = sub.add_parser("generate", help="generate a synthetic dataset")
     generate.add_argument("dataset", choices=sorted(_DATASET_GENERATORS))
@@ -628,8 +642,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
                     for key in ("hits", "misses", "capacity", "cached_blocks")
                 }
             )
+            lookups = stats["hits"] + stats["misses"]
+            hit_rate = stats["hits"] / lookups if lookups else 0.0
             print(
-                f"cache: {stats['hits']} hits, {stats['misses']} misses, "
+                f"cache: {stats['hits']} hits, {stats['misses']} misses "
+                f"({hit_rate:.1%} hit rate), "
                 f"{stats['cached_blocks']}/{stats['capacity']} blocks resident",
                 file=sys.stderr,
             )
@@ -825,6 +842,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             readers=args.readers,
             cache_blocks=args.cache_blocks,
             use_mmap=args.mmap,
+            access_log=args.access_log,
         )
     return run_server(
         args.input,
@@ -834,6 +852,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         readers=args.readers,
         cache_blocks=args.cache_blocks,
         use_mmap=args.mmap,
+        access_log=args.access_log,
     )
 
 
@@ -940,8 +959,83 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _flatten_metrics_snapshot(snapshot: dict) -> dict:
+    """``/metrics?format=json`` → ``{series key: scalar}`` for diff rendering.
+
+    Counters and gauges flatten to their value; histograms to ``_count``
+    and ``_sum`` series (the distribution itself lives in the Prometheus
+    text exposition — the watch view tracks movement, not shape).
+    """
+    flat: dict = {}
+    for item in snapshot.get("metrics", []):
+        label_names = item.get("labels", [])
+        for entry in item.get("series", []):
+            labels = ",".join(
+                f"{n}={v}" for n, v in zip(label_names, entry["values"])
+            )
+            key = f"{item['name']}{{{labels}}}" if labels else item["name"]
+            if item["kind"] == "histogram":
+                flat[key + ":count"] = entry["count"]
+                flat[key + ":sum"] = round(entry["sum"], 6)
+            else:
+                flat[key] = entry["value"]
+    return flat
+
+
+def _print_metrics_diff(flat: dict, previous: Optional[dict]) -> None:
+    """First call prints absolute non-zero series; later calls print deltas."""
+    if previous is None:
+        for key in sorted(flat):
+            if flat[key]:
+                print(f"{key} {flat[key]:g}")
+        return
+    changed = sorted(k for k in flat if flat[k] != previous.get(k, 0))
+    if not changed:
+        print("(no change)")
+        return
+    for key in changed:
+        delta = flat[key] - previous.get(key, 0)
+        print(f"{key} {flat[key]:g} (+{delta:g})")
+
+
+def _cmd_server_stats(args: argparse.Namespace) -> int:
+    """``zsmiles stats URL [--watch N] [--json]``: live registry telemetry."""
+    import json as _json
+    import time as _time
+
+    from .server.client import CorpusClient
+
+    with CorpusClient(args.input) as client:
+        if args.json:
+            print(_json.dumps(client.metrics_snapshot(), indent=2, sort_keys=True))
+            return 0
+        flat = _flatten_metrics_snapshot(client.metrics_snapshot())
+        _print_metrics_diff(flat, None)
+        if args.watch is None:
+            return 0
+        if args.watch <= 0:
+            print("error: --watch must be > 0", file=sys.stderr)
+            return 2
+        try:
+            while True:
+                _time.sleep(args.watch)
+                current = _flatten_metrics_snapshot(client.metrics_snapshot())
+                print(f"--- {_time.strftime('%H:%M:%S')}")
+                _print_metrics_diff(current, flat)
+                flat = current
+        except KeyboardInterrupt:
+            return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
-    corpus = read_smiles(args.input)
+    from .server.protocol import is_url
+
+    if is_url(args.input):
+        return _cmd_server_stats(args)
+    if args.dictionary is None:
+        print("error: -d/--dictionary is required for file inputs", file=sys.stderr)
+        return 2
+    corpus = read_smiles(Path(args.input))
     with _load_engine(args.dictionary, preprocessing=not args.no_preprocessing) as engine:
         stats = engine.evaluate(corpus)
     print(f"records:            {stats.lines}")

@@ -47,12 +47,35 @@ from ..core.shortest_path import MATCH_COST as _MATCH_COST
 from ..dictionary.codec_table import CodecTable
 from ..errors import CompressionError, DecompressionError, ReproError
 from ..smiles.alphabet import ESCAPE_CHAR
+from ..telemetry import metrics as _metrics
 
 #: Transition-table width: one slot per Latin-1 code point.
 ALPHABET_SIZE = 256
 
 #: Byte value of the escape marker (a space).
 ESCAPE_BYTE = ord(ESCAPE_CHAR)
+
+
+def _kernel_instruments():
+    """The kernel's per-block counters (idempotent registration; looked up
+    per block — the hot loops aggregate locally and report once)."""
+    registry = _metrics.get_registry()
+    lines = registry.counter(
+        "zsmiles_kernel_lines_total",
+        "Lines moved through the block kernel, by operation",
+        labels=("op",),
+    )
+    out_bytes = registry.counter(
+        "zsmiles_kernel_bytes_total",
+        "Output bytes produced by the block kernel, by operation",
+        labels=("op",),
+    )
+    fallbacks = registry.counter(
+        "zsmiles_kernel_reference_fallback_total",
+        "Lines that fell back to the reference codec path, by operation",
+        labels=("op",),
+    )
+    return lines, out_bytes, fallbacks
 
 
 class KernelUnsupportedError(ReproError):
@@ -345,6 +368,8 @@ class BlockKernel:
         append = out.append
         matches = 0
         escapes = 0
+        fallback_lines = 0
+        out_bytes = 0
         for raw in lines:
             line = preprocess(raw)
             if "\n" in line or "\r" in line:
@@ -356,22 +381,37 @@ class BlockKernel:
                 append(record.compressed)
                 matches += record.matches
                 escapes += record.escapes
+                fallback_lines += 1
+                out_bytes += len(record.compressed)
                 continue
             compressed, line_matches, line_escapes = compress_line(data)
             append(compressed)
             matches += line_matches
             escapes += line_escapes
+            out_bytes += len(compressed)
+        metric_lines, metric_bytes, metric_fallbacks = _kernel_instruments()
+        metric_lines.labels("compress").inc(len(out))
+        metric_bytes.labels("compress").inc(out_bytes)
+        if fallback_lines:
+            metric_fallbacks.labels("compress").inc(fallback_lines)
         return out, matches, escapes
 
     def decompress_block(self, lines: Sequence[str]) -> List[str]:
         """Decompress *lines* (one output per input, order preserved)."""
         automaton = self.automaton
+        metric_lines, metric_bytes, metric_fallbacks = _kernel_instruments()
         if automaton is None:
-            return [self.codec.decompress(line) for line in lines]
+            out = [self.codec.decompress(line) for line in lines]
+            metric_lines.labels("decompress").inc(len(out))
+            metric_bytes.labels("decompress").inc(sum(len(r) for r in out))
+            metric_fallbacks.labels("decompress").inc(len(out))
+            return out
         decompress_line = automaton.decompress_line
         reference = self.codec.decompressor.decompress_line
         out: List[str] = []
         append = out.append
+        fallback_lines = 0
+        out_bytes = 0
         for line in lines:
             if "\n" in line or "\r" in line:
                 raise DecompressionError(
@@ -382,9 +422,18 @@ class BlockKernel:
             except UnicodeEncodeError:
                 # Escaped literals beyond U+00FF can only come from non-SMILES
                 # input; the reference path decodes (or rejects) them exactly.
-                append(reference(line))
+                decoded = reference(line)
+                append(decoded)
+                fallback_lines += 1
+                out_bytes += len(decoded)
                 continue
-            append(decompress_line(data))
+            decoded = decompress_line(data)
+            append(decoded)
+            out_bytes += len(decoded)
+        metric_lines.labels("decompress").inc(len(out))
+        metric_bytes.labels("decompress").inc(out_bytes)
+        if fallback_lines:
+            metric_fallbacks.labels("decompress").inc(fallback_lines)
         return out
 
     # ------------------------------------------------------------------ #
@@ -398,6 +447,10 @@ class BlockKernel:
             out.append(record.compressed)
             matches += record.matches
             escapes += record.escapes
+        metric_lines, metric_bytes, metric_fallbacks = _kernel_instruments()
+        metric_lines.labels("compress").inc(len(out))
+        metric_bytes.labels("compress").inc(sum(len(r) for r in out))
+        metric_fallbacks.labels("compress").inc(len(out))
         return out, matches, escapes
 
 

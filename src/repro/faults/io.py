@@ -20,9 +20,19 @@ import time
 from pathlib import Path
 from typing import Optional, Union
 
+from ..telemetry import metrics as _metrics
 from .schedule import ReadFaultPlan
 
 PathLike = Union[str, Path]
+
+
+def _injected_counter():
+    """``faults_injected_total{layer,kind}`` on the current global registry."""
+    return _metrics.counter(
+        "faults_injected_total",
+        "Faults injected by the chaos layer, by layer and kind",
+        labels=("layer", "kind"),
+    )
 
 
 class FaultyFile(io.RawIOBase):
@@ -69,6 +79,7 @@ class FaultyFile(io.RawIOBase):
         if fault is None:
             return self._inner.read(size)
         self.faults_injected += 1
+        _injected_counter().labels("file", fault.kind).inc()
         if fault.kind == "delay":
             time.sleep(fault.arg)
             return self._inner.read(size)

@@ -27,6 +27,8 @@ import time
 from typing import Optional, Tuple
 
 from ..errors import ServerError
+from ..telemetry import metrics as _metrics
+from .io import _injected_counter
 from .schedule import ConnectionFault, ConnectionFaultPlan
 
 _RELAY_CHUNK = 65536
@@ -142,6 +144,10 @@ class FaultyProxy:
             with self._lock:
                 ordinal = self.connections_seen
                 self.connections_seen += 1
+            _metrics.counter(
+                "faults_connections_total",
+                "Connections that passed through a FaultyProxy",
+            ).inc()
             fault = self.plan.fault_for(ordinal)
             threading.Thread(
                 target=self._handle,
@@ -154,6 +160,7 @@ class FaultyProxy:
         if fault is not None and fault.kind != "pass":
             with self._lock:
                 self.faults_injected += 1
+            _injected_counter().labels("proxy", fault.kind).inc()
         if fault is not None and fault.kind == "reset":
             _hard_close(client)
             return

@@ -136,8 +136,10 @@ class AsyncCorpusLibrary:
                 merged = quarantined_union.setdefault(name, set())
                 merged.update(blocks)
         shards = {name: sorted(blocks) for name, blocks in quarantined_union.items()}
+        quarantined = sum(len(blocks) for blocks in shards.values())
         return {
-            "quarantined_blocks": sum(len(blocks) for blocks in shards.values()),
+            "quarantined_blocks": quarantined,
+            "total_blocks_quarantined": quarantined,
             "quarantine_hits": hits,
             "shards": shards,
         }

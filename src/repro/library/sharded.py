@@ -205,6 +205,7 @@ class ShardedCorpusStore(RecordAccessMixin):
                 shards[self.manifest.shards[shard_no].name] = stats["blocks"]
         return {
             "quarantined_blocks": quarantined,
+            "total_blocks_quarantined": quarantined,
             "quarantine_hits": hits,
             "shards": shards,
         }

@@ -41,6 +41,13 @@ fourth tier of the serving ladder documented in :mod:`repro.library`
   ``retry=`` to any client (or :func:`repro.store.open_reader`) to tune
   how hard transient failures are ridden out.
 
+Observability (see :mod:`repro.telemetry`): every server and fleet worker
+exposes ``GET /metrics`` (Prometheus text; a fleet scrape is aggregated
+across live workers, ``?scope=local`` opts out), clients stamp
+``X-Request-Id``/``X-Trace-Id`` headers the server adopts, echoes and logs
+(``--access-log``), and :func:`merge_stats_payloads` is the fleet's
+``/stats`` roll-up.
+
 Transport: ``/records:batch`` and range-stream responses negotiate zlib
 ``Content-Encoding: deflate`` (clients advertise it by default; identity
 bodies stay byte-identical to the pre-compression wire).
@@ -70,6 +77,7 @@ from .app import (
     DEFAULT_PORT,
     BackgroundServer,
     CorpusServer,
+    merge_stats_payloads,
     run_server,
 )
 from .async_client import AsyncCorpusClient, AsyncFailoverCorpusClient
@@ -95,6 +103,7 @@ __all__ = [
     "ServerFleet",
     "is_retryable",
     "is_url",
+    "merge_stats_payloads",
     "run_fleet",
     "run_server",
     "split_replica_urls",

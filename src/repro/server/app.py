@@ -34,18 +34,22 @@ all use to stand a server up next to blocking client code.
 from __future__ import annotations
 
 import asyncio
+import json
 import random
 import threading
 import time
 import urllib.parse
 import zlib
 from pathlib import Path
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.codec import ZSmilesCodec
 from ..errors import ProtocolError, ReproError, ServerError
 from ..library import DEFAULT_POOL_SIZE, DEFAULT_STREAM_BATCH, AsyncCorpusLibrary
 from ..store.reader import DEFAULT_CACHE_BLOCKS
+from ..telemetry import metrics as _metrics
+from ..telemetry import tracing as _tracing
+from ..telemetry.logs import AccessLogger, open_access_log
 from . import protocol
 
 PathLike = Union[str, Path]
@@ -72,7 +76,10 @@ class _ConnectionAbort(Exception):
 class _Request:
     """One parsed HTTP request (the few fields the routes need)."""
 
-    __slots__ = ("method", "path", "query", "headers", "body")
+    __slots__ = (
+        "method", "path", "query", "headers", "body",
+        "request_id", "route", "status", "response_bytes",
+    )
 
     def __init__(
         self,
@@ -87,6 +94,12 @@ class _Request:
         self.query = query
         self.headers = headers
         self.body = body
+        # Telemetry bookkeeping, filled in as the request travels:
+        # the adopted/minted id, the route label, and what went out.
+        self.request_id: Optional[str] = None
+        self.route = "other"
+        self.status = 0
+        self.response_bytes = 0
 
     @property
     def keep_alive(self) -> bool:
@@ -108,6 +121,9 @@ class CorpusServer:
         port: int = DEFAULT_PORT,
         stream_batch: int = DEFAULT_STREAM_BATCH,
         reuse_port: bool = False,
+        access_log: Optional[AccessLogger] = None,
+        worker_id: Optional[int] = None,
+        registry: Optional[_metrics.MetricsRegistry] = None,
     ):
         if stream_batch < 1:
             raise ServerError("stream_batch must be >= 1")
@@ -118,6 +134,16 @@ class CorpusServer:
         #: Bind with SO_REUSEPORT so several worker processes can share one
         #: port and let the kernel balance connections (the fleet tier).
         self.reuse_port = reuse_port
+        self.access_log = access_log
+        self.worker_id = worker_id
+        self.registry = registry if registry is not None else _metrics.get_registry()
+        #: Per-worker admin port (a second listener on an ephemeral port)
+        #: and the fleet-wide list of every sibling's admin port.  Set by
+        #: the fleet tier; a lone server leaves both None and serves
+        #: local-only /stats and /metrics.
+        self.admin_port: Optional[int] = None
+        self.peer_admin_ports: Optional[List[int]] = None
+        self._admin_server: Optional[asyncio.base_events.Server] = None
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: set = set()
         self._busy: set = set()
@@ -136,11 +162,38 @@ class CorpusServer:
             "deflated": 0,
             "healthz": 0,
             "stats": 0,
+            "metrics": 0,
             "single": 0,
             "batch": 0,
             "stream": 0,
             "sample": 0,
         }
+        reg = self.registry
+        self._metric_requests = reg.counter(
+            "zsmiles_server_requests_total",
+            "Requests served, by route and response status",
+            labels=("route", "status"),
+        )
+        self._metric_latency = reg.histogram(
+            "zsmiles_server_request_seconds",
+            "Wall time from parsed request to response written",
+            labels=("route",),
+        )
+        self._metric_response_bytes = reg.histogram(
+            "zsmiles_server_response_bytes",
+            "Response body bytes, by route",
+            labels=("route",),
+            buckets=_metrics.DEFAULT_SIZE_BUCKETS,
+        )
+        self._metric_errors = reg.counter(
+            "zsmiles_server_errors_total",
+            "Requests answered with an error envelope, by exception type",
+            labels=("type",),
+        )
+        self._metric_records = reg.counter(
+            "zsmiles_server_records_served_total",
+            "Records delivered across all routes",
+        )
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -160,6 +213,23 @@ class CorpusServer:
         self.port = self._server.sockets[0].getsockname()[1]
         self._started_at = time.monotonic()
         self._started = True
+
+    async def start_admin(self) -> int:
+        """Bind the per-worker admin listener (same routes, own port).
+
+        Fleet workers in SO_REUSEPORT mode all share the public port, so a
+        sibling that wants *this* worker's counters needs a way to address
+        it individually — the admin listener is that address.  It serves
+        the same handler (so ``/stats?scope=local`` and
+        ``/metrics?scope=local`` work), just never via the shared port.
+        """
+        if self._admin_server is None:
+            self._admin_server = await asyncio.start_server(
+                self._serve_connection, self.host, 0
+            )
+            self.admin_port = self._admin_server.sockets[0].getsockname()[1]
+        assert self.admin_port is not None
+        return self.admin_port
 
     @property
     def url(self) -> str:
@@ -181,6 +251,9 @@ class CorpusServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self._admin_server is not None:
+            self._admin_server.close()
+            await self._admin_server.wait_closed()
         # Drain: only connections actually processing a request get the grace
         # period; handlers re-check _closing after each response and exit
         # instead of waiting for another one, so this is "drain", not
@@ -221,9 +294,18 @@ class CorpusServer:
                     break
                 if request is None:  # clean EOF between requests
                     break
+                # Adopt the caller's request id (X-Request-Id, falling back
+                # to X-Trace-Id) or mint one: every response and log line
+                # carries it, so a client-side trace matches server-side.
+                request.request_id = (
+                    request.headers.get("x-request-id")
+                    or request.headers.get("x-trace-id")
+                    or _tracing.new_trace_id()
+                )
                 keep_alive = request.keep_alive and not self._closing
                 if task is not None:
                     self._busy.add(task)
+                started = time.perf_counter()
                 try:
                     try:
                         await self._dispatch(request, writer, keep_alive)
@@ -235,16 +317,19 @@ class CorpusServer:
                         break
                     except ReproError as exc:
                         self.counters["errors"] += 1
-                        await self._write_error(writer, exc, keep_alive)
+                        self._metric_errors.labels(type(exc).__name__).inc()
+                        await self._write_error(writer, exc, keep_alive, request)
                     except Exception as exc:  # noqa: BLE001 — envelope, don't kill the loop
                         self.counters["errors"] += 1
+                        self._metric_errors.labels(type(exc).__name__).inc()
                         await self._write_error(
-                            writer, ServerError(f"internal error: {exc}"), False
+                            writer, ServerError(f"internal error: {exc}"), False, request
                         )
                         break
                 finally:
                     if task is not None:
                         self._busy.discard(task)
+                    self._finish_request(request, started)
                 if not keep_alive:
                     break
         except (asyncio.CancelledError, ConnectionError):
@@ -312,29 +397,48 @@ class CorpusServer:
         path = request.path
         if path == protocol.ROUTE_HEALTH:
             self.counters["healthz"] += 1
-            await self._write_json(writer, self._health_payload(), keep_alive)
+            request.route = "healthz"
+            await self._write_json(writer, self._health_payload(), keep_alive, request)
         elif path == protocol.ROUTE_STATS:
             self.counters["stats"] += 1
-            await self._write_json(writer, self.stats(), keep_alive)
+            request.route = "stats"
+            await self._handle_stats(request, writer, keep_alive)
+        elif path == protocol.ROUTE_METRICS:
+            self.counters["metrics"] += 1
+            request.route = "metrics"
+            await self._handle_metrics(request, writer, keep_alive)
         elif path == protocol.ROUTE_BATCH:
+            request.route = "batch"
             if request.method != "POST":
                 raise ProtocolError(f"{path} requires POST, got {request.method}")
             await self._handle_batch(request, writer, keep_alive)
         elif path == protocol.ROUTE_SAMPLE:
+            request.route = "sample"
             if request.method != "GET":
                 raise ProtocolError(f"{path} requires GET, got {request.method}")
             await self._handle_sample(request, writer, keep_alive)
         elif path.startswith(protocol.RECORD_PREFIX):
+            request.route = "single"
             await self._handle_single(request, writer, keep_alive)
         elif path == protocol.ROUTE_RECORDS:
+            request.route = "stream"
             await self._handle_stream(request, writer, keep_alive)
         else:
             self.counters["errors"] += 1
-            status, body = 404, protocol.encode_json(
-                {"error": {"type": "NotFound", "message": f"no route {path}", "status": 404}}
-            )
+            self._metric_errors.labels("NotFound").inc()
+            envelope = {
+                "error": {
+                    "type": "NotFound",
+                    "message": f"no route {path}",
+                    "status": 404,
+                }
+            }
+            if request.request_id is not None:
+                envelope["error"]["request_id"] = request.request_id
+            status, body = 404, protocol.encode_json(envelope)
             await self._write_response(
-                writer, status, body, protocol.CONTENT_TYPE_JSON, keep_alive
+                writer, status, body, protocol.CONTENT_TYPE_JSON, keep_alive,
+                request=request,
             )
 
     async def _handle_single(
@@ -348,12 +452,14 @@ class CorpusServer:
         record = await self.library.get(index)
         self.counters["single"] += 1
         self.counters["records_served"] += 1
+        self._metric_records.inc()
         await self._write_response(
             writer,
             200,
             record.encode("utf-8"),
             protocol.CONTENT_TYPE_TEXT,
             keep_alive,
+            request=request,
         )
 
     async def _handle_batch(
@@ -363,6 +469,7 @@ class CorpusServer:
         records = await self.library.get_many(indices)
         self.counters["batch"] += 1
         self.counters["records_served"] += len(records)
+        self._metric_records.inc(len(records))
         body, encoding = protocol.negotiate_encoding(
             request.headers, protocol.encode_records_body(records)
         )
@@ -375,6 +482,7 @@ class CorpusServer:
             protocol.CONTENT_TYPE_TEXT,
             keep_alive,
             content_encoding=encoding,
+            request=request,
         )
 
     async def _handle_sample(
@@ -393,10 +501,12 @@ class CorpusServer:
         records = await self.library.get_many(indices)
         self.counters["sample"] += 1
         self.counters["records_served"] += len(records)
+        self._metric_records.inc(len(records))
         await self._write_json(
             writer,
             protocol.sample_payload(indices, records, len(self.library), seed),
             keep_alive,
+            request,
         )
 
     async def _handle_stream(
@@ -428,9 +538,15 @@ class CorpusServer:
                 if compressor is not None
                 else ""
             )
+            + (
+                f"{_tracing.HEADER_REQUEST_ID}: {request.request_id}\r\n"
+                if request.request_id is not None
+                else ""
+            )
             + f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             "\r\n"
         )
+        request.status = 200
         writer.write(headers.encode("ascii"))
         # From here the response is on the wire: a failure can no longer be
         # answered with an error envelope (it would be injected into the
@@ -452,7 +568,9 @@ class CorpusServer:
                         f"{len(payload):x}\r\n".encode("ascii") + payload + b"\r\n"
                     )
                     await writer.drain()
+                    request.response_bytes += len(payload)
                 self.counters["records_served"] += len(batch)
+                self._metric_records.inc(len(batch))
                 cursor = upper
             if compressor is not None:
                 tail = compressor.flush()
@@ -464,7 +582,137 @@ class CorpusServer:
             raise
         except Exception as exc:
             self.counters["errors"] += 1
+            self._metric_errors.labels(type(exc).__name__).inc()
             raise _ConnectionAbort from exc
+
+    # ------------------------------------------------------------------ #
+    # Observability routes (stats / metrics, fleet-aware)
+    # ------------------------------------------------------------------ #
+    def _fleet_scoped(self, request: _Request) -> bool:
+        """Whether this request should merge sibling workers' state."""
+        return (
+            request.query.get("scope") != "local"
+            and self.peer_admin_ports is not None
+            and len(self.peer_admin_ports) > 1
+        )
+
+    async def _handle_stats(
+        self, request: _Request, writer: asyncio.StreamWriter, keep_alive: bool
+    ) -> None:
+        if self._fleet_scoped(request):
+            payload = await self._aggregate_stats()
+        else:
+            payload = self.stats()
+        if request.query.get("trace") == "recent":
+            # The most recent finished spans of *this* worker's ring (trace
+            # peeks are a debugging aid, not part of the fleet aggregate).
+            payload["trace"] = _tracing.get_exporter().recent(limit=32)
+        await self._write_json(writer, payload, keep_alive, request)
+
+    async def _handle_metrics(
+        self, request: _Request, writer: asyncio.StreamWriter, keep_alive: bool
+    ) -> None:
+        if self._fleet_scoped(request):
+            snapshots = [self.registry.snapshot()]
+            snapshots.extend(
+                await self._peer_payloads(
+                    f"{protocol.ROUTE_METRICS}?format=json&scope=local"
+                )
+            )
+            snapshot = _metrics.merge_snapshots(snapshots)
+        else:
+            snapshot = self.registry.snapshot()
+        if request.query.get("format") == "json":
+            await self._write_response(
+                writer,
+                200,
+                _metrics.snapshot_to_json(snapshot),
+                protocol.CONTENT_TYPE_JSON,
+                keep_alive,
+                request=request,
+            )
+            return
+        body = _metrics.render_prometheus(snapshot).encode("utf-8")
+        await self._write_response(
+            writer,
+            200,
+            body,
+            protocol.CONTENT_TYPE_PROMETHEUS,
+            keep_alive,
+            request=request,
+        )
+
+    async def _aggregate_stats(self) -> Dict[str, object]:
+        payloads: List[Dict[str, object]] = [self.stats()]
+        payloads.extend(
+            await self._peer_payloads(f"{protocol.ROUTE_STATS}?scope=local")
+        )
+        return merge_stats_payloads(payloads)
+
+    async def _peer_payloads(self, target: str) -> List[Dict[str, object]]:
+        """Fetch *target* from every live sibling's admin port (skip self).
+
+        A dead sibling (crashed worker) is skipped rather than failing the
+        scrape — the aggregate then describes the surviving fleet, which
+        is exactly what an operator wants mid-incident.
+        """
+        ports = [
+            port
+            for port in (self.peer_admin_ports or [])
+            if port != self.admin_port
+        ]
+        if not ports:
+            return []
+        results = await asyncio.gather(
+            *(self._fetch_peer_json(port, target) for port in ports)
+        )
+        return [payload for payload in results if payload is not None]
+
+    async def _fetch_peer_json(
+        self, port: int, target: str, timeout: float = 2.0
+    ) -> Optional[Dict[str, object]]:
+        """One minimal HTTP GET against a sibling worker; None on failure."""
+        try:
+            reader, peer_writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, port), timeout
+            )
+        except (OSError, asyncio.TimeoutError):
+            return None
+        try:
+            peer_writer.write(
+                (
+                    f"GET {target} HTTP/1.1\r\n"
+                    f"Host: {self.host}:{port}\r\n"
+                    f"Accept: {protocol.CONTENT_TYPE_JSON}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode("ascii")
+            )
+            await asyncio.wait_for(peer_writer.drain(), timeout)
+            status_line = await asyncio.wait_for(reader.readline(), timeout)
+            parts = status_line.split()
+            if len(parts) < 2 or parts[1] != b"200":
+                return None
+            length = None
+            while True:
+                raw = await asyncio.wait_for(reader.readline(), timeout)
+                if raw in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = raw.decode("latin-1").partition(":")
+                if name.strip().lower() == "content-length":
+                    length = int(value.strip())
+            if length is None:
+                return None
+            body = await asyncio.wait_for(reader.readexactly(length), timeout)
+            payload = json.loads(body.decode("utf-8"))
+            return payload if isinstance(payload, dict) else None
+        except (OSError, ValueError, asyncio.TimeoutError, asyncio.IncompleteReadError):
+            return None
+        finally:
+            peer_writer.close()
+            try:
+                await peer_writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
 
     # ------------------------------------------------------------------ #
     # Payloads
@@ -514,8 +762,10 @@ class CorpusServer:
         content_type: str,
         keep_alive: bool,
         content_encoding: Optional[str] = None,
+        request: Optional[_Request] = None,
     ) -> None:
         reason = protocol.STATUS_REASONS.get(status, "Unknown")
+        request_id = request.request_id if request is not None else None
         headers = (
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: {content_type}\r\n"
@@ -525,29 +775,131 @@ class CorpusServer:
                 if content_encoding
                 else ""
             )
+            + (
+                f"{_tracing.HEADER_REQUEST_ID}: {request_id}\r\n"
+                if request_id is not None
+                else ""
+            )
             + f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             "\r\n"
         )
+        if request is not None:
+            request.status = status
+            request.response_bytes += len(body)
         writer.write(headers.encode("ascii") + body)
         await writer.drain()
 
     async def _write_json(
-        self, writer: asyncio.StreamWriter, payload: Dict[str, object], keep_alive: bool
+        self,
+        writer: asyncio.StreamWriter,
+        payload: Dict[str, object],
+        keep_alive: bool,
+        request: Optional[_Request] = None,
     ) -> None:
         await self._write_response(
-            writer, 200, protocol.encode_json(payload), protocol.CONTENT_TYPE_JSON, keep_alive
+            writer, 200, protocol.encode_json(payload), protocol.CONTENT_TYPE_JSON,
+            keep_alive, request=request,
         )
 
     async def _write_error(
-        self, writer: asyncio.StreamWriter, exc: BaseException, keep_alive: bool = False
+        self,
+        writer: asyncio.StreamWriter,
+        exc: BaseException,
+        keep_alive: bool = False,
+        request: Optional[_Request] = None,
     ) -> None:
-        status, body = protocol.encode_error(exc)
+        status, body = protocol.encode_error(
+            exc, request.request_id if request is not None else None
+        )
         try:
             await self._write_response(
-                writer, status, body, protocol.CONTENT_TYPE_JSON, keep_alive
+                writer, status, body, protocol.CONTENT_TYPE_JSON, keep_alive,
+                request=request,
             )
         except ConnectionError:
             pass  # the peer is gone; nothing to tell them
+
+    def _finish_request(self, request: _Request, started: float) -> None:
+        """Record one finished request: metrics always, access log if on."""
+        elapsed = time.perf_counter() - started
+        route = request.route
+        self._metric_requests.labels(route, request.status).inc()
+        self._metric_latency.labels(route).observe(elapsed)
+        if request.response_bytes:
+            self._metric_response_bytes.labels(route).observe(request.response_bytes)
+        if self.registry.enabled and request.request_id is not None:
+            # One finished span per request feeds ``/stats?trace=recent``:
+            # a failover chain shows up as several spans sharing a trace id.
+            span = _tracing.Span(
+                f"server.{route}", request.request_id, {"status": request.status}
+            )
+            span.duration_ms = round(elapsed * 1000.0, 3)
+            _tracing.get_exporter().export(span)
+        if self.access_log is not None:
+            self.access_log.log(
+                request_id=request.request_id,
+                method=request.method,
+                path=request.path,
+                route=route,
+                status=request.status,
+                bytes=request.response_bytes,
+                duration_ms=round(elapsed * 1000.0, 3),
+            )
+
+
+# --------------------------------------------------------------------------- #
+# Fleet stats aggregation
+# --------------------------------------------------------------------------- #
+def merge_stats_payloads(
+    payloads: Sequence[Dict[str, object]]
+) -> Dict[str, object]:
+    """Merge per-worker ``/stats`` payloads into one fleet-wide payload.
+
+    Counters sum, the cache counters sum (with the hit rate recomputed
+    over the summed counters), quarantine shard maps union (a block two
+    workers both quarantined counts once), pool sizes sum (the fleet's
+    total decode concurrency) and uptime is the oldest worker's.  Identity
+    fields (protocol, dictionary, records, manifest) come from the first
+    payload — every worker serves the same corpus.
+    """
+    if not payloads:
+        raise ServerError("merge_stats_payloads needs at least one payload")
+    merged = dict(payloads[0])
+    counters: Dict[str, int] = {}
+    for payload in payloads:
+        for key, value in payload.get("counters", {}).items():  # type: ignore[union-attr]
+            counters[key] = counters.get(key, 0) + int(value)
+    merged["counters"] = counters
+    cache: Dict[str, object] = {}
+    for payload in payloads:
+        for key, value in payload.get("cache", {}).items():  # type: ignore[union-attr]
+            if key == "hit_rate":
+                continue
+            cache[key] = cache.get(key, 0) + int(value)
+    lookups = int(cache.get("hits", 0)) + int(cache.get("misses", 0))
+    cache["hit_rate"] = round(int(cache.get("hits", 0)) / lookups, 6) if lookups else 0.0
+    merged["cache"] = cache
+    shards: Dict[str, set] = {}
+    quarantine_hits = 0
+    for payload in payloads:
+        quarantine = payload.get("quarantine", {})
+        quarantine_hits += int(quarantine.get("quarantine_hits", 0))  # type: ignore[union-attr]
+        for name, blocks in quarantine.get("shards", {}).items():  # type: ignore[union-attr]
+            shards.setdefault(str(name), set()).update(blocks)
+    quarantined = sum(len(blocks) for blocks in shards.values())
+    merged["quarantine"] = {
+        "quarantined_blocks": quarantined,
+        "total_blocks_quarantined": quarantined,
+        "quarantine_hits": quarantine_hits,
+        "shards": {name: sorted(blocks) for name, blocks in sorted(shards.items())},
+    }
+    merged["pool_size"] = sum(int(p.get("pool_size", 0)) for p in payloads)
+    merged["uptime_seconds"] = max(
+        float(p.get("uptime_seconds", 0.0)) for p in payloads
+    )
+    merged["workers"] = len(payloads)
+    merged["aggregated"] = True
+    return merged
 
 
 # --------------------------------------------------------------------------- #
@@ -577,6 +929,7 @@ class BackgroundServer:
         cache_blocks: int = DEFAULT_CACHE_BLOCKS,
         use_mmap: bool = False,
         stream_batch: int = DEFAULT_STREAM_BATCH,
+        access_log: Optional[PathLike] = None,
     ):
         self._source = source
         self._codec = codec
@@ -586,6 +939,7 @@ class BackgroundServer:
         self._cache_blocks = cache_blocks
         self._use_mmap = use_mmap
         self._stream_batch = stream_batch
+        self._access_log = access_log
         self._thread: Optional[threading.Thread] = None
         self._ready = threading.Event()
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -608,9 +962,14 @@ class BackgroundServer:
             self._startup_error = exc
             self._ready.set()
             return
+        access_log = open_access_log(self._access_log)
         try:
             server = CorpusServer(
-                library, self._host, self._port, stream_batch=self._stream_batch
+                library,
+                self._host,
+                self._port,
+                stream_batch=self._stream_batch,
+                access_log=access_log,
             )
             await server.start()
             self.server = server
@@ -625,6 +984,8 @@ class BackgroundServer:
             raise
         finally:
             library.close()
+            if access_log is not None:
+                access_log.close()
 
     # -- public surface -------------------------------------------------- #
     def start(self) -> "BackgroundServer":
@@ -695,6 +1056,7 @@ def run_server(
     readers: int = DEFAULT_POOL_SIZE,
     cache_blocks: int = DEFAULT_CACHE_BLOCKS,
     use_mmap: bool = False,
+    access_log: Optional[str] = None,
 ) -> int:
     """Serve *source* in the foreground until SIGINT/SIGTERM (``cli serve``).
 
@@ -712,8 +1074,9 @@ def run_server(
             cache_blocks=cache_blocks,
             use_mmap=use_mmap,
         )
+        log = open_access_log(access_log)
         try:
-            server = CorpusServer(library, host, port)
+            server = CorpusServer(library, host, port, access_log=log)
             await server.start()
             print(
                 f"serving {len(library)} records at {server.url} "
@@ -733,6 +1096,8 @@ def run_server(
             await server.shutdown()
         finally:
             library.close()
+            if log is not None:
+                log.close()
 
     try:
         asyncio.run(_main())

@@ -32,6 +32,8 @@ import zlib
 from typing import AsyncIterator, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import ProtocolError, ReproError, ServerConnectionError, ServerError
+from ..telemetry import metrics as _metrics
+from ..telemetry import tracing as _tracing
 from . import protocol
 from .retry import RetryPolicy, RetryState
 
@@ -118,6 +120,15 @@ class AsyncCorpusClient:
         self._conn: Optional[Tuple[asyncio.StreamReader, asyncio.StreamWriter]] = None
         self._lock = asyncio.Lock()
         self._total: Optional[int] = None
+        registry = _metrics.get_registry()
+        self._metric_requests = registry.counter(
+            "zsmiles_client_requests_total",
+            "HTTP requests issued by the corpus clients",
+        )
+        self._metric_reconnects = registry.counter(
+            "zsmiles_client_reconnects_total",
+            "Keep-alive connections dropped and reopened after a transport failure",
+        )
 
     # ------------------------------------------------------------------ #
     # Transport
@@ -151,6 +162,12 @@ class AsyncCorpusClient:
         }
         if self.compress:
             request_headers["Accept-Encoding"] = protocol.CONTENT_ENCODING_DEFLATE
+        # contextvars flow through asyncio tasks, so a trace_context opened
+        # by the caller (or the failover wrapper) stamps every send it makes.
+        trace_id = _tracing.current_trace_id()
+        request_id = trace_id or _tracing.new_trace_id()
+        request_headers[_tracing.HEADER_REQUEST_ID] = request_id
+        request_headers[_tracing.HEADER_TRACE_ID] = trace_id or request_id
         if headers:
             request_headers.update(headers)
         if body is not None:
@@ -205,6 +222,7 @@ class AsyncCorpusClient:
         payload_out = self._request_bytes(
             method, target, body, headers, protocol.CONTENT_TYPE_JSON
         )
+        self._metric_requests.inc()
         async with self._lock:
             last_error: Optional[Exception] = None
             conn = None
@@ -221,6 +239,7 @@ class AsyncCorpusClient:
                 except _TRANSPORT_ERRORS as exc:
                     last_error = exc
                     await self._drop_connection()
+                    self._metric_reconnects.inc()
                     if not await _await_retry(retry_state):
                         break
             if conn is None:
@@ -266,6 +285,11 @@ class AsyncCorpusClient:
         if isinstance(records, int):
             self._total = records
         return payload
+
+    async def metrics(self) -> str:
+        """The server's ``GET /metrics`` Prometheus text exposition."""
+        _, body = await self._call("GET", protocol.ROUTE_METRICS)
+        return body.decode("utf-8")
 
     @staticmethod
     def _json_object(body: bytes, route: str) -> Dict[str, object]:
@@ -352,6 +376,7 @@ class AsyncCorpusClient:
         payload_out = self._request_bytes(
             "GET", target, None, None, protocol.CONTENT_TYPE_TEXT
         )
+        self._metric_requests.inc()
         try:
             reader, writer = await self._open()
         except _TRANSPORT_ERRORS as exc:
@@ -507,6 +532,11 @@ class AsyncFailoverCorpusClient:
     async def _fan(self, op):
         last_error: Optional[ReproError] = None
         retry_state = self.retry.start()
+        # One trace id spans the whole failover chain (see the blocking twin).
+        with _tracing.trace_context():
+            return await self._fan_traced(op, retry_state, last_error)
+
+    async def _fan_traced(self, op, retry_state, last_error):
         while True:
             for client in self._rotation():
                 try:

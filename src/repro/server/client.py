@@ -57,6 +57,8 @@ import zlib
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..errors import ProtocolError, ReproError, ServerConnectionError, ServerError
+from ..telemetry import metrics as _metrics
+from ..telemetry import tracing as _tracing
 from . import protocol
 from .retry import RetryPolicy
 
@@ -64,6 +66,18 @@ from .retry import RetryPolicy
 DEFAULT_TIMEOUT = 30.0
 #: Records requested per :meth:`CorpusClient.iter_range` underlying stream read.
 DEFAULT_READ_BATCH = 8192
+
+#: Sentinel for "the stream produced nothing" in the failover resume loop.
+_STREAM_DONE = object()
+
+
+def _chain_first(first: object, rest: Iterator[str]) -> Iterator[str]:
+    """Re-attach an eagerly pulled first record to the rest of its stream."""
+    if first is _STREAM_DONE:
+        return
+    yield first  # type: ignore[misc]
+    for record in rest:
+        yield record
 
 
 class CorpusClient:
@@ -113,6 +127,19 @@ class CorpusClient:
         # readers' ShardReader._io_lock plays the same role.
         self._lock = threading.RLock()
         self._total: Optional[int] = None
+        registry = _metrics.get_registry()
+        self._metric_requests = registry.counter(
+            "zsmiles_client_requests_total",
+            "HTTP requests issued by the corpus clients",
+        )
+        self._metric_reconnects = registry.counter(
+            "zsmiles_client_reconnects_total",
+            "Keep-alive connections dropped and reopened after a transport failure",
+        )
+        self._metric_stream_records = registry.counter(
+            "zsmiles_client_stream_records_total",
+            "Records delivered by range streams (counts partial streams too)",
+        )
 
     # ------------------------------------------------------------------ #
     # Transport
@@ -147,6 +174,20 @@ class CorpusClient:
                 self._conn.close()
                 self._conn = None
 
+    @staticmethod
+    def _stamp_trace(request_headers: Dict[str, str]) -> None:
+        """Stamp ``X-Request-Id``/``X-Trace-Id`` from the ambient trace.
+
+        Inside a :func:`repro.telemetry.trace_context` every request of the
+        operation (including failover re-sends) carries the same id; outside
+        one, each request mints a fresh id so server logs are still joinable
+        per request.
+        """
+        trace_id = _tracing.current_trace_id()
+        request_id = trace_id or _tracing.new_trace_id()
+        request_headers[_tracing.HEADER_REQUEST_ID] = request_id
+        request_headers[_tracing.HEADER_TRACE_ID] = trace_id or request_id
+
     def _request(
         self,
         method: str,
@@ -170,8 +211,10 @@ class CorpusClient:
         request_headers = {"Accept": protocol.CONTENT_TYPE_JSON}
         if self.compress:
             request_headers["Accept-Encoding"] = protocol.CONTENT_ENCODING_DEFLATE
+        self._stamp_trace(request_headers)
         if headers:
             request_headers.update(headers)
+        self._metric_requests.inc()
         last_error: Optional[Exception] = None
         conn: Optional[http.client.HTTPConnection] = None
         retry_state = self.retry.start()
@@ -183,6 +226,7 @@ class CorpusClient:
             except (http.client.HTTPException, ConnectionError, socket.timeout, OSError) as exc:
                 last_error = exc
                 self._drop_connection()
+                self._metric_reconnects.inc()
                 conn = None
                 if not retry_state.wait():
                     break
@@ -241,14 +285,29 @@ class CorpusClient:
         _, body = self._call("GET", protocol.ROUTE_HEALTH)
         return self._json_object(body, protocol.ROUTE_HEALTH)
 
-    def stats(self) -> Dict[str, object]:
+    def stats(self, trace: bool = False) -> Dict[str, object]:
         """The server's ``/stats`` payload (manifest, cache and counters)."""
-        _, body = self._call("GET", protocol.ROUTE_STATS)
+        target = protocol.ROUTE_STATS + ("?trace=recent" if trace else "")
+        _, body = self._call("GET", target)
         payload = self._json_object(body, protocol.ROUTE_STATS)
         records = payload.get("records")
         if isinstance(records, int):
             self._total = records
         return payload
+
+    def metrics(self) -> str:
+        """The server's ``GET /metrics`` Prometheus text exposition.
+
+        Against a fleet, whichever worker answers merges every live
+        sibling's registry first, so one call sees the whole fleet.
+        """
+        _, body = self._call("GET", protocol.ROUTE_METRICS)
+        return body.decode("utf-8")
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """The same data as :meth:`metrics`, as the JSON snapshot shape."""
+        _, body = self._call("GET", f"{protocol.ROUTE_METRICS}?format=json")
+        return self._json_object(body, protocol.ROUTE_METRICS)
 
     @staticmethod
     def _json_object(body: bytes, route: str) -> Dict[str, object]:
@@ -351,6 +410,9 @@ class CorpusClient:
         stream_headers = {"Accept": protocol.CONTENT_TYPE_TEXT}
         if self.compress:
             stream_headers["Accept-Encoding"] = protocol.CONTENT_ENCODING_DEFLATE
+        self._stamp_trace(stream_headers)
+        self._metric_requests.inc()
+        delivered = 0
         conn = self._new_connection()
         try:
             try:
@@ -372,7 +434,6 @@ class CorpusClient:
                     f"server sent unsupported Content-Encoding {encoding!r}"
                 )
             pending = b""
-            delivered = 0
             try:
                 while True:
                     # read1, not read: read(n) buffers until n bytes or EOF
@@ -433,6 +494,8 @@ class CorpusClient:
                     delivered=delivered,
                 )
         finally:
+            if delivered:
+                self._metric_stream_records.inc(delivered)
             conn.close()
 
     def slice(self, start: int, stop: int) -> List[str]:
@@ -522,6 +585,15 @@ class FailoverCorpusClient:
         ]
         self._cursor = 0
         self._cursor_lock = threading.Lock()
+        registry = _metrics.get_registry()
+        self._metric_rotations = registry.counter(
+            "zsmiles_client_rotations_total",
+            "Replica rotations started by the failover client",
+        )
+        self._metric_failovers = registry.counter(
+            "zsmiles_client_failovers_total",
+            "Retryable per-replica failures that moved a call to the next replica",
+        )
 
     # ------------------------------------------------------------------ #
     # Routing
@@ -531,6 +603,7 @@ class FailoverCorpusClient:
         with self._cursor_lock:
             start = self._cursor
             self._cursor = (self._cursor + 1) % len(self._clients)
+        self._metric_rotations.inc()
         n = len(self._clients)
         return [self._clients[(start + i) % n] for i in range(n)]
 
@@ -543,19 +616,24 @@ class FailoverCorpusClient:
         """
         last_error: Optional[ReproError] = None
         retry_state = self.retry.start()
-        while True:
-            for client in self._rotation():
-                try:
-                    return op(client)
-                except ReproError as exc:
-                    if not protocol.is_retryable(exc):
-                        raise
-                    last_error = exc
-            if not retry_state.wait():
-                raise ServerConnectionError(
-                    f"all {len(self._clients)} replicas failed "
-                    f"({', '.join(self.urls)}); last error: {last_error}"
-                ) from last_error
+        # One trace id spans the whole failover chain: every replica tried
+        # (and every reconnect inside each replica's client) stamps the same
+        # X-Request-Id, so the chain is one trace across all access logs.
+        with _tracing.trace_context():
+            while True:
+                for client in self._rotation():
+                    try:
+                        return op(client)
+                    except ReproError as exc:
+                        if not protocol.is_retryable(exc):
+                            raise
+                        self._metric_failovers.inc()
+                        last_error = exc
+                if not retry_state.wait():
+                    raise ServerConnectionError(
+                        f"all {len(self._clients)} replicas failed "
+                        f"({', '.join(self.urls)}); last error: {last_error}"
+                    ) from last_error
 
     # ------------------------------------------------------------------ #
     # Service endpoints
@@ -564,9 +642,17 @@ class FailoverCorpusClient:
         """Liveness payload from the first replica that answers."""
         return self._fan(lambda c: c.healthz())
 
-    def stats(self) -> Dict[str, object]:
+    def stats(self, trace: bool = False) -> Dict[str, object]:
         """``/stats`` payload from the first replica that answers."""
-        return self._fan(lambda c: c.stats())
+        return self._fan(lambda c: c.stats(trace=trace))
+
+    def metrics(self) -> str:
+        """Prometheus exposition from the first replica that answers."""
+        return self._fan(lambda c: c.metrics())
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """JSON metrics snapshot from the first replica that answers."""
+        return self._fan(lambda c: c.metrics_snapshot())
 
     # ------------------------------------------------------------------ #
     # RecordReader surface
@@ -606,12 +692,18 @@ class FailoverCorpusClient:
         """
         delivered = 0
         retry_state = self.retry.start()
+        # The resumed segments share one trace id (the context is entered in
+        # the generator frame, so it follows wherever the stream is consumed).
+        trace_id = _tracing.current_trace_id() or _tracing.new_trace_id()
         while True:
             progressed = False
             last_error: Optional[ReproError] = None
             for client in self._rotation():
                 try:
-                    for record in client.iter_range(start + delivered, stop):
+                    with _tracing.trace_context(trace_id):
+                        stream = client.iter_range(start + delivered, stop)
+                        first = next(stream, _STREAM_DONE)
+                    for record in _chain_first(first, stream):
                         delivered += 1
                         progressed = True
                         yield record
@@ -619,6 +711,7 @@ class FailoverCorpusClient:
                 except ReproError as exc:
                     if not protocol.is_retryable(exc):
                         raise
+                    self._metric_failovers.inc()
                     last_error = exc
                     if progressed:
                         # Partial delivery: restart the rotation with a

@@ -51,6 +51,7 @@ from ..core.codec import ZSmilesCodec
 from ..errors import ServerBusyError, ServerError
 from ..library import DEFAULT_POOL_SIZE, DEFAULT_STREAM_BATCH, AsyncCorpusLibrary
 from ..store.reader import DEFAULT_CACHE_BLOCKS
+from ..telemetry.logs import open_access_log
 from . import protocol
 from .app import DEFAULT_GRACE, DEFAULT_HOST, CorpusServer
 
@@ -84,13 +85,21 @@ def _worker_main(
     use_mmap: bool,
     stream_batch: int,
     ready_queue: "multiprocessing.Queue",
+    peers_queue: "multiprocessing.Queue",
+    access_log: Optional[str],
 ) -> None:
     """One fleet worker: open the library, serve until SIGTERM, drain, exit.
 
     ``port`` is the shared fleet port in reuseport mode (every worker binds
     it) and ``0`` in proxy mode (each worker reports its own ephemeral port
-    back through *ready_queue*).
+    back through *ready_queue*).  Each worker also binds a private *admin*
+    listener on an ephemeral port (same handler, same routes) and reports it
+    in the ready tuple; once the parent has every admin port it posts one
+    ``("peers", ports)`` message per worker on *peers_queue* so any worker
+    can aggregate ``/stats`` and ``/metrics`` across the whole fleet.
     """
+    import functools
+    import queue as queue_mod
     import signal
 
     async def _main() -> None:
@@ -105,6 +114,7 @@ def _worker_main(
         except BaseException as exc:
             ready_queue.put(("error", worker_id, f"{type(exc).__name__}: {exc}"))
             return
+        log = open_access_log(access_log, worker_id=worker_id)
         try:
             server = CorpusServer(
                 library,
@@ -112,10 +122,15 @@ def _worker_main(
                 port,
                 stream_batch=stream_batch,
                 reuse_port=reuse_port,
+                access_log=log,
+                worker_id=worker_id,
             )
             await server.start()
+            admin_port = await server.start_admin()
         except BaseException as exc:
             library.close()
+            if log is not None:
+                log.close()
             ready_queue.put(("error", worker_id, f"{type(exc).__name__}: {exc}"))
             return
         stop = asyncio.Event()
@@ -125,12 +140,39 @@ def _worker_main(
                 loop.add_signal_handler(signum, stop.set)
             except (NotImplementedError, RuntimeError):  # pragma: no cover
                 pass  # platforms without loop signal handlers
+
+        async def _adopt_peers() -> None:
+            # Poll (short blocking gets in the executor) so shutdown never
+            # waits on a long queue.get if the parent dies mid-handshake.
+            deadline = time.monotonic() + DEFAULT_READY_TIMEOUT
+            while time.monotonic() < deadline and not stop.is_set():
+                try:
+                    message = await loop.run_in_executor(
+                        None, functools.partial(peers_queue.get, True, 0.25)
+                    )
+                except queue_mod.Empty:
+                    continue
+                if message[0] == "peers":
+                    server.peer_admin_ports = list(message[1])
+                    ready_queue.put(("peers-ok", worker_id))
+                return
+
         try:
-            ready_queue.put(("ready", worker_id, server.port, len(library)))
+            ready_queue.put(
+                ("ready", worker_id, server.port, len(library), admin_port)
+            )
+            peers_task = asyncio.ensure_future(_adopt_peers())
             await stop.wait()
+            peers_task.cancel()
+            try:
+                await peers_task
+            except asyncio.CancelledError:
+                pass
             await server.shutdown(grace=DEFAULT_GRACE)
         finally:
             library.close()
+            if log is not None:
+                log.close()
 
     try:
         asyncio.run(_main())
@@ -169,6 +211,7 @@ class ServerFleet:
         stream_batch: int = DEFAULT_STREAM_BATCH,
         prefer_reuse_port: bool = True,
         ready_timeout: float = DEFAULT_READY_TIMEOUT,
+        access_log: Optional[str] = None,
     ):
         if workers < 1:
             raise ServerError(f"workers must be >= 1, got {workers}")
@@ -181,6 +224,8 @@ class ServerFleet:
         self._use_mmap = use_mmap
         self._stream_batch = stream_batch
         self._ready_timeout = ready_timeout
+        self._access_log = access_log
+        self.admin_ports: List[int] = []
         self.workers = workers
         self.mode = (
             "reuseport" if prefer_reuse_port and _reuse_port_supported() else "proxy"
@@ -206,6 +251,7 @@ class ServerFleet:
             raise ServerError("ServerFleet cannot be restarted; create a new instance")
         ctx = multiprocessing.get_context("spawn")
         ready_queue = ctx.Queue()
+        peers_queue = ctx.Queue()
         if self.mode == "reuseport":
             # Reserve the port with a bound-but-NOT-listening placeholder:
             # bind resolves port 0 so every worker can be told the real
@@ -247,6 +293,8 @@ class ServerFleet:
                         self._use_mmap,
                         self._stream_batch,
                         ready_queue,
+                        peers_queue,
+                        self._access_log,
                     ),
                     name=f"zsmiles-fleet-worker-{worker_id}",
                     daemon=True,
@@ -254,6 +302,7 @@ class ServerFleet:
                 process.start()
                 self._processes.append(process)
             self._await_ready(ready_queue)
+            self._share_admin_ports(ready_queue, peers_queue)
             if self.mode == "proxy":
                 self._start_proxy()
         except BaseException:
@@ -268,6 +317,7 @@ class ServerFleet:
 
         deadline = time.monotonic() + self._ready_timeout
         ports: dict = {}
+        admin_ports: dict = {}
         while len(ports) < self.workers:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
@@ -288,10 +338,51 @@ class ServerFleet:
             if message[0] == "error":
                 _, worker_id, detail = message
                 raise ServerError(f"fleet worker {worker_id} failed to start: {detail}")
-            _, worker_id, port, records = message
+            _, worker_id, port, records, admin_port = message
             ports[worker_id] = port
+            admin_ports[worker_id] = admin_port
             self.records = records
         self._backend_ports = [ports[i] for i in range(self.workers)]
+        self.admin_ports = [admin_ports[i] for i in range(self.workers)]
+
+    def _share_admin_ports(
+        self,
+        ready_queue: "multiprocessing.Queue",
+        peers_queue: "multiprocessing.Queue",
+    ) -> None:
+        """Post the admin-port roster to every worker and collect the acks.
+
+        Runs only after :meth:`_await_ready` collected all N ready tuples, so
+        every message on *ready_queue* from here on is a ``peers-ok`` ack —
+        the handshake is deterministic, no races.  A worker that dies before
+        acking is surfaced as a startup error (its peers would silently serve
+        per-worker numbers otherwise).
+        """
+        import queue as queue_mod
+
+        for _ in range(self.workers):
+            peers_queue.put(("peers", list(self.admin_ports)))
+        deadline = time.monotonic() + self._ready_timeout
+        acked: set = set()
+        while len(acked) < self.workers:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServerError(
+                    f"fleet peers handshake timed out: {len(acked)}/"
+                    f"{self.workers} workers acked"
+                )
+            try:
+                message = ready_queue.get(timeout=min(remaining, 0.5))
+            except queue_mod.Empty:
+                dead = [p for p in self._processes if not p.is_alive()]
+                if dead:
+                    raise ServerError(
+                        f"fleet worker {dead[0].name} exited during the peers "
+                        f"handshake (exitcode {dead[0].exitcode})"
+                    )
+                continue
+            if message[0] == "peers-ok":
+                acked.add(message[1])
 
     # -- proxy fallback -------------------------------------------------- #
     def _start_proxy(self) -> None:
@@ -474,6 +565,7 @@ def run_fleet(
     readers: int = DEFAULT_POOL_SIZE,
     cache_blocks: int = DEFAULT_CACHE_BLOCKS,
     use_mmap: bool = False,
+    access_log: Optional[str] = None,
 ) -> int:
     """Serve *source* with a worker fleet until SIGINT/SIGTERM.
 
@@ -493,6 +585,7 @@ def run_fleet(
         readers=readers,
         cache_blocks=cache_blocks,
         use_mmap=use_mmap,
+        access_log=access_log,
     )
     fleet.start()
     try:

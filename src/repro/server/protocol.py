@@ -62,6 +62,7 @@ PROTOCOL_VERSION = 1
 # --------------------------------------------------------------------------- #
 ROUTE_HEALTH = "/healthz"
 ROUTE_STATS = "/stats"
+ROUTE_METRICS = "/metrics"
 ROUTE_RECORDS = "/records"
 ROUTE_BATCH = "/records:batch"
 ROUTE_SAMPLE = "/records:sample"
@@ -73,6 +74,8 @@ RECORD_PREFIX = ROUTE_RECORDS + "/"
 # --------------------------------------------------------------------------- #
 CONTENT_TYPE_JSON = "application/json"
 CONTENT_TYPE_TEXT = "text/plain; charset=utf-8"
+#: The Prometheus text exposition format version ``GET /metrics`` serves.
+CONTENT_TYPE_PROMETHEUS = "text/plain; version=0.0.4; charset=utf-8"
 
 #: Hard cap on request body bytes (a batch of ~1M indices fits comfortably).
 MAX_BODY_BYTES = 16 * 1024 * 1024
@@ -144,21 +147,31 @@ def status_for_exception(exc: BaseException) -> int:
     return 500
 
 
-def error_envelope(exc: BaseException, status: int) -> Dict[str, object]:
-    """The JSON-serializable error body for *exc*."""
-    return {
-        "error": {
-            "type": type(exc).__name__,
-            "message": str(exc),
-            "status": status,
-        }
+def error_envelope(
+    exc: BaseException, status: int, request_id: Optional[str] = None
+) -> Dict[str, object]:
+    """The JSON-serializable error body for *exc*.
+
+    *request_id* — the id the server adopted from the client's
+    ``X-Request-Id`` header (or minted) — is echoed inside the envelope,
+    so a failing request can be matched against the server's access log.
+    """
+    error: Dict[str, object] = {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "status": status,
     }
+    if request_id is not None:
+        error["request_id"] = request_id
+    return {"error": error}
 
 
-def encode_error(exc: BaseException) -> Tuple[int, bytes]:
+def encode_error(
+    exc: BaseException, request_id: Optional[str] = None
+) -> Tuple[int, bytes]:
     """Render *exc* as ``(status, envelope bytes)`` for the response."""
     status = status_for_exception(exc)
-    return status, encode_json(error_envelope(exc, status))
+    return status, encode_json(error_envelope(exc, status, request_id))
 
 
 def exception_from_envelope(body: bytes, status: int) -> ReproError:
@@ -170,12 +183,15 @@ def exception_from_envelope(body: bytes, status: int) -> ReproError:
     """
     message = f"server returned HTTP {status}"
     name = ""
+    request_id: Optional[str] = None
     try:
         obj = json.loads(body.decode("utf-8"))
         error = obj.get("error", {}) if isinstance(obj, dict) else {}
         if isinstance(error, dict):
             name = str(error.get("type", ""))
             message = str(error.get("message", message))
+            if isinstance(error.get("request_id"), str):
+                request_id = error["request_id"]
     except (ValueError, UnicodeDecodeError):
         pass
     # A 503 whose envelope is untyped (a proxy, a load balancer) is still a
@@ -183,7 +199,10 @@ def exception_from_envelope(body: bytes, status: int) -> ReproError:
     # fatal ServerError, so failover clients keep their retry classification.
     default = ServerBusyError if status == 503 else ServerError
     cls = _EXCEPTION_BY_NAME.get(name, default)
-    return cls(message)
+    exc = cls(message)
+    # The id the server echoed, for log correlation (None when absent).
+    exc.request_id = request_id  # type: ignore[attr-defined]
+    return exc
 
 
 def is_retryable(exc: BaseException) -> bool:

@@ -30,9 +30,30 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..errors import ReproError
+from ..telemetry import metrics as _metrics
 
 #: Matches the clients' historical behaviour: one transparent retry.
 DEFAULT_MAX_ATTEMPTS = 2
+
+
+def _retry_instruments():
+    """The shared retry counters (looked up per call: registration is
+    idempotent and the registry may be swapped between calls by tests)."""
+    registry = _metrics.get_registry()
+    attempts = registry.counter(
+        "zsmiles_retry_attempts_total",
+        "Retry attempts granted by RetryState.next_delay",
+    )
+    backoff = registry.counter(
+        "zsmiles_retry_backoff_seconds_total",
+        "Total backoff sleep handed out by the retry policy",
+    )
+    exhausted = registry.counter(
+        "zsmiles_retry_exhausted_total",
+        "Calls that gave up retrying, by reason",
+        labels=("reason",),
+    )
+    return attempts, backoff, exhausted
 
 
 @dataclass(frozen=True)
@@ -119,15 +140,20 @@ class RetryState:
         ``None`` means either attempts are exhausted or the deadline budget
         cannot cover the computed sleep.
         """
+        attempts, backoff, exhausted = _retry_instruments()
         if self.exhausted:
+            exhausted.labels("attempts").inc()
             return None
         delay = self.policy.delay_for(self.attempts - 1)
         if self.policy.jitter:
             delay += delay * self.policy.jitter * random.random()
         budget = self.remaining_budget()
         if budget is not None and delay >= budget:
+            exhausted.labels("deadline").inc()
             return None
         self.attempts += 1
+        attempts.inc()
+        backoff.inc(delay)
         return delay
 
     def wait(self) -> bool:

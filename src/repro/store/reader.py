@@ -20,6 +20,7 @@ from __future__ import annotations
 import mmap as _mmap_module
 import random
 import threading
+import time
 from bisect import bisect_right
 from collections import OrderedDict
 from pathlib import Path
@@ -28,6 +29,7 @@ from typing import BinaryIO, Dict, Hashable, Iterator, List, Optional, Sequence,
 from ..core.codec import ZSmilesCodec
 from ..dictionary import serialization
 from ..errors import BlockCorruptionError, RandomAccessError, StoreError, StoreFormatError
+from ..telemetry import metrics as _metrics
 from .format import (
     DICTIONARY_HASH_META_KEY,
     DICTIONARY_META_KEY,
@@ -61,15 +63,28 @@ class BlockCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        registry = _metrics.get_registry()
+        self._metric_lookups = registry.counter(
+            "zsmiles_cache_lookups_total",
+            "Block cache lookups, by outcome",
+            labels=("outcome",),
+        )
+        self._metric_evictions = registry.counter(
+            "zsmiles_cache_evictions_total",
+            "Decoded blocks evicted by LRU pressure",
+        )
 
     def get(self, key: Hashable) -> Optional[List[str]]:
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 self.misses += 1
+                self._metric_lookups.labels("miss").inc()
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
+            self._metric_lookups.labels("hit").inc()
             return entry
 
     def put(self, key: Hashable, value: List[str]) -> None:
@@ -78,6 +93,8 @@ class BlockCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
+                self.evictions += 1
+                self._metric_evictions.inc()
 
     def __len__(self) -> int:
         with self._lock:
@@ -87,14 +104,21 @@ class BlockCache:
         with self._lock:
             return key in self._entries
 
-    def stats(self) -> Dict[str, int]:
-        """Hit/miss/occupancy snapshot (the shape ``/stats`` and the CLI report)."""
+    def stats(self) -> Dict[str, object]:
+        """Hit/miss/occupancy snapshot (the shape ``/stats`` and the CLI report).
+
+        ``hit_rate`` is ``hits / (hits + misses)`` — ``0.0`` before any
+        lookup, so an idle cache never divides by zero.
+        """
         with self._lock:
+            lookups = self.hits + self.misses
             return {
                 "hits": self.hits,
                 "misses": self.misses,
                 "capacity": self.capacity,
                 "cached_blocks": len(self._entries),
+                "evictions": self.evictions,
+                "hit_rate": round(self.hits / lookups, 6) if lookups else 0.0,
             }
 
 
@@ -264,6 +288,29 @@ class ShardReader(RecordAccessMixin):
         # every record *outside* a quarantined block keeps serving.
         self._quarantined: Dict[int, str] = {}
         self.quarantine_hits = 0
+        registry = _metrics.get_registry()
+        self._metric_decode_seconds = registry.histogram(
+            "zsmiles_store_block_decode_seconds",
+            "Wall time of one cache-miss block load+decode",
+        )
+        self._metric_blocks_decoded = registry.counter(
+            "zsmiles_store_blocks_decoded_total",
+            "Blocks decoded from shards",
+        )
+        self._metric_reads = registry.counter(
+            "zsmiles_store_reads_total",
+            "Block payload reads, by I/O mode",
+            labels=("io",),
+        )
+        self._metric_read_bytes = registry.counter(
+            "zsmiles_store_read_bytes_total",
+            "Bytes read from shard payloads",
+        )
+        self._metric_quarantine = registry.counter(
+            "zsmiles_store_quarantine_total",
+            "Quarantine events, by kind",
+            labels=("event",),
+        )
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -340,11 +387,14 @@ class ShardReader(RecordAccessMixin):
         ``quarantined_blocks`` counts distinct blocks that failed integrity
         checks; ``quarantine_hits`` counts reads refused fast because their
         block was already quarantined; ``blocks`` lists the damaged block
-        indices in order.
+        indices in order.  ``total_blocks_quarantined`` duplicates the count
+        so the single-shard shape rolls up the same way the multi-shard
+        tiers' payloads do.
         """
         with self._io_lock:
             return {
                 "quarantined_blocks": len(self._quarantined),
+                "total_blocks_quarantined": len(self._quarantined),
                 "quarantine_hits": self.quarantine_hits,
                 "blocks": sorted(self._quarantined),
             }
@@ -414,6 +464,8 @@ class ShardReader(RecordAccessMixin):
                 assert self._handle is not None
                 self._handle.seek(info.offset)
                 payload = self._handle.read(info.length)
+        self._metric_reads.labels("mmap" if self.use_mmap else "handle").inc()
+        self._metric_read_bytes.inc(len(payload))
         if len(payload) != info.length:
             raise self._quarantine(block, f"block {block}: short read; truncated shard")
         if self.verify_checksums and payload_crc(payload) != info.crc32:
@@ -428,6 +480,7 @@ class ShardReader(RecordAccessMixin):
         """Remember *block* as damaged and build its typed error."""
         with self._io_lock:
             self._quarantined.setdefault(block, message)
+        self._metric_quarantine.labels("quarantined").inc()
         return BlockCorruptionError(message, shard_path=self.path, block=block)
 
     def _check_quarantine(self, block: int) -> None:
@@ -437,6 +490,7 @@ class ShardReader(RecordAccessMixin):
             if message is None:
                 return
             self.quarantine_hits += 1
+        self._metric_quarantine.labels("hit").inc()
         raise BlockCorruptionError(message, shard_path=self.path, block=block)
 
     def _block_records(self, block: int) -> List[str]:
@@ -445,6 +499,7 @@ class ShardReader(RecordAccessMixin):
         if cached is not None:
             return cached
         self._check_quarantine(block)
+        started = time.perf_counter()
         stored = self._load_payload(block)
         if self.codec is not None:
             records = self._decompress_block(stored)
@@ -452,6 +507,8 @@ class ShardReader(RecordAccessMixin):
             records = stored
         with self._io_lock:
             self.blocks_decoded += 1
+        self._metric_blocks_decoded.inc()
+        self._metric_decode_seconds.observe(time.perf_counter() - started)
         self._cache.put(block, records)
         return records
 
@@ -554,8 +611,10 @@ class CorpusStore(RecordAccessMixin):
     def quarantine_stats(self) -> Dict[str, object]:
         """Aggregate quarantined-block counters across every shard."""
         stats = [shard.quarantine_stats() for shard in self.shards]
+        quarantined = sum(s["quarantined_blocks"] for s in stats)
         return {
-            "quarantined_blocks": sum(s["quarantined_blocks"] for s in stats),
+            "quarantined_blocks": quarantined,
+            "total_blocks_quarantined": quarantined,
             "quarantine_hits": sum(s["quarantine_hits"] for s in stats),
             "shards": {
                 shard_no: s["blocks"]

@@ -1,0 +1,97 @@
+"""Structured JSON access logging for the serving tier.
+
+One line per request, machine-parseable, written under a lock so
+concurrent handlers never interleave::
+
+    {"bytes":123,"duration_ms":0.41,"method":"GET","request_id":"ab12...",
+     "route":"single","status":200,"ts":1754640000.123456,"worker":0}
+
+Off by default — ``zsmiles serve --access-log PATH`` (or ``-`` for
+stdout) turns it on.  The logger is *rate-safe* in the sense that a
+request costs exactly one buffered ``write`` of one pre-serialized line,
+and any I/O failure disables the logger instead of failing requests:
+observability must never take the data path down.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Optional, TextIO, Union
+
+
+class AccessLogger:
+    """Append structured JSON request lines to a file or stdout.
+
+    Parameters
+    ----------
+    target:
+        A path to append to, ``"-"`` for stdout, or an open text stream
+        (the logger never closes streams it did not open).
+    worker_id:
+        Stamped on every line as ``worker`` when not ``None`` — the field
+        that tells fleet workers' interleaved logs apart.
+    """
+
+    def __init__(
+        self,
+        target: Union[str, Path, TextIO],
+        worker_id: Optional[int] = None,
+    ):
+        self.worker_id = worker_id
+        self._lock = threading.Lock()
+        self._owns_handle = False
+        self._broken = False
+        if target == "-":
+            self._handle: Optional[TextIO] = sys.stdout
+        elif isinstance(target, (str, Path)):
+            self._handle = open(target, "a", encoding="utf-8", buffering=1)
+            self._owns_handle = True
+        else:
+            self._handle = target
+
+    def log(self, **fields: object) -> None:
+        """Write one access line; swallowed failures disable the logger."""
+        if self._broken or self._handle is None:
+            return
+        record = dict(fields)
+        record.setdefault("ts", round(time.time(), 6))
+        if self.worker_id is not None:
+            record.setdefault("worker", self.worker_id)
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        try:
+            with self._lock:
+                self._handle.write(line + "\n")
+        except (OSError, ValueError):
+            self._broken = True  # a dead log target must not kill serving
+
+    def close(self) -> None:
+        """Close the handle if this logger opened it (idempotent)."""
+        with self._lock:
+            if self._owns_handle and self._handle is not None:
+                try:
+                    self._handle.close()
+                except OSError:
+                    pass
+            self._handle = None
+
+    def __enter__(self) -> "AccessLogger":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def open_access_log(
+    spec: Optional[Union[str, Path]], worker_id: Optional[int] = None
+) -> Optional[AccessLogger]:
+    """``None`` stays ``None``; anything else becomes an :class:`AccessLogger`."""
+    if spec is None:
+        return None
+    return AccessLogger(spec, worker_id=worker_id)
+
+
+__all__ = ["AccessLogger", "open_access_log"]

@@ -1,0 +1,547 @@
+"""The process-wide metrics registry: counters, gauges, fixed-bucket histograms.
+
+Everything here is stdlib-only and dependency-free (no imports from the
+rest of :mod:`repro`), so any tier — store, engine, clients, server, the
+campaign driver — can instrument itself without import cycles.
+
+Three instrument kinds, all label-aware:
+
+* :class:`Counter` — monotonically increasing float (``inc``).
+* :class:`Gauge` — settable float (``set`` / ``inc`` / ``dec``).
+* :class:`Histogram` — fixed upper-bound buckets (Prometheus ``le``
+  semantics: a value equal to an edge lands in that edge's bucket), plus
+  running sum and count.
+
+A metric family (one name) fans out into one child per label-value tuple;
+children are cached so the steady-state cost of ``family.labels(v).inc()``
+is two dict lookups and one lock acquire — comfortably under a
+microsecond, cheap enough for per-block instrumentation (per-byte loops
+should aggregate locally and report once per block).
+
+The registry serializes to a plain-JSON :meth:`MetricsRegistry.snapshot`
+(the wire format fleet workers exchange), merges snapshots across
+processes (:func:`merge_snapshots`) and renders the Prometheus text
+exposition format (:func:`render_prometheus`) for ``GET /metrics``.
+
+The ``ZSMILES_TELEMETRY`` environment variable is the kill switch: any of
+``off`` / ``0`` / ``false`` / ``no`` makes every instrument minted by the
+process-global registry a no-op (instrument *objects* still exist, so
+call sites never branch).  Responses served with telemetry off are
+byte-identical to instrumented ones — the overhead gate in
+``benchmarks/test_server_latency.py`` pins that.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import os
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Kill-switch environment variable (``off``/``0``/``false``/``no`` disable).
+TELEMETRY_ENV_VAR = "ZSMILES_TELEMETRY"
+
+_DISABLED_VALUES = ("off", "0", "false", "no")
+
+#: Default latency buckets (seconds): sub-millisecond to multi-second.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+)
+#: Default size buckets (bytes): tiny envelope to megabyte stream chunks.
+DEFAULT_SIZE_BUCKETS: Tuple[float, ...] = (
+    64, 256, 1024, 4096, 16384, 65536, 262144, 1048576,
+)
+
+
+def telemetry_enabled() -> bool:
+    """Whether the ``ZSMILES_TELEMETRY`` kill switch leaves telemetry on."""
+    return os.environ.get(TELEMETRY_ENV_VAR, "on").strip().lower() not in _DISABLED_VALUES
+
+
+class Counter:
+    """A monotonically increasing value (one label combination)."""
+
+    __slots__ = ("_value", "_lock", "_enabled")
+
+    def __init__(self, enabled: bool = True):
+        self._value = 0.0
+        self._lock = threading.Lock()
+        self._enabled = enabled
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not self._enabled:
+            return
+        if amount < 0:
+            raise ValueError(f"counters only go up, got inc({amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can go up and down (one label combination)."""
+
+    __slots__ = ("_value", "_lock", "_enabled")
+
+    def __init__(self, enabled: bool = True):
+        self._value = 0.0
+        self._lock = threading.Lock()
+        self._enabled = enabled
+
+    def set(self, value: float) -> None:
+        if not self._enabled:
+            return
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not self._enabled:
+            return
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket distribution (one label combination).
+
+    Buckets follow Prometheus ``le`` semantics: bucket *i* counts
+    observations ``v <= edges[i]`` not already counted by a smaller edge
+    — so a value exactly equal to an edge lands in that edge's bucket,
+    never the next one up.  Counts are stored per-bucket (non-cumulative)
+    with one overflow slot; the exposition renders them cumulatively.
+    """
+
+    __slots__ = ("edges", "_counts", "_sum", "_count", "_lock", "_enabled")
+
+    def __init__(self, buckets: Sequence[float], enabled: bool = True):
+        edges = tuple(float(edge) for edge in buckets)
+        if not edges:
+            raise ValueError("histogram needs at least one bucket edge")
+        if list(edges) != sorted(set(edges)):
+            raise ValueError(f"bucket edges must be strictly increasing, got {edges}")
+        self.edges = edges
+        self._counts = [0] * (len(edges) + 1)  # +1 = the +Inf overflow slot
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+        self._enabled = enabled
+
+    def observe(self, value: float) -> None:
+        if not self._enabled:
+            return
+        # bisect_left: first edge >= value, i.e. value == edge stays in
+        # that edge's bucket (the pinned boundary semantics).
+        index = bisect.bisect_left(self.edges, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def bucket_counts(self) -> List[int]:
+        """Per-bucket (non-cumulative) counts; the last slot is +Inf."""
+        with self._lock:
+            return list(self._counts)
+
+
+class MetricFamily:
+    """One metric name fanned out over label-value tuples."""
+
+    __slots__ = ("name", "kind", "help", "label_names", "buckets", "_children",
+                 "_lock", "_enabled", "_default")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        label_names: Tuple[str, ...],
+        enabled: bool,
+        buckets: Optional[Tuple[float, ...]] = None,
+    ):
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.label_names = label_names
+        self.buckets = buckets
+        self._children: Dict[Tuple[str, ...], object] = {}
+        self._lock = threading.Lock()
+        self._enabled = enabled
+        # The label-less child is pre-built so bare counters skip labels().
+        self._default = self._make_child() if not label_names else None
+
+    def _make_child(self):
+        if self.kind == "counter":
+            return Counter(self._enabled)
+        if self.kind == "gauge":
+            return Gauge(self._enabled)
+        return Histogram(self.buckets or DEFAULT_LATENCY_BUCKETS, self._enabled)
+
+    def labels(self, *values: object):
+        """The child for one label-value combination (created on demand)."""
+        if len(values) != len(self.label_names):
+            raise ValueError(
+                f"{self.name} takes labels {self.label_names}, got {values!r}"
+            )
+        key = tuple(str(v) for v in values)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.setdefault(key, self._make_child())
+        return child
+
+    # Label-less convenience: family.inc() / .observe() / .set() delegate
+    # to the single default child.
+    def _require_default(self):
+        if self._default is None:
+            raise ValueError(
+                f"{self.name} is labelled {self.label_names}; use .labels(...)"
+            )
+        return self._default
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._require_default().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._require_default().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._require_default().set(value)
+
+    def observe(self, value: float) -> None:
+        self._require_default().observe(value)
+
+    @property
+    def value(self) -> float:
+        return self._require_default().value
+
+    @property
+    def count(self) -> int:
+        return self._require_default().count
+
+    @property
+    def sum(self) -> float:
+        return self._require_default().sum
+
+    def bucket_counts(self) -> List[int]:
+        return self._require_default().bucket_counts()
+
+    def _series_items(self) -> List[Tuple[Tuple[str, ...], object]]:
+        if self._default is not None:
+            return [((), self._default)]
+        with self._lock:
+            return sorted(self._children.items())
+
+
+class MetricsRegistry:
+    """A named collection of metric families with a JSON-able snapshot.
+
+    Registration is idempotent: asking for an existing name returns the
+    existing family (kind and labels must agree, mismatches raise).  When
+    *enabled* is false — or the ``ZSMILES_TELEMETRY`` kill switch is set
+    for the default argument — every minted instrument is a no-op.
+    """
+
+    def __init__(self, enabled: Optional[bool] = None):
+        self.enabled = telemetry_enabled() if enabled is None else enabled
+        self._families: Dict[str, MetricFamily] = {}
+        self._lock = threading.Lock()
+
+    # -- registration --------------------------------------------------- #
+    def _register(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        labels: Sequence[str],
+        buckets: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        family = self._families.get(name)
+        if family is not None:
+            if family.kind != kind or family.label_names != tuple(labels):
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.kind} "
+                    f"with labels {family.label_names}"
+                )
+            return family
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = MetricFamily(
+                    name, kind, help_text, tuple(labels), self.enabled,
+                    tuple(float(b) for b in buckets) if buckets else None,
+                )
+                self._families[name] = family
+        return family
+
+    def counter(self, name: str, help_text: str = "", labels: Sequence[str] = ()) -> MetricFamily:
+        return self._register(name, "counter", help_text, labels)
+
+    def gauge(self, name: str, help_text: str = "", labels: Sequence[str] = ()) -> MetricFamily:
+        return self._register(name, "gauge", help_text, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> MetricFamily:
+        return self._register(name, "histogram", help_text, labels, buckets)
+
+    def clear(self) -> None:
+        """Drop every family (test isolation for the global registry)."""
+        with self._lock:
+            self._families = {}
+
+    # -- export --------------------------------------------------------- #
+    def snapshot(self) -> Dict[str, object]:
+        """A plain-JSON view of every family: the fleet merge wire format."""
+        with self._lock:
+            families = sorted(self._families.items())
+        metrics: List[Dict[str, object]] = []
+        for name, family in families:
+            series: List[Dict[str, object]] = []
+            for values, child in family._series_items():
+                if family.kind == "histogram":
+                    with child._lock:  # type: ignore[union-attr]
+                        entry = {
+                            "values": list(values),
+                            "counts": list(child._counts),
+                            "sum": child._sum,
+                            "count": child._count,
+                        }
+                else:
+                    entry = {"values": list(values), "value": child.value}
+                series.append(entry)
+            item: Dict[str, object] = {
+                "name": name,
+                "kind": family.kind,
+                "help": family.help,
+                "labels": list(family.label_names),
+                "series": series,
+            }
+            if family.kind == "histogram":
+                item["buckets"] = list(family.buckets or DEFAULT_LATENCY_BUCKETS)
+            metrics.append(item)
+        return {"metrics": metrics}
+
+    def render(self) -> str:
+        """This registry's Prometheus text exposition."""
+        return render_prometheus(self.snapshot())
+
+
+# --------------------------------------------------------------------------- #
+# Snapshot algebra (the fleet aggregation path)
+# --------------------------------------------------------------------------- #
+def merge_snapshots(snapshots: Iterable[Dict[str, object]]) -> Dict[str, object]:
+    """Sum several :meth:`MetricsRegistry.snapshot` payloads into one.
+
+    Counter and gauge series with identical labels add; histogram series
+    add bucket-wise (families whose bucket edges disagree keep the first
+    definition and drop the stragglers — that cannot happen between fleet
+    workers running the same code, and silently mixing incompatible edges
+    would corrupt the distribution).
+    """
+    merged: Dict[str, Dict[str, object]] = {}
+    order: List[str] = []
+    for snapshot in snapshots:
+        for item in snapshot.get("metrics", []):  # type: ignore[union-attr]
+            name = item["name"]
+            into = merged.get(name)
+            if into is None:
+                merged[name] = {
+                    "name": name,
+                    "kind": item["kind"],
+                    "help": item.get("help", ""),
+                    "labels": list(item.get("labels", [])),
+                    "series": {
+                        tuple(s["values"]): dict(s) for s in item.get("series", [])
+                    },
+                }
+                if item["kind"] == "histogram":
+                    merged[name]["buckets"] = list(item.get("buckets", []))
+                order.append(name)
+                continue
+            if into["kind"] != item["kind"]:
+                continue  # name collision across kinds: keep the first
+            if item["kind"] == "histogram" and list(item.get("buckets", [])) != into["buckets"]:
+                continue
+            series: Dict[Tuple[str, ...], Dict[str, object]] = into["series"]  # type: ignore[assignment]
+            for entry in item.get("series", []):
+                key = tuple(entry["values"])
+                existing = series.get(key)
+                if existing is None:
+                    series[key] = dict(entry)
+                elif item["kind"] == "histogram":
+                    existing["counts"] = [
+                        a + b for a, b in zip(existing["counts"], entry["counts"])
+                    ]
+                    existing["sum"] = existing["sum"] + entry["sum"]
+                    existing["count"] = existing["count"] + entry["count"]
+                else:
+                    existing["value"] = existing["value"] + entry["value"]
+    metrics = []
+    for name in sorted(order):
+        item = merged[name]
+        series = [item["series"][key] for key in sorted(item["series"])]  # type: ignore[index]
+        out: Dict[str, object] = {
+            "name": name,
+            "kind": item["kind"],
+            "help": item["help"],
+            "labels": item["labels"],
+            "series": series,
+        }
+        if item["kind"] == "histogram":
+            out["buckets"] = item["buckets"]
+        metrics.append(out)
+    return {"metrics": metrics}
+
+
+# --------------------------------------------------------------------------- #
+# Prometheus text exposition
+# --------------------------------------------------------------------------- #
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_block(names: Sequence[str], values: Sequence[str], extra: str = "") -> str:
+    parts = [
+        f'{name}="{_escape_label(value)}"' for name, value in zip(names, values)
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_prometheus(snapshot: Dict[str, object]) -> str:
+    """Render one snapshot as the Prometheus text exposition format."""
+    lines: List[str] = []
+    for item in snapshot.get("metrics", []):  # type: ignore[union-attr]
+        name = item["name"]
+        kind = item["kind"]
+        label_names = item.get("labels", [])
+        if item.get("help"):
+            lines.append(f"# HELP {name} {item['help']}")
+        lines.append(f"# TYPE {name} {kind}")
+        for entry in item.get("series", []):
+            values = entry["values"]
+            if kind == "histogram":
+                edges = item.get("buckets", [])
+                cumulative = 0
+                for edge, count in zip(edges, entry["counts"]):
+                    cumulative += count
+                    block = _label_block(
+                        label_names, values, f'le="{_format_value(edge)}"'
+                    )
+                    lines.append(f"{name}_bucket{block} {cumulative}")
+                cumulative += entry["counts"][len(edges)]
+                block = _label_block(label_names, values, 'le="+Inf"')
+                lines.append(f"{name}_bucket{block} {cumulative}")
+                block = _label_block(label_names, values)
+                lines.append(f"{name}_sum{block} {_format_value(entry['sum'])}")
+                lines.append(f"{name}_count{block} {entry['count']}")
+            else:
+                block = _label_block(label_names, values)
+                lines.append(f"{name}{block} {_format_value(entry['value'])}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def snapshot_to_json(snapshot: Dict[str, object]) -> bytes:
+    """Deterministic JSON bytes of a snapshot (the fleet wire payload)."""
+    return (json.dumps(snapshot, sort_keys=True, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+# --------------------------------------------------------------------------- #
+# The process-global registry
+# --------------------------------------------------------------------------- #
+_global_registry: Optional[MetricsRegistry] = None
+_global_lock = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry (created lazily; honours the kill switch)."""
+    global _global_registry
+    registry = _global_registry
+    if registry is None:
+        with _global_lock:
+            if _global_registry is None:
+                _global_registry = MetricsRegistry()
+            registry = _global_registry
+    return registry
+
+
+def set_registry(registry: Optional[MetricsRegistry]) -> None:
+    """Swap the process-global registry (tests); ``None`` resets to lazy."""
+    global _global_registry
+    with _global_lock:
+        _global_registry = registry
+
+
+def counter(name: str, help_text: str = "", labels: Sequence[str] = ()) -> MetricFamily:
+    """Register (or fetch) a counter family on the global registry."""
+    return get_registry().counter(name, help_text, labels)
+
+
+def gauge(name: str, help_text: str = "", labels: Sequence[str] = ()) -> MetricFamily:
+    """Register (or fetch) a gauge family on the global registry."""
+    return get_registry().gauge(name, help_text, labels)
+
+
+def histogram(
+    name: str,
+    help_text: str = "",
+    labels: Sequence[str] = (),
+    buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+) -> MetricFamily:
+    """Register (or fetch) a histogram family on the global registry."""
+    return get_registry().histogram(name, help_text, labels, buckets)
+
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "TELEMETRY_ENV_VAR",
+    "counter",
+    "gauge",
+    "get_registry",
+    "histogram",
+    "merge_snapshots",
+    "render_prometheus",
+    "set_registry",
+    "snapshot_to_json",
+    "telemetry_enabled",
+]

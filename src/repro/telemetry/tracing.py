@@ -1,0 +1,194 @@
+"""Trace spans with ``contextvars`` propagation and a ring-buffer exporter.
+
+A *trace id* names one logical operation end to end: the blocking and
+async clients stamp it onto every request as ``X-Request-Id`` /
+``X-Trace-Id`` headers, the server adopts it, logs it and echoes it in
+error envelopes — so a failover chain that touches three replicas is one
+trace across every access log involved.  Propagation is a
+:mod:`contextvars` variable, which flows naturally through both threads
+(via :func:`contextvars.copy_context`) and ``asyncio`` tasks.
+
+A :class:`Span` is one timed section of a trace (monotonic clock).
+:func:`start_span` is the context manager instrumented code uses::
+
+    with start_span("campaign.generation", generation=3) as span:
+        ...                      # span.trace_id is set, nested spans share it
+    span.duration_ms             # filled on exit, error recorded on raise
+
+Finished spans land in a bounded in-memory :class:`SpanExporter` ring —
+enough for tests and the ``GET /stats?trace=recent`` peek, with zero
+retention risk: old spans fall off the end.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+import time
+import uuid
+from collections import deque
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+#: Wire header carrying the caller-chosen request id.
+HEADER_REQUEST_ID = "X-Request-Id"
+#: Wire header carrying the trace id (equal to the request id when the
+#: request *starts* the trace).
+HEADER_TRACE_ID = "X-Trace-Id"
+
+#: Finished spans kept by the default exporter.
+DEFAULT_RING_CAPACITY = 256
+
+_trace_id_var: contextvars.ContextVar[Optional[str]] = contextvars.ContextVar(
+    "zsmiles_trace_id", default=None
+)
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id (random, no coordination needed)."""
+    return uuid.uuid4().hex[:16]
+
+
+def current_trace_id() -> Optional[str]:
+    """The trace id of the calling context, if one is set."""
+    return _trace_id_var.get()
+
+
+@contextmanager
+def trace_context(trace_id: Optional[str] = None) -> Iterator[str]:
+    """Pin a trace id on the current context for the ``with`` body.
+
+    Reuses the ambient id when *trace_id* is ``None`` and one is already
+    set (nested contexts join the enclosing trace); mints a fresh id
+    otherwise.  Yields the effective id.
+    """
+    effective = trace_id or current_trace_id() or new_trace_id()
+    token = _trace_id_var.set(effective)
+    try:
+        yield effective
+    finally:
+        _trace_id_var.reset(token)
+
+
+class Span:
+    """One timed section of a trace (monotonic start/stop)."""
+
+    __slots__ = ("name", "trace_id", "attrs", "error", "duration_ms", "_started")
+
+    def __init__(self, name: str, trace_id: str, attrs: Dict[str, object]):
+        self.name = name
+        self.trace_id = trace_id
+        self.attrs = attrs
+        self.error: Optional[str] = None
+        self.duration_ms: Optional[float] = None
+        self._started = time.monotonic()
+
+    def finish(self) -> None:
+        if self.duration_ms is None:
+            self.duration_ms = round((time.monotonic() - self._started) * 1000.0, 3)
+
+    def to_dict(self) -> Dict[str, object]:
+        """The JSON shape ``/stats?trace=recent`` serves."""
+        payload: Dict[str, object] = {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "duration_ms": self.duration_ms,
+        }
+        if self.attrs:
+            payload["attrs"] = dict(self.attrs)
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+
+class SpanExporter:
+    """A bounded ring of finished spans (oldest fall off the end)."""
+
+    def __init__(self, capacity: int = DEFAULT_RING_CAPACITY):
+        if capacity < 1:
+            raise ValueError("SpanExporter capacity must be >= 1")
+        self.capacity = capacity
+        self._ring: "deque[Span]" = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def export(self, span: Span) -> None:
+        with self._lock:
+            self._ring.append(span)
+
+    def recent(self, limit: Optional[int] = None) -> List[Dict[str, object]]:
+        """The newest spans, oldest first (bounded by *limit*)."""
+        with self._lock:
+            spans = list(self._ring)
+        if limit is not None:
+            spans = spans[-limit:]
+        return [span.to_dict() for span in spans]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+
+_global_exporter: Optional[SpanExporter] = None
+_global_exporter_lock = threading.Lock()
+
+
+def get_exporter() -> SpanExporter:
+    """The process-wide span ring (created lazily)."""
+    global _global_exporter
+    exporter = _global_exporter
+    if exporter is None:
+        with _global_exporter_lock:
+            if _global_exporter is None:
+                _global_exporter = SpanExporter()
+            exporter = _global_exporter
+    return exporter
+
+
+def set_exporter(exporter: Optional[SpanExporter]) -> None:
+    """Swap the process-wide span ring (tests); ``None`` resets to lazy."""
+    global _global_exporter
+    with _global_exporter_lock:
+        _global_exporter = exporter
+
+
+@contextmanager
+def start_span(
+    name: str,
+    exporter: Optional[SpanExporter] = None,
+    **attrs: object,
+) -> Iterator[Span]:
+    """Time one section as a :class:`Span`, exporting it on exit.
+
+    Joins the ambient trace (or starts one) for the duration of the body,
+    so nested spans and any requests issued inside share the trace id.
+    An exception is recorded on the span and re-raised.
+    """
+    with trace_context() as trace_id:
+        span = Span(name, trace_id, attrs)
+        try:
+            yield span
+        except BaseException as exc:
+            span.error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            span.finish()
+            (exporter if exporter is not None else get_exporter()).export(span)
+
+
+__all__ = [
+    "DEFAULT_RING_CAPACITY",
+    "HEADER_REQUEST_ID",
+    "HEADER_TRACE_ID",
+    "Span",
+    "SpanExporter",
+    "current_trace_id",
+    "get_exporter",
+    "new_trace_id",
+    "set_exporter",
+    "start_span",
+    "trace_context",
+]

@@ -1,0 +1,88 @@
+"""Injected-vs-observed: chaos faults show up in the ``faults_*`` metrics.
+
+Each injection layer double-books its faults — the per-object counters the
+chaos suites already assert, plus the global ``faults_injected_total``
+counter — so a chaos run can reconcile what it injected against what the
+telemetry observed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BlockCorruptionError, ServerConnectionError
+from repro.faults import (
+    ConnectionFault,
+    ConnectionFaultPlan,
+    FaultyProxy,
+    ReadFault,
+    ReadFaultPlan,
+    open_faulty,
+)
+from repro.server import BackgroundServer, CorpusClient, RetryPolicy
+from repro.store import ShardReader
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.metrics import set_registry
+
+
+@pytest.fixture()
+def fresh_registry():
+    """Swap in an isolated global registry so counts start at zero."""
+    registry = MetricsRegistry(enabled=True)
+    set_registry(registry)
+    yield registry
+    set_registry(None)
+
+
+def _injected(registry, layer, kind):
+    snapshot = registry.snapshot()
+    for item in snapshot["metrics"]:
+        if item["name"] != "faults_injected_total":
+            continue
+        for series in item["series"]:
+            if series["values"] == [layer, kind]:
+                return series["value"]
+    return 0.0
+
+
+class TestFileFaultMetrics:
+    def test_injected_read_faults_are_counted(self, pristine_shard, fresh_registry):
+        # Learn the setup cost, then plan one flip on the first data read.
+        probe = open_faulty(pristine_shard)
+        with ShardReader(probe) as reader:
+            assert len(reader) > 0
+        setup = probe.read_calls
+        plan = ReadFaultPlan([ReadFault(call=setup, kind="flip")])
+        faulty = open_faulty(pristine_shard, plan)
+        with ShardReader(faulty) as reader:
+            with pytest.raises(BlockCorruptionError):
+                reader.get(0)
+        assert faulty.faults_injected == 1
+        assert _injected(fresh_registry, "file", "flip") == faulty.faults_injected
+
+
+class TestProxyFaultMetrics:
+    def test_injected_connection_faults_are_counted(
+        self, pristine_library, fresh_registry
+    ):
+        plan = ConnectionFaultPlan(
+            [ConnectionFault(connection=0, kind="reset")]
+        )
+        with BackgroundServer(pristine_library, readers=2) as server:
+            with FaultyProxy(server.url, plan) as proxy:
+                with CorpusClient(
+                    proxy.url, timeout=10.0, retry=RetryPolicy(max_attempts=1)
+                ) as client:
+                    with pytest.raises(ServerConnectionError):
+                        client.get(0)
+                    assert client.get(1)  # connection 1: pass-through
+                assert proxy.faults_injected == 1
+                assert (
+                    _injected(fresh_registry, "proxy", "reset")
+                    == proxy.faults_injected
+                )
+                # Connections (faulted or not) are tallied too.
+                snapshot = fresh_registry.snapshot()
+                by_name = {i["name"]: i for i in snapshot["metrics"]}
+                (conns,) = by_name["faults_connections_total"]["series"]
+                assert conns["value"] == proxy.connections_seen >= 2

@@ -42,6 +42,13 @@ class TestServeParser:
         assert main(["serve", str(target), "--cache-blocks", "0"]) == 2
         assert main(["serve", str(target), "--port", "-1"]) == 2
 
+    def test_access_log_flag(self):
+        assert build_parser().parse_args(["serve", "c.library"]).access_log is None
+        args = build_parser().parse_args(
+            ["serve", "c.library", "--access-log", "access.log"]
+        )
+        assert args.access_log == "access.log"
+
 
 @pytest.fixture(scope="module")
 def served_library(tmp_path_factory):
@@ -124,3 +131,41 @@ class TestServeSubprocess:
             if process.poll() is None:
                 process.kill()
                 process.wait(timeout=10)
+
+    def test_serve_access_log_writes_structured_lines(self, served_library, tmp_path):
+        """``--access-log PATH`` produces one JSON line per request."""
+        import json
+
+        log_path = tmp_path / "access.log"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        process = subprocess.Popen(
+            [sys.executable, "-u", "-m", "repro.cli",
+             "serve", str(served_library), "--port", "0", "--readers", "2",
+             "--access-log", str(log_path)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=env,
+            text=True,
+        )
+        try:
+            announce = process.stdout.readline()
+            url = next(tok for tok in announce.split() if tok.startswith("http://"))
+            with CorpusClient(url, timeout=10.0) as client:
+                assert client.get(0)
+                assert client.get_many([1, 2])
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=15) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+        entries = [json.loads(line) for line in log_path.read_text().splitlines()]
+        routes = [entry["route"] for entry in entries]
+        assert "single" in routes and "batch" in routes
+        for entry in entries:
+            assert entry["status"] == 200
+            assert entry["request_id"]
+            assert entry["duration_ms"] >= 0

@@ -26,7 +26,14 @@ class TestHealthAndStats:
         assert stats["records"] == len(corpus)
         assert stats["shards"] == 3
         assert stats["pool_size"] == 3
-        assert set(stats["cache"]) == {"hits", "misses", "capacity", "cached_blocks"}
+        assert set(stats["cache"]) == {
+            "hits",
+            "misses",
+            "capacity",
+            "cached_blocks",
+            "evictions",
+            "hit_rate",
+        }
         assert stats["manifest"]["total_records"] == len(corpus)
         assert stats["counters"]["requests"] >= 1
 

@@ -1,0 +1,167 @@
+"""The observability surface over HTTP: ``/metrics``, trace ids, access logs.
+
+Pins the PR-level acceptance bar: a live server serves valid Prometheus
+text with per-route latency histograms, a client-originated request id
+shows up in the server's access log *and* in the error envelope for the
+same request, and ``/stats`` reports the cache hit rate and recent spans.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from urllib.parse import urlparse
+
+import pytest
+
+from repro.errors import RandomAccessError
+from repro.server import BackgroundServer, CorpusClient
+from repro.server import protocol
+from repro.telemetry import trace_context
+
+
+class TestMetricsEndpoint:
+    def test_prometheus_text_with_per_route_series(self, client):
+        client.get(0)
+        client.get_many([1, 2, 3])
+        text = client.metrics()
+        lines = text.splitlines()
+        assert "# TYPE zsmiles_server_requests_total counter" in lines
+        assert "# TYPE zsmiles_server_request_seconds histogram" in lines
+        assert any(
+            line.startswith("zsmiles_server_requests_total")
+            and 'route="single"' in line
+            for line in lines
+        )
+        assert any(
+            line.startswith("zsmiles_server_request_seconds_bucket")
+            and 'route="batch"' in line
+            and 'le="+Inf"' in line
+            for line in lines
+        )
+        assert text.endswith("\n")
+
+    def test_content_type_is_prometheus(self, server):
+        parsed = urlparse(server.url)
+        conn = http.client.HTTPConnection(parsed.hostname, parsed.port, timeout=10.0)
+        try:
+            conn.request("GET", protocol.ROUTE_METRICS)
+            response = conn.getresponse()
+            body = response.read()
+            assert response.status == 200
+            assert response.getheader("Content-Type") == protocol.CONTENT_TYPE_PROMETHEUS
+            assert b"# TYPE" in body
+        finally:
+            conn.close()
+
+    def test_json_snapshot_variant(self, client):
+        client.get(0)
+        snapshot = client.metrics_snapshot()
+        names = {item["name"] for item in snapshot["metrics"]}
+        assert "zsmiles_server_requests_total" in names
+        assert "zsmiles_server_request_seconds" in names
+        # The snapshot is the merge wire format: every histogram series is
+        # internally consistent.
+        for item in snapshot["metrics"]:
+            if item["kind"] != "histogram":
+                continue
+            for series in item["series"]:
+                assert sum(series["counts"]) == series["count"]
+
+
+class TestRequestIdPropagation:
+    def test_client_id_reaches_access_log_and_error_envelope(self, library_dir, tmp_path):
+        log_path = tmp_path / "access.log"
+        with BackgroundServer(library_dir, readers=2, access_log=log_path) as server:
+            with CorpusClient(server.url, timeout=10.0) as client:
+                with trace_context("deadbeefcafe1234"):
+                    assert client.get(0)  # the happy path is logged too
+                    with pytest.raises(RandomAccessError) as excinfo:
+                        client.get(10**9)
+        # The same caller-chosen id came back in the error envelope...
+        assert excinfo.value.request_id == "deadbeefcafe1234"
+        # ...and was stamped on both requests' access-log lines.
+        entries = [json.loads(line) for line in log_path.read_text().splitlines()]
+        traced = [e for e in entries if e["request_id"] == "deadbeefcafe1234"]
+        assert {e["status"] for e in traced} == {200, 404}
+        for entry in traced:
+            assert entry["route"] == "single"
+            assert entry["method"] == "GET"
+            assert entry["duration_ms"] >= 0
+        ok = next(e for e in traced if e["status"] == 200)
+        assert ok["bytes"] > 0
+
+    def test_server_minted_id_when_client_sends_none(self, library_dir, tmp_path):
+        log_path = tmp_path / "access.log"
+        with BackgroundServer(library_dir, readers=2, access_log=log_path) as server:
+            parsed = urlparse(server.url)
+            conn = http.client.HTTPConnection(parsed.hostname, parsed.port, timeout=10.0)
+            try:
+                conn.request("GET", "/records/0")  # bare: no trace headers
+                response = conn.getresponse()
+                response.read()
+                minted = response.getheader("X-Request-Id")
+                assert minted and len(minted) == 16
+            finally:
+                conn.close()
+        entries = [json.loads(line) for line in log_path.read_text().splitlines()]
+        assert any(e["request_id"] == minted for e in entries)
+
+
+class TestStatsSurface:
+    def test_stats_reports_cache_hit_rate(self, client):
+        for _ in range(3):
+            client.get(0)  # same block: guaranteed cache traffic
+        cache = client.stats()["cache"]
+        assert 0.0 <= cache["hit_rate"] <= 1.0
+        assert cache["hits"] + cache["misses"] > 0
+        assert cache["hit_rate"] == pytest.approx(
+            cache["hits"] / (cache["hits"] + cache["misses"]), abs=1e-6
+        )
+        assert "evictions" in cache
+
+    def test_stats_trace_recent_returns_finished_spans(self, client):
+        with trace_context("feedfacefeedface"):
+            client.get(1)
+        payload = client.stats(trace=True)
+        assert isinstance(payload["trace"], list)
+        matching = [
+            span for span in payload["trace"]
+            if span["trace_id"] == "feedfacefeedface"
+        ]
+        assert matching, "the traced request should appear in the span ring"
+        assert matching[-1]["name"] == "server.single"
+        assert matching[-1]["duration_ms"] >= 0
+
+    def test_stats_without_trace_flag_omits_spans(self, client):
+        assert "trace" not in client.stats()
+
+
+class TestCliStats:
+    """``zsmiles stats`` dispatches on its input: URL scrape vs corpus file."""
+
+    def test_url_mode_renders_live_registry(self, server, capsys):
+        from repro.cli import main as cli_main
+
+        with CorpusClient(server.url, timeout=10.0) as warmup:
+            warmup.get(0)
+        assert cli_main(["stats", server.url]) == 0
+        out = capsys.readouterr().out
+        assert "zsmiles_server_requests_total" in out
+        assert "route=single" in out
+
+    def test_url_mode_json_dumps_the_snapshot(self, server, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["stats", server.url, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = {item["name"] for item in payload["metrics"]}
+        assert "zsmiles_server_requests_total" in names
+
+    def test_file_mode_requires_dictionary(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        smi = tmp_path / "tiny.smi"
+        smi.write_text("C\nCC\n", encoding="utf-8")
+        assert cli_main(["stats", str(smi)]) == 2
+        assert "dictionary" in capsys.readouterr().err

@@ -101,11 +101,25 @@ class TestCacheCounters:
 
     def test_block_cache_stats_snapshot(self):
         cache = BlockCache(2)
-        assert cache.stats() == {"hits": 0, "misses": 0, "capacity": 2, "cached_blocks": 0}
+        assert cache.stats() == {
+            "hits": 0,
+            "misses": 0,
+            "capacity": 2,
+            "cached_blocks": 0,
+            "evictions": 0,
+            "hit_rate": 0.0,
+        }
         assert cache.get("a") is None
         cache.put("a", ["x"])
         assert cache.get("a") == ["x"]
-        assert cache.stats() == {"hits": 1, "misses": 1, "capacity": 2, "cached_blocks": 1}
+        assert cache.stats() == {
+            "hits": 1,
+            "misses": 1,
+            "capacity": 2,
+            "cached_blocks": 1,
+            "evictions": 0,
+            "hit_rate": 0.5,
+        }
 
     def test_cache_view_reports_shared_aggregates(self):
         from repro.store import BlockCacheView

@@ -1,0 +1,61 @@
+"""Cross-tier instrument wiring: the retry policy reports what it grants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server import RetryPolicy
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.metrics import set_registry
+
+
+@pytest.fixture()
+def fresh_registry():
+    registry = MetricsRegistry(enabled=True)
+    set_registry(registry)
+    yield registry
+    set_registry(None)
+
+
+def _series(registry, name):
+    for item in registry.snapshot()["metrics"]:
+        if item["name"] == name:
+            return {tuple(s["values"]): s["value"] for s in item["series"]}
+    return {}
+
+
+class TestRetryMetrics:
+    def test_granted_attempts_and_backoff_are_counted(self, fresh_registry):
+        policy = RetryPolicy(max_attempts=4, base_delay=0.01, jitter=0.0)
+        state = policy.start()
+        delays = []
+        while True:
+            delay = state.next_delay()
+            if delay is None:
+                break
+            delays.append(delay)
+        assert len(delays) == 3  # 4 attempts = 1 initial + 3 retries
+        attempts = _series(fresh_registry, "zsmiles_retry_attempts_total")
+        assert attempts[()] == 3
+        backoff = _series(fresh_registry, "zsmiles_retry_backoff_seconds_total")
+        assert backoff[()] == pytest.approx(sum(delays))
+        exhausted = _series(fresh_registry, "zsmiles_retry_exhausted_total")
+        assert exhausted.get(("attempts",)) == 1
+
+    def test_deadline_exhaustion_reason_is_labelled(self, fresh_registry):
+        policy = RetryPolicy(
+            max_attempts=10, base_delay=5.0, jitter=0.0, deadline=0.001
+        )
+        state = policy.start()
+        assert state.next_delay() is None  # 5 s sleep cannot fit the budget
+        exhausted = _series(fresh_registry, "zsmiles_retry_exhausted_total")
+        assert exhausted.get(("deadline",)) == 1
+        assert ("attempts",) not in exhausted
+
+    def test_single_attempt_policy_exhausts_immediately(self, fresh_registry):
+        state = RetryPolicy(max_attempts=1).start()
+        assert state.next_delay() is None
+        attempts = _series(fresh_registry, "zsmiles_retry_attempts_total")
+        assert attempts.get((), 0) == 0
+        exhausted = _series(fresh_registry, "zsmiles_retry_exhausted_total")
+        assert exhausted.get(("attempts",)) == 1

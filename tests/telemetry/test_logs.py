@@ -1,0 +1,64 @@
+"""Structured access logging: line shape, targets, and failure safety."""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry import AccessLogger, open_access_log
+
+
+class TestAccessLogger:
+    def test_lines_are_json_with_defaults(self, tmp_path):
+        log_path = tmp_path / "access.log"
+        with AccessLogger(log_path, worker_id=2) as logger:
+            logger.log(route="single", status=200, bytes=17, request_id="abcd")
+            logger.log(route="batch", status=404)
+        lines = log_path.read_text().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["route"] == "single"
+        assert first["status"] == 200
+        assert first["request_id"] == "abcd"
+        assert first["worker"] == 2
+        assert isinstance(first["ts"], float)
+        # Keys are sorted, lines are compact: deterministic, parseable.
+        assert lines[0] == json.dumps(first, sort_keys=True, separators=(",", ":"))
+
+    def test_appends_across_logger_lifetimes(self, tmp_path):
+        log_path = tmp_path / "access.log"
+        with AccessLogger(log_path) as logger:
+            logger.log(route="a")
+        with AccessLogger(log_path) as logger:
+            logger.log(route="b")
+        assert len(log_path.read_text().splitlines()) == 2
+
+    def test_dash_targets_stdout_and_is_not_closed(self, capsys):
+        logger = AccessLogger("-")
+        logger.log(route="single", status=200)
+        logger.close()
+        out = capsys.readouterr().out
+        assert json.loads(out)["route"] == "single"
+        # Closing the logger must not close the borrowed stdout stream.
+        print("still alive")
+        assert "still alive" in capsys.readouterr().out
+
+    def test_broken_target_never_raises(self, tmp_path):
+        log_path = tmp_path / "access.log"
+        logger = AccessLogger(log_path)
+        logger._handle.close()  # simulate the target dying mid-flight
+        logger._owns_handle = False
+        logger.log(route="single")  # first write trips the breaker
+        logger.log(route="single")  # later writes are silent no-ops
+        assert logger._broken is True
+
+    def test_worker_id_omitted_when_unset(self, tmp_path):
+        log_path = tmp_path / "access.log"
+        with AccessLogger(log_path) as logger:
+            logger.log(route="single")
+        assert "worker" not in json.loads(log_path.read_text())
+
+    def test_open_access_log_none_passthrough(self, tmp_path):
+        assert open_access_log(None) is None
+        logger = open_access_log(tmp_path / "a.log", worker_id=7)
+        assert logger is not None and logger.worker_id == 7
+        logger.close()

@@ -1,0 +1,275 @@
+"""The metrics registry primitives: the numbers every other test trusts.
+
+Pins the semantics the instrumented tiers rely on: bucket-boundary
+placement (a value equal to an edge lands in that edge's bucket), label
+cardinality isolation, thread-safety under a hammer, snapshot internal
+consistency (as a hypothesis property), snapshot merging, the Prometheus
+text exposition shape, and the ``ZSMILES_TELEMETRY`` kill switch.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+    render_prometheus,
+    snapshot_to_json,
+)
+from repro.telemetry.metrics import TELEMETRY_ENV_VAR, telemetry_enabled
+
+
+class TestCounterAndGauge:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry(enabled=True)
+        requests = registry.counter("requests_total", "requests")
+        requests.inc()
+        requests.inc(2.5)
+        assert requests.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry(enabled=True)
+        with pytest.raises(ValueError):
+            registry.counter("c_total").inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry(enabled=True)
+        depth = registry.gauge("queue_depth")
+        depth.set(10)
+        depth.dec(3)
+        depth.inc(1)
+        assert depth.value == 8.0
+
+    def test_registration_is_idempotent(self):
+        registry = MetricsRegistry(enabled=True)
+        first = registry.counter("hits_total", "hits")
+        again = registry.counter("hits_total", "hits")
+        assert first is again
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("x_total")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total")
+
+    def test_label_mismatch_raises(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("y_total", labels=("route",))
+        with pytest.raises(ValueError):
+            registry.counter("y_total", labels=("route", "status"))
+
+
+class TestHistogramBuckets:
+    def test_value_equal_to_edge_lands_in_that_bucket(self):
+        """The pinned boundary semantics: v == edge counts as <= edge."""
+        hist = Histogram(buckets=(1.0, 2.0, 4.0))
+        hist.observe(2.0)
+        assert hist.bucket_counts() == [0, 1, 0, 0]
+
+    def test_overflow_lands_in_inf_slot(self):
+        hist = Histogram(buckets=(1.0, 2.0))
+        hist.observe(100.0)
+        assert hist.bucket_counts() == [0, 0, 1]
+
+    def test_every_edge_is_its_own_boundary(self):
+        edges = (0.001, 0.01, 0.1, 1.0)
+        hist = Histogram(buckets=edges)
+        for edge in edges:
+            hist.observe(edge)
+        assert hist.bucket_counts() == [1, 1, 1, 1, 0]
+
+    def test_sum_and_count_track_observations(self):
+        hist = Histogram(buckets=(1.0,))
+        for value in (0.25, 0.5, 3.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(3.75)
+
+    def test_unsorted_edges_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+
+
+class TestLabels:
+    def test_label_children_are_isolated(self):
+        registry = MetricsRegistry(enabled=True)
+        requests = registry.counter("req_total", labels=("route", "status"))
+        requests.labels("single", "200").inc(5)
+        requests.labels("single", "404").inc(1)
+        requests.labels("batch", "200").inc(2)
+        assert requests.labels("single", "200").value == 5.0
+        assert requests.labels("single", "404").value == 1.0
+        assert requests.labels("batch", "200").value == 2.0
+
+    def test_label_arity_enforced(self):
+        registry = MetricsRegistry(enabled=True)
+        family = registry.counter("z_total", labels=("route",))
+        with pytest.raises(ValueError):
+            family.labels("a", "b")
+        with pytest.raises(ValueError):
+            family.inc()  # labelled family has no default child
+
+    def test_label_values_coerced_to_str(self):
+        registry = MetricsRegistry(enabled=True)
+        family = registry.counter("status_total", labels=("code",))
+        family.labels(200).inc()
+        assert family.labels("200").value == 1.0
+
+
+class TestThreadSafety:
+    def test_hammered_counter_equals_serial_total(self):
+        registry = MetricsRegistry(enabled=True)
+        counter = registry.counter("hammer_total")
+        hist = registry.histogram("hammer_seconds", buckets=(0.5,))
+        workers, per_worker = 8, 2_000
+
+        def hammer():
+            for _ in range(per_worker):
+                counter.inc()
+                hist.observe(0.25)
+
+        threads = [threading.Thread(target=hammer) for _ in range(workers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == workers * per_worker
+        assert hist.count == workers * per_worker
+        assert hist.bucket_counts() == [workers * per_worker, 0]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    observations=st.lists(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False), max_size=60
+    ),
+    edges=st.lists(
+        st.floats(min_value=0.001, max_value=9.0, allow_nan=False),
+        min_size=1,
+        max_size=8,
+        unique=True,
+    ),
+)
+def test_snapshot_is_internally_consistent(observations, edges):
+    """Property: sum of a histogram's bucket counts == its observation count."""
+    registry = MetricsRegistry(enabled=True)
+    hist = registry.histogram("prop_seconds", buckets=sorted(edges))
+    for value in observations:
+        hist.observe(value)
+    snapshot = registry.snapshot()
+    (item,) = snapshot["metrics"]
+    (series,) = item["series"]
+    assert sum(series["counts"]) == series["count"] == len(observations)
+    assert len(series["counts"]) == len(item["buckets"]) + 1
+    assert series["sum"] == pytest.approx(sum(observations))
+
+
+class TestSnapshotAndMerge:
+    def _worker_snapshot(self, single, batch, latencies):
+        registry = MetricsRegistry(enabled=True)
+        requests = registry.counter("req_total", "requests", labels=("route",))
+        requests.labels("single").inc(single)
+        requests.labels("batch").inc(batch)
+        hist = registry.histogram("lat_seconds", buckets=(0.01, 0.1))
+        for value in latencies:
+            hist.observe(value)
+        return registry.snapshot()
+
+    def test_merge_sums_counters_and_buckets(self):
+        merged = merge_snapshots(
+            [
+                self._worker_snapshot(3, 1, [0.005, 0.5]),
+                self._worker_snapshot(2, 4, [0.05]),
+            ]
+        )
+        by_name = {item["name"]: item for item in merged["metrics"]}
+        series = {tuple(s["values"]): s["value"] for s in by_name["req_total"]["series"]}
+        assert series == {("single",): 5.0, ("batch",): 5.0}
+        (lat,) = by_name["lat_seconds"]["series"]
+        # 0.005 ≤ 0.01 from worker A, 0.05 ≤ 0.1 from worker B, 0.5 → +Inf.
+        assert lat["counts"] == [1, 1, 1]
+        assert lat["count"] == 3
+
+    def test_merge_keeps_first_on_bucket_mismatch(self):
+        registry_a = MetricsRegistry(enabled=True)
+        registry_a.histogram("h_seconds", buckets=(1.0,)).observe(0.5)
+        registry_b = MetricsRegistry(enabled=True)
+        registry_b.histogram("h_seconds", buckets=(2.0,)).observe(0.5)
+        merged = merge_snapshots([registry_a.snapshot(), registry_b.snapshot()])
+        (item,) = merged["metrics"]
+        assert item["buckets"] == [1.0]
+        assert item["series"][0]["count"] == 1  # the straggler is dropped
+
+    def test_snapshot_json_is_deterministic(self):
+        snap = self._worker_snapshot(1, 2, [0.05])
+        assert snapshot_to_json(snap) == snapshot_to_json(snap)
+        assert snapshot_to_json(snap).endswith(b"\n")
+
+
+class TestPrometheusRendering:
+    def test_counter_and_histogram_exposition(self):
+        registry = MetricsRegistry(enabled=True)
+        requests = registry.counter("req_total", "Requests served.", labels=("route",))
+        requests.labels("single").inc(7)
+        hist = registry.histogram("lat_seconds", "Latency.", buckets=(0.01, 0.1))
+        hist.observe(0.005)
+        hist.observe(0.05)
+        hist.observe(5.0)
+        text = render_prometheus(registry.snapshot())
+        lines = text.splitlines()
+        assert "# HELP req_total Requests served." in lines
+        assert "# TYPE req_total counter" in lines
+        assert 'req_total{route="single"} 7' in lines
+        assert "# TYPE lat_seconds histogram" in lines
+        # Cumulative le buckets: 1 at 0.01, 2 at 0.1, 3 at +Inf.
+        assert 'lat_seconds_bucket{le="0.01"} 1' in lines
+        assert 'lat_seconds_bucket{le="0.1"} 2' in lines
+        assert 'lat_seconds_bucket{le="+Inf"} 3' in lines
+        assert "lat_seconds_count 3" in lines
+        assert text.endswith("\n")
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry(enabled=True)
+        family = registry.counter("esc_total", labels=("path",))
+        family.labels('a"b\\c').inc()
+        text = render_prometheus(registry.snapshot())
+        assert 'esc_total{path="a\\"b\\\\c"} 1' in text
+
+
+class TestKillSwitch:
+    def test_disabled_registry_instruments_are_noops(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("dead_total")
+        counter.inc(100)
+        hist = registry.histogram("dead_seconds", buckets=(1.0,))
+        hist.observe(0.5)
+        assert counter.value == 0.0
+        assert hist.count == 0
+
+    def test_env_values_parse(self, monkeypatch):
+        for value in ("off", "0", "false", "no", " OFF "):
+            monkeypatch.setenv(TELEMETRY_ENV_VAR, value)
+            assert not telemetry_enabled()
+        for value in ("on", "1", "yes", ""):
+            monkeypatch.setenv(TELEMETRY_ENV_VAR, value)
+            assert telemetry_enabled()
+        monkeypatch.delenv(TELEMETRY_ENV_VAR)
+        assert telemetry_enabled()
+
+    def test_default_registry_honours_env(self, monkeypatch):
+        monkeypatch.setenv(TELEMETRY_ENV_VAR, "off")
+        registry = MetricsRegistry()
+        assert registry.enabled is False
+        registry.counter("k_total").inc()
+        assert registry.counter("k_total").value == 0.0

@@ -1,0 +1,104 @@
+"""Trace context propagation and the span ring."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.telemetry import (
+    Span,
+    SpanExporter,
+    current_trace_id,
+    new_trace_id,
+    start_span,
+    trace_context,
+)
+
+
+class TestTraceContext:
+    def test_no_ambient_trace_by_default(self):
+        assert current_trace_id() is None
+
+    def test_context_mints_and_resets(self):
+        with trace_context() as trace_id:
+            assert current_trace_id() == trace_id
+            assert len(trace_id) == 16
+        assert current_trace_id() is None
+
+    def test_nested_context_joins_enclosing_trace(self):
+        with trace_context() as outer:
+            with trace_context() as inner:
+                assert inner == outer
+
+    def test_explicit_id_wins_over_ambient(self):
+        with trace_context("aaaa"):
+            with trace_context("bbbb") as inner:
+                assert inner == "bbbb"
+            assert current_trace_id() == "aaaa"
+
+    def test_ids_are_distinct(self):
+        assert new_trace_id() != new_trace_id()
+
+    def test_context_does_not_leak_across_threads(self):
+        seen = {}
+
+        def probe():
+            seen["other"] = current_trace_id()
+
+        with trace_context():
+            worker = threading.Thread(target=probe)
+            worker.start()
+            worker.join()
+        assert seen["other"] is None
+
+
+class TestSpans:
+    def test_span_times_and_exports(self):
+        ring = SpanExporter(capacity=8)
+        with start_span("unit.op", exporter=ring, shard=3) as span:
+            pass
+        assert span.duration_ms is not None and span.duration_ms >= 0
+        (exported,) = ring.recent()
+        assert exported["name"] == "unit.op"
+        assert exported["trace_id"] == span.trace_id
+        assert exported["attrs"] == {"shard": 3}
+        assert "error" not in exported
+
+    def test_span_joins_ambient_trace(self):
+        ring = SpanExporter()
+        with trace_context("cafe") as trace_id:
+            with start_span("inner", exporter=ring) as span:
+                assert span.trace_id == trace_id == "cafe"
+
+    def test_span_records_error_and_reraises(self):
+        ring = SpanExporter()
+        with pytest.raises(RuntimeError):
+            with start_span("boom", exporter=ring):
+                raise RuntimeError("kaput")
+        (exported,) = ring.recent()
+        assert exported["error"] == "RuntimeError: kaput"
+        assert exported["duration_ms"] is not None
+
+
+class TestSpanExporterRing:
+    def test_ring_drops_oldest(self):
+        ring = SpanExporter(capacity=3)
+        for i in range(5):
+            ring.export(Span(f"s{i}", "t", {}))
+        assert len(ring) == 3
+        assert [s["name"] for s in ring.recent()] == ["s2", "s3", "s4"]
+
+    def test_recent_limit_returns_newest(self):
+        ring = SpanExporter(capacity=10)
+        for i in range(4):
+            ring.export(Span(f"s{i}", "t", {}))
+        assert [s["name"] for s in ring.recent(limit=2)] == ["s2", "s3"]
+
+    def test_clear_and_capacity_floor(self):
+        ring = SpanExporter(capacity=2)
+        ring.export(Span("s", "t", {}))
+        ring.clear()
+        assert len(ring) == 0
+        with pytest.raises(ValueError):
+            SpanExporter(capacity=0)
